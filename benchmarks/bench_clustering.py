@@ -1,0 +1,109 @@
+"""E8 -- AutoClass clustering of the feature spaces (section 5.1).
+
+"These feature spaces are then clustered using the public domain
+clustering package AutoClass."  The ablation DESIGN.md calls out:
+Bayesian mixture classification (the AutoClass substitute, with model
+selection) vs plain k-means, on genuine feature vectors extracted from
+synthetic scenes.
+
+Expected shape: AutoClass costs more (EM + model search) but finds a
+class count close to the true number of scene classes and clusters at
+least as purely; k-means is the cheap baseline.
+
+Standalone report:  python benchmarks/bench_clustering.py
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering.autoclass import AutoClass
+from repro.clustering.kmeans import KMeans
+from repro.multimedia.features import FEATURE_EXTRACTORS
+from repro.multimedia.synth import class_names, generate_scene
+from repro.workloads import best_of
+
+IMAGES_PER_CLASS = 8
+
+
+def _feature_matrix(extractor_name):
+    """Feature vectors + ground-truth labels over all scene classes."""
+    rng = np.random.default_rng(13)
+    extractor = FEATURE_EXTRACTORS[extractor_name]
+    vectors = []
+    labels = []
+    for label, name in enumerate(class_names()):
+        for _ in range(IMAGES_PER_CLASS):
+            image = generate_scene(name, rng=rng)
+            vectors.append(extractor(image))
+            labels.append(label)
+    return np.asarray(vectors), np.asarray(labels)
+
+
+def _purity(pred, truth):
+    total = 0
+    for cluster in np.unique(pred):
+        members = truth[pred == cluster]
+        total += np.bincount(members).max()
+    return total / len(truth)
+
+
+@pytest.fixture(scope="module")
+def rgb_space():
+    return _feature_matrix("rgb")
+
+
+@pytest.fixture(scope="module")
+def gabor_space():
+    return _feature_matrix("gabor")
+
+
+def test_autoclass_rgb(benchmark, rgb_space):
+    data, truth = rgb_space
+    model = benchmark(AutoClass(2, 8, seed=0).fit, data)
+    assert _purity(model.predict(data), truth) > 0.5
+
+
+def test_kmeans_rgb(benchmark, rgb_space):
+    data, truth = rgb_space
+    result = benchmark(KMeans(6, seed=0).fit, data)
+    assert _purity(result.labels, truth) > 0.5
+
+
+def test_autoclass_gabor(benchmark, gabor_space):
+    data, _ = gabor_space
+    model = benchmark(AutoClass(2, 8, seed=0).fit, data)
+    assert model.n_classes >= 2
+
+
+def test_autoclass_purity_at_least_kmeans(rgb_space):
+    data, truth = rgb_space
+    autoclass = AutoClass(2, 8, seed=0).fit(data)
+    kmeans = KMeans(6, seed=0).fit(data)
+    assert _purity(autoclass.predict(data), truth) >= (
+        _purity(kmeans.labels, truth) - 0.15
+    )
+
+
+def report():
+    print(f"E8: clustering feature spaces "
+          f"({len(class_names())} true classes, "
+          f"{IMAGES_PER_CLASS} images each)")
+    print(f"{'space':<10}{'algo':<11}{'k found':>8}{'purity':>8}{'fit ms':>9}")
+    for space in ("rgb", "hsv", "gabor", "laws"):
+        data, truth = _feature_matrix(space)
+        for algo_name, fit in (
+            ("autoclass", lambda d: AutoClass(2, 8, seed=0).fit(d)),
+            ("kmeans", lambda d: KMeans(6, seed=0).fit(d)),
+        ):
+            model = fit(data)
+            elapsed = best_of(lambda: fit(data), repetitions=1)
+            k = getattr(model, "n_classes", None)
+            pred = model.predict(data) if hasattr(model, "predict") else model.labels
+            print(
+                f"{space:<10}{algo_name:<11}{k:>8}"
+                f"{_purity(pred, truth):>8.2f}{elapsed * 1000:>9.1f}"
+            )
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,110 @@
+"""E9 -- Relevance feedback improves retrieval across iterations.
+
+"The user may provide relevance feedback for these images; this
+relevance feedback is used to improve the current query."
+(section 5.2.)  Replays ground-truth feedback sessions against the
+synthetic library and reports precision@k per round, plus the cost of
+one feedback round.
+
+Expected shape: precision@k non-decreasing over rounds for the target
+class; a feedback round costs about one extra ranking query.
+
+Standalone report:  python benchmarks/bench_feedback.py
+"""
+
+import pytest
+
+from repro.core.library import DigitalLibrary
+from repro.core.session import RetrievalSession
+from repro.multimedia.webrobot import WebRobot
+from repro.workloads import best_of
+
+LIBRARY_SIZE = 48
+TARGET = "sunset_beach"
+TEXT_QUERY = "red sunset over the beach"
+
+#: Deliberately hard setting: only 35% of images annotated (weak
+#: thesaurus) and coarse clustering (4 classes for 6 scene types), so
+#: the initial formulation is poor and feedback has room to help.
+
+
+def _build_library():
+    robot = WebRobot(seed=33, annotated_fraction=0.35)
+    library = DigitalLibrary(max_classes=4, seed=2)
+    library.ingest(robot.crawl(LIBRARY_SIZE))
+    library.run_daemons()
+    return library
+
+
+def _run_session(library, rounds=3, k=10):
+    session = RetrievalSession(library, k=k)
+    results = session.start(TEXT_QUERY)
+    precisions = [session.precision_at(4, TARGET)]
+    for _ in range(rounds - 1):
+        relevant = [r.url for r in results if r.true_class == TARGET]
+        nonrelevant = [r.url for r in results if r.true_class != TARGET]
+        results = session.give_feedback(relevant, nonrelevant)
+        precisions.append(session.precision_at(4, TARGET))
+    return precisions
+
+
+@pytest.fixture(scope="module")
+def library():
+    return _build_library()
+
+
+def test_feedback_round_cost(benchmark, library):
+    session = RetrievalSession(library, k=10)
+    results = session.start(TEXT_QUERY)
+    relevant = [r.url for r in results if r.true_class == TARGET]
+    nonrelevant = [r.url for r in results if r.true_class != TARGET]
+
+    def round_():
+        return session.give_feedback(relevant, nonrelevant)
+
+    benchmark(round_)
+
+
+def test_initial_query_cost(benchmark, library):
+    def start():
+        return RetrievalSession(library, k=10).start(TEXT_QUERY)
+
+    results = benchmark(start)
+    assert results
+
+
+def test_precision_does_not_collapse(library):
+    precisions = _run_session(library)
+    assert precisions[-1] >= precisions[0] - 0.25
+    assert all(0.0 <= p <= 1.0 for p in precisions)
+
+
+def report():
+    from repro.evaluation import session_precision_table
+
+    library = _build_library()
+    session = RetrievalSession(library, k=10)
+    results = session.start(TEXT_QUERY)
+    for _ in range(3):
+        relevant = [r.url for r in results if r.true_class == TARGET]
+        nonrelevant = [r.url for r in results if r.true_class != TARGET]
+        results = session.give_feedback(relevant, nonrelevant)
+    table = session_precision_table(session, TARGET, ks=(2, 4, 8))
+    print(f"E9: feedback sessions on {LIBRARY_SIZE} images, "
+          f"target class {TARGET!r}")
+    header = "".join(f"{'P@' + str(k):>8}" for k in sorted(table))
+    print(f"{'round':>6}{header}")
+    rounds = len(next(iter(table.values())))
+    for index in range(rounds):
+        row = "".join(f"{table[k][index]:>8.2f}" for k in sorted(table))
+        print(f"{index:>6}{row}")
+    session = RetrievalSession(library, k=10)
+    results = session.start(TEXT_QUERY)
+    relevant = [r.url for r in results if r.true_class == TARGET]
+    nonrelevant = [r.url for r in results if r.true_class != TARGET]
+    elapsed = best_of(lambda: session.give_feedback(relevant, nonrelevant))
+    print(f"one feedback round: {elapsed * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,99 @@
+"""E1 -- Figure 1: the open distributed architecture end to end.
+
+Runs the whole federation -- web robot, media server, segmentation +
+six feature daemons, AutoClass, thesaurus, metadata database -- and
+reports the per-stage cost plus the ORB traffic the distribution
+model implies.
+
+Expected shape: feature extraction dominates (it touches every pixel
+through six extractors), clustering second, the database loads small;
+ORB call volume scales linearly with library size.
+
+Standalone report:  python benchmarks/bench_fig1_architecture.py
+"""
+
+import pytest
+
+from repro.core.library import DigitalLibrary
+from repro.multimedia.webrobot import WebRobot
+from repro.workloads import best_of
+
+LIBRARY_SIZE = 12
+
+
+def _crawl(count=LIBRARY_SIZE):
+    return WebRobot(seed=31, annotated_fraction=0.8).crawl(count)
+
+
+def _fresh_library():
+    return DigitalLibrary(max_classes=5, seed=4)
+
+
+def test_ingest(benchmark):
+    items = _crawl()
+
+    def ingest():
+        library = _fresh_library()
+        library.ingest(items)
+        return library
+
+    library = benchmark(ingest)
+    assert library.mirror.count("ImageLibrary") == LIBRARY_SIZE
+
+
+def test_full_pipeline(benchmark):
+    items = _crawl()
+
+    def pipeline():
+        library = _fresh_library()
+        library.ingest(items)
+        return library.run_daemons()
+
+    summary = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    assert summary["images"] == LIBRARY_SIZE
+
+
+def test_query_after_pipeline(benchmark):
+    library = _fresh_library()
+    library.ingest(_crawl())
+    library.run_daemons()
+    results = benchmark(library.query_content, "sunset beach", 5)
+    assert isinstance(results, list)
+
+
+def report():
+    import time
+
+    print(f"E1: Figure-1 federation over {LIBRARY_SIZE} images")
+    items = _crawl()
+    library = _fresh_library()
+
+    start = time.perf_counter()
+    library.ingest(items)
+    ingest = time.perf_counter() - start
+
+    start = time.perf_counter()
+    summary = library.run_daemons()
+    pipeline = time.perf_counter() - start
+
+    query = best_of(lambda: library.query_content("sunset beach", 5))
+
+    print(f"{'stage':<26}{'ms':>10}")
+    print(f"{'ingest (robot -> media)':<26}{ingest * 1000:>10.1f}")
+    print(f"{'daemon pipeline':<26}{pipeline * 1000:>10.1f}")
+    print(f"{'content query':<26}{query * 1000:>10.1f}")
+    print()
+    print("federation summary:")
+    for key, value in summary.items():
+        print(f"    {key:24s} {value}")
+    print(f"    {'orb_traffic_bytes':24s} {library.orb.traffic_bytes()}")
+    calls = {}
+    for record in library.orb.calls:
+        calls[record.object_name] = calls.get(record.object_name, 0) + 1
+    print("ORB calls per daemon:")
+    for name, count in sorted(calls.items()):
+        print(f"    {name:24s} {count}")
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,137 @@
+"""E7 -- Integrated IR + data retrieval vs a two-system handoff.
+
+"...the resulting system is an efficient integration of information
+and data retrieval" (section 3).  The integrated path runs ONE
+prepared Moa query combining selection, ranking and projection inside
+the DBMS; the baseline simulates the classic two-system architecture:
+a standalone IR engine ranks *everything*, ships the full ranked list
+across the system boundary (marshalled, as any out-of-process
+IR-engine/DBMS coupling must), and the application filters and joins
+afterwards.
+
+Expected shape: the integrated query's cost falls with predicate
+selectivity (the DBMS prunes before ranking and never ships unfiltered
+results); the two-system baseline pays full ranking + full transfer
+regardless of how selective the structured predicate is.
+
+Standalone report:  python benchmarks/bench_integration.py
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.mirror import MirrorDBMS
+from repro.ir.index import InvertedIndex
+from repro.moa.structures.contrep import ContentRepresentation
+from repro.workloads import best_of, synth_annotations
+
+N = 4000
+QUERY_TERMS = ["sunset", "sea"]
+
+DDL = """
+define Lib as
+SET<
+  TUPLE<
+    Atomic<URL>: source,
+    CONTREP<Text>: annotation,
+    Atomic<int>: year
+  >>;
+"""
+
+INTEGRATED = (
+    "map[tuple(source = THIS.source, "
+    "score = sum(getBL(THIS.annotation, query, stats)))]("
+    "select[THIS.year >= {year}](Lib));"
+)
+
+
+def _build():
+    db = MirrorDBMS()
+    db.define(DDL)
+    base = synth_annotations(N)
+    rows = [
+        {**row, "year": 1990 + (index % 10)} for index, row in enumerate(base)
+    ]
+    db.replace("Lib", rows)
+    stats = db.stats("Lib", "annotation")
+    # The standalone IR engine of the two-system baseline.
+    reps = [
+        ContentRepresentation.from_value(r["annotation"], "Text") for r in rows
+    ]
+    ir_engine = InvertedIndex([r.terms for r in reps])
+    return db, stats, rows, ir_engine
+
+
+def _two_system(rows, ir_engine, year):
+    """Classic architecture: the IR engine ranks the whole collection,
+    the complete ranked list crosses the process boundary (marshalled),
+    and the application filters/joins the structured predicate."""
+    scores = ir_engine.score_sum(QUERY_TERMS)
+    ranked = [
+        (rows[i]["source"], float(scores[i])) for i in range(len(rows))
+    ]
+    # The inter-system wire: the full result set is serialized out of
+    # the IR engine and back into the application, unconditionally.
+    ranked = pickle.loads(pickle.dumps(ranked))
+    return [
+        {"source": source, "score": score}
+        for (source, score), row in zip(ranked, rows)
+        if row["year"] >= year
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _build()
+
+
+def test_integrated_selective(benchmark, workload):
+    db, stats, _, _ = workload
+    params = {"query": QUERY_TERMS, "stats": stats}
+    query = INTEGRATED.format(year=1998)  # keeps 2 of 10 years
+    result = benchmark(db.query, query, params)
+    assert 0 < len(result.value) < N
+
+
+def test_integrated_unselective(benchmark, workload):
+    db, stats, _, _ = workload
+    params = {"query": QUERY_TERMS, "stats": stats}
+    query = INTEGRATED.format(year=1990)  # keeps everything
+    result = benchmark(db.query, query, params)
+    assert len(result.value) == N
+
+
+def test_two_system_baseline(benchmark, workload):
+    _, _, rows, ir_engine = workload
+    result = benchmark(_two_system, rows, ir_engine, 1998)
+    assert 0 < len(result) < N
+
+
+def test_results_agree(workload):
+    db, stats, rows, ir_engine = workload
+    params = {"query": QUERY_TERMS, "stats": stats}
+    integrated = db.query(INTEGRATED.format(year=1998), params).value
+    baseline = _two_system(rows, ir_engine, 1998)
+    assert len(integrated) == len(baseline)
+    for a, b in zip(integrated, baseline):
+        assert a["source"] == b["source"]
+        assert abs(a["score"] - b["score"]) < 1e-9
+
+
+def report():
+    db, stats, rows, ir_engine = _build()
+    params = {"query": QUERY_TERMS, "stats": stats}
+    print(f"E7: integrated query vs two-system handoff (N={N})")
+    print(f"{'selectivity':>12}{'integrated ms':>15}{'two-system ms':>15}")
+    for year, label in ((1990, "100%"), (1995, "50%"), (1998, "20%"), (1999, "10%")):
+        # Prepared-query path: the amortized cost of the integrated
+        # architecture (compile once, run per request).
+        compiled = db.executor.prepare(INTEGRATED.format(year=year), params)
+        integrated = best_of(lambda: db.executor.run_compiled(compiled, params))
+        baseline = best_of(lambda: _two_system(rows, ir_engine, year))
+        print(f"{label:>12}{integrated * 1000:>15.1f}{baseline * 1000:>15.1f}")
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,57 @@
+"""E6 -- Design for scalability: ranking cost vs collection size.
+
+"The focus of this work is aimed at design for scalability"
+(section 1).  The reproduction measures the full compiled ranking
+pipeline at doubling collection sizes and asserts the growth is
+near-linear (no quadratic blowup anywhere in the flattened plan).
+
+Expected shape: time per document roughly flat as N doubles 1k -> 16k.
+
+Standalone report:  python benchmarks/bench_ir_scaling.py
+"""
+
+import pytest
+
+from repro.workloads import SECTION3_QUERY, best_of, build_text_db
+
+QUERY_TERMS = ["sunset", "sea", "mountain", "forest"]
+
+SIZES = (1000, 2000, 4000, 8000)
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def sized_db(request):
+    db, stats, _ = build_text_db(request.param)
+    return request.param, db, stats
+
+
+def test_ranking_at_size(benchmark, sized_db):
+    n, db, stats = sized_db
+    params = {"query": QUERY_TERMS, "stats": stats}
+    result = benchmark(db.query, SECTION3_QUERY, params)
+    assert len(result.value) == n
+
+
+def test_growth_is_subquadratic():
+    """Doubling N must not quadruple time (shape assertion)."""
+    times = {}
+    for n in (1000, 8000):
+        db, stats, _ = build_text_db(n)
+        params = {"query": QUERY_TERMS, "stats": stats}
+        times[n] = best_of(lambda: db.query(SECTION3_QUERY, params))
+    ratio = times[8000] / times[1000]
+    assert ratio < 8 * 4, f"8x data took {ratio:.1f}x time"
+
+
+def report():
+    print("E6: ranking cost vs collection size (compiled pipeline)")
+    print(f"{'N':>8}{'total ms':>10}{'us/doc':>9}")
+    for n in (1000, 2000, 4000, 8000, 16000, 32000):
+        db, stats, _ = build_text_db(n)
+        params = {"query": QUERY_TERMS, "stats": stats}
+        elapsed = best_of(lambda: db.query(SECTION3_QUERY, params))
+        print(f"{n:>8}{elapsed * 1000:>10.1f}{elapsed / n * 1e6:>9.2f}")
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,137 @@
+"""E10 -- BAT kernel microbenchmarks (substrate sanity).
+
+The Mirror architecture's performance case rests on the BAT kernel
+doing whole-column work; this bench pins the per-operator costs that
+every other experiment builds on.
+
+Standalone report:  python benchmarks/bench_kernel.py
+"""
+
+import numpy as np
+import pytest
+
+from repro.monet import kernel
+from repro.monet.aggregates import grouped_sum
+from repro.monet.bat import BAT, Column, VoidColumn
+from repro.monet.groups import group
+from repro.monet.multiplex import multiplex
+
+N = 100_000
+
+
+def _int_bat(n, *, distinct=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    return BAT(VoidColumn(0, n), Column("int", rng.integers(0, distinct, n)))
+
+
+def _dbl_bat(n, *, seed=1):
+    rng = np.random.default_rng(seed)
+    return BAT(VoidColumn(0, n), Column("dbl", rng.random(n)))
+
+
+@pytest.fixture(scope="module")
+def ints():
+    return _int_bat(N)
+
+
+@pytest.fixture(scope="module")
+def dbls():
+    return _dbl_bat(N)
+
+
+@pytest.fixture(scope="module")
+def join_sides():
+    rng = np.random.default_rng(2)
+    left = BAT(VoidColumn(0, N), Column("oid", rng.integers(0, N // 2, N)))
+    right = BAT(
+        Column("oid", np.arange(N // 2, dtype=np.int64)),
+        Column("dbl", rng.random(N // 2)),
+        hkey=True,
+        hsorted=True,
+    )
+    return left, right
+
+
+def test_select_equality(benchmark, ints):
+    result = benchmark(kernel.select, ints, 7)
+    assert len(result) > 0
+
+
+def test_select_range(benchmark, ints):
+    result = benchmark(kernel.select, ints, 100, 200)
+    assert len(result) > 0
+
+
+def test_join_value(benchmark, join_sides):
+    left, right = join_sides
+    result = benchmark(kernel.join, left, right)
+    assert len(result) == N
+
+
+def test_fetchjoin_positional(benchmark, join_sides):
+    left, _ = join_sides
+    dense = BAT(VoidColumn(0, N // 2), Column("dbl", np.random.default_rng(3).random(N // 2)))
+    result = benchmark(kernel.fetchjoin, left, dense)
+    assert len(result) == N
+
+
+def test_semijoin(benchmark, ints):
+    other = BAT(VoidColumn(0, N // 4), Column("int", np.zeros(N // 4, dtype=np.int64)))
+    result = benchmark(kernel.semijoin, ints, other)
+    assert len(result) == N // 4
+
+
+def test_group(benchmark, ints):
+    result = benchmark(group, ints)
+    assert len(result) == N
+
+
+def test_grouped_sum(benchmark, ints, dbls):
+    grouping = group(ints)
+    result = benchmark(grouped_sum, dbls, grouping)
+    assert len(result) == 1000
+
+
+def test_multiplex_arith(benchmark, dbls):
+    result = benchmark(multiplex, "+", dbls, dbls)
+    assert len(result) == N
+
+
+def test_sort(benchmark, ints):
+    shuffled = ints.reverse()
+    result = benchmark(kernel.sort, shuffled)
+    assert len(result) == N
+
+
+def test_topn(benchmark, dbls):
+    result = benchmark(kernel.topn, dbls, 10)
+    assert len(result) == 10
+
+
+def report():
+    import time
+
+    print(f"E10: BAT kernel operator costs at n={N:,}")
+    print(f"{'operator':<22}{'ms':>10}")
+    ints = _int_bat(N)
+    dbls = _dbl_bat(N)
+    grouping = group(ints)
+    cases = [
+        ("select(=)", lambda: kernel.select(ints, 7)),
+        ("select(range)", lambda: kernel.select(ints, 100, 200)),
+        ("group", lambda: group(ints)),
+        ("{sum}", lambda: grouped_sum(dbls, grouping)),
+        ("[+]", lambda: multiplex("+", dbls, dbls)),
+        ("sort", lambda: kernel.sort(ints.reverse())),
+        ("topn(10)", lambda: kernel.topn(dbls, 10)),
+    ]
+    for name, fn in cases:
+        start = time.perf_counter()
+        for _ in range(5):
+            fn()
+        elapsed = (time.perf_counter() - start) / 5
+        print(f"{name:<22}{elapsed * 1000:>10.2f}")
+
+
+if __name__ == "__main__":
+    report()

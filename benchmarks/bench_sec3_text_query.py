@@ -1,0 +1,84 @@
+"""E2 -- The section 3 ranking query (text retrieval in the DBMS).
+
+``map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib))``
+as published, measured end-to-end plus split into prepare (parse/
+typecheck/optimize/compile) and run (MIL execution + reconstruction),
+with the query length as a second axis.
+
+Expected shape: run time scales with the number of matched postings
+(so with query length), prepare is a small constant.
+
+Standalone report:  python benchmarks/bench_sec3_text_query.py
+"""
+
+import pytest
+
+from repro.workloads import SECTION3_QUERY, best_of, build_text_db
+
+N = 5000
+SHORT_QUERY = ["sunset"]
+MEDIUM_QUERY = ["sunset", "sea", "mountain"]
+LONG_QUERY = ["sunset", "sea", "mountain", "forest", "city", "desert",
+              "ocean", "river"]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db, stats, _ = build_text_db(N)
+    return db, stats
+
+
+def test_end_to_end_short(benchmark, workload):
+    db, stats = workload
+    params = {"query": SHORT_QUERY, "stats": stats}
+    result = benchmark(db.query, SECTION3_QUERY, params)
+    assert len(result.value) == N
+
+
+def test_end_to_end_medium(benchmark, workload):
+    db, stats = workload
+    params = {"query": MEDIUM_QUERY, "stats": stats}
+    result = benchmark(db.query, SECTION3_QUERY, params)
+    assert len(result.value) == N
+
+
+def test_end_to_end_long(benchmark, workload):
+    db, stats = workload
+    params = {"query": LONG_QUERY, "stats": stats}
+    result = benchmark(db.query, SECTION3_QUERY, params)
+    assert len(result.value) == N
+
+
+def test_prepare_only(benchmark, workload):
+    db, stats = workload
+    params = {"query": MEDIUM_QUERY, "stats": stats}
+    compiled = benchmark(db.executor.prepare, SECTION3_QUERY, params)
+    assert compiled.statements > 0
+
+
+def test_run_prepared(benchmark, workload):
+    db, stats = workload
+    params = {"query": MEDIUM_QUERY, "stats": stats}
+    compiled = db.executor.prepare(SECTION3_QUERY, params)
+    result = benchmark(db.executor.run_compiled, compiled, params)
+    assert len(result.value) == N
+
+
+def report():
+    db, stats, _ = build_text_db(N)
+    print(f"E2: section 3 ranking query at N={N}")
+    print(f"{'query len':>10}{'end-to-end ms':>15}{'prepare ms':>12}{'run ms':>10}")
+    for terms in (SHORT_QUERY, MEDIUM_QUERY, LONG_QUERY):
+        params = {"query": terms, "stats": stats}
+        total = best_of(lambda: db.query(SECTION3_QUERY, params))
+        prepare = best_of(lambda: db.executor.prepare(SECTION3_QUERY, params))
+        compiled = db.executor.prepare(SECTION3_QUERY, params)
+        run = best_of(lambda: db.executor.run_compiled(compiled, params))
+        print(
+            f"{len(terms):>10}{total * 1000:>15.1f}{prepare * 1000:>12.1f}"
+            f"{run * 1000:>10.1f}"
+        )
+
+
+if __name__ == "__main__":
+    report()

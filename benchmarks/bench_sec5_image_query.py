@@ -1,0 +1,88 @@
+"""E3 -- The section 5.2 content ranking query (visual words).
+
+``map[sum(THIS)](map[getBL(THIS.image, query, stats)](Internal))``
+over CONTREP<Image> representations of synthetic visual words, with
+cluster-vocabulary size as the second axis (more clusters = rarer
+words = fewer matched postings).
+
+Expected shape: query cost drops as the vocabulary grows (selectivity
+effect), identical engine path to the text query -- the point of the
+design is that image retrieval *is* text retrieval over cluster words.
+
+Standalone report:  python benchmarks/bench_sec5_image_query.py
+"""
+
+import pytest
+
+from repro.workloads import SECTION5_QUERY, best_of, build_internal_db
+
+N = 3000
+
+
+def _query_for(clusters):
+    return [f"rgb_{i % clusters}" for i in range(4)] + [
+        f"gabor_{i % clusters}" for i in range(2)
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db, stats, _ = build_internal_db(N, clusters=40)
+    return db, stats
+
+
+def test_content_ranking(benchmark, workload):
+    db, stats = workload
+    params = {"query": _query_for(40), "stats": stats}
+    result = benchmark(db.query, SECTION5_QUERY, params)
+    assert len(result.value) == N
+
+
+def test_content_ranking_with_projection(benchmark, workload):
+    db, stats = workload
+    query = (
+        "map[tuple(source = THIS.source, "
+        "score = sum(getBL(THIS.image, query, stats)))](ImageLibraryInternal);"
+    )
+    params = {"query": _query_for(40), "stats": stats}
+    result = benchmark(db.query, query, params)
+    assert len(result.value) == N
+
+
+def test_dual_code_combination(benchmark, workload):
+    """Both CONTREPs in one query: annotation + image evidence."""
+    db, stats = workload
+    text_stats = db.stats("ImageLibraryInternal", "annotation")
+    query = (
+        "map[tuple(source = THIS.source, "
+        "t = sum(getBL(THIS.annotation, tq, tstats)), "
+        "v = sum(getBL(THIS.image, vq, vstats)))](ImageLibraryInternal);"
+    )
+    params = {
+        "tq": ["sunset", "sea"],
+        "tstats": text_stats,
+        "vq": _query_for(40),
+        "vstats": stats,
+    }
+    result = benchmark(db.query, query, params)
+    assert len(result.value) == N
+
+
+def report():
+    print(f"E3: section 5.2 content ranking at N={N}")
+    print(f"{'clusters':>10}{'postings hit':>14}{'query ms':>10}")
+    for clusters in (10, 40, 160):
+        db, stats, rows = build_internal_db(N, clusters=clusters)
+        params = {"query": _query_for(clusters), "stats": stats}
+        hits = sum(
+            1
+            for row in rows
+            for token in set(row["image"])
+            if token in set(params["query"])
+        )
+        elapsed = best_of(lambda: db.query(SECTION5_QUERY, params))
+        print(f"{clusters:>10}{hits:>14}{elapsed * 1000:>10.1f}")
+
+
+if __name__ == "__main__":
+    report()

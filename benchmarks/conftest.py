@@ -1,0 +1,17 @@
+"""Benchmark-suite conftest: re-export the shared workload generators.
+
+The real generators live in :mod:`repro.workloads` (they are part of
+the library's public benchmark harness); this conftest exists so bench
+modules can also be collected by pytest from the repository root.
+"""
+
+from repro.workloads import (  # noqa: F401
+    SECTION3_QUERY,
+    SECTION5_QUERY,
+    TRADITIONAL_DDL,
+    build_internal_db,
+    build_text_db,
+    interpreter_data,
+    synth_annotations,
+    visual_word_rows,
+)

@@ -1,0 +1,68 @@
+"""Structured retrieval with the inference network operators.
+
+The Mirror DBMS adopts the InQuery retrieval model because it "allows
+flexible modeling of the combination of evidence originating from
+different sources" (section 3).  This example exercises that operator
+repertoire directly: one document collection, several structured
+queries (#sum / #wsum / #and / #or / #not / #max), and a look at how
+the combinators change the ranking.
+
+Run:  python examples/inference_network.py
+"""
+
+from repro.ir.index import InvertedIndex
+from repro.ir.network import InferenceNetwork
+from repro.ir.queries import parse_structured_query
+from repro.ir.tokenize import analyze
+
+ARTICLES = [
+    ("volcanic eruption in iceland disrupts flights across europe",
+     "iceland-eruption"),
+    ("icelandic volcano spews ash cloud over the north atlantic",
+     "ash-cloud"),
+    ("european airlines cancel flights amid ash warnings",
+     "airline-cancellations"),
+    ("tourism in iceland rebounds after the eruption season",
+     "tourism-rebound"),
+    ("new atlantic shipping routes avoid the storm season",
+     "shipping-routes"),
+    ("storm warnings issued for the north atlantic this weekend",
+     "storm-warnings"),
+]
+
+QUERIES = [
+    "iceland eruption",
+    "#and(iceland eruption)",
+    "#or(eruption storm)",
+    "#wsum(3 eruption 1 flights)",
+    "#and(atlantic #not(storm))",
+    "#max(eruption storm)",
+]
+
+
+def main() -> None:
+    documents = []
+    for text, _ in ARTICLES:
+        terms = analyze(text)
+        counts = {}
+        for term in terms:
+            counts[term] = counts.get(term, 0) + 1
+        documents.append(counts)
+    index = InvertedIndex(documents)
+    network = InferenceNetwork(index)
+
+    print(f"indexed {index.document_count} documents, "
+          f"{index.posting_count} postings\n")
+
+    for query_text in QUERIES:
+        node = parse_structured_query(query_text)
+        ranked = network.rank(node, k=3)
+        print(f"query: {query_text}")
+        print(f"  parsed: {node.render()}")
+        for doc_id, score in ranked:
+            print(f"    {score:.4f}  {ARTICLES[doc_id][1]}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

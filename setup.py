@@ -1,0 +1,5 @@
+"""Setuptools shim: enables `python setup.py develop` on environments
+without the `wheel` package (offline editable install fallback)."""
+from setuptools import setup
+
+setup()

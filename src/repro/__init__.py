@@ -1,0 +1,35 @@
+"""repro: a reproduction of "The Mirror MMDBMS Architecture" (VLDB 1999).
+
+Layered exactly like the paper's system:
+
+* :mod:`repro.monet` -- binary-relational (BAT) kernel + MIL plan
+  language (the Monet substitute);
+* :mod:`repro.moa` -- the Moa object algebra: structural OO types, DDL
+  and query parsers, flattening compiler, optimizer, executor;
+* :mod:`repro.ir` -- inference-network retrieval (the CONTREP engine);
+* :mod:`repro.multimedia` -- images, segmentation, feature extraction;
+* :mod:`repro.clustering` -- AutoClass substitute + baselines;
+* :mod:`repro.thesaurus` -- the dual-coding association thesaurus;
+* :mod:`repro.daemons` -- the Figure-1 distributed architecture;
+* :mod:`repro.core` -- the Mirror DBMS facade and the digital library.
+
+Quickstart::
+
+    from repro.core import MirrorDBMS
+
+    db = MirrorDBMS()
+    db.define('define Lib as SET<TUPLE<Atomic<URL>: source, '
+              'CONTREP<Text>: annotation>>;')
+    db.insert('Lib', [{'source': 'u1', 'annotation': 'red sunset sea'}])
+    stats = db.stats('Lib', 'annotation')
+    scores = db.query(
+        'map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib));',
+        {'query': ['sunset'], 'stats': stats},
+    ).value
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.mirror import MirrorDBMS
+
+__all__ = ["MirrorDBMS", "__version__"]

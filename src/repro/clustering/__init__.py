@@ -1,0 +1,20 @@
+"""Clustering substrate: the AutoClass substitute and baselines.
+
+"These feature spaces are then clustered using the public domain
+clustering package AutoClass [CS95]."  (Mirror paper, section 5.1.)
+
+AutoClass is Bayesian mixture-model classification; our substitute
+(:mod:`repro.clustering.autoclass`) implements a diagonal-Gaussian
+finite mixture fitted with EM plus Bayesian model selection over the
+number of classes.  :mod:`repro.clustering.kmeans` is the baseline for
+the clustering ablation (bench E8), and
+:mod:`repro.clustering.assignments` turns fitted clusters into the
+"visual words" (``gabor_21``-style labels) that the CONTREP image
+representation indexes.
+"""
+
+from repro.clustering.autoclass import AutoClass, AutoClassModel
+from repro.clustering.assignments import ClusterVocabulary
+from repro.clustering.kmeans import KMeans
+
+__all__ = ["AutoClass", "AutoClassModel", "KMeans", "ClusterVocabulary"]

@@ -1,0 +1,65 @@
+"""From clusters to "visual words".
+
+"We further use the identified clusters as if they are words in text
+retrieval; they become the basic blocks of 'meaning' for multimedia
+information retrieval."  (Mirror paper, section 5.2.)
+
+:class:`ClusterVocabulary` wraps one fitted clusterer per feature space
+and renders assignments as tokens like ``gabor_21`` -- exactly the
+cluster-label style the paper shows.  A document's (image's) content
+representation is the bag of tokens of its segments across all feature
+spaces, ready to be indexed by a ``CONTREP<Image>`` attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ClusterVocabulary:
+    """Token namespace for one feature space (e.g. prefix ``gabor``)."""
+
+    prefix: str
+    model: object  # anything with .predict(data) -> labels
+
+    def token(self, label: int) -> str:
+        return f"{self.prefix}_{int(label)}"
+
+    def tokens(self, data: np.ndarray) -> List[str]:
+        """Tokens for a batch of feature vectors."""
+        labels = self.model.predict(np.asarray(data, dtype=np.float64))
+        return [self.token(label) for label in labels]
+
+
+def document_tokens(
+    vocabularies: Sequence[ClusterVocabulary],
+    features_per_space: Mapping[str, np.ndarray],
+) -> List[str]:
+    """Bag of visual words for one document.
+
+    *features_per_space* maps vocabulary prefix -> (n_segments, d)
+    matrix of that document's segment features.
+    """
+    out: List[str] = []
+    for vocabulary in vocabularies:
+        features = features_per_space.get(vocabulary.prefix)
+        if features is None or len(features) == 0:
+            continue
+        out.extend(vocabulary.tokens(np.atleast_2d(features)))
+    return out
+
+
+def vocabulary_size(vocabularies: Sequence[ClusterVocabulary]) -> int:
+    """Total number of distinct visual words across the spaces."""
+    total = 0
+    for vocabulary in vocabularies:
+        n = getattr(vocabulary.model, "n_classes", None)
+        if n is None:
+            centers = getattr(vocabulary.model, "centers", None)
+            n = len(centers) if centers is not None else 0
+        total += int(n)
+    return total

@@ -1,0 +1,171 @@
+"""AutoClass substitute: Bayesian mixture classification.
+
+AutoClass [CS95] models data as a finite mixture; it searches over the
+number of classes by (approximate) marginal likelihood and returns soft
+class memberships.  This reproduction implements the continuous-
+attribute case the Mirror demo needs (feature vectors from the colour
+and texture daemons):
+
+* diagonal-Gaussian mixture, fitted with EM (k-means++ initialized);
+* variance floors (AutoClass's "minimum relative error" trick) so
+  degenerate clusters cannot blow up the likelihood;
+* model selection over a class-count range via BIC, an established
+  approximation to the marginal likelihood AutoClass maximizes.
+
+The fitted model assigns every vector a class id -- the "identified
+clusters ... used as if they are words in text retrieval" (section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clustering.kmeans import KMeans
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass
+class AutoClassModel:
+    """A fitted mixture: weights, means, variances, and fit metadata."""
+
+    weights: np.ndarray  # (k,)
+    means: np.ndarray  # (k, d)
+    variances: np.ndarray  # (k, d)
+    log_likelihood: float
+    bic: float
+    iterations: int
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.weights)
+
+    # ------------------------------------------------------------------
+    def log_responsibilities(self, data: np.ndarray) -> np.ndarray:
+        """(n, k) log posterior class memberships."""
+        log_joint = self._log_joint(np.asarray(data, dtype=np.float64))
+        norm = _logsumexp(log_joint, axis=1, keepdims=True)
+        return log_joint - norm
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Hard class assignment (argmax posterior)."""
+        return self._log_joint(np.asarray(data, dtype=np.float64)).argmax(axis=1)
+
+    def score(self, data: np.ndarray) -> float:
+        """Total log likelihood of *data* under the model."""
+        log_joint = self._log_joint(np.asarray(data, dtype=np.float64))
+        return float(_logsumexp(log_joint, axis=1).sum())
+
+    def _log_joint(self, data: np.ndarray) -> np.ndarray:
+        n, d = data.shape
+        k = self.n_classes
+        out = np.empty((n, k))
+        for j in range(k):
+            diff = data - self.means[j]
+            var = self.variances[j]
+            out[:, j] = (
+                np.log(self.weights[j])
+                - 0.5 * (d * _LOG_2PI + np.log(var).sum())
+                - 0.5 * ((diff**2) / var).sum(axis=1)
+            )
+        return out
+
+
+class AutoClass:
+    """Searches class counts and fits the best Bayesian mixture."""
+
+    def __init__(
+        self,
+        min_classes: int = 2,
+        max_classes: int = 12,
+        *,
+        max_iterations: int = 60,
+        tolerance: float = 1e-5,
+        variance_floor: float = 1e-4,
+        seed: int = 0,
+    ):
+        if min_classes < 1 or max_classes < min_classes:
+            raise ValueError("need 1 <= min_classes <= max_classes")
+        self.min_classes = min_classes
+        self.max_classes = max_classes
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.variance_floor = variance_floor
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def fit(self, data: np.ndarray) -> AutoClassModel:
+        """Model-selection search: fit every class count in range, keep
+        the best BIC (the AutoClass marginal-likelihood surrogate)."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or len(data) == 0:
+            raise ValueError("data must be a non-empty (n, d) matrix")
+        best: Optional[AutoClassModel] = None
+        upper = min(self.max_classes, len(data))
+        for k in range(self.min_classes, upper + 1):
+            model = self.fit_fixed(data, k)
+            if best is None or model.bic > best.bic:
+                best = model
+        assert best is not None
+        return best
+
+    def fit_fixed(self, data: np.ndarray, n_classes: int) -> AutoClassModel:
+        """EM for a fixed class count."""
+        data = np.asarray(data, dtype=np.float64)
+        n, d = data.shape
+        k = min(n_classes, n)
+        init = KMeans(k, seed=self.seed).fit(data)
+        means = init.centers.copy()
+        variances = np.maximum(data.var(axis=0), self.variance_floor)
+        variances = np.tile(variances, (k, 1))
+        weights = np.full(k, 1.0 / k)
+        model = AutoClassModel(weights, means, variances, -np.inf, -np.inf, 0)
+        previous = -np.inf
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            # E step
+            log_joint = model._log_joint(data)
+            log_norm = _logsumexp(log_joint, axis=1, keepdims=True)
+            log_likelihood = float(log_norm.sum())
+            responsibilities = np.exp(log_joint - log_norm)
+            # M step
+            mass = responsibilities.sum(axis=0) + 1e-12
+            weights = mass / mass.sum()
+            means = (responsibilities.T @ data) / mass[:, None]
+            variances = np.empty_like(means)
+            for j in range(k):
+                diff = data - means[j]
+                variances[j] = (responsibilities[:, j][:, None] * diff**2).sum(
+                    axis=0
+                ) / mass[j]
+            variances = np.maximum(variances, self.variance_floor)
+            model = AutoClassModel(
+                weights, means, variances, log_likelihood, -np.inf, iterations
+            )
+            if abs(log_likelihood - previous) < self.tolerance * max(
+                1.0, abs(previous)
+            ):
+                break
+            previous = log_likelihood
+        # Parameter count: weights (k-1) + means (k*d) + variances (k*d).
+        parameters = (k - 1) + 2 * k * d
+        bic = model.log_likelihood - 0.5 * parameters * np.log(n)
+        return AutoClassModel(
+            model.weights,
+            model.means,
+            model.variances,
+            model.log_likelihood,
+            float(bic),
+            iterations,
+        )
+
+
+def _logsumexp(a: np.ndarray, axis: int, keepdims: bool = False) -> np.ndarray:
+    peak = a.max(axis=axis, keepdims=True)
+    out = np.log(np.exp(a - peak).sum(axis=axis, keepdims=True)) + peak
+    if not keepdims:
+        out = np.squeeze(out, axis=axis)
+    return out

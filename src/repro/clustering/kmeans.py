@@ -1,0 +1,108 @@
+"""k-means clustering with k-means++ seeding.
+
+Used (a) as the initialization of the AutoClass EM, and (b) as the
+baseline of the clustering benchmark E8 -- the design-choice ablation
+"AutoClass vs. a simpler clusterer" that DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    centers: np.ndarray  # (k, d)
+    labels: np.ndarray  # (n,)
+    inertia: float
+    iterations: int
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.centers)
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Nearest-center assignment for new vectors."""
+        data = np.asarray(data, dtype=np.float64)
+        return _pairwise_sq(data, self.centers).argmin(axis=1)
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        seed: int = 0,
+    ):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be positive")
+        self.n_clusters = n_clusters
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def fit(self, data: np.ndarray) -> KMeansResult:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be (n, d)")
+        n, _ = data.shape
+        k = min(self.n_clusters, n)
+        rng = np.random.default_rng(self.seed)
+        centers = self._plus_plus_init(data, k, rng)
+        labels = np.zeros(n, dtype=np.int64)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            distances = _pairwise_sq(data, centers)
+            labels = distances.argmin(axis=1)
+            new_centers = centers.copy()
+            for j in range(k):
+                members = data[labels == j]
+                if len(members):
+                    new_centers[j] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    farthest = distances.min(axis=1).argmax()
+                    new_centers[j] = data[farthest]
+            shift = float(np.abs(new_centers - centers).max())
+            centers = new_centers
+            if shift < self.tolerance:
+                break
+        inertia = float(_pairwise_sq(data, centers).min(axis=1).sum())
+        return KMeansResult(centers, labels, inertia, iterations)
+
+    @staticmethod
+    def _plus_plus_init(
+        data: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = len(data)
+        centers = np.empty((k, data.shape[1]))
+        first = int(rng.integers(n))
+        centers[0] = data[first]
+        closest = ((data - centers[0]) ** 2).sum(axis=1)
+        for j in range(1, k):
+            total = closest.sum()
+            if total <= 0:
+                centers[j:] = data[rng.integers(n, size=k - j)]
+                break
+            probabilities = closest / total
+            choice = int(rng.choice(n, p=probabilities))
+            centers[j] = data[choice]
+            closest = np.minimum(closest, ((data - centers[j]) ** 2).sum(axis=1))
+        return centers
+
+
+def _pairwise_sq(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """(n, k) squared Euclidean distances."""
+    return (
+        (data**2).sum(axis=1, keepdims=True)
+        - 2.0 * data @ centers.T
+        + (centers**2).sum(axis=1)
+    )

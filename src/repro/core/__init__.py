@@ -1,0 +1,26 @@
+"""The Mirror DBMS itself: facade, library orchestration, feedback.
+
+* :mod:`repro.core.mirror` -- :class:`MirrorDBMS`, the database facade:
+  DDL, bulk loads, Moa queries, statistics, persistence;
+* :mod:`repro.core.library` -- :class:`DigitalLibrary`, the Figure-1
+  federation: web robot output in, queryable multimedia library out;
+* :mod:`repro.core.feedback` -- relevance feedback: query reweighting
+  and cross-session thesaurus adaptation (section 5.2's closing
+  paragraphs);
+* :mod:`repro.core.session` -- the interactive retrieval loop of the
+  demo ("the user enters an initial (usually textual) query ...").
+"""
+
+from repro.core.feedback import FeedbackUpdate, RelevanceFeedback
+from repro.core.library import DigitalLibrary, RetrievalResult
+from repro.core.mirror import MirrorDBMS
+from repro.core.session import RetrievalSession
+
+__all__ = [
+    "MirrorDBMS",
+    "DigitalLibrary",
+    "RetrievalResult",
+    "RelevanceFeedback",
+    "FeedbackUpdate",
+    "RetrievalSession",
+]

@@ -1,0 +1,142 @@
+"""Relevance feedback and thesaurus adaptation.
+
+"The user may provide relevance feedback for these images; this
+relevance feedback is used to improve the current query. ...  we are
+investigating machine learning techniques to adapt the thesaurus and
+the content representation, using the relevance feedback across query
+sessions."  (Mirror paper, section 5.2.)
+
+Two mechanisms are implemented:
+
+* **query reweighting** (within a session): a Rocchio-style update on
+  the visual-word query -- words frequent in relevant images are added
+  (weighted by repetition, which the ranking treats as term weights),
+  words frequent in non-relevant images are dropped;
+* **thesaurus adaptation** (across sessions): (annotation word, visual
+  word) associations observed in relevant images are reinforced, those
+  in non-relevant images weakened -- the paper's future-work learning
+  hook, applied through
+  :meth:`repro.thesaurus.assoc.AssociationThesaurus.reinforce`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.library import DigitalLibrary
+from repro.ir.tokenize import analyze
+
+
+@dataclass
+class FeedbackUpdate:
+    """Result of one feedback round."""
+
+    query: List[str]
+    added: List[str]
+    removed: List[str]
+    reinforced: List[tuple]
+    weakened: List[tuple]
+
+
+class RelevanceFeedback:
+    """Feedback engine bound to a library.
+
+    Parameters
+    ----------
+    expansion_terms:
+        How many new visual words to adopt from the relevant set.
+    positive_factor / negative_factor:
+        Multiplicative thesaurus reinforcement for associations seen in
+        relevant / non-relevant images.
+    """
+
+    def __init__(
+        self,
+        library: DigitalLibrary,
+        *,
+        expansion_terms: int = 5,
+        positive_factor: float = 1.5,
+        negative_factor: float = 0.6,
+    ):
+        self.library = library
+        self.expansion_terms = expansion_terms
+        self.positive_factor = positive_factor
+        self.negative_factor = negative_factor
+
+    # ------------------------------------------------------------------
+    def update_query(
+        self,
+        query: Sequence[str],
+        relevant: Sequence[str],
+        nonrelevant: Sequence[str] = (),
+    ) -> FeedbackUpdate:
+        """Rocchio-style update of a visual-word *query* given judged
+        relevant / non-relevant image URLs."""
+        positive = Counter()
+        for url in relevant:
+            positive.update(self.library.tokens_for(url))
+        negative = Counter()
+        for url in nonrelevant:
+            negative.update(self.library.tokens_for(url))
+
+        current = list(query)
+        # Drop query words that dominate the non-relevant set.
+        removed = [
+            token
+            for token in set(current)
+            if negative.get(token, 0) > positive.get(token, 0)
+        ]
+        kept = [t for t in current if t not in removed]
+        # Add the strongest discriminating words of the relevant set.
+        candidates = [
+            (count - negative.get(token, 0), token)
+            for token, count in positive.items()
+        ]
+        candidates.sort(key=lambda item: (-item[0], item[1]))
+        added: List[str] = []
+        for advantage, token in candidates:
+            if advantage <= 0 or len(added) >= self.expansion_terms:
+                break
+            added.append(token)
+        new_query = kept + added
+        return FeedbackUpdate(
+            query=new_query,
+            added=added,
+            removed=removed,
+            reinforced=[],
+            weakened=[],
+        )
+
+    # ------------------------------------------------------------------
+    def adapt_thesaurus(
+        self,
+        text_query: str,
+        relevant: Sequence[str],
+        nonrelevant: Sequence[str] = (),
+    ) -> FeedbackUpdate:
+        """Cross-session learning: reinforce (query word, visual word)
+        associations from relevant images, weaken those from
+        non-relevant images."""
+        words = analyze(text_query)
+        reinforced: List[tuple] = []
+        weakened: List[tuple] = []
+        for url in relevant:
+            for token in set(self.library.tokens_for(url)):
+                for word in words:
+                    self.library.thesaurus.reinforce(
+                        word, token, self.positive_factor
+                    )
+                    reinforced.append((word, token))
+        for url in nonrelevant:
+            for token in set(self.library.tokens_for(url)):
+                for word in words:
+                    self.library.thesaurus.reinforce(
+                        word, token, self.negative_factor
+                    )
+                    weakened.append((word, token))
+        return FeedbackUpdate(
+            query=[], added=[], removed=[],
+            reinforced=reinforced, weakened=weakened,
+        )

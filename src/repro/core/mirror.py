@@ -1,0 +1,170 @@
+"""MirrorDBMS: the database facade.
+
+"The Mirror DBMS provides the basic functionality for probabilistic
+inference, multimedia data types, and feature extraction techniques,
+just like traditional database systems provide the basic functionality
+to build administrative applications."  (Mirror paper, section 5.)
+
+One object bundles the physical pool, the logical schema and the
+executor::
+
+    db = MirrorDBMS()
+    db.define("define Lib as SET<TUPLE<Atomic<URL>: source, "
+              "CONTREP<Text>: annotation>>;")
+    db.insert("Lib", [{"source": ..., "annotation": "..."}, ...])
+    stats = db.stats("Lib", "annotation")
+    result = db.query("map[sum(THIS)](map[getBL(THIS.annotation, query, "
+                      "stats)](Lib));", {"query": terms, "stats": stats})
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.ir.stats import CollectionStats
+from repro.moa import ast as moa_ast
+from repro.moa.ddl import parse_schema, render_define
+from repro.moa.errors import MoaTypeError
+from repro.moa.executor import MoaExecutor, QueryResult
+from repro.moa.mapping import (
+    attribute_bat_names,
+    collection_count,
+    load_collection,
+    reconstruct_collection,
+)
+from repro.moa.types import MoaType
+from repro.monet.bbp import BATBufferPool
+
+
+class MirrorDBMS:
+    """Schema + buffer pool + executor, with persistence."""
+
+    def __init__(self, pool: Optional[BATBufferPool] = None):
+        self.pool = pool if pool is not None else BATBufferPool()
+        self.schema: Dict[str, MoaType] = {}
+        self._executor = MoaExecutor(self.pool, self.schema)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def define(self, ddl: str) -> List[str]:
+        """Execute one or more ``define`` statements; returns the names."""
+        parsed = parse_schema(ddl)
+        for name, ty in parsed.items():
+            self.schema[name] = ty
+        return list(parsed)
+
+    def collection_type(self, name: str) -> MoaType:
+        try:
+            return self.schema[name]
+        except KeyError:
+            raise MoaTypeError(f"no collection named {name!r}") from None
+
+    def collections(self) -> List[str]:
+        return sorted(self.schema)
+
+    def ddl(self) -> str:
+        """The whole schema as DDL text."""
+        return "\n".join(
+            render_define(name, ty) for name, ty in sorted(self.schema.items())
+        )
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def insert(self, name: str, values: Sequence[Any]) -> int:
+        """Bulk-load *values* into collection *name* (replacing or
+        appending to existing contents); returns the new cardinality."""
+        ty = self.collection_type(name)
+        existing: List[Any] = []
+        if self.pool.exists(f"{name}.__extent__"):
+            existing = reconstruct_collection(self.pool, name, ty)
+        combined = existing + list(values)
+        load_collection(self.pool, name, ty, combined)
+        return len(combined)
+
+    def replace(self, name: str, values: Sequence[Any]) -> int:
+        """Replace the contents of collection *name* entirely."""
+        ty = self.collection_type(name)
+        load_collection(self.pool, name, ty, list(values))
+        return len(values)
+
+    def delete(self, name: str, predicate: str) -> int:
+        """Delete the elements of *name* satisfying a Moa *predicate*
+        (written against ``THIS``); returns how many were removed.
+
+        Implemented the Moa way: the survivors are computed with a
+        compiled ``select[not(...)]`` and the collection reloaded --
+        bulk-oriented like every update path in this system.
+        """
+        before = self.count(name)
+        survivors = self.query(f"select[not ({predicate})]({name});").value
+        self.replace(name, survivors)
+        return before - len(survivors)
+
+    def count(self, name: str) -> int:
+        self.collection_type(name)
+        return collection_count(self.pool, name)
+
+    def contents(self, name: str) -> List[Any]:
+        """Reconstruct the collection as Python values."""
+        return reconstruct_collection(self.pool, name, self.collection_type(name))
+
+    def bat_names(self, name: str) -> List[str]:
+        """Physical BATs the collection occupies."""
+        return attribute_bat_names(name, self.collection_type(name))
+
+    # ------------------------------------------------------------------
+    # Statistics (the `stats` query parameter)
+    # ------------------------------------------------------------------
+    def stats(self, collection: str, attribute: str) -> CollectionStats:
+        """Collection statistics for a CONTREP attribute."""
+        self.collection_type(collection)
+        return CollectionStats.from_pool(self.pool, f"{collection}.{attribute}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> MoaExecutor:
+        return self._executor
+
+    def query(
+        self,
+        text: Union[str, moa_ast.Expr],
+        params: Optional[Dict[str, Any]] = None,
+        **modes,
+    ) -> QueryResult:
+        """Run a Moa query through the full compiled pipeline."""
+        return self._executor.execute(text, params, **modes)
+
+    def query_interpreted(
+        self,
+        text: Union[str, moa_ast.Expr],
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """Run a query with the tuple-at-a-time reference interpreter
+        over reconstructed data (slow; benchmarking/testing)."""
+        data = {name: self.contents(name) for name in self.schema
+                if self.pool.exists(f"{name}.__extent__")}
+        return self._executor.execute_interpreted(text, data, params)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> None:
+        """Persist pool + schema to *directory*."""
+        directory = Path(directory)
+        self.pool.save(directory)
+        (directory / "schema.ddl").write_text(self.ddl() + "\n")
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "MirrorDBMS":
+        """Restore a database saved with :meth:`save`."""
+        directory = Path(directory)
+        db = cls(BATBufferPool.load(directory))
+        ddl_path = directory / "schema.ddl"
+        if ddl_path.exists():
+            db.define(ddl_path.read_text())
+        return db

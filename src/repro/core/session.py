@@ -1,0 +1,94 @@
+"""The interactive retrieval loop of the demo (section 5.2).
+
+"Querying the digital image library now takes place as follows.  First,
+the user enters an initial (usually textual) query.  Next, we use the
+thesaurus to select clusters from the image content representations
+that are relevant to this initial query. ...  The results of this query
+are shown to the user.  The user may provide relevance feedback for
+these images; this relevance feedback is used to improve the current
+query."
+
+:class:`RetrievalSession` drives exactly that loop programmatically and
+records per-round history (the E9 benchmark replays sessions against
+ground truth to measure precision improvements)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.feedback import RelevanceFeedback
+from repro.core.library import DigitalLibrary, RetrievalResult
+
+
+@dataclass
+class SessionRound:
+    """One query/feedback iteration."""
+
+    query: List[str]
+    results: List[RetrievalResult]
+    relevant: List[str] = field(default_factory=list)
+    nonrelevant: List[str] = field(default_factory=list)
+
+
+class RetrievalSession:
+    """Stateful query -> results -> feedback -> requery loop."""
+
+    def __init__(
+        self,
+        library: DigitalLibrary,
+        *,
+        k: int = 10,
+        per_word: int = 3,
+        adapt_thesaurus: bool = True,
+    ):
+        self.library = library
+        self.k = k
+        self.per_word = per_word
+        self.adapt_thesaurus = adapt_thesaurus
+        self.feedback = RelevanceFeedback(library)
+        self.text_query: Optional[str] = None
+        self.current_query: List[str] = []
+        self.rounds: List[SessionRound] = []
+
+    # ------------------------------------------------------------------
+    def start(self, text: str) -> List[RetrievalResult]:
+        """Initial textual query: formulate clusters and rank."""
+        self.text_query = text
+        self.current_query = self.library.formulate(text, self.per_word)
+        results = self.library.query_clusters(self.current_query, self.k)
+        self.rounds = [SessionRound(query=list(self.current_query), results=results)]
+        return results
+
+    def give_feedback(
+        self,
+        relevant: Sequence[str],
+        nonrelevant: Sequence[str] = (),
+    ) -> List[RetrievalResult]:
+        """Apply relevance judgments, improve the query, re-rank."""
+        if not self.rounds:
+            raise RuntimeError("start() a session first")
+        current = self.rounds[-1]
+        current.relevant = list(relevant)
+        current.nonrelevant = list(nonrelevant)
+        update = self.feedback.update_query(
+            self.current_query, relevant, nonrelevant
+        )
+        self.current_query = update.query
+        if self.adapt_thesaurus and self.text_query:
+            self.feedback.adapt_thesaurus(self.text_query, relevant, nonrelevant)
+        results = self.library.query_clusters(self.current_query, self.k)
+        self.rounds.append(
+            SessionRound(query=list(self.current_query), results=results)
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    def precision_at(self, k: int, target_class: str, round_index: int = -1) -> float:
+        """Fraction of the top-*k* of a round that belongs to
+        *target_class* (ground-truth evaluation on synthetic scenes)."""
+        results = self.rounds[round_index].results[:k]
+        if not results:
+            return 0.0
+        hits = sum(1 for r in results if r.true_class == target_class)
+        return hits / len(results)

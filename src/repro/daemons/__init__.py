@@ -1,0 +1,44 @@
+"""The open distributed architecture of Figure 1.
+
+"We use an open distributed architecture instead of a monolithic
+database system. ...  The notion of a 'daemon' abstracts from the
+various techniques for meta data extraction and query formulation.
+Using CORBA, we allow distribution of operations, establishing
+independence between the management of meta data and the parties that
+create these meta data."  (Mirror paper, section 4.)
+
+Offline we cannot run a real ORB; :mod:`repro.daemons.orb` simulates
+one faithfully enough to preserve the property under study --
+*location-transparent invocation through marshalled boundaries*:
+arguments and results are deep-copied across every call (no shared
+mutable state between daemon and caller) and every hop is accounted.
+
+* :mod:`repro.daemons.orb` -- object registry, naming service, proxies;
+* :mod:`repro.daemons.daemon` -- the daemon abstraction + the concrete
+  extraction daemons of section 5.1;
+* :mod:`repro.daemons.dictionary` -- the (distributed) data dictionary;
+* :mod:`repro.daemons.mediaserver` -- the media (web) server.
+"""
+
+from repro.daemons.daemon import (
+    ClusteringDaemon,
+    Daemon,
+    FeatureDaemon,
+    SegmentationDaemon,
+    ThesaurusDaemon,
+)
+from repro.daemons.dictionary import DataDictionary
+from repro.daemons.mediaserver import MediaServer
+from repro.daemons.orb import Orb, RemoteProxy
+
+__all__ = [
+    "Orb",
+    "RemoteProxy",
+    "Daemon",
+    "SegmentationDaemon",
+    "FeatureDaemon",
+    "ClusteringDaemon",
+    "ThesaurusDaemon",
+    "DataDictionary",
+    "MediaServer",
+]

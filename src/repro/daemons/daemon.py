@@ -1,0 +1,216 @@
+"""The daemon abstraction and the concrete daemons of section 5.1.
+
+"The notion of a 'daemon' abstracts from the various techniques for
+meta data extraction and query formulation."  Every daemon:
+
+* registers itself with the ORB under a logical name;
+* announces itself to the data dictionary (name, kind, what it
+  produces);
+* exposes ``process``-style methods the library orchestrator invokes
+  *through the ORB proxy* -- a daemon never touches the metadata
+  database directly.
+
+Concrete daemons (matching section 5.1's inventory):
+
+* :class:`SegmentationDaemon` -- segments images fetched from the
+  media server;
+* :class:`FeatureDaemon` -- one per feature extractor; the demo runs
+  two colour and four texture instances;
+* :class:`ClusteringDaemon` -- wraps AutoClass over a feature space;
+* :class:`ThesaurusDaemon` -- builds the association thesaurus and
+  serves query formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clustering.autoclass import AutoClass
+from repro.clustering.kmeans import KMeans
+from repro.daemons.dictionary import DaemonRegistration, DataDictionary
+from repro.daemons.mediaserver import MediaServer
+from repro.daemons.orb import Orb, RemoteProxy
+from repro.multimedia.features import FEATURE_EXTRACTORS
+from repro.multimedia.image import Image
+from repro.multimedia.segmentation import grid_segment, region_merge_segment
+from repro.thesaurus.assoc import AssociationThesaurus
+from repro.thesaurus.cooccurrence import CooccurrenceCounts
+
+
+class Daemon:
+    """Base daemon: ORB + dictionary registration."""
+
+    kind = "generic"
+    produces = "nothing"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.processed = 0
+
+    def attach(
+        self, orb: Orb, dictionary: Optional[DataDictionary] = None
+    ) -> RemoteProxy:
+        """Register with the federation; returns the ORB proxy."""
+        proxy = orb.register(self.name, self)
+        if dictionary is not None:
+            dictionary.register_daemon(
+                DaemonRegistration(
+                    name=self.name,
+                    kind=self.kind,
+                    produces=self.produces,
+                    orb_name=self.name,
+                )
+            )
+        return proxy
+
+    def status(self) -> Dict[str, object]:
+        """Health/status info (remotely callable)."""
+        return {"name": self.name, "kind": self.kind, "processed": self.processed}
+
+
+class SegmentationDaemon(Daemon):
+    """Fetches an image from the media server and segments it."""
+
+    kind = "segmentation"
+    produces = "image segments (bounding boxes + pixel blocks)"
+
+    def __init__(
+        self,
+        name: str = "segmenter",
+        media: Optional[MediaServer] = None,
+        *,
+        method: str = "grid",
+        rows: int = 2,
+        cols: int = 2,
+    ):
+        super().__init__(name)
+        if method not in ("grid", "region"):
+            raise ValueError("segmentation method must be 'grid' or 'region'")
+        self.media = media
+        self.method = method
+        self.rows = rows
+        self.cols = cols
+
+    def segment_url(self, url: str) -> List[Tuple[int, int, int, int]]:
+        """Segment the image stored at *url*; returns bounding boxes
+        (pixel payloads stay on this side -- only metadata crosses the
+        wire, the Mirror separation)."""
+        if self.media is None:
+            raise RuntimeError(f"daemon {self.name} has no media server")
+        image = self.media.get_image(url)
+        return [s.bbox for s in self.segment(image)]
+
+    def segment(self, image: Image):
+        self.processed += 1
+        if self.method == "grid":
+            return grid_segment(image, self.rows, self.cols)
+        return region_merge_segment(image)
+
+
+class FeatureDaemon(Daemon):
+    """One feature-extraction daemon (colour histogram, Gabor, ...)."""
+
+    kind = "feature"
+
+    def __init__(
+        self,
+        extractor_name: str,
+        media: Optional[MediaServer] = None,
+        name: Optional[str] = None,
+    ):
+        if extractor_name not in FEATURE_EXTRACTORS:
+            raise KeyError(
+                f"unknown extractor {extractor_name!r}; "
+                f"known: {sorted(FEATURE_EXTRACTORS)}"
+            )
+        super().__init__(name or f"feature-{extractor_name}")
+        self.extractor_name = extractor_name
+        self.extractor = FEATURE_EXTRACTORS[extractor_name]
+        self.produces = f"{extractor_name} feature vectors"
+        self.media = media
+
+    def extract(self, image: Image) -> np.ndarray:
+        self.processed += 1
+        return self.extractor(image)
+
+    def extract_segments(self, image: Image, bboxes: Sequence[Tuple[int, int, int, int]]) -> np.ndarray:
+        """Feature matrix (n_segments, d) for the given regions."""
+        self.processed += 1
+        rows = [
+            self.extractor(image.crop(top, left, bottom, right))
+            for top, left, bottom, right in bboxes
+        ]
+        return np.stack(rows) if rows else np.zeros((0, 1))
+
+    def extract_url(self, url: str, bboxes: Sequence[Tuple[int, int, int, int]]) -> np.ndarray:
+        if self.media is None:
+            raise RuntimeError(f"daemon {self.name} has no media server")
+        return self.extract_segments(self.media.get_image(url), bboxes)
+
+
+class ClusteringDaemon(Daemon):
+    """Clusters one feature space with AutoClass (or k-means)."""
+
+    kind = "clustering"
+    produces = "cluster models over feature spaces"
+
+    def __init__(
+        self,
+        name: str = "autoclass",
+        *,
+        algorithm: str = "autoclass",
+        min_classes: int = 2,
+        max_classes: int = 10,
+        seed: int = 0,
+    ):
+        super().__init__(name)
+        if algorithm not in ("autoclass", "kmeans"):
+            raise ValueError("algorithm must be 'autoclass' or 'kmeans'")
+        self.algorithm = algorithm
+        self.min_classes = min_classes
+        self.max_classes = max_classes
+        self.seed = seed
+
+    def cluster(self, data: np.ndarray):
+        """Fit and return a model exposing ``predict``/``n_classes``."""
+        self.processed += 1
+        data = np.asarray(data, dtype=np.float64)
+        if self.algorithm == "autoclass":
+            return AutoClass(
+                self.min_classes, self.max_classes, seed=self.seed
+            ).fit(data)
+        return KMeans(self.max_classes, seed=self.seed).fit(data)
+
+
+class ThesaurusDaemon(Daemon):
+    """Builds the association thesaurus; serves query formulation."""
+
+    kind = "thesaurus"
+    produces = "word <-> cluster associations (dual coding)"
+
+    def __init__(self, name: str = "thesaurus"):
+        super().__init__(name)
+        self.thesaurus: Optional[AssociationThesaurus] = None
+
+    def build(
+        self, documents: Sequence[Tuple[Sequence[str], Sequence[str]]]
+    ) -> int:
+        """Build from (text-terms, cluster-terms) document pairs;
+        returns the number of associations recorded."""
+        self.processed += 1
+        counts = CooccurrenceCounts.from_documents(documents)
+        self.thesaurus = AssociationThesaurus(counts)
+        return len(counts.joint)
+
+    def formulate(self, words: Sequence[str], per_word: int = 3) -> List[str]:
+        """Query formulation: text words -> visual-cluster terms."""
+        if self.thesaurus is None:
+            raise RuntimeError("thesaurus not built yet")
+        return self.thesaurus.expand(list(words), per_word=per_word)
+
+    def reinforce(self, word: str, cluster: str, factor: float) -> None:
+        if self.thesaurus is None:
+            raise RuntimeError("thesaurus not built yet")
+        self.thesaurus.reinforce(word, cluster, factor)

@@ -1,0 +1,90 @@
+"""The (distributed) data dictionary of Figure 1.
+
+Tracks what exists in the federation: collection schemas (as Moa DDL),
+which daemons are registered and what they produce, and which BATs a
+collection occupies in the metadata database.  Daemons consult the
+dictionary to discover work ("establishing independence between the
+management of meta data and the parties that create these meta data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.moa.ddl import parse_define, render_define
+from repro.moa.types import MoaType
+
+
+class DictionaryError(Exception):
+    """Unknown schema / daemon, or conflicting registration."""
+
+
+@dataclass
+class DaemonRegistration:
+    """What the dictionary knows about one daemon."""
+
+    name: str
+    kind: str  # "segmentation" | "feature" | "clustering" | "thesaurus" | ...
+    produces: str  # description of the representation it creates
+    orb_name: str  # name bound in the ORB
+
+
+class DataDictionary:
+    """Schema + daemon registry for the digital library federation."""
+
+    def __init__(self):
+        self._schemas: Dict[str, MoaType] = {}
+        self._daemons: Dict[str, DaemonRegistration] = {}
+
+    # ------------------------------------------------------------------
+    # Schemas
+    # ------------------------------------------------------------------
+    def define(self, ddl: str) -> str:
+        """Record a ``define Name as ...;`` statement; returns the name."""
+        name, ty = parse_define(ddl)
+        self._schemas[name] = ty
+        return name
+
+    def define_type(self, name: str, ty: MoaType) -> None:
+        self._schemas[name] = ty
+
+    def schema(self, name: str) -> MoaType:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise DictionaryError(f"no schema for collection {name!r}") from None
+
+    def has_schema(self, name: str) -> bool:
+        return name in self._schemas
+
+    def schemas(self) -> Dict[str, MoaType]:
+        return dict(self._schemas)
+
+    def ddl(self) -> str:
+        """All schemas rendered back to DDL text."""
+        return "\n".join(
+            render_define(name, ty) for name, ty in sorted(self._schemas.items())
+        )
+
+    # ------------------------------------------------------------------
+    # Daemons
+    # ------------------------------------------------------------------
+    def register_daemon(self, registration: DaemonRegistration) -> None:
+        if registration.name in self._daemons:
+            raise DictionaryError(
+                f"daemon {registration.name!r} already registered"
+            )
+        self._daemons[registration.name] = registration
+
+    def daemon(self, name: str) -> DaemonRegistration:
+        try:
+            return self._daemons[name]
+        except KeyError:
+            raise DictionaryError(f"no daemon named {name!r}") from None
+
+    def daemons(self, kind: Optional[str] = None) -> List[DaemonRegistration]:
+        out = sorted(self._daemons.values(), key=lambda d: d.name)
+        if kind is not None:
+            out = [d for d in out if d.kind == kind]
+        return out

@@ -1,0 +1,60 @@
+"""The media server ("the media server is a web server").
+
+Stores raw media bytes by URL.  The web robot PUTs crawled images; the
+segmentation and feature daemons GET them by URL -- media never travels
+through the metadata database, which only holds content
+*representations* (the Mirror separation of media and metadata).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.multimedia.image import Image
+
+
+class MediaNotFound(KeyError):
+    """GET for an unknown URL."""
+
+
+class MediaServer:
+    """An in-memory URL -> bytes store with image convenience wrappers."""
+
+    def __init__(self):
+        self._store: Dict[str, bytes] = {}
+        self.get_count = 0
+        self.put_count = 0
+
+    # ------------------------------------------------------------------
+    def put(self, url: str, data: bytes) -> None:
+        """Store *data* under *url* (overwrites, like an HTTP PUT)."""
+        if not url:
+            raise ValueError("URL must be non-empty")
+        self._store[url] = bytes(data)
+        self.put_count += 1
+
+    def get(self, url: str) -> bytes:
+        """Fetch the bytes stored under *url*."""
+        self.get_count += 1
+        try:
+            return self._store[url]
+        except KeyError:
+            raise MediaNotFound(url) from None
+
+    def exists(self, url: str) -> bool:
+        return url in self._store
+
+    def urls(self) -> List[str]:
+        return sorted(self._store)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # ------------------------------------------------------------------
+    def put_image(self, url: str, image: Image) -> None:
+        """Store an image as PPM bytes."""
+        self.put(url, image.to_ppm())
+
+    def get_image(self, url: str) -> Image:
+        """Fetch and decode an image stored with :meth:`put_image`."""
+        return Image.from_ppm(self.get(url))

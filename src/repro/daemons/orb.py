@@ -1,0 +1,146 @@
+"""A CORBA-like Object Request Broker, simulated in-process.
+
+What the simulation preserves (and what the Figure-1 experiment
+measures):
+
+* **naming service** -- daemons register under logical names; clients
+  resolve names to proxies and never hold direct references;
+* **marshalling boundary** -- every argument and result crosses the
+  "wire" as a deep copy, so no accidental shared mutable state can leak
+  between parties (this is what makes the daemons genuinely
+  independent, the paper's architectural point);
+* **accounting** -- calls and marshalled byte volume are counted per
+  object, giving the E1 benchmark its traffic numbers.
+
+What it does not do: real sockets, IDL, or concurrency -- none of which
+the paper evaluates.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class OrbError(Exception):
+    """Name resolution or invocation failure."""
+
+
+@dataclass
+class CallRecord:
+    """One logged remote invocation."""
+
+    object_name: str
+    method: str
+    request_bytes: int
+    reply_bytes: int
+
+
+class Orb:
+    """The broker: registry + naming + invocation with accounting."""
+
+    def __init__(self):
+        self._objects: Dict[str, Any] = {}
+        self.calls: List[CallRecord] = []
+
+    # ------------------------------------------------------------------
+    # Naming service
+    # ------------------------------------------------------------------
+    def register(self, name: str, obj: Any) -> "RemoteProxy":
+        """Bind *obj* under *name*; returns the proxy clients should use."""
+        if not name:
+            raise OrbError("object name must be non-empty")
+        if name in self._objects:
+            raise OrbError(f"name {name!r} already bound")
+        self._objects[name] = obj
+        return RemoteProxy(self, name)
+
+    def unregister(self, name: str) -> None:
+        if name not in self._objects:
+            raise OrbError(f"name {name!r} not bound")
+        del self._objects[name]
+
+    def resolve(self, name: str) -> "RemoteProxy":
+        """Name -> proxy (CORBA ``resolve_initial_references`` analogue)."""
+        if name not in self._objects:
+            raise OrbError(
+                f"cannot resolve {name!r}; bound names: {sorted(self._objects)}"
+            )
+        return RemoteProxy(self, name)
+
+    def names(self) -> List[str]:
+        return sorted(self._objects)
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+    def invoke(self, name: str, method: str, args: tuple, kwargs: dict) -> Any:
+        """Marshal, dispatch, marshal back."""
+        try:
+            target = self._objects[name]
+        except KeyError:
+            raise OrbError(f"object {name!r} vanished") from None
+        bound = getattr(target, method, None)
+        if bound is None or not callable(bound):
+            raise OrbError(f"{name!r} has no method {method!r}")
+        marshalled_args, request_bytes = _marshal((args, kwargs))
+        m_args, m_kwargs = marshalled_args
+        result = bound(*m_args, **m_kwargs)
+        marshalled_result, reply_bytes = _marshal(result)
+        self.calls.append(CallRecord(name, method, request_bytes, reply_bytes))
+        return marshalled_result
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def call_count(self, name: Optional[str] = None) -> int:
+        if name is None:
+            return len(self.calls)
+        return sum(1 for c in self.calls if c.object_name == name)
+
+    def traffic_bytes(self) -> int:
+        return sum(c.request_bytes + c.reply_bytes for c in self.calls)
+
+    def reset_accounting(self) -> None:
+        self.calls.clear()
+
+
+class RemoteProxy:
+    """Client-side stub: attribute access returns remote-invoking
+    callables (a dynamic-invocation-interface CORBA stub)."""
+
+    __slots__ = ("_orb", "_name")
+
+    def __init__(self, orb: Orb, name: str):
+        self._orb = orb
+        self._name = name
+
+    @property
+    def object_name(self) -> str:
+        return self._name
+
+    def __getattr__(self, method: str) -> Callable[..., Any]:
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def invoke(*args, **kwargs):
+            return self._orb.invoke(self._name, method, args, kwargs)
+
+        invoke.__name__ = method
+        return invoke
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteProxy({self._name!r})"
+
+
+def _marshal(value: Any):
+    """Deep-copy *value* across the simulated wire and measure its
+    pickled size (the traffic accounting unit).  Falls back to deepcopy
+    sizing when a value is not picklable."""
+    try:
+        data = pickle.dumps(value)
+        return pickle.loads(data), len(data)
+    except Exception:
+        return copy.deepcopy(value), 0

@@ -1,0 +1,137 @@
+"""Retrieval-effectiveness metrics for the reproduction's experiments.
+
+The Mirror paper demonstrates retrieval quality interactively; our
+synthetic scenes carry ground truth, so quality becomes measurable.
+These are the standard TREC-era metrics the InQuery line of work
+reported, used by bench E9 and the session tooling:
+
+* :func:`precision_at`  -- P@k
+* :func:`recall_at`     -- R@k
+* :func:`average_precision` -- AP (area under the P/R curve)
+* :func:`mean_average_precision` -- MAP over query sets
+* :func:`reciprocal_rank` / :func:`mean_reciprocal_rank`
+
+All functions take a *ranked list of item ids* (best first) and a set
+of relevant ids; none of them look inside the items.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+
+def _relevant_set(relevant: Iterable) -> Set:
+    out = set(relevant)
+    return out
+
+
+def precision_at(ranked: Sequence, relevant: Iterable, k: int) -> float:
+    """Fraction of the top-*k* that is relevant (0.0 for k <= 0)."""
+    if k <= 0:
+        return 0.0
+    rel = _relevant_set(relevant)
+    top = list(ranked)[:k]
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in rel) / len(top)
+
+
+def recall_at(ranked: Sequence, relevant: Iterable, k: int) -> float:
+    """Fraction of all relevant items found in the top-*k*."""
+    rel = _relevant_set(relevant)
+    if not rel:
+        return 0.0
+    top = list(ranked)[: max(k, 0)]
+    return sum(1 for item in top if item in rel) / len(rel)
+
+
+def average_precision(ranked: Sequence, relevant: Iterable) -> float:
+    """AP: mean of precision values at each relevant rank; relevant
+    items never retrieved contribute zero (standard TREC convention)."""
+    rel = _relevant_set(relevant)
+    if not rel:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for position, item in enumerate(ranked, start=1):
+        if item in rel:
+            hits += 1
+            total += hits / position
+    return total / len(rel)
+
+
+def mean_average_precision(
+    runs: Sequence[Sequence], relevants: Sequence[Iterable]
+) -> float:
+    """MAP over a query set: mean AP of (ranked list, relevant set)
+    pairs; raises on mismatched lengths."""
+    if len(runs) != len(relevants):
+        raise ValueError("one relevant set per ranked list required")
+    if not runs:
+        return 0.0
+    return sum(
+        average_precision(run, rel) for run, rel in zip(runs, relevants)
+    ) / len(runs)
+
+
+def reciprocal_rank(ranked: Sequence, relevant: Iterable) -> float:
+    """1/rank of the first relevant item (0.0 when none retrieved)."""
+    rel = _relevant_set(relevant)
+    for position, item in enumerate(ranked, start=1):
+        if item in rel:
+            return 1.0 / position
+    return 0.0
+
+
+def mean_reciprocal_rank(
+    runs: Sequence[Sequence], relevants: Sequence[Iterable]
+) -> float:
+    """MRR over a query set."""
+    if len(runs) != len(relevants):
+        raise ValueError("one relevant set per ranked list required")
+    if not runs:
+        return 0.0
+    return sum(
+        reciprocal_rank(run, rel) for run, rel in zip(runs, relevants)
+    ) / len(runs)
+
+
+def interpolated_precision_curve(
+    ranked: Sequence, relevant: Iterable, points: int = 11
+) -> List[float]:
+    """The classic 11-point interpolated precision/recall curve
+    (precision at recall 0.0, 0.1, ..., 1.0 by default)."""
+    rel = _relevant_set(relevant)
+    if not rel or points < 2:
+        return [0.0] * max(points, 0)
+    precisions: List[float] = []
+    recalls: List[float] = []
+    hits = 0
+    for position, item in enumerate(ranked, start=1):
+        if item in rel:
+            hits += 1
+        precisions.append(hits / position)
+        recalls.append(hits / len(rel))
+    curve = []
+    for step in range(points):
+        level = step / (points - 1)
+        eligible = [
+            p for p, r in zip(precisions, recalls) if r >= level - 1e-12
+        ]
+        curve.append(max(eligible) if eligible else 0.0)
+    return curve
+
+
+def session_precision_table(
+    session, target_class: str, ks: Sequence[int] = (2, 4, 8)
+) -> Dict[int, List[float]]:
+    """P@k per feedback round of a
+    :class:`repro.core.session.RetrievalSession`: {k: [round0, ...]}."""
+    table: Dict[int, List[float]] = {k: [] for k in ks}
+    for round_index in range(len(session.rounds)):
+        results = session.rounds[round_index].results
+        ranked = [r.url for r in results]
+        relevant = [r.url for r in results if r.true_class == target_class]
+        for k in ks:
+            table[k].append(precision_at(ranked, relevant, k))
+    return table

@@ -1,0 +1,145 @@
+"""Inference network assembly and evaluation.
+
+A query inference network (Turtle & Croft) is a DAG: document nodes
+feed concept (term) nodes, which feed query operator nodes, ending in a
+single information-need node.  Evaluating the network for all documents
+at once yields a score vector -- the set-at-a-time evaluation that the
+Mirror DBMS performs inside the database.
+
+:class:`QueryNode` trees are built directly or parsed from InQuery
+``#``-syntax by :mod:`repro.ir.queries`; evaluation happens against an
+:class:`repro.ir.index.InvertedIndex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ir import operators
+from repro.ir.beliefs import BeliefParameters, DEFAULT_PARAMETERS
+from repro.ir.index import InvertedIndex
+
+
+@dataclass
+class QueryNode:
+    """A node in the query network.
+
+    ``kind`` is one of ``term``, ``sum``, ``wsum``, ``and``, ``or``,
+    ``not``, ``max``.  Term nodes carry the term text; operator nodes
+    carry children (and weights, for wsum).
+    """
+
+    kind: str
+    term: Optional[str] = None
+    children: List["QueryNode"] = field(default_factory=list)
+    weights: List[float] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.kind == "term":
+            if not self.term:
+                raise ValueError("term node needs a term")
+        elif self.kind == "not":
+            if len(self.children) != 1:
+                raise ValueError("#not takes exactly one child")
+        elif self.kind == "wsum":
+            if len(self.children) != len(self.weights) or not self.children:
+                raise ValueError("#wsum needs one weight per child")
+        elif self.kind in ("sum", "and", "or", "max"):
+            if not self.children:
+                raise ValueError(f"#{self.kind} needs at least one child")
+        else:
+            raise ValueError(f"unknown query node kind {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    def terms(self) -> List[str]:
+        """All term leaves, left to right (with duplicates)."""
+        if self.kind == "term":
+            return [self.term]  # type: ignore[list-item]
+        out: List[str] = []
+        for child in self.children:
+            out.extend(child.terms())
+        return out
+
+    def render(self) -> str:
+        """InQuery #-syntax rendering."""
+        if self.kind == "term":
+            return self.term  # type: ignore[return-value]
+        if self.kind == "wsum":
+            inner = " ".join(
+                f"{w:g} {c.render()}" for w, c in zip(self.weights, self.children)
+            )
+            return f"#wsum({inner})"
+        inner = " ".join(c.render() for c in self.children)
+        return f"#{self.kind}({inner})"
+
+
+def term(text: str) -> QueryNode:
+    return QueryNode("term", term=text)
+
+
+def sum_node(*children: QueryNode) -> QueryNode:
+    return QueryNode("sum", children=list(children))
+
+
+def wsum(pairs: Sequence[tuple]) -> QueryNode:
+    weights = [float(w) for w, _ in pairs]
+    children = [c for _, c in pairs]
+    return QueryNode("wsum", children=children, weights=weights)
+
+
+def and_node(*children: QueryNode) -> QueryNode:
+    return QueryNode("and", children=list(children))
+
+
+def or_node(*children: QueryNode) -> QueryNode:
+    return QueryNode("or", children=list(children))
+
+
+def not_node(child: QueryNode) -> QueryNode:
+    return QueryNode("not", children=[child])
+
+
+def max_node(*children: QueryNode) -> QueryNode:
+    return QueryNode("max", children=list(children))
+
+
+class InferenceNetwork:
+    """Evaluator binding a query network to a document collection."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        params: BeliefParameters = DEFAULT_PARAMETERS,
+    ):
+        self.index = index
+        self.params = params
+
+    def evaluate(self, node: QueryNode) -> np.ndarray:
+        """Score vector (one belief per document) for *node*."""
+        if node.kind == "term":
+            return self.index.term_beliefs(node.term, self.params)  # type: ignore[arg-type]
+        child_scores = [self.evaluate(child) for child in node.children]
+        if node.kind == "sum":
+            return operators.array_sum(child_scores)
+        if node.kind == "wsum":
+            return operators.array_wsum(child_scores, node.weights)
+        if node.kind == "and":
+            return operators.array_and(child_scores)
+        if node.kind == "or":
+            return operators.array_or(child_scores)
+        if node.kind == "not":
+            return operators.array_not(child_scores[0])
+        if node.kind == "max":
+            return operators.array_max(child_scores)
+        raise ValueError(f"unknown node kind {node.kind!r}")
+
+    def rank(self, node: QueryNode, k: Optional[int] = None) -> List[tuple]:
+        """Top-*k* (doc-id, score) pairs, best first; ties by doc id."""
+        scores = self.evaluate(node)
+        order = np.lexsort((np.arange(len(scores)), -scores))
+        if k is not None:
+            order = order[:k]
+        return [(int(i), float(scores[i])) for i in order]

@@ -1,0 +1,127 @@
+"""InQuery-style evidence combination operators.
+
+The inference network "allows flexible modeling of the combination of
+evidence originating from different sources" (Mirror paper, section 3).
+Evidence enters as beliefs in [0, 1]; query nodes combine them:
+
+=========  ==========================================================
+``#sum``   mean of the children's beliefs
+``#wsum``  weighted mean
+``#and``   product (probabilistic AND)
+``#or``    1 - prod(1 - b)  (noisy OR)
+``#not``   1 - b
+``#max``   maximum
+=========  ==========================================================
+
+Both scalar (reference) and vectorized (numpy, used by the network
+evaluator) versions are provided.  The paper's demo ranks with the
+plain sum of belief lists (``map[sum(THIS)]``); the full operator set
+supports the "combination of evidence" claims and the thesaurus-based
+query formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def combine_sum(beliefs: Sequence[float]) -> float:
+    """#sum: mean belief (InQuery's sum operator averages)."""
+    values = list(beliefs)
+    if not values:
+        return 0.0
+    return float(sum(values) / len(values))
+
+
+def combine_wsum(beliefs: Sequence[float], weights: Sequence[float]) -> float:
+    """#wsum: weighted mean belief."""
+    values = list(beliefs)
+    ws = list(weights)
+    if len(values) != len(ws):
+        raise ValueError("wsum needs one weight per belief")
+    total = sum(ws)
+    if total <= 0:
+        return 0.0
+    return float(sum(b * w for b, w in zip(values, ws)) / total)
+
+
+def combine_and(beliefs: Sequence[float]) -> float:
+    """#and: product of beliefs."""
+    out = 1.0
+    for b in beliefs:
+        out *= b
+    return float(out)
+
+
+def combine_or(beliefs: Sequence[float]) -> float:
+    """#or: noisy-OR."""
+    out = 1.0
+    for b in beliefs:
+        out *= 1.0 - b
+    return float(1.0 - out)
+
+
+def combine_not(belief: float) -> float:
+    """#not: complement."""
+    return float(1.0 - belief)
+
+
+def combine_max(beliefs: Sequence[float]) -> float:
+    """#max: strongest single evidence."""
+    values = list(beliefs)
+    return float(max(values)) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+# Vectorized versions: each operand is an array of per-document beliefs.
+# ----------------------------------------------------------------------
+
+
+def array_sum(operands: Sequence[np.ndarray]) -> np.ndarray:
+    ops = _stack(operands)
+    return ops.mean(axis=0)
+
+
+def array_wsum(operands: Sequence[np.ndarray], weights: Sequence[float]) -> np.ndarray:
+    ops = _stack(operands)
+    w = np.asarray(list(weights), dtype=np.float64)
+    if len(w) != ops.shape[0]:
+        raise ValueError("wsum needs one weight per operand")
+    total = w.sum()
+    if total <= 0:
+        return np.zeros(ops.shape[1])
+    return (ops * w[:, None]).sum(axis=0) / total
+
+
+def array_and(operands: Sequence[np.ndarray]) -> np.ndarray:
+    ops = _stack(operands)
+    return np.prod(ops, axis=0)
+
+
+def array_or(operands: Sequence[np.ndarray]) -> np.ndarray:
+    ops = _stack(operands)
+    return 1.0 - np.prod(1.0 - ops, axis=0)
+
+
+def array_not(operand: np.ndarray) -> np.ndarray:
+    return 1.0 - np.asarray(operand, dtype=np.float64)
+
+
+def array_max(operands: Sequence[np.ndarray]) -> np.ndarray:
+    ops = _stack(operands)
+    return ops.max(axis=0)
+
+
+def _stack(operands: Sequence[np.ndarray]) -> np.ndarray:
+    if not operands:
+        raise ValueError("operator needs at least one operand")
+    arrays = [np.asarray(op, dtype=np.float64) for op in operands]
+    length = len(arrays[0])
+    for arr in arrays[1:]:
+        if len(arr) != length:
+            raise ValueError("operand length mismatch")
+    return np.stack(arrays, axis=0)

@@ -1,0 +1,133 @@
+"""Parser for InQuery-style structured queries.
+
+Syntax::
+
+    query   := node+                       -- implicit #sum over several
+    node    := '#' IDENT '(' node+ ')'     -- operator node
+             | NUMBER node                 -- weighted child (inside #wsum)
+             | WORD                        -- term leaf
+
+Examples::
+
+    sunset beach                        -> #sum(sunset beach)
+    #and(red car)                       -> conjunction
+    #wsum(2 sunset 1 #or(sea ocean))    -> weighted sum
+
+Terms are analyzed (stopped/stemmed) with the CONTREP text pipeline so
+user queries match the indexed vocabulary.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.ir.network import QueryNode
+from repro.ir.tokenize import analyze
+
+_TOKEN_RE = re.compile(r"#[a-z]+|\(|\)|[^\s()#]+")
+
+_OPERATORS = {"#sum", "#wsum", "#and", "#or", "#not", "#max"}
+
+
+class QueryParseError(ValueError):
+    """Raised for malformed #-queries."""
+
+
+def _tokenize(text: str) -> List[str]:
+    return _TOKEN_RE.findall(text.strip())
+
+
+class _Parser:
+    def __init__(self, tokens: List[str], stemming: bool):
+        self.tokens = tokens
+        self.position = 0
+        self.stemming = stemming
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> str:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def parse_nodes(self, stop_at_paren: bool) -> List[QueryNode]:
+        nodes: List[QueryNode] = []
+        while True:
+            token = self.peek()
+            if token is None:
+                if stop_at_paren:
+                    raise QueryParseError("unbalanced parentheses")
+                return nodes
+            if token == ")":
+                if not stop_at_paren:
+                    raise QueryParseError("unexpected ')'")
+                return nodes
+            nodes.append(self.parse_node())
+
+    def parse_node(self) -> QueryNode:
+        token = self.advance()
+        if token in _OPERATORS:
+            if self.peek() != "(":
+                raise QueryParseError(f"{token} needs '('")
+            self.advance()
+            if token == "#wsum":
+                node = self._parse_wsum()
+            else:
+                children = self.parse_nodes(stop_at_paren=True)
+                if not children:
+                    raise QueryParseError(f"{token} needs children")
+                node = QueryNode(token[1:], children=children)
+            if self.peek() != ")":
+                raise QueryParseError("unbalanced parentheses")
+            self.advance()
+            return node
+        if token.startswith("#"):
+            raise QueryParseError(f"unknown operator {token}")
+        if token == "(":
+            raise QueryParseError("bare '(' without operator")
+        return self._term(token)
+
+    def _parse_wsum(self) -> QueryNode:
+        pairs: List[Tuple[float, QueryNode]] = []
+        while self.peek() not in (")", None):
+            weight_token = self.advance()
+            try:
+                weight = float(weight_token)
+            except ValueError:
+                raise QueryParseError(
+                    f"#wsum expects weight before child, got {weight_token!r}"
+                ) from None
+            if self.peek() in (")", None):
+                raise QueryParseError("#wsum weight without child")
+            pairs.append((weight, self.parse_node()))
+        if not pairs:
+            raise QueryParseError("#wsum needs children")
+        return QueryNode(
+            "wsum",
+            children=[c for _, c in pairs],
+            weights=[w for w, _ in pairs],
+        )
+
+    def _term(self, token: str) -> QueryNode:
+        analyzed = analyze(token, stemming=self.stemming)
+        text = analyzed[0] if analyzed else token.lower()
+        return QueryNode("term", term=text)
+
+
+def parse_structured_query(text: str, *, stemming: bool = True) -> QueryNode:
+    """Parse *text* into a query network; several top-level nodes are
+    wrapped in an implicit #sum."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryParseError("empty query")
+    parser = _Parser(tokens, stemming)
+    nodes = parser.parse_nodes(stop_at_paren=False)
+    if not nodes:
+        raise QueryParseError("empty query")
+    if len(nodes) == 1:
+        return nodes[0]
+    return QueryNode("sum", children=nodes)

@@ -1,0 +1,73 @@
+"""Tokenization and stopping for CONTREP text representations.
+
+``analyze`` is the full InQuery-style pipeline the CONTREP mapper uses:
+lowercase -> split on non-alphanumerics -> drop stopwords -> Porter
+stem.  Cluster labels produced by the multimedia pipeline (e.g.
+``gabor_21``, treated "as if they are words in text retrieval",
+section 5.2) pass through unchanged because they contain an underscore
+and digits -- the analyzer never mangles non-linguistic tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Set
+
+from repro.ir.porter import stem
+
+#: A compact version of the classic van Rijsbergen / SMART stop list;
+#: enough to keep the paper's example annotations clean.
+STOPWORDS: Set[str] = {
+    "a", "about", "above", "after", "again", "against", "all", "am", "an",
+    "and", "any", "are", "as", "at", "be", "because", "been", "before",
+    "being", "below", "between", "both", "but", "by", "can", "cannot",
+    "could", "did", "do", "does", "doing", "down", "during", "each", "few",
+    "for", "from", "further", "had", "has", "have", "having", "he", "her",
+    "here", "hers", "him", "his", "how", "i", "if", "in", "into", "is",
+    "it", "its", "itself", "just", "me", "more", "most", "my", "myself",
+    "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or",
+    "other", "our", "ours", "out", "over", "own", "same", "she", "should",
+    "so", "some", "such", "than", "that", "the", "their", "theirs", "them",
+    "then", "there", "these", "they", "this", "those", "through", "to",
+    "too", "under", "until", "up", "very", "was", "we", "were", "what",
+    "when", "where", "which", "while", "who", "whom", "why", "will",
+    "with", "would", "you", "your", "yours",
+}
+
+_TOKEN_RE = re.compile(r"[a-z0-9_]+")
+_LINGUISTIC_RE = re.compile(r"^[a-z]+$")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase and split *text* into raw tokens (no stopping/stemming)."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def analyze(
+    text: str,
+    *,
+    stopwords: Optional[Set[str]] = None,
+    stemming: bool = True,
+) -> List[str]:
+    """Full analysis pipeline: tokenize, stop, stem.
+
+    Tokens that are not purely alphabetic (cluster labels like
+    ``rgb_3``, numbers) are passed through verbatim -- they are already
+    canonical "words" of the multimedia vocabulary.
+    """
+    stops = STOPWORDS if stopwords is None else stopwords
+    out: List[str] = []
+    for token in tokenize(text):
+        if token in stops:
+            continue
+        if stemming and _LINGUISTIC_RE.match(token):
+            token = stem(token)
+            if token in stops:
+                continue
+        out.append(token)
+    return out
+
+
+def analyze_terms(tokens: List[str], *, stemming: bool = True) -> List[str]:
+    """Analyze an already-tokenized list (used for query terms)."""
+    return analyze(" ".join(tokens), stemming=stemming)

@@ -1,0 +1,70 @@
+"""Moa: the structurally object-oriented logical algebra of the Mirror DBMS.
+
+Moa ([BWK98], Mirror paper section 2) gives the Mirror DBMS its logical
+data model: *structures* (``TUPLE``, ``SET``, and extensions such as
+``LIST`` and the IR-specific ``CONTREP``) compose complex object types
+out of ``Atomic`` base types inherited from the physical layer.  Moa
+queries (``map``, ``select``, ``join``, aggregates, structure-specific
+operations like ``getBL``) are *flattened* into MIL programs over BATs
+and executed set-at-a-time by the Monet substitute.
+
+Pipeline::
+
+    DDL text ----ddl.parse_define----> MoaType (schema)
+    query text --parser.parse_query--> logical AST
+    AST ---------typecheck-----------> typed AST
+    typed AST ---optimizer-----------> rewritten AST
+    AST ---------compiler------------> MIL program + result shape
+    MIL ---------monet.mil-----------> BATs
+    BATs --------executor------------> Python values
+
+The package also contains a *reference interpreter*
+(:mod:`repro.moa.interpreter`) that evaluates the same logical AST
+tuple-at-a-time over plain Python objects.  It defines the semantics the
+compiler must match (differential tests in ``tests/moa``) and serves as
+the baseline of benchmark E4 (flattening vs. interpretation, the
+[BWK98] claim).
+"""
+
+from repro.moa.ddl import parse_define, parse_schema
+from repro.moa.errors import (
+    MoaCompileError,
+    MoaError,
+    MoaParseError,
+    MoaTypeError,
+)
+from repro.moa.executor import MoaExecutor
+from repro.moa.parser import parse_query
+from repro.moa.types import (
+    AtomicType,
+    ListType,
+    MoaType,
+    SetType,
+    StatsType,
+    TupleType,
+    register_structure,
+    structure_names,
+)
+
+# Importing the structures package registers the extension structures
+# (CONTREP and its getBL operator) with the registries above.
+import repro.moa.structures  # noqa: E402,F401  (registration side effect)
+
+__all__ = [
+    "parse_define",
+    "parse_schema",
+    "parse_query",
+    "MoaExecutor",
+    "MoaType",
+    "AtomicType",
+    "TupleType",
+    "SetType",
+    "ListType",
+    "StatsType",
+    "register_structure",
+    "structure_names",
+    "MoaError",
+    "MoaParseError",
+    "MoaTypeError",
+    "MoaCompileError",
+]

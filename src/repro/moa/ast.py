@@ -1,0 +1,225 @@
+"""Logical query AST for Moa expressions.
+
+The surface syntax follows the paper::
+
+    map[sum(THIS)]( map[getBL(THIS.annotation, query, stats)]( Lib ));
+
+``map``/``select``/``semijoin``/``join``/``unnest`` are *structure
+operations* written ``op[body](operands)``; plain ``name(args)`` calls
+are scalar/aggregate/extension functions; ``THIS`` denotes the element
+bound by the closest enclosing structure operation (``THIS1``/``THIS2``
+for the two sides of a join).
+
+Every node gets a ``ty`` slot filled in by the type checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.moa.types import MoaType
+
+
+@dataclass
+class Expr:
+    """Base class; ``ty`` is assigned by :mod:`repro.moa.typecheck`."""
+
+    ty: Optional[MoaType] = field(default=None, init=False, compare=False)
+    line: int = field(default=0, kw_only=True, compare=False)
+
+
+@dataclass
+class CollectionRef(Expr):
+    """A named top-level collection from the schema."""
+
+    name: str = ""
+
+
+@dataclass
+class VarRef(Expr):
+    """A query parameter bound at execution time (``query``, ``stats``)."""
+
+    name: str = ""
+
+
+@dataclass
+class This(Expr):
+    """The element bound by the nearest enclosing map/select; ``index``
+    0 means plain THIS, 1/2 are THIS1/THIS2 inside join bodies."""
+
+    index: int = 0
+
+
+@dataclass
+class AttrAccess(Expr):
+    """``base.attr`` -- tuple field access."""
+
+    base: Expr = None
+    attr: str = ""
+
+
+@dataclass
+class Literal(Expr):
+    """Atomic literal (int, dbl, str, bit)."""
+
+    value: Any = None
+    atom: str = "int"
+
+
+@dataclass
+class Map(Expr):
+    """``map[body](over)``: apply *body* to each element of *over*."""
+
+    body: Expr = None
+    over: Expr = None
+
+
+@dataclass
+class Select(Expr):
+    """``select[pred](over)``: keep elements satisfying *pred*."""
+
+    pred: Expr = None
+    over: Expr = None
+
+
+@dataclass
+class Join(Expr):
+    """``join[pred](left, right)``: pairs (THIS1 from left, THIS2 from
+    right) satisfying *pred*; result elements are concatenated tuples."""
+
+    pred: Expr = None
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Semijoin(Expr):
+    """``semijoin[pred](left, right)``: elements of left for which some
+    right element satisfies *pred*."""
+
+    pred: Expr = None
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Unnest(Expr):
+    """``unnest[attr](over)``: flatten one set-valued tuple attribute;
+    each (parent, child) pair becomes a tuple merging parent fields with
+    the child element (child fields win name clashes)."""
+
+    attr: str = ""
+    over: Expr = None
+
+
+@dataclass
+class Nest(Expr):
+    """``nest[key](over)``: inverse of unnest -- group tuples by the
+    *key* attribute, collecting the remaining fields into a set-valued
+    attribute named ``group``."""
+
+    key: str = ""
+    over: Expr = None
+
+
+@dataclass
+class TupleCons(Expr):
+    """``tuple(a = e1, b = e2, ...)`` -- build a tuple value in a map
+    body (used by the integration queries that carry source + score)."""
+
+    fields: List[Tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class FuncCall(Expr):
+    """Scalar function, aggregate, or structure-extension operation.
+
+    The name is looked up in the function registry at type-check time;
+    extension structures (CONTREP) register their operations (getBL)
+    there, which is how "new structures in Moa, supported by new
+    probabilistic operators at the physical level" (section 3) plug in.
+    """
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class BinOp(Expr):
+    """Scalar infix operator in predicates and arithmetic bodies."""
+
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+def walk(node: Expr):
+    """Yield *node* and all descendants (pre-order)."""
+    yield node
+    for child in children(node):
+        yield from walk(child)
+
+
+def children(node: Expr) -> List[Expr]:
+    """Direct child expressions of *node*."""
+    if isinstance(node, (CollectionRef, VarRef, This, Literal)):
+        return []
+    if isinstance(node, AttrAccess):
+        return [node.base]
+    if isinstance(node, Map):
+        return [node.body, node.over]
+    if isinstance(node, Select):
+        return [node.pred, node.over]
+    if isinstance(node, (Join, Semijoin)):
+        return [node.pred, node.left, node.right]
+    if isinstance(node, (Unnest, Nest)):
+        return [node.over]
+    if isinstance(node, TupleCons):
+        return [expr for _, expr in node.fields]
+    if isinstance(node, FuncCall):
+        return list(node.args)
+    if isinstance(node, BinOp):
+        return [node.left, node.right]
+    raise TypeError(f"unknown AST node {type(node).__name__}")
+
+
+def render(node: Expr) -> str:
+    """Render an AST back to Moa surface syntax."""
+    if isinstance(node, CollectionRef):
+        return node.name
+    if isinstance(node, VarRef):
+        return node.name
+    if isinstance(node, This):
+        return "THIS" if node.index == 0 else f"THIS{node.index}"
+    if isinstance(node, AttrAccess):
+        return f"{render(node.base)}.{node.attr}"
+    if isinstance(node, Literal):
+        if node.atom == "str":
+            return repr(node.value)
+        if node.atom == "bit":
+            return "true" if node.value else "false"
+        return repr(node.value)
+    if isinstance(node, Map):
+        return f"map[{render(node.body)}]({render(node.over)})"
+    if isinstance(node, Select):
+        return f"select[{render(node.pred)}]({render(node.over)})"
+    if isinstance(node, Join):
+        return f"join[{render(node.pred)}]({render(node.left)}, {render(node.right)})"
+    if isinstance(node, Semijoin):
+        return (
+            f"semijoin[{render(node.pred)}]"
+            f"({render(node.left)}, {render(node.right)})"
+        )
+    if isinstance(node, Unnest):
+        return f"unnest[{node.attr}]({render(node.over)})"
+    if isinstance(node, Nest):
+        return f"nest[{node.key}]({render(node.over)})"
+    if isinstance(node, TupleCons):
+        inner = ", ".join(f"{n} = {render(e)}" for n, e in node.fields)
+        return f"tuple({inner})"
+    if isinstance(node, FuncCall):
+        return f"{node.name}({', '.join(render(a) for a in node.args)})"
+    if isinstance(node, BinOp):
+        return f"({render(node.left)} {node.op} {render(node.right)})"
+    raise TypeError(f"cannot render {type(node).__name__}")

@@ -1,0 +1,166 @@
+"""Parser for Moa DDL: ``define <Name> as <Type>;``.
+
+Grammar (paper syntax, section 3/5 examples)::
+
+    define     := "define" IDENT "as" type ";"
+    type       := IDENT "<" typearg ("," typearg)* ">"   -- structure
+                | IDENT                                   -- base type name
+    typearg    := type ":" IDENT                          -- named field (TUPLE)
+                | type                                    -- positional arg
+
+The field-name-after-type convention (``Atomic<URL>: source``) follows
+the paper exactly.  Structures are resolved through the registry in
+:mod:`repro.moa.types`, so DDL text can mention extension structures
+(``LIST``, ``CONTREP``) as soon as their module registered them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.moa.errors import MoaParseError, MoaTypeError
+from repro.moa.lexer import Token, tokenize
+from repro.moa.types import (
+    MoaType,
+    make_tuple_type,
+    structure_factory,
+)
+
+
+class _DDLParser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = value or kind
+            raise MoaParseError(
+                f"expected {expected}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if token.kind != "IDENT" or token.value != word:
+            raise MoaParseError(
+                f"expected keyword {word!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    def parse_define(self) -> Tuple[str, MoaType]:
+        self.expect_keyword("define")
+        name = self.expect("IDENT").value
+        self.expect_keyword("as")
+        ty = self.parse_type()
+        self.expect("SEMI")
+        return name, ty
+
+    def parse_defines(self) -> Dict[str, MoaType]:
+        schema: Dict[str, MoaType] = {}
+        while self.peek().kind != "EOF":
+            name, ty = self.parse_define()
+            if name in schema:
+                raise MoaTypeError(f"collection {name!r} defined twice")
+            schema[name] = ty
+        return schema
+
+    # ------------------------------------------------------------------
+    def parse_type(self) -> MoaType:
+        head = self.expect("IDENT")
+        if self.peek().kind != "LT":
+            # Bare identifier in type position: a base-type shorthand is
+            # not allowed at top level -- structures only.
+            raise MoaParseError(
+                f"expected '<' after structure name {head.value!r}",
+                head.line,
+                head.column,
+            )
+        self.advance()  # LT
+        if head.value == "TUPLE":
+            ty = self._parse_tuple_body()
+        else:
+            args = self._parse_positional_args()
+            factory = structure_factory(head.value)
+            ty = factory(args)
+        self._expect_close_angle(head)
+        return ty
+
+    def _parse_tuple_body(self) -> MoaType:
+        fields: List[Tuple[str, MoaType]] = []
+        while True:
+            field_type = self._parse_type_arg()
+            if isinstance(field_type, str):
+                raise MoaParseError(
+                    f"tuple field needs a structure type, got bare {field_type!r}",
+                    self.peek().line,
+                    self.peek().column,
+                )
+            self.expect("COLON")
+            field_name = self.expect("IDENT").value
+            fields.append((field_name, field_type))
+            if self.peek().kind == "COMMA":
+                self.advance()
+                continue
+            break
+        return make_tuple_type(fields)
+
+    def _parse_positional_args(self) -> List[Union[MoaType, str]]:
+        args: List[Union[MoaType, str]] = [self._parse_type_arg()]
+        while self.peek().kind == "COMMA":
+            self.advance()
+            args.append(self._parse_type_arg())
+        return args
+
+    def _parse_type_arg(self) -> Union[MoaType, str]:
+        token = self.peek()
+        if token.kind != "IDENT":
+            raise MoaParseError(
+                f"expected type, found {token.value!r}", token.line, token.column
+            )
+        # Lookahead: IDENT '<' means a nested structure, bare IDENT is a
+        # base-type name argument (e.g. Atomic<URL>).
+        if self.tokens[self.position + 1].kind == "LT":
+            return self.parse_type()
+        self.advance()
+        return token.value
+
+    def _expect_close_angle(self, head: Token) -> None:
+        token = self.peek()
+        if token.kind == "GT":
+            self.advance()
+            return
+        raise MoaParseError(
+            f"unclosed type bracket for {head.value!r}: found {token.value!r}",
+            token.line,
+            token.column,
+        )
+
+
+def parse_define(text: str) -> Tuple[str, MoaType]:
+    """Parse a single ``define Name as Type;`` statement."""
+    return _DDLParser(tokenize(text)).parse_define()
+
+
+def parse_schema(text: str) -> Dict[str, MoaType]:
+    """Parse any number of define statements into a name->type schema."""
+    return _DDLParser(tokenize(text)).parse_defines()
+
+
+def render_define(name: str, ty: MoaType) -> str:
+    """Inverse of :func:`parse_define` (used by the data dictionary)."""
+    return f"define {name} as {ty.render()};"

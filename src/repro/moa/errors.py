@@ -1,0 +1,27 @@
+"""Exception hierarchy for the Moa logical layer."""
+
+
+class MoaError(Exception):
+    """Base class for all Moa-level errors."""
+
+
+class MoaParseError(MoaError):
+    """DDL or query text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class MoaTypeError(MoaError):
+    """Type checking failed: unknown attribute, wrong operand type,
+    structure misuse (e.g. getBL on a non-CONTREP attribute)."""
+
+
+class MoaCompileError(MoaError):
+    """The flattening compiler met an expression it cannot translate."""
+
+
+class MoaRuntimeError(MoaError):
+    """Execution-time failure in the reference interpreter or executor."""

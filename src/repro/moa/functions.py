@@ -1,0 +1,216 @@
+"""Registry of Moa functions: aggregates, scalar functions, and
+structure-extension operations.
+
+Each function carries up to three hooks, registered independently so
+that layers stay decoupled:
+
+* ``typecheck(arg_types) -> MoaType`` -- used by :mod:`repro.moa.typecheck`;
+* ``interpret(args, context) -> value`` -- used by the reference
+  tuple-at-a-time interpreter;
+* a *compile hook* (registered via :func:`register_compile_hook`) --
+  used by the flattening compiler.
+
+The kernel registers the NF2 repertoire here (``sum``, ``count``, ...).
+Extension structures add their operations the same way: the CONTREP
+module registers ``getBL`` ("new structures in Moa, supported by new
+probabilistic operators at the physical level", section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.moa.errors import MoaTypeError
+from repro.moa.types import (
+    AtomicType,
+    ListType,
+    MoaType,
+    SetType,
+    is_collection,
+    element_type,
+    is_numeric_atomic,
+)
+
+TypecheckHook = Callable[[Sequence[MoaType]], MoaType]
+InterpretHook = Callable[[List[Any], Any], Any]
+CompileHook = Callable[..., Any]
+
+
+@dataclass
+class FunctionSpec:
+    name: str
+    typecheck: TypecheckHook
+    interpret: InterpretHook
+    compile: Optional[CompileHook] = None
+
+
+_FUNCTIONS: Dict[str, FunctionSpec] = {}
+
+
+def register_function(
+    name: str, typecheck: TypecheckHook, interpret: InterpretHook
+) -> FunctionSpec:
+    """Register a Moa function; re-registration is rejected."""
+    if name in _FUNCTIONS:
+        raise MoaTypeError(f"function {name!r} already registered")
+    spec = FunctionSpec(name, typecheck, interpret)
+    _FUNCTIONS[name] = spec
+    return spec
+
+
+def register_compile_hook(name: str, hook: CompileHook) -> None:
+    """Attach the flattening-compiler hook to a registered function."""
+    spec = function_spec(name)
+    spec.compile = hook
+
+
+def function_spec(name: str) -> FunctionSpec:
+    try:
+        return _FUNCTIONS[name]
+    except KeyError:
+        raise MoaTypeError(
+            f"unknown function {name!r}; known: {sorted(_FUNCTIONS)}"
+        ) from None
+
+
+def has_function(name: str) -> bool:
+    return name in _FUNCTIONS
+
+
+def function_names() -> List[str]:
+    return sorted(_FUNCTIONS)
+
+
+# ----------------------------------------------------------------------
+# Kernel repertoire
+# ----------------------------------------------------------------------
+
+
+def _numeric_collection_arg(name: str, arg_types: Sequence[MoaType]) -> AtomicType:
+    if len(arg_types) != 1:
+        raise MoaTypeError(f"{name} takes one argument")
+    ty = arg_types[0]
+    if not is_collection(ty):
+        raise MoaTypeError(f"{name} needs a SET/LIST, got {ty.render()}")
+    elem = element_type(ty)
+    if not is_numeric_atomic(elem):
+        raise MoaTypeError(
+            f"{name} needs numeric elements, got {elem.render()}"
+        )
+    return elem  # type: ignore[return-value]
+
+
+def _tc_sum(arg_types):
+    elem = _numeric_collection_arg("sum", arg_types)
+    return AtomicType("float") if elem.atom == "dbl" else AtomicType("int")
+
+
+def _tc_avg(arg_types):
+    _numeric_collection_arg("avg", arg_types)
+    return AtomicType("float")
+
+
+def _tc_minmax(name):
+    def check(arg_types):
+        elem = _numeric_collection_arg(name, arg_types)
+        return AtomicType("float") if elem.atom == "dbl" else AtomicType("int")
+
+    return check
+
+
+def _tc_count(arg_types):
+    if len(arg_types) != 1 or not is_collection(arg_types[0]):
+        raise MoaTypeError("count takes one SET/LIST argument")
+    return AtomicType("int")
+
+
+def _tc_unary_dbl(name):
+    def check(arg_types):
+        if len(arg_types) != 1 or not is_numeric_atomic(arg_types[0]):
+            raise MoaTypeError(f"{name} takes one numeric argument")
+        return AtomicType("float")
+
+    return check
+
+
+def _tc_neg(arg_types):
+    if len(arg_types) != 1 or not is_numeric_atomic(arg_types[0]):
+        raise MoaTypeError("neg takes one numeric argument")
+    return arg_types[0]
+
+
+def _tc_not(arg_types):
+    if len(arg_types) != 1 or not (
+        isinstance(arg_types[0], AtomicType) and arg_types[0].atom == "bit"
+    ):
+        raise MoaTypeError("not takes one boolean argument")
+    return AtomicType("bit")
+
+
+def _interp_sum(args, _context):
+    return sum(args[0])
+
+
+def _interp_avg(args, _context):
+    values = list(args[0])
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def _interp_min(args, _context):
+    values = list(args[0])
+    return min(values) if values else None
+
+
+def _interp_max(args, _context):
+    values = list(args[0])
+    return max(values) if values else None
+
+
+def _interp_count(args, _context):
+    return len(list(args[0]))
+
+
+def _interp_log(args, _context):
+    import math
+
+    return math.log(args[0])
+
+
+def _interp_exp(args, _context):
+    import math
+
+    return math.exp(args[0])
+
+
+def _interp_sqrt(args, _context):
+    import math
+
+    return math.sqrt(args[0])
+
+
+def _interp_abs(args, _context):
+    return abs(args[0])
+
+
+def _interp_neg(args, _context):
+    return -args[0]
+
+
+def _interp_not(args, _context):
+    return not args[0]
+
+
+register_function("sum", _tc_sum, _interp_sum)
+register_function("avg", _tc_avg, _interp_avg)
+register_function("min", _tc_minmax("min"), _interp_min)
+register_function("max", _tc_minmax("max"), _interp_max)
+register_function("count", _tc_count, _interp_count)
+register_function("log", _tc_unary_dbl("log"), _interp_log)
+register_function("exp", _tc_unary_dbl("exp"), _interp_exp)
+register_function("sqrt", _tc_unary_dbl("sqrt"), _interp_sqrt)
+register_function("abs", _tc_neg, _interp_abs)
+register_function("neg", _tc_neg, _interp_neg)
+register_function("not", _tc_not, _interp_not)

@@ -1,0 +1,211 @@
+"""Reference tuple-at-a-time interpreter for Moa queries.
+
+This evaluator defines the *semantics* the flattening compiler must
+reproduce: it walks the logical AST directly over Python values, one
+element at a time -- the classical object-algebra evaluation strategy
+that [BWK98] measures against.  It serves two purposes:
+
+* **differential testing**: compiled plans must agree with it on random
+  data (``tests/moa/test_compiler_vs_interpreter.py``);
+* **benchmark E4**: the paper claims flattening to set-at-a-time BAT
+  processing wins -- the interpreter is the tuple-at-a-time baseline.
+
+Data model: a collection value is a list; TUPLE values are dicts;
+CONTREP values are :class:`ContentRepresentation`; parameters are bound
+by name (query -> list[str], stats -> CollectionStats).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.moa import ast
+from repro.moa.errors import MoaRuntimeError
+from repro.moa.functions import function_spec
+
+_COMPARE = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class Interpreter:
+    """Evaluates logical ASTs over Python data."""
+
+    def __init__(
+        self,
+        data: Dict[str, List[Any]],
+        params: Optional[Dict[str, Any]] = None,
+    ):
+        self.data = data
+        self.params = params or {}
+        self._this_stack: List[Any] = []
+        self._join_stack: List[Dict[int, Any]] = []
+
+    # ------------------------------------------------------------------
+    def run(self, node: ast.Expr) -> Any:
+        return self.eval(node)
+
+    def eval(self, node: ast.Expr) -> Any:
+        if isinstance(node, ast.CollectionRef):
+            try:
+                return self.data[node.name]
+            except KeyError:
+                raise MoaRuntimeError(f"no data for collection {node.name!r}") from None
+        if isinstance(node, ast.VarRef):
+            try:
+                return self.params[node.name]
+            except KeyError:
+                raise MoaRuntimeError(f"unbound parameter {node.name!r}") from None
+        if isinstance(node, ast.This):
+            return self._this(node.index)
+        if isinstance(node, ast.Literal):
+            return node.value
+        if isinstance(node, ast.AttrAccess):
+            base = self.eval(node.base)
+            if not isinstance(base, dict):
+                raise MoaRuntimeError(f".{node.attr} on non-tuple value")
+            return base[node.attr]
+        if isinstance(node, ast.Map):
+            collection = self.eval(node.over)
+            out = []
+            for element in collection:
+                self._this_stack.append(element)
+                try:
+                    out.append(self.eval(node.body))
+                finally:
+                    self._this_stack.pop()
+            return out
+        if isinstance(node, ast.Select):
+            collection = self.eval(node.over)
+            out = []
+            for element in collection:
+                self._this_stack.append(element)
+                try:
+                    if self.eval(node.pred):
+                        out.append(element)
+                finally:
+                    self._this_stack.pop()
+            return out
+        if isinstance(node, ast.Join):
+            return self._join(node)
+        if isinstance(node, ast.Semijoin):
+            return self._semijoin(node)
+        if isinstance(node, ast.Unnest):
+            return self._unnest(node)
+        if isinstance(node, ast.Nest):
+            return self._nest(node)
+        if isinstance(node, ast.TupleCons):
+            return {name: self.eval(expr) for name, expr in node.fields}
+        if isinstance(node, ast.FuncCall):
+            args = [self.eval(a) for a in node.args]
+            spec = function_spec(node.name)
+            return spec.interpret(args, self)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        raise MoaRuntimeError(f"cannot evaluate {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    def _this(self, index: int) -> Any:
+        if index == 0:
+            if not self._this_stack:
+                raise MoaRuntimeError("THIS outside a map/select body")
+            return self._this_stack[-1]
+        if not self._join_stack:
+            raise MoaRuntimeError(f"THIS{index} outside a join body")
+        return self._join_stack[-1][index]
+
+    def _binop(self, node: ast.BinOp) -> Any:
+        if node.op == "and":
+            return bool(self.eval(node.left)) and bool(self.eval(node.right))
+        if node.op == "or":
+            return bool(self.eval(node.left)) or bool(self.eval(node.right))
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if node.op in _COMPARE:
+            return _COMPARE[node.op](left, right)
+        if node.op in _ARITH:
+            return _ARITH[node.op](left, right)
+        raise MoaRuntimeError(f"unknown operator {node.op!r}")
+
+    def _join(self, node: ast.Join) -> List[dict]:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        out = []
+        for l_elem in left:
+            for r_elem in right:
+                self._join_stack.append({1: l_elem, 2: r_elem})
+                try:
+                    if self.eval(node.pred):
+                        merged = dict(l_elem)
+                        merged.update(r_elem)
+                        out.append(merged)
+                finally:
+                    self._join_stack.pop()
+        return out
+
+    def _semijoin(self, node: ast.Semijoin) -> List[Any]:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        out = []
+        for l_elem in left:
+            matched = False
+            for r_elem in right:
+                self._join_stack.append({1: l_elem, 2: r_elem})
+                try:
+                    if self.eval(node.pred):
+                        matched = True
+                finally:
+                    self._join_stack.pop()
+                if matched:
+                    break
+            if matched:
+                out.append(l_elem)
+        return out
+
+    def _unnest(self, node: ast.Unnest) -> List[dict]:
+        collection = self.eval(node.over)
+        out = []
+        for element in collection:
+            children = element.get(node.attr) or []
+            for child in children:
+                merged = {k: v for k, v in element.items() if k != node.attr}
+                if isinstance(child, dict):
+                    merged.update(child)
+                else:
+                    merged[node.attr] = child
+                out.append(merged)
+        return out
+
+    def _nest(self, node: ast.Nest) -> List[dict]:
+        collection = self.eval(node.over)
+        groups: Dict[Any, List[dict]] = {}
+        order: List[Any] = []
+        for element in collection:
+            key = element[node.key]
+            rest = {k: v for k, v in element.items() if k != node.key}
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(rest)
+        return [{node.key: key, "group": groups[key]} for key in order]
+
+
+def interpret(
+    node: ast.Expr,
+    data: Dict[str, List[Any]],
+    params: Optional[Dict[str, Any]] = None,
+) -> Any:
+    """One-shot evaluation of a logical AST over Python data."""
+    return Interpreter(data, params).run(node)

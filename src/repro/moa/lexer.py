@@ -1,0 +1,148 @@
+"""Shared tokenizer for Moa DDL and query surface syntax.
+
+The token set covers both the paper's DDL::
+
+    define TraditionalImgLib as
+    SET< TUPLE< Atomic<URL>: source, CONTREP<Text>: annotation >>;
+
+and its queries::
+
+    map[sum(THIS)](
+        map[getBL(THIS.annotation, query, stats)]( TraditionalImgLib ));
+
+Angle brackets do double duty as type brackets and comparison operators;
+the parsers disambiguate by context (the lexer just emits ``<`` / ``>``
+as ``LT``/``GT`` tokens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.moa.errors import MoaParseError
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind},{self.value!r})"
+
+
+_PUNCT = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    "<": "LT",
+    ">": "GT",
+    ",": "COMMA",
+    ":": "COLON",
+    ";": "SEMI",
+    ".": "DOT",
+    "=": "EQ",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+    "/": "SLASH",
+}
+
+_MULTI = {
+    "<=": "LE",
+    ">=": "GE",
+    "!=": "NE",
+    ">>": "GTGT",  # re-split by the DDL parser when closing nested types
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize Moa surface text."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        two = text[i : i + 2]
+        if two in ("<=", ">=", "!="):
+            tokens.append(Token(_MULTI[two], two, line, column))
+            i += 2
+            column += 2
+            continue
+        if ch == '"' or ch == "'":
+            quote = ch
+            j = i + 1
+            out = []
+            while j < n and text[j] != quote:
+                if text[j] == "\n":
+                    raise MoaParseError("newline in string literal", line, column)
+                if text[j] == "\\" and j + 1 < n:
+                    escape = {"n": "\n", "t": "\t", quote: quote, "\\": "\\"}.get(
+                        text[j + 1]
+                    )
+                    if escape is None:
+                        raise MoaParseError(
+                            f"bad escape \\{text[j + 1]}", line, column
+                        )
+                    out.append(escape)
+                    j += 2
+                    continue
+                out.append(text[j])
+                j += 1
+            if j >= n:
+                raise MoaParseError("unterminated string literal", line, column)
+            tokens.append(Token("STR", "".join(out), line, column))
+            consumed = j - i + 1
+            i = j + 1
+            column += consumed
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (
+                text[j].isdigit()
+                or (text[j] == "." and not seen_dot and j + 1 < n and text[j + 1].isdigit())
+            ):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            raw = text[i:j]
+            tokens.append(Token("FLT" if seen_dot else "INT", raw, line, column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, line, column))
+            i += 1
+            column += 1
+            continue
+        raise MoaParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

@@ -1,0 +1,300 @@
+"""Logical-to-physical mapping: how Moa structures become BATs.
+
+This module implements the "translation from the logical data model
+into a different physical model" (Mirror paper, section 2) -- the data
+independence layer.  Every top-level collection ``Lib`` of type
+``SET<TUPLE<...>>`` is decomposed into named BATs in the buffer pool:
+
+========================  =============================================
+``Lib.__extent__``        [void position, tuple-oid] -- set membership
+``Lib.<a>``               [void tuple-oid, value] -- Atomic attribute
+``Lib.<s>.__nest__``      [void child-oid, parent-oid] -- SET/LIST attr
+``Lib.<s>.<a>``           [void child-oid, value] -- nested attributes
+``Lib.<s>.__value__``     [void child-oid, value] -- SET<Atomic> attr
+``Lib.<s>.__index__``     [void child-oid, int] -- LIST order
+========================  =============================================
+
+Oids are *dense per collection* (tuple-oid == load position), the Monet
+void-head discipline: every attribute access compiles to a positional
+``fetchjoin`` instead of a value join.
+
+Extension structures register their own mappers through
+:func:`register_mapper`; :mod:`repro.moa.structures.contrep` adds the
+inverted-file layout for ``CONTREP`` attributes this way, keeping the
+kernel mapping code unaware of IR.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.moa.errors import MoaTypeError
+from repro.moa.types import (
+    AtomicType,
+    ListType,
+    MoaType,
+    SetType,
+    TupleType,
+)
+from repro.monet.bat import BAT, Column, VoidColumn, column_from_values, dense_bat
+from repro.monet.bbp import BATBufferPool
+
+EXTENT_SUFFIX = "__extent__"
+NEST_SUFFIX = "__nest__"
+VALUE_SUFFIX = "__value__"
+INDEX_SUFFIX = "__index__"
+
+
+class StructureMapper:
+    """Load/reconstruct hooks for one structure kind.
+
+    ``load`` receives the attribute values aligned with parent oids
+    ``0..len(values)-1`` and must register BATs under *prefix*;
+    ``reconstruct`` reads them back into Python values, one per parent.
+    """
+
+    def load(
+        self,
+        pool: BATBufferPool,
+        prefix: str,
+        ty: MoaType,
+        values: Sequence[Any],
+    ) -> None:
+        raise NotImplementedError
+
+    def reconstruct(
+        self, pool: BATBufferPool, prefix: str, ty: MoaType, count: int
+    ) -> List[Any]:
+        raise NotImplementedError
+
+
+_MAPPERS: Dict[Type[MoaType], StructureMapper] = {}
+
+
+def register_mapper(type_cls: Type[MoaType], mapper: StructureMapper) -> None:
+    """Register the physical mapper for a structure type class."""
+    if type_cls in _MAPPERS and type(_MAPPERS[type_cls]) is not type(mapper):
+        raise MoaTypeError(f"mapper for {type_cls.__name__} already registered")
+    _MAPPERS[type_cls] = mapper
+
+
+def mapper_for(ty: MoaType) -> StructureMapper:
+    for cls in type(ty).__mro__:
+        if cls in _MAPPERS:
+            return _MAPPERS[cls]
+    raise MoaTypeError(f"no physical mapper for {ty.render()}")
+
+
+# ----------------------------------------------------------------------
+# Kernel mappers
+# ----------------------------------------------------------------------
+
+
+class AtomicMapper(StructureMapper):
+    """Atomic<B> attribute -> one [void, value] BAT."""
+
+    def load(self, pool, prefix, ty: AtomicType, values):
+        pool.register(prefix, dense_bat(ty.atom, list(values)), replace=True)
+
+    def reconstruct(self, pool, prefix, ty: AtomicType, count):
+        bat = pool.lookup(prefix)
+        if len(bat) != count:
+            raise MoaTypeError(
+                f"{prefix}: expected {count} values, found {len(bat)}"
+            )
+        return bat.tail_list()
+
+
+class TupleMapper(StructureMapper):
+    """TUPLE attribute: recurse per field under ``prefix.field``."""
+
+    def load(self, pool, prefix, ty: TupleType, values):
+        for field_name, field_ty in ty.fields:
+            field_values = [_field(v, field_name) for v in values]
+            mapper_for(field_ty).load(
+                pool, f"{prefix}.{field_name}", field_ty, field_values
+            )
+
+    def reconstruct(self, pool, prefix, ty: TupleType, count):
+        columns = {
+            field_name: mapper_for(field_ty).reconstruct(
+                pool, f"{prefix}.{field_name}", field_ty, count
+            )
+            for field_name, field_ty in ty.fields
+        }
+        return [
+            {name: columns[name][i] for name in columns} for i in range(count)
+        ]
+
+
+class SetMapper(StructureMapper):
+    """Nested SET attribute: __nest__ parent map + element payload."""
+
+    ordered = False
+
+    def load(self, pool, prefix, ty: SetType, values):
+        parents: List[int] = []
+        elements: List[Any] = []
+        indexes: List[int] = []
+        for parent_oid, collection in enumerate(values):
+            items = list(collection) if collection is not None else []
+            for index, item in enumerate(items):
+                parents.append(parent_oid)
+                elements.append(item)
+                indexes.append(index)
+        pool.register(
+            f"{prefix}.{NEST_SUFFIX}", dense_bat("oid", parents), replace=True
+        )
+        if self.ordered:
+            pool.register(
+                f"{prefix}.{INDEX_SUFFIX}", dense_bat("int", indexes), replace=True
+            )
+        element_ty = ty.element
+        if isinstance(element_ty, AtomicType):
+            pool.register(
+                f"{prefix}.{VALUE_SUFFIX}",
+                dense_bat(element_ty.atom, elements),
+                replace=True,
+            )
+        else:
+            mapper_for(element_ty).load(pool, prefix, element_ty, elements)
+
+    def reconstruct(self, pool, prefix, ty: SetType, count):
+        nest = pool.lookup(f"{prefix}.{NEST_SUFFIX}")
+        parents = nest.tail_values()
+        element_ty = ty.element
+        if isinstance(element_ty, AtomicType):
+            elements = pool.lookup(f"{prefix}.{VALUE_SUFFIX}").tail_list()
+        else:
+            elements = mapper_for(element_ty).reconstruct(
+                pool, prefix, element_ty, len(nest)
+            )
+        out: List[List[Any]] = [[] for _ in range(count)]
+        if self.ordered:
+            order = pool.lookup(f"{prefix}.{INDEX_SUFFIX}").tail_values()
+            by_parent: Dict[int, List] = {}
+            for child, parent in enumerate(parents):
+                by_parent.setdefault(int(parent), []).append(
+                    (int(order[child]), elements[child])
+                )
+            for parent, items in by_parent.items():
+                out[parent] = [e for _, e in sorted(items)]
+        else:
+            for child, parent in enumerate(parents):
+                out[int(parent)].append(elements[child])
+        return out
+
+
+class ListMapper(SetMapper):
+    """LIST attribute: a SET plus an explicit order column."""
+
+    ordered = True
+
+
+register_mapper(AtomicType, AtomicMapper())
+register_mapper(TupleType, TupleMapper())
+register_mapper(SetType, SetMapper())
+register_mapper(ListType, ListMapper())
+
+
+def _field(value: Any, name: str) -> Any:
+    if isinstance(value, dict):
+        if name not in value:
+            raise MoaTypeError(f"tuple value missing field {name!r}")
+        return value[name]
+    attr = getattr(value, name, None)
+    if attr is None:
+        raise MoaTypeError(
+            f"cannot read field {name!r} from {type(value).__name__}"
+        )
+    return attr
+
+
+# ----------------------------------------------------------------------
+# Top-level collections
+# ----------------------------------------------------------------------
+
+
+def load_collection(
+    pool: BATBufferPool, name: str, ty: MoaType, values: Sequence[Any]
+) -> None:
+    """Load a top-level collection: ``SET<TUPLE<...>>`` (or SET of
+    atomics) decomposed under *name* plus its extent BAT."""
+    if not isinstance(ty, (SetType, ListType)):
+        raise MoaTypeError(
+            f"top-level collection must be a SET/LIST, got {ty.render()}"
+        )
+    values = list(values)
+    count = len(values)
+    extent = BAT(
+        VoidColumn(0, count),
+        Column("oid", np.arange(count, dtype=np.int64)),
+        tkey=True,
+        tsorted=True,
+    )
+    pool.register(f"{name}.{EXTENT_SUFFIX}", extent, replace=True)
+    element_ty = ty.element
+    if isinstance(element_ty, AtomicType):
+        pool.register(
+            f"{name}.{VALUE_SUFFIX}",
+            dense_bat(element_ty.atom, values),
+            replace=True,
+        )
+    else:
+        mapper_for(element_ty).load(pool, name, element_ty, values)
+
+
+def collection_count(pool: BATBufferPool, name: str) -> int:
+    """Cardinality of a loaded collection."""
+    return len(pool.lookup(f"{name}.{EXTENT_SUFFIX}"))
+
+
+def reconstruct_collection(
+    pool: BATBufferPool, name: str, ty: MoaType
+) -> List[Any]:
+    """Read a loaded collection back into Python values (inverse of
+    :func:`load_collection`; round-trip tested)."""
+    count = collection_count(pool, name)
+    element_ty = ty.element  # type: ignore[union-attr]
+    if isinstance(element_ty, AtomicType):
+        return pool.lookup(f"{name}.{VALUE_SUFFIX}").tail_list()
+    return mapper_for(element_ty).reconstruct(pool, name, element_ty, count)
+
+
+def attribute_bat_names(name: str, ty: MoaType) -> List[str]:
+    """All BAT names a collection of type *ty* occupies (catalog tool)."""
+    names: List[str] = [f"{name}.{EXTENT_SUFFIX}"]
+
+    def visit(prefix: str, t: MoaType) -> None:
+        if isinstance(t, AtomicType):
+            names.append(prefix)
+            return
+        if isinstance(t, TupleType):
+            for field_name, field_ty in t.fields:
+                visit(f"{prefix}.{field_name}", field_ty)
+            return
+        if isinstance(t, (SetType, ListType)):
+            names.append(f"{prefix}.{NEST_SUFFIX}")
+            if isinstance(t, ListType):
+                names.append(f"{prefix}.{INDEX_SUFFIX}")
+            if isinstance(t.element, AtomicType):
+                names.append(f"{prefix}.{VALUE_SUFFIX}")
+            else:
+                visit(prefix, t.element)
+            return
+        # Extension structures: ask their mapper if it cooperates.
+        mapper = mapper_for(t)
+        extra = getattr(mapper, "bat_names", None)
+        if extra is not None:
+            names.extend(extra(prefix))
+        else:  # pragma: no cover - defensive
+            names.append(prefix)
+
+    element_ty = ty.element  # type: ignore[union-attr]
+    if isinstance(element_ty, AtomicType):
+        names.append(f"{name}.{VALUE_SUFFIX}")
+    else:
+        visit(name, element_ty)
+    return names

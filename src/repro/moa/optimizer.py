@@ -1,0 +1,205 @@
+"""Algebraic query optimization on the logical AST.
+
+"... provides an excellent basis for algebraic query optimization"
+(Mirror paper, section 2).  The rewriter applies a small, classical
+rule set until fixpoint:
+
+* **map fusion**: ``map[f](map[g](X))`` -> ``map[f[THIS:=g]](X)`` --
+  removes an intermediate collection materialization;
+* **select fusion**: ``select[p](select[q](X))`` ->
+  ``select[p and q](X)``;
+* **select pushdown through map**: ``select[p](map[f](X))`` ->
+  ``map[f](select[p'](X))`` when ``f`` is a tuple constructor and ``p``
+  only touches fields that ``f`` copies unchanged from ``THIS`` --
+  filtering before computing shrinks every downstream column;
+* **constant folding** of scalar operators on literals.
+
+Rewrites run *before* type checking is redone; callers re-typecheck the
+result (the executor does).  The MIL-level common-subexpression
+elimination lives in the compiler (``cse=True``); together these two
+layers are the "optimized" configuration of benchmark E5.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Optional, Tuple
+
+from repro.moa import ast
+from repro.monet.errors import KernelError
+from repro.monet.multiplex import scalar_op
+
+_FOLDABLE_OPS = {"+", "-", "*", "/", "=", "!=", "<", "<=", ">", ">=", "and", "or"}
+
+
+def optimize(node: ast.Expr, *, max_passes: int = 10) -> ast.Expr:
+    """Rewrite *node* until no rule fires (bounded by *max_passes*)."""
+    current = node
+    for _ in range(max_passes):
+        rewritten, changed = _rewrite(current)
+        current = rewritten
+        if not changed:
+            break
+    return current
+
+
+def _rewrite(node: ast.Expr) -> Tuple[ast.Expr, bool]:
+    changed = False
+
+    # Bottom-up: rewrite children first.
+    for name in _child_slots(node):
+        child = getattr(node, name)
+        if isinstance(child, ast.Expr):
+            new_child, child_changed = _rewrite(child)
+            if child_changed:
+                setattr(node, name, new_child)
+                changed = True
+    if isinstance(node, ast.TupleCons):
+        new_fields = []
+        for fname, expr in node.fields:
+            new_expr, c = _rewrite(expr)
+            new_fields.append((fname, new_expr))
+            changed = changed or c
+        node.fields = new_fields
+    if isinstance(node, ast.FuncCall):
+        new_args = []
+        for arg in node.args:
+            new_arg, c = _rewrite(arg)
+            new_args.append(new_arg)
+            changed = changed or c
+        node.args = new_args
+
+    # Rule: map fusion.
+    if isinstance(node, ast.Map) and isinstance(node.over, ast.Map):
+        inner = node.over
+        fused_body = substitute_this(node.body, inner.body)
+        fused = ast.Map(body=fused_body, over=inner.over, line=node.line)
+        return fused, True
+
+    # Rule: select fusion.
+    if isinstance(node, ast.Select) and isinstance(node.over, ast.Select):
+        inner = node.over
+        merged = ast.BinOp(op="and", left=inner.pred, right=node.pred)
+        fused = ast.Select(pred=merged, over=inner.over, line=node.line)
+        return fused, True
+
+    # Rule: select pushdown through a tuple-constructing map.
+    if isinstance(node, ast.Select) and isinstance(node.over, ast.Map):
+        pushed = _try_push_select(node)
+        if pushed is not None:
+            return pushed, True
+
+    # Rule: constant folding.
+    if (
+        isinstance(node, ast.BinOp)
+        and node.op in _FOLDABLE_OPS
+        and isinstance(node.left, ast.Literal)
+        and isinstance(node.right, ast.Literal)
+    ):
+        folded = _fold(node)
+        if folded is not None:
+            return folded, True
+
+    return node, changed
+
+
+def _child_slots(node: ast.Expr):
+    if isinstance(node, ast.AttrAccess):
+        return ("base",)
+    if isinstance(node, ast.Map):
+        return ("body", "over")
+    if isinstance(node, ast.Select):
+        return ("pred", "over")
+    if isinstance(node, (ast.Join, ast.Semijoin)):
+        return ("pred", "left", "right")
+    if isinstance(node, (ast.Unnest, ast.Nest)):
+        return ("over",)
+    if isinstance(node, ast.BinOp):
+        return ("left", "right")
+    return ()
+
+
+def substitute_this(body: ast.Expr, replacement: ast.Expr) -> ast.Expr:
+    """Replace every top-context ``THIS`` in *body* by *replacement*
+    (the map-fusion substitution).  THIS1/THIS2 are left alone."""
+    clone = copy.deepcopy(body)
+
+    def visit(node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.This) and node.index == 0:
+            return copy.deepcopy(replacement)
+        for name in _child_slots(node):
+            child = getattr(node, name)
+            if isinstance(child, ast.Expr):
+                setattr(node, name, visit(child))
+        if isinstance(node, ast.TupleCons):
+            node.fields = [(n, visit(e)) for n, e in node.fields]
+        if isinstance(node, ast.FuncCall):
+            node.args = [visit(a) for a in node.args]
+        return node
+
+    return visit(clone)
+
+
+def _try_push_select(node: ast.Select) -> Optional[ast.Expr]:
+    """``select[p](map[tuple(...)](X))`` -> ``map[...](select[p'](X))``
+    when every field *p* mentions is a pass-through (``name = THIS.a``
+    or ``name = THIS``)."""
+    inner = node.over
+    body = inner.body
+    if not isinstance(body, ast.TupleCons):
+        return None
+    passthrough: Dict[str, ast.Expr] = {}
+    for fname, expr in body.fields:
+        if isinstance(expr, ast.AttrAccess) and isinstance(expr.base, ast.This):
+            passthrough[fname] = expr
+        elif isinstance(expr, ast.This) and expr.index == 0:
+            passthrough[fname] = expr
+
+    used = [
+        n.attr
+        for n in ast.walk(node.pred)
+        if isinstance(n, ast.AttrAccess) and isinstance(n.base, ast.This)
+    ]
+    if not used or any(attr not in passthrough for attr in used):
+        return None
+
+    def rewrite_pred(pred: ast.Expr) -> ast.Expr:
+        clone = copy.deepcopy(pred)
+
+        def visit(n: ast.Expr) -> ast.Expr:
+            if (
+                isinstance(n, ast.AttrAccess)
+                and isinstance(n.base, ast.This)
+                and n.attr in passthrough
+            ):
+                return copy.deepcopy(passthrough[n.attr])
+            for name in _child_slots(n):
+                child = getattr(n, name)
+                if isinstance(child, ast.Expr):
+                    setattr(n, name, visit(child))
+            if isinstance(n, ast.FuncCall):
+                n.args = [visit(a) for a in n.args]
+            return n
+
+        return visit(clone)
+
+    new_select = ast.Select(pred=rewrite_pred(node.pred), over=inner.over)
+    return ast.Map(body=inner.body, over=new_select, line=node.line)
+
+
+def _fold(node: ast.BinOp) -> Optional[ast.Literal]:
+    if node.op == "/" and node.right.value == 0:
+        return None  # leave the runtime error to execution time
+    try:
+        value = scalar_op(node.op, node.left.value, node.right.value)
+    except (KernelError, ZeroDivisionError, TypeError, ValueError):
+        return None
+    if isinstance(value, bool):
+        return ast.Literal(value=value, atom="bit", line=node.line)
+    if isinstance(value, int):
+        return ast.Literal(value=value, atom="int", line=node.line)
+    if isinstance(value, float):
+        return ast.Literal(value=value, atom="dbl", line=node.line)
+    if isinstance(value, str):
+        return ast.Literal(value=value, atom="str", line=node.line)
+    return None

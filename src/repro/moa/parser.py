@@ -1,0 +1,248 @@
+"""Parser for Moa query expressions.
+
+Grammar::
+
+    query      := expr ";"?
+    expr       := or_expr
+    or_expr    := and_expr ("or" and_expr)*
+    and_expr   := not_expr ("and" not_expr)*
+    not_expr   := "not" not_expr | comparison
+    comparison := additive (("="|"!="|"<"|"<="|">"|">=") additive)?
+    additive   := term (("+"|"-") term)*
+    term       := unary (("*"|"/") unary)*
+    unary      := "-" unary | postfix
+    postfix    := primary ("." IDENT)*
+    primary    := structure_op | tuple_cons | call | THIS | literal
+                | IDENT | "(" expr ")"
+    structure_op := ("map"|"select") "[" expr "]" "(" expr ")"
+                 | ("join"|"semijoin") "[" expr "]" "(" expr "," expr ")"
+                 | ("unnest"|"nest") "[" IDENT "]" "(" expr ")"
+    tuple_cons := "tuple" "(" IDENT "=" expr ("," IDENT "=" expr)* ")"
+    call       := IDENT "(" args ")"
+
+``THIS``, ``THIS1`` and ``THIS2`` are recognized case-sensitively, like
+the paper writes them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.moa import ast
+from repro.moa.errors import MoaParseError
+from repro.moa.lexer import Token, tokenize
+
+_STRUCTURE_OPS = {"map", "select", "join", "semijoin", "unnest", "nest"}
+_COMPARISON = {"EQ": "=", "NE": "!=", "LT": "<", "LE": "<=", "GT": ">", "GE": ">="}
+
+
+class _QueryParser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[self.position + offset]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise MoaParseError(
+                f"expected {kind}, found {token.kind} {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def _is_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == "IDENT" and token.value == word
+
+    # ------------------------------------------------------------------
+    def parse(self) -> ast.Expr:
+        expr = self.expr()
+        if self.peek().kind == "SEMI":
+            self.advance()
+        token = self.peek()
+        if token.kind != "EOF":
+            raise MoaParseError(
+                f"trailing input after query: {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return expr
+
+    def expr(self) -> ast.Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Expr:
+        left = self.and_expr()
+        while self._is_keyword("or"):
+            self.advance()
+            right = self.and_expr()
+            left = ast.BinOp(op="or", left=left, right=right, line=left.line)
+        return left
+
+    def and_expr(self) -> ast.Expr:
+        left = self.not_expr()
+        while self._is_keyword("and"):
+            self.advance()
+            right = self.not_expr()
+            left = ast.BinOp(op="and", left=left, right=right, line=left.line)
+        return left
+
+    def not_expr(self) -> ast.Expr:
+        if self._is_keyword("not"):
+            token = self.advance()
+            operand = self.not_expr()
+            return ast.FuncCall(name="not", args=[operand], line=token.line)
+        return self.comparison()
+
+    def comparison(self) -> ast.Expr:
+        left = self.additive()
+        kind = self.peek().kind
+        if kind in _COMPARISON:
+            self.advance()
+            right = self.additive()
+            return ast.BinOp(
+                op=_COMPARISON[kind], left=left, right=right, line=left.line
+            )
+        return left
+
+    def additive(self) -> ast.Expr:
+        left = self.term()
+        while self.peek().kind in ("PLUS", "MINUS"):
+            op = "+" if self.advance().kind == "PLUS" else "-"
+            right = self.term()
+            left = ast.BinOp(op=op, left=left, right=right, line=left.line)
+        return left
+
+    def term(self) -> ast.Expr:
+        left = self.unary()
+        while self.peek().kind in ("STAR", "SLASH"):
+            op = "*" if self.advance().kind == "STAR" else "/"
+            right = self.unary()
+            left = ast.BinOp(op=op, left=left, right=right, line=left.line)
+        return left
+
+    def unary(self) -> ast.Expr:
+        if self.peek().kind == "MINUS":
+            token = self.advance()
+            operand = self.unary()
+            return ast.FuncCall(name="neg", args=[operand], line=token.line)
+        return self.postfix()
+
+    def postfix(self) -> ast.Expr:
+        node = self.primary()
+        while self.peek().kind == "DOT":
+            self.advance()
+            attr = self.expect("IDENT")
+            node = ast.AttrAccess(base=node, attr=attr.value, line=attr.line)
+        return node
+
+    def primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "INT":
+            self.advance()
+            return ast.Literal(value=int(token.value), atom="int", line=token.line)
+        if token.kind == "FLT":
+            self.advance()
+            return ast.Literal(value=float(token.value), atom="dbl", line=token.line)
+        if token.kind == "STR":
+            self.advance()
+            return ast.Literal(value=token.value, atom="str", line=token.line)
+        if token.kind == "LPAREN":
+            self.advance()
+            inner = self.expr()
+            self.expect("RPAREN")
+            return inner
+        if token.kind != "IDENT":
+            raise MoaParseError(
+                f"unexpected token {token.value!r}", token.line, token.column
+            )
+        word = token.value
+        if word in ("true", "false"):
+            self.advance()
+            return ast.Literal(value=(word == "true"), atom="bit", line=token.line)
+        if word == "THIS":
+            self.advance()
+            return ast.This(index=0, line=token.line)
+        if word in ("THIS1", "THIS2"):
+            self.advance()
+            return ast.This(index=int(word[-1]), line=token.line)
+        if word in _STRUCTURE_OPS and self.peek(1).kind == "LBRACKET":
+            return self.structure_op()
+        if word == "tuple" and self.peek(1).kind == "LPAREN":
+            return self.tuple_cons()
+        if self.peek(1).kind == "LPAREN":
+            self.advance()
+            args = self.call_args()
+            return ast.FuncCall(name=word, args=args, line=token.line)
+        self.advance()
+        # Bare identifier: collection name or query parameter; the type
+        # checker resolves which (parameters are declared by the caller).
+        return ast.CollectionRef(name=word, line=token.line)
+
+    def structure_op(self) -> ast.Expr:
+        op = self.advance()
+        self.expect("LBRACKET")
+        if op.value in ("unnest", "nest"):
+            attr = self.expect("IDENT").value
+            self.expect("RBRACKET")
+            self.expect("LPAREN")
+            over = self.expr()
+            self.expect("RPAREN")
+            if op.value == "unnest":
+                return ast.Unnest(attr=attr, over=over, line=op.line)
+            return ast.Nest(key=attr, over=over, line=op.line)
+        body = self.expr()
+        self.expect("RBRACKET")
+        self.expect("LPAREN")
+        first = self.expr()
+        if op.value in ("join", "semijoin"):
+            self.expect("COMMA")
+            second = self.expr()
+            self.expect("RPAREN")
+            cls = ast.Join if op.value == "join" else ast.Semijoin
+            return cls(pred=body, left=first, right=second, line=op.line)
+        self.expect("RPAREN")
+        if op.value == "map":
+            return ast.Map(body=body, over=first, line=op.line)
+        return ast.Select(pred=body, over=first, line=op.line)
+
+    def tuple_cons(self) -> ast.Expr:
+        token = self.advance()  # 'tuple'
+        self.expect("LPAREN")
+        fields = []
+        while True:
+            name = self.expect("IDENT").value
+            self.expect("EQ")
+            value = self.expr()
+            fields.append((name, value))
+            if self.peek().kind == "COMMA":
+                self.advance()
+                continue
+            break
+        self.expect("RPAREN")
+        return ast.TupleCons(fields=fields, line=token.line)
+
+    def call_args(self) -> List[ast.Expr]:
+        self.expect("LPAREN")
+        args: List[ast.Expr] = []
+        if self.peek().kind != "RPAREN":
+            args.append(self.expr())
+            while self.peek().kind == "COMMA":
+                self.advance()
+                args.append(self.expr())
+        self.expect("RPAREN")
+        return args
+
+
+def parse_query(text: str) -> ast.Expr:
+    """Parse a Moa query expression into a logical AST."""
+    return _QueryParser(tokenize(text)).parse()

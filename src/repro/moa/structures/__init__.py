@@ -1,0 +1,18 @@
+"""Moa structure implementations.
+
+The kernel structures (``Atomic``, ``TUPLE``, ``SET``) live in
+:mod:`repro.moa.types` and :mod:`repro.moa.mapping`; this package holds
+the *extension* structures the Mirror paper showcases:
+
+* :mod:`repro.moa.structures.contrep` -- the CONTREP content
+  representation for multimedia information retrieval (section 3);
+* ``LIST`` is registered by the kernel (types/mapping) but documented
+  here as the canonical generic extension example (Acknowledgments).
+
+Importing this package registers the extensions; :mod:`repro.moa` does
+so automatically.
+"""
+
+from repro.moa.structures.contrep import ContentRepresentation, ContrepType
+
+__all__ = ["ContrepType", "ContentRepresentation"]

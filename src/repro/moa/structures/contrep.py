@@ -1,0 +1,296 @@
+"""CONTREP: the content-representation structure for multimedia IR.
+
+"The CONTREP Moa structure supports the ranking scheme known as the
+inference network retrieval model." (Mirror paper, section 3.)
+
+This module demonstrates the full extension recipe of the paper:
+
+1. a new **structure type** ``CONTREP<media>`` registered with the DDL
+   parser/type system;
+2. a **physical mapper** laying the structure out as inverted-file BATs
+   (``owner``/``term``/``tf``/``doclen``, see :mod:`repro.ir.index`);
+3. a **logical operation** ``getBL(contrep, query, stats)`` registered
+   in the function registry with typecheck + interpret hooks;
+4. a **compile hook** emitting the probabilistic operators at the
+   physical level: the belief formula becomes a pipeline of multiplexed
+   BAT arithmetic inside the generated MIL plan.
+
+Nothing in the Moa kernel mentions CONTREP -- it is wired in entirely
+through the registries, exactly the open-system claim of section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.ir.beliefs import DEFAULT_PARAMETERS, belief_list
+from repro.ir.stats import CollectionStats
+from repro.ir.tokenize import analyze
+from repro.moa.compiler import (
+    AtomCol,
+    Compiler,
+    ContrepLazy,
+    NestedSet,
+    register_attr_rep,
+)
+from repro.moa.errors import MoaCompileError, MoaTypeError
+from repro.moa.functions import register_compile_hook, register_function
+from repro.moa.mapping import StructureMapper, register_mapper
+from repro.moa.types import (
+    AtomicType,
+    MoaType,
+    SetType,
+    StatsType,
+    register_structure,
+)
+from repro.monet.bat import dense_bat
+
+
+# ----------------------------------------------------------------------
+# 1. The structure type
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class ContrepType(MoaType):
+    """``CONTREP<media>``: an indexed content representation."""
+
+    media: str
+
+    structure = "CONTREP"
+
+    def render(self) -> str:
+        return f"CONTREP<{self.media}>"
+
+
+def _contrep_factory(args):
+    if len(args) != 1 or not isinstance(args[0], str):
+        raise MoaTypeError("CONTREP takes exactly one media-type name")
+    return ContrepType(args[0])
+
+
+register_structure("CONTREP", _contrep_factory)
+
+
+# ----------------------------------------------------------------------
+# Runtime value
+# ----------------------------------------------------------------------
+
+
+class ContentRepresentation:
+    """Python-level CONTREP value: term frequencies plus length.
+
+    Constructible from raw text (tokenized/stopped/stemmed for ``Text``
+    media), a token list (counted as-is, used for cluster labels), or a
+    prepared term->tf mapping.
+    """
+
+    __slots__ = ("terms", "length")
+
+    def __init__(self, terms: Mapping[str, int], length: Optional[int] = None):
+        self.terms: Dict[str, int] = {
+            t: int(f) for t, f in terms.items() if int(f) > 0
+        }
+        self.length = int(length) if length is not None else sum(self.terms.values())
+
+    @classmethod
+    def from_value(cls, value: Any, media: str) -> "ContentRepresentation":
+        if isinstance(value, ContentRepresentation):
+            return value
+        if value is None:
+            return cls({})
+        if isinstance(value, str):
+            tokens = analyze(value) if media == "Text" else value.split()
+            return cls.from_tokens(tokens)
+        if isinstance(value, Mapping):
+            return cls(value)
+        if isinstance(value, (list, tuple)):
+            return cls.from_tokens(list(value))
+        raise MoaTypeError(
+            f"cannot build a CONTREP value from {type(value).__name__}"
+        )
+
+    @classmethod
+    def from_tokens(cls, tokens: Sequence[str]) -> "ContentRepresentation":
+        counts: Dict[str, int] = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        return cls(counts)
+
+    def get(self, term: str, default: int = 0) -> int:
+        return self.terms.get(term, default)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ContentRepresentation)
+            and self.terms == other.terms
+            and self.length == other.length
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ContentRepresentation({self.terms!r}, length={self.length})"
+
+
+# ----------------------------------------------------------------------
+# 2. The physical mapper (inverted-file BATs)
+# ----------------------------------------------------------------------
+
+
+class ContrepMapper(StructureMapper):
+    """CONTREP attribute -> owner/term/tf/doclen BATs under the prefix."""
+
+    def load(self, pool, prefix, ty: ContrepType, values):
+        reps = [ContentRepresentation.from_value(v, ty.media) for v in values]
+        owners: List[int] = []
+        terms: List[str] = []
+        tfs: List[int] = []
+        lengths: List[int] = []
+        for owner_oid, rep in enumerate(reps):
+            for term in sorted(rep.terms):
+                owners.append(owner_oid)
+                terms.append(term)
+                tfs.append(rep.terms[term])
+            lengths.append(rep.length)
+        pool.register(f"{prefix}.owner", dense_bat("oid", owners), replace=True)
+        pool.register(f"{prefix}.term", dense_bat("str", terms), replace=True)
+        pool.register(f"{prefix}.tf", dense_bat("int", tfs), replace=True)
+        pool.register(f"{prefix}.doclen", dense_bat("int", lengths), replace=True)
+
+    def reconstruct(self, pool, prefix, ty: ContrepType, count):
+        owner = pool.lookup(f"{prefix}.owner").tail_values()
+        term = pool.lookup(f"{prefix}.term").tail_values()
+        tf = pool.lookup(f"{prefix}.tf").tail_values()
+        doclen = pool.lookup(f"{prefix}.doclen").tail_values()
+        if len(doclen) != count:
+            raise MoaTypeError(
+                f"{prefix}: doclen covers {len(doclen)} docs, expected {count}"
+            )
+        terms_per_doc: List[Dict[str, int]] = [dict() for _ in range(count)]
+        for i in range(len(owner)):
+            terms_per_doc[int(owner[i])][term[i]] = int(tf[i])
+        return [
+            ContentRepresentation(terms_per_doc[i], int(doclen[i]))
+            for i in range(count)
+        ]
+
+    def bat_names(self, prefix: str) -> List[str]:
+        return [f"{prefix}.{s}" for s in ("owner", "term", "tf", "doclen")]
+
+
+register_mapper(ContrepType, ContrepMapper())
+
+
+# ----------------------------------------------------------------------
+# 3. The logical operation: getBL
+# ----------------------------------------------------------------------
+
+
+def _tc_getbl(arg_types):
+    if len(arg_types) != 3:
+        raise MoaTypeError("getBL takes (contrep, query, stats)")
+    contrep, query, stats = arg_types
+    if not isinstance(contrep, ContrepType):
+        raise MoaTypeError(
+            f"getBL's first argument must be a CONTREP attribute, "
+            f"got {contrep.render()}"
+        )
+    query_ok = (
+        isinstance(query, SetType)
+        and isinstance(query.element, AtomicType)
+        and query.element.atom == "str"
+    )
+    if not query_ok:
+        raise MoaTypeError(
+            f"getBL's query must be SET<Atomic<str>>, got {query.render()}"
+        )
+    if not isinstance(stats, StatsType):
+        raise MoaTypeError(
+            f"getBL's third argument must be collection stats, got {stats.render()}"
+        )
+    return SetType(AtomicType("float"))
+
+
+def _interp_getbl(args, _context):
+    contrep, query_terms, stats = args
+    rep = (
+        contrep
+        if isinstance(contrep, ContentRepresentation)
+        else ContentRepresentation.from_value(contrep, "Text")
+    )
+    if not isinstance(stats, CollectionStats):
+        raise MoaTypeError("getBL stats parameter must be CollectionStats")
+    return belief_list(rep.terms, rep.length, list(query_terms), stats)
+
+
+register_function("getBL", _tc_getbl, _interp_getbl)
+
+
+# ----------------------------------------------------------------------
+# 4. The compile hook: probabilistic operators at the physical level
+# ----------------------------------------------------------------------
+
+
+def _contrep_attr_rep(compiler: Compiler, prefix: str, ty: ContrepType, gather: str):
+    return ContrepLazy(prefix=prefix, gather=gather)
+
+
+register_attr_rep("ContrepType", _contrep_attr_rep)
+
+
+def _compile_getbl(compiler: Compiler, cc, node):
+    """Emit the getBL belief pipeline into the MIL plan.
+
+    Produces a NestedSet of beliefs per document: postings matching the
+    query are selected with a term join, and the InQuery belief formula
+    runs as multiplexed BAT arithmetic -- identical numerics to
+    :func:`repro.ir.beliefs.beliefs_array`.
+    """
+    from repro.moa import ast as moa_ast
+
+    contrep_rep = compiler.compile_elem(node.args[0], cc)
+    cols = compiler.force_contrep(contrep_rep, cc)
+    query_node = node.args[1]
+    stats_node = node.args[2]
+    if not isinstance(query_node, moa_ast.VarRef):
+        raise MoaCompileError("getBL query must be a bound parameter")
+    if not isinstance(stats_node, moa_ast.VarRef):
+        raise MoaCompileError("getBL stats must be a bound parameter")
+    qvar = query_node.name
+    stats_name = stats_node.name
+
+    params = DEFAULT_PARAMETERS
+    alpha = params.default_belief
+    # Match postings against the query terms (duplicates keep weighted
+    # queries working: each occurrence contributes once).
+    matches = compiler.emit(f"{cols.term}.join({qvar}.reverse)", "m")
+    sel = compiler.emit(f"{matches}.mirror.mark(oid(0)).reverse", "sel")
+    btf = compiler.emit(f"{sel}.join({cols.tf})", "btf")
+    bown = compiler.emit(f"{sel}.join({cols.owner})", "bown")
+    bterm = compiler.emit(f"{sel}.join({cols.term})", "bterm")
+    bdf = compiler.emit(f"{bterm}.join({stats_name}_df)", "bdf")
+    bdl = compiler.emit(f"{bown}.join({cols.doclen})", "bdl")
+    # Scalar precomputations from the stats bindings.
+    n_plus_half = compiler.emit(f"dbl({stats_name}_N) + 0.5", "s")
+    log_n = compiler.emit(f"log(dbl({stats_name}_N) + 1.0)", "s")
+    # ntf = tf / (tf + k + w * dl / avgdl)
+    tf_dbl = compiler.emit(f"[dbl]({btf})", "v")
+    dl_term = compiler.emit(
+        f"[/]([*]({params.tf_doclen_weight}, [dbl]({bdl})), {stats_name}_avgdl)",
+        "v",
+    )
+    denominator = compiler.emit(
+        f"[+]([+]({tf_dbl}, {params.tf_k}), {dl_term})", "v"
+    )
+    ntf = compiler.emit(f"[/]({tf_dbl}, {denominator})", "ntf")
+    # nidf = log((N + 0.5)/df) / log(N + 1)
+    nidf = compiler.emit(
+        f"[/]([log]([/]({n_plus_half}, [dbl]({bdf}))), {log_n})", "nidf"
+    )
+    bel = compiler.emit(
+        f"[+]({alpha}, [*]([*]({1.0 - alpha}, {ntf}), {nidf}))", "bel"
+    )
+    return NestedSet(parent=bown, elem=AtomCol(bel, "dbl"))
+
+
+register_compile_hook("getBL", _compile_getbl)

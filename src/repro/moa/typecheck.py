@@ -1,0 +1,297 @@
+"""Type checker / inference for Moa query ASTs.
+
+Annotates every node's ``ty`` slot and resolves bare identifiers into
+collection references (schema) or parameter references (``query``,
+``stats`` -- bound at execution time).  Returns a *new* tree: the parser
+cannot distinguish ``CollectionRef`` from ``VarRef``, so the checker
+rewrites nodes as it types them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.moa import ast
+from repro.moa.errors import MoaTypeError
+from repro.moa.functions import function_spec, has_function
+from repro.moa.types import (
+    AtomicType,
+    ListType,
+    MoaType,
+    SetType,
+    StatsType,
+    TupleType,
+    common_numeric,
+    element_type,
+    is_collection,
+    is_numeric_atomic,
+    make_tuple_type,
+)
+
+_ATOM_TO_BASE = {"int": "int", "dbl": "float", "str": "str", "bit": "bit", "oid": "oid"}
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+_ARITHMETIC_OPS = {"+", "-", "*", "/"}
+_LOGICAL_OPS = {"and", "or"}
+
+
+class _Context:
+    """Binding context: the THIS stack and join THIS1/THIS2 bindings."""
+
+    def __init__(self):
+        self.this_stack: List[MoaType] = []
+        self.join_stack: List[Dict[int, MoaType]] = []
+
+    def push_this(self, ty: MoaType):
+        self.this_stack.append(ty)
+
+    def pop_this(self):
+        self.this_stack.pop()
+
+    def push_join(self, left: MoaType, right: MoaType):
+        self.join_stack.append({1: left, 2: right})
+
+    def pop_join(self):
+        self.join_stack.pop()
+
+    def this_type(self, index: int) -> MoaType:
+        if index == 0:
+            if not self.this_stack:
+                raise MoaTypeError("THIS used outside a map/select body")
+            return self.this_stack[-1]
+        if not self.join_stack:
+            raise MoaTypeError(f"THIS{index} used outside a join body")
+        return self.join_stack[-1][index]
+
+
+class TypeChecker:
+    """Checks one query against a schema and parameter declarations."""
+
+    def __init__(
+        self,
+        schema: Dict[str, MoaType],
+        params: Optional[Dict[str, MoaType]] = None,
+    ):
+        self.schema = schema
+        self.params = params or {}
+        self.context = _Context()
+
+    # ------------------------------------------------------------------
+    def check(self, node: ast.Expr) -> ast.Expr:
+        """Type the tree rooted at *node*; returns the rewritten tree."""
+        method = getattr(self, f"_check_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise MoaTypeError(f"cannot type {type(node).__name__}")
+        return method(node)
+
+    # -- leaves ----------------------------------------------------------
+    def _check_collectionref(self, node: ast.CollectionRef) -> ast.Expr:
+        if node.name in self.schema:
+            node.ty = self.schema[node.name]
+            return node
+        if node.name in self.params:
+            rewritten = ast.VarRef(name=node.name, line=node.line)
+            rewritten.ty = self.params[node.name]
+            return rewritten
+        raise MoaTypeError(
+            f"unknown name {node.name!r}: not a collection "
+            f"({sorted(self.schema)}) nor a declared parameter "
+            f"({sorted(self.params)})"
+        )
+
+    def _check_varref(self, node: ast.VarRef) -> ast.Expr:
+        if node.name not in self.params:
+            raise MoaTypeError(f"undeclared parameter {node.name!r}")
+        node.ty = self.params[node.name]
+        return node
+
+    def _check_this(self, node: ast.This) -> ast.Expr:
+        node.ty = self.context.this_type(node.index)
+        return node
+
+    def _check_literal(self, node: ast.Literal) -> ast.Expr:
+        node.ty = AtomicType(_ATOM_TO_BASE[node.atom])
+        return node
+
+    # -- structure access -------------------------------------------------
+    def _check_attraccess(self, node: ast.AttrAccess) -> ast.Expr:
+        node.base = self.check(node.base)
+        base_ty = node.base.ty
+        if not isinstance(base_ty, TupleType):
+            raise MoaTypeError(
+                f"attribute access .{node.attr} on non-tuple {base_ty.render()}"
+            )
+        node.ty = base_ty.field_type(node.attr)
+        return node
+
+    # -- structure operations ----------------------------------------------
+    def _check_map(self, node: ast.Map) -> ast.Expr:
+        node.over = self.check(node.over)
+        over_ty = node.over.ty
+        if not is_collection(over_ty):
+            raise MoaTypeError(f"map over non-collection {over_ty.render()}")
+        self.context.push_this(element_type(over_ty))
+        try:
+            node.body = self.check(node.body)
+        finally:
+            self.context.pop_this()
+        wrapper = ListType if isinstance(over_ty, ListType) else SetType
+        node.ty = wrapper(node.body.ty)
+        return node
+
+    def _check_select(self, node: ast.Select) -> ast.Expr:
+        node.over = self.check(node.over)
+        over_ty = node.over.ty
+        if not is_collection(over_ty):
+            raise MoaTypeError(f"select over non-collection {over_ty.render()}")
+        self.context.push_this(element_type(over_ty))
+        try:
+            node.pred = self.check(node.pred)
+        finally:
+            self.context.pop_this()
+        if not _is_bit(node.pred.ty):
+            raise MoaTypeError(
+                f"select predicate must be boolean, got {node.pred.ty.render()}"
+            )
+        node.ty = over_ty
+        return node
+
+    def _check_join(self, node: ast.Join) -> ast.Expr:
+        node.left = self.check(node.left)
+        node.right = self.check(node.right)
+        left_elem = _tuple_element(node.left.ty, "join left")
+        right_elem = _tuple_element(node.right.ty, "join right")
+        clash = set(left_elem.field_names()) & set(right_elem.field_names())
+        if clash:
+            raise MoaTypeError(f"join field name clash: {sorted(clash)}")
+        self.context.push_join(left_elem, right_elem)
+        try:
+            node.pred = self.check(node.pred)
+        finally:
+            self.context.pop_join()
+        if not _is_bit(node.pred.ty):
+            raise MoaTypeError("join predicate must be boolean")
+        merged = make_tuple_type(
+            list(left_elem.fields) + list(right_elem.fields)
+        )
+        node.ty = SetType(merged)
+        return node
+
+    def _check_semijoin(self, node: ast.Semijoin) -> ast.Expr:
+        node.left = self.check(node.left)
+        node.right = self.check(node.right)
+        left_elem = _tuple_element(node.left.ty, "semijoin left")
+        right_elem = _tuple_element(node.right.ty, "semijoin right")
+        self.context.push_join(left_elem, right_elem)
+        try:
+            node.pred = self.check(node.pred)
+        finally:
+            self.context.pop_join()
+        if not _is_bit(node.pred.ty):
+            raise MoaTypeError("semijoin predicate must be boolean")
+        node.ty = node.left.ty
+        return node
+
+    def _check_unnest(self, node: ast.Unnest) -> ast.Expr:
+        node.over = self.check(node.over)
+        parent = _tuple_element(node.over.ty, "unnest")
+        nested_ty = parent.field_type(node.attr)
+        if not is_collection(nested_ty):
+            raise MoaTypeError(
+                f"unnest attribute {node.attr!r} is not a collection"
+            )
+        child = element_type(nested_ty)
+        kept = [(n, t) for n, t in parent.fields if n != node.attr]
+        if isinstance(child, TupleType):
+            clash = {n for n, _ in kept} & set(child.field_names())
+            if clash:
+                raise MoaTypeError(f"unnest field name clash: {sorted(clash)}")
+            merged = make_tuple_type(kept + list(child.fields))
+        else:
+            merged = make_tuple_type(kept + [(node.attr, child)])
+        node.ty = SetType(merged)
+        return node
+
+    def _check_nest(self, node: ast.Nest) -> ast.Expr:
+        node.over = self.check(node.over)
+        elem = _tuple_element(node.over.ty, "nest")
+        if not elem.has_field(node.key):
+            raise MoaTypeError(f"nest key {node.key!r} is not a field")
+        rest = [(n, t) for n, t in elem.fields if n != node.key]
+        if not rest:
+            raise MoaTypeError("nest needs at least one non-key field")
+        group_ty = SetType(make_tuple_type(rest))
+        node.ty = SetType(
+            make_tuple_type([(node.key, elem.field_type(node.key)), ("group", group_ty)])
+        )
+        return node
+
+    def _check_tuplecons(self, node: ast.TupleCons) -> ast.Expr:
+        typed_fields = []
+        new_fields = []
+        for name, expr in node.fields:
+            typed = self.check(expr)
+            new_fields.append((name, typed))
+            typed_fields.append((name, typed.ty))
+        node.fields = new_fields
+        node.ty = make_tuple_type(typed_fields)
+        return node
+
+    # -- functions and operators -------------------------------------------
+    def _check_funccall(self, node: ast.FuncCall) -> ast.Expr:
+        node.args = [self.check(a) for a in node.args]
+        spec = function_spec(node.name)
+        node.ty = spec.typecheck([a.ty for a in node.args])
+        return node
+
+    def _check_binop(self, node: ast.BinOp) -> ast.Expr:
+        node.left = self.check(node.left)
+        node.right = self.check(node.right)
+        lt, rt = node.left.ty, node.right.ty
+        if node.op in _ARITHMETIC_OPS:
+            result = common_numeric(lt, rt)
+            node.ty = AtomicType("float") if node.op == "/" else result
+            return node
+        if node.op in _COMPARISON_OPS:
+            if isinstance(lt, AtomicType) and isinstance(rt, AtomicType):
+                comparable = (
+                    lt.atom == rt.atom
+                    or (is_numeric_atomic(lt) and is_numeric_atomic(rt))
+                )
+                if not comparable:
+                    raise MoaTypeError(
+                        f"cannot compare {lt.render()} with {rt.render()}"
+                    )
+                node.ty = AtomicType("bit")
+                return node
+            raise MoaTypeError("comparison needs atomic operands")
+        if node.op in _LOGICAL_OPS:
+            if not (_is_bit(lt) and _is_bit(rt)):
+                raise MoaTypeError(f"{node.op} needs boolean operands")
+            node.ty = AtomicType("bit")
+            return node
+        raise MoaTypeError(f"unknown operator {node.op!r}")
+
+
+def _is_bit(ty: Optional[MoaType]) -> bool:
+    return isinstance(ty, AtomicType) and ty.atom == "bit"
+
+
+def _tuple_element(ty: MoaType, where: str) -> TupleType:
+    if not is_collection(ty):
+        raise MoaTypeError(f"{where} operand is not a collection: {ty.render()}")
+    elem = element_type(ty)
+    if not isinstance(elem, TupleType):
+        raise MoaTypeError(f"{where} elements must be tuples, got {elem.render()}")
+    return elem
+
+
+def typecheck(
+    node: ast.Expr,
+    schema: Dict[str, MoaType],
+    params: Optional[Dict[str, MoaType]] = None,
+) -> ast.Expr:
+    """Type the query *node* against *schema* and *params*; returns the
+    annotated (and possibly rewritten) tree."""
+    return TypeChecker(schema, params).check(node)

@@ -1,0 +1,290 @@
+"""Moa's structural type system with open extensibility.
+
+"Structures, such as tuple and (multi-)set, define complex data types
+out of the simple base types.  The base types, such as integer and
+string, are inherited from the underlying physical database."
+(Mirror paper, section 2.)
+
+A :class:`MoaType` is a tree of structure applications over
+:class:`AtomicType` leaves.  The *structure registry* is the paper's
+extensibility hook: the kernel registers ``Atomic``, ``TUPLE`` and
+``SET``; :mod:`repro.moa.structures.list_` adds ``LIST`` ("Henk Ernst
+Blok, who added the LIST structure to Moa") and
+:mod:`repro.moa.structures.contrep` adds the domain-specific ``CONTREP``
+for multimedia retrieval -- *without touching this module*, exactly the
+open-system property the paper claims.
+
+Logical base types are names like ``URL``, ``Text``, ``Image``,
+``Vector``; each maps onto a physical atom of the Monet substitute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.moa.errors import MoaTypeError
+
+# ----------------------------------------------------------------------
+# Logical base types -> physical atoms
+# ----------------------------------------------------------------------
+
+#: Logical base-type name -> physical atom name.  ``Vector`` is encoded
+#: on a str atom (space-separated components); the multimedia layer
+#: provides encode/decode helpers.  This matches the paper's usage: the
+#: ``Atomic<Vector>`` attributes only exist in the *intermediate* schema
+#: between feature extraction and clustering.
+_BASE_TYPES: Dict[str, str] = {
+    "int": "int",
+    "integer": "int",
+    "oid": "oid",
+    "float": "dbl",
+    "dbl": "dbl",
+    "str": "str",
+    "string": "str",
+    "bit": "bit",
+    "bool": "bit",
+    "URL": "str",
+    "Text": "str",
+    "Image": "str",
+    "Audio": "str",
+    "Video": "str",
+    "Vector": "str",
+}
+
+
+def register_base_type(name: str, atom_name: str) -> None:
+    """Add a new logical base type backed by physical atom *atom_name*."""
+    existing = _BASE_TYPES.get(name)
+    if existing is not None and existing != atom_name:
+        raise MoaTypeError(
+            f"base type {name!r} already maps to atom {existing!r}"
+        )
+    _BASE_TYPES[name] = atom_name
+
+
+def base_type_atom(name: str) -> str:
+    """Physical atom backing logical base type *name*."""
+    try:
+        return _BASE_TYPES[name]
+    except KeyError:
+        raise MoaTypeError(
+            f"unknown base type {name!r}; known: {sorted(_BASE_TYPES)}"
+        ) from None
+
+
+def base_type_names() -> List[str]:
+    return sorted(_BASE_TYPES)
+
+
+# ----------------------------------------------------------------------
+# Type tree
+# ----------------------------------------------------------------------
+
+
+class MoaType:
+    """Abstract base of all Moa types."""
+
+    #: Structure name used in DDL (overridden per subclass).
+    structure = "?"
+
+    def render(self) -> str:
+        """DDL-style rendering of this type."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.render()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MoaType) and self.render() == other.render()
+
+    def __hash__(self) -> int:
+        return hash(self.render())
+
+
+@dataclass(frozen=True, eq=False)
+class AtomicType(MoaType):
+    """``Atomic<Base>``: a leaf carrying one base-type value."""
+
+    base: str
+
+    structure = "Atomic"
+
+    def __post_init__(self):
+        base_type_atom(self.base)  # validate eagerly
+
+    @property
+    def atom(self) -> str:
+        """Physical atom name backing this leaf."""
+        return base_type_atom(self.base)
+
+    def render(self) -> str:
+        return f"Atomic<{self.base}>"
+
+
+@dataclass(frozen=True, eq=False)
+class TupleType(MoaType):
+    """``TUPLE<T1: a1, ..., Tn: an>``: named heterogeneous fields."""
+
+    fields: Tuple[Tuple[str, MoaType], ...]
+
+    structure = "TUPLE"
+
+    def __post_init__(self):
+        names = [name for name, _ in self.fields]
+        if len(names) != len(set(names)):
+            raise MoaTypeError(f"duplicate tuple field in {names}")
+        if not names:
+            raise MoaTypeError("TUPLE needs at least one field")
+
+    def field_names(self) -> List[str]:
+        return [name for name, _ in self.fields]
+
+    def field_type(self, name: str) -> MoaType:
+        for field_name, field_ty in self.fields:
+            if field_name == name:
+                return field_ty
+        raise MoaTypeError(
+            f"tuple has no field {name!r}; fields: {self.field_names()}"
+        )
+
+    def has_field(self, name: str) -> bool:
+        return any(field_name == name for field_name, _ in self.fields)
+
+    def render(self) -> str:
+        inner = ", ".join(f"{ty.render()}: {name}" for name, ty in self.fields)
+        return f"TUPLE<{inner}>"
+
+
+@dataclass(frozen=True, eq=False)
+class SetType(MoaType):
+    """``SET<T>``: a multi-set of elements (the NF2 collection)."""
+
+    element: MoaType
+
+    structure = "SET"
+
+    def render(self) -> str:
+        return f"SET<{self.element.render()}>"
+
+
+@dataclass(frozen=True, eq=False)
+class ListType(MoaType):
+    """``LIST<T>``: an order-preserving collection (the structure "Henk
+    Ernst Blok ... added to Moa", Acknowledgments).  Registered through
+    the same extensibility hook as any third-party structure."""
+
+    element: MoaType
+
+    structure = "LIST"
+
+    def render(self) -> str:
+        return f"LIST<{self.element.render()}>"
+
+
+@dataclass(frozen=True, eq=False)
+class StatsType(MoaType):
+    """Type of the ``stats`` query parameter: global collection
+    statistics for the inference network (df table, collection size,
+    average document length)."""
+
+    structure = "STATS"
+
+    def render(self) -> str:
+        return "STATS"
+
+
+# ----------------------------------------------------------------------
+# Structure registry (the extensibility hook)
+# ----------------------------------------------------------------------
+
+#: A factory receives the raw DDL type arguments -- each either a parsed
+#: MoaType or a bare identifier string (for base-type args like ``URL``)
+#: -- and returns the constructed type.
+StructureFactory = Callable[[Sequence[Union[MoaType, str]]], MoaType]
+
+_STRUCTURES: Dict[str, StructureFactory] = {}
+
+
+def register_structure(name: str, factory: StructureFactory) -> None:
+    """Register structure *name* for DDL parsing and type construction.
+
+    This is Moa's open complex-object extensibility: new structures can
+    be added "similar to the well-known principle of base type
+    extensibility in object-relational database systems" (section 2).
+    """
+    if name in _STRUCTURES and _STRUCTURES[name] is not factory:
+        raise MoaTypeError(f"structure {name!r} already registered")
+    _STRUCTURES[name] = factory
+
+
+def structure_factory(name: str) -> StructureFactory:
+    try:
+        return _STRUCTURES[name]
+    except KeyError:
+        raise MoaTypeError(
+            f"unknown structure {name!r}; known: {sorted(_STRUCTURES)}"
+        ) from None
+
+
+def structure_names() -> List[str]:
+    return sorted(_STRUCTURES)
+
+
+def _atomic_factory(args: Sequence[Union[MoaType, str]]) -> MoaType:
+    if len(args) != 1 or not isinstance(args[0], str):
+        raise MoaTypeError("Atomic takes exactly one base-type name")
+    return AtomicType(args[0])
+
+
+def _set_factory(args: Sequence[Union[MoaType, str]]) -> MoaType:
+    if len(args) != 1 or not isinstance(args[0], MoaType):
+        raise MoaTypeError("SET takes exactly one element type")
+    return SetType(args[0])
+
+
+def _list_factory(args: Sequence[Union[MoaType, str]]) -> MoaType:
+    if len(args) != 1 or not isinstance(args[0], MoaType):
+        raise MoaTypeError("LIST takes exactly one element type")
+    return ListType(args[0])
+
+
+def make_tuple_type(fields: Sequence[Tuple[str, MoaType]]) -> TupleType:
+    """Public TUPLE constructor used by the DDL parser (TUPLE's fields
+    carry names, so it does not fit the positional factory signature)."""
+    return TupleType(tuple(fields))
+
+
+register_structure("Atomic", _atomic_factory)
+register_structure("SET", _set_factory)
+register_structure("LIST", _list_factory)
+
+# ----------------------------------------------------------------------
+# Convenience predicates used across the compiler/typechecker
+# ----------------------------------------------------------------------
+
+
+def is_collection(ty: MoaType) -> bool:
+    """SET and LIST (and any structure flagging itself a collection)."""
+    return isinstance(ty, (SetType, ListType))
+
+
+def element_type(ty: MoaType) -> MoaType:
+    if isinstance(ty, (SetType, ListType)):
+        return ty.element
+    raise MoaTypeError(f"{ty.render()} is not a collection type")
+
+
+def is_numeric_atomic(ty: MoaType) -> bool:
+    return isinstance(ty, AtomicType) and ty.atom in ("int", "dbl", "oid", "bit")
+
+
+def common_numeric(a: MoaType, b: MoaType) -> AtomicType:
+    """Numeric promotion for scalar operators."""
+    if not (is_numeric_atomic(a) and is_numeric_atomic(b)):
+        raise MoaTypeError(
+            f"numeric operator applied to {a.render()} and {b.render()}"
+        )
+    if "dbl" in (a.atom, b.atom):  # type: ignore[union-attr]
+        return AtomicType("dbl")
+    return AtomicType("int")

@@ -1,0 +1,415 @@
+"""The Binary Association Table (BAT), Monet's only collection type.
+
+A BAT is a sequence of *BUNs* (binary units): (head, tail) value pairs.
+Both head and tail are typed by an atom.  All bulk data in the Mirror
+DBMS bottoms out in BATs; the Moa layer maps every logical structure to
+a set of named BATs (see :mod:`repro.moa.mapping`).
+
+Columns
+-------
+
+:class:`Column` wraps a numpy array plus its atom type.  The special
+:class:`VoidColumn` represents Monet's ``void`` type: a *virtual*
+dense oid sequence ``seqbase, seqbase+1, ...`` that occupies no memory.
+Most BATs produced by the kernel have void heads, which is what makes
+positional joins (``fetchjoin``) constant-time per element.
+
+Properties
+----------
+
+BATs carry the property flags Monet uses for optimization:
+
+``hsorted``/``tsorted``
+    head/tail values are non-decreasing.
+``hkey``/``tkey``
+    head/tail values are unique.
+``hdense``
+    head is a dense (void-representable) sequence.
+
+The kernel maintains these conservatively: a flag is only ``True`` when
+guaranteed by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.monet.atoms import AtomType, atom, coerce_value
+from repro.monet.errors import BATError
+
+
+class Column:
+    """A materialized column: numpy array + atom type."""
+
+    __slots__ = ("atom_type", "values")
+
+    def __init__(self, atom_type: Union[AtomType, str], values: np.ndarray):
+        if isinstance(atom_type, str):
+            atom_type = atom(atom_type)
+        if not isinstance(values, np.ndarray):
+            values = atom_type.make_array(list(values))
+        if values.ndim != 1:
+            raise BATError("column values must be one-dimensional")
+        self.atom_type = atom_type
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def is_void(self) -> bool:
+        return False
+
+    def materialize(self) -> np.ndarray:
+        """Return the underlying numpy array (already materialized)."""
+        return self.values
+
+    def take(self, positions: np.ndarray) -> "Column":
+        """Positional gather."""
+        return Column(self.atom_type, self.values[positions])
+
+    def python_value(self, position: int):
+        """The Python-level value at *position* (NIL -> None)."""
+        return self.atom_type.to_python(self.values[position])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column<{self.atom_type.name}>[{len(self)}]"
+
+
+class VoidColumn:
+    """A virtual dense oid column ``seqbase .. seqbase+count-1``.
+
+    This is Monet's ``void`` head: it stores nothing, yet behaves like a
+    sorted, key oid column.  :meth:`materialize` produces the explicit
+    array when an operator needs real values.
+    """
+
+    __slots__ = ("seqbase", "count", "atom_type")
+
+    def __init__(self, seqbase: int, count: int):
+        if seqbase < 0 or count < 0:
+            raise BATError("void column needs non-negative seqbase and count")
+        self.seqbase = seqbase
+        self.count = count
+        self.atom_type = atom("oid")
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def is_void(self) -> bool:
+        return True
+
+    def materialize(self) -> np.ndarray:
+        return np.arange(self.seqbase, self.seqbase + self.count, dtype=np.int64)
+
+    def take(self, positions: np.ndarray) -> Column:
+        return Column(self.atom_type, np.asarray(positions, dtype=np.int64) + self.seqbase)
+
+    def python_value(self, position: int) -> int:
+        if position < 0:
+            position += self.count
+        if not 0 <= position < self.count:
+            raise BATError("void column index out of range")
+        return self.seqbase + position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VoidColumn[{self.seqbase}..{self.seqbase + self.count})"
+
+
+AnyColumn = Union[Column, VoidColumn]
+
+
+class BAT:
+    """A Binary Association Table: aligned head and tail columns.
+
+    BATs are *immutable by convention*: kernel operators always build new
+    BATs (or views).  The only mutating entry points are
+    :meth:`append_pairs` (bulk load) used by the update layer.
+    """
+
+    __slots__ = ("head", "tail", "hsorted", "tsorted", "hkey", "tkey", "name")
+
+    def __init__(
+        self,
+        head: AnyColumn,
+        tail: AnyColumn,
+        *,
+        hsorted: bool = False,
+        tsorted: bool = False,
+        hkey: bool = False,
+        tkey: bool = False,
+        name: Optional[str] = None,
+    ):
+        if len(head) != len(tail):
+            raise BATError(
+                f"head/tail length mismatch: {len(head)} vs {len(tail)}"
+            )
+        self.head = head
+        self.tail = tail
+        # Void columns are dense, therefore sorted and key by definition.
+        self.hsorted = hsorted or head.is_void
+        self.hkey = hkey or head.is_void
+        self.tsorted = tsorted or tail.is_void
+        self.tkey = tkey or tail.is_void
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.head)
+
+    @property
+    def count(self) -> int:
+        """BUN count (Monet's ``count``)."""
+        return len(self.head)
+
+    @property
+    def htype(self) -> str:
+        return self.head.atom_type.name
+
+    @property
+    def ttype(self) -> str:
+        return self.tail.atom_type.name
+
+    @property
+    def hdense(self) -> bool:
+        """True when the head is a virtual dense sequence."""
+        return self.head.is_void
+
+    def head_values(self) -> np.ndarray:
+        """Materialized head array."""
+        return self.head.materialize()
+
+    def tail_values(self) -> np.ndarray:
+        """Materialized tail array."""
+        return self.tail.materialize()
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate (head, tail) pairs as Python values (NIL -> None)."""
+        for position in range(len(self)):
+            yield (
+                self.head.python_value(position),
+                self.tail.python_value(position),
+            )
+
+    def to_pairs(self) -> List[Tuple[Any, Any]]:
+        """All BUNs as a Python list (test/debug helper)."""
+        return list(self.items())
+
+    def to_dict(self) -> dict:
+        """head -> tail mapping; requires a key head."""
+        if not self.hkey:
+            raise BATError("to_dict requires a key head column")
+        return dict(self.items())
+
+    def tail_list(self) -> List[Any]:
+        """Tail values in BUN order as Python values (vectorized)."""
+        return _column_to_list(self.tail)
+
+    def head_list(self) -> List[Any]:
+        """Head values in BUN order as Python values (vectorized)."""
+        return _column_to_list(self.head)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or "tmp"
+        return f"BAT({label})[{self.htype},{self.ttype}]#{len(self)}"
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def reverse(self) -> "BAT":
+        """Swap head and tail (Monet ``reverse``); O(1) view semantics."""
+        return BAT(
+            self.tail,
+            self.head,
+            hsorted=self.tsorted,
+            tsorted=self.hsorted,
+            hkey=self.tkey,
+            tkey=self.hkey,
+        )
+
+    def mirror(self) -> "BAT":
+        """[head, head] view (Monet ``mirror``)."""
+        return BAT(
+            self.head,
+            self.head,
+            hsorted=self.hsorted,
+            tsorted=self.hsorted,
+            hkey=self.hkey,
+            tkey=self.hkey,
+        )
+
+    def slice(self, start: int, stop: int) -> "BAT":
+        """BUN-positional slice [start, stop) (Monet ``slice``)."""
+        start = max(0, start)
+        stop = min(len(self), stop)
+        if stop < start:
+            stop = start
+        positions = np.arange(start, stop, dtype=np.int64)
+        return self.take_positions(positions)
+
+    def take_positions(self, positions: np.ndarray) -> "BAT":
+        """Gather BUNs at the given positions, preserving order-derived
+        properties only when the gather is monotone."""
+        positions = np.asarray(positions, dtype=np.int64)
+        monotone = len(positions) <= 1 or bool(np.all(np.diff(positions) > 0))
+        if self.head.is_void and monotone and len(positions) > 0:
+            contiguous = bool(np.all(np.diff(positions) == 1)) if len(positions) > 1 else True
+            if contiguous:
+                head: AnyColumn = VoidColumn(
+                    self.head.seqbase + int(positions[0]), len(positions)
+                )
+            else:
+                head = self.head.take(positions)
+        else:
+            head = self.head.take(positions)
+        tail = self.tail.take(positions)
+        return BAT(
+            head,
+            tail,
+            hsorted=self.hsorted and monotone,
+            tsorted=self.tsorted and monotone,
+            hkey=self.hkey,
+            tkey=self.tkey,
+        )
+
+    # ------------------------------------------------------------------
+    # Point access
+    # ------------------------------------------------------------------
+    def find(self, head_value) -> Any:
+        """Tail value for the first BUN whose head equals *head_value*
+        (Monet ``find``); raises :class:`BATError` when absent."""
+        if self.head.is_void:
+            position = int(head_value) - self.head.seqbase
+            if 0 <= position < len(self):
+                return self.tail.python_value(position)
+            raise BATError(f"head value {head_value!r} not found")
+        heads = self.head.materialize()
+        if self.head.atom_type.name == "str":
+            matches = np.nonzero(heads == head_value)[0]
+        else:
+            matches = np.nonzero(heads == coerce_value(head_value, self.head.atom_type))[0]
+        if len(matches) == 0:
+            raise BATError(f"head value {head_value!r} not found")
+        return self.tail.python_value(int(matches[0]))
+
+    def exists(self, head_value) -> bool:
+        """True when some BUN has this head value (Monet ``exist``)."""
+        try:
+            self.find(head_value)
+            return True
+        except BATError:
+            return False
+
+
+def column_from_values(atom_name: str, values: Sequence[Any]) -> Column:
+    """Build a materialized column of atom *atom_name* from Python values."""
+    atom_type = atom(atom_name)
+    coerced = [coerce_value(v, atom_type) for v in values]
+    return Column(atom_type, atom_type.make_array(coerced))
+
+
+def bat_from_pairs(
+    head_type: str,
+    tail_type: str,
+    pairs: Iterable[Tuple[Any, Any]],
+    *,
+    name: Optional[str] = None,
+) -> BAT:
+    """Construct a BAT from (head, tail) Python pairs.
+
+    Detects a dense head automatically so that round-trips through
+    :meth:`BAT.to_pairs` preserve void-ness.
+    """
+    pair_list = list(pairs)
+    heads = [h for h, _ in pair_list]
+    tails = [t for _, t in pair_list]
+    tail_col = column_from_values(tail_type, tails)
+    if head_type == "oid" and _is_dense(heads):
+        seqbase = int(heads[0]) if heads else 0
+        return BAT(VoidColumn(seqbase, len(heads)), tail_col, name=name)
+    head_col = column_from_values(head_type, heads)
+    hsorted = _is_sorted(head_col.values, head_type)
+    hkey = hsorted and _is_strictly_increasing(head_col.values, head_type)
+    return BAT(head_col, tail_col, hsorted=hsorted, hkey=hkey, name=name)
+
+
+def dense_bat(tail_type: str, values: Sequence[Any], *, seqbase: int = 0) -> BAT:
+    """[void, tail] BAT over *values* with a dense head starting at
+    *seqbase* -- the workhorse constructor for loading columns."""
+    tail_col = column_from_values(tail_type, values)
+    return BAT(VoidColumn(seqbase, len(tail_col)), tail_col)
+
+
+def empty_bat(head_type: str, tail_type: str) -> BAT:
+    """A zero-BUN BAT of the given column types."""
+    if head_type == "oid":
+        head: AnyColumn = VoidColumn(0, 0)
+    else:
+        head = column_from_values(head_type, [])
+    return BAT(head, column_from_values(tail_type, []), hsorted=True, tsorted=True,
+               hkey=True, tkey=True)
+
+
+def _column_to_list(column: AnyColumn) -> List[Any]:
+    """Bulk column -> Python list with NIL -> None, avoiding the
+    per-element ``python_value`` dispatch (hot path of result
+    reconstruction)."""
+    if column.is_void:
+        return list(range(column.seqbase, column.seqbase + column.count))
+    atom_type = column.atom_type
+    values = column.values
+    name = atom_type.name
+    if name == "str":
+        return list(values)
+    if name == "dbl":
+        mask = np.isnan(values)
+        plain = values.tolist()
+        if not mask.any():
+            return plain
+        return [None if m else v for v, m in zip(plain, mask.tolist())]
+    if name in ("int", "oid"):
+        nil = atom_type.nil
+        plain = values.tolist()
+        if not (values == nil).any():
+            return plain
+        return [None if v == nil else v for v in plain]
+    if name == "bit":
+        return [None if v == -1 else bool(v) for v in values.tolist()]
+    return [atom_type.to_python(v) for v in values]
+
+
+def _is_dense(values: Sequence[Any]) -> bool:
+    if not values:
+        return True
+    try:
+        ints = [int(v) for v in values]
+    except (TypeError, ValueError):
+        return False
+    return all(b - a == 1 for a, b in zip(ints, ints[1:]))
+
+
+def _is_sorted(arr: np.ndarray, atom_name: str) -> bool:
+    if len(arr) <= 1:
+        return True
+    if atom_name == "str":
+        vals = list(arr)
+        if any(v is None for v in vals):
+            return False
+        return all(a <= b for a, b in zip(vals, vals[1:]))
+    return bool(np.all(arr[:-1] <= arr[1:]))
+
+
+def _is_strictly_increasing(arr: np.ndarray, atom_name: str) -> bool:
+    if len(arr) <= 1:
+        return True
+    if atom_name == "str":
+        vals = list(arr)
+        if any(v is None for v in vals):
+            return False
+        return all(a < b for a, b in zip(vals, vals[1:]))
+    return bool(np.all(arr[:-1] < arr[1:]))

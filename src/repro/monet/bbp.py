@@ -1,0 +1,184 @@
+"""The BAT Buffer Pool (BBP): Monet's catalog of named persistent BATs.
+
+Every persistent BAT in a Monet database is registered in the BBP under
+a logical name; MIL programs refer to persistent BATs with ``bat("name")``.
+The Moa mapping layer stores each logical attribute under a dotted name
+such as ``ImageLibrary.annotation.tf`` (see :mod:`repro.moa.mapping`).
+
+Persistence is a directory with one ``.npz`` per BAT plus a JSON
+catalog.  It deliberately mirrors Monet's "BBP dir + heap files" layout
+at a coarse granularity: enough to round-trip a whole Mirror database
+(tested in ``tests/monet/test_bbp.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.monet.atoms import OidGenerator, atom
+from repro.monet.bat import BAT, Column, VoidColumn
+from repro.monet.errors import BBPError
+
+
+class BATBufferPool:
+    """Mutable registry name -> BAT with save/load and an oid sequence."""
+
+    def __init__(self):
+        self._bats: Dict[str, BAT] = {}
+        self.oid_generator = OidGenerator()
+
+    # ------------------------------------------------------------------
+    # Catalog operations
+    # ------------------------------------------------------------------
+    def register(self, name: str, bat: BAT, *, replace: bool = False) -> BAT:
+        """Register *bat* under *name* (Monet ``persists``)."""
+        if not name:
+            raise BBPError("BAT name must be non-empty")
+        if name in self._bats and not replace:
+            raise BBPError(f"BAT {name!r} already registered")
+        bat.name = name
+        self._bats[name] = bat
+        self._bump_oids(bat)
+        return bat
+
+    def lookup(self, name: str) -> BAT:
+        """The BAT registered under *name* (MIL ``bat("name")``)."""
+        try:
+            return self._bats[name]
+        except KeyError:
+            raise BBPError(f"no BAT named {name!r} in the pool") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._bats
+
+    def drop(self, name: str) -> None:
+        """Remove *name* from the catalog."""
+        if name not in self._bats:
+            raise BBPError(f"cannot drop unknown BAT {name!r}")
+        del self._bats[name]
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Registered names, optionally filtered by prefix, sorted."""
+        return sorted(n for n in self._bats if n.startswith(prefix))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bats
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._bats))
+
+    def __len__(self) -> int:
+        return len(self._bats)
+
+    def new_oids(self, count: int) -> int:
+        """Allocate *count* fresh oids; returns the first."""
+        return self.oid_generator.allocate(count)
+
+    def _bump_oids(self, bat: BAT) -> None:
+        """Keep the oid sequence ahead of any oid stored in *bat*."""
+        for column in (bat.head, bat.tail):
+            if column.is_void:
+                top = column.seqbase + len(column) - 1
+                if len(column):
+                    self.oid_generator.bump_past(top)
+            elif column.atom_type.name == "oid" and len(column):
+                values = column.materialize()
+                finite = values[values != np.iinfo(np.int64).max]
+                if len(finite):
+                    self.oid_generator.bump_past(int(finite.max()))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> None:
+        """Write the whole pool to *directory* (catalog + one npz/BAT)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        catalog = {"oid_next": self.oid_generator.current, "bats": {}}
+        for index, (name, bat) in enumerate(sorted(self._bats.items())):
+            filename = f"bat_{index:05d}.npz"
+            entry = {
+                "file": filename,
+                "htype": bat.htype,
+                "ttype": bat.ttype,
+                "hsorted": bat.hsorted,
+                "tsorted": bat.tsorted,
+                "hkey": bat.hkey,
+                "tkey": bat.tkey,
+                "hvoid": bat.head.is_void,
+                "tvoid": bat.tail.is_void,
+            }
+            arrays = {}
+            if bat.head.is_void:
+                entry["hseqbase"] = bat.head.seqbase
+                entry["count"] = len(bat)
+            else:
+                arrays["head"] = _storable(bat.head_values())
+            if bat.tail.is_void:
+                entry["tseqbase"] = bat.tail.seqbase
+                entry["count"] = len(bat)
+            else:
+                arrays["tail"] = _storable(bat.tail_values())
+            np.savez(directory / filename, **arrays)
+            catalog["bats"][name] = entry
+        (directory / "catalog.json").write_text(json.dumps(catalog, indent=1))
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "BATBufferPool":
+        """Read a pool previously written by :meth:`save`."""
+        directory = Path(directory)
+        catalog_path = directory / "catalog.json"
+        if not catalog_path.exists():
+            raise BBPError(f"no catalog.json under {directory}")
+        catalog = json.loads(catalog_path.read_text())
+        pool = cls()
+        for name, entry in catalog["bats"].items():
+            with np.load(directory / entry["file"], allow_pickle=True) as data:
+                head = _restore_column(entry, data, "h", "head")
+                tail = _restore_column(entry, data, "t", "tail")
+            bat = BAT(
+                head,
+                tail,
+                hsorted=entry["hsorted"],
+                tsorted=entry["tsorted"],
+                hkey=entry["hkey"],
+                tkey=entry["tkey"],
+                name=name,
+            )
+            pool._bats[name] = bat
+        pool.oid_generator.bump_past(catalog.get("oid_next", 0) - 1)
+        return pool
+
+
+#: NIL marker for persisted string columns.  No trailing NUL: numpy
+#: unicode arrays strip trailing NULs on read, so the marker must not
+#: end in one.
+_STR_NIL_MARKER = "\x00NIL"
+
+
+def _storable(values: np.ndarray) -> np.ndarray:
+    """Object (string) arrays are stored as unicode arrays; None becomes
+    the reserved marker so NILs round-trip."""
+    if values.dtype == np.dtype(object):
+        return np.array(
+            [_STR_NIL_MARKER if v is None else v for v in values], dtype=str
+        )
+    return values
+
+
+def _restore_column(entry: dict, data, prefix: str, key: str):
+    if entry[f"{prefix}void"]:
+        return VoidColumn(entry[f"{prefix}seqbase"], entry["count"])
+    atom_name = entry["htype"] if prefix == "h" else entry["ttype"]
+    raw = data[key]
+    if atom_name == "str":
+        values = np.empty(len(raw), dtype=object)
+        for position, item in enumerate(raw):
+            text = str(item)
+            values[position] = None if text == _STR_NIL_MARKER else text
+        return Column("str", values)
+    return Column(atom_name, raw.astype(atom(atom_name).dtype))

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Monet substitute.
+
+Every error raised by the physical layer derives from :class:`MonetError`
+so that callers (the Moa executor, the Mirror facade) can catch physical
+failures without masking programming errors.
+"""
+
+
+class MonetError(Exception):
+    """Base class for all errors raised by the Monet substitute."""
+
+
+class AtomError(MonetError):
+    """Invalid atom type name, value coercion failure, or NIL misuse."""
+
+
+class BATError(MonetError):
+    """Structural BAT violation: mismatched column lengths, bad access."""
+
+
+class KernelError(MonetError):
+    """Operator-level failure: type mismatch between operands, bad args."""
+
+
+class BBPError(MonetError):
+    """BAT buffer pool failure: unknown name, duplicate registration,
+    persistence I/O problems."""
+
+
+class MILError(MonetError):
+    """MIL front-end failure: lexing, parsing, or runtime evaluation."""
+
+
+class MILSyntaxError(MILError):
+    """Raised by the MIL lexer/parser with position information."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class MILRuntimeError(MILError):
+    """Raised by the MIL interpreter while evaluating a program."""

@@ -1,0 +1,131 @@
+"""Grouping operators (Monet's ``group``/``refine`` a.k.a. CTgroup).
+
+Grouping in Monet is value-based: ``group(b)`` assigns every BUN of
+``b`` a *group oid* such that two BUNs share a group oid iff their tail
+values are equal.  Multi-attribute grouping is expressed by *refining*
+an existing grouping with another column.
+
+The Moa compiler uses grouping to implement nested-set reconstruction
+and grouped aggregation (the ``map[sum(THIS)]`` pattern of the Mirror
+paper's ranking queries).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.monet.bat import BAT, Column, VoidColumn
+from repro.monet.errors import KernelError
+
+
+def group(bat: BAT) -> BAT:
+    """[head, group-oid]: equal tail values share a dense group oid.
+
+    Group oids are assigned in order of first appearance, starting at 0,
+    so the result is deterministic and the number of groups equals
+    ``max(tail)+1`` of the result.
+    """
+    tails = bat.tail_values()
+    group_ids = _dense_group_ids(tails, bat.tail.atom_type.dtype == np.dtype(object))
+    return BAT(
+        bat.head,
+        Column("oid", group_ids),
+        hsorted=bat.hsorted,
+        hkey=bat.hkey,
+    )
+
+
+def refine(grouping: BAT, bat: BAT) -> BAT:
+    """Refine *grouping* (a [head, group-oid] BAT) by the tail values of
+    *bat*: BUNs end up in the same group iff they agreed before **and**
+    agree on the new column.  Both inputs must be positionally aligned
+    (same head sequence)."""
+    if len(grouping) != len(bat):
+        raise KernelError("refine requires positionally aligned inputs")
+    old_ids = grouping.tail_values()
+    tails = bat.tail_values()
+    if bat.tail.atom_type.dtype == np.dtype(object):
+        keys = list(zip(old_ids.tolist(), tails.tolist()))
+        new_ids = _dense_group_ids_from_keys(keys)
+    else:
+        pair = np.stack((old_ids.astype(np.int64), _codes(tails)), axis=1)
+        _, first_idx, inverse = np.unique(
+            pair, axis=0, return_index=True, return_inverse=True
+        )
+        new_ids = _first_appearance_relabel(first_idx, inverse)
+    return BAT(
+        grouping.head,
+        Column("oid", new_ids),
+        hsorted=grouping.hsorted,
+        hkey=grouping.hkey,
+    )
+
+
+def group_sizes(grouping: BAT) -> BAT:
+    """[group-oid, count]: how many BUNs fell into each group."""
+    ids = grouping.tail_values()
+    if len(ids) == 0:
+        return BAT(VoidColumn(0, 0), Column("int", np.empty(0, dtype=np.int64)))
+    n_groups = int(ids.max()) + 1
+    counts = np.bincount(ids, minlength=n_groups).astype(np.int64)
+    return BAT(VoidColumn(0, n_groups), Column("int", counts))
+
+
+def group_representatives(grouping: BAT, bat: BAT) -> BAT:
+    """[group-oid, tail]: the tail value of the first member of each
+    group -- reconstructs the grouping key column."""
+    if len(grouping) != len(bat):
+        raise KernelError("group_representatives requires aligned inputs")
+    ids = grouping.tail_values()
+    if len(ids) == 0:
+        return BAT(
+            VoidColumn(0, 0),
+            Column(bat.tail.atom_type, bat.tail.atom_type.make_array([])),
+        )
+    n_groups = int(ids.max()) + 1
+    uniq, first_positions = np.unique(ids, return_index=True)
+    if len(uniq) != n_groups:
+        raise KernelError("grouping has gaps in its group-oid sequence")
+    tail = bat.tail.take(first_positions)
+    return BAT(VoidColumn(0, n_groups), tail, hkey=True)
+
+
+def _codes(values: np.ndarray) -> np.ndarray:
+    """Integer codes for numeric arrays (identity for ints, bit-punned
+    stable codes for floats via unique)."""
+    if values.dtype == np.dtype(np.float64):
+        _, inverse = np.unique(values, return_inverse=True)
+        return inverse.astype(np.int64)
+    return values.astype(np.int64)
+
+
+def _dense_group_ids(values: np.ndarray, object_dtype: bool) -> np.ndarray:
+    if object_dtype:
+        return _dense_group_ids_from_keys(values.tolist())
+    if len(values) == 0:
+        return np.empty(0, dtype=np.int64)
+    _, first_idx, inverse = np.unique(values, return_index=True, return_inverse=True)
+    return _first_appearance_relabel(first_idx, inverse)
+
+
+def _dense_group_ids_from_keys(keys) -> np.ndarray:
+    mapping: dict = {}
+    out = np.empty(len(keys), dtype=np.int64)
+    for position, key in enumerate(keys):
+        gid = mapping.get(key)
+        if gid is None:
+            gid = len(mapping)
+            mapping[key] = gid
+        out[position] = gid
+    return out
+
+
+def _first_appearance_relabel(first_idx: np.ndarray, inverse: np.ndarray) -> np.ndarray:
+    """Relabel np.unique inverse codes so group ids follow first
+    appearance order (deterministic, Monet-like); fully vectorized."""
+    order = np.argsort(first_idx, kind="stable")
+    relabel = np.empty(len(order), dtype=np.int64)
+    relabel[order] = np.arange(len(order), dtype=np.int64)
+    return relabel[inverse.astype(np.int64).ravel()]

@@ -1,0 +1,492 @@
+"""The BAT operator kernel: Monet's set-at-a-time algebra.
+
+Every operator consumes and produces whole BATs; there is no
+tuple-at-a-time path anywhere in this module.  This is the property the
+Mirror paper leans on ("allows often for set-at-a-time processing of
+complex query expressions", section 2) and that [BWK98] shows to be the
+performance foundation of the architecture.
+
+Operator vocabulary (Monet names kept):
+
+=================  ====================================================
+``select``         BUNs whose tail lies in a value/range predicate
+``uselect``        like ``select`` but tail replaced by void (head set)
+``likeselect``     tail matches a substring pattern (for str tails)
+``join``           natural join on left.tail = right.head
+``fetchjoin``      positional join against a void-headed right operand
+``outerjoin``      left outer variant of ``join`` (NIL-padded)
+``semijoin``       BUNs of left whose *head* occurs in right's head
+``antijoin``       BUNs of left whose head does *not* occur (``kdiff``)
+``kintersect``     BUNs of left whose head occurs in right's head
+``kunion``         left plus the right BUNs with unseen heads
+``mark``           tail replaced by a fresh dense oid sequence
+``number``         head replaced by a fresh dense oid sequence
+``sort``           stable sort on head
+``tsort``          stable sort on tail
+``unique``         duplicate BUN elimination
+``kunique``        duplicate head elimination (first BUN wins)
+``slice_bat``      positional BUN range
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.monet.atoms import OID_NIL, coerce_value
+from repro.monet.bat import BAT, AnyColumn, Column, VoidColumn, empty_bat
+from repro.monet.errors import KernelError
+
+# ----------------------------------------------------------------------
+# Internal helpers
+# ----------------------------------------------------------------------
+
+
+def _is_object_column(column: AnyColumn) -> bool:
+    return not column.is_void and column.atom_type.dtype == np.dtype(object)
+
+
+def _positions(count: int) -> np.ndarray:
+    return np.arange(count, dtype=np.int64)
+
+
+def _match_positions(
+    probe: np.ndarray, build: np.ndarray, object_dtype: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (probe_position, build_position) matches of probe values in
+    build values, ordered by probe position (stable).
+
+    Fully vectorized for numeric dtypes via sort + searchsorted; falls
+    back to a dict of positions for object (string) dtypes.
+    """
+    if len(probe) == 0 or len(build) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if object_dtype:
+        index: dict = {}
+        for position, value in enumerate(build):
+            index.setdefault(value, []).append(position)
+        probe_positions = []
+        build_positions = []
+        for position, value in enumerate(probe):
+            hits = index.get(value)
+            if hits:
+                probe_positions.extend([position] * len(hits))
+                build_positions.extend(hits)
+        return (
+            np.asarray(probe_positions, dtype=np.int64),
+            np.asarray(build_positions, dtype=np.int64),
+        )
+    order = np.argsort(build, kind="stable")
+    build_sorted = build[order]
+    lo = np.searchsorted(build_sorted, probe, side="left")
+    hi = np.searchsorted(build_sorted, probe, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    probe_positions = np.repeat(_positions(len(probe)), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    intra = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], counts)
+    sorted_positions = np.repeat(lo, counts) + intra
+    build_positions = order[sorted_positions]
+    return probe_positions, build_positions
+
+
+def _membership_mask(values: np.ndarray, lookup: np.ndarray, object_dtype: bool) -> np.ndarray:
+    """Boolean mask: which of *values* occur anywhere in *lookup*."""
+    if len(values) == 0:
+        return np.zeros(0, dtype=bool)
+    if len(lookup) == 0:
+        return np.zeros(len(values), dtype=bool)
+    if object_dtype:
+        members = set(lookup.tolist())
+        return np.fromiter((v in members for v in values), dtype=bool, count=len(values))
+    return np.isin(values, lookup)
+
+
+# ----------------------------------------------------------------------
+# Selections
+# ----------------------------------------------------------------------
+
+#: Distinguishes "no high bound given" (equality select) from an
+#: explicit ``high=None`` (open-ended range select).
+_UNSET = object()
+
+
+def select(
+    bat: BAT,
+    low: Any,
+    high: Any = _UNSET,
+    *,
+    include_low: bool = True,
+    include_high: bool = True,
+) -> BAT:
+    """BUNs of *bat* whose tail satisfies the predicate.
+
+    ``select(b, v)`` is equality selection; ``select(b, lo, hi)`` is an
+    inclusive range (bound inclusion controlled by the keyword flags;
+    a ``None`` bound means unbounded on that side).
+    """
+    if high is _UNSET:
+        return _select_equal(bat, low)
+    return _select_range(bat, low, high, include_low, include_high)
+
+
+def _select_equal(bat: BAT, value: Any) -> BAT:
+    if value is _UNSET:
+        raise KernelError("select needs a value or range")
+    if len(bat) == 0:
+        return bat.take_positions(np.empty(0, dtype=np.int64))
+    tails = bat.tail_values()
+    if _is_object_column(bat.tail):
+        mask = np.fromiter((t == value for t in tails), dtype=bool, count=len(tails))
+    else:
+        coerced = coerce_value(value, bat.tail.atom_type)
+        mask = tails == coerced
+    return bat.take_positions(np.nonzero(mask)[0])
+
+
+def _select_range(
+    bat: BAT, low: Any, high: Any, include_low: bool, include_high: bool
+) -> BAT:
+    if len(bat) == 0:
+        return bat.take_positions(np.empty(0, dtype=np.int64))
+    tails = bat.tail_values()
+    if _is_object_column(bat.tail):
+        mask = np.ones(len(tails), dtype=bool)
+        for position, value in enumerate(tails):
+            if value is None:
+                mask[position] = False
+                continue
+            if low is not None:
+                if include_low and not (value >= low):
+                    mask[position] = False
+                elif not include_low and not (value > low):
+                    mask[position] = False
+            if mask[position] and high is not None:
+                if include_high and not (value <= high):
+                    mask[position] = False
+                elif not include_high and not (value < high):
+                    mask[position] = False
+    else:
+        mask = np.ones(len(tails), dtype=bool)
+        if low is not None:
+            low_c = coerce_value(low, bat.tail.atom_type)
+            mask &= (tails >= low_c) if include_low else (tails > low_c)
+        if high is not None:
+            high_c = coerce_value(high, bat.tail.atom_type)
+            mask &= (tails <= high_c) if include_high else (tails < high_c)
+    return bat.take_positions(np.nonzero(mask)[0])
+
+
+def uselect(bat: BAT, low: Any, high: Any = _UNSET, **flags) -> BAT:
+    """Like :func:`select` but the result tail is void (head-set result).
+
+    Monet uses ``uselect`` when only the qualifying heads matter; the
+    caller typically follows with ``.mirror()`` and a join.
+    """
+    if high is _UNSET:
+        selected = _select_equal(bat, low)
+    else:
+        selected = _select_range(
+            bat,
+            low,
+            high,
+            flags.get("include_low", True),
+            flags.get("include_high", True),
+        )
+    return BAT(
+        selected.head,
+        VoidColumn(0, len(selected)),
+        hsorted=selected.hsorted,
+        hkey=selected.hkey,
+    )
+
+
+def likeselect(bat: BAT, pattern: str) -> BAT:
+    """Substring selection on string tails (Monet's ``likeselect`` with a
+    ``%pattern%`` shape)."""
+    if bat.ttype != "str":
+        raise KernelError("likeselect requires a str tail")
+    tails = bat.tail_values()
+    mask = np.fromiter(
+        (t is not None and pattern in t for t in tails), dtype=bool, count=len(tails)
+    )
+    return bat.take_positions(np.nonzero(mask)[0])
+
+
+# ----------------------------------------------------------------------
+# Join family
+# ----------------------------------------------------------------------
+
+
+def join(left: BAT, right: BAT) -> BAT:
+    """Natural join on ``left.tail = right.head`` -> [left.head, right.tail].
+
+    Equivalent to Monet's ``join``; preserves left BUN order (stable),
+    which makes it double as ``leftjoin``.  When the right head is void
+    the join degenerates to a positional fetch (``fetchjoin``).
+    """
+    if left.ttype != right.htype and not (
+        left.ttype == "oid" and right.htype == "oid"
+    ):
+        if {left.ttype, right.htype} - {"int", "oid", "dbl"}:
+            raise KernelError(
+                f"join type mismatch: left tail {left.ttype} vs right head {right.htype}"
+            )
+    if right.hdense:
+        return fetchjoin(left, right)
+    probe = left.tail_values()
+    build = right.head_values()
+    probe_positions, build_positions = _match_positions(
+        probe, build, _is_object_column(left.tail) or _is_object_column(right.head)
+    )
+    head = left.head.take(probe_positions)
+    tail = right.tail.take(build_positions)
+    return BAT(head, tail, hkey=left.hkey and right.hkey)
+
+
+def fetchjoin(left: BAT, right: BAT) -> BAT:
+    """Positional join: right must have a void (dense) head."""
+    if not right.hdense:
+        raise KernelError("fetchjoin requires a void-headed right operand")
+    tails = left.tail_values()
+    positions = tails - right.head.seqbase
+    valid = (positions >= 0) & (positions < len(right))
+    kept = np.nonzero(valid)[0]
+    head = left.head.take(kept)
+    tail = right.tail.take(positions[valid])
+    return BAT(head, tail, hkey=left.hkey)
+
+
+def outerjoin(left: BAT, right: BAT) -> BAT:
+    """Left outer join: unmatched left BUNs survive with NIL tails."""
+    probe = left.tail_values()
+    if right.hdense:
+        positions = probe - right.head.seqbase
+        valid = (positions >= 0) & (positions < len(right))
+        probe_positions = np.nonzero(valid)[0]
+        build_positions = positions[valid]
+    else:
+        build = right.head_values()
+        probe_positions, build_positions = _match_positions(
+            probe, build, _is_object_column(left.tail) or _is_object_column(right.head)
+        )
+    matched = np.zeros(len(left), dtype=bool)
+    matched[probe_positions] = True
+    unmatched = np.nonzero(~matched)[0]
+    atom_type = right.tail.atom_type
+    matched_tail = right.tail.take(build_positions).materialize()
+    nil_tail = atom_type.make_array([None] * len(unmatched))
+    all_positions = np.concatenate((probe_positions, unmatched))
+    order = np.argsort(all_positions, kind="stable")
+    if len(matched_tail) == 0 and len(nil_tail) == 0:
+        combined = atom_type.make_array([])
+    else:
+        combined = np.concatenate((matched_tail, nil_tail))
+    head = left.head.take(all_positions[order])
+    tail = Column(atom_type, combined[order])
+    return BAT(head, tail, hkey=left.hkey and right.hkey)
+
+
+def semijoin(left: BAT, right: BAT) -> BAT:
+    """BUNs of *left* whose **head** occurs among *right*'s heads
+    (Monet ``semijoin``)."""
+    if right.hdense:
+        heads = left.head_values()
+        mask = (heads >= right.head.seqbase) & (
+            heads < right.head.seqbase + len(right)
+        )
+    else:
+        mask = _membership_mask(
+            left.head_values(),
+            right.head_values(),
+            _is_object_column(left.head) or _is_object_column(right.head),
+        )
+    return left.take_positions(np.nonzero(mask)[0])
+
+
+def kdiff(left: BAT, right: BAT) -> BAT:
+    """BUNs of *left* whose head does **not** occur in *right*'s heads
+    (Monet ``kdiff``; the anti-semijoin)."""
+    if right.hdense:
+        heads = left.head_values()
+        mask = (heads >= right.head.seqbase) & (
+            heads < right.head.seqbase + len(right)
+        )
+    else:
+        mask = _membership_mask(
+            left.head_values(),
+            right.head_values(),
+            _is_object_column(left.head) or _is_object_column(right.head),
+        )
+    return left.take_positions(np.nonzero(~mask)[0])
+
+
+def kintersect(left: BAT, right: BAT) -> BAT:
+    """Alias of :func:`semijoin` under its set-operation name."""
+    return semijoin(left, right)
+
+
+def kunion(left: BAT, right: BAT) -> BAT:
+    """*left* plus those BUNs of *right* whose head is not in *left*."""
+    extra = kdiff(right, left)
+    if len(extra) == 0:
+        return left
+    head = Column(
+        left.head.atom_type,
+        _concat_arrays(left.head_values(), extra.head_values(), left.head.atom_type),
+    )
+    tail = Column(
+        left.tail.atom_type,
+        _concat_arrays(left.tail_values(), extra.tail_values(), left.tail.atom_type),
+    )
+    return BAT(head, tail, hkey=left.hkey and right.hkey)
+
+
+def _concat_arrays(a: np.ndarray, b: np.ndarray, atom_type) -> np.ndarray:
+    if atom_type.dtype == np.dtype(object):
+        out = np.empty(len(a) + len(b), dtype=object)
+        out[: len(a)] = a
+        out[len(a):] = b
+        return out
+    return np.concatenate((a, b))
+
+
+# ----------------------------------------------------------------------
+# Reconstruction
+# ----------------------------------------------------------------------
+
+
+def mark(bat: BAT, base: int = 0) -> BAT:
+    """Replace the tail by a fresh dense oid sequence starting at *base*
+    (Monet ``mark``) -- the standard way to mint intermediate oids."""
+    return BAT(
+        bat.head,
+        VoidColumn(base, len(bat)),
+        hsorted=bat.hsorted,
+        hkey=bat.hkey,
+    )
+
+
+def number(bat: BAT, base: int = 0) -> BAT:
+    """Replace the head by a fresh dense oid sequence (``mark`` flipped)."""
+    return BAT(
+        VoidColumn(base, len(bat)),
+        bat.tail,
+        tsorted=bat.tsorted,
+        tkey=bat.tkey,
+    )
+
+
+def sort(bat: BAT) -> BAT:
+    """Stable sort on head values (Monet ``sort``)."""
+    if bat.hsorted:
+        return bat
+    heads = bat.head_values()
+    if _is_object_column(bat.head):
+        order = np.asarray(
+            sorted(range(len(heads)), key=lambda i: (heads[i] is None, heads[i])),
+            dtype=np.int64,
+        )
+    else:
+        order = np.argsort(heads, kind="stable")
+    result = bat.take_positions(order)
+    return BAT(result.head, result.tail, hsorted=True, hkey=bat.hkey, tkey=bat.tkey)
+
+
+def tsort(bat: BAT) -> BAT:
+    """Stable sort on tail values (``reverse().sort().reverse()``)."""
+    return sort(bat.reverse()).reverse()
+
+
+def unique(bat: BAT) -> BAT:
+    """Duplicate BUN elimination; keeps the first occurrence, preserves
+    first-seen order (Monet ``unique``)."""
+    seen = set()
+    keep = []
+    for position, (head, tail) in enumerate(bat.items()):
+        key = (head, tail)
+        if key not in seen:
+            seen.add(key)
+            keep.append(position)
+    return bat.take_positions(np.asarray(keep, dtype=np.int64))
+
+
+def kunique(bat: BAT) -> BAT:
+    """Duplicate *head* elimination; first BUN per head wins."""
+    if bat.hkey:
+        return bat
+    heads = bat.head_values()
+    if _is_object_column(bat.head):
+        seen = set()
+        keep = []
+        for position, value in enumerate(heads):
+            if value not in seen:
+                seen.add(value)
+                keep.append(position)
+        positions = np.asarray(keep, dtype=np.int64)
+    else:
+        _, first = np.unique(heads, return_index=True)
+        positions = np.sort(first)
+    result = bat.take_positions(positions)
+    return BAT(result.head, result.tail, hsorted=result.hsorted, hkey=True,
+               tkey=result.tkey)
+
+
+def tunique(bat: BAT) -> BAT:
+    """Duplicate *tail* elimination; first BUN per tail wins."""
+    return kunique(bat.reverse()).reverse()
+
+
+def slice_bat(bat: BAT, start: int, stop: int) -> BAT:
+    """Positional BUN range [start, stop) (Monet ``slice``)."""
+    return bat.slice(start, stop)
+
+
+def const_bat(head_like: BAT, atom_name: str, value: Any) -> BAT:
+    """[head_like.head, constant] -- Monet's ``project`` (constant tail)."""
+    from repro.monet.bat import column_from_values
+
+    tail = column_from_values(atom_name, [value] * len(head_like))
+    return BAT(head_like.head, tail, hsorted=head_like.hsorted, hkey=head_like.hkey)
+
+
+def exist(bat: BAT, head_value: Any) -> bool:
+    """Monet ``exist``: membership test on head values."""
+    return bat.exists(head_value)
+
+
+def topn(bat: BAT, n: int, *, descending: bool = True) -> BAT:
+    """First *n* BUNs after sorting by tail (descending by default).
+
+    Not a classical Monet primitive but the standard idiom
+    ``b.reverse.sort.reverse.slice(0, n)``, packaged because every IR
+    query ends with it.  Numeric tails use a partial sort
+    (``argpartition``): O(count + n log n) instead of a full sort.
+    """
+    if n < 0:
+        raise KernelError("topn needs a non-negative n")
+    tails = bat.tail_values()
+    if _is_object_column(bat.tail):
+        order = np.asarray(
+            sorted(range(len(tails)), key=lambda i: (tails[i] is None, tails[i])),
+            dtype=np.int64,
+        )
+        if descending:
+            order = order[::-1]
+        return bat.take_positions(order[:n])
+    count = len(tails)
+    keys = -tails if descending else tails
+    if n >= count:
+        order = np.lexsort((np.arange(count, dtype=np.int64), keys))
+        return bat.take_positions(order[:n])
+    candidates = np.argpartition(keys, n)[:n]
+    # Order the selected candidates; ties on the key break by BUN
+    # position (earlier first), in both branches.
+    inner = np.lexsort((candidates, keys[candidates]))
+    return bat.take_positions(candidates[inner])

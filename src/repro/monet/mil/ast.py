@@ -1,0 +1,116 @@
+"""AST node types for the MIL subset.
+
+Plain dataclasses; the interpreter pattern-matches on node class.  Every
+node carries the source line for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Union
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Program(Node):
+    statements: List["Statement"] = field(default_factory=list)
+
+
+Statement = Union["Assign", "ExprStatement"]
+
+
+@dataclass
+class Assign(Node):
+    name: str = ""
+    expr: "Expr" = None
+
+
+@dataclass
+class ExprStatement(Node):
+    expr: "Expr" = None
+
+
+Expr = Union[
+    "Literal", "Var", "Call", "MethodCall", "Multiplex", "Pump", "Infix"
+]
+
+
+@dataclass
+class Literal(Node):
+    value: Any = None
+    atom: str = "int"
+
+
+@dataclass
+class Var(Node):
+    name: str = ""
+
+
+@dataclass
+class Call(Node):
+    func: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+@dataclass
+class MethodCall(Node):
+    receiver: "Expr" = None
+    method: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+@dataclass
+class Multiplex(Node):
+    op: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+@dataclass
+class Pump(Node):
+    agg: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+@dataclass
+class Infix(Node):
+    op: str = ""
+    left: "Expr" = None
+    right: "Expr" = None
+
+
+def unparse(node) -> str:
+    """Render an AST node back to MIL text (used for plan display and
+    for optimizer golden tests)."""
+    if isinstance(node, Program):
+        return "\n".join(unparse(s) for s in node.statements)
+    if isinstance(node, Assign):
+        return f"{node.name} := {unparse(node.expr)};"
+    if isinstance(node, ExprStatement):
+        return f"{unparse(node.expr)};"
+    if isinstance(node, Literal):
+        if node.value is None:
+            return "nil"
+        if node.atom == "str":
+            escaped = str(node.value).replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        if node.atom == "bit":
+            return "true" if node.value else "false"
+        return repr(node.value)
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, Call):
+        return f"{node.func}({', '.join(unparse(a) for a in node.args)})"
+    if isinstance(node, MethodCall):
+        args = ", ".join(unparse(a) for a in node.args)
+        return f"{unparse(node.receiver)}.{node.method}({args})"
+    if isinstance(node, Multiplex):
+        return f"[{node.op}]({', '.join(unparse(a) for a in node.args)})"
+    if isinstance(node, Pump):
+        return f"{{{node.agg}}}({', '.join(unparse(a) for a in node.args)})"
+    if isinstance(node, Infix):
+        return f"({unparse(node.left)} {node.op} {unparse(node.right)})"
+    raise TypeError(f"cannot unparse {type(node).__name__}")

@@ -1,0 +1,162 @@
+"""Builtin operator table binding MIL names to kernel functions.
+
+Each builtin is registered under its MIL name and may be invoked both
+function-style (``join(a, b)``) and method-style (``a.join(b)``); the
+receiver becomes the first argument, exactly like MIL.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict
+
+from repro.monet import aggregates, groups, kernel
+from repro.monet.bat import BAT, bat_from_pairs, empty_bat
+from repro.monet.errors import MILRuntimeError
+
+
+def _require_bat(value, op: str) -> BAT:
+    if not isinstance(value, BAT):
+        raise MILRuntimeError(f"{op} expects a BAT, got {type(value).__name__}")
+    return value
+
+
+def _select(bat, *args):
+    _require_bat(bat, "select")
+    if len(args) == 1:
+        return kernel.select(bat, args[0])
+    if len(args) == 2:
+        return kernel.select(bat, args[0], args[1])
+    raise MILRuntimeError(f"select takes 1 or 2 value arguments, got {len(args)}")
+
+
+def _uselect(bat, *args):
+    _require_bat(bat, "uselect")
+    if len(args) == 1:
+        return kernel.uselect(bat, args[0])
+    if len(args) == 2:
+        return kernel.uselect(bat, args[0], args[1])
+    raise MILRuntimeError("uselect takes 1 or 2 value arguments")
+
+
+def _slice(bat, start, stop):
+    _require_bat(bat, "slice")
+    return kernel.slice_bat(bat, int(start), int(stop))
+
+
+def _mark(bat, base=0):
+    _require_bat(bat, "mark")
+    return kernel.mark(bat, int(base))
+
+
+def _number(bat, base=0):
+    _require_bat(bat, "number")
+    return kernel.number(bat, int(base))
+
+
+def _topn(bat, n, descending=True):
+    _require_bat(bat, "topn")
+    return kernel.topn(bat, int(n), descending=bool(descending))
+
+
+def _const(bat, atom_name, value):
+    _require_bat(bat, "const")
+    return kernel.const_bat(bat, str(atom_name), value)
+
+
+def _new(head_type, tail_type):
+    return empty_bat(str(head_type), str(tail_type))
+
+
+def _insert(bat, head, tail):
+    """Functional single-BUN insert: returns a new BAT with the pair
+    appended (MIL's ``insert`` mutates; our BATs are immutable, and the
+    Moa compiler never relies on aliasing)."""
+    _require_bat(bat, "insert")
+    pairs = bat.to_pairs()
+    pairs.append((head, tail))
+    return bat_from_pairs(bat.htype, bat.ttype, pairs)
+
+
+_PLAIN: Dict[str, Callable[..., Any]] = {
+    "select": _select,
+    "uselect": _uselect,
+    "likeselect": lambda b, p: kernel.likeselect(_require_bat(b, "likeselect"), str(p)),
+    "join": lambda l, r: kernel.join(_require_bat(l, "join"), _require_bat(r, "join")),
+    "leftjoin": lambda l, r: kernel.join(_require_bat(l, "leftjoin"), _require_bat(r, "leftjoin")),
+    "fetchjoin": lambda l, r: kernel.fetchjoin(_require_bat(l, "fetchjoin"), _require_bat(r, "fetchjoin")),
+    "outerjoin": lambda l, r: kernel.outerjoin(_require_bat(l, "outerjoin"), _require_bat(r, "outerjoin")),
+    "semijoin": lambda l, r: kernel.semijoin(_require_bat(l, "semijoin"), _require_bat(r, "semijoin")),
+    "kdiff": lambda l, r: kernel.kdiff(_require_bat(l, "kdiff"), _require_bat(r, "kdiff")),
+    "kunion": lambda l, r: kernel.kunion(_require_bat(l, "kunion"), _require_bat(r, "kunion")),
+    "kintersect": lambda l, r: kernel.kintersect(_require_bat(l, "kintersect"), _require_bat(r, "kintersect")),
+    "reverse": lambda b: _require_bat(b, "reverse").reverse(),
+    "mirror": lambda b: _require_bat(b, "mirror").mirror(),
+    "mark": _mark,
+    "number": _number,
+    "sort": lambda b: kernel.sort(_require_bat(b, "sort")),
+    "tsort": lambda b: kernel.tsort(_require_bat(b, "tsort")),
+    "unique": lambda b: kernel.unique(_require_bat(b, "unique")),
+    "kunique": lambda b: kernel.kunique(_require_bat(b, "kunique")),
+    "tunique": lambda b: kernel.tunique(_require_bat(b, "tunique")),
+    "slice": _slice,
+    "topn": _topn,
+    "group": lambda b: groups.group(_require_bat(b, "group")),
+    "refine": lambda g, b: groups.refine(_require_bat(g, "refine"), _require_bat(b, "refine")),
+    "group_sizes": lambda g: groups.group_sizes(_require_bat(g, "group_sizes")),
+    "group_representatives": lambda g, b: groups.group_representatives(
+        _require_bat(g, "group_representatives"), _require_bat(b, "group_representatives")
+    ),
+    "count": lambda b: aggregates.count(_require_bat(b, "count")),
+    "sum": lambda b: aggregates.sum_(_require_bat(b, "sum")),
+    "max": lambda b: aggregates.max_(_require_bat(b, "max")),
+    "min": lambda b: aggregates.min_(_require_bat(b, "min")),
+    "avg": lambda b: aggregates.avg(_require_bat(b, "avg")),
+    "exist": lambda b, v: kernel.exist(_require_bat(b, "exist"), v),
+    "find": lambda b, v: _require_bat(b, "find").find(v),
+    "const": _const,
+    "new": _new,
+    "insert": _insert,
+    # scalar casts -- MIL writes oid(0), dbl(x), ...
+    "oid": lambda v: int(v),
+    "int": lambda v: int(v),
+    "dbl": lambda v: float(v),
+    "str": lambda v: str(v),
+    "bit": lambda v: bool(v),
+    "neg": lambda v: -v,
+    "isnil": lambda v: v is None,
+    # scalar math (BAT-wide versions are the multiplexed [log] etc.)
+    "log": math.log,
+    "exp": math.exp,
+    "sqrt": math.sqrt,
+}
+
+_PUMPS: Dict[str, Callable[..., BAT]] = {
+    "sum": aggregates.grouped_sum,
+    "count": aggregates.grouped_count,
+    "max": aggregates.grouped_max,
+    "min": aggregates.grouped_min,
+    "avg": aggregates.grouped_avg,
+    "prod": aggregates.grouped_prod,
+}
+
+
+def plain_builtin(name: str) -> Callable[..., Any]:
+    """Kernel function for MIL name *name*; raises MILRuntimeError if
+    unknown."""
+    try:
+        return _PLAIN[name]
+    except KeyError:
+        raise MILRuntimeError(f"unknown MIL operation {name!r}") from None
+
+
+def has_builtin(name: str) -> bool:
+    return name in _PLAIN
+
+
+def pump_builtin(agg: str) -> Callable[..., BAT]:
+    """Pump aggregate implementation for ``{agg}``."""
+    try:
+        return _PUMPS[agg]
+    except KeyError:
+        raise MILRuntimeError(f"unknown pump aggregate {{{agg}}}") from None

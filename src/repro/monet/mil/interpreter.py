@@ -1,0 +1,159 @@
+"""The MIL interpreter: executes parsed programs against a BBP.
+
+The interpreter is deliberately simple -- MIL plans produced by the Moa
+compiler are straight-line programs of assignments -- but it supports
+everything a human would write interactively in the subset (chained
+method calls, scalar arithmetic, ``print``).
+
+Execution results are collected in :class:`MILResult`:
+
+* ``value`` -- the value of the final statement (a BAT or scalar);
+* ``env`` -- the variable environment after the run;
+* ``printed`` -- output captured from ``print(...)`` statements;
+* ``stats`` -- per-operator invocation counts (used by the E5/E10
+  benchmarks to report plan shapes).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.monet.bat import BAT
+from repro.monet.bbp import BATBufferPool
+from repro.monet.errors import MILRuntimeError
+from repro.monet.mil import ast
+from repro.monet.mil.builtins import has_builtin, plain_builtin, pump_builtin
+from repro.monet.mil.parser import parse_program
+from repro.monet.multiplex import multiplex, scalar_op
+
+
+@dataclass
+class MILResult:
+    """Outcome of running a MIL program."""
+
+    value: Any = None
+    env: Dict[str, Any] = field(default_factory=dict)
+    printed: List[str] = field(default_factory=list)
+    stats: Counter = field(default_factory=Counter)
+
+
+class MILInterpreter:
+    """Evaluates MIL ASTs against a :class:`BATBufferPool`."""
+
+    def __init__(self, pool: Optional[BATBufferPool] = None):
+        self.pool = pool if pool is not None else BATBufferPool()
+
+    # ------------------------------------------------------------------
+    def run(self, source: str, env: Optional[Dict[str, Any]] = None) -> MILResult:
+        """Parse and execute *source*; *env* provides initial variable
+        bindings (the Moa executor passes query parameters this way)."""
+        program = parse_program(source)
+        return self.run_program(program, env)
+
+    def run_program(
+        self, program: ast.Program, env: Optional[Dict[str, Any]] = None
+    ) -> MILResult:
+        result = MILResult(env=dict(env or {}))
+        for statement in program.statements:
+            if isinstance(statement, ast.Assign):
+                value = self._eval(statement.expr, result)
+                result.env[statement.name] = value
+                result.value = value
+            elif isinstance(statement, ast.ExprStatement):
+                result.value = self._eval(statement.expr, result)
+            else:  # pragma: no cover - parser cannot produce this
+                raise MILRuntimeError(f"bad statement {statement!r}")
+        return result
+
+    # ------------------------------------------------------------------
+    def _eval(self, node, result: MILResult):
+        if isinstance(node, ast.Literal):
+            return node.value
+        if isinstance(node, ast.Var):
+            if node.name in result.env:
+                return result.env[node.name]
+            raise MILRuntimeError(
+                f"undefined variable {node.name!r} (line {node.line})"
+            )
+        if isinstance(node, ast.Call):
+            return self._call(node.func, [self._eval(a, result) for a in node.args],
+                              result, node.line)
+        if isinstance(node, ast.MethodCall):
+            receiver = self._eval(node.receiver, result)
+            args = [self._eval(a, result) for a in node.args]
+            return self._call(node.method, [receiver, *args], result, node.line)
+        if isinstance(node, ast.Multiplex):
+            args = [self._eval(a, result) for a in node.args]
+            result.stats[f"[{node.op}]"] += 1
+            return multiplex(node.op, *args)
+        if isinstance(node, ast.Pump):
+            args = [self._eval(a, result) for a in node.args]
+            result.stats[f"{{{node.agg}}}"] += 1
+            impl = pump_builtin(node.agg)
+            if len(args) == 3:
+                return impl(args[0], args[1], int(args[2]))
+            if len(args) == 2:
+                return impl(args[0], args[1])
+            raise MILRuntimeError(
+                f"{{{node.agg}}} takes (values, groups[, n_groups])"
+            )
+        if isinstance(node, ast.Infix):
+            left = self._eval(node.left, result)
+            right = self._eval(node.right, result)
+            if isinstance(left, BAT) or isinstance(right, BAT):
+                raise MILRuntimeError(
+                    f"infix {node.op} on BATs: use the multiplexed form "
+                    f"[{node.op}] (line {node.line})"
+                )
+            result.stats[node.op] += 1
+            return scalar_op(node.op, left, right)
+        raise MILRuntimeError(f"cannot evaluate {type(node).__name__}")
+
+    def _call(self, name: str, args: list, result: MILResult, line: int):
+        result.stats[name] += 1
+        if name == "bat":
+            if len(args) != 1 or not isinstance(args[0], str):
+                raise MILRuntimeError('bat() takes one string name')
+            return self.pool.lookup(args[0])
+        if name == "persists":
+            if len(args) != 2 or not isinstance(args[0], str):
+                raise MILRuntimeError("persists(name, bat)")
+            return self.pool.register(args[0], args[1], replace=True)
+        if name == "unpersists":
+            if len(args) != 1 or not isinstance(args[0], str):
+                raise MILRuntimeError("unpersists(name)")
+            self.pool.drop(args[0])
+            return None
+        if name == "newoid":
+            count = int(args[0]) if args else 1
+            return self.pool.new_oids(count)
+        if name == "print":
+            rendered = _render(args[0]) if args else ""
+            result.printed.append(rendered)
+            return args[0] if args else None
+        if has_builtin(name):
+            try:
+                return plain_builtin(name)(*args)
+            except TypeError as exc:
+                raise MILRuntimeError(f"{name}: {exc} (line {line})") from exc
+        raise MILRuntimeError(f"unknown MIL operation {name!r} (line {line})")
+
+
+def _render(value) -> str:
+    """Human-readable rendering used by ``print`` (BATs shown as BUN
+    lists, matching Monet's console output loosely)."""
+    if isinstance(value, BAT):
+        pairs = ", ".join(f"[{h!r},{t!r}]" for h, t in value.items())
+        return f"#{len(value)}{{{pairs}}}"
+    return repr(value)
+
+
+def run_program(
+    source: str,
+    pool: Optional[BATBufferPool] = None,
+    env: Optional[Dict[str, Any]] = None,
+) -> MILResult:
+    """One-shot convenience: run MIL *source* against *pool*."""
+    return MILInterpreter(pool).run(source, env)

@@ -1,0 +1,201 @@
+"""Tokenizer for the MIL subset.
+
+Token kinds:
+
+``IDENT``     identifiers (also ``true``/``false``/``nil`` keywords)
+``INT``       integer literal
+``FLT``       floating literal
+``STR``       double-quoted string with backslash escapes
+``ASSIGN``    ``:=``
+``MULTIPLEX`` ``[op]`` -- a multiplexed operator token, value is ``op``
+``PUMP``      ``{agg}`` -- a pump aggregate token, value is ``agg``
+``LPAREN``/``RPAREN``/``COMMA``/``DOT``/``SEMI``
+``OP``        infix arithmetic/comparison operator
+
+Comments: ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.monet.errors import MILSyntaxError
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind},{self.value!r})"
+
+
+_SIMPLE = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    ".": "DOT",
+    ";": "SEMI",
+}
+
+#: Operators allowed inside ``[...]`` multiplex brackets and as infix.
+_OP_CHARS = set("+-*/<>=!")
+
+#: Multi-character operators, longest first.
+_MULTI_OPS = ["<=", ">=", "!=", ":="]
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a MIL program; raises :class:`MILSyntaxError` on junk."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if text.startswith(":=", i):
+            tokens.append(Token("ASSIGN", ":=", line, column))
+            i += 2
+            column += 2
+            continue
+        if ch in _SIMPLE:
+            # Disambiguate DOT from a float like ``.5`` (not produced by
+            # our compiler, but humans type it).
+            if ch == "." and i + 1 < n and text[i + 1].isdigit():
+                j = i + 1
+                while j < n and (text[j].isdigit()):
+                    j += 1
+                tokens.append(Token("FLT", text[i:j], line, column))
+                column += j - i
+                i = j
+                continue
+            tokens.append(Token(_SIMPLE[ch], ch, line, column))
+            i += 1
+            column += 1
+            continue
+        if ch == "[":
+            j = text.find("]", i)
+            if j < 0:
+                raise MILSyntaxError("unterminated multiplex bracket", line, column)
+            op = text[i + 1 : j].strip()
+            if not op:
+                raise MILSyntaxError("empty multiplex bracket", line, column)
+            tokens.append(Token("MULTIPLEX", op, line, column))
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch == "{":
+            j = text.find("}", i)
+            if j < 0:
+                raise MILSyntaxError("unterminated pump brace", line, column)
+            agg = text[i + 1 : j].strip()
+            if not agg.isidentifier():
+                raise MILSyntaxError(f"bad pump aggregate {agg!r}", line, column)
+            tokens.append(Token("PUMP", agg, line, column))
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch == '"':
+            value, consumed = _scan_string(text, i, line, column)
+            tokens.append(Token("STR", value, line, column))
+            i += consumed
+            column += consumed
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp and j + 1 < n and text[j + 1].isdigit():
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j + 1 < n and (
+                    text[j + 1].isdigit() or text[j + 1] in "+-"
+                ):
+                    seen_exp = True
+                    j += 1
+                    if text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            raw = text[i:j]
+            kind = "FLT" if ("." in raw or "e" in raw or "E" in raw) else "INT"
+            tokens.append(Token(kind, raw, line, column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, line, column))
+                i += len(op)
+                column += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _OP_CHARS:
+            tokens.append(Token("OP", ch, line, column))
+            i += 1
+            column += 1
+            continue
+        raise MILSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+def _scan_string(text: str, start: int, line: int, column: int):
+    """Scan a double-quoted string starting at *start*; returns
+    (decoded value, consumed char count including quotes)."""
+    assert text[start] == '"'
+    out = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\":
+            if i + 1 >= n:
+                raise MILSyntaxError("dangling escape in string", line, column)
+            nxt = text[i + 1]
+            mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+            if nxt not in mapping:
+                raise MILSyntaxError(f"bad escape \\{nxt}", line, column)
+            out.append(mapping[nxt])
+            i += 2
+            continue
+        if ch == '"':
+            return "".join(out), i - start + 1
+        if ch == "\n":
+            raise MILSyntaxError("newline inside string literal", line, column)
+        out.append(ch)
+        i += 1
+    raise MILSyntaxError("unterminated string literal", line, column)

@@ -1,0 +1,205 @@
+"""Recursive-descent parser for the MIL subset.
+
+Grammar (EBNF):
+
+.. code-block:: text
+
+    program    := statement*
+    statement  := IDENT ":=" expr ";"  |  expr ";"
+    expr       := comparison
+    comparison := additive (("="|"!="|"<"|"<="|">"|">=") additive)?
+    additive   := term (("+"|"-") term)*
+    term       := postfix (("*"|"/") postfix)*
+    postfix    := primary ("." IDENT ["(" args ")"])*
+    primary    := literal
+               |  IDENT "(" args ")"          -- function call
+               |  IDENT                       -- variable
+               |  MULTIPLEX "(" args ")"      -- [op](...)
+               |  PUMP "(" args ")"           -- {agg}(...)
+               |  "(" expr ")"
+    args       := expr ("," expr)*
+
+Method calls without parentheses (``b.reverse``) are accepted, matching
+MIL's chaining style.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.monet.errors import MILSyntaxError
+from repro.monet.mil import ast
+from repro.monet.mil.lexer import Token, tokenize
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise MILSyntaxError(
+                f"expected {kind}, found {token.kind} {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def match(self, kind: str, value: str = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        if value is not None and token.value != value:
+            return False
+        return True
+
+    # -- grammar --------------------------------------------------------
+    def program(self) -> ast.Program:
+        statements = []
+        while not self.match("EOF"):
+            statements.append(self.statement())
+        return ast.Program(statements=statements)
+
+    def statement(self):
+        token = self.peek()
+        if token.kind == "IDENT" and self.tokens[self.position + 1].kind == "ASSIGN":
+            name = self.advance().value
+            self.expect("ASSIGN")
+            expr = self.expr()
+            self.expect("SEMI")
+            return ast.Assign(name=name, expr=expr, line=token.line)
+        expr = self.expr()
+        self.expect("SEMI")
+        return ast.ExprStatement(expr=expr, line=token.line)
+
+    def expr(self):
+        return self.comparison()
+
+    def comparison(self):
+        left = self.additive()
+        if self.match("OP") and self.peek().value in _COMPARISON_OPS:
+            op = self.advance().value
+            right = self.additive()
+            return ast.Infix(op=op, left=left, right=right, line=left.line)
+        return left
+
+    def additive(self):
+        left = self.term()
+        while self.match("OP") and self.peek().value in ("+", "-"):
+            op = self.advance().value
+            right = self.term()
+            left = ast.Infix(op=op, left=left, right=right, line=left.line)
+        return left
+
+    def term(self):
+        left = self.postfix()
+        while self.match("OP") and self.peek().value in ("*", "/"):
+            op = self.advance().value
+            right = self.postfix()
+            left = ast.Infix(op=op, left=left, right=right, line=left.line)
+        return left
+
+    def postfix(self):
+        node = self.primary()
+        while self.match("DOT"):
+            self.advance()
+            name_token = self.expect("IDENT")
+            args: List = []
+            if self.match("LPAREN"):
+                args = self.call_args()
+            node = ast.MethodCall(
+                receiver=node, method=name_token.value, args=args,
+                line=name_token.line,
+            )
+        return node
+
+    def primary(self):
+        token = self.peek()
+        if token.kind == "INT":
+            self.advance()
+            return ast.Literal(value=int(token.value), atom="int", line=token.line)
+        if token.kind == "FLT":
+            self.advance()
+            return ast.Literal(value=float(token.value), atom="dbl", line=token.line)
+        if token.kind == "STR":
+            self.advance()
+            return ast.Literal(value=token.value, atom="str", line=token.line)
+        if token.kind == "MULTIPLEX":
+            self.advance()
+            args = self.call_args()
+            return ast.Multiplex(op=token.value, args=args, line=token.line)
+        if token.kind == "PUMP":
+            self.advance()
+            args = self.call_args()
+            return ast.Pump(agg=token.value, args=args, line=token.line)
+        if token.kind == "IDENT":
+            if token.value == "true":
+                self.advance()
+                return ast.Literal(value=True, atom="bit", line=token.line)
+            if token.value == "false":
+                self.advance()
+                return ast.Literal(value=False, atom="bit", line=token.line)
+            if token.value == "nil":
+                self.advance()
+                return ast.Literal(value=None, atom="str", line=token.line)
+            self.advance()
+            if self.match("LPAREN"):
+                args = self.call_args()
+                return ast.Call(func=token.value, args=args, line=token.line)
+            return ast.Var(name=token.value, line=token.line)
+        if token.kind == "LPAREN":
+            self.advance()
+            inner = self.expr()
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "OP" and token.value == "-":
+            self.advance()
+            operand = self.postfix()
+            return ast.Call(func="neg", args=[operand], line=token.line)
+        raise MILSyntaxError(
+            f"unexpected token {token.kind} {token.value!r}",
+            token.line,
+            token.column,
+        )
+
+    def call_args(self) -> List:
+        self.expect("LPAREN")
+        args: List = []
+        if not self.match("RPAREN"):
+            args.append(self.expr())
+            while self.match("COMMA"):
+                self.advance()
+                args.append(self.expr())
+        self.expect("RPAREN")
+        return args
+
+
+def parse_program(text: str) -> ast.Program:
+    """Parse MIL source text into a :class:`repro.monet.mil.ast.Program`."""
+    return _Parser(tokenize(text)).program()
+
+
+def parse_expression(text: str):
+    """Parse a single MIL expression (no trailing semicolon needed)."""
+    stripped = text.strip()
+    if not stripped.endswith(";"):
+        stripped += ";"
+    program = parse_program(stripped)
+    if len(program.statements) != 1 or not isinstance(
+        program.statements[0], ast.ExprStatement
+    ):
+        raise MILSyntaxError("expected exactly one expression", 1, 1)
+    return program.statements[0].expr

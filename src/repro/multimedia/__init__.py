@@ -1,0 +1,30 @@
+"""Multimedia substrate: images, segmentation, feature extraction.
+
+The Mirror demo's digital library is fed by "images collected by a
+simple web robot" with daemons for segmentation and feature extraction
+(paper, section 5.1).  We have no network and no MeasTex corpus, so
+this package provides the synthetic equivalent (see DESIGN.md §2):
+
+* :mod:`repro.multimedia.image` -- the Image value type + PPM I/O;
+* :mod:`repro.multimedia.synth` -- a procedural scene generator with
+  ground-truth scene classes and correlated annotations;
+* :mod:`repro.multimedia.webrobot` -- the simulated crawl;
+* :mod:`repro.multimedia.segmentation` -- grid and region-merge
+  segmentation ("one of the daemons segments the images");
+* :mod:`repro.multimedia.features` -- two colour-histogram extractors
+  and the four MeasTex-style texture extractors (Gabor, GLCM,
+  autocorrelation, Laws masks).
+"""
+
+from repro.multimedia.image import Image
+from repro.multimedia.synth import SCENE_CLASSES, SceneSpec, generate_scene
+from repro.multimedia.webrobot import CrawledImage, WebRobot
+
+__all__ = [
+    "Image",
+    "SCENE_CLASSES",
+    "SceneSpec",
+    "generate_scene",
+    "WebRobot",
+    "CrawledImage",
+]

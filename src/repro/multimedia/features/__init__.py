@@ -1,0 +1,52 @@
+"""Feature extraction daemphases: two colour and four texture extractors.
+
+"At the moment of writing, we have implemented two color histogram
+daemons.  In addition, we use the four reference implementations of
+texture algorithms provided by the MeasTex framework."  (Mirror paper,
+section 5.1.)
+
+Colour (:mod:`repro.multimedia.features.color`):
+
+* RGB histogram
+* HSV histogram
+
+Texture (:mod:`repro.multimedia.features.texture`), the four canonical
+families of the MeasTex era:
+
+* Gabor filter-bank energies
+* Grey-level co-occurrence (Haralick) statistics
+* Autocorrelation features
+* Laws texture-energy masks
+
+Every extractor maps an :class:`repro.multimedia.image.Image` (or
+segment image) to a fixed-length ``numpy`` vector; names and
+dimensionalities are exposed via :data:`FEATURE_EXTRACTORS`.
+"""
+
+from repro.multimedia.features.color import hsv_histogram, rgb_histogram
+from repro.multimedia.features.texture import (
+    autocorrelation_features,
+    gabor_features,
+    glcm_features,
+    laws_features,
+)
+
+#: name -> extractor callable(Image) -> np.ndarray
+FEATURE_EXTRACTORS = {
+    "rgb": rgb_histogram,
+    "hsv": hsv_histogram,
+    "gabor": gabor_features,
+    "glcm": glcm_features,
+    "autocorr": autocorrelation_features,
+    "laws": laws_features,
+}
+
+__all__ = [
+    "rgb_histogram",
+    "hsv_histogram",
+    "gabor_features",
+    "glcm_features",
+    "autocorrelation_features",
+    "laws_features",
+    "FEATURE_EXTRACTORS",
+]

@@ -1,0 +1,66 @@
+"""Colour-histogram feature daemons (the paper's two colour extractors).
+
+Both return L1-normalized histograms so segment size does not dominate
+clustering distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multimedia.image import Image
+
+
+def rgb_histogram(image: Image, bins: int = 4) -> np.ndarray:
+    """Joint RGB histogram with *bins* levels per channel
+    (``bins**3``-dimensional, L1-normalized)."""
+    if bins < 1:
+        raise ValueError("bins must be positive")
+    pixels = image.pixels.reshape(-1, 3)
+    quantized = (pixels.astype(np.int64) * bins) // 256
+    codes = (quantized[:, 0] * bins + quantized[:, 1]) * bins + quantized[:, 2]
+    hist = np.bincount(codes, minlength=bins**3).astype(np.float64)
+    total = hist.sum()
+    return hist / total if total > 0 else hist
+
+
+def rgb_to_hsv(pixels: np.ndarray) -> np.ndarray:
+    """Vectorized RGB->HSV for an (n, 3) uint8 array; returns floats
+    with h in [0, 1), s in [0, 1], v in [0, 1]."""
+    rgb = pixels.astype(np.float64) / 255.0
+    r, g, b = rgb[:, 0], rgb[:, 1], rgb[:, 2]
+    maxc = rgb.max(axis=1)
+    minc = rgb.min(axis=1)
+    v = maxc
+    delta = maxc - minc
+    s = np.where(maxc > 0, delta / np.where(maxc > 0, maxc, 1.0), 0.0)
+    h = np.zeros(len(rgb))
+    mask = delta > 0
+    rmax = mask & (maxc == r)
+    gmax = mask & (maxc == g) & ~rmax
+    bmax = mask & ~rmax & ~gmax
+    safe_delta = np.where(delta > 0, delta, 1.0)
+    h[rmax] = ((g - b)[rmax] / safe_delta[rmax]) % 6.0
+    h[gmax] = (b - r)[gmax] / safe_delta[gmax] + 2.0
+    h[bmax] = (r - g)[bmax] / safe_delta[bmax] + 4.0
+    h = h / 6.0
+    return np.stack([h, s, v], axis=1)
+
+
+def hsv_histogram(
+    image: Image,
+    hue_bins: int = 8,
+    saturation_bins: int = 3,
+    value_bins: int = 3,
+) -> np.ndarray:
+    """Joint HSV histogram (the perceptual colour daemon);
+    ``hue_bins * saturation_bins * value_bins`` dimensions."""
+    hsv = rgb_to_hsv(image.pixels.reshape(-1, 3))
+    h = np.minimum((hsv[:, 0] * hue_bins).astype(np.int64), hue_bins - 1)
+    s = np.minimum((hsv[:, 1] * saturation_bins).astype(np.int64), saturation_bins - 1)
+    v = np.minimum((hsv[:, 2] * value_bins).astype(np.int64), value_bins - 1)
+    codes = (h * saturation_bins + s) * value_bins + v
+    size = hue_bins * saturation_bins * value_bins
+    hist = np.bincount(codes, minlength=size).astype(np.float64)
+    total = hist.sum()
+    return hist / total if total > 0 else hist

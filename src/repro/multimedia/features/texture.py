@@ -1,0 +1,195 @@
+"""The four texture feature extractors (MeasTex reference algorithms).
+
+MeasTex shipped reference implementations of the canonical texture
+families of the late 90s; we rebuild the four the Mirror demo used
+conceptually: Gabor energies, grey-level co-occurrence (Haralick)
+statistics, autocorrelation, and Laws texture-energy masks.  All run on
+the luminance plane and return fixed-length float vectors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.multimedia.image import Image
+
+
+def _convolve2d_same(plane: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """FFT-based 'same' 2-D convolution (no scipy dependency needed)."""
+    ph, pw = plane.shape
+    kh, kw = kernel.shape
+    fh, fw = ph + kh - 1, pw + kw - 1
+    spectrum = np.fft.rfft2(plane, s=(fh, fw)) * np.fft.rfft2(kernel, s=(fh, fw))
+    full = np.fft.irfft2(spectrum, s=(fh, fw))
+    top = (kh - 1) // 2
+    left = (kw - 1) // 2
+    return full[top : top + ph, left : left + pw]
+
+
+# ----------------------------------------------------------------------
+# 1. Gabor filter bank
+# ----------------------------------------------------------------------
+
+
+def gabor_kernel(
+    frequency: float,
+    orientation: float,
+    *,
+    sigma: float = 2.5,
+    size: int = 11,
+) -> np.ndarray:
+    """Real (cosine) Gabor kernel with given spatial *frequency*
+    (cycles/pixel) and *orientation* (radians)."""
+    half = size // 2
+    ys, xs = np.mgrid[-half : half + 1, -half : half + 1]
+    rotated = xs * np.cos(orientation) + ys * np.sin(orientation)
+    envelope = np.exp(-(xs**2 + ys**2) / (2.0 * sigma**2))
+    carrier = np.cos(2.0 * np.pi * frequency * rotated)
+    kernel = envelope * carrier
+    return kernel - kernel.mean()
+
+
+def gabor_features(
+    image: Image,
+    frequencies: Sequence[float] = (0.1, 0.2, 0.35),
+    orientations: int = 4,
+) -> np.ndarray:
+    """Mean absolute response energy per (frequency, orientation) pair;
+    ``len(frequencies) * orientations`` dimensions, the classic Gabor
+    texture signature."""
+    plane = image.grayscale()
+    plane = plane - plane.mean()
+    out: List[float] = []
+    for frequency in frequencies:
+        for k in range(orientations):
+            theta = np.pi * k / orientations
+            response = _convolve2d_same(plane, gabor_kernel(frequency, theta))
+            out.append(float(np.abs(response).mean()))
+    features = np.asarray(out)
+    norm = np.linalg.norm(features)
+    return features / norm if norm > 0 else features
+
+
+# ----------------------------------------------------------------------
+# 2. Grey-level co-occurrence (Haralick)
+# ----------------------------------------------------------------------
+
+
+def glcm_matrix(
+    plane: np.ndarray, levels: int, offset: Tuple[int, int]
+) -> np.ndarray:
+    """Normalized, symmetrized co-occurrence matrix of quantized *plane*
+    for displacement *offset* = (dy, dx)."""
+    quantized = np.minimum(
+        (plane.astype(np.float64) * levels / 256.0).astype(np.int64), levels - 1
+    )
+    dy, dx = offset
+    height, width = quantized.shape
+    a = quantized[max(0, -dy) : height - max(0, dy), max(0, -dx) : width - max(0, dx)]
+    b = quantized[max(0, dy) : height - max(0, -dy), max(0, dx) : width - max(0, -dx)]
+    codes = a.ravel() * levels + b.ravel()
+    matrix = np.bincount(codes, minlength=levels * levels).astype(np.float64)
+    matrix = matrix.reshape(levels, levels)
+    matrix = matrix + matrix.T
+    total = matrix.sum()
+    return matrix / total if total > 0 else matrix
+
+
+def glcm_features(
+    image: Image,
+    levels: int = 8,
+    offsets: Sequence[Tuple[int, int]] = ((0, 1), (1, 0), (1, 1), (1, -1)),
+) -> np.ndarray:
+    """Haralick statistics (contrast, energy, homogeneity, correlation,
+    entropy) per offset; ``5 * len(offsets)`` dimensions."""
+    plane = image.grayscale()
+    i_idx, j_idx = np.mgrid[0:levels, 0:levels].astype(np.float64)
+    out: List[float] = []
+    for offset in offsets:
+        p = glcm_matrix(plane, levels, offset)
+        contrast = float(((i_idx - j_idx) ** 2 * p).sum())
+        energy = float((p**2).sum())
+        homogeneity = float((p / (1.0 + np.abs(i_idx - j_idx))).sum())
+        mu_i = float((i_idx * p).sum())
+        mu_j = float((j_idx * p).sum())
+        var_i = float(((i_idx - mu_i) ** 2 * p).sum())
+        var_j = float(((j_idx - mu_j) ** 2 * p).sum())
+        if var_i > 0 and var_j > 0:
+            correlation = float(
+                (((i_idx - mu_i) * (j_idx - mu_j) * p).sum())
+                / np.sqrt(var_i * var_j)
+            )
+        else:
+            correlation = 0.0
+        nonzero = p[p > 0]
+        entropy = float(-(nonzero * np.log(nonzero)).sum())
+        out.extend([contrast, energy, homogeneity, correlation, entropy])
+    return np.asarray(out)
+
+
+# ----------------------------------------------------------------------
+# 3. Autocorrelation
+# ----------------------------------------------------------------------
+
+
+def autocorrelation_features(
+    image: Image,
+    offsets: Sequence[Tuple[int, int]] = (
+        (0, 1), (0, 2), (0, 4), (1, 0), (2, 0), (4, 0), (1, 1), (2, 2),
+    ),
+) -> np.ndarray:
+    """Normalized autocorrelation of the luminance plane at the given
+    displacements; ``len(offsets)`` dimensions in [-1, 1]."""
+    plane = image.grayscale()
+    plane = plane - plane.mean()
+    denominator = float((plane * plane).sum())
+    if denominator <= 0:
+        return np.zeros(len(offsets))
+    out: List[float] = []
+    height, width = plane.shape
+    for dy, dx in offsets:
+        a = plane[max(0, -dy) : height - max(0, dy), max(0, -dx) : width - max(0, dx)]
+        b = plane[max(0, dy) : height - max(0, -dy), max(0, dx) : width - max(0, -dx)]
+        out.append(float((a * b).sum() / denominator))
+    return np.asarray(out)
+
+
+# ----------------------------------------------------------------------
+# 4. Laws texture-energy masks
+# ----------------------------------------------------------------------
+
+_LAWS_1D = {
+    "L5": np.array([1, 4, 6, 4, 1], dtype=np.float64),       # level
+    "E5": np.array([-1, -2, 0, 2, 1], dtype=np.float64),     # edge
+    "S5": np.array([-1, 0, 2, 0, -1], dtype=np.float64),     # spot
+    "R5": np.array([1, -4, 6, -4, 1], dtype=np.float64),     # ripple
+}
+
+#: The standard 2-D mask pairs (excluding the L5L5 DC mask).
+_LAWS_PAIRS = [
+    ("L5", "E5"), ("L5", "S5"), ("L5", "R5"),
+    ("E5", "E5"), ("E5", "S5"), ("E5", "R5"),
+    ("S5", "S5"), ("S5", "R5"), ("R5", "R5"),
+]
+
+
+def laws_features(image: Image) -> np.ndarray:
+    """Mean absolute texture energy per Laws mask pair (9 dimensions,
+    symmetrized: the VH and HV responses are averaged)."""
+    plane = image.grayscale()
+    plane = plane - plane.mean()
+    out: List[float] = []
+    for a, b in _LAWS_PAIRS:
+        mask_vh = np.outer(_LAWS_1D[a], _LAWS_1D[b])
+        energy = np.abs(_convolve2d_same(plane, mask_vh)).mean()
+        if a != b:
+            mask_hv = np.outer(_LAWS_1D[b], _LAWS_1D[a])
+            energy = 0.5 * (
+                energy + np.abs(_convolve2d_same(plane, mask_hv)).mean()
+            )
+        out.append(float(energy))
+    features = np.asarray(out)
+    norm = np.linalg.norm(features)
+    return features / norm if norm > 0 else features

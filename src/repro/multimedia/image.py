@@ -1,0 +1,104 @@
+"""The Image value type: an RGB raster plus PPM serialization.
+
+Media objects travel between the web robot, the media server and the
+feature daemons as raw bytes (the Mirror media server "is a web
+server"); PPM (P6) is the wire format because it is trivially
+self-contained and binary-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+class Image:
+    """An 8-bit RGB image backed by a (height, width, 3) uint8 array."""
+
+    __slots__ = ("pixels",)
+
+    def __init__(self, pixels: np.ndarray):
+        pixels = np.asarray(pixels)
+        if pixels.ndim != 3 or pixels.shape[2] != 3:
+            raise ValueError("Image needs a (height, width, 3) array")
+        if pixels.dtype != np.uint8:
+            pixels = np.clip(pixels, 0, 255).astype(np.uint8)
+        self.pixels = pixels
+
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.pixels.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.height, self.width)
+
+    def crop(self, top: int, left: int, bottom: int, right: int) -> "Image":
+        """Sub-image [top:bottom, left:right] (no copy)."""
+        if not (0 <= top < bottom <= self.height and 0 <= left < right <= self.width):
+            raise ValueError(
+                f"crop ({top},{left},{bottom},{right}) outside "
+                f"{self.height}x{self.width}"
+            )
+        return Image(self.pixels[top:bottom, left:right])
+
+    def grayscale(self) -> np.ndarray:
+        """Luminance as float64 in [0, 255] (ITU-R 601 weights)."""
+        rgb = self.pixels.astype(np.float64)
+        return 0.299 * rgb[:, :, 0] + 0.587 * rgb[:, :, 1] + 0.114 * rgb[:, :, 2]
+
+    def mean_color(self) -> np.ndarray:
+        """Mean (r, g, b) as float64."""
+        return self.pixels.reshape(-1, 3).astype(np.float64).mean(axis=0)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Image) and np.array_equal(self.pixels, other.pixels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Image({self.height}x{self.width})"
+
+    # ------------------------------------------------------------------
+    # PPM (P6) serialization
+    # ------------------------------------------------------------------
+    def to_ppm(self) -> bytes:
+        """Serialize as binary PPM."""
+        header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
+        return header + self.pixels.tobytes()
+
+    @classmethod
+    def from_ppm(cls, data: bytes) -> "Image":
+        """Parse binary PPM bytes (as produced by :meth:`to_ppm`)."""
+        if not data.startswith(b"P6"):
+            raise ValueError("not a binary PPM (P6) stream")
+        # Parse the three header tokens (width, height, maxval),
+        # skipping comments.
+        position = 2
+        tokens = []
+        while len(tokens) < 3:
+            while position < len(data) and data[position : position + 1].isspace():
+                position += 1
+            if data[position : position + 1] == b"#":
+                while position < len(data) and data[position : position + 1] != b"\n":
+                    position += 1
+                continue
+            start = position
+            while position < len(data) and not data[position : position + 1].isspace():
+                position += 1
+            tokens.append(data[start:position])
+        position += 1  # single whitespace after maxval
+        width, height, maxval = (int(t) for t in tokens)
+        if maxval != 255:
+            raise ValueError(f"unsupported PPM maxval {maxval}")
+        expected = width * height * 3
+        raster = data[position : position + expected]
+        if len(raster) != expected:
+            raise ValueError("truncated PPM raster")
+        pixels = np.frombuffer(raster, dtype=np.uint8).reshape(height, width, 3)
+        return cls(pixels.copy())

@@ -1,0 +1,134 @@
+"""Image segmentation ("one of the daemons segments the images").
+
+Two segmenters are provided:
+
+* :func:`grid_segment` -- fixed regular grid; fast, deterministic,
+  the default for the pipeline benchmarks;
+* :func:`region_merge_segment` -- a simple region-growing segmentation:
+  start from grid cells and greedily merge color-similar neighbours
+  with union-find, producing variable-sized coherent regions (closer in
+  spirit to the demo's segmentation daemon).
+
+A :class:`Segment` carries its bounding box and pixel block; feature
+extractors consume segments, matching the paper's intermediate schema
+(``image_segments`` with per-segment RGB/Gabor vectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.multimedia.image import Image
+
+
+@dataclass
+class Segment:
+    """One image region: bounding box (top, left, bottom, right) and
+    the pixel block covering it."""
+
+    bbox: Tuple[int, int, int, int]
+    image: Image
+
+    @property
+    def area(self) -> int:
+        top, left, bottom, right = self.bbox
+        return (bottom - top) * (right - left)
+
+
+def grid_segment(image: Image, rows: int = 2, cols: int = 2) -> List[Segment]:
+    """Split *image* into a rows x cols grid of segments."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs at least 1x1 cells")
+    height, width = image.shape
+    row_edges = np.linspace(0, height, rows + 1, dtype=int)
+    col_edges = np.linspace(0, width, cols + 1, dtype=int)
+    segments: List[Segment] = []
+    for r in range(rows):
+        for c in range(cols):
+            top, bottom = int(row_edges[r]), int(row_edges[r + 1])
+            left, right = int(col_edges[c]), int(col_edges[c + 1])
+            if bottom <= top or right <= left:
+                continue
+            segments.append(
+                Segment(
+                    bbox=(top, left, bottom, right),
+                    image=image.crop(top, left, bottom, right),
+                )
+            )
+    return segments
+
+
+class _UnionFind:
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def region_merge_segment(
+    image: Image,
+    *,
+    cell: int = 8,
+    threshold: float = 28.0,
+) -> List[Segment]:
+    """Region-growing segmentation by merging color-similar grid cells.
+
+    The image is tiled into ``cell x cell`` blocks; adjacent blocks
+    whose mean colors differ by less than *threshold* (Euclidean in
+    RGB) are merged.  Each resulting region is returned as the segment
+    of its bounding box.
+    """
+    height, width = image.shape
+    rows = max(1, height // cell)
+    cols = max(1, width // cell)
+    means = np.zeros((rows, cols, 3))
+    for r in range(rows):
+        for c in range(cols):
+            block = image.pixels[
+                r * cell : min((r + 1) * cell, height),
+                c * cell : min((c + 1) * cell, width),
+            ]
+            means[r, c] = block.reshape(-1, 3).mean(axis=0)
+    uf = _UnionFind(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            here = r * cols + c
+            if c + 1 < cols:
+                if np.linalg.norm(means[r, c] - means[r, c + 1]) < threshold:
+                    uf.union(here, here + 1)
+            if r + 1 < rows:
+                if np.linalg.norm(means[r, c] - means[r + 1, c]) < threshold:
+                    uf.union(here, here + cols)
+    regions: Dict[int, List[Tuple[int, int]]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            root = uf.find(r * cols + c)
+            regions.setdefault(root, []).append((r, c))
+    segments: List[Segment] = []
+    for cells in regions.values():
+        rs = [r for r, _ in cells]
+        cs = [c for _, c in cells]
+        top = min(rs) * cell
+        left = min(cs) * cell
+        bottom = min(height, (max(rs) + 1) * cell)
+        right = min(width, (max(cs) + 1) * cell)
+        segments.append(
+            Segment(
+                bbox=(top, left, bottom, right),
+                image=image.crop(top, left, bottom, right),
+            )
+        )
+    segments.sort(key=lambda s: s.bbox)
+    return segments

@@ -1,0 +1,50 @@
+"""Vector <-> string encoding for ``Atomic<Vector>`` attributes.
+
+The paper's *intermediate* schema (section 5.2) carries per-segment
+feature vectors as ``Atomic<Vector>`` attributes between the feature
+daemons and the clustering step.  The Monet substitute has no native
+array atom, so ``Vector`` rides on the ``str`` atom with a canonical
+space-separated decimal encoding (see DESIGN.md §2); these helpers are
+the single place that encoding lives.
+
+Round-trip accuracy: ``repr``-based formatting, so float64 values
+survive exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+
+def encode_vector(vector: Iterable[float]) -> str:
+    """Serialize *vector* as the canonical Atomic<Vector> string."""
+    return " ".join(repr(float(v)) for v in vector)
+
+
+def decode_vector(text: Optional[str]) -> np.ndarray:
+    """Inverse of :func:`encode_vector`; NIL/empty -> empty vector."""
+    if not text:
+        return np.zeros(0)
+    return np.asarray([float(part) for part in text.split()], dtype=np.float64)
+
+
+def encode_matrix(matrix: np.ndarray) -> List[str]:
+    """One encoded string per row of a feature matrix."""
+    return [encode_vector(row) for row in np.atleast_2d(matrix)]
+
+
+def decode_matrix(texts: Iterable[str]) -> np.ndarray:
+    """Stack decoded vectors back into an (n, d) matrix.
+
+    All rows must agree on dimensionality (they come from one feature
+    space); raises ``ValueError`` otherwise.
+    """
+    rows = [decode_vector(t) for t in texts]
+    if not rows:
+        return np.zeros((0, 0))
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise ValueError("vectors of mixed dimensionality")
+    return np.stack(rows)

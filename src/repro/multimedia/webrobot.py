@@ -1,0 +1,94 @@
+"""The simulated web robot.
+
+"The digital library constructed for the demo consists of images
+collected by a simple web robot.  Some of the images in the library are
+annotated with text."  (Mirror paper, section 5.1.)
+
+:class:`WebRobot` deterministically "crawls" a synthetic web: it yields
+:class:`CrawledImage` items with a URL, the image, the generating scene
+class (ground truth for evaluation) and -- for a configurable fraction
+-- a textual annotation drawn from the class vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.multimedia.image import Image
+from repro.multimedia.synth import SCENE_CLASSES, annotate_scene, generate_scene
+
+
+@dataclass
+class CrawledImage:
+    """One item brought home by the robot."""
+
+    url: str
+    image: Image
+    true_class: str
+    annotation: Optional[str] = None
+
+    @property
+    def annotated(self) -> bool:
+        return self.annotation is not None
+
+
+class WebRobot:
+    """Deterministic synthetic crawler.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; identical seeds reproduce identical crawls.
+    annotated_fraction:
+        Fraction of images that carry a textual annotation (the paper
+        says only *some* are annotated).
+    classes:
+        Scene classes to crawl; defaults to all.
+    size:
+        Image dimensions.
+    """
+
+    def __init__(
+        self,
+        seed: int = 42,
+        *,
+        annotated_fraction: float = 0.7,
+        classes: Optional[Sequence[str]] = None,
+        size: Tuple[int, int] = (64, 64),
+    ):
+        if not 0.0 <= annotated_fraction <= 1.0:
+            raise ValueError("annotated_fraction must lie in [0, 1]")
+        self.seed = seed
+        self.annotated_fraction = annotated_fraction
+        self.classes = list(classes) if classes else sorted(SCENE_CLASSES)
+        for name in self.classes:
+            if name not in SCENE_CLASSES:
+                raise KeyError(f"unknown scene class {name!r}")
+        self.size = size
+
+    def crawl(self, count: int) -> List[CrawledImage]:
+        """Fetch *count* images, classes round-robin balanced."""
+        rng = np.random.default_rng(self.seed)
+        out: List[CrawledImage] = []
+        for index in range(count):
+            class_name = self.classes[index % len(self.classes)]
+            image = generate_scene(class_name, rng=rng, size=self.size)
+            annotation = None
+            if rng.random() < self.annotated_fraction:
+                annotation = annotate_scene(class_name, rng)
+            out.append(
+                CrawledImage(
+                    url=f"http://synthetic.web/{class_name}/{index:05d}.ppm",
+                    image=image,
+                    true_class=class_name,
+                    annotation=annotation,
+                )
+            )
+        return out
+
+    def stream(self, count: int) -> Iterator[CrawledImage]:
+        """Generator variant of :meth:`crawl`."""
+        yield from self.crawl(count)

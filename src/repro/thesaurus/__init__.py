@@ -1,0 +1,20 @@
+"""Association thesaurus: the dual-coding bridge between words and
+visual clusters.
+
+"We automatically construct a thesaurus, associating words in the
+textual annotations to the clusters in the image content
+representation.  ...  this thesaurus can be considered an
+implementation of Paivio's dual coding theory."  (Mirror paper,
+section 5.2.)
+
+* :mod:`repro.thesaurus.cooccurrence` -- document-level co-occurrence
+  counting between two vocabularies;
+* :mod:`repro.thesaurus.assoc` -- the EMIM-scored association thesaurus
+  (PhraseFinder [JC94] style) with query expansion, plus the feedback
+  adaptation hook used by :mod:`repro.core.feedback`.
+"""
+
+from repro.thesaurus.assoc import AssociationThesaurus
+from repro.thesaurus.cooccurrence import CooccurrenceCounts
+
+__all__ = ["AssociationThesaurus", "CooccurrenceCounts"]

@@ -1,0 +1,141 @@
+"""The EMIM association thesaurus (PhraseFinder style).
+
+"Following the observation used in PhraseFinder [JC94], an association
+thesaurus can be seen as measuring the belief in a concept (instead of
+in a document) given the query."  (Mirror paper, section 5.2.)
+
+Association strength between annotation word *w* and visual cluster *c*
+is scored with expected mutual information (EMIM) over their document
+co-occurrence;  :meth:`AssociationThesaurus.expand` turns a text query
+into the visual-cluster query the CONTREP<Image> ranking consumes --
+the paper's query-formulation step.
+
+The thesaurus is *adaptable*: relevance feedback can strengthen or
+weaken individual (word, cluster) associations
+(:meth:`AssociationThesaurus.reinforce`), implementing the learning
+hook the paper flags as ongoing work ("we are investigating machine
+learning techniques to adapt the thesaurus").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.thesaurus.cooccurrence import CooccurrenceCounts
+
+
+@dataclass
+class Association:
+    """One thesaurus entry: word -> cluster with its belief score."""
+
+    word: str
+    cluster: str
+    score: float
+
+
+class AssociationThesaurus:
+    """Word -> visual-cluster associations with EMIM scores."""
+
+    def __init__(self, counts: CooccurrenceCounts, *, smoothing: float = 0.5):
+        self.counts = counts
+        self.smoothing = smoothing
+        #: multiplicative feedback adjustments, keyed (word, cluster)
+        self._adjustments: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Scores
+    # ------------------------------------------------------------------
+    def emim(self, word: str, cluster: str) -> float:
+        """Expected mutual information between presence of *word* and
+        *cluster* across documents (non-negative, smoothed)."""
+        n = self.counts.document_count
+        if n == 0:
+            return 0.0
+        s = self.smoothing
+        n_w = self.counts.left_df.get(word, 0)
+        n_c = self.counts.right_df.get(cluster, 0)
+        n_wc = self.counts.joint_count(word, cluster)
+        score = 0.0
+        for joint, margin_w, margin_c in (
+            (n_wc, n_w, n_c),
+            (n_w - n_wc, n_w, n - n_c),
+            (n_c - n_wc, n - n_w, n_c),
+            (n - n_w - n_c + n_wc, n - n_w, n - n_c),
+        ):
+            p_joint = (joint + s) / (n + 4 * s)
+            p_independent = ((margin_w + 2 * s) / (n + 4 * s)) * (
+                (margin_c + 2 * s) / (n + 4 * s)
+            )
+            if p_joint > 0 and p_independent > 0:
+                score += p_joint * math.log(p_joint / p_independent)
+        return max(0.0, score)
+
+    def association_score(self, word: str, cluster: str) -> float:
+        """EMIM adjusted by any feedback reinforcement."""
+        base = self.emim(word, cluster)
+        return base * self._adjustments.get((word, cluster), 1.0)
+
+    # ------------------------------------------------------------------
+    # Lookup / expansion
+    # ------------------------------------------------------------------
+    def associate(self, word: str, k: int = 5) -> List[Association]:
+        """Top-*k* clusters associated with *word*, best first."""
+        candidates = self.counts.pairs_for_left(word)
+        scored = [
+            Association(word, cluster, self.association_score(word, cluster))
+            for cluster, _ in candidates
+        ]
+        scored = [a for a in scored if a.score > 0.0]
+        scored.sort(key=lambda a: (-a.score, a.cluster))
+        return scored[:k]
+
+    def expand(
+        self,
+        words: Sequence[str],
+        *,
+        per_word: int = 3,
+        min_score: float = 0.0,
+    ) -> List[str]:
+        """Visual-cluster query terms for a text query.
+
+        Returns cluster tokens (duplicates allowed when several words
+        agree on a cluster -- repetition acts as term weighting in the
+        ranking query, mirroring the belief interpretation of [JC94]).
+        """
+        out: List[str] = []
+        for word in words:
+            for association in self.associate(word, k=per_word):
+                if association.score > min_score:
+                    out.append(association.cluster)
+        return out
+
+    # ------------------------------------------------------------------
+    # Feedback adaptation (the paper's machine-learning hook)
+    # ------------------------------------------------------------------
+    def reinforce(
+        self, word: str, cluster: str, factor: float
+    ) -> None:
+        """Multiply the (word, cluster) association by *factor*
+        (> 1 strengthens, < 1 weakens; floored at zero)."""
+        if factor < 0:
+            raise ValueError("reinforcement factor must be non-negative")
+        key = (word, cluster)
+        self._adjustments[key] = self._adjustments.get(key, 1.0) * factor
+
+    def adjustment(self, word: str, cluster: str) -> float:
+        return self._adjustments.get((word, cluster), 1.0)
+
+    # ------------------------------------------------------------------
+    def entries(self, *, min_score: float = 0.0) -> List[Association]:
+        """All positive associations (diagnostics / persistence)."""
+        out: List[Association] = []
+        for (word, cluster), joint in sorted(self.counts.joint.items()):
+            if joint <= 0:
+                continue
+            score = self.association_score(word, cluster)
+            if score > min_score:
+                out.append(Association(word, cluster, score))
+        out.sort(key=lambda a: (-a.score, a.word, a.cluster))
+        return out

@@ -1,0 +1,73 @@
+"""Document-level co-occurrence statistics between two vocabularies.
+
+The thesaurus construction pairs each document's *text terms* (from the
+annotation CONTREP) with its *visual words* (from the image CONTREP)
+and counts, over the collection, how often word w and cluster c occur
+in the same document.  These counts feed the EMIM association scores in
+:mod:`repro.thesaurus.assoc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+
+@dataclass
+class CooccurrenceCounts:
+    """Joint and marginal document frequencies of two vocabularies."""
+
+    document_count: int = 0
+    left_df: Dict[str, int] = field(default_factory=dict)
+    right_df: Dict[str, int] = field(default_factory=dict)
+    joint: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Iterable[Tuple[Sequence[str], Sequence[str]]],
+    ) -> "CooccurrenceCounts":
+        """Count over (left-terms, right-terms) document pairs."""
+        counts = cls()
+        for left_terms, right_terms in documents:
+            counts.add_document(left_terms, right_terms)
+        return counts
+
+    def add_document(
+        self, left_terms: Sequence[str], right_terms: Sequence[str]
+    ) -> None:
+        """Incorporate one document (presence-based: duplicates within a
+        document count once, standard association-thesaurus practice)."""
+        self.document_count += 1
+        left_set: Set[str] = set(left_terms)
+        right_set: Set[str] = set(right_terms)
+        for w in left_set:
+            self.left_df[w] = self.left_df.get(w, 0) + 1
+        for c in right_set:
+            self.right_df[c] = self.right_df.get(c, 0) + 1
+        for w in left_set:
+            for c in right_set:
+                key = (w, c)
+                self.joint[key] = self.joint.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    def joint_count(self, left: str, right: str) -> int:
+        return self.joint.get((left, right), 0)
+
+    def left_vocabulary(self) -> List[str]:
+        return sorted(self.left_df)
+
+    def right_vocabulary(self) -> List[str]:
+        return sorted(self.right_df)
+
+    def pairs_for_left(self, left: str) -> List[Tuple[str, int]]:
+        """(right-term, joint count) pairs co-occurring with *left*."""
+        return sorted(
+            (
+                (c, n)
+                for (w, c), n in self.joint.items()
+                if w == left and n > 0
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )

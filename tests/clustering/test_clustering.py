@@ -1,0 +1,183 @@
+"""k-means, the AutoClass substitute, and cluster vocabularies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.assignments import (
+    ClusterVocabulary,
+    document_tokens,
+    vocabulary_size,
+)
+from repro.clustering.autoclass import AutoClass
+from repro.clustering.kmeans import KMeans
+
+
+def _blobs(seed=0, per_blob=30, centers=((0, 0), (10, 10), (-10, 10))):
+    rng = np.random.default_rng(seed)
+    parts = [
+        rng.normal(loc=center, scale=0.8, size=(per_blob, 2))
+        for center in centers
+    ]
+    labels = np.repeat(np.arange(len(centers)), per_blob)
+    return np.vstack(parts), labels
+
+
+def _purity(pred, truth):
+    total = 0
+    for cluster in np.unique(pred):
+        members = truth[pred == cluster]
+        total += np.bincount(members).max()
+    return total / len(truth)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        data, truth = _blobs()
+        result = KMeans(3, seed=1).fit(data)
+        assert _purity(result.labels, truth) == 1.0
+
+    def test_k_greater_than_n_clamped(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = KMeans(10, seed=0).fit(data)
+        assert len(result.centers) == 2
+
+    def test_predict_consistent_with_fit(self):
+        data, _ = _blobs()
+        result = KMeans(3, seed=1).fit(data)
+        assert np.array_equal(result.predict(data), result.labels)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data, _ = _blobs()
+        one = KMeans(1, seed=0).fit(data).inertia
+        three = KMeans(3, seed=0).fit(data).inertia
+        assert three < one
+
+    def test_deterministic_with_seed(self):
+        data, _ = _blobs()
+        a = KMeans(3, seed=5).fit(data)
+        b = KMeans(3, seed=5).fit(data)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+    def test_invalid_data_shape(self):
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.zeros(5))
+
+    def test_n_classes_property(self):
+        data, _ = _blobs()
+        assert KMeans(3, seed=0).fit(data).n_classes == 3
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_labels_in_range(self, k):
+        data, _ = _blobs(seed=2)
+        result = KMeans(k, seed=0).fit(data)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < k
+
+
+class TestAutoClass:
+    def test_recovers_separated_blobs(self):
+        data, truth = _blobs()
+        model = AutoClass(2, 5, seed=1).fit(data)
+        assert _purity(model.predict(data), truth) >= 0.95
+
+    def test_model_selection_finds_three(self):
+        data, _ = _blobs(per_blob=50)
+        model = AutoClass(2, 6, seed=1).fit(data)
+        assert model.n_classes == 3
+
+    def test_fixed_k(self):
+        data, _ = _blobs()
+        model = AutoClass(seed=0).fit_fixed(data, 4)
+        assert model.n_classes == 4
+
+    def test_weights_sum_to_one(self):
+        data, _ = _blobs()
+        model = AutoClass(2, 4, seed=0).fit(data)
+        assert model.weights.sum() == pytest.approx(1.0)
+
+    def test_log_likelihood_improves_with_iterations(self):
+        data, _ = _blobs()
+        short = AutoClass(max_iterations=1, seed=0).fit_fixed(data, 3)
+        long_ = AutoClass(max_iterations=50, seed=0).fit_fixed(data, 3)
+        assert long_.log_likelihood >= short.log_likelihood - 1e-6
+
+    def test_responsibilities_normalized(self):
+        data, _ = _blobs()
+        model = AutoClass(2, 4, seed=0).fit(data)
+        resp = np.exp(model.log_responsibilities(data))
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_score_is_finite(self):
+        data, _ = _blobs()
+        model = AutoClass(2, 4, seed=0).fit(data)
+        assert np.isfinite(model.score(data))
+
+    def test_variance_floor_prevents_collapse(self):
+        # Duplicate points would give zero variance without the floor.
+        data = np.vstack([np.zeros((20, 2)), np.ones((20, 2))])
+        model = AutoClass(2, 3, seed=0).fit(data)
+        assert np.all(model.variances >= 1e-4 - 1e-12)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            AutoClass().fit(np.zeros((0, 2)))
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            AutoClass(5, 2)
+
+    def test_deterministic(self):
+        data, _ = _blobs()
+        a = AutoClass(2, 4, seed=7).fit(data)
+        b = AutoClass(2, 4, seed=7).fit(data)
+        assert np.array_equal(a.predict(data), b.predict(data))
+
+
+class TestClusterVocabulary:
+    def test_tokens_format(self):
+        data, _ = _blobs()
+        model = KMeans(3, seed=0).fit(data)
+        vocabulary = ClusterVocabulary("gabor", model)
+        tokens = vocabulary.tokens(data[:5])
+        assert all(t.startswith("gabor_") for t in tokens)
+
+    def test_token_label(self):
+        data, _ = _blobs()
+        model = KMeans(2, seed=0).fit(data)
+        assert ClusterVocabulary("rgb", model).token(3) == "rgb_3"
+
+    def test_document_tokens_combines_spaces(self):
+        data, _ = _blobs()
+        m1 = KMeans(2, seed=0).fit(data)
+        m2 = KMeans(3, seed=0).fit(data)
+        vocabularies = [
+            ClusterVocabulary("rgb", m1),
+            ClusterVocabulary("gabor", m2),
+        ]
+        tokens = document_tokens(
+            vocabularies, {"rgb": data[:2], "gabor": data[:3]}
+        )
+        assert len(tokens) == 5
+        assert any(t.startswith("rgb_") for t in tokens)
+        assert any(t.startswith("gabor_") for t in tokens)
+
+    def test_document_tokens_missing_space_skipped(self):
+        data, _ = _blobs()
+        model = KMeans(2, seed=0).fit(data)
+        vocabularies = [ClusterVocabulary("rgb", model)]
+        assert document_tokens(vocabularies, {}) == []
+
+    def test_vocabulary_size(self):
+        data, _ = _blobs()
+        vocabularies = [
+            ClusterVocabulary("a", KMeans(2, seed=0).fit(data)),
+            ClusterVocabulary("b", KMeans(3, seed=0).fit(data)),
+        ]
+        assert vocabulary_size(vocabularies) == 5

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mirror import MirrorDBMS
+from repro.ir.stats import CollectionStats
+from repro.moa.structures.contrep import ContentRepresentation
+from repro.monet.bbp import BATBufferPool
+
+
+@pytest.fixture
+def pool():
+    return BATBufferPool()
+
+
+ANNOTATED_DOCS = [
+    {"source": "http://img/1", "annotation": "a red sunset over the sea"},
+    {"source": "http://img/2", "annotation": "green forest with tall trees"},
+    {"source": "http://img/3", "annotation": "sunset beach with red sky and sea waves"},
+    {"source": "http://img/4", "annotation": "a city skyline at night"},
+    {"source": "http://img/5", "annotation": "waves crashing on the beach at sunset"},
+    {"source": "http://img/6", "annotation": "a quiet green meadow"},
+]
+
+TRADITIONAL_DDL = """
+define TraditionalImgLib as
+SET<
+  TUPLE<
+    Atomic<URL>: source,
+    CONTREP<Text>: annotation
+  >>;
+"""
+
+#: The paper's section 3 ranking query, verbatim modulo whitespace.
+SECTION3_QUERY = (
+    "map[sum(THIS)]("
+    "map[getBL(THIS.annotation, query, stats)]( TraditionalImgLib ));"
+)
+
+
+@pytest.fixture
+def annotated_db():
+    """A MirrorDBMS loaded with the paper's section 3 example library."""
+    db = MirrorDBMS()
+    db.define(TRADITIONAL_DDL)
+    db.insert("TraditionalImgLib", ANNOTATED_DOCS)
+    return db
+
+
+@pytest.fixture
+def annotated_stats(annotated_db):
+    return annotated_db.stats("TraditionalImgLib", "annotation")
+
+
+@pytest.fixture
+def annotated_reps():
+    return [
+        ContentRepresentation.from_value(d["annotation"], "Text")
+        for d in ANNOTATED_DOCS
+    ]
+
+
+@pytest.fixture
+def annotated_data(annotated_reps):
+    """The same library as Python values for the reference interpreter."""
+    return {
+        "TraditionalImgLib": [
+            {"source": d["source"], "annotation": rep}
+            for d, rep in zip(ANNOTATED_DOCS, annotated_reps)
+        ]
+    }

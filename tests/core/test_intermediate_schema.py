@@ -1,0 +1,71 @@
+"""The section 5.2 intermediate schema, materialized by the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.library import DigitalLibrary, intermediate_ddl
+from repro.moa.ddl import parse_define
+from repro.multimedia.vectors import decode_vector
+from repro.multimedia.webrobot import WebRobot
+
+
+@pytest.fixture(scope="module")
+def library():
+    robot = WebRobot(seed=17, annotated_fraction=1.0)
+    lib = DigitalLibrary(
+        feature_spaces=("rgb", "gabor"), max_classes=4, seed=1
+    )
+    lib.ingest(robot.crawl(8))
+    lib.run_daemons(store_intermediate=True)
+    return lib
+
+
+class TestIntermediateDdl:
+    def test_parses_with_paper_columns(self):
+        name, ty = parse_define(
+            " ".join(intermediate_ddl(["RGB", "Gabor"]).split())
+        )
+        assert name == "ImageLibraryIntermediate"
+        segments = ty.element.field_type("image_segments")
+        assert segments.element.field_names() == ["segment", "RGB", "Gabor"]
+
+
+class TestMaterialization:
+    def test_collection_registered(self, library):
+        assert "ImageLibraryIntermediate" in library.mirror.collections()
+        assert library.mirror.count("ImageLibraryIntermediate") == 8
+
+    def test_segments_nested_per_image(self, library):
+        rows = library.mirror.contents("ImageLibraryIntermediate")
+        assert all(len(r["image_segments"]) == 4 for r in rows)  # 2x2 grid
+
+    def test_vectors_decode_to_feature_dimensions(self, library):
+        rows = library.mirror.contents("ImageLibraryIntermediate")
+        segment = rows[0]["image_segments"][0]
+        rgb = decode_vector(segment["rgb"])
+        gabor = decode_vector(segment["gabor"])
+        assert len(rgb) == 64   # 4^3 RGB histogram
+        assert len(gabor) == 12  # 3 freq x 4 orientations
+
+    def test_unnest_over_intermediate(self, library):
+        rows = library.mirror.query(
+            "unnest[image_segments](ImageLibraryIntermediate);"
+        ).value
+        assert len(rows) == 8 * 4
+        assert {"segment", "rgb", "gabor", "source"} <= set(rows[0])
+
+    def test_segment_count_query(self, library):
+        counts = library.mirror.query(
+            "map[count(THIS.image_segments)](ImageLibraryIntermediate);"
+        ).value
+        assert counts == [4] * 8
+
+    def test_internal_schema_still_built(self, library):
+        assert library.mirror.count("ImageLibraryInternal") == 8
+
+    def test_not_stored_by_default(self):
+        robot = WebRobot(seed=18, annotated_fraction=1.0)
+        lib = DigitalLibrary(feature_spaces=("rgb",), max_classes=3, seed=1)
+        lib.ingest(robot.crawl(4))
+        lib.run_daemons()
+        assert "ImageLibraryIntermediate" not in lib.mirror.collections()

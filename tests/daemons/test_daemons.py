@@ -1,0 +1,267 @@
+"""ORB simulation, media server, data dictionary, daemons."""
+
+import numpy as np
+import pytest
+
+from repro.daemons.daemon import (
+    ClusteringDaemon,
+    FeatureDaemon,
+    SegmentationDaemon,
+    ThesaurusDaemon,
+)
+from repro.daemons.dictionary import (
+    DaemonRegistration,
+    DataDictionary,
+    DictionaryError,
+)
+from repro.daemons.mediaserver import MediaNotFound, MediaServer
+from repro.daemons.orb import Orb, OrbError
+from repro.multimedia.synth import generate_scene
+
+
+class Echo:
+    """Test servant."""
+
+    def __init__(self):
+        self.data = []
+
+    def ping(self):
+        return "pong"
+
+    def push(self, items):
+        self.data.append(items)
+        return len(items)
+
+
+class TestOrb:
+    def test_register_and_resolve(self):
+        orb = Orb()
+        orb.register("echo", Echo())
+        proxy = orb.resolve("echo")
+        assert proxy.ping() == "pong"
+
+    def test_duplicate_name_rejected(self):
+        orb = Orb()
+        orb.register("echo", Echo())
+        with pytest.raises(OrbError):
+            orb.register("echo", Echo())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(OrbError):
+            Orb().register("", Echo())
+
+    def test_resolve_unknown(self):
+        with pytest.raises(OrbError, match="cannot resolve"):
+            Orb().resolve("ghost")
+
+    def test_unregister(self):
+        orb = Orb()
+        orb.register("echo", Echo())
+        orb.unregister("echo")
+        assert orb.names() == []
+        with pytest.raises(OrbError):
+            orb.unregister("echo")
+
+    def test_unknown_method(self):
+        orb = Orb()
+        proxy = orb.register("echo", Echo())
+        with pytest.raises(OrbError, match="no method"):
+            proxy.teleport()
+
+    def test_marshalling_isolates_mutable_state(self):
+        orb = Orb()
+        servant = Echo()
+        proxy = orb.register("echo", servant)
+        payload = [1, 2, 3]
+        proxy.push(payload)
+        payload.append(99)  # caller-side mutation must not reach servant
+        assert servant.data[0] == [1, 2, 3]
+
+    def test_result_is_copy(self):
+        class Holder:
+            def __init__(self):
+                self.items = [1, 2]
+
+            def get(self):
+                return self.items
+
+        orb = Orb()
+        servant = Holder()
+        proxy = orb.register("holder", servant)
+        result = proxy.get()
+        result.append(99)
+        assert servant.items == [1, 2]
+
+    def test_call_accounting(self):
+        orb = Orb()
+        proxy = orb.register("echo", Echo())
+        proxy.ping()
+        proxy.ping()
+        assert orb.call_count() == 2
+        assert orb.call_count("echo") == 2
+        assert orb.call_count("other") == 0
+        assert orb.traffic_bytes() > 0
+        orb.reset_accounting()
+        assert orb.call_count() == 0
+
+    def test_proxy_private_attribute_error(self):
+        orb = Orb()
+        proxy = orb.register("echo", Echo())
+        with pytest.raises(AttributeError):
+            proxy._secret
+
+
+class TestMediaServer:
+    def test_put_get(self):
+        server = MediaServer()
+        server.put("http://x/1", b"bytes")
+        assert server.get("http://x/1") == b"bytes"
+
+    def test_missing_url(self):
+        with pytest.raises(MediaNotFound):
+            MediaServer().get("http://ghost")
+
+    def test_empty_url_rejected(self):
+        with pytest.raises(ValueError):
+            MediaServer().put("", b"x")
+
+    def test_overwrite(self):
+        server = MediaServer()
+        server.put("u", b"a")
+        server.put("u", b"b")
+        assert server.get("u") == b"b"
+
+    def test_counters(self):
+        server = MediaServer()
+        server.put("u", b"a")
+        server.get("u")
+        assert server.put_count == 1 and server.get_count == 1
+
+    def test_image_roundtrip(self):
+        server = MediaServer()
+        image = generate_scene("ocean", rng=np.random.default_rng(0))
+        server.put_image("u", image)
+        assert server.get_image("u") == image
+
+    def test_urls_and_len(self):
+        server = MediaServer()
+        server.put("b", b"1")
+        server.put("a", b"2")
+        assert server.urls() == ["a", "b"]
+        assert len(server) == 2
+        assert server.exists("a") and not server.exists("c")
+
+
+class TestDataDictionary:
+    def test_define_and_schema(self):
+        dictionary = DataDictionary()
+        name = dictionary.define("define X as SET<Atomic<int>>;")
+        assert name == "X"
+        assert dictionary.has_schema("X")
+        assert dictionary.schema("X").render() == "SET<Atomic<int>>"
+
+    def test_unknown_schema(self):
+        with pytest.raises(DictionaryError):
+            DataDictionary().schema("ghost")
+
+    def test_ddl_roundtrip(self):
+        dictionary = DataDictionary()
+        dictionary.define("define X as SET<Atomic<int>>;")
+        dictionary.define("define Y as SET<Atomic<str>>;")
+        text = dictionary.ddl()
+        fresh = DataDictionary()
+        for line in text.splitlines():
+            fresh.define(line)
+        assert fresh.schemas().keys() == dictionary.schemas().keys()
+
+    def test_daemon_registration(self):
+        dictionary = DataDictionary()
+        registration = DaemonRegistration("seg", "segmentation", "segments", "seg")
+        dictionary.register_daemon(registration)
+        assert dictionary.daemon("seg").kind == "segmentation"
+        with pytest.raises(DictionaryError):
+            dictionary.register_daemon(registration)
+
+    def test_daemons_filter_by_kind(self):
+        dictionary = DataDictionary()
+        dictionary.register_daemon(
+            DaemonRegistration("a", "feature", "rgb", "a")
+        )
+        dictionary.register_daemon(
+            DaemonRegistration("b", "segmentation", "boxes", "b")
+        )
+        assert [d.name for d in dictionary.daemons("feature")] == ["a"]
+        assert len(dictionary.daemons()) == 2
+
+
+class TestDaemons:
+    def test_attach_registers_everywhere(self):
+        orb = Orb()
+        dictionary = DataDictionary()
+        daemon = ThesaurusDaemon()
+        proxy = daemon.attach(orb, dictionary)
+        assert "thesaurus" in orb.names()
+        assert dictionary.daemon("thesaurus").kind == "thesaurus"
+        assert proxy.status()["name"] == "thesaurus"
+
+    def test_segmentation_via_media_server(self):
+        server = MediaServer()
+        image = generate_scene("forest", rng=np.random.default_rng(0))
+        server.put_image("u", image)
+        daemon = SegmentationDaemon(media=server, rows=2, cols=2)
+        boxes = daemon.segment_url("u")
+        assert len(boxes) == 4
+
+    def test_segmentation_without_media_fails(self):
+        with pytest.raises(RuntimeError):
+            SegmentationDaemon().segment_url("u")
+
+    def test_segmentation_method_validated(self):
+        with pytest.raises(ValueError):
+            SegmentationDaemon(method="magic")
+
+    def test_feature_daemon_unknown_extractor(self):
+        with pytest.raises(KeyError):
+            FeatureDaemon("sift")
+
+    def test_feature_extraction_on_segments(self):
+        server = MediaServer()
+        image = generate_scene("desert", rng=np.random.default_rng(0))
+        server.put_image("u", image)
+        daemon = FeatureDaemon("rgb", media=server)
+        matrix = daemon.extract_url("u", [(0, 0, 32, 32), (32, 32, 64, 64)])
+        assert matrix.shape == (2, 64)
+
+    def test_clustering_daemon_autoclass(self):
+        rng = np.random.default_rng(0)
+        data = np.vstack(
+            [rng.normal(0, 1, (20, 3)), rng.normal(8, 1, (20, 3))]
+        )
+        model = ClusteringDaemon(max_classes=4, seed=0).cluster(data)
+        assert model.n_classes >= 2
+
+    def test_clustering_daemon_kmeans(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 1, (30, 2))
+        model = ClusteringDaemon(algorithm="kmeans", max_classes=3).cluster(data)
+        assert model.n_classes == 3
+
+    def test_clustering_bad_algorithm(self):
+        with pytest.raises(ValueError):
+            ClusteringDaemon(algorithm="magic")
+
+    def test_thesaurus_daemon_lifecycle(self):
+        daemon = ThesaurusDaemon()
+        with pytest.raises(RuntimeError):
+            daemon.formulate(["sunset"])
+        daemon.build([(["sunset"], ["rgb_1"]), (["forest"], ["rgb_2"])])
+        clusters = daemon.formulate(["sunset"])
+        assert "rgb_1" in clusters
+        daemon.reinforce("sunset", "rgb_1", 2.0)
+
+    def test_processed_counters(self):
+        daemon = FeatureDaemon("rgb")
+        image = generate_scene("ocean", rng=np.random.default_rng(0))
+        daemon.extract(image)
+        daemon.extract(image)
+        assert daemon.processed == 2

@@ -1,0 +1,42 @@
+"""Every example script must run cleanly (they are documentation)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_quickstart_shows_plan_and_scores():
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=120,
+    )
+    assert "MIL plan" in completed.stdout
+    assert "http://img/1" in completed.stdout
+
+
+def test_demo_reports_precision():
+    script = next(p for p in EXAMPLES if p.stem == "image_retrieval_demo")
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300,
+    )
+    assert "precision@4 per round" in completed.stdout

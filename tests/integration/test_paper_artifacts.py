@@ -1,0 +1,208 @@
+"""The paper's artifacts, verbatim: schemas, queries, architecture.
+
+Every schema and query string below is copied from the paper (sections
+3 and 5.2) modulo whitespace; these tests are the reproduction's
+ground truth.
+"""
+
+import pytest
+
+from repro.core.library import (
+    CONTENT_QUERY,
+    IMAGE_LIBRARY_DDL,
+    IMAGE_LIBRARY_INTERNAL_DDL,
+    DigitalLibrary,
+)
+from repro.core.mirror import MirrorDBMS
+from repro.multimedia.webrobot import WebRobot
+
+#: Section 3, verbatim.
+SECTION3_DDL = """
+define TraditionalImgLib as
+SET<
+  TUPLE<
+    Atomic<URL>: source,
+    CONTREP<Text>: annotation
+  >>;
+"""
+
+SECTION3_QUERY = """
+map[sum(THIS)] (
+  map[getBL(THIS.annotation,
+            query, stats)] ( TraditionalImgLib ));
+"""
+
+#: Section 5.2 intermediate schema (image_segments), verbatim in shape.
+INTERMEDIATE_DDL = """
+define ImageLibraryIntermediate as
+SET<
+  TUPLE<
+    Atomic<URL>: source,
+    CONTREP<Text>: annotation,
+    SET<
+      TUPLE<
+        Atomic<Image>: segment,
+        Atomic<Vector>: RGB,
+        Atomic<Vector>: Gabor
+      >
+    >: image_segments
+  >>;
+"""
+
+SECTION5_QUERY = """
+map[sum(THIS)] (
+  map[getBL(THIS.image,
+            query, stats)] ( ImageLibraryInternal ));
+"""
+
+
+class TestSection3:
+    def test_schema_parses(self):
+        db = MirrorDBMS()
+        assert db.define(SECTION3_DDL) == ["TraditionalImgLib"]
+
+    def test_ranking_query_runs(self, annotated_db, annotated_stats):
+        result = annotated_db.query(
+            SECTION3_QUERY,
+            {"query": ["sunset", "sea"], "stats": annotated_stats},
+        )
+        scores = result.value
+        assert len(scores) == annotated_db.count("TraditionalImgLib")
+        # Doc 1 mentions both sunset and sea; doc 4 mentions neither.
+        assert scores[0] > 0 and scores[3] == 0.0
+
+    def test_query_composes_with_select(self, annotated_db, annotated_stats):
+        # "these query expressions can be combined with 'normal'
+        # relational operators (such as select or join)" -- section 3.
+        combined = (
+            "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)]("
+            "select[THIS.source != 'http://img/1'](TraditionalImgLib)));"
+        )
+        scores = annotated_db.query(
+            combined, {"query": ["sunset"], "stats": annotated_stats}
+        ).value
+        assert len(scores) == annotated_db.count("TraditionalImgLib") - 1
+
+    def test_query_composes_with_join(self, annotated_stats, annotated_db):
+        annotated_db.define(
+            "define Ratings as SET<TUPLE<Atomic<URL>: url, "
+            "Atomic<int>: stars>>;"
+        )
+        annotated_db.insert(
+            "Ratings",
+            [
+                {"url": "http://img/1", "stars": 5},
+                {"url": "http://img/3", "stars": 2},
+            ],
+        )
+        query = (
+            "join[THIS1.src = THIS2.url]("
+            "map[tuple(src = THIS.source, "
+            "score = sum(getBL(THIS.annotation, query, stats)))]"
+            "(TraditionalImgLib), Ratings);"
+        )
+        rows = annotated_db.query(
+            query, {"query": ["sunset"], "stats": annotated_stats}
+        ).value
+        assert {r["url"] for r in rows} == {"http://img/1", "http://img/3"}
+        assert all("score" in r and "stars" in r for r in rows)
+
+
+class TestSection5Schemas:
+    def test_external_schema(self):
+        db = MirrorDBMS()
+        assert db.define(IMAGE_LIBRARY_DDL) == ["ImageLibrary"]
+        ty = db.collection_type("ImageLibrary")
+        assert ty.element.field_names() == ["source", "annotation", "image"]
+
+    def test_intermediate_schema_with_nested_segments(self):
+        db = MirrorDBMS()
+        db.define(INTERMEDIATE_DDL)
+        ty = db.collection_type("ImageLibraryIntermediate")
+        segments = ty.element.field_type("image_segments")
+        assert segments.element.field_names() == ["segment", "RGB", "Gabor"]
+
+    def test_intermediate_schema_loads_and_unnests(self):
+        db = MirrorDBMS()
+        db.define(INTERMEDIATE_DDL)
+        db.insert(
+            "ImageLibraryIntermediate",
+            [
+                {
+                    "source": "u1",
+                    "annotation": "a sunset",
+                    "image_segments": [
+                        {"segment": "u1#0", "RGB": "0.1 0.9", "Gabor": "0.4"},
+                        {"segment": "u1#1", "RGB": "0.8 0.2", "Gabor": "0.6"},
+                    ],
+                },
+            ],
+        )
+        rows = db.query("unnest[image_segments](ImageLibraryIntermediate);").value
+        assert len(rows) == 2
+        assert rows[0]["segment"] == "u1#0"
+
+    def test_internal_schema(self):
+        db = MirrorDBMS()
+        assert db.define(IMAGE_LIBRARY_INTERNAL_DDL) == ["ImageLibraryInternal"]
+        ty = db.collection_type("ImageLibraryInternal")
+        assert ty.element.field_type("image").render() == "CONTREP<Image>"
+
+
+class TestSection5Query:
+    def test_content_ranking_with_cluster_words(self):
+        db = MirrorDBMS()
+        db.define(IMAGE_LIBRARY_INTERNAL_DDL)
+        db.insert(
+            "ImageLibraryInternal",
+            [
+                {
+                    "source": "u1",
+                    "annotation": "red sunset",
+                    "image": ["rgb_1", "rgb_1", "gabor_21"],
+                },
+                {
+                    "source": "u2",
+                    "annotation": "green forest",
+                    "image": ["rgb_2", "gabor_3"],
+                },
+            ],
+        )
+        stats = db.stats("ImageLibraryInternal", "image")
+        scores = db.query(
+            SECTION5_QUERY, {"query": ["gabor_21", "rgb_1"], "stats": stats}
+        ).value
+        assert scores[0] > scores[1] == 0.0
+
+
+class TestFigure1:
+    """The distributed architecture: every box of Figure 1 is present
+    and exercised through the ORB."""
+
+    def test_federation_components(self):
+        robot = WebRobot(seed=1, annotated_fraction=1.0)
+        library = DigitalLibrary(max_classes=4, seed=0)
+        library.ingest(robot.crawl(12))
+        summary = library.run_daemons()
+        # Daemons of every kind registered in the data dictionary.
+        kinds = {d.kind for d in library.dictionary.daemons()}
+        assert kinds == {"segmentation", "feature", "clustering", "thesaurus"}
+        # The media server held the raw media...
+        assert len(library.media) == 12
+        # ... and was actually consulted by the daemons.
+        assert library.media.get_count > 0
+        # All daemon work went through ORB invocations.
+        assert summary["orb_calls"] > 0
+        names = library.orb.names()
+        assert "segmenter" in names and "thesaurus" in names
+        # Metadata database holds the content representations.
+        assert library.mirror.count("ImageLibraryInternal") == 12
+
+    def test_query_formulation_through_daemon(self):
+        robot = WebRobot(seed=2, annotated_fraction=1.0)
+        library = DigitalLibrary(max_classes=4, seed=0)
+        library.ingest(robot.crawl(12))
+        library.run_daemons()
+        before = library.orb.call_count("thesaurus")
+        library.formulate("sunset beach")
+        assert library.orb.call_count("thesaurus") == before + 1

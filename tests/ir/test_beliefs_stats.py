@@ -1,0 +1,190 @@
+"""Belief functions and collection statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.beliefs import (
+    BeliefParameters,
+    belief,
+    belief_list,
+    beliefs_array,
+    default_belief,
+    normalized_idf,
+    normalized_tf,
+)
+from repro.ir.stats import CollectionStats
+
+DOCS = [
+    {"sunset": 1, "sea": 2, "red": 1},
+    {"forest": 3, "green": 1},
+    {"sunset": 2, "beach": 1},
+]
+
+
+@pytest.fixture
+def stats():
+    return CollectionStats.from_documents(DOCS)
+
+
+class TestStats:
+    def test_document_count(self, stats):
+        assert stats.document_count == 3
+
+    def test_df(self, stats):
+        assert stats.df("sunset") == 2
+        assert stats.df("forest") == 1
+        assert stats.df("unknown") == 0
+
+    def test_cf(self, stats):
+        assert stats.cf("sunset") == 3
+        assert stats.cf("sea") == 2
+
+    def test_avgdl(self, stats):
+        lengths = [4, 4, 3]
+        assert stats.average_document_length == pytest.approx(
+            sum(lengths) / 3
+        )
+
+    def test_vocabulary_sorted(self, stats):
+        vocab = stats.vocabulary()
+        assert vocab == sorted(vocab)
+        assert "sunset" in vocab
+
+    def test_idf_monotone_in_rarity(self, stats):
+        assert stats.idf("forest") > stats.idf("sunset") > 0
+
+    def test_idf_unknown_term(self, stats):
+        assert stats.idf("unknown") == 0.0
+
+    def test_empty_collection(self):
+        empty = CollectionStats.from_documents([])
+        assert empty.document_count == 0
+        assert empty.average_document_length == 0.0
+
+    def test_df_bat(self, stats):
+        bat = stats.df_bat()
+        assert dict(bat.to_pairs())["sunset"] == 2
+
+    def test_mil_bindings(self, stats):
+        bindings = stats.mil_bindings("stats")
+        assert bindings["stats_N"] == 3
+        assert bindings["stats_avgdl"] == pytest.approx(11 / 3)
+        assert "stats_df" in bindings
+
+    def test_mil_bindings_avgdl_floor(self):
+        empty = CollectionStats.from_documents([])
+        assert empty.mil_bindings("s")["s_avgdl"] == 1.0
+
+    def test_from_pool_roundtrip(self, stats, pool):
+        from repro.ir.index import InvertedIndex
+
+        InvertedIndex(DOCS).register(pool, "Lib.c")
+        rebuilt = CollectionStats.from_pool(pool, "Lib.c")
+        assert rebuilt.document_count == stats.document_count
+        assert rebuilt.document_frequency == stats.document_frequency
+        assert rebuilt.average_document_length == pytest.approx(
+            stats.average_document_length
+        )
+
+
+class TestBeliefFormula:
+    def test_default_belief(self):
+        assert default_belief() == 0.4
+
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            BeliefParameters(default_belief=1.5)
+
+    def test_ntf_zero_for_no_occurrence(self):
+        assert normalized_tf(0, 10, 5) == 0.0
+
+    def test_ntf_saturates_below_one(self):
+        assert 0 < normalized_tf(100, 10, 10) < 1.0
+
+    def test_ntf_monotone_in_tf(self):
+        a = normalized_tf(1, 10, 10)
+        b = normalized_tf(5, 10, 10)
+        assert b > a
+
+    def test_ntf_penalizes_long_docs(self):
+        short = normalized_tf(2, 5, 10)
+        long_ = normalized_tf(2, 50, 10)
+        assert short > long_
+
+    def test_nidf_range(self):
+        assert 0 < normalized_idf(100, 1) <= 1.0
+        assert normalized_idf(100, 100) < normalized_idf(100, 1)
+
+    def test_nidf_degenerate(self):
+        assert normalized_idf(0, 5) == 0.0
+        assert normalized_idf(10, 0) == 0.0
+
+    def test_belief_bounds(self, stats):
+        value = belief(2, 4, stats, "sunset")
+        assert 0.4 < value < 1.0
+
+    def test_belief_of_absent_term_is_default_plus_zero(self, stats):
+        assert belief(0, 4, stats, "sunset") == pytest.approx(0.4)
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_belief_always_in_unit_interval(self, tf, dl):
+        stats = CollectionStats.from_documents(DOCS)
+        value = belief(tf, dl, stats, "sunset")
+        assert 0.0 <= value <= 1.0
+
+
+class TestVectorizedAgreement:
+    """beliefs_array must agree exactly with the scalar formula -- this
+    is the contract between the compiled MIL path and the reference."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=20),
+                st.integers(min_value=1, max_value=50),
+                st.integers(min_value=1, max_value=10),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_matches_scalar(self, rows):
+        tfs = np.array([r[0] for r in rows], dtype=np.float64)
+        dls = np.array([r[1] for r in rows], dtype=np.float64)
+        dfs = np.array([r[2] for r in rows], dtype=np.float64)
+        n_docs, avgdl = 50, 7.5
+        vector = beliefs_array(tfs, dls, dfs, n_docs, avgdl)
+        for i, (tf, dl, df) in enumerate(rows):
+            ntf = normalized_tf(tf, dl, avgdl)
+            nidf = normalized_idf(n_docs, df)
+            expected = 0.4 + 0.6 * ntf * nidf
+            assert vector[i] == pytest.approx(expected, abs=1e-12)
+
+    def test_zero_df_guarded(self):
+        out = beliefs_array(
+            np.array([1.0]), np.array([5.0]), np.array([0.0]), 10, 5.0
+        )
+        assert out[0] == pytest.approx(0.4)
+
+
+class TestBeliefList:
+    def test_only_matched_terms(self, stats):
+        bl = belief_list(DOCS[0], 4, ["sunset", "forest"], stats)
+        assert len(bl) == 1  # forest not in doc 0
+
+    def test_duplicate_query_terms(self, stats):
+        bl = belief_list(DOCS[0], 4, ["sunset", "sunset"], stats)
+        assert len(bl) == 2
+        assert bl[0] == bl[1]
+
+    def test_empty_query(self, stats):
+        assert belief_list(DOCS[0], 4, [], stats) == []
+
+    def test_values_exceed_default(self, stats):
+        bl = belief_list(DOCS[0], 4, ["sunset", "sea", "red"], stats)
+        assert all(b > 0.4 for b in bl)

@@ -1,0 +1,231 @@
+"""Inference network, inverted index, operators, query parsing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import operators
+from repro.ir.index import InvertedIndex
+from repro.ir.network import (
+    InferenceNetwork,
+    QueryNode,
+    and_node,
+    max_node,
+    not_node,
+    or_node,
+    sum_node,
+    term,
+    wsum,
+)
+from repro.ir.queries import QueryParseError, parse_structured_query
+
+DOCS = [
+    {"sunset": 2, "sea": 1},
+    {"forest": 1, "green": 2},
+    {"sunset": 1, "beach": 2, "sea": 1},
+    {"city": 1, "night": 1},
+]
+
+
+@pytest.fixture
+def index():
+    return InvertedIndex(DOCS)
+
+
+@pytest.fixture
+def network(index):
+    return InferenceNetwork(index)
+
+
+class TestOperators:
+    def test_sum_is_mean(self):
+        assert operators.combine_sum([0.4, 0.8]) == pytest.approx(0.6)
+
+    def test_sum_empty(self):
+        assert operators.combine_sum([]) == 0.0
+
+    def test_wsum(self):
+        assert operators.combine_wsum([1.0, 0.0], [3, 1]) == pytest.approx(0.75)
+
+    def test_wsum_mismatched(self):
+        with pytest.raises(ValueError):
+            operators.combine_wsum([1.0], [1, 2])
+
+    def test_and_is_product(self):
+        assert operators.combine_and([0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_or_noisy(self):
+        assert operators.combine_or([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_not(self):
+        assert operators.combine_not(0.3) == pytest.approx(0.7)
+
+    def test_max(self):
+        assert operators.combine_max([0.2, 0.9, 0.5]) == 0.9
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=8))
+    def test_all_operators_stay_in_unit_interval(self, beliefs):
+        for combine in (
+            operators.combine_sum,
+            operators.combine_and,
+            operators.combine_or,
+            operators.combine_max,
+        ):
+            assert 0.0 <= combine(beliefs) <= 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=5))
+    def test_array_versions_match_scalar(self, beliefs):
+        arrays = [np.array([b]) for b in beliefs]
+        assert operators.array_sum(arrays)[0] == pytest.approx(
+            operators.combine_sum(beliefs)
+        )
+        assert operators.array_and(arrays)[0] == pytest.approx(
+            operators.combine_and(beliefs)
+        )
+        assert operators.array_or(arrays)[0] == pytest.approx(
+            operators.combine_or(beliefs)
+        )
+        assert operators.array_max(arrays)[0] == pytest.approx(
+            operators.combine_max(beliefs)
+        )
+
+
+class TestInvertedIndex:
+    def test_counts(self, index):
+        assert index.document_count == 4
+        assert index.posting_count == sum(len(d) for d in DOCS)
+
+    def test_postings(self, index):
+        assert index.postings("sunset") == [(0, 2), (2, 1)]
+        assert index.postings("unknown") == []
+
+    def test_document_length(self, index):
+        assert index.document_length(0) == 3
+
+    def test_term_beliefs_default_for_absent(self, index):
+        beliefs = index.term_beliefs("sunset")
+        assert beliefs[1] == pytest.approx(0.4)
+        assert beliefs[0] > 0.4
+
+    def test_score_sum_matches_manual(self, index):
+        scores = index.score_sum(["sunset", "sea"])
+        assert scores[0] > scores[2] > 0
+        assert scores[1] == 0.0 and scores[3] == 0.0
+
+    def test_bats_roundtrip(self, index, pool):
+        index.register(pool, "X")
+        rebuilt = InvertedIndex.from_pool(pool, "X")
+        assert rebuilt.document_count == index.document_count
+        assert rebuilt.postings("sunset") == index.postings("sunset")
+
+
+class TestQueryNodes:
+    def test_term_requires_text(self):
+        with pytest.raises(ValueError):
+            QueryNode("term")
+
+    def test_not_arity(self):
+        with pytest.raises(ValueError):
+            QueryNode("not", children=[term("a"), term("b")])
+
+    def test_wsum_needs_weights(self):
+        with pytest.raises(ValueError):
+            QueryNode("wsum", children=[term("a")], weights=[])
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            QueryNode("xor", children=[term("a")])
+
+    def test_terms_collects_leaves(self):
+        node = sum_node(term("a"), and_node(term("b"), term("a")))
+        assert node.terms() == ["a", "b", "a"]
+
+    def test_render(self):
+        node = wsum([(2, term("x")), (1, or_node(term("y"), term("z")))])
+        assert node.render() == "#wsum(2 x 1 #or(y z))"
+
+
+class TestNetworkEvaluation:
+    def test_term_evaluation(self, network):
+        scores = network.evaluate(term("sunset"))
+        assert scores[0] > scores[1]
+
+    def test_and_rewards_both_terms(self, network):
+        scores = network.evaluate(and_node(term("sunset"), term("sea")))
+        # doc 0 and 2 contain both; doc 1 and 3 contain neither.
+        assert scores[0] > scores[1]
+        assert scores[2] > scores[3]
+
+    def test_or_evaluation(self, network):
+        scores = network.evaluate(or_node(term("forest"), term("city")))
+        assert scores[1] > scores[0]
+        assert scores[3] > scores[0]
+
+    def test_not_inverts(self, network):
+        base = network.evaluate(term("sunset"))
+        inverted = network.evaluate(not_node(term("sunset")))
+        assert np.allclose(base + inverted, 1.0)
+
+    def test_max_evaluation(self, network):
+        scores = network.evaluate(max_node(term("sunset"), term("forest")))
+        assert scores[1] > 0.4
+
+    def test_rank_order_and_ties(self, network):
+        ranked = network.rank(term("sunset"))
+        assert ranked[0][0] == 0  # highest tf
+        assert len(ranked) == 4
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rank_top_k(self, network):
+        assert len(network.rank(term("sunset"), k=2)) == 2
+
+    def test_all_scores_unit_interval(self, network):
+        node = parse_structured_query("#wsum(2 sunset 1 #or(sea beach))")
+        scores = network.evaluate(node)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+
+class TestStructuredQueryParser:
+    def test_implicit_sum(self):
+        node = parse_structured_query("sunset beach")
+        assert node.kind == "sum"
+        assert node.terms() == ["sunset", "beach"]
+
+    def test_single_term(self):
+        node = parse_structured_query("sunset")
+        assert node.kind == "term"
+
+    def test_terms_analyzed(self):
+        node = parse_structured_query("Sunsets Waves")
+        assert node.terms() == ["sunset", "wave"]
+
+    def test_nested_operators(self):
+        node = parse_structured_query("#and(red #or(car truck))")
+        assert node.kind == "and"
+        assert node.children[1].kind == "or"
+
+    def test_wsum_weights(self):
+        node = parse_structured_query("#wsum(2 sunset 1 sea)")
+        assert node.weights == [2.0, 1.0]
+
+    def test_not(self):
+        node = parse_structured_query("#not(rain)")
+        assert node.kind == "not"
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_structured_query("   ")
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_structured_query("#and(a b")
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_structured_query("#xor(a b)")
+
+    def test_wsum_needs_numeric_weights(self):
+        with pytest.raises(QueryParseError):
+            parse_structured_query("#wsum(a b)")

@@ -1,0 +1,152 @@
+"""Porter stemmer and the text analysis pipeline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.porter import stem
+from repro.ir.tokenize import STOPWORDS, analyze, analyze_terms, tokenize
+
+
+class TestPorterClassics:
+    """Examples from Porter's paper and the reference vocabulary."""
+
+    CASES = [
+        ("caresses", "caress"),
+        ("ponies", "poni"),
+        ("ties", "ti"),
+        ("caress", "caress"),
+        ("cats", "cat"),
+        ("feed", "feed"),
+        ("agreed", "agre"),
+        ("plastered", "plaster"),
+        ("bled", "bled"),
+        ("motoring", "motor"),
+        ("sing", "sing"),
+        ("conflated", "conflat"),
+        ("troubled", "troubl"),
+        ("sized", "size"),
+        ("hopping", "hop"),
+        ("tanned", "tan"),
+        ("falling", "fall"),
+        ("hissing", "hiss"),
+        ("fizzed", "fizz"),
+        ("failing", "fail"),
+        ("filing", "file"),
+        ("happy", "happi"),
+        ("sky", "sky"),
+        ("relational", "relat"),
+        ("conditional", "condit"),
+        ("rational", "ration"),
+        ("valenci", "valenc"),
+        ("hesitanci", "hesit"),
+        ("digitizer", "digit"),
+        ("conformabli", "conform"),
+        ("radicalli", "radic"),
+        ("differentli", "differ"),
+        ("vileli", "vile"),
+        ("analogousli", "analog"),
+        ("vietnamization", "vietnam"),
+        ("predication", "predic"),
+        ("operator", "oper"),
+        ("feudalism", "feudal"),
+        ("decisiveness", "decis"),
+        ("hopefulness", "hope"),
+        ("callousness", "callous"),
+        ("formaliti", "formal"),
+        ("sensitiviti", "sensit"),
+        ("sensibiliti", "sensibl"),
+        ("triplicate", "triplic"),
+        ("formative", "form"),
+        ("formalize", "formal"),
+        ("electriciti", "electr"),
+        ("electrical", "electr"),
+        ("hopeful", "hope"),
+        ("goodness", "good"),
+        ("revival", "reviv"),
+        ("allowance", "allow"),
+        ("inference", "infer"),
+        ("airliner", "airlin"),
+        ("gyroscopic", "gyroscop"),
+        ("adjustable", "adjust"),
+        ("defensible", "defens"),
+        ("irritant", "irrit"),
+        ("replacement", "replac"),
+        ("adjustment", "adjust"),
+        ("dependent", "depend"),
+        ("adoption", "adopt"),
+        ("homologou", "homolog"),
+        ("communism", "commun"),
+        ("activate", "activ"),
+        ("angulariti", "angular"),
+        ("homologous", "homolog"),
+        ("effective", "effect"),
+        ("bowdlerize", "bowdler"),
+        ("probate", "probat"),
+        ("rate", "rate"),
+        ("cease", "ceas"),
+        ("controll", "control"),
+        ("roll", "roll"),
+    ]
+
+    @pytest.mark.parametrize("word,expected", CASES)
+    def test_case(self, word, expected):
+        assert stem(word) == expected
+
+    def test_short_words_untouched(self):
+        assert stem("a") == "a"
+        assert stem("is") == "is"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+    def test_never_longer_and_never_empty(self, word):
+        result = stem(word)
+        assert 0 < len(result) <= len(word)
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=12))
+    def test_idempotent_on_own_output_prefix_stability(self, word):
+        # Stemming the stem may shrink further, but must stay non-empty
+        # and deterministic.
+        once = stem(word)
+        assert stem(word) == once
+
+
+class TestTokenize:
+    def test_lowercase_split(self):
+        assert tokenize("Red SUNSET, over. the Sea!") == [
+            "red", "sunset", "over", "the", "sea",
+        ]
+
+    def test_keeps_cluster_labels(self):
+        assert tokenize("gabor_21 rgb_3") == ["gabor_21", "rgb_3"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_numbers_kept(self):
+        assert tokenize("route 66") == ["route", "66"]
+
+
+class TestAnalyze:
+    def test_stopwords_removed(self):
+        assert analyze("the sunset over the sea") == ["sunset", "sea"]
+
+    def test_stemming_applied(self):
+        assert analyze("waves crashing") == ["wave", "crash"]
+
+    def test_cluster_labels_not_stemmed(self):
+        assert analyze("gabor_21 clusters") == ["gabor_21", "cluster"]
+
+    def test_custom_stopwords(self):
+        assert analyze("red sunset", stopwords={"red"}) == ["sunset"]
+
+    def test_stemming_can_be_disabled(self):
+        assert analyze("waves", stemming=False) == ["waves"]
+
+    def test_analyze_terms(self):
+        assert analyze_terms(["Waves", "the"]) == ["wave"]
+
+    def test_stopword_after_stemming_dropped(self):
+        # "doing" stems to "do" which is a stopword... check pipeline
+        # keeps non-stopword stems.
+        result = analyze("running does")
+        assert "run" in result

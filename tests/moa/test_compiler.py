@@ -1,0 +1,194 @@
+"""Flattening compiler: plan shapes and executed results."""
+
+import pytest
+
+from repro.core.mirror import MirrorDBMS
+from repro.moa.errors import MoaCompileError
+
+from tests.conftest import SECTION3_QUERY
+
+
+@pytest.fixture
+def db():
+    db = MirrorDBMS()
+    db.define(
+        """
+        define Nums as SET<TUPLE<Atomic<int>: n, Atomic<float>: x,
+            Atomic<str>: label>>;
+        define Other as SET<TUPLE<Atomic<str>: name, Atomic<int>: code>>;
+        define Nested as SET<TUPLE<Atomic<str>: k,
+            SET<TUPLE<Atomic<int>: v>>: items>>;
+        """
+    )
+    db.insert(
+        "Nums",
+        [
+            {"n": 1, "x": 0.5, "label": "a"},
+            {"n": 2, "x": 1.5, "label": "b"},
+            {"n": 3, "x": 2.5, "label": "a"},
+            {"n": 4, "x": 3.5, "label": "c"},
+        ],
+    )
+    db.insert(
+        "Other",
+        [
+            {"name": "a", "code": 10},
+            {"name": "b", "code": 20},
+            {"name": "a", "code": 30},
+        ],
+    )
+    db.insert(
+        "Nested",
+        [
+            {"k": "p", "items": [{"v": 1}, {"v": 2}]},
+            {"k": "q", "items": []},
+            {"k": "r", "items": [{"v": 10}]},
+        ],
+    )
+    return db
+
+
+class TestMapSelect:
+    def test_map_attribute(self, db):
+        assert db.query("map[THIS.n](Nums);").value == [1, 2, 3, 4]
+
+    def test_map_arithmetic(self, db):
+        assert db.query("map[THIS.n * 2 + 1](Nums);").value == [3, 5, 7, 9]
+
+    def test_map_tuple(self, db):
+        rows = db.query("map[tuple(a = THIS.n, b = THIS.label)](Nums);").value
+        assert rows[0] == {"a": 1, "b": "a"}
+
+    def test_map_constant(self, db):
+        assert db.query("map[42](Nums);").value == [42, 42, 42, 42]
+
+    def test_select_numeric(self, db):
+        rows = db.query("select[THIS.n > 2](Nums);").value
+        assert [r["n"] for r in rows] == [3, 4]
+
+    def test_select_string(self, db):
+        rows = db.query("select[THIS.label = 'a'](Nums);").value
+        assert [r["n"] for r in rows] == [1, 3]
+
+    def test_select_conjunction(self, db):
+        rows = db.query("select[THIS.n > 1 and THIS.label = 'a'](Nums);").value
+        assert [r["n"] for r in rows] == [3]
+
+    def test_select_empty_result(self, db):
+        assert db.query("select[THIS.n > 99](Nums);").value == []
+
+    def test_select_then_map(self, db):
+        result = db.query("map[THIS.x](select[THIS.n > 2](Nums));").value
+        assert result == [2.5, 3.5]
+
+    def test_whole_collection(self, db):
+        rows = db.query("Nums;").value
+        assert len(rows) == 4 and rows[1]["label"] == "b"
+
+
+class TestAggregates:
+    def test_top_level_sum(self, db):
+        assert db.query("sum(map[THIS.n](Nums));").value == 10
+
+    def test_top_level_count(self, db):
+        assert db.query("count(Nums);").value == 4
+
+    def test_top_level_avg(self, db):
+        assert db.query("avg(map[THIS.x](Nums));").value == pytest.approx(2.0)
+
+    def test_top_level_min_max(self, db):
+        assert db.query("min(map[THIS.n](Nums));").value == 1
+        assert db.query("max(map[THIS.n](Nums));").value == 4
+
+    def test_nested_sum_per_parent(self, db):
+        result = db.query("map[sum(map[THIS.v](THIS.items))](Nested);").value
+        assert result == [3, 0, 10]
+
+    def test_nested_count_per_parent(self, db):
+        result = db.query("map[count(THIS.items)](Nested);").value
+        assert result == [2, 0, 1]
+
+    def test_nested_max_empty_is_nil(self, db):
+        result = db.query("map[max(map[THIS.v](THIS.items))](Nested);").value
+        assert result == [2, None, 10]
+
+
+class TestJoins:
+    def test_equijoin(self, db):
+        rows = db.query("join[THIS1.label = THIS2.name](Nums, Other);").value
+        pairs = sorted((r["n"], r["code"]) for r in rows)
+        assert pairs == [(1, 10), (1, 30), (2, 20), (3, 10), (3, 30)]
+
+    def test_join_with_residual(self, db):
+        rows = db.query(
+            "join[THIS1.label = THIS2.name and THIS2.code > 15](Nums, Other);"
+        ).value
+        pairs = sorted((r["n"], r["code"]) for r in rows)
+        assert pairs == [(1, 30), (2, 20), (3, 30)]
+
+    def test_semijoin(self, db):
+        rows = db.query("semijoin[THIS1.label = THIS2.name](Nums, Other);").value
+        assert [r["n"] for r in rows] == [1, 2, 3]
+
+    def test_join_without_equality_rejected(self, db):
+        with pytest.raises(MoaCompileError, match="equality"):
+            db.query("join[THIS1.n > THIS2.code](Nums, Other);")
+
+
+class TestNesting:
+    def test_unnest(self, db):
+        rows = db.query("unnest[items](Nested);").value
+        assert rows == [
+            {"k": "p", "v": 1},
+            {"k": "p", "v": 2},
+            {"k": "r", "v": 10},
+        ]
+
+    def test_unnest_then_select(self, db):
+        rows = db.query("select[THIS.v > 1](unnest[items](Nested));").value
+        assert [r["v"] for r in rows] == [2, 10]
+
+    def test_nest(self, db):
+        rows = db.query("nest[label](Nums);").value
+        by_key = {r["label"]: r["group"] for r in rows}
+        assert sorted(by_key) == ["a", "b", "c"]
+        assert [g["n"] for g in by_key["a"]] == [1, 3]
+
+    def test_nest_unnest_roundtrip_cardinality(self, db):
+        nested = db.query("nest[label](Nums);").value
+        total = sum(len(r["group"]) for r in nested)
+        assert total == 4
+
+
+class TestPlanProperties:
+    def test_plan_is_valid_mil(self, db):
+        from repro.monet.mil import parse_program
+
+        compiled = db.executor.prepare("select[THIS.n > 2](Nums);")
+        parse_program(compiled.program)  # must not raise
+
+    def test_cse_dedups_repeated_subplans(self, annotated_db, annotated_stats):
+        query = (
+            "map[tuple(s1 = sum(getBL(THIS.annotation, query, stats)), "
+            "s2 = sum(getBL(THIS.annotation, query, stats)))]"
+            "(TraditionalImgLib);"
+        )
+        params = {"query": ["sunset"], "stats": annotated_stats}
+        with_cse = annotated_db.executor.prepare(query, params, cse=True)
+        without = annotated_db.executor.prepare(query, params, cse=False)
+        assert with_cse.statements < without.statements
+
+    def test_lazy_columns_skip_unused(self, db):
+        lazy = db.executor.prepare("map[THIS.n](Nums);")
+        eager = db.executor.prepare("map[THIS.n](Nums);", eager_columns=True)
+        assert lazy.statements < eager.statements
+        assert "Nums.label" not in lazy.program
+        assert "Nums.label" in eager.program
+
+    def test_dead_column_not_loaded_in_select(self, db):
+        compiled = db.executor.prepare("map[THIS.x](select[THIS.n > 1](Nums));")
+        assert "Nums.label" not in compiled.program
+
+    def test_operator_counts_reported(self, db):
+        result = db.query("select[THIS.n > 2](Nums);")
+        assert result.operator_counts.get("uselect", 0) >= 1

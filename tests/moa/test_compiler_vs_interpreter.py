@@ -1,0 +1,164 @@
+"""Differential testing: compiled MIL plans must agree with the
+tuple-at-a-time reference interpreter (the semantics oracle).
+
+Includes hypothesis-driven random data: same schema, random rows,
+a fixed battery of queries, results compared exactly.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mirror import MirrorDBMS
+from tests.conftest import (
+    ANNOTATED_DOCS,
+    SECTION3_QUERY,
+    TRADITIONAL_DDL,
+)
+
+SCHEMA_DDL = """
+define Rows as SET<TUPLE<Atomic<int>: n, Atomic<float>: x, Atomic<str>: tag>>;
+define Codes as SET<TUPLE<Atomic<str>: name, Atomic<int>: code>>;
+"""
+
+QUERIES = [
+    "Rows;",
+    "map[THIS.n](Rows);",
+    "map[THIS.n * 2 - 1](Rows);",
+    "map[tuple(a = THIS.n, b = THIS.x / 2)](Rows);",
+    "select[THIS.n > 0](Rows);",
+    "select[THIS.tag = 'a'](Rows);",
+    "select[THIS.n > 0 and THIS.tag = 'b'](Rows);",
+    "map[THIS.x](select[THIS.n >= 2](Rows));",
+    "sum(map[THIS.n](Rows));",
+    "count(Rows);",
+    "join[THIS1.tag = THIS2.name](Rows, Codes);",
+    "semijoin[THIS1.tag = THIS2.name](Rows, Codes);",
+    "nest[tag](Rows);",
+]
+
+_row = st.fixed_dictionaries(
+    {
+        "n": st.integers(min_value=-5, max_value=5),
+        "x": st.floats(min_value=-4.0, max_value=4.0, allow_nan=False),
+        "tag": st.sampled_from(["a", "b", "c"]),
+    }
+)
+_code = st.fixed_dictionaries(
+    {
+        "name": st.sampled_from(["a", "b", "d"]),
+        "code": st.integers(min_value=0, max_value=9),
+    }
+)
+
+
+def _normalize(value):
+    """Canonical form for comparison: sort collections of tuples where
+    order is semantically a set (join results)."""
+    if isinstance(value, list):
+        return [_normalize(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    if isinstance(value, float):
+        return round(value, 9)
+    return value
+
+
+def _build(rows, codes):
+    db = MirrorDBMS()
+    db.define(SCHEMA_DDL)
+    db.insert("Rows", rows)
+    db.insert("Codes", codes)
+    data = {"Rows": rows, "Codes": codes}
+    return db, data
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(_row, max_size=12),
+    st.lists(_code, max_size=6),
+    st.sampled_from(QUERIES),
+)
+def test_compiled_equals_interpreted(rows, codes, query):
+    db, data = _build(rows, codes)
+    compiled = db.query(query).value
+    interpreted = db.executor.execute_interpreted(query, data)
+    if query.startswith(("join", "semijoin")):
+        key = lambda r: sorted(r.items())
+        assert sorted(_normalize(compiled), key=key) == sorted(
+            _normalize(interpreted), key=key
+        )
+    else:
+        assert _normalize(compiled) == _normalize(interpreted)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(_row, max_size=12), st.lists(_code, max_size=6))
+def test_optimized_equals_unoptimized(rows, codes):
+    db, _ = _build(rows, codes)
+    query = "map[THIS.x](select[THIS.n > 0](Rows));"
+    optimized = db.query(query, optimize=True).value
+    plain = db.query(query, optimize=False, eager_columns=True, cse=False).value
+    assert _normalize(optimized) == _normalize(plain)
+
+
+class TestPaperQueryDifferential:
+    """The section 3 ranking query, compiled vs interpreted, on the
+    shared fixture library and on randomized term sets."""
+
+    def test_fixture_library(self, annotated_db, annotated_stats, annotated_data):
+        params = {"query": ["sunset", "sea"], "stats": annotated_stats}
+        compiled = annotated_db.query(SECTION3_QUERY, params).value
+        interpreted = annotated_db.executor.execute_interpreted(
+            SECTION3_QUERY, annotated_data, params
+        )
+        assert len(compiled) == len(interpreted)
+        for a, b in zip(compiled, interpreted):
+            assert a == pytest.approx(b, abs=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["sunset", "sea", "beach", "forest", "city", "green", "wave",
+                 "unknownterm"]
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_random_queries(self, query_terms):
+        db = MirrorDBMS()
+        db.define(TRADITIONAL_DDL)
+        db.insert("TraditionalImgLib", ANNOTATED_DOCS)
+        stats = db.stats("TraditionalImgLib", "annotation")
+        from repro.moa.structures.contrep import ContentRepresentation
+
+        data = {
+            "TraditionalImgLib": [
+                {
+                    "source": d["source"],
+                    "annotation": ContentRepresentation.from_value(
+                        d["annotation"], "Text"
+                    ),
+                }
+                for d in ANNOTATED_DOCS
+            ]
+        }
+        params = {"query": query_terms, "stats": stats}
+        compiled = db.query(SECTION3_QUERY, params).value
+        interpreted = db.executor.execute_interpreted(
+            SECTION3_QUERY, data, params
+        )
+        for a, b in zip(compiled, interpreted):
+            assert a == pytest.approx(b, abs=1e-12)
+
+    def test_eager_mode_agrees(self, annotated_db, annotated_stats):
+        params = {"query": ["sunset"], "stats": annotated_stats}
+        lazy = annotated_db.query(SECTION3_QUERY, params).value
+        eager = annotated_db.query(
+            SECTION3_QUERY, params, optimize=False, eager_columns=True, cse=False
+        ).value
+        assert lazy == pytest.approx(eager)

@@ -1,0 +1,135 @@
+"""CONTREP: the extension structure end to end."""
+
+import pytest
+
+from repro.ir.stats import CollectionStats
+from repro.moa.errors import MoaCompileError, MoaTypeError
+from repro.moa.structures.contrep import ContentRepresentation, ContrepType
+
+from tests.conftest import SECTION3_QUERY
+
+
+class TestContentRepresentation:
+    def test_from_text_analyzes(self):
+        rep = ContentRepresentation.from_value("The red red sunset", "Text")
+        assert rep.terms == {"red": 2, "sunset": 1}
+        assert rep.length == 3
+
+    def test_from_tokens(self):
+        rep = ContentRepresentation.from_tokens(["a", "b", "a"])
+        assert rep.terms == {"a": 2, "b": 1}
+
+    def test_from_dict(self):
+        rep = ContentRepresentation.from_value({"x": 3, "y": 0}, "Image")
+        assert rep.terms == {"x": 3}  # zero frequencies dropped
+
+    def test_non_text_media_splits_whitespace(self):
+        rep = ContentRepresentation.from_value("rgb_1 rgb_1 gabor_2", "Image")
+        assert rep.terms == {"rgb_1": 2, "gabor_2": 1}
+
+    def test_none_is_empty(self):
+        rep = ContentRepresentation.from_value(None, "Text")
+        assert rep.terms == {} and rep.length == 0
+
+    def test_explicit_length_kept(self):
+        rep = ContentRepresentation({"x": 1}, length=10)
+        assert rep.length == 10
+
+    def test_equality(self):
+        a = ContentRepresentation({"x": 1})
+        b = ContentRepresentation({"x": 1})
+        assert a == b
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(MoaTypeError):
+            ContentRepresentation.from_value(3.14, "Text")
+
+
+class TestContrepType:
+    def test_render(self):
+        assert ContrepType("Text").render() == "CONTREP<Text>"
+
+    def test_ddl_integration(self):
+        from repro.moa.ddl import parse_define
+
+        _, ty = parse_define("define X as SET<TUPLE<CONTREP<Image>: c>>;")
+        field = ty.element.field_type("c")
+        assert isinstance(field, ContrepType) and field.media == "Image"
+
+    def test_factory_validates(self):
+        from repro.moa.types import structure_factory
+
+        with pytest.raises(MoaTypeError):
+            structure_factory("CONTREP")([])
+
+
+class TestGetBLExecution:
+    def test_scores_match_hand_computation(self, annotated_db, annotated_stats):
+        from repro.ir.beliefs import belief
+
+        params = {"query": ["sunset"], "stats": annotated_stats}
+        scores = annotated_db.query(SECTION3_QUERY, params).value
+        # Doc 0: "a red sunset over the sea" -> sunset tf=1, len=4 terms.
+        reps = annotated_db.contents("TraditionalImgLib")
+        rep0 = reps[0]["annotation"]
+        expected = belief(
+            rep0.terms["sunset"], rep0.length, annotated_stats, "sunset"
+        )
+        assert scores[0] == pytest.approx(expected)
+
+    def test_unmatched_docs_score_zero(self, annotated_db, annotated_stats):
+        params = {"query": ["sunset"], "stats": annotated_stats}
+        scores = annotated_db.query(SECTION3_QUERY, params).value
+        # Doc 3 ("a city skyline at night") has no 'sunset'.
+        assert scores[3] == 0.0
+
+    def test_unknown_term_scores_all_zero(self, annotated_db, annotated_stats):
+        params = {"query": ["xylophone"], "stats": annotated_stats}
+        scores = annotated_db.query(SECTION3_QUERY, params).value
+        assert scores == [0.0] * len(scores)
+
+    def test_repeated_query_term_doubles_contribution(
+        self, annotated_db, annotated_stats
+    ):
+        single = annotated_db.query(
+            SECTION3_QUERY, {"query": ["sunset"], "stats": annotated_stats}
+        ).value
+        double = annotated_db.query(
+            SECTION3_QUERY,
+            {"query": ["sunset", "sunset"], "stats": annotated_stats},
+        ).value
+        for s, d in zip(single, double):
+            assert d == pytest.approx(2 * s)
+
+    def test_getbl_after_select(self, annotated_db, annotated_stats):
+        query = (
+            "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)]("
+            "select[THIS.source = 'http://img/3'](TraditionalImgLib)));"
+        )
+        params = {"query": ["sunset"], "stats": annotated_stats}
+        scores = annotated_db.query(query, params).value
+        assert len(scores) == 1 and scores[0] > 0
+
+    def test_getbl_needs_parameter_query(self, annotated_db, annotated_stats):
+        query = (
+            "map[sum(getBL(THIS.annotation, TraditionalImgLib, stats))]"
+            "(TraditionalImgLib);"
+        )
+        with pytest.raises((MoaCompileError, MoaTypeError)):
+            annotated_db.query(query, {"stats": annotated_stats})
+
+    def test_contrep_roundtrips_through_query(self, annotated_db):
+        rows = annotated_db.query("TraditionalImgLib;").value
+        rep = rows[0]["annotation"]
+        assert isinstance(rep, ContentRepresentation)
+        assert rep.terms.get("sunset") == 1
+
+    def test_belief_values_in_range(self, annotated_db, annotated_stats):
+        query = (
+            "map[getBL(THIS.annotation, query, stats)](TraditionalImgLib);"
+        )
+        params = {"query": ["sunset", "sea"], "stats": annotated_stats}
+        belief_lists = annotated_db.query(query, params).value
+        for beliefs in belief_lists:
+            for b in beliefs:
+                assert 0.4 <= b <= 1.0

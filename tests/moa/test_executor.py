@@ -1,0 +1,141 @@
+"""Executor: parameter binding, prepared queries, result shapes."""
+
+import pytest
+
+from repro.core.mirror import MirrorDBMS
+from repro.ir.stats import CollectionStats
+from repro.moa.errors import MoaTypeError
+from repro.moa.executor import infer_param_type
+from repro.moa.types import SetType, StatsType
+
+
+class TestParamInference:
+    def test_string_list(self):
+        ty = infer_param_type(["a", "b"])
+        assert isinstance(ty, SetType) and ty.element.atom == "str"
+
+    def test_int_list(self):
+        assert infer_param_type([1, 2]).element.atom == "int"
+
+    def test_float_list(self):
+        assert infer_param_type([1.5, 2]).element.atom == "dbl"
+
+    def test_bool_list(self):
+        assert infer_param_type([True]).element.atom == "bit"
+
+    def test_stats(self):
+        stats = CollectionStats.from_documents([])
+        assert isinstance(infer_param_type(stats), StatsType)
+
+    def test_mixed_rejected(self):
+        with pytest.raises(MoaTypeError):
+            infer_param_type(["a", 1])
+
+    def test_scalar_rejected(self):
+        with pytest.raises(MoaTypeError):
+            infer_param_type(42)
+
+
+@pytest.fixture
+def db():
+    db = MirrorDBMS()
+    db.define("define Rows as SET<TUPLE<Atomic<int>: n, Atomic<str>: tag>>;")
+    db.insert(
+        "Rows",
+        [{"n": 1, "tag": "a"}, {"n": 2, "tag": "b"}, {"n": 3, "tag": "a"}],
+    )
+    return db
+
+
+class TestPreparedQueries:
+    def test_prepare_then_run_repeatedly(self, db):
+        compiled = db.executor.prepare("select[THIS.n > 1](Rows);")
+        first = db.executor.run_compiled(compiled)
+        second = db.executor.run_compiled(compiled)
+        assert first.value == second.value
+        assert len(first.value) == 2
+
+    def test_prepared_with_params(self, db):
+        db.define(
+            "define Docs as SET<TUPLE<Atomic<URL>: u, CONTREP<Text>: c>>;"
+        )
+        db.insert("Docs", [{"u": "x", "c": "red sunset"}])
+        stats = db.stats("Docs", "c")
+        params = {"query": ["sunset"], "stats": stats}
+        compiled = db.executor.prepare(
+            "map[sum(getBL(THIS.c, query, stats))](Docs);", params
+        )
+        result = db.executor.run_compiled(compiled, params)
+        assert result.value[0] > 0
+
+    def test_rebinding_different_terms(self, db):
+        db.define(
+            "define Docs as SET<TUPLE<Atomic<URL>: u, CONTREP<Text>: c>>;"
+        )
+        db.insert(
+            "Docs",
+            [{"u": "x", "c": "red sunset"}, {"u": "y", "c": "green tree"}],
+        )
+        stats = db.stats("Docs", "c")
+        query = "map[sum(getBL(THIS.c, query, stats))](Docs);"
+        compiled = db.executor.prepare(
+            query, {"query": ["sunset"], "stats": stats}
+        )
+        r1 = db.executor.run_compiled(
+            compiled, {"query": ["sunset"], "stats": stats}
+        )
+        r2 = db.executor.run_compiled(
+            compiled, {"query": ["tree"], "stats": stats}
+        )
+        assert r1.value[0] > 0 and r1.value[1] == 0
+        assert r2.value[0] == 0 and r2.value[1] > 0
+
+
+class TestResultShapes:
+    def test_scalar_result(self, db):
+        assert db.query("count(Rows);").value == 3
+
+    def test_atomic_collection(self, db):
+        assert db.query("map[THIS.n](Rows);").value == [1, 2, 3]
+
+    def test_tuple_collection(self, db):
+        rows = db.query("Rows;").value
+        assert rows == [
+            {"n": 1, "tag": "a"},
+            {"n": 2, "tag": "b"},
+            {"n": 3, "tag": "a"},
+        ]
+
+    def test_nested_collection(self, db):
+        rows = db.query("map[getBLish(THIS)](Rows);" if False else "nest[tag](Rows);").value
+        grouped = {r["tag"]: r["group"] for r in rows}
+        assert [g["n"] for g in grouped["a"]] == [1, 3]
+
+    def test_constant_map_materialized(self, db):
+        assert db.query("map[7](Rows);").value == [7, 7, 7]
+
+    def test_empty_collection_query(self, db):
+        db.replace("Rows", [])
+        assert db.query("Rows;").value == []
+        assert db.query("map[THIS.n](Rows);").value == []
+        assert db.query("count(Rows);").value == 0
+
+    def test_empty_select_result_shapes(self, db):
+        assert db.query("select[THIS.n > 99](Rows);").value == []
+        assert (
+            db.query("map[THIS.tag](select[THIS.n > 99](Rows));").value == []
+        )
+
+    def test_operator_counts_present(self, db):
+        result = db.query("select[THIS.n > 1](Rows);")
+        assert sum(result.operator_counts.values()) > 0
+
+
+class TestQueryParamAsCollection:
+    def test_param_used_as_collection(self, db):
+        result = db.query("count(terms);", {"terms": ["a", "b", "c"]})
+        assert result.value == 3
+
+    def test_param_mapped(self, db):
+        result = db.query("map[THIS](nums);", {"nums": [5, 6]})
+        assert result.value == [5, 6]

@@ -1,0 +1,131 @@
+"""Algebraic optimizer: rewrite rules fire and preserve semantics."""
+
+import pytest
+
+from repro.moa import ast
+from repro.moa.optimizer import optimize, substitute_this
+from repro.moa.parser import parse_query
+
+
+def opt(text):
+    return optimize(parse_query(text))
+
+
+class TestMapFusion:
+    def test_map_map_fuses(self):
+        node = opt("map[sum(THIS)](map[getBL(THIS.a, query, stats)](Lib))")
+        assert isinstance(node, ast.Map)
+        assert isinstance(node.over, ast.CollectionRef)
+        body = node.body
+        assert isinstance(body, ast.FuncCall) and body.name == "sum"
+        assert isinstance(body.args[0], ast.FuncCall)
+        assert body.args[0].name == "getBL"
+
+    def test_triple_map_fuses(self):
+        node = opt("map[THIS + 1](map[THIS * 2](map[THIS.n](Lib)))")
+        assert isinstance(node.over, ast.CollectionRef)
+        assert ast.render(node.body) == "((THIS.n * 2) + 1)"
+
+    def test_fusion_leaves_join_this_alone(self):
+        body = parse_query("map[THIS1.a](X)")  # contrived container
+        # substitute_this must only replace index-0 THIS.
+        replaced = substitute_this(body.body, ast.Literal(value=1, atom="int"))
+        assert isinstance(replaced, ast.AttrAccess)
+        assert replaced.base.index == 1
+
+
+class TestSelectRules:
+    def test_select_select_fuses(self):
+        node = opt("select[THIS.a > 1](select[THIS.b < 2](Lib))")
+        assert isinstance(node, ast.Select)
+        assert isinstance(node.over, ast.CollectionRef)
+        assert node.pred.op == "and"
+
+    def test_select_pushdown_through_passthrough_map(self):
+        node = opt(
+            "select[THIS.src = 'x']"
+            "(map[tuple(src = THIS.source, score = sum(THIS.beliefs))](Lib))"
+        )
+        # map and select must have swapped.
+        assert isinstance(node, ast.Map)
+        assert isinstance(node.over, ast.Select)
+        assert ast.render(node.over.pred) == "(THIS.source = 'x')"
+
+    def test_no_pushdown_through_computed_field(self):
+        node = opt(
+            "select[THIS.score > 1]"
+            "(map[tuple(src = THIS.source, score = sum(THIS.beliefs))](Lib))"
+        )
+        # score is computed; select must stay outside.
+        assert isinstance(node, ast.Select)
+
+    def test_no_pushdown_for_non_tuple_map(self):
+        node = opt("select[THIS > 1](map[THIS.n](Lib))")
+        assert isinstance(node, ast.Select)
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        node = opt("map[THIS.n + (2 * 3)](Lib)")
+        assert ast.render(node.body) == "(THIS.n + 6)"
+
+    def test_comparison_folds(self):
+        node = opt("select[THIS.b and (1 < 2)](Lib)")
+        right = node.pred.right
+        assert isinstance(right, ast.Literal) and right.value is True
+
+    def test_division_by_zero_not_folded(self):
+        node = opt("map[THIS.n + (1 / 0)](Lib)")
+        assert isinstance(node.body.right, ast.BinOp)
+
+    def test_fold_cascades(self):
+        node = opt("map[(1 + 2) * (3 + 4)](Lib)")
+        assert isinstance(node.body, ast.Literal)
+        assert node.body.value == 21
+
+
+class TestFixpoint:
+    def test_idempotent(self):
+        text = "map[sum(THIS)](map[getBL(THIS.a, query, stats)](Lib))"
+        once = optimize(parse_query(text))
+        twice = optimize(once)
+        assert ast.render(once) == ast.render(twice)
+
+    def test_untouched_query_unchanged(self):
+        text = "select[THIS.n > 2](Lib)"
+        assert ast.render(opt(text)) == ast.render(parse_query(text))
+
+
+class TestSemanticsPreserved:
+    """Optimized and raw plans agree end-to-end (on a live DB)."""
+
+    CASES = [
+        "map[THIS.n + (2 * 3)](select[THIS.n > 0](Rows));",
+        "select[THIS.n > 0](select[THIS.n < 4](Rows));",
+        "map[THIS + 1](map[THIS.n * 2](Rows));",
+        "select[THIS.t = 'a'](map[tuple(t = THIS.tag, n = THIS.n)](Rows));",
+    ]
+
+    @pytest.fixture
+    def db(self):
+        from repro.core.mirror import MirrorDBMS
+
+        db = MirrorDBMS()
+        db.define(
+            "define Rows as SET<TUPLE<Atomic<int>: n, Atomic<str>: tag>>;"
+        )
+        db.insert(
+            "Rows",
+            [
+                {"n": 1, "tag": "a"},
+                {"n": 2, "tag": "b"},
+                {"n": 3, "tag": "a"},
+            ],
+        )
+        return db
+
+    @pytest.mark.parametrize("query", CASES)
+    def test_case(self, db, query):
+        optimized = db.query(query, optimize=True).value
+        raw = db.query(query, optimize=False).value
+        assert optimized == raw

@@ -1,0 +1,94 @@
+"""Property: render(parse(q)) is a fixpoint for random query ASTs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moa import ast
+from repro.moa.parser import parse_query
+
+_idents = st.sampled_from(["Lib", "Other", "query", "x", "score"])
+_attrs = st.sampled_from(["a", "b", "source", "score"])
+
+
+def _scalar(depth):
+    leaves = st.one_of(
+        st.builds(lambda: ast.This(index=0)),
+        st.builds(
+            lambda a: ast.AttrAccess(base=ast.This(index=0), attr=a), _attrs
+        ),
+        st.builds(
+            lambda v: ast.Literal(value=v, atom="int"),
+            st.integers(min_value=0, max_value=99),
+        ),
+        st.builds(
+            lambda v: ast.Literal(value=round(v, 3), atom="dbl"),
+            st.floats(min_value=0.0, max_value=9.0, allow_nan=False),
+        ),
+    )
+    if depth <= 0:
+        return leaves
+    return st.one_of(
+        leaves,
+        st.builds(
+            lambda op, l, r: ast.BinOp(op=op, left=l, right=r),
+            st.sampled_from(["+", "-", "*"]),
+            _scalar(depth - 1),
+            _scalar(depth - 1),
+        ),
+        st.builds(
+            lambda a: ast.FuncCall(name="abs", args=[a]), _scalar(depth - 1)
+        ),
+    )
+
+
+def _predicate(depth):
+    comparison = st.builds(
+        lambda op, l, r: ast.BinOp(op=op, left=l, right=r),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        _scalar(depth),
+        _scalar(depth),
+    )
+    if depth <= 0:
+        return comparison
+    return st.one_of(
+        comparison,
+        st.builds(
+            lambda op, l, r: ast.BinOp(op=op, left=l, right=r),
+            st.sampled_from(["and", "or"]),
+            _predicate(depth - 1),
+            _predicate(depth - 1),
+        ),
+    )
+
+
+def _collection(depth):
+    base = st.builds(lambda n: ast.CollectionRef(name=n), _idents)
+    if depth <= 0:
+        return base
+    inner = _collection(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(lambda b, o: ast.Map(body=b, over=o), _scalar(1), inner),
+        st.builds(
+            lambda p, o: ast.Select(pred=p, over=o), _predicate(1), inner
+        ),
+        st.builds(
+            lambda fields, o: ast.Map(
+                body=ast.TupleCons(
+                    fields=[(f"f{i}", e) for i, e in enumerate(fields)]
+                ),
+                over=o,
+            ),
+            st.lists(_scalar(0), min_size=1, max_size=3),
+            inner,
+        ),
+        st.builds(lambda o: ast.FuncCall(name="count", args=[o]), inner),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(_collection(3))
+def test_render_parse_fixpoint(tree):
+    rendered = ast.render(tree)
+    reparsed = parse_query(rendered)
+    assert ast.render(reparsed) == rendered

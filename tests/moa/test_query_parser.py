@@ -1,0 +1,139 @@
+"""Moa query expression parser."""
+
+import pytest
+
+from repro.moa import ast
+from repro.moa.errors import MoaParseError
+from repro.moa.parser import parse_query
+
+
+class TestStructureOps:
+    def test_paper_section3_query(self):
+        node = parse_query(
+            "map[sum(THIS)]("
+            "map[getBL(THIS.annotation, query, stats)]( TraditionalImgLib ));"
+        )
+        assert isinstance(node, ast.Map)
+        assert isinstance(node.body, ast.FuncCall) and node.body.name == "sum"
+        inner = node.over
+        assert isinstance(inner, ast.Map)
+        getbl = inner.body
+        assert isinstance(getbl, ast.FuncCall) and getbl.name == "getBL"
+        assert isinstance(getbl.args[0], ast.AttrAccess)
+        assert getbl.args[0].attr == "annotation"
+        assert isinstance(inner.over, ast.CollectionRef)
+        assert inner.over.name == "TraditionalImgLib"
+
+    def test_select(self):
+        node = parse_query("select[THIS.x > 3](Lib)")
+        assert isinstance(node, ast.Select)
+        assert isinstance(node.pred, ast.BinOp) and node.pred.op == ">"
+
+    def test_join(self):
+        node = parse_query("join[THIS1.a = THIS2.b](X, Y)")
+        assert isinstance(node, ast.Join)
+        assert isinstance(node.pred.left, ast.AttrAccess)
+        assert node.pred.left.base.index == 1
+        assert node.pred.right.base.index == 2
+
+    def test_semijoin(self):
+        node = parse_query("semijoin[THIS1.a = THIS2.a](X, Y)")
+        assert isinstance(node, ast.Semijoin)
+
+    def test_unnest(self):
+        node = parse_query("unnest[segments](Lib)")
+        assert isinstance(node, ast.Unnest) and node.attr == "segments"
+
+    def test_nest(self):
+        node = parse_query("nest[source](Lib)")
+        assert isinstance(node, ast.Nest) and node.key == "source"
+
+    def test_tuple_constructor(self):
+        node = parse_query("map[tuple(a = THIS.x, b = 1)](Lib)")
+        cons = node.body
+        assert isinstance(cons, ast.TupleCons)
+        assert [name for name, _ in cons.fields] == ["a", "b"]
+
+
+class TestExpressions:
+    def test_this_variants(self):
+        assert parse_query("map[THIS](X)").body.index == 0
+        join = parse_query("join[THIS1.a = THIS2.b](X, Y)")
+        assert join.pred.left.base.index == 1
+
+    def test_literals(self):
+        node = parse_query("map[tuple(a = 1, b = 2.5, c = 'x', d = true)](L)")
+        values = {n: e for n, e in node.body.fields}
+        assert values["a"].atom == "int"
+        assert values["b"].atom == "dbl"
+        assert values["c"].atom == "str"
+        assert values["d"].atom == "bit"
+
+    def test_operator_precedence(self):
+        node = parse_query("select[THIS.a + 2 * 3 = 7](L)")
+        pred = node.pred
+        assert pred.op == "="
+        assert pred.left.op == "+"
+        assert pred.left.right.op == "*"
+
+    def test_logical_operators(self):
+        node = parse_query("select[THIS.a = 1 and THIS.b = 2 or THIS.c = 3](L)")
+        assert node.pred.op == "or"
+        assert node.pred.left.op == "and"
+
+    def test_not(self):
+        node = parse_query("select[not (THIS.a = 1)](L)")
+        assert node.pred.name == "not"
+
+    def test_attribute_chain(self):
+        node = parse_query("map[THIS.a.b](L)")
+        access = node.body
+        assert access.attr == "b" and access.base.attr == "a"
+
+    def test_arithmetic_in_map(self):
+        node = parse_query("map[THIS.x * 2 + 1](L)")
+        assert node.body.op == "+"
+
+    def test_parenthesized(self):
+        node = parse_query("map[(THIS.x + 1) * 2](L)")
+        assert node.body.op == "*"
+
+    def test_unary_minus(self):
+        node = parse_query("map[-THIS.x](L)")
+        assert node.body.name == "neg"
+
+    def test_trailing_semicolon_optional(self):
+        assert parse_query("X") is not None
+        assert parse_query("X;") is not None
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(MoaParseError, match="trailing"):
+            parse_query("X Y")
+
+    def test_unbalanced_bracket(self):
+        with pytest.raises(MoaParseError):
+            parse_query("map[sum(THIS)(X)")
+
+    def test_join_needs_two_operands(self):
+        with pytest.raises(MoaParseError):
+            parse_query("join[THIS1.a = THIS2.b](X)")
+
+    def test_map_takes_one_operand(self):
+        with pytest.raises(MoaParseError):
+            parse_query("map[THIS](X, Y)")
+
+    def test_empty_query(self):
+        with pytest.raises(MoaParseError):
+            parse_query("")
+
+    def test_render_roundtrip(self):
+        text = (
+            "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)]"
+            "(TraditionalImgLib))"
+        )
+        node = parse_query(text)
+        rendered = ast.render(node)
+        reparsed = parse_query(rendered)
+        assert ast.render(reparsed) == rendered

@@ -1,0 +1,186 @@
+"""Type checker: inference, parameter resolution, error detection."""
+
+import pytest
+
+from repro.moa.ddl import parse_schema
+from repro.moa.errors import MoaTypeError
+from repro.moa.parser import parse_query
+from repro.moa.typecheck import typecheck
+from repro.moa.types import AtomicType, SetType, StatsType, TupleType
+from repro.moa import ast
+
+SCHEMA = parse_schema(
+    """
+    define Lib as SET<TUPLE<Atomic<URL>: source, CONTREP<Text>: annotation>>;
+    define Nums as SET<TUPLE<Atomic<int>: n, Atomic<float>: x>>;
+    define Other as SET<TUPLE<Atomic<URL>: url, Atomic<int>: year>>;
+    define Nested as SET<TUPLE<Atomic<str>: k,
+        SET<TUPLE<Atomic<int>: v>>: items>>;
+    """
+)
+
+PARAMS = {
+    "query": SetType(AtomicType("str")),
+    "stats": StatsType(),
+}
+
+
+def check(text, params=None):
+    return typecheck(parse_query(text), SCHEMA, params or PARAMS)
+
+
+class TestResolution:
+    def test_collection_resolves(self):
+        node = check("Lib")
+        assert isinstance(node, ast.CollectionRef)
+        assert node.ty == SCHEMA["Lib"]
+
+    def test_parameter_rewritten_to_varref(self):
+        node = check("query")
+        assert isinstance(node, ast.VarRef)
+        assert node.ty == PARAMS["query"]
+
+    def test_unknown_name(self):
+        with pytest.raises(MoaTypeError, match="unknown name"):
+            check("Ghost")
+
+
+class TestStructureOps:
+    def test_map_type(self):
+        node = check("map[THIS.n](Nums)")
+        assert node.ty.render() == "SET<Atomic<int>>"
+
+    def test_map_tuple_body(self):
+        node = check("map[tuple(a = THIS.n, b = THIS.x)](Nums)")
+        elem = node.ty.element
+        assert isinstance(elem, TupleType)
+        assert elem.field_names() == ["a", "b"]
+
+    def test_select_preserves_type(self):
+        node = check("select[THIS.n > 2](Nums)")
+        assert node.ty == SCHEMA["Nums"]
+
+    def test_select_needs_boolean(self):
+        with pytest.raises(MoaTypeError, match="boolean"):
+            check("select[THIS.n](Nums)")
+
+    def test_join_merges_fields(self):
+        node = check("join[THIS1.source = THIS2.url](Lib, Other)")
+        fields = node.ty.element.field_names()
+        assert fields == ["source", "annotation", "url", "year"]
+
+    def test_join_name_clash(self):
+        with pytest.raises(MoaTypeError, match="clash"):
+            check("join[THIS1.source = THIS2.source](Lib, Lib)")
+
+    def test_semijoin_keeps_left_type(self):
+        node = check("semijoin[THIS1.source = THIS2.url](Lib, Other)")
+        assert node.ty == SCHEMA["Lib"]
+
+    def test_unnest(self):
+        node = check("unnest[items](Nested)")
+        assert node.ty.element.field_names() == ["k", "v"]
+
+    def test_unnest_non_collection(self):
+        with pytest.raises(MoaTypeError):
+            check("unnest[k](Nested)")
+
+    def test_nest(self):
+        node = check("nest[k](Nested)")
+        fields = node.ty.element.field_names()
+        assert fields == ["k", "group"]
+
+    def test_map_over_scalar_rejected(self):
+        with pytest.raises(MoaTypeError, match="non-collection"):
+            check("map[THIS](count(Nums))")
+
+
+class TestFunctions:
+    def test_getbl_type(self):
+        node = check("map[getBL(THIS.annotation, query, stats)](Lib)")
+        assert node.ty.render() == "SET<SET<Atomic<float>>>"
+
+    def test_getbl_needs_contrep(self):
+        with pytest.raises(MoaTypeError, match="CONTREP"):
+            check("map[getBL(THIS.source, query, stats)](Lib)")
+
+    def test_getbl_needs_stats(self):
+        with pytest.raises(MoaTypeError, match="stats"):
+            check("map[getBL(THIS.annotation, query, query)](Lib)")
+
+    def test_sum_over_beliefs(self):
+        node = check("map[sum(getBL(THIS.annotation, query, stats))](Lib)")
+        assert node.ty.render() == "SET<Atomic<float>>"
+
+    def test_sum_int_collection(self):
+        node = check("sum(map[THIS.n](Nums))")
+        assert node.ty.atom == "int"
+
+    def test_avg_returns_float(self):
+        node = check("avg(map[THIS.n](Nums))")
+        assert node.ty.atom == "dbl"
+
+    def test_count(self):
+        node = check("count(Nums)")
+        assert node.ty.atom == "int"
+
+    def test_sum_needs_numeric(self):
+        with pytest.raises(MoaTypeError, match="numeric"):
+            check("sum(map[THIS.source](Lib))")
+
+    def test_unknown_function(self):
+        with pytest.raises(MoaTypeError, match="unknown function"):
+            check("map[mystery(THIS.n)](Nums)")
+
+
+class TestOperators:
+    def test_arithmetic_promotion(self):
+        node = check("map[THIS.n + THIS.x](Nums)")
+        assert node.ty.element.atom == "dbl"
+
+    def test_division_always_float(self):
+        node = check("map[THIS.n / 2](Nums)")
+        assert node.ty.element.atom == "dbl"
+
+    def test_comparison_gives_bit(self):
+        node = check("map[THIS.n > 3](Nums)")
+        assert node.ty.element.atom == "bit"
+
+    def test_string_comparison_allowed(self):
+        node = check("select[THIS.source = 'x'](Lib)")
+        assert node.ty == SCHEMA["Lib"]
+
+    def test_mixed_comparison_rejected(self):
+        with pytest.raises(MoaTypeError, match="compare"):
+            check("select[THIS.source = 3](Lib)")
+
+    def test_arithmetic_on_strings_rejected(self):
+        with pytest.raises(MoaTypeError):
+            check("map[THIS.source + 1](Lib)")
+
+    def test_and_needs_booleans(self):
+        with pytest.raises(MoaTypeError, match="boolean"):
+            check("select[THIS.n and true](Nums)")
+
+
+class TestThisBinding:
+    def test_this_outside_body(self):
+        with pytest.raises(MoaTypeError, match="THIS used outside"):
+            typecheck(parse_query("THIS"), SCHEMA, PARAMS)
+
+    def test_this12_outside_join(self):
+        with pytest.raises(MoaTypeError, match="THIS1"):
+            check("map[THIS1.n](Nums)")
+
+    def test_attr_on_atomic_rejected(self):
+        with pytest.raises(MoaTypeError, match="non-tuple"):
+            check("map[THIS.n.x](Nums)")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(MoaTypeError, match="no field"):
+            check("map[THIS.ghost](Nums)")
+
+    def test_nested_this_scoping(self):
+        # Inner map binds THIS to the nested element.
+        node = check("map[map[THIS.v](THIS.items)](Nested)")
+        assert node.ty.render() == "SET<SET<Atomic<int>>>"

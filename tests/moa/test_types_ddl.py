@@ -1,0 +1,192 @@
+"""Moa type system and DDL parsing."""
+
+import pytest
+
+from repro.moa.ddl import parse_define, parse_schema, render_define
+from repro.moa.errors import MoaParseError, MoaTypeError
+from repro.moa.structures.contrep import ContrepType
+from repro.moa.types import (
+    AtomicType,
+    ListType,
+    SetType,
+    StatsType,
+    TupleType,
+    base_type_atom,
+    common_numeric,
+    element_type,
+    is_collection,
+    is_numeric_atomic,
+    make_tuple_type,
+    register_base_type,
+    register_structure,
+    structure_names,
+)
+
+
+class TestBaseTypes:
+    def test_paper_base_types_mapped(self):
+        assert base_type_atom("URL") == "str"
+        assert base_type_atom("Text") == "str"
+        assert base_type_atom("Image") == "str"
+        assert base_type_atom("Vector") == "str"
+        assert base_type_atom("int") == "int"
+        assert base_type_atom("float") == "dbl"
+
+    def test_unknown_base_type(self):
+        with pytest.raises(MoaTypeError):
+            base_type_atom("Quaternion")
+
+    def test_register_base_type(self):
+        register_base_type("Fingerprint", "str")
+        assert base_type_atom("Fingerprint") == "str"
+
+    def test_conflicting_base_type_rejected(self):
+        with pytest.raises(MoaTypeError):
+            register_base_type("URL", "int")
+
+
+class TestTypeTree:
+    def test_atomic_render(self):
+        assert AtomicType("URL").render() == "Atomic<URL>"
+
+    def test_atomic_validates_base(self):
+        with pytest.raises(MoaTypeError):
+            AtomicType("Nope")
+
+    def test_tuple_fields(self):
+        ty = make_tuple_type([("a", AtomicType("int")), ("b", AtomicType("str"))])
+        assert ty.field_names() == ["a", "b"]
+        assert ty.field_type("b").atom == "str"
+        assert ty.has_field("a") and not ty.has_field("z")
+
+    def test_tuple_unknown_field(self):
+        ty = make_tuple_type([("a", AtomicType("int"))])
+        with pytest.raises(MoaTypeError):
+            ty.field_type("z")
+
+    def test_tuple_duplicate_field_rejected(self):
+        with pytest.raises(MoaTypeError):
+            make_tuple_type([("a", AtomicType("int")), ("a", AtomicType("int"))])
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(MoaTypeError):
+            make_tuple_type([])
+
+    def test_set_render(self):
+        assert SetType(AtomicType("int")).render() == "SET<Atomic<int>>"
+
+    def test_equality_structural(self):
+        a = SetType(AtomicType("int"))
+        b = SetType(AtomicType("int"))
+        assert a == b and hash(a) == hash(b)
+
+    def test_collection_predicates(self):
+        assert is_collection(SetType(AtomicType("int")))
+        assert is_collection(ListType(AtomicType("int")))
+        assert not is_collection(AtomicType("int"))
+
+    def test_element_type(self):
+        assert element_type(SetType(AtomicType("int"))).atom == "int"
+        with pytest.raises(MoaTypeError):
+            element_type(AtomicType("int"))
+
+    def test_numeric_predicates(self):
+        assert is_numeric_atomic(AtomicType("int"))
+        assert not is_numeric_atomic(AtomicType("str"))
+
+    def test_common_numeric_promotion(self):
+        assert common_numeric(AtomicType("int"), AtomicType("float")).atom == "dbl"
+        assert common_numeric(AtomicType("int"), AtomicType("int")).atom == "int"
+        with pytest.raises(MoaTypeError):
+            common_numeric(AtomicType("str"), AtomicType("int"))
+
+    def test_stats_type(self):
+        assert StatsType().render() == "STATS"
+
+
+class TestStructureRegistry:
+    def test_kernel_structures_registered(self):
+        names = structure_names()
+        assert {"Atomic", "SET", "LIST", "CONTREP"} <= set(names)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(MoaTypeError):
+            register_structure("SET", lambda args: None)
+
+
+class TestDDL:
+    def test_paper_section3_schema(self):
+        name, ty = parse_define(
+            "define TraditionalImgLib as SET< TUPLE< Atomic<URL>: source, "
+            "CONTREP<Text>: annotation >>;"
+        )
+        assert name == "TraditionalImgLib"
+        assert isinstance(ty, SetType)
+        elem = ty.element
+        assert isinstance(elem, TupleType)
+        assert elem.field_names() == ["source", "annotation"]
+        assert isinstance(elem.field_type("annotation"), ContrepType)
+
+    def test_paper_section5_schema(self):
+        name, ty = parse_define(
+            """
+            define ImageLibrary as
+            SET<
+              TUPLE<
+                Atomic<URL>: source,
+                Atomic<Text>: annotation,
+                Atomic<Image>: image
+              >>;
+            """
+        )
+        assert name == "ImageLibrary"
+        assert ty.element.field_names() == ["source", "annotation", "image"]
+
+    def test_nested_set_schema(self):
+        _, ty = parse_define(
+            "define X as SET<TUPLE<Atomic<URL>: u, "
+            "SET<TUPLE<Atomic<Image>: segment, Atomic<Vector>: RGB>>: segments>>;"
+        )
+        segments = ty.element.field_type("segments")
+        assert isinstance(segments, SetType)
+        assert segments.element.field_names() == ["segment", "RGB"]
+
+    def test_list_structure(self):
+        _, ty = parse_define("define L as LIST<Atomic<int>>;")
+        assert isinstance(ty, ListType)
+
+    def test_multiple_defines(self):
+        schema = parse_schema(
+            "define A as SET<Atomic<int>>; define B as SET<Atomic<str>>;"
+        )
+        assert sorted(schema) == ["A", "B"]
+
+    def test_duplicate_define_rejected(self):
+        with pytest.raises(MoaTypeError):
+            parse_schema("define A as SET<Atomic<int>>; define A as SET<Atomic<int>>;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MoaParseError):
+            parse_define("define A as SET<Atomic<int>>")
+
+    def test_unknown_structure(self):
+        with pytest.raises(MoaTypeError, match="unknown structure"):
+            parse_define("define A as BAG<Atomic<int>>;")
+
+    def test_tuple_needs_field_names(self):
+        with pytest.raises(MoaParseError):
+            parse_define("define A as SET<TUPLE<Atomic<int>>>;")
+
+    def test_render_roundtrip(self):
+        text = (
+            "define TraditionalImgLib as SET<TUPLE<Atomic<URL>: source, "
+            "CONTREP<Text>: annotation>>;"
+        )
+        name, ty = parse_define(text)
+        rendered = render_define(name, ty)
+        name2, ty2 = parse_define(rendered)
+        assert name2 == name and ty2 == ty
+
+    def test_comments_allowed(self):
+        name, _ = parse_define("# schema\ndefine A as SET<Atomic<int>>; # done")
+        assert name == "A"

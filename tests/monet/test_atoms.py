@@ -1,0 +1,160 @@
+"""Atom type system: registry, coercion, NIL semantics, oid generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.monet.atoms import (
+    INT_NIL,
+    OID_NIL,
+    AtomType,
+    OidGenerator,
+    atom,
+    atom_names,
+    coerce_value,
+    infer_atom,
+    is_nil,
+    register_atom,
+)
+from repro.monet.errors import AtomError
+
+
+class TestRegistry:
+    def test_builtin_atoms_present(self):
+        assert {"oid", "int", "dbl", "str", "bit"} <= set(atom_names())
+
+    def test_lookup_returns_same_object(self):
+        assert atom("int") is atom("int")
+
+    def test_unknown_atom_raises(self):
+        with pytest.raises(AtomError, match="unknown atom"):
+            atom("quaternion")
+
+    def test_reregistering_same_object_is_noop(self):
+        existing = atom("int")
+        assert register_atom(existing) is existing
+
+    def test_conflicting_registration_rejected(self):
+        clone = AtomType("int", np.dtype(np.int64), INT_NIL, int, lambda v: False)
+        with pytest.raises(AtomError, match="already registered"):
+            register_atom(clone)
+
+
+class TestCoercion:
+    def test_int_accepts_ints(self):
+        assert coerce_value(42, atom("int")) == 42
+
+    def test_int_accepts_integral_floats(self):
+        assert coerce_value(3.0, atom("int")) == 3
+
+    def test_int_rejects_fractional_floats(self):
+        with pytest.raises(AtomError):
+            coerce_value(3.5, atom("int"))
+
+    def test_int_rejects_strings(self):
+        with pytest.raises(AtomError):
+            coerce_value("3", atom("int"))
+
+    def test_dbl_widens_int(self):
+        assert coerce_value(3, atom("dbl")) == 3.0
+
+    def test_str_rejects_numbers(self):
+        with pytest.raises(AtomError):
+            coerce_value(3, atom("str"))
+
+    def test_bit_from_bool(self):
+        assert coerce_value(True, atom("bit")) == 1
+        assert coerce_value(False, atom("bit")) == 0
+
+    def test_none_maps_to_nil(self):
+        assert coerce_value(None, atom("int")) == INT_NIL
+        assert math.isnan(coerce_value(None, atom("dbl")))
+        assert coerce_value(None, atom("str")) is None
+
+
+class TestNil:
+    def test_none_is_nil(self):
+        assert is_nil(None)
+
+    def test_int_nil_sentinel(self):
+        assert is_nil(INT_NIL, atom("int"))
+        assert not is_nil(0, atom("int"))
+
+    def test_oid_nil_sentinel(self):
+        assert is_nil(OID_NIL, atom("oid"))
+
+    def test_nan_is_dbl_nil(self):
+        assert is_nil(float("nan"), atom("dbl"))
+        assert not is_nil(0.0, atom("dbl"))
+
+    def test_is_nil_without_type(self):
+        assert is_nil(float("nan"))
+        assert is_nil(INT_NIL)
+        assert not is_nil("")
+
+
+class TestInference:
+    def test_bool_before_int(self):
+        assert infer_atom(True).name == "bit"
+
+    def test_int(self):
+        assert infer_atom(7).name == "int"
+
+    def test_float(self):
+        assert infer_atom(7.5).name == "dbl"
+
+    def test_str(self):
+        assert infer_atom("x").name == "str"
+
+    def test_none_rejected(self):
+        with pytest.raises(AtomError):
+            infer_atom(None)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(AtomError):
+            infer_atom(object())
+
+
+class TestAtomArrays:
+    def test_make_array_maps_none_to_nil(self):
+        arr = atom("int").make_array([1, None, 3])
+        assert arr[1] == INT_NIL
+
+    def test_str_array_keeps_none(self):
+        arr = atom("str").make_array(["a", None])
+        assert arr[1] is None
+
+    def test_to_python_restores_none(self):
+        a = atom("int")
+        assert a.to_python(INT_NIL) is None
+        assert a.to_python(5) == 5
+
+    def test_bit_to_python_is_bool(self):
+        assert atom("bit").to_python(1) is True
+
+
+class TestOidGenerator:
+    def test_sequential_allocation(self):
+        gen = OidGenerator()
+        assert gen.allocate(3) == 0
+        assert gen.allocate(2) == 3
+        assert gen.current == 5
+
+    def test_bump_past(self):
+        gen = OidGenerator()
+        gen.bump_past(100)
+        assert gen.allocate() == 101
+
+    def test_bump_past_lower_is_noop(self):
+        gen = OidGenerator(start=50)
+        gen.bump_past(10)
+        assert gen.allocate() == 50
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(AtomError):
+            OidGenerator(start=-1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(AtomError):
+            OidGenerator().allocate(-1)

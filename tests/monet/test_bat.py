@@ -1,0 +1,171 @@
+"""BAT structure: columns, views, properties, point access."""
+
+import numpy as np
+import pytest
+
+from repro.monet.bat import (
+    BAT,
+    Column,
+    VoidColumn,
+    bat_from_pairs,
+    column_from_values,
+    dense_bat,
+    empty_bat,
+)
+from repro.monet.errors import BATError
+
+
+class TestVoidColumn:
+    def test_materialize(self):
+        assert VoidColumn(5, 3).materialize().tolist() == [5, 6, 7]
+
+    def test_len(self):
+        assert len(VoidColumn(0, 10)) == 10
+
+    def test_python_value(self):
+        assert VoidColumn(5, 3).python_value(2) == 7
+
+    def test_python_value_out_of_range(self):
+        with pytest.raises(BATError):
+            VoidColumn(0, 3).python_value(3)
+
+    def test_take_adds_seqbase(self):
+        taken = VoidColumn(10, 5).take(np.array([0, 2, 4]))
+        assert taken.materialize().tolist() == [10, 12, 14]
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(BATError):
+            VoidColumn(-1, 3)
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(BATError, match="length mismatch"):
+            BAT(VoidColumn(0, 3), column_from_values("int", [1, 2]))
+
+    def test_void_head_forces_properties(self):
+        bat = dense_bat("int", [3, 1, 2])
+        assert bat.hdense and bat.hsorted and bat.hkey
+
+    def test_bat_from_pairs_detects_dense_head(self):
+        bat = bat_from_pairs("oid", "int", [(0, 5), (1, 6), (2, 7)])
+        assert bat.hdense
+
+    def test_bat_from_pairs_nondense_head(self):
+        bat = bat_from_pairs("oid", "int", [(0, 5), (2, 6)])
+        assert not bat.hdense
+        assert bat.hsorted and bat.hkey
+
+    def test_bat_from_pairs_unsorted_head(self):
+        bat = bat_from_pairs("int", "int", [(2, 1), (0, 2)])
+        assert not bat.hsorted
+
+    def test_empty_bat(self):
+        bat = empty_bat("oid", "str")
+        assert len(bat) == 0
+        assert bat.htype == "oid" and bat.ttype == "str"
+
+    def test_roundtrip_pairs(self):
+        pairs = [(0, "a"), (1, None), (2, "c")]
+        bat = bat_from_pairs("oid", "str", pairs)
+        assert bat.to_pairs() == pairs
+
+
+class TestViews:
+    def test_reverse_swaps_columns(self):
+        bat = bat_from_pairs("oid", "str", [(0, "a"), (1, "b")])
+        assert bat.reverse().to_pairs() == [("a", 0), ("b", 1)]
+
+    def test_reverse_swaps_properties(self):
+        bat = dense_bat("int", [3, 1])
+        rev = bat.reverse()
+        assert rev.tsorted and rev.tkey and not rev.hsorted
+
+    def test_double_reverse_identity(self):
+        bat = bat_from_pairs("oid", "int", [(0, 5), (1, 3)])
+        assert bat.reverse().reverse().to_pairs() == bat.to_pairs()
+
+    def test_mirror(self):
+        bat = bat_from_pairs("oid", "str", [(4, "x"), (7, "y")])
+        assert bat.mirror().to_pairs() == [(4, 4), (7, 7)]
+
+    def test_slice(self):
+        bat = dense_bat("int", [10, 20, 30, 40])
+        assert bat.slice(1, 3).tail_list() == [20, 30]
+
+    def test_slice_clamps(self):
+        bat = dense_bat("int", [10, 20])
+        assert bat.slice(-5, 99).tail_list() == [10, 20]
+        assert bat.slice(3, 1).tail_list() == []
+
+    def test_slice_keeps_void_head(self):
+        bat = dense_bat("int", [10, 20, 30, 40])
+        sliced = bat.slice(1, 3)
+        assert sliced.hdense
+        assert sliced.head_list() == [1, 2]
+
+
+class TestTakePositions:
+    def test_monotone_gather_keeps_sortedness(self):
+        bat = dense_bat("int", [1, 2, 3, 4])
+        taken = bat.take_positions(np.array([0, 2]))
+        assert taken.hsorted
+
+    def test_non_monotone_gather_drops_sortedness(self):
+        bat = dense_bat("int", [1, 2, 3, 4])
+        taken = bat.take_positions(np.array([2, 0]))
+        assert not taken.tsorted
+        assert taken.tail_list() == [3, 1]
+
+    def test_contiguous_void_gather_stays_void(self):
+        bat = dense_bat("int", [1, 2, 3, 4])
+        taken = bat.take_positions(np.array([1, 2, 3]))
+        assert taken.hdense
+        assert taken.head.seqbase == 1
+
+
+class TestPointAccess:
+    def test_find_on_void_head(self):
+        bat = dense_bat("str", ["a", "b", "c"])
+        assert bat.find(1) == "b"
+
+    def test_find_missing_on_void_head(self):
+        bat = dense_bat("str", ["a"])
+        with pytest.raises(BATError):
+            bat.find(5)
+
+    def test_find_on_value_head(self):
+        bat = bat_from_pairs("str", "int", [("x", 1), ("y", 2)])
+        assert bat.find("y") == 2
+
+    def test_find_returns_first_match(self):
+        bat = bat_from_pairs("str", "int", [("x", 1), ("x", 2)])
+        assert bat.find("x") == 1
+
+    def test_exists(self):
+        bat = bat_from_pairs("str", "int", [("x", 1)])
+        assert bat.exists("x")
+        assert not bat.exists("z")
+
+    def test_to_dict_requires_key_head(self):
+        bat = bat_from_pairs("str", "int", [("x", 1), ("x", 2)])
+        with pytest.raises(BATError):
+            bat.to_dict()
+
+    def test_to_dict(self):
+        bat = bat_from_pairs("oid", "str", [(0, "a"), (1, "b")])
+        assert bat.to_dict() == {0: "a", 1: "b"}
+
+
+class TestNilRoundtrip:
+    def test_int_nil(self):
+        bat = dense_bat("int", [1, None, 3])
+        assert bat.tail_list() == [1, None, 3]
+
+    def test_dbl_nil(self):
+        bat = dense_bat("dbl", [1.5, None])
+        assert bat.tail_list() == [1.5, None]
+
+    def test_str_nil(self):
+        bat = dense_bat("str", [None, "x"])
+        assert bat.tail_list() == [None, "x"]

@@ -1,0 +1,192 @@
+"""Grouping and (pump) aggregation."""
+
+import math
+
+import pytest
+
+from repro.monet.aggregates import (
+    avg,
+    count,
+    grouped_avg,
+    grouped_count,
+    grouped_max,
+    grouped_min,
+    grouped_prod,
+    grouped_sum,
+    max_,
+    min_,
+    sum_,
+)
+from repro.monet.bat import bat_from_pairs, dense_bat, empty_bat
+from repro.monet.errors import KernelError
+from repro.monet.groups import (
+    group,
+    group_representatives,
+    group_sizes,
+    refine,
+)
+
+
+class TestGroup:
+    def test_first_appearance_ids(self):
+        grouping = group(dense_bat("str", ["x", "y", "x", "z", "y"]))
+        assert grouping.tail_list() == [0, 1, 0, 2, 1]
+
+    def test_numeric_grouping(self):
+        grouping = group(dense_bat("int", [7, 7, 3]))
+        assert grouping.tail_list() == [0, 0, 1]
+
+    def test_float_grouping(self):
+        grouping = group(dense_bat("dbl", [1.5, 2.5, 1.5]))
+        assert grouping.tail_list() == [0, 1, 0]
+
+    def test_empty(self):
+        assert len(group(empty_bat("oid", "int"))) == 0
+
+    def test_refine_splits_groups(self):
+        base = group(dense_bat("str", ["x", "x", "x", "y"]))
+        second = dense_bat("int", [1, 2, 1, 1])
+        refined = refine(base, second)
+        assert refined.tail_list() == [0, 1, 0, 2]
+
+    def test_refine_with_strings(self):
+        base = group(dense_bat("int", [1, 1, 2]))
+        second = dense_bat("str", ["a", "b", "a"])
+        assert refine(base, second).tail_list() == [0, 1, 2]
+
+    def test_refine_misaligned_rejected(self):
+        base = group(dense_bat("int", [1, 2]))
+        with pytest.raises(KernelError):
+            refine(base, dense_bat("int", [1]))
+
+    def test_group_sizes(self):
+        grouping = group(dense_bat("str", ["x", "y", "x"]))
+        assert group_sizes(grouping).tail_list() == [2, 1]
+
+    def test_group_representatives(self):
+        values = dense_bat("str", ["x", "y", "x"])
+        grouping = group(values)
+        assert group_representatives(grouping, values).tail_list() == ["x", "y"]
+
+
+class TestScalarAggregates:
+    def test_count(self):
+        assert count(dense_bat("int", [1, 2, 3])) == 3
+
+    def test_sum_int(self):
+        assert sum_(dense_bat("int", [1, 2, 3])) == 6
+
+    def test_sum_dbl(self):
+        assert sum_(dense_bat("dbl", [0.5, 0.25])) == 0.75
+
+    def test_sum_empty_is_zero(self):
+        assert sum_(empty_bat("oid", "int")) == 0
+
+    def test_max_min(self):
+        bat = dense_bat("int", [5, -3, 9])
+        assert max_(bat) == 9
+        assert min_(bat) == -3
+
+    def test_max_empty_is_nil(self):
+        assert max_(empty_bat("oid", "int")) is None
+
+    def test_avg(self):
+        assert avg(dense_bat("int", [1, 2, 3])) == 2.0
+
+    def test_avg_empty_is_nil(self):
+        assert avg(empty_bat("oid", "dbl")) is None
+
+    def test_sum_rejects_strings(self):
+        with pytest.raises(KernelError):
+            sum_(dense_bat("str", ["a"]))
+
+
+class TestPumpAggregates:
+    def _fixture(self):
+        values = dense_bat("dbl", [1.0, 2.0, 3.0, 4.0])
+        groups = dense_bat("oid", [0, 1, 0, 1])
+        return values, groups
+
+    def test_grouped_sum(self):
+        values, groups = self._fixture()
+        assert grouped_sum(values, groups).tail_list() == [4.0, 6.0]
+
+    def test_grouped_sum_int_stays_int(self):
+        values = dense_bat("int", [1, 2, 3])
+        groups = dense_bat("oid", [0, 0, 1])
+        result = grouped_sum(values, groups)
+        assert result.ttype == "int"
+        assert result.tail_list() == [3, 3]
+
+    def test_grouped_sum_empty_group_gets_zero(self):
+        values = dense_bat("dbl", [1.0])
+        groups = dense_bat("oid", [2])
+        assert grouped_sum(values, groups, 4).tail_list() == [0.0, 0.0, 1.0, 0.0]
+
+    def test_grouped_count(self):
+        values, groups = self._fixture()
+        assert grouped_count(values, groups).tail_list() == [2, 2]
+
+    def test_grouped_max(self):
+        values, groups = self._fixture()
+        assert grouped_max(values, groups).tail_list() == [3.0, 4.0]
+
+    def test_grouped_min(self):
+        values, groups = self._fixture()
+        assert grouped_min(values, groups).tail_list() == [1.0, 2.0]
+
+    def test_grouped_max_empty_group_is_nil(self):
+        values = dense_bat("dbl", [1.0])
+        groups = dense_bat("oid", [0])
+        assert grouped_max(values, groups, 2).tail_list() == [1.0, None]
+
+    def test_grouped_avg(self):
+        values, groups = self._fixture()
+        assert grouped_avg(values, groups).tail_list() == [2.0, 3.0]
+
+    def test_grouped_avg_empty_group_is_nil(self):
+        values = dense_bat("dbl", [2.0])
+        groups = dense_bat("oid", [1])
+        result = grouped_avg(values, groups, 2).tail_list()
+        assert result[0] is None and result[1] == 2.0
+
+    def test_grouped_prod(self):
+        values = dense_bat("dbl", [2.0, 3.0, 0.5])
+        groups = dense_bat("oid", [0, 0, 1])
+        assert grouped_prod(values, groups).tail_list() == [6.0, 0.5]
+
+    def test_grouped_prod_with_zero(self):
+        values = dense_bat("dbl", [2.0, 0.0])
+        groups = dense_bat("oid", [0, 0])
+        assert grouped_prod(values, groups).tail_list() == [0.0]
+
+    def test_grouped_prod_negative_parity(self):
+        values = dense_bat("dbl", [-2.0, 3.0, -2.0, -3.0])
+        groups = dense_bat("oid", [0, 0, 1, 1])
+        result = grouped_prod(values, groups).tail_list()
+        assert result[0] == pytest.approx(-6.0)
+        assert result[1] == pytest.approx(6.0)
+
+    def test_grouped_prod_empty_group_is_one(self):
+        values = dense_bat("dbl", [2.0])
+        groups = dense_bat("oid", [1])
+        assert grouped_prod(values, groups, 2).tail_list()[0] == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(KernelError):
+            grouped_sum(dense_bat("dbl", [1.0]), dense_bat("oid", [0, 1]))
+
+    def test_value_alignment_via_heads(self):
+        # Non-void but equal heads align positionally.
+        values = bat_from_pairs("oid", "dbl", [(5, 1.0), (9, 2.0)])
+        groups = bat_from_pairs("oid", "oid", [(5, 0), (9, 0)])
+        assert grouped_sum(values, groups).tail_list() == [3.0]
+
+    def test_misaligned_void_heads_rejected(self):
+        from repro.monet.bat import BAT, Column, VoidColumn
+        import numpy as np
+
+        values = BAT(VoidColumn(0, 2), Column("dbl", np.array([1.0, 2.0])))
+        groups = BAT(VoidColumn(5, 2), Column("oid", np.array([0, 1])))
+        with pytest.raises(KernelError):
+            grouped_sum(values, groups)

@@ -1,0 +1,238 @@
+"""Kernel operators: selections, the join family, reconstruction, sets."""
+
+import numpy as np
+import pytest
+
+from repro.monet import kernel
+from repro.monet.bat import bat_from_pairs, dense_bat, empty_bat
+from repro.monet.errors import KernelError
+
+
+class TestSelect:
+    def test_equality(self):
+        bat = dense_bat("int", [5, 3, 5, 9])
+        assert kernel.select(bat, 5).to_pairs() == [(0, 5), (2, 5)]
+
+    def test_equality_string(self):
+        bat = dense_bat("str", ["a", "b", "a"])
+        assert kernel.select(bat, "a").head_list() == [0, 2]
+
+    def test_equality_no_match(self):
+        bat = dense_bat("int", [1, 2])
+        assert len(kernel.select(bat, 99)) == 0
+
+    def test_range_inclusive(self):
+        bat = dense_bat("int", [1, 5, 10, 15])
+        assert kernel.select(bat, 5, 10).tail_list() == [5, 10]
+
+    def test_range_exclusive_bounds(self):
+        bat = dense_bat("int", [1, 5, 10, 15])
+        result = kernel.select(bat, 5, 10, include_low=False, include_high=False)
+        assert result.tail_list() == []
+
+    def test_range_open_low(self):
+        bat = dense_bat("int", [1, 5, 10])
+        assert kernel.select(bat, None, 5).tail_list() == [1, 5]
+
+    def test_range_open_high(self):
+        bat = dense_bat("int", [1, 5, 10])
+        assert kernel.select(bat, 5, None).tail_list() == [5, 10]
+
+    def test_range_on_strings(self):
+        bat = dense_bat("str", ["apple", "cherry", "banana"])
+        assert kernel.select(bat, "apple", "banana").tail_list() == [
+            "apple", "banana",
+        ]
+
+    def test_empty_input(self):
+        bat = empty_bat("oid", "int")
+        assert len(kernel.select(bat, 1)) == 0
+
+    def test_uselect_produces_void_tail(self):
+        bat = dense_bat("int", [5, 3, 5])
+        result = kernel.uselect(bat, 5)
+        assert result.head_list() == [0, 2]
+        assert result.tail.is_void
+
+    def test_likeselect(self):
+        bat = dense_bat("str", ["sunset beach", "green forest", "red sunset"])
+        assert kernel.likeselect(bat, "sunset").head_list() == [0, 2]
+
+    def test_likeselect_requires_str(self):
+        with pytest.raises(KernelError):
+            kernel.likeselect(dense_bat("int", [1]), "x")
+
+
+class TestJoin:
+    def test_basic_join(self):
+        left = bat_from_pairs("oid", "str", [(0, "a"), (1, "b"), (2, "a")])
+        right = bat_from_pairs("str", "int", [("a", 10), ("b", 20)])
+        assert kernel.join(left, right).to_pairs() == [
+            (0, 10), (1, 20), (2, 10),
+        ]
+
+    def test_join_multiplicity(self):
+        left = bat_from_pairs("oid", "int", [(0, 1)])
+        right = bat_from_pairs("int", "str", [(1, "x"), (1, "y")])
+        assert sorted(kernel.join(left, right).tail_list()) == ["x", "y"]
+
+    def test_join_preserves_left_order(self):
+        left = bat_from_pairs("oid", "int", [(0, 2), (1, 1), (2, 2)])
+        right = bat_from_pairs("int", "str", [(1, "one"), (2, "two")])
+        assert kernel.join(left, right).to_pairs() == [
+            (0, "two"), (1, "one"), (2, "two"),
+        ]
+
+    def test_join_dense_right_is_fetchjoin(self):
+        left = bat_from_pairs("oid", "oid", [(0, 2), (1, 0)])
+        right = dense_bat("str", ["a", "b", "c"])
+        assert kernel.join(left, right).to_pairs() == [(0, "c"), (1, "a")]
+
+    def test_fetchjoin_drops_out_of_range(self):
+        left = bat_from_pairs("oid", "oid", [(0, 5), (1, 1)])
+        right = dense_bat("str", ["a", "b"])
+        assert kernel.fetchjoin(left, right).to_pairs() == [(1, "b")]
+
+    def test_fetchjoin_requires_dense_right(self):
+        left = bat_from_pairs("oid", "int", [(0, 1)])
+        right = bat_from_pairs("int", "str", [(1, "x")])
+        with pytest.raises(KernelError):
+            kernel.fetchjoin(left, right)
+
+    def test_join_type_mismatch(self):
+        left = bat_from_pairs("oid", "str", [(0, "a")])
+        right = bat_from_pairs("int", "str", [(1, "x")])
+        with pytest.raises(KernelError, match="type mismatch"):
+            kernel.join(left, right)
+
+    def test_join_empty_sides(self):
+        left = empty_bat("oid", "int")
+        right = bat_from_pairs("int", "str", [(1, "x")])
+        assert len(kernel.join(left, right)) == 0
+        assert len(kernel.join(right.reverse(), left.reverse())) == 0
+
+    def test_outerjoin_pads_with_nil(self):
+        left = bat_from_pairs("oid", "int", [(0, 1), (1, 99)])
+        right = bat_from_pairs("int", "str", [(1, "one")])
+        assert kernel.outerjoin(left, right).to_pairs() == [
+            (0, "one"), (1, None),
+        ]
+
+    def test_outerjoin_dense_right(self):
+        left = bat_from_pairs("oid", "oid", [(0, 0), (1, 7)])
+        right = dense_bat("dbl", [1.5])
+        assert kernel.outerjoin(left, right).to_pairs() == [(0, 1.5), (1, None)]
+
+
+class TestSemijoinFamily:
+    def test_semijoin(self):
+        left = bat_from_pairs("oid", "str", [(0, "a"), (1, "b"), (5, "c")])
+        right = bat_from_pairs("oid", "int", [(0, 9), (5, 9)])
+        assert kernel.semijoin(left, right).to_pairs() == [(0, "a"), (5, "c")]
+
+    def test_semijoin_dense_right(self):
+        left = bat_from_pairs("oid", "str", [(0, "a"), (9, "b")])
+        right = dense_bat("int", [1, 2, 3])
+        assert kernel.semijoin(left, right).head_list() == [0]
+
+    def test_kdiff(self):
+        left = bat_from_pairs("oid", "str", [(0, "a"), (1, "b")])
+        right = bat_from_pairs("oid", "int", [(0, 9)])
+        assert kernel.kdiff(left, right).to_pairs() == [(1, "b")]
+
+    def test_kdiff_disjoint(self):
+        left = bat_from_pairs("oid", "str", [(0, "a")])
+        right = bat_from_pairs("oid", "int", [(7, 9)])
+        assert kernel.kdiff(left, right).to_pairs() == [(0, "a")]
+
+    def test_kintersect_alias(self):
+        left = bat_from_pairs("oid", "str", [(0, "a"), (1, "b")])
+        right = bat_from_pairs("oid", "int", [(1, 9)])
+        assert kernel.kintersect(left, right).to_pairs() == [(1, "b")]
+
+    def test_kunion_dedups_on_head(self):
+        left = bat_from_pairs("oid", "str", [(0, "a")])
+        right = bat_from_pairs("oid", "str", [(0, "other"), (1, "b")])
+        assert kernel.kunion(left, right).to_pairs() == [(0, "a"), (1, "b")]
+
+    def test_kunion_right_empty(self):
+        left = bat_from_pairs("oid", "str", [(0, "a")])
+        assert kernel.kunion(left, empty_bat("oid", "str")).to_pairs() == [
+            (0, "a"),
+        ]
+
+
+class TestReconstruction:
+    def test_mark(self):
+        bat = bat_from_pairs("str", "int", [("a", 1), ("b", 2)])
+        assert kernel.mark(bat, 100).to_pairs() == [("a", 100), ("b", 101)]
+
+    def test_number(self):
+        bat = bat_from_pairs("str", "int", [("a", 1), ("b", 2)])
+        assert kernel.number(bat, 10).to_pairs() == [(10, 1), (11, 2)]
+
+    def test_sort(self):
+        bat = bat_from_pairs("int", "str", [(3, "c"), (1, "a"), (2, "b")])
+        assert kernel.sort(bat).to_pairs() == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_sort_stable(self):
+        bat = bat_from_pairs("int", "str", [(1, "first"), (1, "second")])
+        assert kernel.sort(bat).tail_list() == ["first", "second"]
+
+    def test_sort_string_head(self):
+        bat = bat_from_pairs("str", "int", [("b", 2), ("a", 1)])
+        assert kernel.sort(bat).head_list() == ["a", "b"]
+
+    def test_tsort(self):
+        bat = bat_from_pairs("oid", "int", [(0, 3), (1, 1), (2, 2)])
+        assert kernel.tsort(bat).tail_list() == [1, 2, 3]
+
+    def test_unique(self):
+        bat = bat_from_pairs("int", "str", [(1, "a"), (1, "a"), (2, "b")])
+        assert kernel.unique(bat).to_pairs() == [(1, "a"), (2, "b")]
+
+    def test_unique_keeps_distinct_tails(self):
+        bat = bat_from_pairs("int", "str", [(1, "a"), (1, "b")])
+        assert len(kernel.unique(bat)) == 2
+
+    def test_kunique(self):
+        bat = bat_from_pairs("int", "str", [(1, "a"), (1, "b"), (2, "c")])
+        assert kernel.kunique(bat).to_pairs() == [(1, "a"), (2, "c")]
+
+    def test_kunique_string_heads(self):
+        bat = bat_from_pairs("str", "int", [("x", 1), ("x", 2), ("y", 3)])
+        assert kernel.kunique(bat).to_pairs() == [("x", 1), ("y", 3)]
+
+    def test_tunique(self):
+        bat = bat_from_pairs("oid", "str", [(0, "a"), (1, "a"), (2, "b")])
+        assert kernel.tunique(bat).to_pairs() == [(0, "a"), (2, "b")]
+
+    def test_const_bat(self):
+        base = dense_bat("int", [1, 2, 3])
+        result = kernel.const_bat(base, "dbl", 0.4)
+        assert result.tail_list() == [0.4, 0.4, 0.4]
+
+    def test_topn_descending(self):
+        bat = dense_bat("dbl", [0.5, 0.9, 0.1, 0.7])
+        assert kernel.topn(bat, 2).tail_list() == [0.9, 0.7]
+
+    def test_topn_ascending(self):
+        bat = dense_bat("int", [5, 1, 3])
+        assert kernel.topn(bat, 2, descending=False).tail_list() == [1, 3]
+
+    def test_topn_larger_than_input(self):
+        bat = dense_bat("int", [5, 1])
+        assert len(kernel.topn(bat, 10)) == 2
+
+    def test_topn_negative_rejected(self):
+        with pytest.raises(KernelError):
+            kernel.topn(dense_bat("int", [1]), -1)
+
+    def test_slice_bat(self):
+        bat = dense_bat("int", [10, 20, 30])
+        assert kernel.slice_bat(bat, 0, 2).tail_list() == [10, 20]
+
+    def test_exist(self):
+        bat = bat_from_pairs("str", "int", [("k", 1)])
+        assert kernel.exist(bat, "k")
+        assert not kernel.exist(bat, "missing")

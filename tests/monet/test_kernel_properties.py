@@ -1,0 +1,177 @@
+"""Property-based tests: BAT operators vs naive Python models.
+
+Each kernel operator is checked against a straightforward Python
+implementation of its algebraic definition on random BUN lists --
+the contract the Moa compiler relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monet import kernel
+from repro.monet.bat import bat_from_pairs
+from repro.monet.groups import group, group_sizes
+from repro.monet.aggregates import grouped_sum
+
+_small_int = st.integers(min_value=-20, max_value=20)
+_oid = st.integers(min_value=0, max_value=30)
+
+_pairs_int = st.lists(st.tuples(_oid, _small_int), max_size=40)
+_pairs_str = st.lists(
+    st.tuples(_oid, st.sampled_from(["a", "b", "c", "d", "e"])), max_size=40
+)
+
+
+@given(_pairs_int, _small_int)
+def test_select_matches_filter(pairs, needle):
+    bat = bat_from_pairs("oid", "int", pairs)
+    expected = [(h, t) for h, t in pairs if t == needle]
+    assert kernel.select(bat, needle).to_pairs() == expected
+
+
+@given(_pairs_int, _small_int, _small_int)
+def test_range_select_matches_filter(pairs, low, high):
+    lo, hi = min(low, high), max(low, high)
+    bat = bat_from_pairs("oid", "int", pairs)
+    expected = [(h, t) for h, t in pairs if lo <= t <= hi]
+    assert kernel.select(bat, lo, hi).to_pairs() == expected
+
+
+@given(_pairs_str, _pairs_str)
+def test_join_matches_nested_loop(left_pairs, right_pairs):
+    left = bat_from_pairs("oid", "str", left_pairs)
+    right = bat_from_pairs("str", "oid", [(t, h) for h, t in right_pairs])
+    expected = [
+        (lh, rt)
+        for lh, lt in left_pairs
+        for rt2, rt in [(t, h) for h, t in right_pairs]
+        if lt == rt2
+    ]
+    assert sorted(kernel.join(left, right).to_pairs()) == sorted(expected)
+
+
+@given(_pairs_int, _pairs_int)
+def test_semijoin_matches_membership(left_pairs, right_pairs):
+    left = bat_from_pairs("oid", "int", left_pairs)
+    right = bat_from_pairs("oid", "int", right_pairs)
+    members = {h for h, _ in right_pairs}
+    expected = [(h, t) for h, t in left_pairs if h in members]
+    assert kernel.semijoin(left, right).to_pairs() == expected
+
+
+@given(_pairs_int, _pairs_int)
+def test_kdiff_is_complement_of_semijoin(left_pairs, right_pairs):
+    left = bat_from_pairs("oid", "int", left_pairs)
+    right = bat_from_pairs("oid", "int", right_pairs)
+    semi = kernel.semijoin(left, right).to_pairs()
+    diff = kernel.kdiff(left, right).to_pairs()
+    assert sorted(semi + diff) == sorted(left_pairs)
+
+
+@given(_pairs_int)
+def test_reverse_involution(pairs):
+    bat = bat_from_pairs("oid", "int", pairs)
+    assert bat.reverse().reverse().to_pairs() == pairs
+
+
+@given(_pairs_int)
+def test_mark_produces_dense_tail(pairs):
+    bat = bat_from_pairs("oid", "int", pairs)
+    marked = kernel.mark(bat, 7)
+    assert [t for _, t in marked.to_pairs()] == list(
+        range(7, 7 + len(pairs))
+    )
+    assert [h for h, _ in marked.to_pairs()] == [h for h, _ in pairs]
+
+
+@given(_pairs_int)
+def test_sort_is_sorted_and_permutation(pairs):
+    bat = bat_from_pairs("oid", "int", pairs)
+    result = kernel.sort(bat).to_pairs()
+    assert sorted(result) == sorted(pairs)
+    heads = [h for h, _ in result]
+    assert heads == sorted(heads)
+
+
+@given(_pairs_int)
+def test_unique_removes_exact_duplicates(pairs):
+    bat = bat_from_pairs("oid", "int", pairs)
+    result = kernel.unique(bat).to_pairs()
+    assert len(result) == len(set(pairs))
+    assert set(result) == set(pairs)
+
+
+@given(_pairs_int)
+def test_kunique_one_bun_per_head(pairs):
+    bat = bat_from_pairs("oid", "int", pairs)
+    result = kernel.kunique(bat).to_pairs()
+    heads = [h for h, _ in result]
+    assert len(heads) == len(set(heads)) == len({h for h, _ in pairs})
+    first_per_head = {}
+    for h, t in pairs:
+        first_per_head.setdefault(h, t)
+    assert dict(result) == first_per_head
+
+
+@given(_pairs_int, _pairs_int)
+def test_kunion_heads_are_union(left_pairs, right_pairs):
+    left = bat_from_pairs("oid", "int", left_pairs)
+    right = bat_from_pairs("oid", "int", right_pairs)
+    result = kernel.kunion(left, right)
+    expected_heads = {h for h, _ in left_pairs} | {h for h, _ in right_pairs}
+    assert set(result.head_list()) == expected_heads
+
+
+@given(st.lists(st.sampled_from(["x", "y", "z", "w"]), max_size=30))
+def test_group_ids_dense_and_consistent(values):
+    from repro.monet.bat import dense_bat
+
+    bat = dense_bat("str", values)
+    grouping = group(bat)
+    ids = grouping.tail_list()
+    # Same value <=> same id.
+    seen = {}
+    for value, gid in zip(values, ids):
+        assert seen.setdefault(value, gid) == gid
+    # Ids are dense, first-appearance ordered.
+    if ids:
+        assert sorted(set(ids)) == list(range(max(ids) + 1))
+        first_ids = list(dict.fromkeys(ids))
+        assert first_ids == sorted(first_ids)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+        ),
+        max_size=30,
+    )
+)
+def test_grouped_sum_matches_python(group_values):
+    from repro.monet.bat import dense_bat
+
+    groups = [g for g, _ in group_values]
+    values = [v for _, v in group_values]
+    if not group_values:
+        return
+    n_groups = max(groups) + 1
+    gb = dense_bat("oid", groups)
+    vb = dense_bat("dbl", values)
+    result = grouped_sum(vb, gb, n_groups).tail_list()
+    expected = [0.0] * n_groups
+    for g, v in group_values:
+        expected[g] += v
+    assert len(result) == n_groups
+    for got, want in zip(result, expected):
+        assert abs(got - want) < 1e-9
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=30))
+def test_group_sizes_total(values):
+    from repro.monet.bat import dense_bat
+
+    grouping = group(dense_bat("str", values))
+    sizes = group_sizes(grouping).tail_list()
+    assert sum(sizes) == len(values)

@@ -1,0 +1,199 @@
+"""MIL front-end: lexer, parser, interpreter."""
+
+import pytest
+
+from repro.monet.bat import bat_from_pairs, dense_bat
+from repro.monet.bbp import BATBufferPool
+from repro.monet.errors import MILRuntimeError, MILSyntaxError
+from repro.monet.mil import parse_program, run_program, tokenize
+from repro.monet.mil.ast import unparse
+from repro.monet.mil.parser import parse_expression
+
+
+class TestLexer:
+    def test_assignment_tokens(self):
+        kinds = [t.kind for t in tokenize("x := 1;")]
+        assert kinds == ["IDENT", "ASSIGN", "INT", "SEMI", "EOF"]
+
+    def test_float_and_int(self):
+        tokens = tokenize("1 2.5 3e2 4.5e-1")
+        assert [t.kind for t in tokens[:-1]] == ["INT", "FLT", "FLT", "FLT"]
+
+    def test_string_with_escapes(self):
+        tokens = tokenize(r'"a\"b\n"')
+        assert tokens[0].value == 'a"b\n'
+
+    def test_unterminated_string(self):
+        with pytest.raises(MILSyntaxError):
+            tokenize('"abc')
+
+    def test_multiplex_token(self):
+        tokens = tokenize("[+](a, b)")
+        assert tokens[0].kind == "MULTIPLEX" and tokens[0].value == "+"
+
+    def test_pump_token(self):
+        tokens = tokenize("{sum}(v, g)")
+        assert tokens[0].kind == "PUMP" and tokens[0].value == "sum"
+
+    def test_unterminated_multiplex(self):
+        with pytest.raises(MILSyntaxError):
+            tokenize("[+")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x # comment\n y")
+        assert [t.value for t in tokens[:-1]] == ["x", "y"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(MILSyntaxError):
+            tokenize("x @ y")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+class TestParser:
+    def test_method_chain(self):
+        expr = parse_expression("b.select(3).reverse.mark(oid(0))")
+        assert unparse(expr) == "b.select(3).reverse().mark(oid(0))"
+
+    def test_function_call(self):
+        expr = parse_expression("join(a, b)")
+        assert unparse(expr) == "join(a, b)"
+
+    def test_multiplex_expression(self):
+        expr = parse_expression("[*]([+](a, 1), 2.0)")
+        assert unparse(expr) == "[*]([+](a, 1), 2.0)"
+
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert unparse(expr) == "(1 + (2 * 3))"
+
+    def test_comparison(self):
+        expr = parse_expression("a >= 2")
+        assert unparse(expr) == "(a >= 2)"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x")
+        assert unparse(expr) == "neg(x)"
+
+    def test_literals(self):
+        assert unparse(parse_expression("true")) == "true"
+        assert unparse(parse_expression('"hi"')) == '"hi"'
+        assert unparse(parse_expression("nil")) == "nil"
+
+    def test_program_statements(self):
+        program = parse_program("x := 1;\ny := x;\n")
+        assert len(program.statements) == 2
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MILSyntaxError):
+            parse_program("x := 1")
+
+    def test_garbage(self):
+        with pytest.raises(MILSyntaxError):
+            parse_program("x := := 1;")
+
+
+class TestInterpreter:
+    def _pool(self):
+        pool = BATBufferPool()
+        pool.register("nums", dense_bat("int", [4, 8, 15, 16, 23, 42]))
+        pool.register(
+            "names", bat_from_pairs("oid", "str", [(0, "a"), (1, "b")])
+        )
+        return pool
+
+    def test_assignment_and_result(self):
+        result = run_program("x := 2; y := x + 3; y;")
+        assert result.value == 5
+        assert result.env["x"] == 2
+
+    def test_bat_lookup_and_select(self):
+        result = run_program('bat("nums").select(10, 30);', self._pool())
+        assert result.value.tail_list() == [15, 16, 23]
+
+    def test_method_chain_execution(self):
+        result = run_program(
+            'bat("nums").select(10, 30).mark(oid(5)).reverse;', self._pool()
+        )
+        assert result.value.head_list() == [5, 6, 7]
+
+    def test_scalar_builtins(self):
+        result = run_program("x := log(exp(2.0)); x;")
+        assert result.value == pytest.approx(2.0)
+
+    def test_multiplex_execution(self):
+        result = run_program('[+](bat("nums"), 1);', self._pool())
+        assert result.value.tail_list() == [5, 9, 16, 17, 24, 43]
+
+    def test_pump_execution(self):
+        pool = BATBufferPool()
+        pool.register("v", dense_bat("dbl", [1.0, 2.0, 3.0]))
+        pool.register("g", dense_bat("oid", [0, 1, 0]))
+        result = run_program('{sum}(bat("v"), bat("g"));', pool)
+        assert result.value.tail_list() == [4.0, 2.0]
+
+    def test_pump_with_explicit_groups(self):
+        pool = BATBufferPool()
+        pool.register("v", dense_bat("dbl", [1.0]))
+        pool.register("g", dense_bat("oid", [0]))
+        result = run_program('{sum}(bat("v"), bat("g"), 3);', pool)
+        assert result.value.tail_list() == [1.0, 0.0, 0.0]
+
+    def test_print_captured(self):
+        result = run_program("print(42);")
+        assert result.printed == ["42"]
+
+    def test_print_bat_rendering(self):
+        result = run_program('print(bat("names"));', self._pool())
+        assert "a" in result.printed[0] and "#2" in result.printed[0]
+
+    def test_persists(self):
+        pool = self._pool()
+        run_program('persists("copy", bat("nums").select(42));', pool)
+        assert pool.lookup("copy").tail_list() == [42]
+
+    def test_unpersists(self):
+        pool = self._pool()
+        run_program('unpersists("nums");', pool)
+        assert not pool.exists("nums")
+
+    def test_env_bindings(self):
+        result = run_program("q;", env={"q": 7})
+        assert result.value == 7
+
+    def test_undefined_variable(self):
+        with pytest.raises(MILRuntimeError, match="undefined variable"):
+            run_program("mystery;")
+
+    def test_unknown_function(self):
+        with pytest.raises(MILRuntimeError, match="unknown MIL operation"):
+            run_program("frobnicate(1);")
+
+    def test_infix_on_bats_rejected(self):
+        with pytest.raises(MILRuntimeError, match="multiplexed"):
+            run_program('bat("nums") + 1;', self._pool())
+
+    def test_operator_stats_collected(self):
+        result = run_program(
+            'x := bat("nums").select(10, 30); y := x.reverse; count(x);',
+            self._pool(),
+        )
+        assert result.stats["select"] == 1
+        assert result.stats["reverse"] == 1
+        assert result.stats["count"] == 1
+
+    def test_new_and_insert(self):
+        result = run_program(
+            'b := new("oid", "str"); b := insert(b, oid(0), "x"); b;'
+        )
+        assert result.value.to_pairs() == [(0, "x")]
+
+    def test_const(self):
+        result = run_program('const(bat("nums"), "dbl", 0.5);', self._pool())
+        assert result.value.tail_list() == [0.5] * 6
+
+    def test_topn(self):
+        result = run_program('bat("nums").topn(2);', self._pool())
+        assert result.value.tail_list() == [42, 23]

@@ -1,0 +1,165 @@
+"""Multiplexed ([op]) and scalar operator tables."""
+
+import numpy as np
+import pytest
+
+from repro.monet.bat import dense_bat
+from repro.monet.errors import KernelError
+from repro.monet.multiplex import multiplex, scalar_op
+
+
+class TestArithmetic:
+    def test_add_two_bats(self):
+        a = dense_bat("int", [1, 2, 3])
+        b = dense_bat("int", [10, 20, 30])
+        assert multiplex("+", a, b).tail_list() == [11, 22, 33]
+
+    def test_add_scalar_broadcast(self):
+        a = dense_bat("int", [1, 2])
+        assert multiplex("+", a, 100).tail_list() == [101, 102]
+
+    def test_scalar_first_operand(self):
+        a = dense_bat("dbl", [1.0, 2.0])
+        assert multiplex("-", 10.0, a).tail_list() == [9.0, 8.0]
+
+    def test_mul(self):
+        a = dense_bat("dbl", [1.5, 2.0])
+        assert multiplex("*", a, 2.0).tail_list() == [3.0, 4.0]
+
+    def test_div_promotes_to_dbl(self):
+        a = dense_bat("int", [7, 8])
+        result = multiplex("/", a, 2)
+        assert result.ttype == "dbl"
+        assert result.tail_list() == [3.5, 4.0]
+
+    def test_spelled_aliases(self):
+        a = dense_bat("int", [4])
+        assert multiplex("add", a, 1).tail_list() == [5]
+        assert multiplex("mul", a, 2).tail_list() == [8]
+
+    def test_min_max(self):
+        a = dense_bat("int", [1, 9])
+        b = dense_bat("int", [5, 5])
+        assert multiplex("min", a, b).tail_list() == [1, 5]
+        assert multiplex("max", a, b).tail_list() == [5, 9]
+
+    def test_pow(self):
+        a = dense_bat("dbl", [2.0, 3.0])
+        assert multiplex("pow", a, 2.0).tail_list() == [4.0, 9.0]
+
+
+class TestUnary:
+    def test_log(self):
+        a = dense_bat("dbl", [1.0, np.e])
+        result = multiplex("log", a).tail_list()
+        assert result[0] == pytest.approx(0.0)
+        assert result[1] == pytest.approx(1.0)
+
+    def test_exp_sqrt(self):
+        a = dense_bat("dbl", [0.0, 4.0])
+        assert multiplex("exp", a).tail_list()[0] == pytest.approx(1.0)
+        assert multiplex("sqrt", a).tail_list()[1] == pytest.approx(2.0)
+
+    def test_abs_neg(self):
+        a = dense_bat("int", [-3, 4])
+        assert multiplex("abs", a).tail_list() == [3, 4]
+        assert multiplex("neg", a).tail_list() == [3, -4]
+
+    def test_not(self):
+        a = dense_bat("bit", [True, False])
+        assert multiplex("not", a).tail_list() == [False, True]
+
+    def test_dbl_cast(self):
+        a = dense_bat("int", [1, 2])
+        result = multiplex("dbl", a)
+        assert result.ttype == "dbl"
+        assert result.tail_list() == [1.0, 2.0]
+
+
+class TestComparison:
+    def test_eq_numeric(self):
+        a = dense_bat("int", [1, 2, 1])
+        result = multiplex("=", a, 1)
+        assert result.ttype == "bit"
+        assert result.tail_list() == [True, False, True]
+
+    def test_eq_strings(self):
+        a = dense_bat("str", ["x", "y"])
+        assert multiplex("=", a, "x").tail_list() == [True, False]
+
+    def test_ne(self):
+        a = dense_bat("int", [1, 2])
+        assert multiplex("!=", a, 1).tail_list() == [False, True]
+
+    def test_ordering(self):
+        a = dense_bat("int", [1, 5, 10])
+        assert multiplex("<", a, 5).tail_list() == [True, False, False]
+        assert multiplex("<=", a, 5).tail_list() == [True, True, False]
+        assert multiplex(">", a, 5).tail_list() == [False, False, True]
+        assert multiplex(">=", a, 5).tail_list() == [False, True, True]
+
+    def test_and_or(self):
+        a = dense_bat("bit", [True, True, False])
+        b = dense_bat("bit", [True, False, False])
+        assert multiplex("and", a, b).tail_list() == [True, False, False]
+        assert multiplex("or", a, b).tail_list() == [True, True, False]
+
+    def test_ifthenelse(self):
+        cond = dense_bat("bit", [True, False])
+        assert multiplex("ifthenelse", cond, 1, 2).tail_list() == [1, 2]
+
+
+class TestErrors:
+    def test_needs_a_bat(self):
+        with pytest.raises(KernelError):
+            multiplex("+", 1, 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(KernelError):
+            multiplex("+", dense_bat("int", [1]), dense_bat("int", [1, 2]))
+
+    def test_unknown_op(self):
+        with pytest.raises(KernelError):
+            multiplex("frobnicate", dense_bat("int", [1]))
+
+    def test_wrong_arity(self):
+        with pytest.raises(KernelError):
+            multiplex("log", dense_bat("int", [1]), dense_bat("int", [2]))
+
+    def test_arithmetic_on_strings_rejected(self):
+        with pytest.raises(KernelError):
+            multiplex("+", dense_bat("str", ["a"]), 1)
+
+    def test_misaligned_void_heads(self):
+        from repro.monet.bat import BAT, Column, VoidColumn
+
+        a = BAT(VoidColumn(0, 2), Column("int", np.array([1, 2])))
+        b = BAT(VoidColumn(9, 2), Column("int", np.array([3, 4])))
+        with pytest.raises(KernelError):
+            multiplex("+", a, b)
+
+
+class TestScalarOps:
+    def test_arithmetic(self):
+        assert scalar_op("+", 1, 2) == 3
+        assert scalar_op("/", 7, 2) == 3.5
+
+    def test_comparison(self):
+        assert scalar_op("=", 1, 1) is True
+        assert scalar_op("!=", 1, 1) is False
+        assert scalar_op("<", 1, 2) is True
+
+    def test_string_equality(self):
+        assert scalar_op("=", "a", "a") is True
+        assert scalar_op("=", "a", "b") is False
+
+    def test_unary(self):
+        assert scalar_op("log", 1.0) == pytest.approx(0.0)
+        assert scalar_op("neg", 5) == -5
+
+    def test_ifthenelse(self):
+        assert scalar_op("ifthenelse", True, "yes", "no") == "yes"
+
+    def test_unknown(self):
+        with pytest.raises(KernelError):
+            scalar_op("mystery", 1)

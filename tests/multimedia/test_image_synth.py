@@ -1,0 +1,148 @@
+"""Image type, PPM I/O, scene generation, web robot."""
+
+import numpy as np
+import pytest
+
+from repro.multimedia.image import Image
+from repro.multimedia.synth import (
+    SCENE_CLASSES,
+    annotate_scene,
+    class_names,
+    generate_scene,
+)
+from repro.multimedia.webrobot import WebRobot
+
+
+class TestImage:
+    def _img(self):
+        rng = np.random.default_rng(0)
+        return Image(rng.integers(0, 255, size=(16, 24, 3), dtype=np.uint8))
+
+    def test_shape(self):
+        img = self._img()
+        assert img.height == 16 and img.width == 24
+        assert img.shape == (16, 24)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros((4, 4)))
+
+    def test_float_input_clipped(self):
+        img = Image(np.full((2, 2, 3), 300.0))
+        assert img.pixels.max() == 255
+
+    def test_crop(self):
+        img = self._img()
+        crop = img.crop(2, 3, 10, 13)
+        assert crop.shape == (8, 10)
+        assert np.array_equal(crop.pixels, img.pixels[2:10, 3:13])
+
+    def test_crop_bounds_checked(self):
+        with pytest.raises(ValueError):
+            self._img().crop(0, 0, 99, 99)
+
+    def test_grayscale_range(self):
+        gray = self._img().grayscale()
+        assert gray.shape == (16, 24)
+        assert gray.min() >= 0 and gray.max() <= 255
+
+    def test_mean_color(self):
+        img = Image(np.full((4, 4, 3), 100, dtype=np.uint8))
+        assert np.allclose(img.mean_color(), [100, 100, 100])
+
+    def test_ppm_roundtrip(self):
+        img = self._img()
+        assert Image.from_ppm(img.to_ppm()) == img
+
+    def test_ppm_with_comment(self):
+        img = Image(np.zeros((2, 2, 3), dtype=np.uint8))
+        data = img.to_ppm()
+        commented = data.replace(b"P6\n", b"P6\n# a comment\n", 1)
+        assert Image.from_ppm(commented) == img
+
+    def test_ppm_bad_magic(self):
+        with pytest.raises(ValueError):
+            Image.from_ppm(b"P3\n1 1\n255\n...")
+
+    def test_ppm_truncated(self):
+        img = self._img()
+        with pytest.raises(ValueError, match="truncated"):
+            Image.from_ppm(img.to_ppm()[:-10])
+
+
+class TestSceneGeneration:
+    def test_all_classes_render(self):
+        for name in class_names():
+            img = generate_scene(name, rng=np.random.default_rng(1))
+            assert img.shape == (64, 64)
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            generate_scene("volcano")
+
+    def test_deterministic_with_seed(self):
+        a = generate_scene("forest", rng=np.random.default_rng(5))
+        b = generate_scene("forest", rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_custom_size(self):
+        img = generate_scene("ocean", rng=np.random.default_rng(1), size=(32, 48))
+        assert img.shape == (32, 48)
+
+    def test_classes_are_visually_distinct(self):
+        rng = np.random.default_rng(2)
+        sunset = generate_scene("sunset_beach", rng=rng)
+        night = generate_scene("city_night", rng=rng)
+        # Night scenes are much darker.
+        assert night.grayscale().mean() < sunset.grayscale().mean() - 40
+
+    def test_annotation_uses_class_vocabulary(self):
+        text = annotate_scene("forest", np.random.default_rng(3))
+        words = set(text.split())
+        assert words & set(SCENE_CLASSES["forest"].vocabulary)
+
+
+class TestWebRobot:
+    def test_crawl_count(self):
+        items = WebRobot(seed=1).crawl(10)
+        assert len(items) == 10
+
+    def test_urls_unique(self):
+        items = WebRobot(seed=1).crawl(12)
+        assert len({i.url for i in items}) == 12
+
+    def test_classes_balanced_round_robin(self):
+        robot = WebRobot(seed=1, classes=["forest", "ocean"])
+        items = robot.crawl(6)
+        assert [i.true_class for i in items] == [
+            "forest", "ocean", "forest", "ocean", "forest", "ocean",
+        ]
+
+    def test_deterministic(self):
+        a = WebRobot(seed=9).crawl(5)
+        b = WebRobot(seed=9).crawl(5)
+        assert all(x.image == y.image for x, y in zip(a, b))
+        assert [x.annotation for x in a] == [y.annotation for y in b]
+
+    def test_annotated_fraction_zero(self):
+        items = WebRobot(seed=1, annotated_fraction=0.0).crawl(8)
+        assert all(i.annotation is None for i in items)
+        assert not any(i.annotated for i in items)
+
+    def test_annotated_fraction_one(self):
+        items = WebRobot(seed=1, annotated_fraction=1.0).crawl(8)
+        assert all(i.annotated for i in items)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            WebRobot(annotated_fraction=1.5)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            WebRobot(classes=["atlantis"])
+
+    def test_stream_matches_crawl(self):
+        robot = WebRobot(seed=4)
+        assert [i.url for i in robot.stream(3)] == [
+            i.url for i in robot.crawl(3)
+        ]

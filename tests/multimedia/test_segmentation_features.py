@@ -1,0 +1,183 @@
+"""Segmentation and the six feature extractors."""
+
+import numpy as np
+import pytest
+
+from repro.multimedia.features import FEATURE_EXTRACTORS
+from repro.multimedia.features.color import hsv_histogram, rgb_histogram, rgb_to_hsv
+from repro.multimedia.features.texture import (
+    autocorrelation_features,
+    gabor_features,
+    gabor_kernel,
+    glcm_features,
+    glcm_matrix,
+    laws_features,
+)
+from repro.multimedia.image import Image
+from repro.multimedia.segmentation import grid_segment, region_merge_segment
+from repro.multimedia.synth import generate_scene
+
+
+@pytest.fixture
+def scene():
+    return generate_scene("sunset_beach", rng=np.random.default_rng(0))
+
+
+class TestGridSegmentation:
+    def test_cell_count(self, scene):
+        assert len(grid_segment(scene, 2, 2)) == 4
+        assert len(grid_segment(scene, 3, 4)) == 12
+
+    def test_covers_whole_image(self, scene):
+        segments = grid_segment(scene, 2, 2)
+        assert sum(s.area for s in segments) == 64 * 64
+
+    def test_bboxes_disjoint(self, scene):
+        segments = grid_segment(scene, 2, 2)
+        boxes = [s.bbox for s in segments]
+        assert len(set(boxes)) == len(boxes)
+
+    def test_single_cell(self, scene):
+        segments = grid_segment(scene, 1, 1)
+        assert len(segments) == 1
+        assert segments[0].bbox == (0, 0, 64, 64)
+
+    def test_invalid_grid(self, scene):
+        with pytest.raises(ValueError):
+            grid_segment(scene, 0, 2)
+
+    def test_segment_pixels_match_bbox(self, scene):
+        segment = grid_segment(scene, 2, 2)[0]
+        top, left, bottom, right = segment.bbox
+        assert segment.image.shape == (bottom - top, right - left)
+
+
+class TestRegionMerge:
+    def test_produces_segments(self, scene):
+        segments = region_merge_segment(scene)
+        assert len(segments) >= 2
+
+    def test_uniform_image_one_region(self):
+        img = Image(np.full((32, 32, 3), 128, dtype=np.uint8))
+        segments = region_merge_segment(img)
+        assert len(segments) == 1
+        assert segments[0].bbox == (0, 0, 32, 32)
+
+    def test_two_tone_image_two_regions(self):
+        pixels = np.zeros((32, 32, 3), dtype=np.uint8)
+        pixels[:, 16:] = 255
+        segments = region_merge_segment(Image(pixels))
+        assert len(segments) == 2
+
+    def test_deterministic(self, scene):
+        a = [s.bbox for s in region_merge_segment(scene)]
+        b = [s.bbox for s in region_merge_segment(scene)]
+        assert a == b
+
+
+class TestColorFeatures:
+    def test_rgb_histogram_sums_to_one(self, scene):
+        hist = rgb_histogram(scene)
+        assert hist.sum() == pytest.approx(1.0)
+        assert len(hist) == 64
+
+    def test_rgb_histogram_uniform_image(self):
+        img = Image(np.zeros((8, 8, 3), dtype=np.uint8))
+        hist = rgb_histogram(img, bins=2)
+        assert hist[0] == 1.0
+
+    def test_rgb_bins_validated(self, scene):
+        with pytest.raises(ValueError):
+            rgb_histogram(scene, bins=0)
+
+    def test_hsv_histogram_sums_to_one(self, scene):
+        hist = hsv_histogram(scene)
+        assert hist.sum() == pytest.approx(1.0)
+        assert len(hist) == 8 * 3 * 3
+
+    def test_rgb_to_hsv_known_values(self):
+        pixels = np.array(
+            [[255, 0, 0], [0, 255, 0], [0, 0, 255], [255, 255, 255]],
+            dtype=np.uint8,
+        )
+        hsv = rgb_to_hsv(pixels)
+        assert hsv[0, 0] == pytest.approx(0.0)        # red hue
+        assert hsv[1, 0] == pytest.approx(1 / 3)      # green hue
+        assert hsv[2, 0] == pytest.approx(2 / 3)      # blue hue
+        assert hsv[3, 1] == pytest.approx(0.0)        # white: no saturation
+        assert np.all(hsv[:, 2] == 1.0)               # all full value
+
+    def test_color_separates_scene_classes(self):
+        rng = np.random.default_rng(1)
+        sunset = rgb_histogram(generate_scene("sunset_beach", rng=rng))
+        forest = rgb_histogram(generate_scene("forest", rng=rng))
+        assert np.abs(sunset - forest).sum() > 0.5
+
+
+class TestTextureFeatures:
+    def test_gabor_kernel_zero_mean(self):
+        kernel = gabor_kernel(0.2, 0.0)
+        assert abs(kernel.mean()) < 1e-12
+
+    def test_gabor_dimensionality(self, scene):
+        features = gabor_features(scene)
+        assert len(features) == 12  # 3 freq x 4 orientations
+
+    def test_gabor_distinguishes_orientation(self):
+        # Horizontal vs vertical gratings must differ in feature space.
+        ys, xs = np.mgrid[0:32, 0:32]
+        horizontal = Image(
+            np.repeat(
+                (127 + 120 * np.sin(ys * 1.2))[:, :, None], 3, axis=2
+            )
+        )
+        vertical = Image(
+            np.repeat(
+                (127 + 120 * np.sin(xs * 1.2))[:, :, None], 3, axis=2
+            )
+        )
+        fh = gabor_features(horizontal)
+        fv = gabor_features(vertical)
+        assert np.abs(fh - fv).sum() > 0.1
+
+    def test_glcm_matrix_normalized(self, scene):
+        matrix = glcm_matrix(scene.grayscale(), 8, (0, 1))
+        assert matrix.sum() == pytest.approx(1.0)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_glcm_feature_count(self, scene):
+        assert len(glcm_features(scene)) == 20  # 5 stats x 4 offsets
+
+    def test_glcm_uniform_image_max_energy(self):
+        img = Image(np.full((16, 16, 3), 90, dtype=np.uint8))
+        features = glcm_features(img, offsets=((0, 1),))
+        contrast, energy = features[0], features[1]
+        assert contrast == pytest.approx(0.0)
+        assert energy == pytest.approx(1.0)
+
+    def test_autocorrelation_range(self, scene):
+        features = autocorrelation_features(scene)
+        assert np.all(features <= 1.0 + 1e-9)
+        assert np.all(features >= -1.0 - 1e-9)
+
+    def test_autocorrelation_flat_image(self):
+        img = Image(np.full((16, 16, 3), 50, dtype=np.uint8))
+        assert np.allclose(autocorrelation_features(img), 0.0)
+
+    def test_laws_feature_count(self, scene):
+        assert len(laws_features(scene)) == 9
+
+    def test_laws_unit_norm(self, scene):
+        features = laws_features(scene)
+        assert np.linalg.norm(features) == pytest.approx(1.0)
+
+    def test_registry_complete(self):
+        assert sorted(FEATURE_EXTRACTORS) == [
+            "autocorr", "gabor", "glcm", "hsv", "laws", "rgb",
+        ]
+
+    def test_all_extractors_produce_finite_vectors(self, scene):
+        for name, extractor in FEATURE_EXTRACTORS.items():
+            vector = extractor(scene)
+            assert np.all(np.isfinite(vector)), name
+            assert vector.ndim == 1 and len(vector) > 0, name

@@ -1,0 +1,112 @@
+"""Retrieval-effectiveness metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    average_precision,
+    interpolated_precision_curve,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    precision_at,
+    recall_at,
+    reciprocal_rank,
+)
+
+RANKED = ["a", "b", "c", "d", "e"]
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        assert precision_at(RANKED, {"a", "c"}, 2) == 0.5
+        assert precision_at(RANKED, {"a", "c"}, 3) == pytest.approx(2 / 3)
+
+    def test_precision_k_beyond_list(self):
+        assert precision_at(["a"], {"a"}, 10) == 1.0
+
+    def test_precision_zero_k(self):
+        assert precision_at(RANKED, {"a"}, 0) == 0.0
+
+    def test_precision_empty_list(self):
+        assert precision_at([], {"a"}, 5) == 0.0
+
+    def test_recall_at_k(self):
+        assert recall_at(RANKED, {"a", "e"}, 1) == 0.5
+        assert recall_at(RANKED, {"a", "e"}, 5) == 1.0
+
+    def test_recall_no_relevant(self):
+        assert recall_at(RANKED, set(), 3) == 0.0
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "b", "x"], {"a", "b"}) == 1.0
+
+    def test_worst_ranking(self):
+        ap = average_precision(["x", "y", "a"], {"a"})
+        assert ap == pytest.approx(1 / 3)
+
+    def test_missing_relevant_penalized(self):
+        ap = average_precision(["a"], {"a", "never-retrieved"})
+        assert ap == pytest.approx(0.5)
+
+    def test_no_relevant(self):
+        assert average_precision(RANKED, set()) == 0.0
+
+    def test_map(self):
+        runs = [["a", "x"], ["y", "b"]]
+        rels = [{"a"}, {"b"}]
+        assert mean_average_precision(runs, rels) == pytest.approx(0.75)
+
+    def test_map_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_average_precision([["a"]], [])
+
+    def test_map_empty(self):
+        assert mean_average_precision([], []) == 0.0
+
+    @given(
+        st.lists(st.sampled_from("abcdefgh"), unique=True, min_size=1, max_size=8),
+        st.sets(st.sampled_from("abcdefgh"), max_size=8),
+    )
+    def test_ap_in_unit_interval(self, ranked, relevant):
+        assert 0.0 <= average_precision(ranked, relevant) <= 1.0
+
+
+class TestReciprocalRank:
+    def test_first_hit(self):
+        assert reciprocal_rank(RANKED, {"a"}) == 1.0
+        assert reciprocal_rank(RANKED, {"c"}) == pytest.approx(1 / 3)
+
+    def test_no_hit(self):
+        assert reciprocal_rank(RANKED, {"z"}) == 0.0
+
+    def test_mrr(self):
+        assert mean_reciprocal_rank(
+            [["a"], ["x", "b"]], [{"a"}, {"b"}]
+        ) == pytest.approx(0.75)
+
+
+class TestCurve:
+    def test_eleven_points_monotone_nonincreasing(self):
+        curve = interpolated_precision_curve(
+            ["a", "x", "b", "y", "c"], {"a", "b", "c"}
+        )
+        assert len(curve) == 11
+        assert all(x >= y - 1e-12 for x, y in zip(curve, curve[1:]))
+
+    def test_perfect_run_is_all_ones(self):
+        curve = interpolated_precision_curve(["a", "b"], {"a", "b"})
+        assert curve == [1.0] * 11
+
+    def test_empty_relevant(self):
+        assert interpolated_precision_curve(RANKED, set()) == [0.0] * 11
+
+    @given(
+        st.lists(st.sampled_from("abcdef"), unique=True, min_size=1, max_size=6),
+        st.sets(st.sampled_from("abcdef"), min_size=1, max_size=6),
+    )
+    def test_curve_values_in_unit_interval(self, ranked, relevant):
+        curve = interpolated_precision_curve(ranked, relevant)
+        assert all(0.0 <= v <= 1.0 for v in curve)

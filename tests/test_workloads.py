@@ -1,0 +1,101 @@
+"""Workload generators (the benchmark harness's data side)."""
+
+import pytest
+
+from repro.workloads import (
+    SECTION3_QUERY,
+    SECTION5_QUERY,
+    VOCABULARY,
+    best_of,
+    build_internal_db,
+    build_text_db,
+    interpreter_data,
+    synth_annotations,
+    visual_word_rows,
+)
+
+
+class TestSynthAnnotations:
+    def test_count_and_shape(self):
+        rows = synth_annotations(10)
+        assert len(rows) == 10
+        assert all("source" in r and "annotation" in r for r in rows)
+
+    def test_deterministic(self):
+        assert synth_annotations(5, seed=3) == synth_annotations(5, seed=3)
+
+    def test_seed_changes_content(self):
+        assert synth_annotations(5, seed=1) != synth_annotations(5, seed=2)
+
+    def test_words_from_vocabulary(self):
+        rows = synth_annotations(5)
+        for row in rows:
+            assert set(row["annotation"].split()) <= set(VOCABULARY)
+
+    def test_words_per_doc(self):
+        rows = synth_annotations(3, words_per_doc=4)
+        assert all(len(r["annotation"].split()) == 4 for r in rows)
+
+    def test_urls_unique(self):
+        rows = synth_annotations(20)
+        assert len({r["source"] for r in rows}) == 20
+
+
+class TestBuildTextDb:
+    def test_loads_and_counts(self):
+        db, stats, rows = build_text_db(25)
+        assert db.count("TraditionalImgLib") == 25
+        assert stats.document_count == 25
+
+    def test_section3_query_runs(self):
+        db, stats, _ = build_text_db(25)
+        scores = db.query(
+            SECTION3_QUERY, {"query": ["sunset"], "stats": stats}
+        ).value
+        assert len(scores) == 25
+        assert any(s > 0 for s in scores)
+
+    def test_interpreter_data_aligned(self):
+        db, stats, rows = build_text_db(10)
+        data = interpreter_data(rows)
+        compiled = db.query(
+            SECTION3_QUERY, {"query": ["sunset", "sea"], "stats": stats}
+        ).value
+        interpreted = db.executor.execute_interpreted(
+            SECTION3_QUERY, data, {"query": ["sunset", "sea"], "stats": stats}
+        )
+        for a, b in zip(compiled, interpreted):
+            assert a == pytest.approx(b)
+
+
+class TestVisualWords:
+    def test_rows_shape(self):
+        rows = visual_word_rows(8, words_per_image=12)
+        assert len(rows) == 8
+        assert all(len(r["image"]) == 12 for r in rows)
+
+    def test_tokens_look_like_cluster_labels(self):
+        rows = visual_word_rows(4, clusters=5)
+        for row in rows:
+            for token in row["image"]:
+                prefix, number = token.rsplit("_", 1)
+                assert prefix in ("rgb", "hsv", "gabor", "glcm", "autocorr", "laws")
+                assert 0 <= int(number) < 5
+
+    def test_internal_db_query(self):
+        db, stats, rows = build_internal_db(12, clusters=6)
+        some_token = rows[0]["image"][0]
+        scores = db.query(
+            SECTION5_QUERY, {"query": [some_token], "stats": stats}
+        ).value
+        assert scores[0] > 0
+
+
+class TestBestOf:
+    def test_returns_positive_time(self):
+        assert best_of(lambda: sum(range(100))) > 0
+
+    def test_calls_at_least_twice(self):
+        calls = []
+        best_of(lambda: calls.append(1), repetitions=2)
+        assert len(calls) == 3  # warmup + 2 reps

@@ -1,0 +1,165 @@
+"""Co-occurrence counting and the EMIM association thesaurus."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thesaurus.assoc import AssociationThesaurus
+from repro.thesaurus.cooccurrence import CooccurrenceCounts
+
+#: (annotation words, visual words) documents: 'sunset' co-occurs with
+#: rgb_1 consistently, 'forest' with rgb_2.
+DOCS = [
+    (["sunset", "beach"], ["rgb_1", "gabor_0"]),
+    (["sunset", "sea"], ["rgb_1", "gabor_1"]),
+    (["forest", "green"], ["rgb_2", "gabor_1"]),
+    (["forest", "trees"], ["rgb_2", "gabor_0"]),
+    (["city"], ["rgb_3"]),
+]
+
+
+@pytest.fixture
+def counts():
+    return CooccurrenceCounts.from_documents(DOCS)
+
+
+@pytest.fixture
+def thesaurus(counts):
+    return AssociationThesaurus(counts)
+
+
+class TestCooccurrence:
+    def test_document_count(self, counts):
+        assert counts.document_count == 5
+
+    def test_marginals(self, counts):
+        assert counts.left_df["sunset"] == 2
+        assert counts.right_df["rgb_1"] == 2
+
+    def test_joint(self, counts):
+        assert counts.joint_count("sunset", "rgb_1") == 2
+        assert counts.joint_count("sunset", "rgb_2") == 0
+
+    def test_presence_based(self):
+        counts = CooccurrenceCounts.from_documents(
+            [(["w", "w", "w"], ["c", "c"])]
+        )
+        assert counts.left_df["w"] == 1
+        assert counts.joint_count("w", "c") == 1
+
+    def test_vocabularies_sorted(self, counts):
+        assert counts.left_vocabulary() == sorted(counts.left_vocabulary())
+
+    def test_pairs_for_left(self, counts):
+        pairs = counts.pairs_for_left("sunset")
+        assert pairs[0] == ("rgb_1", 2)
+
+    def test_incremental_add(self):
+        counts = CooccurrenceCounts()
+        counts.add_document(["a"], ["x"])
+        counts.add_document(["a"], ["y"])
+        assert counts.document_count == 2
+        assert counts.left_df["a"] == 2
+
+
+class TestEmim:
+    def test_associated_pair_scores_higher(self, thesaurus):
+        strong = thesaurus.emim("sunset", "rgb_1")
+        weak = thesaurus.emim("sunset", "rgb_2")
+        assert strong > weak
+
+    def test_score_non_negative(self, thesaurus):
+        for word in ("sunset", "forest", "city"):
+            for cluster in ("rgb_1", "rgb_2", "rgb_3"):
+                assert thesaurus.emim(word, cluster) >= 0.0
+
+    def test_unknown_terms_score_low(self, thesaurus):
+        assert thesaurus.emim("xyzzy", "rgb_1") <= thesaurus.emim(
+            "sunset", "rgb_1"
+        )
+
+    def test_empty_collection(self):
+        thesaurus = AssociationThesaurus(CooccurrenceCounts())
+        assert thesaurus.emim("a", "b") == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=3),
+                st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=3),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_emim_always_finite_nonnegative(self, documents):
+        thesaurus = AssociationThesaurus(
+            CooccurrenceCounts.from_documents(documents)
+        )
+        for word in ("a", "b", "c"):
+            for cluster in ("x", "y", "z"):
+                score = thesaurus.emim(word, cluster)
+                assert score >= 0.0
+
+
+class TestAssociationLookup:
+    def test_associate_ranks_by_score(self, thesaurus):
+        top = thesaurus.associate("sunset", k=2)
+        assert top[0].cluster == "rgb_1"
+
+    def test_associate_k_limits(self, thesaurus):
+        assert len(thesaurus.associate("sunset", k=1)) == 1
+
+    def test_associate_unknown_word_empty(self, thesaurus):
+        assert thesaurus.associate("xyzzy") == []
+
+    def test_expand_returns_clusters(self, thesaurus):
+        clusters = thesaurus.expand(["sunset"], per_word=2)
+        assert "rgb_1" in clusters
+
+    def test_expand_duplicates_weight(self, thesaurus):
+        # Two words both associated with rgb_2 -> appears twice.
+        clusters = thesaurus.expand(["forest", "trees"], per_word=2)
+        assert clusters.count("rgb_2") == 2
+
+    def test_expand_empty_query(self, thesaurus):
+        assert thesaurus.expand([]) == []
+
+    def test_entries_sorted_by_score(self, thesaurus):
+        entries = thesaurus.entries()
+        scores = [e.score for e in entries]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestFeedbackAdaptation:
+    def test_reinforce_strengthens(self, thesaurus):
+        before = thesaurus.association_score("sunset", "gabor_0")
+        thesaurus.reinforce("sunset", "gabor_0", 2.0)
+        assert thesaurus.association_score("sunset", "gabor_0") == pytest.approx(
+            2 * before
+        )
+
+    def test_weaken(self, thesaurus):
+        before = thesaurus.association_score("sunset", "rgb_1")
+        thesaurus.reinforce("sunset", "rgb_1", 0.5)
+        assert thesaurus.association_score("sunset", "rgb_1") < before
+
+    def test_reinforcement_compounds(self, thesaurus):
+        thesaurus.reinforce("sunset", "rgb_1", 2.0)
+        thesaurus.reinforce("sunset", "rgb_1", 3.0)
+        assert thesaurus.adjustment("sunset", "rgb_1") == pytest.approx(6.0)
+
+    def test_negative_factor_rejected(self, thesaurus):
+        with pytest.raises(ValueError):
+            thesaurus.reinforce("sunset", "rgb_1", -1.0)
+
+    def test_reinforcement_changes_ranking(self, thesaurus):
+        # Weaken the top association until another overtakes it.
+        thesaurus.reinforce("sunset", "rgb_1", 0.01)
+        top = thesaurus.associate("sunset", k=1)
+        assert top[0].cluster != "rgb_1"
+
+    def test_adjustment_does_not_leak_across_pairs(self, thesaurus):
+        thesaurus.reinforce("sunset", "rgb_1", 5.0)
+        assert thesaurus.adjustment("forest", "rgb_1") == 1.0
