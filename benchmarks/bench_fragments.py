@@ -1,0 +1,169 @@
+"""E11 -- fragmented vs monolithic kernel execution.
+
+Measures the hot operators of the fragmented BAT subsystem
+(:mod:`repro.monet.fragments`) against their monolithic counterparts:
+select (equality + range), join (value probe against a shared build
+side), and IR posting-list scoring, at 10^5 .. 10^7 BUNs.
+
+Standalone report:  python benchmarks/bench_fragments.py
+Fast smoke mode:    BENCH_FAST=1 python benchmarks/bench_fragments.py
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.ir.index import InvertedIndex
+from repro.monet import fragments as fr
+from repro.monet import kernel
+from repro.monet.bat import BAT, Column, VoidColumn
+from repro.monet.fragments import FragmentationPolicy, fragment_bat
+
+FAST = bool(os.environ.get("BENCH_FAST"))
+N = 100_000 if not FAST else 20_000
+WORKERS = max(2, os.cpu_count() or 1)
+
+
+def _policy(n):
+    """One fragment per two worker slots, floored at the default size:
+    keeps per-fragment dispatch overhead negligible relative to the
+    numpy work while still saturating the shared pool (>= 2 threads)."""
+    return FragmentationPolicy(target_size=max(65536, -(-n // (2 * WORKERS))))
+
+
+def _int_bat(n, *, distinct=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    return BAT(VoidColumn(0, n), Column("int", rng.integers(0, distinct, n)))
+
+
+def _join_sides(n, *, seed=2):
+    rng = np.random.default_rng(seed)
+    left = BAT(VoidColumn(0, n), Column("oid", rng.integers(0, n // 2, n)))
+    right = BAT(
+        Column("oid", rng.permutation(n // 2).astype(np.int64)),
+        Column("dbl", rng.random(n // 2)),
+        hkey=True,
+    )
+    return left, right
+
+
+def _index(n_docs, postings_per_doc, *, seed=3):
+    rng = np.random.default_rng(seed)
+    vocabulary = [f"term{i}" for i in range(500)]
+    documents = []
+    for _ in range(n_docs):
+        terms = rng.choice(len(vocabulary), size=postings_per_doc, replace=False)
+        documents.append({vocabulary[t]: int(rng.integers(1, 6)) for t in terms})
+    return documents
+
+
+@pytest.fixture(scope="module")
+def ints():
+    return _int_bat(N)
+
+
+@pytest.fixture(scope="module")
+def ints_fragmented(ints):
+    return fragment_bat(ints, _policy(N))
+
+
+@pytest.fixture(scope="module")
+def join_sides():
+    return _join_sides(N)
+
+
+@pytest.fixture(scope="module")
+def left_fragmented(join_sides):
+    left, _ = join_sides
+    return fragment_bat(left, _policy(N))
+
+
+def test_select_monolithic(benchmark, ints):
+    result = benchmark(kernel.select, ints, 100, 200)
+    assert len(result) > 0
+
+
+def test_select_fragmented(benchmark, ints_fragmented):
+    result = benchmark(fr.select, ints_fragmented, 100, 200)
+    assert len(result) > 0
+
+
+def test_join_monolithic(benchmark, join_sides):
+    left, right = join_sides
+    result = benchmark(kernel.join, left, right)
+    assert len(result) == N
+
+
+def test_join_fragmented(benchmark, left_fragmented, join_sides):
+    _, right = join_sides
+    result = benchmark(fr.join, left_fragmented, right)
+    assert len(result) == N
+
+
+def report():
+    import time
+
+    sizes = [10**4, 10**5] if FAST else [10**5, 10**6, 10**7]
+    print(f"E11: monolithic vs fragmented execution (workers={WORKERS})")
+    print(f"{'n':>12}  {'operator':<18}{'mono ms':>10}{'frag ms':>10}{'ratio':>8}")
+
+    def timed(fn, repeats):
+        fn()  # warm-up (also pays one-time fragmentation/coalesce costs)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best * 1000
+
+    for n in sizes:
+        repeats = 2 if n >= 10**7 else 5
+        policy = _policy(n)
+        ints = _int_bat(n)
+        fints = fragment_bat(ints, policy)
+        left, right = _join_sides(n)
+        fleft = fragment_bat(left, policy)
+        cases = [
+            (
+                "select(=)",
+                lambda: kernel.select(ints, 7),
+                lambda: fr.select(fints, 7),
+            ),
+            (
+                "select(range)",
+                lambda: kernel.select(ints, 100, 200),
+                lambda: fr.select(fints, 100, 200),
+            ),
+            (
+                "join",
+                lambda: kernel.join(left, right),
+                lambda: fr.join(fleft, right),
+            ),
+        ]
+        for name, mono, frag in cases:
+            mono_ms = timed(mono, repeats)
+            frag_ms = timed(frag, repeats)
+            ratio = frag_ms / mono_ms if mono_ms else float("inf")
+            print(f"{n:>12,}  {name:<18}{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}")
+
+        # IR scoring: postings scale with documents.
+        n_docs = max(100, n // 100)
+        index = InvertedIndex(_index(n_docs, 20))
+        query = ["term1", "term42", "term123", "term400"]
+        mono_ms = timed(lambda: index.score_sum(query), repeats)
+        frag_ms = timed(
+            lambda: index.score_sum_parallel(
+                query, fragment_size=_policy(index.posting_count).target_size
+            ),
+            repeats,
+        )
+        ratio = frag_ms / mono_ms if mono_ms else float("inf")
+        print(
+            f"{index.posting_count:>12,}  {'ir-score':<18}"
+            f"{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
+        )
+
+
+if __name__ == "__main__":
+    report()

@@ -5,7 +5,10 @@ doing whole-column work; this bench pins the per-operator costs that
 every other experiment builds on.
 
 Standalone report:  python benchmarks/bench_kernel.py
+Fast smoke mode:    BENCH_FAST=1 python benchmarks/bench_kernel.py
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -16,7 +19,7 @@ from repro.monet.bat import BAT, Column, VoidColumn
 from repro.monet.groups import group
 from repro.monet.multiplex import multiplex
 
-N = 100_000
+N = 20_000 if os.environ.get("BENCH_FAST") else 100_000
 
 
 def _int_bat(n, *, distinct=1000, seed=0):

@@ -30,20 +30,45 @@ from repro.moa.executor import MoaExecutor, QueryResult
 from repro.moa.mapping import (
     attribute_bat_names,
     collection_count,
-    load_collection,
     reconstruct_collection,
 )
 from repro.moa.types import MoaType
 from repro.monet.bbp import BATBufferPool
+from repro.monet.fragments import FragmentationPolicy
 
 
 class MirrorDBMS:
-    """Schema + buffer pool + executor, with persistence."""
+    """Schema + buffer pool + executor, with persistence.
 
-    def __init__(self, pool: Optional[BATBufferPool] = None):
+    ``fragment_threshold`` turns on transparent horizontal
+    fragmentation: attribute BATs loaded with at least that many BUNs
+    are stored as fragments (see :mod:`repro.monet.fragments`), which
+    downstream fragment-aware operators exploit for parallelism.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[BATBufferPool] = None,
+        *,
+        fragment_threshold: Optional[int] = None,
+        fragment_policy: Optional[FragmentationPolicy] = None,
+    ):
         self.pool = pool if pool is not None else BATBufferPool()
         self.schema: Dict[str, MoaType] = {}
-        self._executor = MoaExecutor(self.pool, self.schema)
+        self._executor = MoaExecutor(
+            self.pool,
+            self.schema,
+            fragment_threshold=fragment_threshold,
+            fragment_policy=fragment_policy,
+        )
+
+    @property
+    def fragment_threshold(self) -> Optional[int]:
+        return self._executor.fragment_threshold
+
+    @fragment_threshold.setter
+    def fragment_threshold(self, value: Optional[int]) -> None:
+        self._executor.fragment_threshold = value
 
     # ------------------------------------------------------------------
     # DDL
@@ -81,13 +106,13 @@ class MirrorDBMS:
         if self.pool.exists(f"{name}.__extent__"):
             existing = reconstruct_collection(self.pool, name, ty)
         combined = existing + list(values)
-        load_collection(self.pool, name, ty, combined)
+        self._executor.load(name, ty, combined)
         return len(combined)
 
     def replace(self, name: str, values: Sequence[Any]) -> int:
         """Replace the contents of collection *name* entirely."""
         ty = self.collection_type(name)
-        load_collection(self.pool, name, ty, list(values))
+        self._executor.load(name, ty, list(values))
         return len(values)
 
     def delete(self, name: str, predicate: str) -> int:

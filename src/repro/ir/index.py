@@ -24,6 +24,7 @@ from repro.ir.beliefs import BeliefParameters, DEFAULT_PARAMETERS, beliefs_array
 from repro.ir.stats import CollectionStats
 from repro.monet.bat import BAT, Column, VoidColumn, dense_bat
 from repro.monet.bbp import BATBufferPool
+from repro.monet.fragments import DEFAULT_FRAGMENT_SIZE, map_fragments
 
 
 class InvertedIndex:
@@ -96,23 +97,26 @@ class InvertedIndex:
         out[docs] = values
         return out
 
-    def score_sum(
+    def _score_posting_range(
         self,
+        lo: int,
+        hi: int,
         query_terms: Sequence[str],
-        params: BeliefParameters = DEFAULT_PARAMETERS,
+        params: BeliefParameters,
     ) -> np.ndarray:
-        """Sum-of-matched-beliefs scores (the paper's ranking query):
-        vectorized equivalent of ``map[sum(THIS)](map[getBL(...)](...))``."""
+        """Per-document score vector contributed by postings [lo, hi)."""
+        terms = self._terms[lo:hi]
+        owners = self._owners[lo:hi]
+        tfs = self._tfs[lo:hi]
         scores = np.zeros(self.document_count)
         for term in query_terms:
-            mask = self._terms == term
+            mask = terms == term
             if not mask.any():
                 continue
-            docs = self._owners[mask]
-            tfs = self._tfs[mask]
+            docs = owners[mask]
             dfs = np.full(len(docs), self.stats.df(term), dtype=np.float64)
             values = beliefs_array(
-                tfs,
+                tfs[mask],
                 self._lengths[docs],
                 dfs,
                 self.stats.document_count,
@@ -121,6 +125,46 @@ class InvertedIndex:
             )
             np.add.at(scores, docs, values)
         return scores
+
+    def score_sum(
+        self,
+        query_terms: Sequence[str],
+        params: BeliefParameters = DEFAULT_PARAMETERS,
+    ) -> np.ndarray:
+        """Sum-of-matched-beliefs scores (the paper's ranking query):
+        vectorized equivalent of ``map[sum(THIS)](map[getBL(...)](...))``."""
+        return self._score_posting_range(0, self.posting_count, query_terms, params)
+
+    def score_sum_parallel(
+        self,
+        query_terms: Sequence[str],
+        params: BeliefParameters = DEFAULT_PARAMETERS,
+        *,
+        fragment_size: int = DEFAULT_FRAGMENT_SIZE,
+        workers: Optional[int] = None,
+    ) -> np.ndarray:
+        """:meth:`score_sum` over horizontal posting fragments scored in
+        parallel; partial per-document score vectors are summed.
+
+        Equivalent to :meth:`score_sum` up to floating-point addition
+        order (each posting contributes exactly once).
+        """
+        if self.posting_count == 0 or not query_terms:
+            return np.zeros(self.document_count)
+        if fragment_size < 1:
+            raise ValueError("fragment_size must be at least 1")
+        chunks = [
+            (lo, min(lo + fragment_size, self.posting_count))
+            for lo in range(0, self.posting_count, fragment_size)
+        ]
+        partials = map_fragments(
+            lambda chunk: self._score_posting_range(
+                chunk[0], chunk[1], query_terms, params
+            ),
+            chunks,
+            workers,
+        )
+        return np.sum(partials, axis=0)
 
     # ------------------------------------------------------------------
     def as_bats(self) -> Dict[str, BAT]:

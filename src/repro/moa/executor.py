@@ -48,6 +48,7 @@ from repro.moa.typecheck import typecheck
 from repro.moa.types import AtomicType, MoaType, SetType, StatsType
 from repro.monet.bat import dense_bat
 from repro.monet.bbp import BATBufferPool
+from repro.monet.fragments import FragmentationPolicy
 from repro.monet.mil import MILInterpreter
 
 
@@ -81,12 +82,40 @@ def infer_param_type(value: Any) -> MoaType:
 
 
 class MoaExecutor:
-    """Executes Moa queries against a BAT buffer pool."""
+    """Executes Moa queries against a BAT buffer pool.
 
-    def __init__(self, pool: BATBufferPool, schema: Dict[str, MoaType]):
+    ``fragment_threshold`` is the executor's physical-layout knob: when
+    set, bulk loads performed through this executor's facade (see
+    :meth:`load` and :class:`repro.core.mirror.MirrorDBMS`) register
+    attribute BATs of at least that many BUNs as horizontal fragments
+    (:mod:`repro.monet.fragments`).  Query execution is unaffected --
+    the pool coalesces transparently on lookup.
+    """
+
+    def __init__(
+        self,
+        pool: BATBufferPool,
+        schema: Dict[str, MoaType],
+        *,
+        fragment_threshold: Optional[int] = None,
+        fragment_policy: Optional[FragmentationPolicy] = None,
+    ):
         self.pool = pool
         self.schema = schema
+        self.fragment_threshold = fragment_threshold
+        self.fragment_policy = fragment_policy
         self.mil = MILInterpreter(pool)
+
+    def load(self, name: str, ty: MoaType, values: List[Any]) -> None:
+        """Load a collection under this executor's fragmentation
+        threshold (delegates to :func:`repro.moa.mapping.load_collection`)."""
+        from repro.moa.mapping import fragmentation, load_collection
+
+        if self.fragment_threshold is None:
+            load_collection(self.pool, name, ty, values)
+        else:
+            with fragmentation(self.fragment_threshold, self.fragment_policy):
+                load_collection(self.pool, name, ty, values)
 
     # ------------------------------------------------------------------
     def prepare(

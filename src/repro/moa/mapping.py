@@ -26,7 +26,9 @@ kernel mapping code unaware of IR.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Type
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -40,11 +42,67 @@ from repro.moa.types import (
 )
 from repro.monet.bat import BAT, Column, VoidColumn, column_from_values, dense_bat
 from repro.monet.bbp import BATBufferPool
+from repro.monet.fragments import FragmentationPolicy, fragment_bat
 
 EXTENT_SUFFIX = "__extent__"
 NEST_SUFFIX = "__nest__"
 VALUE_SUFFIX = "__value__"
 INDEX_SUFFIX = "__index__"
+
+# ----------------------------------------------------------------------
+# Fragmentation threshold
+# ----------------------------------------------------------------------
+
+#: Active (threshold, policy) pair.  When the threshold is set,
+#: attribute BATs with at least that many BUNs are registered
+#: fragmented (see :mod:`repro.monet.fragments`); ``None`` disables
+#: transparent fragmentation (the seed behaviour).  A ContextVar keeps
+#: the setting local to the thread/task doing the load, so concurrent
+#: executors with different thresholds cannot cross-contaminate.
+_FRAGMENTATION: ContextVar[Tuple[Optional[int], FragmentationPolicy]] = ContextVar(
+    "moa_fragmentation", default=(None, FragmentationPolicy())
+)
+
+
+def set_fragment_threshold(
+    threshold: Optional[int], policy: Optional[FragmentationPolicy] = None
+) -> Optional[int]:
+    """Set the fragmentation threshold (and optionally the policy) for
+    the current thread/context; returns the previous threshold."""
+    previous_threshold, previous_policy = _FRAGMENTATION.get()
+    _FRAGMENTATION.set((threshold, policy if policy is not None else previous_policy))
+    return previous_threshold
+
+
+def get_fragment_threshold() -> Optional[int]:
+    return _FRAGMENTATION.get()[0]
+
+
+@contextmanager
+def fragmentation(
+    threshold: Optional[int], policy: Optional[FragmentationPolicy] = None
+):
+    """Scoped fragmentation threshold: loads inside the context register
+    large attribute BATs fragmented; the previous setting is restored."""
+    previous = _FRAGMENTATION.get()
+    token = _FRAGMENTATION.set(
+        (threshold, policy if policy is not None else previous[1])
+    )
+    try:
+        yield
+    finally:
+        _FRAGMENTATION.reset(token)
+
+
+def register_attribute(pool: BATBufferPool, name: str, bat: BAT) -> None:
+    """Register an attribute BAT, fragmenting it when it crosses the
+    active threshold.  All mapper ``load`` hooks go through here so
+    fragmentation stays transparent to the logical layer."""
+    threshold, policy = _FRAGMENTATION.get()
+    if threshold is not None and len(bat) >= threshold:
+        pool.register_fragmented(name, fragment_bat(bat, policy), replace=True)
+    else:
+        pool.register(name, bat, replace=True)
 
 
 class StructureMapper:
@@ -96,7 +154,7 @@ class AtomicMapper(StructureMapper):
     """Atomic<B> attribute -> one [void, value] BAT."""
 
     def load(self, pool, prefix, ty: AtomicType, values):
-        pool.register(prefix, dense_bat(ty.atom, list(values)), replace=True)
+        register_attribute(pool, prefix, dense_bat(ty.atom, list(values)))
 
     def reconstruct(self, pool, prefix, ty: AtomicType, count):
         bat = pool.lookup(prefix)
@@ -144,19 +202,19 @@ class SetMapper(StructureMapper):
                 parents.append(parent_oid)
                 elements.append(item)
                 indexes.append(index)
-        pool.register(
-            f"{prefix}.{NEST_SUFFIX}", dense_bat("oid", parents), replace=True
+        register_attribute(
+            pool, f"{prefix}.{NEST_SUFFIX}", dense_bat("oid", parents)
         )
         if self.ordered:
-            pool.register(
-                f"{prefix}.{INDEX_SUFFIX}", dense_bat("int", indexes), replace=True
+            register_attribute(
+                pool, f"{prefix}.{INDEX_SUFFIX}", dense_bat("int", indexes)
             )
         element_ty = ty.element
         if isinstance(element_ty, AtomicType):
-            pool.register(
+            register_attribute(
+                pool,
                 f"{prefix}.{VALUE_SUFFIX}",
                 dense_bat(element_ty.atom, elements),
-                replace=True,
             )
         else:
             mapper_for(element_ty).load(pool, prefix, element_ty, elements)
@@ -234,13 +292,15 @@ def load_collection(
         tkey=True,
         tsorted=True,
     )
+    # The extent stays monolithic: it is the spine every reconstruction
+    # counts against and its tkey/tsorted flags must survive exactly.
     pool.register(f"{name}.{EXTENT_SUFFIX}", extent, replace=True)
     element_ty = ty.element
     if isinstance(element_ty, AtomicType):
-        pool.register(
+        register_attribute(
+            pool,
             f"{name}.{VALUE_SUFFIX}",
             dense_bat(element_ty.atom, values),
-            replace=True,
         )
     else:
         mapper_for(element_ty).load(pool, name, element_ty, values)

@@ -36,7 +36,7 @@ from repro.moa.compiler import (
 )
 from repro.moa.errors import MoaCompileError, MoaTypeError
 from repro.moa.functions import register_compile_hook, register_function
-from repro.moa.mapping import StructureMapper, register_mapper
+from repro.moa.mapping import StructureMapper, register_attribute, register_mapper
 from repro.moa.types import (
     AtomicType,
     MoaType,
@@ -152,10 +152,10 @@ class ContrepMapper(StructureMapper):
                 terms.append(term)
                 tfs.append(rep.terms[term])
             lengths.append(rep.length)
-        pool.register(f"{prefix}.owner", dense_bat("oid", owners), replace=True)
-        pool.register(f"{prefix}.term", dense_bat("str", terms), replace=True)
-        pool.register(f"{prefix}.tf", dense_bat("int", tfs), replace=True)
-        pool.register(f"{prefix}.doclen", dense_bat("int", lengths), replace=True)
+        register_attribute(pool, f"{prefix}.owner", dense_bat("oid", owners))
+        register_attribute(pool, f"{prefix}.term", dense_bat("str", terms))
+        register_attribute(pool, f"{prefix}.tf", dense_bat("int", tfs))
+        register_attribute(pool, f"{prefix}.doclen", dense_bat("int", lengths))
 
     def reconstruct(self, pool, prefix, ty: ContrepType, count):
         owner = pool.lookup(f"{prefix}.owner").tail_values()

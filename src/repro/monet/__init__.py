@@ -22,6 +22,25 @@ Monet extensible database system that the Mirror DBMS relies on:
   interpreter); the Moa compiler emits MIL text which this interpreter
   executes against a BBP.
 
+fragments
+---------
+
+:mod:`repro.monet.fragments` adds horizontal fragmentation on top of
+the kernel: a :class:`~repro.monet.fragments.FragmentedBAT` holds one
+logical BAT as an ordered list of horizontal fragments (range or
+round-robin split, controlled by a
+:class:`~repro.monet.fragments.FragmentationPolicy`), and the hot
+operators (``select``/``uselect``/``likeselect``, ``fetchjoin``,
+``join``, ``semijoin``/``antijoin``, ``mark``, the scalar and grouped
+aggregates) fan out over fragments on a shared thread pool -- numpy
+releases the GIL on its bulk paths -- and recombine in BUN order with
+conservatively maintained property flags.  The buffer pool registers
+and persists fragmented BATs natively (``register_fragmented`` /
+``lookup_fragments``), while plain ``lookup`` stays transparent by
+coalescing lazily; the Moa mapping layer fragments large attributes
+automatically past a configurable threshold
+(:func:`repro.moa.mapping.set_fragment_threshold`).
+
 The public surface mirrors Monet's vocabulary so that the flattening
 rules of [BWK98] translate almost verbatim.
 """
@@ -29,6 +48,11 @@ rules of [BWK98] translate almost verbatim.
 from repro.monet.atoms import NIL, AtomType, atom, coerce_value, is_nil
 from repro.monet.bat import BAT, Column, VoidColumn, bat_from_pairs, empty_bat
 from repro.monet.bbp import BATBufferPool
+from repro.monet.fragments import (
+    FragmentationPolicy,
+    FragmentedBAT,
+    fragment_bat,
+)
 from repro.monet.errors import (
     AtomError,
     BATError,
@@ -50,6 +74,9 @@ __all__ = [
     "bat_from_pairs",
     "empty_bat",
     "BATBufferPool",
+    "FragmentationPolicy",
+    "FragmentedBAT",
+    "fragment_bat",
     "MonetError",
     "AtomError",
     "BATError",

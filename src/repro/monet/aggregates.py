@@ -100,13 +100,44 @@ def _aligned_group_ids(values: BAT, grouping: BAT) -> np.ndarray:
     group_heads = grouping.head_values()
     if np.array_equal(value_heads, group_heads):
         return grouping.tail_values()
-    # General alignment: join values.head -> grouping.
-    lookup = {h: g for h, g in zip(group_heads.tolist(), grouping.tail_values().tolist())}
+    # General alignment: join values.head -> grouping (vectorized; the
+    # dict-per-element path survives only as the fallback for object
+    # heads that numpy cannot order, e.g. str mixed with None).
+    group_ids = grouping.tail_values()
+    if group_heads.dtype == np.dtype(object) or value_heads.dtype == np.dtype(object):
+        try:
+            combined = np.concatenate((group_heads, value_heads))
+            _, codes = np.unique(combined, return_inverse=True)
+        except TypeError:
+            return _aligned_group_ids_fallback(value_heads, group_heads, group_ids)
+        codes = codes.astype(np.int64).ravel()
+        group_codes = codes[: len(group_heads)]
+        value_codes = codes[len(group_heads):]
+    else:
+        group_codes = group_heads
+        value_codes = value_heads
+    order = np.argsort(group_codes, kind="stable")
+    sorted_codes = group_codes[order]
+    hi = np.searchsorted(sorted_codes, value_codes, side="right")
+    found = hi > 0
+    slot = np.where(found, hi - 1, 0)
+    found &= sorted_codes[slot] == value_codes
+    if not found.all():
+        missing = value_heads[int(np.nonzero(~found)[0][0])]
+        raise KernelError(f"pump aggregate: head {missing!r} has no group")
+    # side="right" - 1 lands on the *last* duplicate head, matching the
+    # last-wins behaviour of the historical dict-based join.
+    return group_ids[order[slot]].astype(np.int64)
+
+
+def _aligned_group_ids_fallback(
+    value_heads: np.ndarray, group_heads: np.ndarray, group_ids: np.ndarray
+) -> np.ndarray:
+    lookup = {h: g for h, g in zip(group_heads.tolist(), group_ids.tolist())}
     try:
-        ids = np.asarray([lookup[h] for h in value_heads.tolist()], dtype=np.int64)
+        return np.asarray([lookup[h] for h in value_heads.tolist()], dtype=np.int64)
     except KeyError as exc:
         raise KernelError(f"pump aggregate: head {exc.args[0]!r} has no group") from None
-    return ids
 
 
 def _n_groups(group_ids: np.ndarray, explicit: Optional[int]) -> int:
@@ -154,7 +185,8 @@ def _grouped_extreme(values, grouping, n_groups, ufunc, identity) -> BAT:
     ids = _aligned_group_ids(values, grouping)
     size = _n_groups(ids, n_groups)
     out = np.full(size, identity, dtype=np.float64)
-    ufunc.at(out, ids, values.tail_values().astype(np.float64))
+    with np.errstate(invalid="ignore"):  # NaN members poison their group
+        ufunc.at(out, ids, values.tail_values().astype(np.float64))
     out[np.isinf(out)] = np.nan  # empty group -> dbl NIL
     if values.ttype == "int":
         ints = np.where(np.isnan(out), np.iinfo(np.int64).min, out).astype(np.int64)

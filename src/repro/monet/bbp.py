@@ -5,10 +5,17 @@ a logical name; MIL programs refer to persistent BATs with ``bat("name")``.
 The Moa mapping layer stores each logical attribute under a dotted name
 such as ``ImageLibrary.annotation.tf`` (see :mod:`repro.moa.mapping`).
 
-Persistence is a directory with one ``.npz`` per BAT plus a JSON
-catalog.  It deliberately mirrors Monet's "BBP dir + heap files" layout
-at a coarse granularity: enough to round-trip a whole Mirror database
-(tested in ``tests/monet/test_bbp.py``).
+Large attributes may be registered *fragmented*
+(:class:`repro.monet.fragments.FragmentedBAT`): the pool keeps the
+fragments as the unit of storage and persistence, while :meth:`lookup`
+stays transparent by lazily coalescing to a monolithic BAT (cached).
+Fragment-aware callers use :meth:`lookup_fragments` to run the
+fragment-parallel operators of :mod:`repro.monet.fragments`.
+
+Persistence is a directory with one ``.npz`` per BAT (one per fragment
+for fragmented BATs) plus a JSON catalog.  It deliberately mirrors
+Monet's "BBP dir + heap files" layout at a coarse granularity: enough
+to round-trip a whole Mirror database.
 """
 
 from __future__ import annotations
@@ -22,13 +29,24 @@ import numpy as np
 from repro.monet.atoms import OidGenerator, atom
 from repro.monet.bat import BAT, Column, VoidColumn
 from repro.monet.errors import BBPError
+from repro.monet.fragments import (
+    DEFAULT_FRAGMENT_SIZE,
+    FragmentationPolicy,
+    FragmentedBAT,
+    fragment_bat,
+)
 
 
 class BATBufferPool:
-    """Mutable registry name -> BAT with save/load and an oid sequence."""
+    """Mutable registry name -> BAT with save/load and an oid sequence.
+
+    Names map to either a monolithic BAT or a fragmented one; the two
+    sub-catalogs share one namespace.
+    """
 
     def __init__(self):
         self._bats: Dict[str, BAT] = {}
+        self._fragmented: Dict[str, FragmentedBAT] = {}
         self.oid_generator = OidGenerator()
 
     # ------------------------------------------------------------------
@@ -38,41 +56,86 @@ class BATBufferPool:
         """Register *bat* under *name* (Monet ``persists``)."""
         if not name:
             raise BBPError("BAT name must be non-empty")
-        if name in self._bats and not replace:
+        if name in self and not replace:
             raise BBPError(f"BAT {name!r} already registered")
+        self._fragmented.pop(name, None)
         bat.name = name
         self._bats[name] = bat
         self._bump_oids(bat)
         return bat
 
+    def register_fragmented(
+        self, name: str, fragmented: FragmentedBAT, *, replace: bool = False
+    ) -> FragmentedBAT:
+        """Register a fragmented BAT under *name*; :meth:`lookup` will
+        transparently coalesce it, :meth:`lookup_fragments` returns it
+        as-is."""
+        if not name:
+            raise BBPError("BAT name must be non-empty")
+        if name in self and not replace:
+            raise BBPError(f"BAT {name!r} already registered")
+        self._bats.pop(name, None)
+        fragmented.name = name
+        if fragmented._coalesced is not None:
+            fragmented._coalesced.name = name
+        self._fragmented[name] = fragmented
+        for fragment in fragmented.fragments:
+            self._bump_oids(fragment)
+        return fragmented
+
     def lookup(self, name: str) -> BAT:
-        """The BAT registered under *name* (MIL ``bat("name")``)."""
+        """The BAT registered under *name* (MIL ``bat("name")``);
+        fragmented registrations are coalesced (cached)."""
         try:
             return self._bats[name]
         except KeyError:
+            pass
+        try:
+            return self._fragmented[name].to_bat()
+        except KeyError:
             raise BBPError(f"no BAT named {name!r} in the pool") from None
 
+    def lookup_fragments(
+        self, name: str, policy: Optional[FragmentationPolicy] = None
+    ) -> FragmentedBAT:
+        """A fragmented view of *name*: the registered fragmentation if
+        there is one, otherwise the monolithic BAT split on the fly."""
+        if name in self._fragmented:
+            return self._fragmented[name]
+        bat = self.lookup(name)
+        return fragment_bat(bat, policy or FragmentationPolicy())
+
+    def is_fragmented(self, name: str) -> bool:
+        """True when *name* is registered as a fragmented BAT."""
+        return name in self._fragmented
+
     def exists(self, name: str) -> bool:
-        return name in self._bats
+        return name in self
 
     def drop(self, name: str) -> None:
         """Remove *name* from the catalog."""
-        if name not in self._bats:
+        if name in self._bats:
+            del self._bats[name]
+        elif name in self._fragmented:
+            del self._fragmented[name]
+        else:
             raise BBPError(f"cannot drop unknown BAT {name!r}")
-        del self._bats[name]
 
     def names(self, prefix: str = "") -> List[str]:
         """Registered names, optionally filtered by prefix, sorted."""
-        return sorted(n for n in self._bats if n.startswith(prefix))
+        return sorted(n for n in self._all_names() if n.startswith(prefix))
+
+    def _all_names(self) -> List[str]:
+        return list(self._bats) + list(self._fragmented)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._bats
+        return name in self._bats or name in self._fragmented
 
     def __iter__(self) -> Iterator[str]:
-        return iter(sorted(self._bats))
+        return iter(sorted(self._all_names()))
 
     def __len__(self) -> int:
-        return len(self._bats)
+        return len(self._bats) + len(self._fragmented)
 
     def new_oids(self, count: int) -> int:
         """Allocate *count* fresh oids; returns the first."""
@@ -95,35 +158,35 @@ class BATBufferPool:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, directory: Union[str, Path]) -> None:
-        """Write the whole pool to *directory* (catalog + one npz/BAT)."""
+        """Write the whole pool to *directory* (catalog + one npz per
+        BAT or fragment)."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         catalog = {"oid_next": self.oid_generator.current, "bats": {}}
-        for index, (name, bat) in enumerate(sorted(self._bats.items())):
-            filename = f"bat_{index:05d}.npz"
-            entry = {
-                "file": filename,
-                "htype": bat.htype,
-                "ttype": bat.ttype,
-                "hsorted": bat.hsorted,
-                "tsorted": bat.tsorted,
-                "hkey": bat.hkey,
-                "tkey": bat.tkey,
-                "hvoid": bat.head.is_void,
-                "tvoid": bat.tail.is_void,
-            }
-            arrays = {}
-            if bat.head.is_void:
-                entry["hseqbase"] = bat.head.seqbase
-                entry["count"] = len(bat)
+        entries = sorted(self._all_names())
+        for index, name in enumerate(entries):
+            if name in self._bats:
+                bat = self._bats[name]
+                filename = f"bat_{index:05d}.npz"
+                entry, arrays = _bat_entry(bat, filename)
+                np.savez(directory / filename, **arrays)
             else:
-                arrays["head"] = _storable(bat.head_values())
-            if bat.tail.is_void:
-                entry["tseqbase"] = bat.tail.seqbase
-                entry["count"] = len(bat)
-            else:
-                arrays["tail"] = _storable(bat.tail_values())
-            np.savez(directory / filename, **arrays)
+                fragmented = self._fragmented[name]
+                entry = {
+                    "fragmented": True,
+                    "strategy": fragmented.policy.strategy,
+                    "target_size": fragmented.policy.target_size,
+                    "workers": fragmented.policy.workers,
+                    "fragments": [],
+                }
+                for findex, fragment in enumerate(fragmented.fragments):
+                    filename = f"bat_{index:05d}_f{findex:03d}.npz"
+                    sub_entry, arrays = _bat_entry(fragment, filename)
+                    if fragmented.positions is not None:
+                        arrays["positions"] = fragmented.positions[findex]
+                        sub_entry["has_positions"] = True
+                    np.savez(directory / filename, **arrays)
+                    entry["fragments"].append(sub_entry)
             catalog["bats"][name] = entry
         (directory / "catalog.json").write_text(json.dumps(catalog, indent=1))
 
@@ -137,19 +200,32 @@ class BATBufferPool:
         catalog = json.loads(catalog_path.read_text())
         pool = cls()
         for name, entry in catalog["bats"].items():
-            with np.load(directory / entry["file"], allow_pickle=True) as data:
-                head = _restore_column(entry, data, "h", "head")
-                tail = _restore_column(entry, data, "t", "tail")
-            bat = BAT(
-                head,
-                tail,
-                hsorted=entry["hsorted"],
-                tsorted=entry["tsorted"],
-                hkey=entry["hkey"],
-                tkey=entry["tkey"],
-                name=name,
-            )
-            pool._bats[name] = bat
+            if entry.get("fragmented"):
+                fragments: List[BAT] = []
+                positions: List[np.ndarray] = []
+                has_positions = False
+                for sub_entry in entry["fragments"]:
+                    with np.load(
+                        directory / sub_entry["file"], allow_pickle=True
+                    ) as data:
+                        fragments.append(_restore_bat(sub_entry, data, name=None))
+                        if sub_entry.get("has_positions"):
+                            has_positions = True
+                            positions.append(np.asarray(data["positions"], np.int64))
+                policy = FragmentationPolicy(
+                    target_size=entry.get("target_size", DEFAULT_FRAGMENT_SIZE),
+                    strategy=entry.get("strategy", "range"),
+                    workers=entry.get("workers"),
+                )
+                pool._fragmented[name] = FragmentedBAT(
+                    fragments,
+                    positions if has_positions else None,
+                    policy=policy,
+                    name=name,
+                )
+            else:
+                with np.load(directory / entry["file"], allow_pickle=True) as data:
+                    pool._bats[name] = _restore_bat(entry, data, name=name)
         pool.oid_generator.bump_past(catalog.get("oid_next", 0) - 1)
         return pool
 
@@ -158,6 +234,47 @@ class BATBufferPool:
 #: unicode arrays strip trailing NULs on read, so the marker must not
 #: end in one.
 _STR_NIL_MARKER = "\x00NIL"
+
+
+def _bat_entry(bat: BAT, filename: str) -> tuple:
+    """Catalog entry + storable arrays for one BAT (or fragment)."""
+    entry = {
+        "file": filename,
+        "htype": bat.htype,
+        "ttype": bat.ttype,
+        "hsorted": bat.hsorted,
+        "tsorted": bat.tsorted,
+        "hkey": bat.hkey,
+        "tkey": bat.tkey,
+        "hvoid": bat.head.is_void,
+        "tvoid": bat.tail.is_void,
+    }
+    arrays = {}
+    if bat.head.is_void:
+        entry["hseqbase"] = bat.head.seqbase
+        entry["count"] = len(bat)
+    else:
+        arrays["head"] = _storable(bat.head_values())
+    if bat.tail.is_void:
+        entry["tseqbase"] = bat.tail.seqbase
+        entry["count"] = len(bat)
+    else:
+        arrays["tail"] = _storable(bat.tail_values())
+    return entry, arrays
+
+
+def _restore_bat(entry: dict, data, name: Optional[str]) -> BAT:
+    head = _restore_column(entry, data, "h", "head")
+    tail = _restore_column(entry, data, "t", "tail")
+    return BAT(
+        head,
+        tail,
+        hsorted=entry["hsorted"],
+        tsorted=entry["tsorted"],
+        hkey=entry["hkey"],
+        tkey=entry["tkey"],
+        name=name,
+    )
 
 
 def _storable(values: np.ndarray) -> np.ndarray:

@@ -1,0 +1,810 @@
+"""Horizontal BAT fragmentation with fragment-parallel kernel operators.
+
+A :class:`FragmentedBAT` represents one logical BAT as an ordered list
+of horizontal *fragments*, each a normal (usually void-headed)
+:class:`repro.monet.bat.BAT`.  Fragmentation is the classic physical
+lever for parallelism: the logical algebra is untouched, while the hot
+kernel operators fan out over fragments on a shared
+:class:`~concurrent.futures.ThreadPoolExecutor` (numpy releases the GIL
+on its bulk paths) and the results are recombined in BUN order.
+
+Two split strategies are supported through
+:class:`FragmentationPolicy`:
+
+``range``
+    contiguous BUN ranges of at most ``target_size`` BUNs.  Fragment
+    order *is* BUN order, so recombination is plain concatenation.
+``roundrobin``
+    BUN ``i`` goes to fragment ``i % n_fragments``.  Each fragment
+    remembers the global BUN positions of its rows so results can be
+    merged back into BUN order.
+
+Every operator here is the exact fragment-parallel counterpart of a
+:mod:`repro.monet.kernel` (or :mod:`repro.monet.aggregates`) operator;
+``tests/monet/test_fragment_differential.py`` asserts BUN-for-BUN
+identity against the monolithic kernel and against naive pure-Python
+references.
+
+Property flags on recombined results are maintained *conservatively*:
+a flag is only ``True`` when the concatenation provably preserves it
+(e.g. consecutive void heads fuse back into one void head).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.monet import aggregates as _agg
+from repro.monet import kernel as _kernel
+from repro.monet.bat import BAT, AnyColumn, Column, VoidColumn
+from repro.monet.errors import KernelError
+
+#: Default BUN count per fragment; chosen so a fragment of int64 tails
+#: stays comfortably inside L2-sized working sets.
+DEFAULT_FRAGMENT_SIZE = 65536
+
+#: Worker floor: even on a single-core host we keep two threads so the
+#: fragment fan-out code path is always exercised.
+DEFAULT_WORKERS = max(2, os.cpu_count() or 1)
+
+#: Below this many total BUNs an operator runs its fragments serially
+#: (unless a worker count is pinned): the numpy work is in the tens of
+#: microseconds there and thread dispatch would dominate it.
+PARALLEL_MIN_BUNS = 1 << 18
+
+
+@dataclass(frozen=True)
+class FragmentationPolicy:
+    """How a BAT is split: fragment size, strategy and worker count."""
+
+    target_size: int = DEFAULT_FRAGMENT_SIZE
+    strategy: str = "range"
+    workers: Optional[int] = None
+
+    def __post_init__(self):
+        if self.target_size < 1:
+            raise KernelError("fragment target_size must be at least 1")
+        if self.strategy not in ("range", "roundrobin"):
+            raise KernelError(
+                f"unknown fragmentation strategy {self.strategy!r}; "
+                "expected 'range' or 'roundrobin'"
+            )
+
+
+DEFAULT_POLICY = FragmentationPolicy()
+
+# ----------------------------------------------------------------------
+# Shared worker pool
+# ----------------------------------------------------------------------
+
+_EXECUTOR: Optional[ThreadPoolExecutor] = None
+_EXECUTOR_LOCK = threading.Lock()
+
+
+def _shared_executor() -> ThreadPoolExecutor:
+    global _EXECUTOR
+    if _EXECUTOR is None:
+        with _EXECUTOR_LOCK:
+            if _EXECUTOR is None:
+                _EXECUTOR = ThreadPoolExecutor(
+                    max_workers=DEFAULT_WORKERS, thread_name_prefix="fragment"
+                )
+    return _EXECUTOR
+
+
+def map_fragments(
+    fn: Callable[[Any], Any], items: Sequence[Any], workers: Optional[int] = None
+) -> List[Any]:
+    """Apply *fn* to every item, fanning out on the shared thread pool.
+
+    ``workers=0``/``workers=1`` forces serial execution; an explicit
+    ``workers >= 2`` uses a dedicated pool of that size (benchmarks pin
+    worker counts this way); ``None`` uses the shared pool.
+    """
+    items = list(items)
+    if len(items) <= 1 or (workers is not None and workers <= 1):
+        return [fn(item) for item in items]
+    if workers is None:
+        return list(_shared_executor().map(fn, items))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+# ----------------------------------------------------------------------
+# The fragmented BAT
+# ----------------------------------------------------------------------
+
+
+class FragmentedBAT:
+    """An ordered list of horizontal fragments of one logical BAT.
+
+    ``positions`` is ``None`` when fragment order is BUN order (range
+    split); otherwise it holds, per fragment, the global BUN positions
+    of that fragment's rows (round-robin split and results derived from
+    one).
+    """
+
+    __slots__ = ("fragments", "positions", "policy", "name", "_coalesced")
+
+    def __init__(
+        self,
+        fragments: Sequence[BAT],
+        positions: Optional[Sequence[np.ndarray]] = None,
+        *,
+        policy: FragmentationPolicy = DEFAULT_POLICY,
+        name: Optional[str] = None,
+    ):
+        fragments = list(fragments)
+        if not fragments:
+            raise KernelError("a FragmentedBAT needs at least one fragment")
+        if len({f.htype for f in fragments}) > 1 or len({f.ttype for f in fragments}) > 1:
+            raise KernelError("all fragments must share head/tail atom types")
+        if positions is not None:
+            positions = [np.asarray(p, dtype=np.int64) for p in positions]
+            if len(positions) != len(fragments):
+                raise KernelError("one position array per fragment required")
+            for frag, pos in zip(fragments, positions):
+                if len(frag) != len(pos):
+                    raise KernelError("fragment/position length mismatch")
+        self.fragments = fragments
+        self.positions = positions
+        self.policy = policy
+        self.name = name
+        self._coalesced: Optional[BAT] = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(f) for f in self.fragments)
+
+    @property
+    def count(self) -> int:
+        return len(self)
+
+    @property
+    def nfragments(self) -> int:
+        return len(self.fragments)
+
+    @property
+    def htype(self) -> str:
+        return self.fragments[0].htype
+
+    @property
+    def ttype(self) -> str:
+        return self.fragments[0].ttype
+
+    def fragment_sizes(self) -> List[int]:
+        return [len(f) for f in self.fragments]
+
+    def global_positions(self, index: int) -> np.ndarray:
+        """Global BUN positions of fragment *index*'s rows."""
+        if self.positions is not None:
+            return self.positions[index]
+        offset = sum(len(f) for f in self.fragments[:index])
+        return np.arange(offset, offset + len(self.fragments[index]), dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or "tmp"
+        return (
+            f"FragmentedBAT({label})[{self.htype},{self.ttype}]"
+            f"#{len(self)}/{self.nfragments}frags"
+        )
+
+    # ------------------------------------------------------------------
+    # Recombination
+    # ------------------------------------------------------------------
+    def to_bat(self) -> BAT:
+        """The monolithic BAT this fragmentation represents (cached)."""
+        if self._coalesced is None:
+            self._coalesced = self._build_monolithic()
+        return self._coalesced
+
+    def _build_monolithic(self) -> BAT:
+        frags = self.fragments
+        if len(frags) == 1 and self.positions is None:
+            single = frags[0]
+            if self.name is not None and single.name is None:
+                single.name = self.name
+            return single
+        head_atom = frags[0].head.atom_type
+        tail_atom = frags[0].tail.atom_type
+        if self.positions is None:
+            order = None
+        else:
+            all_positions = np.concatenate(self.positions)
+            order = np.argsort(all_positions, kind="stable")
+        head = _concat_columns([f.head for f in frags], head_atom, order)
+        tail = _concat_columns([f.tail for f in frags], tail_atom, order)
+        flags = _concat_flags(frags, order is None)
+        return BAT(head, tail, name=self.name, **flags)
+
+    # Convenience delegates used by catalog/reconstruction code that
+    # does not care about fragment boundaries.
+    def head_values(self) -> np.ndarray:
+        return self.to_bat().head_values()
+
+    def tail_values(self) -> np.ndarray:
+        return self.to_bat().tail_values()
+
+    def tail_list(self) -> List[Any]:
+        return self.to_bat().tail_list()
+
+
+def _concat_columns(
+    columns: Sequence[AnyColumn],
+    atom_type,
+    order: Optional[np.ndarray],
+) -> AnyColumn:
+    """Concatenate fragment columns, fusing consecutive void columns
+    back into one void column when possible."""
+    if order is None and all(c.is_void for c in columns):
+        base = columns[0].seqbase
+        expected = base
+        contiguous = True
+        for column in columns:
+            if column.seqbase != expected:
+                contiguous = False
+                break
+            expected += len(column)
+        if contiguous:
+            return VoidColumn(base, expected - base)
+    arrays = [c.materialize() for c in columns]
+    if atom_type.dtype == np.dtype(object):
+        total = sum(len(a) for a in arrays)
+        out = np.empty(total, dtype=object)
+        at = 0
+        for array in arrays:
+            out[at: at + len(array)] = array
+            at += len(array)
+    else:
+        out = np.concatenate(arrays) if arrays else atom_type.make_array([])
+    if order is not None:
+        out = out[order]
+        # A position-merge can land back on a dense sequence; detect it
+        # so voidness survives a round-robin round-trip.
+        if (
+            atom_type.name == "oid"
+            and out.dtype == np.dtype(np.int64)
+            and (len(out) == 0 or bool(np.all(np.diff(out) == 1)))
+        ):
+            return VoidColumn(int(out[0]) if len(out) else 0, len(out))
+    return Column(atom_type, out)
+
+
+def _concat_flags(frags: Sequence[BAT], ordered: bool) -> dict:
+    """Conservative property flags for a fragment concatenation."""
+    if not ordered:
+        # Position-merged rows: nothing is guaranteed (voidness is
+        # re-detected in _concat_columns and re-asserts its own flags).
+        return dict(hsorted=False, tsorted=False, hkey=False, tkey=False)
+    return dict(
+        hsorted=all(f.hsorted for f in frags)
+        and _boundaries_nondecreasing(frags, head=True),
+        tsorted=all(f.tsorted for f in frags)
+        and _boundaries_nondecreasing(frags, head=False),
+        # Keyness across fragments is only guaranteed by dense heads,
+        # which the BAT constructor re-derives from voidness.
+        hkey=len(frags) == 1 and frags[0].hkey,
+        tkey=len(frags) == 1 and frags[0].tkey,
+    )
+
+
+def _boundaries_nondecreasing(frags: Sequence[BAT], *, head: bool) -> bool:
+    previous = None
+    for frag in frags:
+        if len(frag) == 0:
+            continue
+        column = frag.head if head else frag.tail
+        first = column.python_value(0)
+        last = column.python_value(len(frag) - 1)
+        if first is None or last is None:
+            return False
+        if previous is not None:
+            try:
+                if not previous <= first:
+                    return False
+            except TypeError:
+                return False
+        previous = last
+    return True
+
+
+# ----------------------------------------------------------------------
+# Fragmentation
+# ----------------------------------------------------------------------
+
+
+def fragment_bat(bat: BAT, policy: FragmentationPolicy = DEFAULT_POLICY) -> FragmentedBAT:
+    """Split *bat* horizontally according to *policy*."""
+    n = len(bat)
+    if n <= policy.target_size:
+        return FragmentedBAT([bat], policy=policy, name=bat.name)
+    if policy.strategy == "range":
+        fragments = [
+            _slice_view(bat, start, min(n, start + policy.target_size))
+            for start in range(0, n, policy.target_size)
+        ]
+        return FragmentedBAT(fragments, policy=policy, name=bat.name)
+    nfrag = -(-n // policy.target_size)  # ceil division
+    fragments = []
+    positions = []
+    for k in range(nfrag):
+        pos = np.arange(k, n, nfrag, dtype=np.int64)
+        fragments.append(bat.take_positions(pos))
+        positions.append(pos)
+    return FragmentedBAT(fragments, positions, policy=policy, name=bat.name)
+
+
+def _slice_view(bat: BAT, start: int, stop: int) -> BAT:
+    """Contiguous fragment sharing the parent's arrays (numpy slicing
+    views; no copy, unlike ``BAT.slice``'s positional gather)."""
+    head = _slice_column(bat.head, start, stop)
+    tail = _slice_column(bat.tail, start, stop)
+    return BAT(
+        head,
+        tail,
+        hsorted=bat.hsorted,
+        tsorted=bat.tsorted,
+        hkey=bat.hkey,
+        tkey=bat.tkey,
+    )
+
+
+def _slice_column(column: AnyColumn, start: int, stop: int) -> AnyColumn:
+    if column.is_void:
+        return VoidColumn(column.seqbase + start, stop - start)
+    return Column(column.atom_type, column.values[start:stop])
+
+
+# ----------------------------------------------------------------------
+# Fragment-parallel operators: selections
+# ----------------------------------------------------------------------
+
+
+def _subset_op(
+    fb: FragmentedBAT,
+    mask_fn: Callable[[BAT], np.ndarray],
+    workers: Optional[int],
+) -> FragmentedBAT:
+    """Generic row-subset operator: evaluate a predicate mask per
+    fragment in parallel and keep the qualifying BUNs."""
+
+    def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, Optional[np.ndarray]]:
+        index, frag = indexed
+        keep = np.nonzero(mask_fn(frag))[0]
+        out = frag.take_positions(keep)
+        if fb.positions is None:
+            return out, None
+        return out, fb.positions[index][keep]
+
+    results = map_fragments(one, list(enumerate(fb.fragments)), workers)
+    fragments = [r[0] for r in results]
+    positions = None if fb.positions is None else [r[1] for r in results]
+    return FragmentedBAT(fragments, positions, policy=fb.policy)
+
+
+def _resolve_workers(fb: FragmentedBAT, workers: Optional[int]) -> Optional[int]:
+    if workers is not None:
+        return workers
+    if fb.policy.workers is not None:
+        return fb.policy.workers
+    if len(fb) < PARALLEL_MIN_BUNS:
+        return 1
+    return None
+
+
+def select(
+    fb: FragmentedBAT,
+    low: Any,
+    high: Any = _kernel._UNSET,
+    *,
+    include_low: bool = True,
+    include_high: bool = True,
+    workers: Optional[int] = None,
+) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.select`."""
+    workers = _resolve_workers(fb, workers)
+    if high is _kernel._UNSET:
+        return _subset_op(fb, lambda frag: _kernel.equal_mask(frag, low), workers)
+    return _subset_op(
+        fb,
+        lambda frag: _kernel.range_mask(frag, low, high, include_low, include_high),
+        workers,
+    )
+
+
+def uselect(
+    fb: FragmentedBAT,
+    low: Any,
+    high: Any = _kernel._UNSET,
+    *,
+    workers: Optional[int] = None,
+    **flags,
+) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.uselect`: qualifying
+    heads with the tail replaced by a dense oid sequence in BUN order."""
+    selected = select(
+        fb,
+        low,
+        high,
+        include_low=flags.get("include_low", True),
+        include_high=flags.get("include_high", True),
+        workers=workers,
+    )
+    return _renumber_tails(selected, 0)
+
+
+def likeselect(
+    fb: FragmentedBAT, pattern: str, *, workers: Optional[int] = None
+) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.likeselect`."""
+    workers = _resolve_workers(fb, workers)
+    return _subset_op(fb, lambda frag: _kernel.like_mask(frag, pattern), workers)
+
+
+# ----------------------------------------------------------------------
+# Fragment-parallel operators: join family
+# ----------------------------------------------------------------------
+
+
+def fetchjoin(
+    fb: FragmentedBAT, right: BAT, *, workers: Optional[int] = None
+) -> FragmentedBAT:
+    """Fragment-parallel positional join against a shared void-headed
+    right operand."""
+    if isinstance(right, FragmentedBAT):
+        right = right.to_bat()
+    if not right.hdense:
+        raise KernelError("fetchjoin requires a void-headed right operand")
+    workers = _resolve_workers(fb, workers)
+
+    def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, Optional[np.ndarray]]:
+        index, frag = indexed
+        tails = frag.tail_values()
+        targets = tails - right.head.seqbase
+        valid = (targets >= 0) & (targets < len(right))
+        keep = np.nonzero(valid)[0]
+        head = frag.head.take(keep)
+        tail = right.tail.take(targets[keep])
+        out = BAT(head, tail, hkey=frag.hkey)
+        if fb.positions is None:
+            return out, None
+        return out, fb.positions[index][keep]
+
+    results = map_fragments(one, list(enumerate(fb.fragments)), workers)
+    positions = None if fb.positions is None else [r[1] for r in results]
+    return FragmentedBAT([r[0] for r in results], positions, policy=fb.policy)
+
+
+def join(
+    fb: FragmentedBAT,
+    right: Union[BAT, FragmentedBAT],
+    *,
+    workers: Optional[int] = None,
+) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.join`: every probe
+    fragment joins against the shared build side."""
+    if isinstance(right, FragmentedBAT):
+        right = right.to_bat()
+    _kernel.check_join_types(fb.ttype, right.htype)
+    if right.hdense:
+        return fetchjoin(fb, right, workers=workers)
+    workers = _resolve_workers(fb, workers)
+    build = right.head_values()
+    object_dtype = _kernel._is_object_column(right.head) or (
+        fb.fragments[0].tail.atom_type.dtype == np.dtype(object)
+    )
+    # Index the shared build side once; every probe fragment reuses it.
+    match_index = _kernel.build_match_index(build, object_dtype)
+
+    def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, Optional[np.ndarray]]:
+        index, frag = indexed
+        if len(frag) == 0 or len(build) == 0:
+            probe_positions = build_positions = np.empty(0, dtype=np.int64)
+        else:
+            probe_positions, build_positions = _kernel.probe_match_index(
+                frag.tail_values(), match_index, object_dtype
+            )
+        head = frag.head.take(probe_positions)
+        tail = right.tail.take(build_positions)
+        out = BAT(head, tail, hkey=frag.hkey and right.hkey)
+        if fb.positions is None:
+            return out, None
+        return out, fb.positions[index][probe_positions]
+
+    results = map_fragments(one, list(enumerate(fb.fragments)), workers)
+    positions = None if fb.positions is None else [r[1] for r in results]
+    return FragmentedBAT([r[0] for r in results], positions, policy=fb.policy)
+
+
+def semijoin(
+    fb: FragmentedBAT,
+    right: Union[BAT, FragmentedBAT],
+    *,
+    workers: Optional[int] = None,
+) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.semijoin`."""
+    if isinstance(right, FragmentedBAT):
+        right = right.to_bat()
+    workers = _resolve_workers(fb, workers)
+    return _subset_op(fb, lambda frag: _kernel.semijoin_mask(frag, right), workers)
+
+
+def antijoin(
+    fb: FragmentedBAT,
+    right: Union[BAT, FragmentedBAT],
+    *,
+    workers: Optional[int] = None,
+) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.kdiff` (anti-semijoin)."""
+    if isinstance(right, FragmentedBAT):
+        right = right.to_bat()
+    workers = _resolve_workers(fb, workers)
+    return _subset_op(fb, lambda frag: ~_kernel.semijoin_mask(frag, right), workers)
+
+
+kdiff = antijoin
+
+
+# ----------------------------------------------------------------------
+# Fragment-parallel operators: reconstruction
+# ----------------------------------------------------------------------
+
+
+def mark(fb: FragmentedBAT, base: int = 0) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.mark`: the tail
+    becomes ``base + global BUN position``, continuous across
+    fragments."""
+    return _renumber_tails(fb, base)
+
+
+def _renumber_tails(fb: FragmentedBAT, base: int) -> FragmentedBAT:
+    fragments: List[BAT] = []
+    if fb.positions is None:
+        offset = base
+        for frag in fb.fragments:
+            fragments.append(
+                BAT(
+                    frag.head,
+                    VoidColumn(offset, len(frag)),
+                    hsorted=frag.hsorted,
+                    hkey=frag.hkey,
+                )
+            )
+            offset += len(frag)
+        return FragmentedBAT(fragments, policy=fb.policy)
+    # Round-robin rows: ranks of the global positions are the BUN-order
+    # indexes.  When the FragmentedBAT covers a whole input the
+    # positions are already 0..n-1; for derived subsets we rank.
+    all_positions = np.concatenate(fb.positions)
+    ranks = np.empty(len(all_positions), dtype=np.int64)
+    ranks[np.argsort(all_positions, kind="stable")] = np.arange(
+        len(all_positions), dtype=np.int64
+    )
+    at = 0
+    for frag in fb.fragments:
+        tail = Column("oid", base + ranks[at: at + len(frag)])
+        fragments.append(BAT(frag.head, tail, hsorted=frag.hsorted, hkey=frag.hkey))
+        at += len(frag)
+    return FragmentedBAT(fragments, fb.positions, policy=fb.policy)
+
+
+# ----------------------------------------------------------------------
+# Fragment-parallel aggregates
+# ----------------------------------------------------------------------
+
+
+def count(fb: FragmentedBAT) -> int:
+    """Fragment count aggregate (trivially the sum of fragment sizes)."""
+    return len(fb)
+
+
+def sum_(fb: FragmentedBAT, *, workers: Optional[int] = None) -> Any:
+    """Fragment-parallel :func:`repro.monet.aggregates.sum_`."""
+    workers = _resolve_workers(fb, workers)
+    partials = map_fragments(_agg.sum_, fb.fragments, workers)
+    total = sum(partials)
+    return float(total) if fb.ttype == "dbl" else int(total)
+
+
+def max_(fb: FragmentedBAT, *, workers: Optional[int] = None) -> Any:
+    """Fragment-parallel :func:`repro.monet.aggregates.max_`."""
+    return _scalar_extreme(fb, workers, maximum=True)
+
+
+def min_(fb: FragmentedBAT, *, workers: Optional[int] = None) -> Any:
+    """Fragment-parallel :func:`repro.monet.aggregates.min_`."""
+    return _scalar_extreme(fb, workers, maximum=False)
+
+
+def _scalar_extreme(fb: FragmentedBAT, workers: Optional[int], *, maximum: bool) -> Any:
+    workers = _resolve_workers(fb, workers)
+    monolithic = _agg.max_ if maximum else _agg.min_
+    partials = [p for p in map_fragments(monolithic, fb.fragments, workers) if p is not None]
+    if not partials:
+        return None
+    if fb.ttype == "dbl":
+        # np.max/np.min propagate NaN (dbl NIL) like the monolithic
+        # kernel; Python's max()/min() would drop it order-dependently.
+        reduced = np.max(np.asarray(partials, dtype=np.float64)) if maximum else np.min(
+            np.asarray(partials, dtype=np.float64)
+        )
+        return float(reduced)
+    return max(partials) if maximum else min(partials)
+
+
+def avg(fb: FragmentedBAT, *, workers: Optional[int] = None) -> Optional[float]:
+    """Fragment-parallel :func:`repro.monet.aggregates.avg` via partial
+    (sum, count) pairs."""
+    _agg._require_numeric(fb.fragments[0], "avg")
+    workers = _resolve_workers(fb, workers)
+
+    def one(frag: BAT) -> Tuple[float, int]:
+        tails = frag.tail_values()
+        return (float(tails.sum()) if len(tails) else 0.0, len(tails))
+
+    partials = map_fragments(one, fb.fragments, workers)
+    total = sum(p[0] for p in partials)
+    n = sum(p[1] for p in partials)
+    return total / n if n else None
+
+
+def _check_aligned(values: FragmentedBAT, grouping: FragmentedBAT) -> None:
+    if values.fragment_sizes() != grouping.fragment_sizes():
+        raise KernelError(
+            "fragmented pump aggregate requires identically fragmented "
+            "values and grouping"
+        )
+    if (values.positions is None) != (grouping.positions is None):
+        raise KernelError("fragmented pump aggregate: mismatched split strategies")
+    if values.positions is not None:
+        for a, b in zip(values.positions, grouping.positions):
+            if not np.array_equal(a, b):
+                raise KernelError(
+                    "fragmented pump aggregate: fragments cover different BUNs"
+                )
+
+
+def _global_n_groups(
+    grouping: FragmentedBAT, explicit: Optional[int], workers: Optional[int]
+) -> int:
+    if explicit is not None:
+        return explicit
+    maxima = map_fragments(
+        lambda frag: int(frag.tail_values().max()) if len(frag) else -1,
+        grouping.fragments,
+        workers,
+    )
+    return max(maxima) + 1 if maxima else 0
+
+
+def grouped_sum(
+    values: FragmentedBAT,
+    grouping: FragmentedBAT,
+    n_groups: Optional[int] = None,
+    *,
+    workers: Optional[int] = None,
+) -> BAT:
+    """Fragment-parallel ``{sum}``: per-fragment partial sums combined
+    by addition."""
+    _check_aligned(values, grouping)
+    workers = _resolve_workers(values, workers)
+    size = _global_n_groups(grouping, n_groups, workers)
+    partials = map_fragments(
+        lambda pair: _agg.grouped_sum(pair[0], pair[1], n_groups=size).tail_values(),
+        list(zip(values.fragments, grouping.fragments)),
+        workers,
+    )
+    combined = np.sum(partials, axis=0) if partials else np.zeros(0)
+    if values.ttype == "int":
+        return BAT(VoidColumn(0, size), Column("int", combined.astype(np.int64)))
+    return BAT(VoidColumn(0, size), Column("dbl", np.asarray(combined, dtype=np.float64)))
+
+
+def grouped_count(
+    values: FragmentedBAT,
+    grouping: FragmentedBAT,
+    n_groups: Optional[int] = None,
+    *,
+    workers: Optional[int] = None,
+) -> BAT:
+    """Fragment-parallel ``{count}``."""
+    _check_aligned(values, grouping)
+    workers = _resolve_workers(values, workers)
+    size = _global_n_groups(grouping, n_groups, workers)
+    partials = map_fragments(
+        lambda pair: _agg.grouped_count(pair[0], pair[1], n_groups=size).tail_values(),
+        list(zip(values.fragments, grouping.fragments)),
+        workers,
+    )
+    combined = np.sum(partials, axis=0).astype(np.int64) if partials else np.zeros(0, np.int64)
+    return BAT(VoidColumn(0, size), Column("int", combined))
+
+
+def grouped_max(
+    values: FragmentedBAT,
+    grouping: FragmentedBAT,
+    n_groups: Optional[int] = None,
+    *,
+    workers: Optional[int] = None,
+) -> BAT:
+    """Fragment-parallel ``{max}``; empty groups keep their NIL."""
+    return _grouped_extreme(values, grouping, n_groups, workers, maximum=True)
+
+
+def grouped_min(
+    values: FragmentedBAT,
+    grouping: FragmentedBAT,
+    n_groups: Optional[int] = None,
+    *,
+    workers: Optional[int] = None,
+) -> BAT:
+    """Fragment-parallel ``{min}``; empty groups keep their NIL."""
+    return _grouped_extreme(values, grouping, n_groups, workers, maximum=False)
+
+
+def _grouped_extreme(values, grouping, n_groups, workers, *, maximum: bool) -> BAT:
+    _check_aligned(values, grouping)
+    _agg._require_numeric(values.fragments[0], "{extreme}")
+    workers = _resolve_workers(values, workers)
+    size = _global_n_groups(grouping, n_groups, workers)
+    ufunc = np.maximum if maximum else np.minimum
+    identity = -np.inf if maximum else np.inf
+
+    # Partials mirror the monolithic kernel exactly: an NaN member
+    # poisons its group (np.maximum/np.minimum propagate it, unlike
+    # fmax/fmin), and a group empty everywhere stays at the +-inf
+    # identity, which the monolithic isinf -> NIL rule then catches.
+    def one(pair: Tuple[BAT, BAT]) -> np.ndarray:
+        value_frag, group_frag = pair
+        ids = _agg._aligned_group_ids(value_frag, group_frag)
+        out = np.full(size, identity, dtype=np.float64)
+        with np.errstate(invalid="ignore"):  # NaN members poison their group
+            ufunc.at(out, ids, value_frag.tail_values().astype(np.float64))
+        return out
+
+    partials = map_fragments(one, list(zip(values.fragments, grouping.fragments)), workers)
+    out = np.full(size, identity, dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        for partial in partials:
+            out = ufunc(out, partial)
+    out[np.isinf(out)] = np.nan  # empty group -> dbl NIL
+    if values.ttype == "int":
+        ints = np.where(np.isnan(out), np.iinfo(np.int64).min, out).astype(np.int64)
+        return BAT(VoidColumn(0, size), Column("int", ints))
+    return BAT(VoidColumn(0, size), Column("dbl", out))
+
+
+def grouped_avg(
+    values: FragmentedBAT,
+    grouping: FragmentedBAT,
+    n_groups: Optional[int] = None,
+    *,
+    workers: Optional[int] = None,
+) -> BAT:
+    """Fragment-parallel ``{avg}`` via partial (sum, count) pairs."""
+    _check_aligned(values, grouping)
+    _agg._require_numeric(values.fragments[0], "{avg}")
+    workers = _resolve_workers(values, workers)
+    size = _global_n_groups(grouping, n_groups, workers)
+
+    def one(pair: Tuple[BAT, BAT]) -> Tuple[np.ndarray, np.ndarray]:
+        value_frag, group_frag = pair
+        ids = _agg._aligned_group_ids(value_frag, group_frag)
+        tails = value_frag.tail_values().astype(np.float64)
+        return (
+            np.bincount(ids, weights=tails, minlength=size),
+            np.bincount(ids, minlength=size),
+        )
+
+    partials = map_fragments(one, list(zip(values.fragments, grouping.fragments)), workers)
+    sums = np.sum([p[0] for p in partials], axis=0) if partials else np.zeros(0)
+    counts = np.sum([p[1] for p in partials], axis=0) if partials else np.zeros(0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.asarray(sums, dtype=np.float64) / counts
+    return BAT(VoidColumn(0, size), Column("dbl", means))

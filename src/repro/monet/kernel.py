@@ -52,22 +52,32 @@ def _positions(count: int) -> np.ndarray:
     return np.arange(count, dtype=np.int64)
 
 
-def _match_positions(
-    probe: np.ndarray, build: np.ndarray, object_dtype: bool
-) -> Tuple[np.ndarray, np.ndarray]:
-    """All (probe_position, build_position) matches of probe values in
-    build values, ordered by probe position (stable).
+def build_match_index(build: np.ndarray, object_dtype: bool):
+    """One-time index over a join build side, probe-able via
+    :func:`probe_match_index`.  Separated from the probe so fragmented
+    execution builds it once and shares it across probe fragments.
 
-    Fully vectorized for numeric dtypes via sort + searchsorted; falls
-    back to a dict of positions for object (string) dtypes.
+    Numeric dtypes index by stable sort; object (string) dtypes by a
+    dict of positions.
     """
-    if len(probe) == 0 or len(build) == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
     if object_dtype:
         index: dict = {}
         for position, value in enumerate(build):
             index.setdefault(value, []).append(position)
+        return index
+    order = np.argsort(build, kind="stable")
+    return order, build[order]
+
+
+def probe_match_index(
+    probe: np.ndarray, index, object_dtype: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (probe_position, build_position) matches of probe values in
+    an indexed build side, ordered by probe position (stable)."""
+    if len(probe) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if object_dtype:
         probe_positions = []
         build_positions = []
         for position, value in enumerate(probe):
@@ -79,8 +89,7 @@ def _match_positions(
             np.asarray(probe_positions, dtype=np.int64),
             np.asarray(build_positions, dtype=np.int64),
         )
-    order = np.argsort(build, kind="stable")
-    build_sorted = build[order]
+    order, build_sorted = index
     lo = np.searchsorted(build_sorted, probe, side="left")
     hi = np.searchsorted(build_sorted, probe, side="right")
     counts = hi - lo
@@ -94,6 +103,17 @@ def _match_positions(
     sorted_positions = np.repeat(lo, counts) + intra
     build_positions = order[sorted_positions]
     return probe_positions, build_positions
+
+
+def _match_positions(
+    probe: np.ndarray, build: np.ndarray, object_dtype: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (probe_position, build_position) matches of probe values in
+    build values, ordered by probe position (stable)."""
+    if len(probe) == 0 or len(build) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return probe_match_index(probe, build_match_index(build, object_dtype), object_dtype)
 
 
 def _membership_mask(values: np.ndarray, lookup: np.ndarray, object_dtype: bool) -> np.ndarray:
@@ -136,25 +156,31 @@ def select(
     return _select_range(bat, low, high, include_low, include_high)
 
 
-def _select_equal(bat: BAT, value: Any) -> BAT:
+def equal_mask(bat: BAT, value: Any) -> np.ndarray:
+    """Boolean mask of BUNs whose tail equals *value* (the predicate of
+    the equality :func:`select`, reusable by fragmented execution)."""
     if value is _UNSET:
         raise KernelError("select needs a value or range")
     if len(bat) == 0:
-        return bat.take_positions(np.empty(0, dtype=np.int64))
+        return np.zeros(0, dtype=bool)
     tails = bat.tail_values()
     if _is_object_column(bat.tail):
-        mask = np.fromiter((t == value for t in tails), dtype=bool, count=len(tails))
-    else:
-        coerced = coerce_value(value, bat.tail.atom_type)
-        mask = tails == coerced
-    return bat.take_positions(np.nonzero(mask)[0])
+        return np.fromiter((t == value for t in tails), dtype=bool, count=len(tails))
+    coerced = coerce_value(value, bat.tail.atom_type)
+    return tails == coerced
 
 
-def _select_range(
-    bat: BAT, low: Any, high: Any, include_low: bool, include_high: bool
-) -> BAT:
+def range_mask(
+    bat: BAT,
+    low: Any,
+    high: Any,
+    include_low: bool = True,
+    include_high: bool = True,
+) -> np.ndarray:
+    """Boolean mask of BUNs whose tail lies in the given range (the
+    predicate of the range :func:`select`)."""
     if len(bat) == 0:
-        return bat.take_positions(np.empty(0, dtype=np.int64))
+        return np.zeros(0, dtype=bool)
     tails = bat.tail_values()
     if _is_object_column(bat.tail):
         mask = np.ones(len(tails), dtype=bool)
@@ -172,15 +198,52 @@ def _select_range(
                     mask[position] = False
                 elif not include_high and not (value < high):
                     mask[position] = False
-    else:
-        mask = np.ones(len(tails), dtype=bool)
-        if low is not None:
-            low_c = coerce_value(low, bat.tail.atom_type)
-            mask &= (tails >= low_c) if include_low else (tails > low_c)
-        if high is not None:
-            high_c = coerce_value(high, bat.tail.atom_type)
-            mask &= (tails <= high_c) if include_high else (tails < high_c)
-    return bat.take_positions(np.nonzero(mask)[0])
+        return mask
+    mask = np.ones(len(tails), dtype=bool)
+    if low is not None:
+        low_c = coerce_value(low, bat.tail.atom_type)
+        mask &= (tails >= low_c) if include_low else (tails > low_c)
+    if high is not None:
+        high_c = coerce_value(high, bat.tail.atom_type)
+        mask &= (tails <= high_c) if include_high else (tails < high_c)
+    return mask
+
+
+def like_mask(bat: BAT, pattern: str) -> np.ndarray:
+    """Boolean mask of BUNs whose str tail contains *pattern*."""
+    if bat.ttype != "str":
+        raise KernelError("likeselect requires a str tail")
+    tails = bat.tail_values()
+    return np.fromiter(
+        (t is not None and pattern in t for t in tails), dtype=bool, count=len(tails)
+    )
+
+
+def semijoin_mask(left: BAT, right: BAT) -> np.ndarray:
+    """Boolean mask of left BUNs whose head occurs among right's heads
+    (shared predicate of :func:`semijoin` and :func:`kdiff`)."""
+    if right.hdense:
+        heads = left.head_values()
+        return (heads >= right.head.seqbase) & (
+            heads < right.head.seqbase + len(right)
+        )
+    return _membership_mask(
+        left.head_values(),
+        right.head_values(),
+        _is_object_column(left.head) or _is_object_column(right.head),
+    )
+
+
+def _select_equal(bat: BAT, value: Any) -> BAT:
+    return bat.take_positions(np.nonzero(equal_mask(bat, value))[0])
+
+
+def _select_range(
+    bat: BAT, low: Any, high: Any, include_low: bool, include_high: bool
+) -> BAT:
+    return bat.take_positions(
+        np.nonzero(range_mask(bat, low, high, include_low, include_high))[0]
+    )
 
 
 def uselect(bat: BAT, low: Any, high: Any = _UNSET, **flags) -> BAT:
@@ -210,18 +273,21 @@ def uselect(bat: BAT, low: Any, high: Any = _UNSET, **flags) -> BAT:
 def likeselect(bat: BAT, pattern: str) -> BAT:
     """Substring selection on string tails (Monet's ``likeselect`` with a
     ``%pattern%`` shape)."""
-    if bat.ttype != "str":
-        raise KernelError("likeselect requires a str tail")
-    tails = bat.tail_values()
-    mask = np.fromiter(
-        (t is not None and pattern in t for t in tails), dtype=bool, count=len(tails)
-    )
-    return bat.take_positions(np.nonzero(mask)[0])
+    return bat.take_positions(np.nonzero(like_mask(bat, pattern))[0])
 
 
 # ----------------------------------------------------------------------
 # Join family
 # ----------------------------------------------------------------------
+
+
+def check_join_types(tail_type: str, head_type: str) -> None:
+    """Reject un-joinable column types (numeric widening is allowed);
+    shared by the monolithic and fragmented join paths."""
+    if tail_type != head_type and {tail_type, head_type} - {"int", "oid", "dbl"}:
+        raise KernelError(
+            f"join type mismatch: left tail {tail_type} vs right head {head_type}"
+        )
 
 
 def join(left: BAT, right: BAT) -> BAT:
@@ -231,13 +297,7 @@ def join(left: BAT, right: BAT) -> BAT:
     which makes it double as ``leftjoin``.  When the right head is void
     the join degenerates to a positional fetch (``fetchjoin``).
     """
-    if left.ttype != right.htype and not (
-        left.ttype == "oid" and right.htype == "oid"
-    ):
-        if {left.ttype, right.htype} - {"int", "oid", "dbl"}:
-            raise KernelError(
-                f"join type mismatch: left tail {left.ttype} vs right head {right.htype}"
-            )
+    check_join_types(left.ttype, right.htype)
     if right.hdense:
         return fetchjoin(left, right)
     probe = left.tail_values()
@@ -296,35 +356,13 @@ def outerjoin(left: BAT, right: BAT) -> BAT:
 def semijoin(left: BAT, right: BAT) -> BAT:
     """BUNs of *left* whose **head** occurs among *right*'s heads
     (Monet ``semijoin``)."""
-    if right.hdense:
-        heads = left.head_values()
-        mask = (heads >= right.head.seqbase) & (
-            heads < right.head.seqbase + len(right)
-        )
-    else:
-        mask = _membership_mask(
-            left.head_values(),
-            right.head_values(),
-            _is_object_column(left.head) or _is_object_column(right.head),
-        )
-    return left.take_positions(np.nonzero(mask)[0])
+    return left.take_positions(np.nonzero(semijoin_mask(left, right))[0])
 
 
 def kdiff(left: BAT, right: BAT) -> BAT:
     """BUNs of *left* whose head does **not** occur in *right*'s heads
     (Monet ``kdiff``; the anti-semijoin)."""
-    if right.hdense:
-        heads = left.head_values()
-        mask = (heads >= right.head.seqbase) & (
-            heads < right.head.seqbase + len(right)
-        )
-    else:
-        mask = _membership_mask(
-            left.head_values(),
-            right.head_values(),
-            _is_object_column(left.head) or _is_object_column(right.head),
-        )
-    return left.take_positions(np.nonzero(~mask)[0])
+    return left.take_positions(np.nonzero(~semijoin_mask(left, right))[0])
 
 
 def kintersect(left: BAT, right: BAT) -> BAT:

@@ -1,0 +1,120 @@
+"""Save/load round-trips of the BAT buffer pool.
+
+Covers the property-flag and NIL corners the coarse npz layout must
+preserve exactly: ``hsorted``/``tkey``/``hdense`` flags, object (str)
+columns with NILs, and fragmented BATs under both split strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.monet.bat import BAT, Column, VoidColumn, bat_from_pairs, dense_bat
+from repro.monet.bbp import BATBufferPool
+from repro.monet.fragments import FragmentationPolicy, fragment_bat
+
+
+def _roundtrip(pool: BATBufferPool, tmp_path) -> BATBufferPool:
+    pool.save(tmp_path / "db")
+    return BATBufferPool.load(tmp_path / "db")
+
+
+def test_property_flags_roundtrip(pool, tmp_path):
+    sorted_keys = BAT(
+        Column("int", np.array([1, 3, 5, 9], dtype=np.int64)),
+        Column("str", np.array(["a", "b", "c", "d"], dtype=object)),
+        hsorted=True,
+        hkey=True,
+        tkey=True,
+        tsorted=True,
+    )
+    pool.register("flags", sorted_keys)
+    dense = dense_bat("dbl", [0.5, 1.5], seqbase=7)
+    pool.register("dense", dense)
+    loaded = _roundtrip(pool, tmp_path)
+
+    flags = loaded.lookup("flags")
+    assert (flags.hsorted, flags.hkey, flags.tkey, flags.tsorted) == (
+        True,
+        True,
+        True,
+        True,
+    )
+    assert not flags.hdense
+    restored = loaded.lookup("dense")
+    assert restored.hdense and restored.head.seqbase == 7
+    assert restored.to_pairs() == dense.to_pairs()
+
+
+def test_object_column_with_nils_roundtrip(pool, tmp_path):
+    values = ["red", None, "", "green", None, "\x00odd"]
+    bat = dense_bat("str", values)
+    pool.register("strs", bat)
+    loaded = _roundtrip(pool, tmp_path)
+    assert loaded.lookup("strs").tail_list() == values
+
+
+def test_numeric_nils_roundtrip(pool, tmp_path):
+    pool.register("ints", dense_bat("int", [1, None, 3]))
+    pool.register("dbls", dense_bat("dbl", [0.25, None, 4.0]))
+    loaded = _roundtrip(pool, tmp_path)
+    assert loaded.lookup("ints").tail_list() == [1, None, 3]
+    assert loaded.lookup("dbls").tail_list() == [0.25, None, 4.0]
+
+
+def test_nonvoid_oid_head_roundtrip(pool, tmp_path):
+    bat = bat_from_pairs("oid", "int", [(3, 30), (5, 50), (9, 90)])
+    assert bat.hsorted and bat.hkey and not bat.hdense
+    pool.register("sparse", bat)
+    loaded = _roundtrip(pool, tmp_path)
+    restored = loaded.lookup("sparse")
+    assert restored.to_pairs() == bat.to_pairs()
+    assert restored.hsorted and restored.hkey and not restored.hdense
+
+
+def test_fragmented_workers_roundtrip(pool, tmp_path):
+    bat = dense_bat("int", list(range(20)))
+    policy = FragmentationPolicy(target_size=5, workers=4)
+    pool.register_fragmented("w", fragment_bat(bat, policy))
+    loaded = _roundtrip(pool, tmp_path)
+    assert loaded.lookup_fragments("w").policy.workers == 4
+
+
+def test_register_fragmented_renames_cached_coalesce(pool):
+    bat = dense_bat("int", list(range(12)))
+    fb = fragment_bat(bat, FragmentationPolicy(target_size=4))
+    fb.to_bat()  # populate the coalesce cache before registration
+    pool.register_fragmented("named", fb)
+    assert pool.lookup("named").name == "named"
+
+
+@pytest.mark.parametrize("strategy", ["range", "roundrobin"])
+def test_fragmented_roundtrip(pool, tmp_path, strategy):
+    rng = np.random.default_rng(11)
+    n = 257
+    strs = np.empty(n, dtype=object)
+    for i in range(n):
+        strs[i] = None if i % 11 == 0 else f"w{int(rng.integers(0, 40))}"
+    bat = BAT(VoidColumn(2, n), Column("str", strs))
+    policy = FragmentationPolicy(target_size=50, strategy=strategy)
+    pool.register_fragmented("lib.words", fragment_bat(bat, policy))
+    pool.register("plain", dense_bat("int", [1, 2, 3]))
+    loaded = _roundtrip(pool, tmp_path)
+
+    assert loaded.is_fragmented("lib.words")
+    fb = loaded.lookup_fragments("lib.words")
+    assert fb.policy.strategy == strategy
+    assert fb.policy.target_size == 50
+    assert fb.policy.workers == policy.workers
+    assert fb.nfragments == pool.lookup_fragments("lib.words").nfragments
+    assert fb.fragment_sizes() == pool.lookup_fragments("lib.words").fragment_sizes()
+    assert loaded.lookup("lib.words").to_pairs() == bat.to_pairs()
+    assert loaded.lookup("plain").tail_list() == [1, 2, 3]
+
+
+def test_fragmented_roundtrip_preserves_oid_sequence(pool, tmp_path):
+    bat = BAT(VoidColumn(100, 20), Column("int", np.arange(20, dtype=np.int64)))
+    pool.register_fragmented("f", fragment_bat(bat, FragmentationPolicy(target_size=6)))
+    loaded = _roundtrip(pool, tmp_path)
+    assert loaded.oid_generator.current >= 120

@@ -1,0 +1,523 @@
+"""Differential kernel testing: fragmented vs monolithic vs naive.
+
+For a seeded population of randomized BATs (numeric + object dtypes,
+NILs, duplicates, empty inputs) this suite asserts, operator by
+operator:
+
+1. the monolithic kernel matches a naive pure-Python reference
+   evaluated over the *stored* column values (NIL sentinels included,
+   so sentinel arithmetic is part of the contract), and
+2. fragmented execution over >= 3 fragments (both range and
+   round-robin splits) is BUN-for-BUN identical to the monolithic
+   kernel, and
+3. the property flags of every produced BAT are *sound* (a flag is
+   only ever True when the property actually holds).
+
+Scalar/grouped double aggregates compare with a tiny tolerance: the
+fragmented variants combine partial sums, which is equivalent only up
+to floating-point addition order.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.monet import aggregates as agg
+from repro.monet import fragments as fr
+from repro.monet import kernel
+from repro.monet.bat import BAT, Column, VoidColumn
+from repro.monet.fragments import FragmentationPolicy, FragmentedBAT, fragment_bat
+from repro.monet.groups import group
+
+N_CASES = 60
+STRATEGIES = ("range", "roundrobin")
+
+
+# ----------------------------------------------------------------------
+# Randomized BAT generation
+# ----------------------------------------------------------------------
+
+
+def _random_bat(rng: np.random.Generator, ttype: str, *, nils: bool = True) -> BAT:
+    """A random void-headed BAT; sizes include empty and tiny inputs."""
+    n = int(rng.choice([0, 1, 2, 3, 17, 64, 65, 120, 200]))
+    seqbase = int(rng.integers(0, 5))
+    if ttype == "int":
+        values = rng.integers(-20, 20, n).astype(np.int64)
+        if nils and n:
+            values[rng.random(n) < 0.1] = np.iinfo(np.int64).min
+        tail = Column("int", values)
+    elif ttype == "oid":
+        values = rng.integers(0, 40, n).astype(np.int64)
+        tail = Column("oid", values)
+    elif ttype == "dbl":
+        values = np.round(rng.random(n) * 10, 3)
+        if nils and n:
+            values[rng.random(n) < 0.1] = np.nan
+        tail = Column("dbl", values)
+    elif ttype == "str":
+        words = ["ape", "bat", "cat", "dog", "eel", "fox", "gnu", "owl"]
+        values = np.empty(n, dtype=object)
+        for i in range(n):
+            if nils and rng.random() < 0.1:
+                values[i] = None
+            else:
+                values[i] = str(rng.choice(words)) + ("x" if rng.random() < 0.3 else "")
+        tail = Column("str", values)
+    else:  # pragma: no cover - test config error
+        raise ValueError(ttype)
+    return BAT(VoidColumn(seqbase, n), tail)
+
+
+def _random_nonvoid_head_bat(rng: np.random.Generator, n: int) -> BAT:
+    """A BAT with a materialized (duplicate-rich) oid head."""
+    heads = rng.integers(0, max(1, n // 2), n).astype(np.int64)
+    tails = rng.integers(-5, 5, n).astype(np.int64)
+    return BAT(Column("oid", heads), Column("int", tails))
+
+
+def _fragment(bat: BAT, strategy: str) -> FragmentedBAT:
+    """Split into >= 3 fragments whenever the input has >= 3 BUNs.
+
+    Pinning ``workers=2`` forces the thread-pool fan-out even for tiny
+    inputs (which would otherwise take the serial shortcut), so the
+    differential comparison covers the parallel code path.
+    """
+    target = max(1, -(-len(bat) // 4))  # ceil(n/4) -> 4 fragments
+    return fragment_bat(
+        bat, FragmentationPolicy(target_size=target, strategy=strategy, workers=2)
+    )
+
+
+# ----------------------------------------------------------------------
+# Naive pure-Python references (over stored values)
+# ----------------------------------------------------------------------
+
+
+def _raw_pairs(bat: BAT):
+    return list(zip(bat.head_values().tolist(), bat.tail_values().tolist()))
+
+
+def _ref_select_range(pairs, low, high, include_low, include_high):
+    out = []
+    for h, t in pairs:
+        if t is None:
+            continue
+        if isinstance(t, float) and math.isnan(t):
+            continue
+        ok = True
+        if low is not None:
+            ok = t >= low if include_low else t > low
+        if ok and high is not None:
+            ok = t <= high if include_high else t < high
+        if ok:
+            out.append((h, t))
+    return out
+
+
+def _ref_select_equal(pairs, value):
+    return [(h, t) for h, t in pairs if t is not None and t == value]
+
+
+def _ref_likeselect(pairs, pattern):
+    return [(h, t) for h, t in pairs if t is not None and pattern in t]
+
+
+def _ref_fetchjoin(pairs, right_seqbase, right_tails):
+    out = []
+    for h, t in pairs:
+        position = t - right_seqbase
+        if 0 <= position < len(right_tails):
+            out.append((h, right_tails[position]))
+    return out
+
+
+def _ref_join(pairs, right_pairs):
+    out = []
+    for h, t in pairs:
+        for rh, rt in right_pairs:
+            if t == rh:
+                out.append((h, rt))
+    return out
+
+
+def _ref_semijoin(pairs, right_heads):
+    members = set(right_heads)
+    return [(h, t) for h, t in pairs if h in members]
+
+
+def _ref_antijoin(pairs, right_heads):
+    members = set(right_heads)
+    return [(h, t) for h, t in pairs if h not in members]
+
+
+def _ref_mark(pairs, base):
+    return [(h, base + i) for i, (h, _) in enumerate(pairs)]
+
+
+# ----------------------------------------------------------------------
+# Comparison helpers
+# ----------------------------------------------------------------------
+
+
+def _same_value(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+def assert_pairs_equal(result: BAT, expected) -> None:
+    got = _raw_pairs(result)
+    assert len(got) == len(expected), f"{len(got)} BUNs, expected {len(expected)}"
+    for position, (g, e) in enumerate(zip(got, expected)):
+        assert _same_value(g[0], e[0]) and _same_value(g[1], e[1]), (
+            f"BUN {position}: got {g}, expected {e}"
+        )
+
+
+def assert_flags_sound(bat: BAT) -> None:
+    """Every True property flag must actually hold."""
+    heads = bat.head_values().tolist()
+    tails = bat.tail_values().tolist()
+
+    def nondecreasing(vals):
+        try:
+            return all(
+                a is not None and b is not None and a <= b
+                for a, b in zip(vals, vals[1:])
+            ) and (len(vals) < 2 or None not in vals)
+        except TypeError:
+            return False
+
+    if bat.hsorted:
+        assert nondecreasing(heads), "hsorted flag on unsorted head"
+    if bat.tsorted:
+        assert nondecreasing(tails), "tsorted flag on unsorted tail"
+    if bat.hkey:
+        assert len(set(map(repr, heads))) == len(heads), "hkey flag with dup heads"
+    if bat.tkey:
+        assert len(set(map(repr, tails))) == len(tails), "tkey flag with dup tails"
+    if bat.hdense:
+        assert bat.head.is_void
+
+
+def _check_op(monolithic: BAT, reference, fragmented_results) -> None:
+    """Full differential check for one operator application."""
+    assert_pairs_equal(monolithic, reference)
+    assert_flags_sound(monolithic)
+    for result in fragmented_results:
+        coalesced = result.to_bat()
+        assert_pairs_equal(coalesced, reference)
+        assert_flags_sound(coalesced)
+        for fragment in result.fragments:
+            assert_flags_sound(fragment)
+
+
+# ----------------------------------------------------------------------
+# The differential suites
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_select_family_differential(seed):
+    rng = np.random.default_rng(seed)
+    ttype = ("int", "dbl", "oid", "str")[seed % 4]
+    bat = _random_bat(rng, ttype)
+    pairs = _raw_pairs(bat)
+    fbs = [_fragment(bat, s) for s in STRATEGIES]
+
+    if ttype == "str":
+        value = "cat"
+        _check_op(
+            kernel.select(bat, value),
+            _ref_select_equal(pairs, value),
+            [fr.select(fb, value) for fb in fbs],
+        )
+        pattern = "a"
+        _check_op(
+            kernel.likeselect(bat, pattern),
+            _ref_likeselect(pairs, pattern),
+            [fr.likeselect(fb, pattern) for fb in fbs],
+        )
+        low, high = "b", "f"
+    else:
+        value = int(rng.integers(-20, 40)) if ttype != "dbl" else 3.0
+        _check_op(
+            kernel.select(bat, value),
+            _ref_select_equal(pairs, value),
+            [fr.select(fb, value) for fb in fbs],
+        )
+        low, high = (-5, 10) if ttype != "dbl" else (2.0, 7.5)
+    include_low = bool(rng.integers(0, 2))
+    include_high = bool(rng.integers(0, 2))
+    _check_op(
+        kernel.select(bat, low, high, include_low=include_low, include_high=include_high),
+        _ref_select_range(pairs, low, high, include_low, include_high),
+        [
+            fr.select(fb, low, high, include_low=include_low, include_high=include_high)
+            for fb in fbs
+        ],
+    )
+    # Open-ended range on one side.
+    _check_op(
+        kernel.select(bat, low, None),
+        _ref_select_range(pairs, low, None, True, True),
+        [fr.select(fb, low, None) for fb in fbs],
+    )
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_uselect_and_mark_differential(seed):
+    rng = np.random.default_rng(100 + seed)
+    bat = _random_bat(rng, "int")
+    pairs = _raw_pairs(bat)
+    fbs = [_fragment(bat, s) for s in STRATEGIES]
+    selected = _ref_select_range(pairs, -10, 10, True, True)
+    _check_op(
+        kernel.uselect(bat, -10, 10),
+        _ref_mark(selected, 0),
+        [fr.uselect(fb, -10, 10) for fb in fbs],
+    )
+    base = int(rng.integers(0, 100))
+    _check_op(
+        kernel.mark(bat, base),
+        _ref_mark(pairs, base),
+        [fr.mark(fb, base) for fb in fbs],
+    )
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_fetchjoin_differential(seed):
+    rng = np.random.default_rng(200 + seed)
+    n = int(rng.choice([0, 1, 40, 120]))
+    left = BAT(VoidColumn(0, n), Column("oid", rng.integers(-3, 30, n)))
+    right_seqbase = int(rng.integers(0, 4))
+    right_n = int(rng.integers(0, 25))
+    right = BAT(
+        VoidColumn(right_seqbase, right_n),
+        Column("dbl", np.round(rng.random(right_n), 3)),
+    )
+    pairs = _raw_pairs(left)
+    right_tails = right.tail_values().tolist()
+    _check_op(
+        kernel.fetchjoin(left, right),
+        _ref_fetchjoin(pairs, right_seqbase, right_tails),
+        [fr.fetchjoin(_fragment(left, s), right) for s in STRATEGIES],
+    )
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_join_differential(seed):
+    rng = np.random.default_rng(300 + seed)
+    if seed % 3 == 2:
+        # Object-dtype (string) join; NIL-free probe/build sides --
+        # numpy orders None/NaN differently from pure Python.
+        n = int(rng.choice([0, 1, 30, 90]))
+        words = ["ape", "bat", "cat", "dog", "eel"]
+        probe_vals = np.empty(n, dtype=object)
+        for i in range(n):
+            probe_vals[i] = str(rng.choice(words))
+        left = BAT(VoidColumn(0, n), Column("str", probe_vals))
+        m = int(rng.integers(0, 12))
+        build_vals = np.empty(m, dtype=object)
+        for i in range(m):
+            build_vals[i] = str(rng.choice(words))
+        right = BAT(Column("str", build_vals), Column("int", rng.integers(0, 9, m)))
+    else:
+        n = int(rng.choice([0, 1, 30, 90]))
+        left = BAT(VoidColumn(0, n), Column("oid", rng.integers(0, 15, n)))
+        m = int(rng.integers(0, 12))
+        right = BAT(
+            Column("oid", rng.integers(0, 15, m).astype(np.int64)),
+            Column("int", rng.integers(-4, 4, m)),
+        )
+    pairs = _raw_pairs(left)
+    right_pairs = _raw_pairs(right)
+    _check_op(
+        kernel.join(left, right),
+        _ref_join(pairs, right_pairs),
+        [fr.join(_fragment(left, s), right) for s in STRATEGIES],
+    )
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_semijoin_antijoin_differential(seed):
+    rng = np.random.default_rng(400 + seed)
+    n = int(rng.choice([0, 1, 40, 130]))
+    left = _random_nonvoid_head_bat(rng, n)
+    if seed % 2:
+        m = int(rng.integers(0, 20))
+        right = BAT(
+            Column("oid", rng.integers(0, max(1, n), m).astype(np.int64)),
+            Column("int", rng.integers(0, 3, m)),
+        )
+        right_heads = right.head_values().tolist()
+    else:
+        seqbase = int(rng.integers(0, 5))
+        m = int(rng.integers(0, 20))
+        right = BAT(VoidColumn(seqbase, m), Column("int", rng.integers(0, 3, m)))
+        right_heads = list(range(seqbase, seqbase + m))
+    pairs = _raw_pairs(left)
+    _check_op(
+        kernel.semijoin(left, right),
+        _ref_semijoin(pairs, right_heads),
+        [fr.semijoin(_fragment(left, s), right) for s in STRATEGIES],
+    )
+    _check_op(
+        kernel.kdiff(left, right),
+        _ref_antijoin(pairs, right_heads),
+        [fr.antijoin(_fragment(left, s), right) for s in STRATEGIES],
+    )
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_scalar_aggregates_differential(seed):
+    rng = np.random.default_rng(500 + seed)
+    ttype = "int" if seed % 2 else "dbl"
+    # NIL-free: int NILs are sentinel ints the kernel sums like any
+    # number (covered elsewhere); dbl NaNs poison sums identically in
+    # both paths but make tolerance comparison meaningless.
+    bat = _random_bat(rng, ttype, nils=False)
+    raw = bat.tail_values().tolist()
+    fbs = [_fragment(bat, s) for s in STRATEGIES]
+
+    ref_count = len(raw)
+    ref_sum = sum(raw) if raw else (0.0 if ttype == "dbl" else 0)
+    ref_min = min(raw) if raw else None
+    ref_max = max(raw) if raw else None
+    ref_avg = (sum(raw) / len(raw)) if raw else None
+
+    assert agg.count(bat) == ref_count
+    assert agg.max_(bat) == ref_max
+    assert agg.min_(bat) == ref_min
+    _assert_scalar_close(agg.sum_(bat), ref_sum)
+    _assert_scalar_close(agg.avg(bat), ref_avg)
+    for fb in fbs:
+        assert fr.count(fb) == ref_count
+        assert fr.max_(fb) == ref_max
+        assert fr.min_(fb) == ref_min
+        _assert_scalar_close(fr.sum_(fb), ref_sum)
+        _assert_scalar_close(fr.avg(fb), ref_avg)
+
+
+def _assert_scalar_close(got, expected):
+    if expected is None or got is None:
+        assert got is None and expected is None
+    else:
+        assert got == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_grouped_aggregates_differential(seed):
+    rng = np.random.default_rng(600 + seed)
+    n = int(rng.choice([0, 1, 50, 160]))
+    values = BAT(VoidColumn(0, n), Column("dbl", np.round(rng.random(n) * 5, 3)))
+    keys = BAT(VoidColumn(0, n), Column("int", rng.integers(0, 12, n)))
+    grouping = group(keys)
+
+    # Naive per-group reference.
+    members: dict = {}
+    ids = grouping.tail_values().tolist()
+    raw = values.tail_values().tolist()
+    for gid, value in zip(ids, raw):
+        members.setdefault(gid, []).append(value)
+    size = max(ids) + 1 if ids else 0
+    ref_sum = [sum(members.get(g, [0.0])) for g in range(size)]
+    ref_count = [len(members.get(g, [])) for g in range(size)]
+    ref_max = [max(members[g]) if g in members else None for g in range(size)]
+    ref_min = [min(members[g]) if g in members else None for g in range(size)]
+    ref_avg = [
+        (sum(members[g]) / len(members[g])) if g in members else None
+        for g in range(size)
+    ]
+
+    mono = {
+        "sum": agg.grouped_sum(values, grouping),
+        "count": agg.grouped_count(values, grouping),
+        "max": agg.grouped_max(values, grouping),
+        "min": agg.grouped_min(values, grouping),
+        "avg": agg.grouped_avg(values, grouping),
+    }
+    _assert_grouped(mono, ref_sum, ref_count, ref_max, ref_min, ref_avg)
+    for strategy in STRATEGIES:
+        policy = FragmentationPolicy(
+            target_size=max(1, -(-n // 4)), strategy=strategy
+        )
+        fv = fragment_bat(values, policy)
+        fg = fragment_bat(grouping, policy)
+        frag = {
+            "sum": fr.grouped_sum(fv, fg),
+            "count": fr.grouped_count(fv, fg),
+            "max": fr.grouped_max(fv, fg),
+            "min": fr.grouped_min(fv, fg),
+            "avg": fr.grouped_avg(fv, fg),
+        }
+        _assert_grouped(frag, ref_sum, ref_count, ref_max, ref_min, ref_avg)
+
+
+def _assert_grouped(results, ref_sum, ref_count, ref_max, ref_min, ref_avg):
+    assert results["sum"].tail_values().tolist() == pytest.approx(ref_sum)
+    assert results["count"].tail_values().tolist() == ref_count
+    assert results["max"].tail_list() == pytest.approx(ref_max)
+    assert results["min"].tail_list() == pytest.approx(ref_min)
+    assert results["avg"].tail_list() == pytest.approx(ref_avg)
+
+
+def test_nan_extremes_match_monolithic():
+    """dbl NIL (NaN) members poison their group/aggregate exactly like
+    the monolithic kernel -- regression for an fmax/fmin-based combine
+    that silently dropped NaN partials."""
+    values = BAT(
+        VoidColumn(0, 4),
+        Column("dbl", np.array([np.nan, 1.0, 5.0, 2.0])),
+    )
+    keys = BAT(VoidColumn(0, 4), Column("int", np.array([0, 1, 0, 1], dtype=np.int64)))
+    grouping = group(keys)
+    for strategy in STRATEGIES:
+        policy = FragmentationPolicy(target_size=2, strategy=strategy, workers=2)
+        fv = fragment_bat(values, policy)
+        fg = fragment_bat(grouping, policy)
+        for mono_fn, frag_fn in (
+            (agg.grouped_max, fr.grouped_max),
+            (agg.grouped_min, fr.grouped_min),
+        ):
+            mono = mono_fn(values, grouping).tail_list()
+            frag = frag_fn(fv, fg).tail_list()
+            assert len(mono) == len(frag) == 2
+            for m, f in zip(mono, frag):
+                assert _same_value(m, f) or (m is None and f is None), (mono, frag)
+        # Scalar extremes: NaN anywhere makes the whole aggregate NaN.
+        assert math.isnan(agg.max_(values))
+        assert math.isnan(fr.max_(fv))
+        assert math.isnan(agg.min_(values))
+        assert math.isnan(fr.min_(fv))
+    # NaN in the *last* fragment too (order dependence of Python max()).
+    tail_nan = BAT(VoidColumn(0, 4), Column("dbl", np.array([5.0, 1.0, 2.0, np.nan])))
+    ft = fragment_bat(tail_nan, FragmentationPolicy(target_size=2, workers=2))
+    assert math.isnan(fr.max_(ft)) and math.isnan(fr.min_(ft))
+
+
+# ----------------------------------------------------------------------
+# Structural invariants of the fragmentation itself
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(20))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fragment_roundtrip_identity(seed, strategy):
+    rng = np.random.default_rng(700 + seed)
+    ttype = ("int", "dbl", "str", "oid")[seed % 4]
+    bat = _random_bat(rng, ttype)
+    fb = _fragment(bat, strategy)
+    if len(bat) >= 4:
+        assert fb.nfragments >= 3
+    assert len(fb) == len(bat)
+    assert_pairs_equal(fb.to_bat(), _raw_pairs(bat))
+    assert_flags_sound(fb.to_bat())
+    # Coalescing a range split of a void-headed BAT restores voidness.
+    if strategy == "range":
+        assert fb.to_bat().hdense == bat.hdense

@@ -190,3 +190,42 @@ class TestPumpAggregates:
         groups = BAT(VoidColumn(5, 2), Column("oid", np.array([0, 1])))
         with pytest.raises(KernelError):
             grouped_sum(values, groups)
+
+    def test_alignment_joins_on_permuted_heads(self):
+        # Vectorized searchsorted alignment: heads in different orders.
+        values = bat_from_pairs("oid", "dbl", [(9, 1.0), (5, 2.0), (7, 4.0)])
+        groups = bat_from_pairs("oid", "oid", [(5, 0), (7, 1), (9, 1)])
+        assert grouped_sum(values, groups).tail_list() == [2.0, 5.0]
+
+    def test_alignment_with_object_heads(self):
+        # Regression: object (str) heads used a per-element Python dict
+        # loop; the factorized path must join them identically.
+        values = bat_from_pairs("str", "dbl", [("b", 1.0), ("a", 2.0), ("c", 4.0)])
+        groups = bat_from_pairs("str", "oid", [("a", 0), ("b", 1), ("c", 1)])
+        assert grouped_sum(values, groups).tail_list() == [2.0, 5.0]
+
+    def test_alignment_with_object_heads_missing_group(self):
+        values = bat_from_pairs("str", "dbl", [("a", 1.0), ("zz", 2.0)])
+        groups = bat_from_pairs("str", "oid", [("a", 0), ("b", 0)])
+        with pytest.raises(KernelError, match="zz"):
+            grouped_sum(values, groups)
+
+    def test_alignment_missing_numeric_head_rejected(self):
+        values = bat_from_pairs("oid", "dbl", [(1, 1.0), (42, 2.0)])
+        groups = bat_from_pairs("oid", "oid", [(1, 0), (2, 0)])
+        with pytest.raises(KernelError, match="42"):
+            grouped_sum(values, groups)
+
+    def test_alignment_duplicate_heads_last_wins(self):
+        # Duplicate grouping heads: the last entry decides, matching the
+        # historical dict-based join.
+        values = bat_from_pairs("oid", "dbl", [(5, 1.0), (7, 2.0), (5, 4.0)])
+        groups = bat_from_pairs("oid", "oid", [(5, 0), (5, 1), (7, 1)])
+        assert grouped_sum(values, groups, 2).tail_list() == [0.0, 7.0]
+
+    def test_alignment_object_heads_with_nil_falls_back(self):
+        # None among str heads defeats numpy ordering; the dict
+        # fallback must still align correctly.
+        values = bat_from_pairs("str", "dbl", [("a", 1.0), ("b", 2.0), ("b", 3.0)])
+        groups = bat_from_pairs("str", "oid", [("a", 0), ("b", 1), (None, 1)])
+        assert grouped_sum(values, groups).tail_list() == [1.0, 5.0]
