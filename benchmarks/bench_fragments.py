@@ -1,15 +1,26 @@
-"""E11 -- fragmented vs monolithic kernel execution.
+"""E11 -- fragmented vs monolithic kernel and MIL execution.
 
 Measures the hot operators of the fragmented BAT subsystem
 (:mod:`repro.monet.fragments`) against their monolithic counterparts:
 select (equality + range), join (value probe against a shared build
-side), and IR posting-list scoring, at 10^5 .. 10^7 BUNs.
+side), IR posting-list scoring, and a whole MIL pipeline
+(``select -> join -> sum``) executed fragment-aware by the MIL
+interpreter, at 10^5 .. 10^7 BUNs.
+
+A calibration pass measures real operator timings at several fragment
+sizes and serial/parallel floors and installs the winners via
+:func:`repro.monet.fragments.set_default_tuning`, replacing the static
+constants of the seed with cores-plus-measurement-derived values.
 
 Standalone report:  python benchmarks/bench_fragments.py
 Fast smoke mode:    BENCH_FAST=1 python benchmarks/bench_fragments.py
+MIL pipeline only:  BENCH_FAST=1 python benchmarks/bench_fragments.py --mil
+Calibration only:   python benchmarks/bench_fragments.py --calibrate
 """
 
 import os
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -17,8 +28,10 @@ import pytest
 from repro.ir.index import InvertedIndex
 from repro.monet import fragments as fr
 from repro.monet import kernel
-from repro.monet.bat import BAT, Column, VoidColumn
+from repro.monet.bat import BAT, Column, VoidColumn, bat_from_pairs, dense_bat
+from repro.monet.bbp import BATBufferPool
 from repro.monet.fragments import FragmentationPolicy, fragment_bat
+from repro.monet.mil import MILInterpreter
 
 FAST = bool(os.environ.get("BENCH_FAST"))
 N = 100_000 if not FAST else 20_000
@@ -29,7 +42,9 @@ def _policy(n):
     """One fragment per two worker slots, floored at the default size:
     keeps per-fragment dispatch overhead negligible relative to the
     numpy work while still saturating the shared pool (>= 2 threads)."""
-    return FragmentationPolicy(target_size=max(65536, -(-n // (2 * WORKERS))))
+    return FragmentationPolicy(
+        target_size=max(fr.DEFAULT_FRAGMENT_SIZE, -(-n // (2 * WORKERS)))
+    )
 
 
 def _int_bat(n, *, distinct=1000, seed=0):
@@ -58,6 +73,102 @@ def _index(n_docs, postings_per_doc, *, seed=3):
     return documents
 
 
+def _timed(fn, repeats):
+    fn()  # warm-up (also pays one-time fragmentation/coalesce costs)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000
+
+
+# ----------------------------------------------------------------------
+# MIL pipeline: the fragment-aware interpreter end to end
+# ----------------------------------------------------------------------
+
+#: select -> join -> aggregate, the canonical Mirror ranking shape.
+MIL_PIPELINE = (
+    's := bat("fact").select(oid(50), oid(800));'
+    ' j := s.join(bat("dim"));'
+    ' sum(j);'
+)
+
+
+def _mil_pools(n, *, seed=5):
+    """(monolithic pool+interpreter, fragmented pool+interpreter) over
+    one fact BAT of *n* oid keys and a 1000-row dimension."""
+    rng = np.random.default_rng(seed)
+    fact = BAT(VoidColumn(0, n), Column("oid", rng.integers(0, 1000, n)))
+    dim = bat_from_pairs(
+        "oid", "dbl", [(i, float(i) * 0.5) for i in rng.permutation(1000)]
+    )
+    policy = _policy(n)
+    mono_pool = BATBufferPool()
+    mono_pool.register("fact", fact)
+    mono_pool.register("dim", dim)
+    frag_pool = BATBufferPool()
+    frag_pool.register_fragmented("fact", fragment_bat(fact, policy))
+    frag_pool.register_fragmented("dim", fragment_bat(dim, policy))
+    return (
+        MILInterpreter(mono_pool),
+        MILInterpreter(frag_pool, fragment_policy=policy),
+    )
+
+
+# ----------------------------------------------------------------------
+# Calibration: measured tuning instead of static constants
+# ----------------------------------------------------------------------
+
+
+def calibrate(verbose=True):
+    """Measure operator cost across fragment sizes and the
+    serial/parallel crossover, then install the winners as the module
+    defaults (:func:`repro.monet.fragments.set_default_tuning`).
+
+    Returns ``(fragment_size, parallel_min)``."""
+    n = 200_000 if FAST else 2_000_000
+    candidates = [16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
+    if FAST:
+        candidates = candidates[:3]
+    repeats = 2 if FAST else 3
+    ints = _int_bat(n)
+    if verbose:
+        print(f"calibration: select over {n:,} BUNs (workers={WORKERS})")
+        print(f"{'fragment size':>16}{'select ms':>12}")
+    best_size, best_ms = candidates[0], float("inf")
+    for size in candidates:
+        fb = fragment_bat(ints, FragmentationPolicy(target_size=size))
+        ms = _timed(lambda: fr.select(fb, 100, 200, workers=WORKERS), repeats)
+        if verbose:
+            print(f"{size:>16,}{ms:>12.2f}")
+        if ms < best_ms:
+            best_size, best_ms = size, ms
+    # Parallel floor: smallest BAT where fragment fan-out is not slower
+    # than the monolithic operator (bounded by [best_size, 8x]).
+    parallel_min = 8 * best_size
+    for floor in (best_size, 2 * best_size, 4 * best_size):
+        small = _int_bat(2 * floor)
+        fb = fragment_bat(small, FragmentationPolicy(target_size=floor))
+        mono_ms = _timed(lambda: kernel.select(small, 100, 200), repeats)
+        frag_ms = _timed(lambda: fr.select(fb, 100, 200, workers=WORKERS), repeats)
+        if frag_ms <= mono_ms * 1.05:
+            parallel_min = 2 * floor
+            break
+    fr.set_default_tuning(fragment_size=best_size, parallel_min=parallel_min)
+    if verbose:
+        print(
+            f"calibrated: fragment_size={best_size:,} "
+            f"parallel_min={parallel_min:,} (installed as defaults)"
+        )
+    return best_size, parallel_min
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark cases
+# ----------------------------------------------------------------------
+
+
 @pytest.fixture(scope="module")
 def ints():
     return _int_bat(N)
@@ -77,6 +188,11 @@ def join_sides():
 def left_fragmented(join_sides):
     left, _ = join_sides
     return fragment_bat(left, _policy(N))
+
+
+@pytest.fixture(scope="module")
+def mil_interpreters():
+    return _mil_pools(N)
 
 
 def test_select_monolithic(benchmark, ints):
@@ -101,21 +217,46 @@ def test_join_fragmented(benchmark, left_fragmented, join_sides):
     assert len(result) == N
 
 
-def report():
-    import time
+def test_mil_pipeline_monolithic(benchmark, mil_interpreters):
+    mono, _ = mil_interpreters
+    result = benchmark(mono.run, MIL_PIPELINE)
+    assert result.value > 0
 
+
+def test_mil_pipeline_fragmented(benchmark, mil_interpreters):
+    _, frag = mil_interpreters
+    result = benchmark(frag.run, MIL_PIPELINE)
+    assert result.value > 0
+
+
+# ----------------------------------------------------------------------
+# Standalone report
+# ----------------------------------------------------------------------
+
+
+def _report_mil(sizes, verbose_header=True):
+    if verbose_header:
+        print(f"E11: fragment-aware MIL pipeline (workers={WORKERS})")
+        print(f"{'n':>12}  {'operator':<18}{'mono ms':>10}{'frag ms':>10}{'ratio':>8}")
+    for n in sizes:
+        repeats = 2 if n >= 10**7 else 5
+        mono, frag = _mil_pools(n)
+        mono_ms = _timed(lambda: mono.run(MIL_PIPELINE), repeats)
+        frag_ms = _timed(lambda: frag.run(MIL_PIPELINE), repeats)
+        mono_value = mono.run(MIL_PIPELINE).value
+        frag_value = frag.run(MIL_PIPELINE).value
+        assert abs(mono_value - frag_value) <= 1e-6 * max(1.0, abs(mono_value))
+        ratio = frag_ms / mono_ms if mono_ms else float("inf")
+        print(
+            f"{n:>12,}  {'mil-pipeline':<18}{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
+        )
+
+
+def report():
+    calibrate()
     sizes = [10**4, 10**5] if FAST else [10**5, 10**6, 10**7]
     print(f"E11: monolithic vs fragmented execution (workers={WORKERS})")
     print(f"{'n':>12}  {'operator':<18}{'mono ms':>10}{'frag ms':>10}{'ratio':>8}")
-
-    def timed(fn, repeats):
-        fn()  # warm-up (also pays one-time fragmentation/coalesce costs)
-        best = float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - start)
-        return best * 1000
 
     for n in sizes:
         repeats = 2 if n >= 10**7 else 5
@@ -142,8 +283,8 @@ def report():
             ),
         ]
         for name, mono, frag in cases:
-            mono_ms = timed(mono, repeats)
-            frag_ms = timed(frag, repeats)
+            mono_ms = _timed(mono, repeats)
+            frag_ms = _timed(frag, repeats)
             ratio = frag_ms / mono_ms if mono_ms else float("inf")
             print(f"{n:>12,}  {name:<18}{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}")
 
@@ -151,8 +292,8 @@ def report():
         n_docs = max(100, n // 100)
         index = InvertedIndex(_index(n_docs, 20))
         query = ["term1", "term42", "term123", "term400"]
-        mono_ms = timed(lambda: index.score_sum(query), repeats)
-        frag_ms = timed(
+        mono_ms = _timed(lambda: index.score_sum(query), repeats)
+        frag_ms = _timed(
             lambda: index.score_sum_parallel(
                 query, fragment_size=_policy(index.posting_count).target_size
             ),
@@ -164,6 +305,17 @@ def report():
             f"{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
         )
 
+    # The fragment-aware MIL interpreter, end to end (>= 1M BUNs in the
+    # full run; the FAST smoke keeps CI quick).
+    mil_sizes = [10**5] if FAST else [10**6, 10**7]
+    _report_mil(mil_sizes)
+
 
 if __name__ == "__main__":
-    report()
+    if "--calibrate" in sys.argv:
+        calibrate()
+    elif "--mil" in sys.argv:
+        calibrate(verbose=False)
+        _report_mil([10**5] if FAST else [10**6])
+    else:
+        report()

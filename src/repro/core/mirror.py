@@ -42,8 +42,10 @@ class MirrorDBMS:
 
     ``fragment_threshold`` turns on transparent horizontal
     fragmentation: attribute BATs loaded with at least that many BUNs
-    are stored as fragments (see :mod:`repro.monet.fragments`), which
-    downstream fragment-aware operators exploit for parallelism.
+    are stored as fragments (see :mod:`repro.monet.fragments`), and
+    compiled query plans execute them fragment-parallel end-to-end (the
+    MIL interpreter dispatches to the fragment kernel; the optional
+    ``fragment_policy`` governs intermediate re-fragmentation).
     """
 
     def __init__(

@@ -24,7 +24,8 @@ from repro.ir.beliefs import BeliefParameters, DEFAULT_PARAMETERS, beliefs_array
 from repro.ir.stats import CollectionStats
 from repro.monet.bat import BAT, Column, VoidColumn, dense_bat
 from repro.monet.bbp import BATBufferPool
-from repro.monet.fragments import DEFAULT_FRAGMENT_SIZE, map_fragments
+from repro.monet import fragments
+from repro.monet.fragments import map_fragments
 
 
 class InvertedIndex:
@@ -140,17 +141,22 @@ class InvertedIndex:
         query_terms: Sequence[str],
         params: BeliefParameters = DEFAULT_PARAMETERS,
         *,
-        fragment_size: int = DEFAULT_FRAGMENT_SIZE,
+        fragment_size: Optional[int] = None,
         workers: Optional[int] = None,
     ) -> np.ndarray:
         """:meth:`score_sum` over horizontal posting fragments scored in
         parallel; partial per-document score vectors are summed.
+        ``fragment_size=None`` resolves the module default at call time
+        (so a :func:`repro.monet.fragments.set_default_tuning`
+        calibration is picked up).
 
         Equivalent to :meth:`score_sum` up to floating-point addition
         order (each posting contributes exactly once).
         """
         if self.posting_count == 0 or not query_terms:
             return np.zeros(self.document_count)
+        if fragment_size is None:
+            fragment_size = fragments.DEFAULT_FRAGMENT_SIZE
         if fragment_size < 1:
             raise ValueError("fragment_size must be at least 1")
         chunks = [

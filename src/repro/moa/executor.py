@@ -88,8 +88,11 @@ class MoaExecutor:
     set, bulk loads performed through this executor's facade (see
     :meth:`load` and :class:`repro.core.mirror.MirrorDBMS`) register
     attribute BATs of at least that many BUNs as horizontal fragments
-    (:mod:`repro.monet.fragments`).  Query execution is unaffected --
-    the pool coalesces transparently on lookup.
+    (:mod:`repro.monet.fragments`).  The MIL interpreter executes
+    fragment-aware: plans over fragmented attributes run their hot
+    operators fragment-parallel end-to-end (``fragment_policy`` is
+    threaded through to govern intermediate re-fragmentation), and only
+    the final result reconstruction materializes.
     """
 
     def __init__(
@@ -104,7 +107,7 @@ class MoaExecutor:
         self.schema = schema
         self.fragment_threshold = fragment_threshold
         self.fragment_policy = fragment_policy
-        self.mil = MILInterpreter(pool)
+        self.mil = MILInterpreter(pool, fragment_policy=fragment_policy)
 
     def load(self, name: str, ty: MoaType, values: List[Any]) -> None:
         """Load a collection under this executor's fragmentation

@@ -29,8 +29,8 @@ import numpy as np
 from repro.monet.atoms import OidGenerator, atom
 from repro.monet.bat import BAT, Column, VoidColumn
 from repro.monet.errors import BBPError
+from repro.monet import fragments as _fragments
 from repro.monet.fragments import (
-    DEFAULT_FRAGMENT_SIZE,
     FragmentationPolicy,
     FragmentedBAT,
     fragment_bat,
@@ -47,7 +47,18 @@ class BATBufferPool:
     def __init__(self):
         self._bats: Dict[str, BAT] = {}
         self._fragmented: Dict[str, FragmentedBAT] = {}
+        # Per-name view caches, invalidated on (re-)register and drop:
+        # coalesced monolithic views of fragmented registrations
+        # (lookup) and on-the-fly fragmentations of monolithic
+        # registrations (lookup_fragments).  Without these, every MIL
+        # reference to the same name would re-materialize the view.
+        self._coalesced_views: Dict[str, BAT] = {}
+        self._fragment_views: Dict[str, FragmentedBAT] = {}
         self.oid_generator = OidGenerator()
+
+    def _invalidate_views(self, name: str) -> None:
+        self._coalesced_views.pop(name, None)
+        self._fragment_views.pop(name, None)
 
     # ------------------------------------------------------------------
     # Catalog operations
@@ -59,6 +70,7 @@ class BATBufferPool:
         if name in self and not replace:
             raise BBPError(f"BAT {name!r} already registered")
         self._fragmented.pop(name, None)
+        self._invalidate_views(name)
         bat.name = name
         self._bats[name] = bat
         self._bump_oids(bat)
@@ -75,6 +87,7 @@ class BATBufferPool:
         if name in self and not replace:
             raise BBPError(f"BAT {name!r} already registered")
         self._bats.pop(name, None)
+        self._invalidate_views(name)
         fragmented.name = name
         if fragmented._coalesced is not None:
             fragmented._coalesced.name = name
@@ -85,25 +98,37 @@ class BATBufferPool:
 
     def lookup(self, name: str) -> BAT:
         """The BAT registered under *name* (MIL ``bat("name")``);
-        fragmented registrations are coalesced (cached)."""
+        fragmented registrations are coalesced once and the view cached
+        until the name is re-registered or dropped, so repeated MIL
+        references never re-materialize."""
         try:
             return self._bats[name]
         except KeyError:
             pass
+        cached = self._coalesced_views.get(name)
+        if cached is not None:
+            return cached
         try:
-            return self._fragmented[name].to_bat()
+            view = self._fragmented[name].to_bat()
         except KeyError:
             raise BBPError(f"no BAT named {name!r} in the pool") from None
+        self._coalesced_views[name] = view
+        return view
 
     def lookup_fragments(
         self, name: str, policy: Optional[FragmentationPolicy] = None
     ) -> FragmentedBAT:
         """A fragmented view of *name*: the registered fragmentation if
-        there is one, otherwise the monolithic BAT split on the fly."""
+        there is one, otherwise the monolithic BAT split on the fly
+        (cached per name; a different explicit *policy* re-splits)."""
         if name in self._fragmented:
             return self._fragmented[name]
-        bat = self.lookup(name)
-        return fragment_bat(bat, policy or FragmentationPolicy())
+        cached = self._fragment_views.get(name)
+        if cached is not None and (policy is None or policy == cached.policy):
+            return cached
+        view = fragment_bat(self.lookup(name), policy or FragmentationPolicy())
+        self._fragment_views[name] = view
+        return view
 
     def is_fragmented(self, name: str) -> bool:
         """True when *name* is registered as a fragmented BAT."""
@@ -120,6 +145,7 @@ class BATBufferPool:
             del self._fragmented[name]
         else:
             raise BBPError(f"cannot drop unknown BAT {name!r}")
+        self._invalidate_views(name)
 
     def names(self, prefix: str = "") -> List[str]:
         """Registered names, optionally filtered by prefix, sorted."""
@@ -213,7 +239,10 @@ class BATBufferPool:
                             has_positions = True
                             positions.append(np.asarray(data["positions"], np.int64))
                 policy = FragmentationPolicy(
-                    target_size=entry.get("target_size", DEFAULT_FRAGMENT_SIZE),
+                    # Legacy catalogs without a stored size pick up the
+                    # current (possibly calibrated) default at load time.
+                    target_size=entry.get("target_size")
+                    or _fragments.DEFAULT_FRAGMENT_SIZE,
                     strategy=entry.get("strategy", "range"),
                     workers=entry.get("workers"),
                 )

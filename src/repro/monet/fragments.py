@@ -20,10 +20,19 @@ Two split strategies are supported through
     merged back into BUN order.
 
 Every operator here is the exact fragment-parallel counterpart of a
-:mod:`repro.monet.kernel` (or :mod:`repro.monet.aggregates`) operator;
+:mod:`repro.monet.kernel`, :mod:`repro.monet.groups` or
+:mod:`repro.monet.aggregates` operator;
 ``tests/monet/test_fragment_differential.py`` asserts BUN-for-BUN
 identity against the monolithic kernel and against naive pure-Python
-references.
+references, and ``tests/monet/test_mil_fragments.py`` does the same
+for whole MIL programs.  The operator set covers everything the MIL
+dispatch layer (:mod:`repro.monet.mil.builtins`) routes here, so a
+pipeline like ``select -> join -> group -> aggregate`` runs
+fragment-parallel end-to-end with at most one coalesce at result
+return.  The tuning defaults (fragment size, serial-execution floor)
+derive from the live core count and can be replaced by measured values
+(:func:`set_default_tuning`; see the calibration pass in
+``benchmarks/bench_fragments.py``).
 
 Property flags on recombined results are maintained *conservatively*:
 a flag is only ``True`` when the concatenation provably preserves it
@@ -45,9 +54,38 @@ from repro.monet import kernel as _kernel
 from repro.monet.bat import BAT, AnyColumn, Column, VoidColumn
 from repro.monet.errors import KernelError
 
-#: Default BUN count per fragment; chosen so a fragment of int64 tails
-#: stays comfortably inside L2-sized working sets.
-DEFAULT_FRAGMENT_SIZE = 65536
+def _derive_fragment_size(cores: Optional[int] = None) -> int:
+    """Default BUN count per fragment, derived from the live core count.
+
+    Two pressures: a fragment of int64 tails should stay inside an
+    L2-sized working set (64Ki BUNs ~ 0.5 MB), and a moderately large
+    BAT (1M BUNs) should still yield at least two fragments per core so
+    the pool saturates.  Many-core hosts therefore get smaller
+    fragments; the floor keeps per-fragment dispatch overhead
+    negligible.  ``REPRO_FRAGMENT_SIZE`` overrides the derivation, and
+    :func:`set_default_tuning` installs measured values (see the
+    calibration pass in ``benchmarks/bench_fragments.py``).
+    """
+    cores = cores or os.cpu_count() or 1
+    cache_resident = 64 * 1024
+    saturating = (1 << 20) // max(1, 2 * cores)
+    return max(8 * 1024, min(cache_resident, saturating))
+
+
+def _derive_parallel_min(fragment_size: int, cores: Optional[int] = None) -> int:
+    """Serial-execution floor, derived from the fragment size and core
+    count: parallel dispatch starts paying off once a BAT spans a few
+    fragments; with more cores the thread-pool cost amortizes earlier.
+    ``REPRO_PARALLEL_MIN_BUNS`` overrides."""
+    cores = cores or os.cpu_count() or 1
+    return fragment_size * max(2, 8 // max(1, cores))
+
+
+#: Default BUN count per fragment (cores-derived; see
+#: :func:`_derive_fragment_size`).
+DEFAULT_FRAGMENT_SIZE = (
+    int(os.environ.get("REPRO_FRAGMENT_SIZE", 0)) or _derive_fragment_size()
+)
 
 #: Worker floor: even on a single-core host we keep two threads so the
 #: fragment fan-out code path is always exercised.
@@ -56,18 +94,47 @@ DEFAULT_WORKERS = max(2, os.cpu_count() or 1)
 #: Below this many total BUNs an operator runs its fragments serially
 #: (unless a worker count is pinned): the numpy work is in the tens of
 #: microseconds there and thread dispatch would dominate it.
-PARALLEL_MIN_BUNS = 1 << 18
+PARALLEL_MIN_BUNS = (
+    int(os.environ.get("REPRO_PARALLEL_MIN_BUNS", 0))
+    or _derive_parallel_min(DEFAULT_FRAGMENT_SIZE)
+)
+
+
+def set_default_tuning(
+    *, fragment_size: Optional[int] = None, parallel_min: Optional[int] = None
+) -> None:
+    """Install measured tuning values for the module defaults.
+
+    The calibration pass of ``benchmarks/bench_fragments.py`` calls this
+    after timing real operators; policies built afterwards (including
+    the per-call defaults of every operator here) pick the new values
+    up.  Explicitly constructed policies are unaffected."""
+    global DEFAULT_FRAGMENT_SIZE, PARALLEL_MIN_BUNS
+    if fragment_size is not None:
+        if fragment_size < 1:
+            raise KernelError("fragment_size must be at least 1")
+        DEFAULT_FRAGMENT_SIZE = int(fragment_size)
+    if parallel_min is not None:
+        if parallel_min < 0:
+            raise KernelError("parallel_min must be non-negative")
+        PARALLEL_MIN_BUNS = int(parallel_min)
 
 
 @dataclass(frozen=True)
 class FragmentationPolicy:
-    """How a BAT is split: fragment size, strategy and worker count."""
+    """How a BAT is split: fragment size, strategy and worker count.
 
-    target_size: int = DEFAULT_FRAGMENT_SIZE
+    ``target_size=None`` (the default) resolves to the current module
+    default at construction time, so policies made after a
+    :func:`set_default_tuning` calibration see the measured value."""
+
+    target_size: Optional[int] = None
     strategy: str = "range"
     workers: Optional[int] = None
 
     def __post_init__(self):
+        if self.target_size is None:
+            object.__setattr__(self, "target_size", DEFAULT_FRAGMENT_SIZE)
         if self.target_size < 1:
             raise KernelError("fragment target_size must be at least 1")
         if self.strategy not in ("range", "roundrobin"):
@@ -77,7 +144,14 @@ class FragmentationPolicy:
             )
 
 
-DEFAULT_POLICY = FragmentationPolicy()
+def _default_policy() -> FragmentationPolicy:
+    """A fresh policy carrying the *current* module defaults.
+
+    Always constructed at use, never cached at import: a frozen policy
+    resolves ``target_size`` at construction, so a module-level
+    constant would silently pin pre-calibration values after
+    :func:`set_default_tuning`."""
+    return FragmentationPolicy()
 
 # ----------------------------------------------------------------------
 # Shared worker pool
@@ -137,9 +211,10 @@ class FragmentedBAT:
         fragments: Sequence[BAT],
         positions: Optional[Sequence[np.ndarray]] = None,
         *,
-        policy: FragmentationPolicy = DEFAULT_POLICY,
+        policy: Optional[FragmentationPolicy] = None,
         name: Optional[str] = None,
     ):
+        policy = policy or _default_policy()
         fragments = list(fragments)
         if not fragments:
             raise KernelError("a FragmentedBAT needs at least one fragment")
@@ -224,7 +299,9 @@ class FragmentedBAT:
         return BAT(head, tail, name=self.name, **flags)
 
     # Convenience delegates used by catalog/reconstruction code that
-    # does not care about fragment boundaries.
+    # does not care about fragment boundaries.  They all go through the
+    # cached :meth:`to_bat`, so a FragmentedBAT coalesces at most once
+    # no matter how many of these a result consumer calls.
     def head_values(self) -> np.ndarray:
         return self.to_bat().head_values()
 
@@ -233,6 +310,21 @@ class FragmentedBAT:
 
     def tail_list(self) -> List[Any]:
         return self.to_bat().tail_list()
+
+    def head_list(self) -> List[Any]:
+        return self.to_bat().head_list()
+
+    def to_pairs(self) -> List[Tuple[Any, Any]]:
+        return self.to_bat().to_pairs()
+
+    def items(self):
+        return self.to_bat().items()
+
+    def find(self, head_value) -> Any:
+        return self.to_bat().find(head_value)
+
+    def exists(self, head_value) -> bool:
+        return self.to_bat().exists(head_value)
 
 
 def _concat_columns(
@@ -319,8 +411,9 @@ def _boundaries_nondecreasing(frags: Sequence[BAT], *, head: bool) -> bool:
 # ----------------------------------------------------------------------
 
 
-def fragment_bat(bat: BAT, policy: FragmentationPolicy = DEFAULT_POLICY) -> FragmentedBAT:
+def fragment_bat(bat: BAT, policy: Optional[FragmentationPolicy] = None) -> FragmentedBAT:
     """Split *bat* horizontally according to *policy*."""
+    policy = policy or _default_policy()
     n = len(bat)
     if n <= policy.target_size:
         return FragmentedBAT([bat], policy=policy, name=bat.name)
@@ -581,17 +674,344 @@ def _renumber_tails(fb: FragmentedBAT, base: int) -> FragmentedBAT:
     # Round-robin rows: ranks of the global positions are the BUN-order
     # indexes.  When the FragmentedBAT covers a whole input the
     # positions are already 0..n-1; for derived subsets we rank.
-    all_positions = np.concatenate(fb.positions)
-    ranks = np.empty(len(all_positions), dtype=np.int64)
-    ranks[np.argsort(all_positions, kind="stable")] = np.arange(
-        len(all_positions), dtype=np.int64
-    )
+    ranks = _global_ranks(fb)
     at = 0
     for frag in fb.fragments:
         tail = Column("oid", base + ranks[at: at + len(frag)])
         fragments.append(BAT(frag.head, tail, hsorted=frag.hsorted, hkey=frag.hkey))
         at += len(frag)
     return FragmentedBAT(fragments, fb.positions, policy=fb.policy)
+
+
+def number(fb: FragmentedBAT, base: int = 0) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.number`: the head
+    becomes ``base + global BUN position`` (``mark`` flipped)."""
+    base = int(base)
+    fragments: List[BAT] = []
+    if fb.positions is None:
+        offset = base
+        for frag in fb.fragments:
+            fragments.append(
+                BAT(
+                    VoidColumn(offset, len(frag)),
+                    frag.tail,
+                    tsorted=frag.tsorted,
+                    tkey=frag.tkey,
+                )
+            )
+            offset += len(frag)
+        return FragmentedBAT(fragments, policy=fb.policy)
+    ranks = _global_ranks(fb)
+    at = 0
+    for frag in fb.fragments:
+        head = Column("oid", base + ranks[at: at + len(frag)])
+        fragments.append(BAT(head, frag.tail, tsorted=frag.tsorted, tkey=frag.tkey))
+        at += len(frag)
+    return FragmentedBAT(fragments, fb.positions, policy=fb.policy)
+
+
+def _global_ranks(fb: FragmentedBAT) -> np.ndarray:
+    """BUN-order ranks of all rows, concatenated in fragment order."""
+    all_positions = np.concatenate(fb.positions)
+    ranks = np.empty(len(all_positions), dtype=np.int64)
+    ranks[np.argsort(all_positions, kind="stable")] = np.arange(
+        len(all_positions), dtype=np.int64
+    )
+    return ranks
+
+
+def reverse(fb: FragmentedBAT) -> FragmentedBAT:
+    """Per-fragment :meth:`repro.monet.bat.BAT.reverse` (O(1) views);
+    fragment boundaries are head/tail-agnostic, so no data moves."""
+    return FragmentedBAT(
+        [frag.reverse() for frag in fb.fragments], fb.positions, policy=fb.policy
+    )
+
+
+def mirror(fb: FragmentedBAT) -> FragmentedBAT:
+    """Per-fragment :meth:`repro.monet.bat.BAT.mirror` (O(1) views)."""
+    return FragmentedBAT(
+        [frag.mirror() for frag in fb.fragments], fb.positions, policy=fb.policy
+    )
+
+
+def slice_(fb: FragmentedBAT, start: int, stop: int) -> FragmentedBAT:
+    """Fragment-aware :func:`repro.monet.kernel.slice_bat`: the global
+    BUN window [start, stop).  Range fragments intersect the window per
+    fragment (zero-copy views); round-robin fragments keep the rows
+    whose global BUN rank falls inside the window."""
+    n = len(fb)
+    start = max(0, int(start))
+    stop = min(n, int(stop))
+    if stop < start:
+        stop = start
+    if fb.positions is None:
+        fragments: List[BAT] = []
+        offset = 0
+        for frag in fb.fragments:
+            lo = max(start - offset, 0)
+            hi = min(stop - offset, len(frag))
+            if lo < hi:
+                fragments.append(_slice_view(frag, lo, hi))
+            offset += len(frag)
+        if not fragments:
+            fragments = [_slice_view(fb.fragments[0], 0, 0)]
+        return FragmentedBAT(fragments, policy=fb.policy)
+    ranks = _global_ranks(fb)
+    at = 0
+    fragments = []
+    positions: List[np.ndarray] = []
+    for index, frag in enumerate(fb.fragments):
+        fragment_ranks = ranks[at: at + len(frag)]
+        keep = np.nonzero((fragment_ranks >= start) & (fragment_ranks < stop))[0]
+        fragments.append(frag.take_positions(keep))
+        positions.append(fb.positions[index][keep])
+        at += len(frag)
+    return FragmentedBAT(fragments, positions, policy=fb.policy)
+
+
+def topn(
+    fb: FragmentedBAT, n: int, *, descending: bool = True,
+    workers: Optional[int] = None,
+) -> BAT:
+    """Fragment-parallel :func:`repro.monet.kernel.topn`.
+
+    Every global top-*n* BUN is a top-*n* BUN of its own fragment, so
+    the candidate selection (the O(count) part) fans out per fragment
+    and only ``nfragments * n`` candidates meet the final monolithic
+    ``topn`` (which also restores the monolithic tie-break by global
+    BUN position).  The result is a small monolithic BAT: top-n ends
+    the fragment-parallel part of a plan by construction."""
+    if n < 0:
+        raise KernelError("topn needs a non-negative n")
+    n = int(n)
+    workers = _resolve_workers(fb, workers)
+
+    def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, np.ndarray]:
+        index, frag = indexed
+        pos = _kernel.topn_positions(frag, min(n, len(frag)), descending=descending)
+        return frag.take_positions(pos), fb.global_positions(index)[pos]
+
+    results = map_fragments(one, list(enumerate(fb.fragments)), workers)
+    candidates = FragmentedBAT(
+        [r[0] for r in results], [r[1] for r in results], policy=fb.policy
+    ).to_bat()
+    return _kernel.topn(candidates, n, descending=descending)
+
+
+def const(
+    fb: FragmentedBAT, atom_name: str, value: Any, *, workers: Optional[int] = None
+) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.const_bat`."""
+    workers = _resolve_workers(fb, workers)
+    fragments = map_fragments(
+        lambda frag: _kernel.const_bat(frag, str(atom_name), value),
+        fb.fragments,
+        workers,
+    )
+    return FragmentedBAT(fragments, fb.positions, policy=fb.policy)
+
+
+def outerjoin(
+    fb: FragmentedBAT,
+    right: Union[BAT, "FragmentedBAT"],
+    *,
+    workers: Optional[int] = None,
+) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.outerjoin`: every
+    probe fragment outer-joins the shared build side, so unmatched left
+    BUNs keep their NIL tails per fragment."""
+    if isinstance(right, FragmentedBAT):
+        right = right.to_bat()
+    workers = _resolve_workers(fb, workers)
+
+    def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, Optional[np.ndarray]]:
+        index, frag = indexed
+        left_positions, tail = _kernel.outerjoin_parts(frag, right)
+        out = BAT(frag.head.take(left_positions), tail, hkey=frag.hkey and right.hkey)
+        if fb.positions is None:
+            return out, None
+        return out, fb.positions[index][left_positions]
+
+    results = map_fragments(one, list(enumerate(fb.fragments)), workers)
+    positions = None if fb.positions is None else [r[1] for r in results]
+    return FragmentedBAT([r[0] for r in results], positions, policy=fb.policy)
+
+
+# ----------------------------------------------------------------------
+# Fragment-parallel grouping
+# ----------------------------------------------------------------------
+
+
+def _group_key(value: Any):
+    """Hashable grouping key; NaN (dbl NIL) normalizes to one sentinel
+    so every NaN lands in the same group, matching ``np.unique``'s
+    treat-NaNs-as-equal behaviour in the monolithic kernel."""
+    if isinstance(value, float) and value != value:
+        return ("\0nan",)
+    return value
+
+
+def group(fb: FragmentedBAT, *, workers: Optional[int] = None) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.groups.group`.
+
+    Two parallel passes around one tiny serial merge: (1) each fragment
+    reports its distinct tail values with their minimal global BUN
+    position, (2) the merge orders the distinct values by first global
+    appearance -- reproducing the monolithic first-appearance group-oid
+    assignment exactly -- and (3) each fragment relabels its tails with
+    the global ids.  The result is fragmented identically to the input,
+    so a following pump aggregate stays fragment-parallel."""
+    workers = _resolve_workers(fb, workers)
+    object_dtype = fb.fragments[0].tail.atom_type.dtype == np.dtype(object)
+
+    def local_uniques(indexed: Tuple[int, BAT]) -> List[Tuple[Any, int]]:
+        index, frag = indexed
+        tails = frag.tail_values()
+        if len(tails) == 0:
+            return []
+        gpos = fb.global_positions(index)
+        if object_dtype:
+            firsts: dict = {}
+            for position, value in enumerate(tails.tolist()):
+                key = _group_key(value)
+                if key not in firsts:
+                    firsts[key] = int(gpos[position])
+            return list(firsts.items())
+        # Per-fragment global positions are increasing, so np.unique's
+        # first-occurrence index is the minimal global position.
+        uniq, first_idx = np.unique(tails, return_index=True)
+        return [
+            (_group_key(value), int(position))
+            for value, position in zip(uniq.tolist(), gpos[first_idx].tolist())
+        ]
+
+    per_fragment = map_fragments(local_uniques, list(enumerate(fb.fragments)), workers)
+    firsts: dict = {}
+    for entries in per_fragment:
+        for key, position in entries:
+            previous = firsts.get(key)
+            if previous is None or position < previous:
+                firsts[key] = position
+    gid_by_key = {
+        key: gid
+        for gid, (key, _) in enumerate(sorted(firsts.items(), key=lambda kv: kv[1]))
+    }
+
+    def assign(frag: BAT) -> BAT:
+        tails = frag.tail_values()
+        if len(tails) == 0:
+            ids = np.empty(0, dtype=np.int64)
+        elif object_dtype:
+            ids = np.asarray(
+                [gid_by_key[_group_key(v)] for v in tails.tolist()], dtype=np.int64
+            )
+        else:
+            uniq, inverse = np.unique(tails, return_inverse=True)
+            local_gids = np.asarray(
+                [gid_by_key[_group_key(v)] for v in uniq.tolist()], dtype=np.int64
+            )
+            ids = local_gids[inverse.astype(np.int64).ravel()]
+        return BAT(frag.head, Column("oid", ids), hsorted=frag.hsorted, hkey=frag.hkey)
+
+    fragments = map_fragments(assign, fb.fragments, workers)
+    return FragmentedBAT(fragments, fb.positions, policy=fb.policy)
+
+
+# ----------------------------------------------------------------------
+# Fragment-parallel multiplex
+# ----------------------------------------------------------------------
+
+
+def same_fragmentation(a: FragmentedBAT, b: FragmentedBAT) -> bool:
+    """True when *a* and *b* cover the same BUNs with identical
+    fragment boundaries (the precondition for per-fragment positional
+    alignment)."""
+    if a.fragment_sizes() != b.fragment_sizes():
+        return False
+    if (a.positions is None) != (b.positions is None):
+        return False
+    if a.positions is not None:
+        return all(
+            np.array_equal(pa, pb) for pa, pb in zip(a.positions, b.positions)
+        )
+    return True
+
+
+def coalesce(value: Any) -> Any:
+    """FragmentedBAT -> monolithic BAT; anything else passes through."""
+    return value.to_bat() if isinstance(value, FragmentedBAT) else value
+
+
+def multiplex(op: str, *operands: Any, workers: Optional[int] = None):
+    """Fragment-parallel :func:`repro.monet.multiplex.multiplex`.
+
+    Runs per fragment when every FragmentedBAT operand shares one
+    fragmentation; monolithic BAT operands are positionally sliced to
+    the fragment windows (range splits only).  Any misalignment falls
+    back to the monolithic multiplex over coalesced operands."""
+    from repro.monet.multiplex import multiplex as monolithic_multiplex
+
+    fbs = [x for x in operands if isinstance(x, FragmentedBAT)]
+    if not fbs:
+        return monolithic_multiplex(op, *operands)
+    ref = fbs[0]
+    aligned = all(same_fragmentation(ref, fb) for fb in fbs[1:])
+    plain_bats = [x for x in operands if isinstance(x, BAT)]
+    # Monolithic operands are positionally window-sliced, which is only
+    # meaningful for range splits and equal lengths; anything else
+    # coalesces so the monolithic multiplex applies its own alignment
+    # guards (length/seqbase mismatches must keep raising).
+    sliceable = ref.positions is None and all(
+        len(x) == len(ref) for x in plain_bats
+    )
+    if not aligned or (plain_bats and not sliceable):
+        return monolithic_multiplex(op, *(coalesce(x) for x in operands))
+    workers = _resolve_workers(ref, workers)
+    offsets = [0]
+    for size in ref.fragment_sizes():
+        offsets.append(offsets[-1] + size)
+
+    def one(k: int) -> BAT:
+        frag_operands = []
+        for x in operands:
+            if isinstance(x, FragmentedBAT):
+                frag_operands.append(x.fragments[k])
+            elif isinstance(x, BAT):
+                frag_operands.append(_slice_view(x, offsets[k], offsets[k + 1]))
+            else:
+                frag_operands.append(x)
+        return monolithic_multiplex(op, *frag_operands)
+
+    fragments = map_fragments(one, list(range(ref.nfragments)), workers)
+    return FragmentedBAT(fragments, ref.positions, policy=ref.policy)
+
+
+# ----------------------------------------------------------------------
+# Re-fragmentation of drifted intermediates
+# ----------------------------------------------------------------------
+
+
+def refragment(
+    fb: FragmentedBAT, policy: Optional[FragmentationPolicy] = None
+) -> FragmentedBAT:
+    """Re-split *fb* when its fragmentation has drifted far from
+    *policy* (defaults to the BAT's own policy).
+
+    Selections shrink fragments and joins grow them; most drift is
+    harmless, so this only rebuilds when a fragment exceeds twice the
+    target size (losing cache residency) or the fragment count exceeds
+    four times what the current cardinality warrants (dispatch overhead
+    dominating).  Rebuilding coalesces once and re-splits -- the MIL
+    dispatch layer calls this on intermediates so whole pipelines keep
+    a healthy fragmentation without per-operator tuning."""
+    policy = policy or fb.policy
+    n = len(fb)
+    sizes = fb.fragment_sizes()
+    ideal = max(1, -(-n // policy.target_size))
+    if max(sizes) <= 2 * policy.target_size and fb.nfragments <= max(4, 4 * ideal):
+        return fb
+    return fragment_bat(fb.to_bat(), policy)
 
 
 # ----------------------------------------------------------------------

@@ -58,11 +58,15 @@ def build_match_index(build: np.ndarray, object_dtype: bool):
     execution builds it once and shares it across probe fragments.
 
     Numeric dtypes index by stable sort; object (string) dtypes by a
-    dict of positions.
+    dict of positions.  NIL build values (``None`` for str) are left out
+    of the index: NIL never joins, not even with another NIL (Monet
+    semantics; dbl NIL -- NaN -- is excluded on the probe side instead).
     """
     if object_dtype:
         index: dict = {}
         for position, value in enumerate(build):
+            if value is None:
+                continue
             index.setdefault(value, []).append(position)
         return index
     order = np.argsort(build, kind="stable")
@@ -73,7 +77,14 @@ def probe_match_index(
     probe: np.ndarray, index, object_dtype: bool
 ) -> Tuple[np.ndarray, np.ndarray]:
     """All (probe_position, build_position) matches of probe values in
-    an indexed build side, ordered by probe position (stable)."""
+    an indexed build side, ordered by probe position (stable).
+
+    NIL probes never match: ``None`` (str NIL) misses the index by
+    construction, and NaN (dbl NIL) probes are masked out -- a sorted
+    build side puts its NaNs in one trailing block, which a vectorized
+    ``searchsorted`` NaN probe would otherwise "equal", diverging from
+    Monet's NIL-never-equals-NIL rule.
+    """
     if len(probe) == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
@@ -81,6 +92,8 @@ def probe_match_index(
         probe_positions = []
         build_positions = []
         for position, value in enumerate(probe):
+            if value is None:
+                continue
             hits = index.get(value)
             if hits:
                 probe_positions.extend([position] * len(hits))
@@ -93,6 +106,8 @@ def probe_match_index(
     lo = np.searchsorted(build_sorted, probe, side="left")
     hi = np.searchsorted(build_sorted, probe, side="right")
     counts = hi - lo
+    if probe.dtype.kind == "f":
+        counts[np.isnan(probe)] = 0
     total = int(counts.sum())
     if total == 0:
         empty = np.empty(0, dtype=np.int64)
@@ -117,14 +132,23 @@ def _match_positions(
 
 
 def _membership_mask(values: np.ndarray, lookup: np.ndarray, object_dtype: bool) -> np.ndarray:
-    """Boolean mask: which of *values* occur anywhere in *lookup*."""
+    """Boolean mask: which of *values* occur anywhere in *lookup*.
+
+    NIL is never a member, not even of a NIL-containing *lookup*
+    (Monet: NIL equals nothing): ``None`` is excluded explicitly here,
+    NaN falls out of ``np.isin`` because NaN != NaN."""
     if len(values) == 0:
         return np.zeros(0, dtype=bool)
     if len(lookup) == 0:
         return np.zeros(len(values), dtype=bool)
     if object_dtype:
         members = set(lookup.tolist())
-        return np.fromiter((v in members for v in values), dtype=bool, count=len(values))
+        members.discard(None)
+        return np.fromiter(
+            (v is not None and v in members for v in values),
+            dtype=bool,
+            count=len(values),
+        )
     return np.isin(values, lookup)
 
 
@@ -323,8 +347,15 @@ def fetchjoin(left: BAT, right: BAT) -> BAT:
     return BAT(head, tail, hkey=left.hkey)
 
 
-def outerjoin(left: BAT, right: BAT) -> BAT:
-    """Left outer join: unmatched left BUNs survive with NIL tails."""
+def outerjoin_parts(left: BAT, right: BAT) -> Tuple[np.ndarray, Column]:
+    """The (left BUN positions, tail column) of the left outer join in
+    output order.  Exposed separately so fragmented execution can map
+    result rows back to their left rows (for round-robin position
+    bookkeeping); :func:`outerjoin` is the plain packaging.
+
+    NIL probes (NaN/None left tails) never match and therefore survive
+    with NIL tails, like any other unmatched left BUN.
+    """
     probe = left.tail_values()
     if right.hdense:
         positions = probe - right.head.seqbase
@@ -348,8 +379,13 @@ def outerjoin(left: BAT, right: BAT) -> BAT:
         combined = atom_type.make_array([])
     else:
         combined = np.concatenate((matched_tail, nil_tail))
-    head = left.head.take(all_positions[order])
-    tail = Column(atom_type, combined[order])
+    return all_positions[order], Column(atom_type, combined[order])
+
+
+def outerjoin(left: BAT, right: BAT) -> BAT:
+    """Left outer join: unmatched left BUNs survive with NIL tails."""
+    left_positions, tail = outerjoin_parts(left, right)
+    head = left.head.take(left_positions)
     return BAT(head, tail, hkey=left.hkey and right.hkey)
 
 
@@ -499,14 +535,10 @@ def exist(bat: BAT, head_value: Any) -> bool:
     return bat.exists(head_value)
 
 
-def topn(bat: BAT, n: int, *, descending: bool = True) -> BAT:
-    """First *n* BUNs after sorting by tail (descending by default).
-
-    Not a classical Monet primitive but the standard idiom
-    ``b.reverse.sort.reverse.slice(0, n)``, packaged because every IR
-    query ends with it.  Numeric tails use a partial sort
-    (``argpartition``): O(count + n log n) instead of a full sort.
-    """
+def topn_positions(bat: BAT, n: int, *, descending: bool = True) -> np.ndarray:
+    """BUN positions of the top-*n* BUNs by tail, in result order.
+    Exposed separately so fragmented execution can run the per-fragment
+    candidate selection and keep position bookkeeping."""
     if n < 0:
         raise KernelError("topn needs a non-negative n")
     tails = bat.tail_values()
@@ -517,14 +549,25 @@ def topn(bat: BAT, n: int, *, descending: bool = True) -> BAT:
         )
         if descending:
             order = order[::-1]
-        return bat.take_positions(order[:n])
+        return order[:n]
     count = len(tails)
     keys = -tails if descending else tails
     if n >= count:
         order = np.lexsort((np.arange(count, dtype=np.int64), keys))
-        return bat.take_positions(order[:n])
+        return order[:n]
     candidates = np.argpartition(keys, n)[:n]
     # Order the selected candidates; ties on the key break by BUN
     # position (earlier first), in both branches.
     inner = np.lexsort((candidates, keys[candidates]))
-    return bat.take_positions(candidates[inner])
+    return candidates[inner]
+
+
+def topn(bat: BAT, n: int, *, descending: bool = True) -> BAT:
+    """First *n* BUNs after sorting by tail (descending by default).
+
+    Not a classical Monet primitive but the standard idiom
+    ``b.reverse.sort.reverse.slice(0, n)``, packaged because every IR
+    query ends with it.  Numeric tails use a partial sort
+    (``argpartition``): O(count + n log n) instead of a full sort.
+    """
+    return bat.take_positions(topn_positions(bat, n, descending=descending))

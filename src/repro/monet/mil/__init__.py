@@ -16,6 +16,12 @@ Supported surface (a faithful subset of MIL):
 * catalog access ``bat("name")`` and persistence ``persists(name, b)``;
 * literals (int, dbl, str, bit, ``nil``), ``oid(n)`` casts;
 * ``print(expr);`` for inspection (captured in the result).
+
+Execution is fragment-aware: programs over fragmented BBP
+registrations run their operators fragment-parallel
+(:mod:`repro.monet.fragments`) and coalesce at most once, at result
+return -- see :mod:`repro.monet.mil.interpreter` and the dispatch
+layer in :mod:`repro.monet.mil.builtins`.
 """
 
 from repro.monet.mil.interpreter import MILInterpreter, run_program

@@ -3,16 +3,37 @@
 Each builtin is registered under its MIL name and may be invoked both
 function-style (``join(a, b)``) and method-style (``a.join(b)``); the
 receiver becomes the first argument, exactly like MIL.
+
+Two layers live here:
+
+* the *plain* table (:func:`plain_builtin`) binding names to the
+  monolithic :mod:`repro.monet.kernel` operators, and
+* a *dispatch* layer (:func:`invoke_builtin` / :func:`invoke_pump`)
+  that routes a call to the fragment-parallel implementation in
+  :mod:`repro.monet.fragments` whenever the receiver is a
+  :class:`~repro.monet.fragments.FragmentedBAT`, re-fragmenting the
+  intermediate result under the active
+  :class:`~repro.monet.fragments.FragmentationPolicy`.  Operators with
+  no fragment-parallel counterpart (``sort``, ``unique``, ...)
+  transparently coalesce their fragmented arguments first, so every
+  MIL program is valid over fragmented BATs and the hot pipeline
+  operators (select/join/group/aggregates) never materialize.
+
+Arity is enforced uniformly: every builtin carries a signature entry,
+and a wrong argument count raises :class:`MILRuntimeError` naming the
+expected signature and the received count (method-style misuse like
+``x.join()`` included -- it never surfaces as a bare ``TypeError``).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.monet import aggregates, groups, kernel
+from repro.monet import aggregates, fragments, groups, kernel
 from repro.monet.bat import BAT, bat_from_pairs, empty_bat
 from repro.monet.errors import MILRuntimeError
+from repro.monet.fragments import FragmentationPolicy, FragmentedBAT
 
 
 def _require_bat(value, op: str) -> BAT:
@@ -21,13 +42,82 @@ def _require_bat(value, op: str) -> BAT:
     return value
 
 
+#: name -> (min args, max args, human signature) with the method-style
+#: receiver counted as the first argument.  ``None`` max means
+#: unbounded.
+_SIGNATURES: Dict[str, Tuple[int, Optional[int], str]] = {
+    "select": (2, 3, "select(bat, value) or select(bat, low, high)"),
+    "uselect": (2, 3, "uselect(bat, value) or uselect(bat, low, high)"),
+    "likeselect": (2, 2, "likeselect(bat, pattern)"),
+    "join": (2, 2, "join(left, right)"),
+    "leftjoin": (2, 2, "leftjoin(left, right)"),
+    "fetchjoin": (2, 2, "fetchjoin(left, right)"),
+    "outerjoin": (2, 2, "outerjoin(left, right)"),
+    "semijoin": (2, 2, "semijoin(left, right)"),
+    "kdiff": (2, 2, "kdiff(left, right)"),
+    "kunion": (2, 2, "kunion(left, right)"),
+    "kintersect": (2, 2, "kintersect(left, right)"),
+    "reverse": (1, 1, "reverse(bat)"),
+    "mirror": (1, 1, "mirror(bat)"),
+    "mark": (1, 2, "mark(bat[, base])"),
+    "number": (1, 2, "number(bat[, base])"),
+    "sort": (1, 1, "sort(bat)"),
+    "tsort": (1, 1, "tsort(bat)"),
+    "unique": (1, 1, "unique(bat)"),
+    "kunique": (1, 1, "kunique(bat)"),
+    "tunique": (1, 1, "tunique(bat)"),
+    "slice": (3, 3, "slice(bat, start, stop)"),
+    "topn": (2, 3, "topn(bat, n[, descending])"),
+    "group": (1, 1, "group(bat)"),
+    "refine": (2, 2, "refine(grouping, bat)"),
+    "group_sizes": (1, 1, "group_sizes(grouping)"),
+    "group_representatives": (2, 2, "group_representatives(grouping, bat)"),
+    "count": (1, 1, "count(bat)"),
+    "sum": (1, 1, "sum(bat)"),
+    "max": (1, 1, "max(bat)"),
+    "min": (1, 1, "min(bat)"),
+    "avg": (1, 1, "avg(bat)"),
+    "exist": (2, 2, "exist(bat, head_value)"),
+    "find": (2, 2, "find(bat, head_value)"),
+    "const": (3, 3, "const(bat, atom_name, value)"),
+    "new": (2, 2, "new(head_type, tail_type)"),
+    "insert": (3, 3, "insert(bat, head, tail)"),
+    "oid": (1, 1, "oid(value)"),
+    "int": (1, 1, "int(value)"),
+    "dbl": (1, 1, "dbl(value)"),
+    "str": (1, 1, "str(value)"),
+    "bit": (1, 1, "bit(value)"),
+    "neg": (1, 1, "neg(value)"),
+    "isnil": (1, 1, "isnil(value)"),
+    "log": (1, 1, "log(value)"),
+    "exp": (1, 1, "exp(value)"),
+    "sqrt": (1, 1, "sqrt(value)"),
+}
+
+
+def arity_error(name: str, got: int) -> MILRuntimeError:
+    """The uniform wrong-argument-count error for builtin *name*."""
+    _, _, signature = _SIGNATURES.get(name, (None, None, name))
+    plural = "" if got == 1 else "s"
+    return MILRuntimeError(f"{name} takes {signature}, got {got} argument{plural}")
+
+
+def check_arity(name: str, got: int) -> None:
+    entry = _SIGNATURES.get(name)
+    if entry is None:
+        return
+    low, high, _ = entry
+    if got < low or (high is not None and got > high):
+        raise arity_error(name, got)
+
+
 def _select(bat, *args):
     _require_bat(bat, "select")
     if len(args) == 1:
         return kernel.select(bat, args[0])
     if len(args) == 2:
         return kernel.select(bat, args[0], args[1])
-    raise MILRuntimeError(f"select takes 1 or 2 value arguments, got {len(args)}")
+    raise arity_error("select", len(args) + 1)
 
 
 def _uselect(bat, *args):
@@ -36,7 +126,7 @@ def _uselect(bat, *args):
         return kernel.uselect(bat, args[0])
     if len(args) == 2:
         return kernel.uselect(bat, args[0], args[1])
-    raise MILRuntimeError("uselect takes 1 or 2 value arguments")
+    raise arity_error("uselect", len(args) + 1)
 
 
 def _slice(bat, start, stop):
@@ -131,6 +221,37 @@ _PLAIN: Dict[str, Callable[..., Any]] = {
     "sqrt": math.sqrt,
 }
 
+#: Fragment-parallel counterparts, keyed like _PLAIN.  An entry is used
+#: when the *receiver* (first argument) is a FragmentedBAT; missing
+#: entries coalesce instead.  Every implementation accepts monolithic
+#: or fragmented right-hand operands.
+_FRAGMENT: Dict[str, Callable[..., Any]] = {
+    "select": fragments.select,
+    "uselect": fragments.uselect,
+    "likeselect": lambda b, p: fragments.likeselect(b, str(p)),
+    "join": fragments.join,
+    "leftjoin": fragments.join,
+    "fetchjoin": fragments.fetchjoin,
+    "outerjoin": fragments.outerjoin,
+    "semijoin": fragments.semijoin,
+    "kdiff": fragments.antijoin,
+    "reverse": fragments.reverse,
+    "mirror": fragments.mirror,
+    "mark": lambda b, base=0: fragments.mark(b, int(base)),
+    "number": lambda b, base=0: fragments.number(b, int(base)),
+    "slice": lambda b, start, stop: fragments.slice_(b, int(start), int(stop)),
+    "topn": lambda b, n, descending=True: fragments.topn(
+        b, int(n), descending=bool(descending)
+    ),
+    "const": fragments.const,
+    "group": fragments.group,
+    "count": fragments.count,
+    "sum": fragments.sum_,
+    "max": fragments.max_,
+    "min": fragments.min_,
+    "avg": fragments.avg,
+}
+
 _PUMPS: Dict[str, Callable[..., BAT]] = {
     "sum": aggregates.grouped_sum,
     "count": aggregates.grouped_count,
@@ -140,10 +261,18 @@ _PUMPS: Dict[str, Callable[..., BAT]] = {
     "prod": aggregates.grouped_prod,
 }
 
+_FRAGMENT_PUMPS: Dict[str, Callable[..., BAT]] = {
+    "sum": fragments.grouped_sum,
+    "count": fragments.grouped_count,
+    "max": fragments.grouped_max,
+    "min": fragments.grouped_min,
+    "avg": fragments.grouped_avg,
+}
+
 
 def plain_builtin(name: str) -> Callable[..., Any]:
-    """Kernel function for MIL name *name*; raises MILRuntimeError if
-    unknown."""
+    """Monolithic kernel function for MIL name *name*; raises
+    MILRuntimeError if unknown."""
     try:
         return _PLAIN[name]
     except KeyError:
@@ -154,9 +283,52 @@ def has_builtin(name: str) -> bool:
     return name in _PLAIN
 
 
+def invoke_builtin(
+    name: str, args: list, policy: Optional[FragmentationPolicy] = None
+) -> Any:
+    """Arity-checked builtin call with fragment-aware dispatch.
+
+    When the receiver is fragmented and a fragment-parallel
+    implementation exists, it runs fragment-parallel and the result is
+    re-fragmented under *policy* if it drifted; otherwise fragmented
+    arguments coalesce (cached, at most once per BAT) and the
+    monolithic implementation runs."""
+    impl = plain_builtin(name)
+    check_arity(name, len(args))
+    if any(isinstance(a, FragmentedBAT) for a in args):
+        fragmented = _FRAGMENT.get(name)
+        if fragmented is not None and isinstance(args[0], FragmentedBAT):
+            result = fragmented(*args)
+            if isinstance(result, FragmentedBAT):
+                result = fragments.refragment(result, policy)
+            return result
+        args = [fragments.coalesce(a) for a in args]
+    return impl(*args)
+
+
 def pump_builtin(agg: str) -> Callable[..., BAT]:
-    """Pump aggregate implementation for ``{agg}``."""
+    """Monolithic pump aggregate implementation for ``{agg}``."""
     try:
         return _PUMPS[agg]
     except KeyError:
         raise MILRuntimeError(f"unknown pump aggregate {{{agg}}}") from None
+
+
+def invoke_pump(
+    agg: str, values: Any, grouping: Any, n_groups: Optional[int] = None
+) -> BAT:
+    """Pump aggregate with fragment-aware dispatch: identically
+    fragmented (values, grouping) pairs -- the shape produced by a
+    fragment-parallel ``group`` -- aggregate per fragment and combine
+    partials; anything else coalesces to the monolithic pump."""
+    if (
+        isinstance(values, FragmentedBAT)
+        and isinstance(grouping, FragmentedBAT)
+        and fragments.same_fragmentation(values, grouping)
+    ):
+        impl = _FRAGMENT_PUMPS.get(agg)
+        if impl is not None:
+            return impl(values, grouping, n_groups)
+    values = fragments.coalesce(values)
+    grouping = fragments.coalesce(grouping)
+    return pump_builtin(agg)(values, grouping, n_groups)

@@ -5,10 +5,24 @@ compiler are straight-line programs of assignments -- but it supports
 everything a human would write interactively in the subset (chained
 method calls, scalar arithmetic, ``print``).
 
+Execution is *fragment-aware*: ``bat("name")`` resolves a fragmented
+registration to its :class:`~repro.monet.fragments.FragmentedBAT`
+handle (``pool.lookup_fragments``) instead of coalescing, and every
+operator call goes through the dispatch layer of
+:mod:`repro.monet.mil.builtins`, which routes to the fragment-parallel
+kernel when the receiver is fragmented.  A whole pipeline
+(``select -> join -> group -> aggregate``) therefore runs
+fragment-parallel end-to-end; coalescing happens at most once, when the
+final result (or an operator with no fragment-parallel counterpart)
+actually needs the monolithic BAT.
+
 Execution results are collected in :class:`MILResult`:
 
-* ``value`` -- the value of the final statement (a BAT or scalar);
-* ``env`` -- the variable environment after the run;
+* ``value`` -- the value of the final statement (a BAT or scalar;
+  fragmented values are coalesced here, the single materialization
+  point of a fragmented plan);
+* ``env`` -- the variable environment after the run (fragmented
+  intermediates stay fragmented);
 * ``printed`` -- output captured from ``print(...)`` statements;
 * ``stats`` -- per-operator invocation counts (used by the E5/E10
   benchmarks to report plan shapes).
@@ -20,13 +34,15 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.monet import fragments
 from repro.monet.bat import BAT
 from repro.monet.bbp import BATBufferPool
 from repro.monet.errors import MILRuntimeError
+from repro.monet.fragments import FragmentationPolicy, FragmentedBAT
 from repro.monet.mil import ast
-from repro.monet.mil.builtins import has_builtin, plain_builtin, pump_builtin
+from repro.monet.mil.builtins import has_builtin, invoke_builtin, invoke_pump
 from repro.monet.mil.parser import parse_program
-from repro.monet.multiplex import multiplex, scalar_op
+from repro.monet.multiplex import scalar_op
 
 
 @dataclass
@@ -40,10 +56,22 @@ class MILResult:
 
 
 class MILInterpreter:
-    """Evaluates MIL ASTs against a :class:`BATBufferPool`."""
+    """Evaluates MIL ASTs against a :class:`BATBufferPool`.
 
-    def __init__(self, pool: Optional[BATBufferPool] = None):
+    ``fragment_policy`` governs how fragmented intermediates are
+    re-fragmented when an operator makes them drift from the target
+    size; the Moa executor threads the database's policy through here
+    so Moa-compiled plans run fragment-parallel automatically.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[BATBufferPool] = None,
+        *,
+        fragment_policy: Optional[FragmentationPolicy] = None,
+    ):
         self.pool = pool if pool is not None else BATBufferPool()
+        self.fragment_policy = fragment_policy
 
     # ------------------------------------------------------------------
     def run(self, source: str, env: Optional[Dict[str, Any]] = None) -> MILResult:
@@ -65,6 +93,9 @@ class MILInterpreter:
                 result.value = self._eval(statement.expr, result)
             else:  # pragma: no cover - parser cannot produce this
                 raise MILRuntimeError(f"bad statement {statement!r}")
+        if isinstance(result.value, FragmentedBAT):
+            # The one coalesce of a fragmented plan: result return.
+            result.value = result.value.to_bat()
         return result
 
     # ------------------------------------------------------------------
@@ -87,22 +118,23 @@ class MILInterpreter:
         if isinstance(node, ast.Multiplex):
             args = [self._eval(a, result) for a in node.args]
             result.stats[f"[{node.op}]"] += 1
-            return multiplex(node.op, *args)
+            return fragments.multiplex(node.op, *args)
         if isinstance(node, ast.Pump):
             args = [self._eval(a, result) for a in node.args]
             result.stats[f"{{{node.agg}}}"] += 1
-            impl = pump_builtin(node.agg)
             if len(args) == 3:
-                return impl(args[0], args[1], int(args[2]))
+                return invoke_pump(node.agg, args[0], args[1], int(args[2]))
             if len(args) == 2:
-                return impl(args[0], args[1])
+                return invoke_pump(node.agg, args[0], args[1])
             raise MILRuntimeError(
                 f"{{{node.agg}}} takes (values, groups[, n_groups])"
             )
         if isinstance(node, ast.Infix):
             left = self._eval(node.left, result)
             right = self._eval(node.right, result)
-            if isinstance(left, BAT) or isinstance(right, BAT):
+            if isinstance(left, (BAT, FragmentedBAT)) or isinstance(
+                right, (BAT, FragmentedBAT)
+            ):
                 raise MILRuntimeError(
                     f"infix {node.op} on BATs: use the multiplexed form "
                     f"[{node.op}] (line {node.line})"
@@ -116,10 +148,14 @@ class MILInterpreter:
         if name == "bat":
             if len(args) != 1 or not isinstance(args[0], str):
                 raise MILRuntimeError('bat() takes one string name')
+            if self.pool.is_fragmented(args[0]):
+                return self.pool.lookup_fragments(args[0], self.fragment_policy)
             return self.pool.lookup(args[0])
         if name == "persists":
             if len(args) != 2 or not isinstance(args[0], str):
                 raise MILRuntimeError("persists(name, bat)")
+            if isinstance(args[1], FragmentedBAT):
+                return self.pool.register_fragmented(args[0], args[1], replace=True)
             return self.pool.register(args[0], args[1], replace=True)
         if name == "unpersists":
             if len(args) != 1 or not isinstance(args[0], str):
@@ -135,7 +171,7 @@ class MILInterpreter:
             return args[0] if args else None
         if has_builtin(name):
             try:
-                return plain_builtin(name)(*args)
+                return invoke_builtin(name, args, self.fragment_policy)
             except TypeError as exc:
                 raise MILRuntimeError(f"{name}: {exc} (line {line})") from exc
         raise MILRuntimeError(f"unknown MIL operation {name!r} (line {line})")
@@ -144,6 +180,8 @@ class MILInterpreter:
 def _render(value) -> str:
     """Human-readable rendering used by ``print`` (BATs shown as BUN
     lists, matching Monet's console output loosely)."""
+    if isinstance(value, FragmentedBAT):
+        value = value.to_bat()
     if isinstance(value, BAT):
         pairs = ", ".join(f"[{h!r},{t!r}]" for h, t in value.items())
         return f"#{len(value)}{{{pairs}}}"
@@ -154,6 +192,8 @@ def run_program(
     source: str,
     pool: Optional[BATBufferPool] = None,
     env: Optional[Dict[str, Any]] = None,
+    *,
+    fragment_policy: Optional[FragmentationPolicy] = None,
 ) -> MILResult:
     """One-shot convenience: run MIL *source* against *pool*."""
-    return MILInterpreter(pool).run(source, env)
+    return MILInterpreter(pool, fragment_policy=fragment_policy).run(source, env)

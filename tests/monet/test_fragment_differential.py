@@ -135,10 +135,20 @@ def _ref_fetchjoin(pairs, right_seqbase, right_tails):
     return out
 
 
+def _is_nil(value) -> bool:
+    return value is None or (isinstance(value, float) and math.isnan(value))
+
+
 def _ref_join(pairs, right_pairs):
+    """NIL (None/NaN) never joins, not even with itself -- Monet
+    semantics, asserted since the kernel drops NIL probes/builds."""
     out = []
     for h, t in pairs:
+        if _is_nil(t):
+            continue
         for rh, rt in right_pairs:
+            if _is_nil(rh):
+                continue
             if t == rh:
                 out.append((h, rt))
     return out
@@ -313,22 +323,33 @@ def test_fetchjoin_differential(seed):
 @pytest.mark.parametrize("seed", range(N_CASES))
 def test_join_differential(seed):
     rng = np.random.default_rng(300 + seed)
+    n = int(rng.choice([0, 1, 30, 90]))
     if seed % 3 == 2:
-        # Object-dtype (string) join; NIL-free probe/build sides --
-        # numpy orders None/NaN differently from pure Python.
-        n = int(rng.choice([0, 1, 30, 90]))
+        # Object-dtype (string) join, NILs (None) on both sides: the
+        # dict index skips them, so NIL never matches NIL.
         words = ["ape", "bat", "cat", "dog", "eel"]
         probe_vals = np.empty(n, dtype=object)
         for i in range(n):
-            probe_vals[i] = str(rng.choice(words))
+            probe_vals[i] = None if rng.random() < 0.15 else str(rng.choice(words))
         left = BAT(VoidColumn(0, n), Column("str", probe_vals))
         m = int(rng.integers(0, 12))
         build_vals = np.empty(m, dtype=object)
         for i in range(m):
-            build_vals[i] = str(rng.choice(words))
+            build_vals[i] = None if rng.random() < 0.15 else str(rng.choice(words))
         right = BAT(Column("str", build_vals), Column("int", rng.integers(0, 9, m)))
+    elif seed % 3 == 1:
+        # dbl join with NaN (dbl NIL) probes *and* builds: the
+        # vectorized path must drop NaN probes (Monet: NIL != NIL).
+        probe_vals = np.round(rng.random(n) * 8, 0)
+        if n:
+            probe_vals[rng.random(n) < 0.2] = np.nan
+        left = BAT(VoidColumn(0, n), Column("dbl", probe_vals))
+        m = int(rng.integers(0, 12))
+        build_vals = np.round(rng.random(m) * 8, 0)
+        if m:
+            build_vals[rng.random(m) < 0.2] = np.nan
+        right = BAT(Column("dbl", build_vals), Column("int", rng.integers(-4, 4, m)))
     else:
-        n = int(rng.choice([0, 1, 30, 90]))
         left = BAT(VoidColumn(0, n), Column("oid", rng.integers(0, 15, n)))
         m = int(rng.integers(0, 12))
         right = BAT(
@@ -342,6 +363,58 @@ def test_join_differential(seed):
         _ref_join(pairs, right_pairs),
         [fr.join(_fragment(left, s), right) for s in STRATEGIES],
     )
+
+
+def test_nil_join_never_matches():
+    """Monet NIL semantics: a dbl NIL (NaN) probe matches nothing, a
+    NaN build value is unreachable, and an outer join NIL-pads the NaN
+    probe like any unmatched BUN -- on the monolithic and the
+    fragmented path alike."""
+    left = BAT(VoidColumn(0, 4), Column("dbl", np.array([1.0, np.nan, 2.0, np.nan])))
+    right = BAT(
+        Column("dbl", np.array([np.nan, 1.0, np.nan])),
+        Column("int", np.array([7, 8, 9], dtype=np.int64)),
+    )
+    assert kernel.join(left, right).to_pairs() == [(0, 8)]
+    assert kernel.outerjoin(left, right).to_pairs() == [
+        (0, 8), (1, None), (2, None), (3, None)
+    ]
+    for strategy in STRATEGIES:
+        fb = _fragment(left, strategy)
+        assert fr.join(fb, right).to_bat().to_pairs() == [(0, 8)]
+        assert fr.outerjoin(fb, right).to_bat().to_pairs() == [
+            (0, 8), (1, None), (2, None), (3, None)
+        ]
+    # str NIL (None) likewise never matches None.
+    sleft = BAT(VoidColumn(0, 2), Column("str", np.array(["a", None], dtype=object)))
+    sright = BAT(
+        Column("str", np.array([None, "a"], dtype=object)),
+        Column("int", np.array([1, 2], dtype=np.int64)),
+    )
+    assert kernel.join(sleft, sright).to_pairs() == [(0, 2)]
+    assert kernel.outerjoin(sleft, sright).to_pairs() == [(0, 2), (1, None)]
+    # Head membership (semijoin/kdiff) follows the same rule: a NIL
+    # head is never a member, even of a NIL-containing right side.
+    hleft = BAT(
+        Column("str", np.array(["a", None, "b"], dtype=object)),
+        Column("int", np.array([1, 2, 3], dtype=np.int64)),
+    )
+    hright = BAT(
+        Column("str", np.array([None, "a"], dtype=object)),
+        Column("int", np.array([0, 0], dtype=np.int64)),
+    )
+    assert kernel.semijoin(hleft, hright).to_pairs() == [("a", 1)]
+    assert kernel.kdiff(hleft, hright).to_pairs() == [(None, 2), ("b", 3)]
+    dleft = BAT(
+        Column("dbl", np.array([1.0, np.nan])),
+        Column("int", np.array([1, 2], dtype=np.int64)),
+    )
+    dright = BAT(
+        Column("dbl", np.array([np.nan, 1.0])),
+        Column("int", np.array([0, 0], dtype=np.int64)),
+    )
+    assert kernel.semijoin(dleft, dright).to_pairs() == [(1.0, 1)]
+    assert kernel.kdiff(dleft, dright).head_list() == [None]
 
 
 @pytest.mark.parametrize("seed", range(N_CASES))

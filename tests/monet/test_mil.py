@@ -197,3 +197,36 @@ class TestInterpreter:
     def test_topn(self):
         result = run_program('bat("nums").topn(2);', self._pool())
         assert result.value.tail_list() == [42, 23]
+
+
+class TestArityErrors:
+    """Builtin misuse raises MILRuntimeError with the expected
+    signature and the received argument count, uniformly across
+    builtins and call styles."""
+
+    def _pool(self):
+        pool = BATBufferPool()
+        pool.register("nums", dense_bat("int", [4, 8, 15]))
+        return pool
+
+    def test_uselect_reports_received_count(self):
+        with pytest.raises(MILRuntimeError, match=r"uselect takes .*got 4"):
+            run_program('uselect(bat("nums"), 1, 2, 3);', self._pool())
+
+    def test_select_reports_received_count(self):
+        with pytest.raises(MILRuntimeError, match=r"select takes .*got 4"):
+            run_program('bat("nums").select(1, 2, 3);', self._pool())
+
+    def test_method_style_join_without_args_is_runtime_error(self):
+        with pytest.raises(
+            MILRuntimeError, match=r"join takes join\(left, right\), got 1"
+        ):
+            run_program('bat("nums").join();', self._pool())
+
+    def test_function_style_too_many_args(self):
+        with pytest.raises(MILRuntimeError, match=r"reverse takes .*got 2"):
+            run_program('reverse(bat("nums"), 1);', self._pool())
+
+    def test_slice_missing_args(self):
+        with pytest.raises(MILRuntimeError, match=r"slice takes .*got 2"):
+            run_program('bat("nums").slice(1);', self._pool())

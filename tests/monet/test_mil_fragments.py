@@ -1,0 +1,272 @@
+"""Differential MIL testing: fragmented vs monolithic plan execution.
+
+The kernel harness (``test_fragment_differential``) proves operator
+equivalence; this suite proves the *MIL layer* preserves it: the same
+MIL script -- function-style and method-style -- run over a pool whose
+BATs are registered fragmented must produce BUN-identical results to
+the run over monolithic registrations.  It also asserts the headline
+property of fragment-aware execution: a whole pipeline
+(``select -> join -> group -> aggregate``) never touches the coalescing
+``pool.lookup`` path and keeps its intermediates fragmented.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.monet.bat import BAT, bat_from_pairs, dense_bat
+from repro.monet.bbp import BATBufferPool
+from repro.monet.errors import BBPError
+from repro.monet.fragments import (
+    FragmentationPolicy,
+    FragmentedBAT,
+    fragment_bat,
+)
+from repro.monet.mil import MILInterpreter, run_program
+
+N = 120
+STRATEGIES = ("range", "roundrobin")
+
+#: Ops whose results accumulate floating point partials in a different
+#: order on the fragmented path; values compare with tolerance.
+_SCRIPTS = [
+    'bat("nums").select(10, 60);',
+    'select(bat("nums"), 10, 60);',
+    'bat("nums").select(7);',
+    'uselect(bat("nums"), 5, 40);',
+    'bat("words").likeselect("a");',
+    'bat("nums").mark(oid(3));',
+    'number(bat("nums"), 2);',
+    'bat("nums").reverse;',
+    'mirror(bat("nums"));',
+    'bat("nums").slice(5, 25);',
+    'slice(bat("nums"), 100, 400);',
+    'topn(bat("scores"), 5);',
+    'bat("scores").topn(3, false);',
+    'bat("keys").join(bat("dim"));',
+    'join(bat("keys"), bat("dim"));',
+    'leftjoin(bat("keys"), bat("dim"));',
+    'outerjoin(bat("keys"), bat("dim"));',
+    'bat("keys").fetchjoin(bat("dimv"));',
+    'semijoin(bat("headed"), bat("dim"));',
+    'kdiff(bat("headed"), bat("dim"));',
+    'const(bat("nums"), "dbl", 0.25);',
+    'count(bat("nums"));',
+    'sum(bat("nums"));',
+    'min(bat("nums"));',
+    'bat("nums").max;',
+    'avg(bat("scores"));',
+    'sum(bat("scores"));',
+    '[+](bat("nums"), 1);',
+    '[*](bat("scores"), bat("scores"));',
+    'group(bat("keys"));',
+    'g := group(bat("keys")); {sum}(bat("scores"), g);',
+    'g := group(bat("keys")); {count}(bat("scores"), g);',
+    'g := group(bat("keys")); {max}(bat("scores"), g);',
+    # Unfragmentable operators must transparently coalesce.
+    'sort(bat("headed"));',
+    'unique(bat("nums"));',
+    # A full pipeline, method-style.
+    's := bat("keys").select(oid(2), oid(8)); s.join(bat("dim")).sum;',
+]
+
+
+def _policy(strategy: str) -> FragmentationPolicy:
+    return FragmentationPolicy(target_size=16, strategy=strategy, workers=2)
+
+
+def _data():
+    rng = np.random.default_rng(42)
+    nums = rng.integers(0, 80, N).tolist()
+    scores = np.round(rng.random(N) * 10, 3).tolist()
+    keys = rng.integers(0, 10, N).tolist()
+    words = [
+        str(rng.choice(["ape", "bat", "cat", "dog", "eel"]))
+        + ("x" if rng.random() < 0.3 else "")
+        for _ in range(N)
+    ]
+    return {
+        "nums": dense_bat("int", nums),
+        "scores": dense_bat("dbl", scores),
+        "keys": dense_bat("oid", keys),
+        "words": dense_bat("str", words),
+        "dim": bat_from_pairs(
+            "oid", "dbl", [(i, float(i) * 0.5) for i in range(10)]
+        ),
+        "dimv": dense_bat("dbl", [float(i) * 0.25 for i in range(12)]),
+        "headed": bat_from_pairs(
+            "oid", "int", [(int(h), int(t)) for h, t in
+                           zip(rng.integers(0, 20, 40), rng.integers(-5, 5, 40))]
+        ),
+    }
+
+
+def _pools(strategy: str):
+    """(monolithic pool, fully fragmented pool) over identical data."""
+    mono = BATBufferPool()
+    frag = BATBufferPool()
+    policy = _policy(strategy)
+    for name, bat in _data().items():
+        mono.register(name, bat)
+        frag.register_fragmented(
+            name, fragment_bat(bat, policy), replace=True
+        )
+    return mono, frag
+
+
+def _close(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+    return a == b
+
+
+def _assert_same_value(got, expected, context: str) -> None:
+    assert type(got) is type(expected) or (
+        isinstance(got, BAT) and isinstance(expected, BAT)
+    ), f"{context}: {type(got).__name__} vs {type(expected).__name__}"
+    if isinstance(expected, BAT):
+        got_pairs, expected_pairs = got.to_pairs(), expected.to_pairs()
+        assert len(got_pairs) == len(expected_pairs), context
+        for position, (g, e) in enumerate(zip(got_pairs, expected_pairs)):
+            assert _close(g[0], e[0]) and _close(g[1], e[1]), (
+                f"{context}: BUN {position}: {g} vs {e}"
+            )
+    elif isinstance(expected, float):
+        assert _close(got, expected), f"{context}: {got} vs {expected}"
+    else:
+        assert got == expected, f"{context}: {got} vs {expected}"
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("script", _SCRIPTS)
+def test_mil_differential(script, strategy):
+    mono_pool, frag_pool = _pools(strategy)
+    mono = run_program(script, mono_pool)
+    frag = run_program(script, frag_pool, fragment_policy=_policy(strategy))
+    _assert_same_value(frag.value, mono.value, script)
+    assert frag.printed == mono.printed
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_pipeline_never_coalesces_via_pool_lookup(strategy, monkeypatch):
+    """The acceptance property of fragment-aware MIL: a select -> join
+    -> group -> aggregate pipeline over fragmented BATs runs without
+    ever taking the coalescing ``pool.lookup`` path, and its BAT
+    intermediates stay fragmented."""
+    _, frag_pool = _pools(strategy)
+
+    def forbidden(name):
+        raise AssertionError(
+            f"pool.lookup({name!r}) called during a fragmented pipeline"
+        )
+
+    monkeypatch.setattr(frag_pool, "lookup", forbidden)
+    interpreter = MILInterpreter(frag_pool, fragment_policy=_policy(strategy))
+    result = interpreter.run(
+        """
+        s := bat("keys").select(oid(2), oid(8));
+        j := s.join(bat("dim"));
+        g := group(bat("keys"));
+        a := {sum}(bat("scores"), g);
+        total := sum(j);
+        total;
+        """
+    )
+    assert isinstance(result.env["s"], FragmentedBAT)
+    assert isinstance(result.env["j"], FragmentedBAT)
+    assert isinstance(result.env["g"], FragmentedBAT)
+    assert isinstance(result.env["a"], BAT)  # pump output: combined partials
+    assert isinstance(result.value, float)
+
+    mono_pool, _ = _pools(strategy)
+    mono = MILInterpreter(mono_pool).run(
+        's := bat("keys").select(oid(2), oid(8)); sum(s.join(bat("dim")));'
+    )
+    assert _close(result.env["total"], mono.value)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_final_result_is_coalesced_once(strategy):
+    """A fragmented plan's final BAT value coalesces exactly at result
+    return (and the coalesce is cached on the handle)."""
+    _, frag_pool = _pools(strategy)
+    interpreter = MILInterpreter(frag_pool, fragment_policy=_policy(strategy))
+    result = interpreter.run('x := bat("nums").select(10, 60); x;')
+    assert isinstance(result.value, BAT)
+    assert isinstance(result.env["x"], FragmentedBAT)
+    assert result.env["x"].to_bat() is result.value
+
+
+def test_persists_keeps_fragmentation():
+    """Persisting a fragmented intermediate registers it fragmented --
+    the pool keeps fragments as the storage unit."""
+    _, frag_pool = _pools("range")
+    run_program(
+        'persists("out", bat("nums").select(10, 60));',
+        frag_pool,
+        fragment_policy=_policy("range"),
+    )
+    assert frag_pool.is_fragmented("out")
+    mono_pool, _ = _pools("range")
+    expected = run_program('bat("nums").select(10, 60);', mono_pool)
+    assert frag_pool.lookup("out").to_pairs() == expected.value.to_pairs()
+
+
+def test_bbp_lookup_caches_coalesced_view():
+    """``lookup`` of a fragmented registration returns the *same*
+    coalesced view on every call, until the name is re-registered or
+    dropped."""
+    pool = BATBufferPool()
+    bat = dense_bat("int", list(range(100)))
+    policy = FragmentationPolicy(target_size=16)
+    pool.register_fragmented("x", fragment_bat(bat, policy))
+    first = pool.lookup("x")
+    assert pool.lookup("x") is first
+    # Re-registering invalidates the cached view.
+    pool.register_fragmented(
+        "x", fragment_bat(dense_bat("int", list(range(50))), policy), replace=True
+    )
+    second = pool.lookup("x")
+    assert second is not first
+    assert len(second) == 50
+    # Replacing with a monolithic BAT also invalidates.
+    pool.register("x", dense_bat("int", [1, 2, 3]), replace=True)
+    assert pool.lookup("x").tail_list() == [1, 2, 3]
+    pool.drop("x")
+    with pytest.raises(BBPError):
+        pool.lookup("x")
+
+
+def test_fragmented_multiplex_keeps_alignment_guards():
+    """A monolithic operand of the wrong length must raise the same
+    KernelError as the monolithic multiplex -- window-slicing may not
+    silently truncate it."""
+    from repro.monet import fragments as fragments_module
+    from repro.monet.errors import KernelError
+
+    short = fragment_bat(
+        dense_bat("int", list(range(100))),
+        FragmentationPolicy(target_size=16, workers=2),
+    )
+    long = dense_bat("int", list(range(150)))
+    with pytest.raises(KernelError, match="length mismatch"):
+        fragments_module.multiplex("+", short, long)
+
+
+def test_bbp_lookup_fragments_caches_on_the_fly_split():
+    """``lookup_fragments`` of a monolithic registration caches the
+    split (per name), re-splitting only for a different policy."""
+    pool = BATBufferPool()
+    pool.register("m", dense_bat("int", list(range(200))))
+    a = pool.lookup_fragments("m", FragmentationPolicy(target_size=50))
+    assert pool.lookup_fragments("m", FragmentationPolicy(target_size=50)) is a
+    assert pool.lookup_fragments("m") is a  # None policy reuses the cache
+    b = pool.lookup_fragments("m", FragmentationPolicy(target_size=20))
+    assert b is not a and b.nfragments == 10
+    pool.register("m", dense_bat("int", [0]), replace=True)
+    assert pool.lookup_fragments("m").nfragments == 1
