@@ -15,6 +15,7 @@ constants of the seed with cores-plus-measurement-derived values.
 Standalone report:  python benchmarks/bench_fragments.py
 Fast smoke mode:    BENCH_FAST=1 python benchmarks/bench_fragments.py
 MIL pipeline only:  BENCH_FAST=1 python benchmarks/bench_fragments.py --mil
+Sort/unique only:   BENCH_FAST=1 python benchmarks/bench_fragments.py --sort
 Calibration only:   python benchmarks/bench_fragments.py --calibrate
 """
 
@@ -117,6 +118,89 @@ def _mil_pools(n, *, seed=5):
 
 
 # ----------------------------------------------------------------------
+# Sort/unique pipeline: the fragment-parallel order-sensitive operators
+# ----------------------------------------------------------------------
+
+#: distinct + order-by over a duplicate-heavy fact BAT: per-fragment
+#: dedup collapses the data before the cross-fragment merge ever sees
+#: it, then the (small) survivor set sorts.  This is the canonical
+#: shape the merge-based sort/unique operators exist for.
+MIL_SORT_PIPELINE = (
+    'u := bat("fact").unique;'
+    ' s := u.sort;'
+    ' count(s);'
+)
+
+
+def _headed_bat(n, *, distinct_heads=500, distinct_tails=40, seed=7):
+    """A duplicate-heavy [oid, int] BAT with a materialized head (the
+    shape ``sort``/``unique`` actually operate on; void heads are
+    trivially sorted and key)."""
+    rng = np.random.default_rng(seed)
+    return BAT(
+        Column("oid", rng.integers(0, distinct_heads, n).astype(np.int64)),
+        Column("int", rng.integers(0, distinct_tails, n)),
+    )
+
+
+def _sort_pools(n, *, seed=7):
+    """(monolithic, fragmented) interpreters over one duplicate-heavy
+    fact BAT of *n* BUNs."""
+    fact = _headed_bat(n, seed=seed)
+    policy = _policy(n)
+    mono_pool = BATBufferPool()
+    mono_pool.register("fact", fact)
+    frag_pool = BATBufferPool()
+    frag_pool.register_fragmented("fact", fragment_bat(fact, policy))
+    return (
+        MILInterpreter(mono_pool),
+        MILInterpreter(frag_pool, fragment_policy=policy),
+    )
+
+
+def _report_sort(sizes, verbose_header=True):
+    if verbose_header:
+        print(f"E12: fragment-parallel sort/unique (workers={WORKERS})")
+        print(f"{'n':>12}  {'operator':<18}{'mono ms':>10}{'frag ms':>10}{'ratio':>8}")
+    for n in sizes:
+        repeats = 2 if n >= 10**7 else 5
+        policy = _policy(n)
+        headed = _headed_bat(n)
+        fheaded = fragment_bat(headed, policy)
+        cases = [
+            (
+                "unique",
+                lambda: kernel.unique(headed),
+                lambda: fr.unique(fheaded, workers=WORKERS),
+            ),
+            (
+                "sort",
+                lambda: kernel.sort(headed),
+                lambda: fr.sort(fheaded, workers=WORKERS),
+            ),
+        ]
+        for name, mono_case, frag_case in cases:
+            assert mono_case().to_pairs() == frag_case().to_bat().to_pairs()
+            mono_ms = _timed(mono_case, repeats)
+            frag_ms = _timed(frag_case, repeats)
+            ratio = frag_ms / mono_ms if mono_ms else float("inf")
+            print(
+                f"{n:>12,}  {name:<18}{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
+            )
+        mono, frag = _sort_pools(n)
+        mono_value = mono.run(MIL_SORT_PIPELINE).value
+        frag_value = frag.run(MIL_SORT_PIPELINE).value
+        assert mono_value == frag_value, (mono_value, frag_value)
+        mono_ms = _timed(lambda: mono.run(MIL_SORT_PIPELINE), repeats)
+        frag_ms = _timed(lambda: frag.run(MIL_SORT_PIPELINE), repeats)
+        ratio = frag_ms / mono_ms if mono_ms else float("inf")
+        print(
+            f"{n:>12,}  {'unique+sort (MIL)':<18}"
+            f"{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
+        )
+
+
+# ----------------------------------------------------------------------
 # Calibration: measured tuning instead of static constants
 # ----------------------------------------------------------------------
 
@@ -195,6 +279,16 @@ def mil_interpreters():
     return _mil_pools(N)
 
 
+@pytest.fixture(scope="module")
+def headed():
+    return _headed_bat(N)
+
+
+@pytest.fixture(scope="module")
+def headed_fragmented(headed):
+    return fragment_bat(headed, _policy(N))
+
+
 def test_select_monolithic(benchmark, ints):
     result = benchmark(kernel.select, ints, 100, 200)
     assert len(result) > 0
@@ -227,6 +321,26 @@ def test_mil_pipeline_fragmented(benchmark, mil_interpreters):
     _, frag = mil_interpreters
     result = benchmark(frag.run, MIL_PIPELINE)
     assert result.value > 0
+
+
+def test_unique_monolithic(benchmark, headed):
+    result = benchmark(kernel.unique, headed)
+    assert len(result) > 0
+
+
+def test_unique_fragmented(benchmark, headed_fragmented):
+    result = benchmark(fr.unique, headed_fragmented)
+    assert len(result) > 0
+
+
+def test_sort_monolithic(benchmark, headed):
+    result = benchmark(kernel.sort, headed)
+    assert len(result) == N
+
+
+def test_sort_fragmented(benchmark, headed_fragmented):
+    result = benchmark(fr.sort, headed_fragmented)
+    assert len(result) == N
 
 
 # ----------------------------------------------------------------------
@@ -309,6 +423,7 @@ def report():
     # full run; the FAST smoke keeps CI quick).
     mil_sizes = [10**5] if FAST else [10**6, 10**7]
     _report_mil(mil_sizes)
+    _report_sort([10**5] if FAST else [10**6])
 
 
 if __name__ == "__main__":
@@ -317,5 +432,8 @@ if __name__ == "__main__":
     elif "--mil" in sys.argv:
         calibrate(verbose=False)
         _report_mil([10**5] if FAST else [10**6])
+    elif "--sort" in sys.argv:
+        calibrate(verbose=False)
+        _report_sort([10**5] if FAST else [10**6])
     else:
         report()

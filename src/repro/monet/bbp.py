@@ -15,7 +15,9 @@ fragment-parallel operators of :mod:`repro.monet.fragments`.
 Persistence is a directory with one ``.npz`` per BAT (one per fragment
 for fragmented BATs) plus a JSON catalog.  It deliberately mirrors
 Monet's "BBP dir + heap files" layout at a coarse granularity: enough
-to round-trip a whole Mirror database.
+to round-trip a whole Mirror database.  Calibrated fragment tuning
+(:func:`repro.monet.fragments.set_default_tuning` values) rides along
+in the catalog, so a reloaded database skips the measurement pass.
 """
 
 from __future__ import annotations
@@ -189,6 +191,15 @@ class BATBufferPool:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         catalog = {"oid_next": self.oid_generator.current, "bats": {}}
+        tuning = _fragments.default_tuning()
+        if tuning["measured"]:
+            # Calibrated fragment tuning persists next to the catalog so
+            # a restarted server skips the measurement pass (see
+            # benchmarks/bench_fragments.py calibrate()).
+            catalog["tuning"] = {
+                "fragment_size": tuning["fragment_size"],
+                "parallel_min": tuning["parallel_min"],
+            }
         entries = sorted(self._all_names())
         for index, name in enumerate(entries):
             if name in self._bats:
@@ -224,6 +235,9 @@ class BATBufferPool:
         if not catalog_path.exists():
             raise BBPError(f"no catalog.json under {directory}")
         catalog = json.loads(catalog_path.read_text())
+        tuning = catalog.get("tuning")
+        if tuning:
+            _install_persisted_tuning(tuning)
         pool = cls()
         for name, entry in catalog["bats"].items():
             if entry.get("fragmented"):
@@ -257,6 +271,27 @@ class BATBufferPool:
                     pool._bats[name] = _restore_bat(entry, data, name=name)
         pool.oid_generator.bump_past(catalog.get("oid_next", 0) - 1)
         return pool
+
+
+def _install_persisted_tuning(tuning: dict) -> None:
+    """Reinstall calibrated fragment tuning found next to a catalog, so
+    a restarted server skips the measurement pass.  Explicit
+    environment overrides (``REPRO_FRAGMENT_SIZE`` /
+    ``REPRO_PARALLEL_MIN_BUNS``) win over persisted values."""
+    import os
+
+    fragment_size = (
+        None if os.environ.get("REPRO_FRAGMENT_SIZE") else tuning.get("fragment_size")
+    )
+    parallel_min = (
+        None
+        if os.environ.get("REPRO_PARALLEL_MIN_BUNS")
+        else tuning.get("parallel_min")
+    )
+    if fragment_size is not None or parallel_min is not None:
+        _fragments.set_default_tuning(
+            fragment_size=fragment_size, parallel_min=parallel_min
+        )
 
 
 #: NIL marker for persisted string columns.  No trailing NUL: numpy

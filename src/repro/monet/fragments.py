@@ -26,13 +26,18 @@ Every operator here is the exact fragment-parallel counterpart of a
 identity against the monolithic kernel and against naive pure-Python
 references, and ``tests/monet/test_mil_fragments.py`` does the same
 for whole MIL programs.  The operator set covers everything the MIL
-dispatch layer (:mod:`repro.monet.mil.builtins`) routes here, so a
-pipeline like ``select -> join -> group -> aggregate`` runs
+dispatch layer (:mod:`repro.monet.mil.builtins`) routes here --
+including the order-sensitive operators (``sort``/``tsort``,
+``unique``/``kunique``/``tunique``, ``refine``), which run as
+per-fragment parallel passes around a k-way merge -- so a pipeline
+like ``select -> join -> sort -> unique -> aggregate`` runs
 fragment-parallel end-to-end with at most one coalesce at result
 return.  The tuning defaults (fragment size, serial-execution floor)
 derive from the live core count and can be replaced by measured values
 (:func:`set_default_tuning`; see the calibration pass in
-``benchmarks/bench_fragments.py``).
+``benchmarks/bench_fragments.py``), which persist next to the BBP
+catalog (:meth:`repro.monet.bbp.BATBufferPool.save`) so a restarted
+server skips the measurement pass.
 
 Property flags on recombined results are maintained *conservatively*:
 a flag is only ``True`` when the concatenation provably preserves it
@@ -41,6 +46,7 @@ a flag is only ``True`` when the concatenation provably preserves it
 
 from __future__ import annotations
 
+import heapq
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -99,6 +105,13 @@ PARALLEL_MIN_BUNS = (
     or _derive_parallel_min(DEFAULT_FRAGMENT_SIZE)
 )
 
+#: True once :func:`set_default_tuning` installed measured values (as
+#: opposed to the cores-derived defaults above).  Measured tuning is
+#: worth persisting: :meth:`repro.monet.bbp.BATBufferPool.save` writes
+#: it next to the catalog and ``load`` reinstalls it, so a restarted
+#: server skips the measurement pass.
+_TUNING_MEASURED = False
+
 
 def set_default_tuning(
     *, fragment_size: Optional[int] = None, parallel_min: Optional[int] = None
@@ -109,15 +122,27 @@ def set_default_tuning(
     after timing real operators; policies built afterwards (including
     the per-call defaults of every operator here) pick the new values
     up.  Explicitly constructed policies are unaffected."""
-    global DEFAULT_FRAGMENT_SIZE, PARALLEL_MIN_BUNS
+    global DEFAULT_FRAGMENT_SIZE, PARALLEL_MIN_BUNS, _TUNING_MEASURED
     if fragment_size is not None:
         if fragment_size < 1:
             raise KernelError("fragment_size must be at least 1")
         DEFAULT_FRAGMENT_SIZE = int(fragment_size)
+        _TUNING_MEASURED = True
     if parallel_min is not None:
         if parallel_min < 0:
             raise KernelError("parallel_min must be non-negative")
         PARALLEL_MIN_BUNS = int(parallel_min)
+        _TUNING_MEASURED = True
+
+
+def default_tuning() -> dict:
+    """The current module tuning plus whether it came from measurement
+    (the persistence layer only writes measured values to disk)."""
+    return {
+        "fragment_size": DEFAULT_FRAGMENT_SIZE,
+        "parallel_min": PARALLEL_MIN_BUNS,
+        "measured": _TUNING_MEASURED,
+    }
 
 
 @dataclass(frozen=True)
@@ -916,6 +941,464 @@ def group(fb: FragmentedBAT, *, workers: Optional[int] = None) -> FragmentedBAT:
 
     fragments = map_fragments(assign, fb.fragments, workers)
     return FragmentedBAT(fragments, fb.positions, policy=fb.policy)
+
+
+# ----------------------------------------------------------------------
+# Fragment-parallel order-sensitive operators: sort / unique / refine
+#
+# These were the last operators forcing a coalesce inside fragmented
+# plans.  The shared shape is two parallel passes around one small
+# serial merge: per-fragment work (sort / dedup / local grouping) fans
+# out on the thread pool, the merge resolves cross-fragment order or
+# duplicates on already-reduced data, and the result is emitted as
+# range-partitioned fragments so downstream operators keep running
+# fragment-parallel.
+# ----------------------------------------------------------------------
+
+
+def _merge_two_runs(
+    a: Tuple[np.ndarray, np.ndarray], b: Tuple[np.ndarray, np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two key-sorted (keys, global positions) runs.
+
+    ``side='right'`` makes the left run win ties; since range fragments
+    hold strictly increasing global position blocks, that is exactly
+    the monolithic stable sort's tie-break by BUN position.
+    ``searchsorted`` gallops, so merging two runs costs
+    O(len(b) * log(len(a))) comparisons plus one linear scatter.
+    """
+    keys_a, gpos_a = a
+    keys_b, gpos_b = b
+    if len(keys_a) == 0:
+        return b
+    if len(keys_b) == 0:
+        return a
+    insert = np.searchsorted(keys_a, keys_b, side="right")
+    total = len(keys_a) + len(keys_b)
+    positions_b = insert + np.arange(len(keys_b), dtype=np.int64)
+    keys = np.empty(total, dtype=keys_a.dtype)
+    gpos = np.empty(total, dtype=np.int64)
+    keys[positions_b] = keys_b
+    gpos[positions_b] = gpos_b
+    from_a = np.ones(total, dtype=bool)
+    from_a[positions_b] = False
+    keys[from_a] = keys_a
+    gpos[from_a] = gpos_a
+    return keys, gpos
+
+
+def _merge_runs(
+    runs: List[Tuple[np.ndarray, np.ndarray]]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """k-way merge by pairwise tournament: log2(k) levels, each a
+    linear pass, so the whole merge is O(n log k) after the per-run
+    sorts."""
+    while len(runs) > 1:
+        merged = [
+            _merge_two_runs(runs[i], runs[i + 1])
+            for i in range(0, len(runs) - 1, 2)
+        ]
+        if len(runs) % 2:
+            merged.append(runs[-1])
+        runs = merged
+    return runs[0]
+
+
+def _output_fragments(
+    head: AnyColumn,
+    tail: AnyColumn,
+    policy: FragmentationPolicy,
+    *,
+    hsorted: bool = False,
+    tsorted: bool = False,
+    hkey: bool = False,
+    tkey: bool = False,
+) -> FragmentedBAT:
+    """Range-partition fully-built result columns into fragments of the
+    policy's target size (zero-copy views)."""
+    n = len(head)
+    fragments: List[BAT] = []
+    for start in range(0, n, policy.target_size):
+        stop = min(n, start + policy.target_size)
+        fragments.append(
+            BAT(
+                _slice_column(head, start, stop),
+                _slice_column(tail, start, stop),
+                hsorted=hsorted,
+                tsorted=tsorted,
+                hkey=hkey,
+                tkey=tkey,
+            )
+        )
+    if not fragments:
+        fragments = [
+            BAT(
+                _slice_column(head, 0, 0),
+                _slice_column(tail, 0, 0),
+                hsorted=hsorted,
+                tsorted=tsorted,
+                hkey=hkey,
+                tkey=tkey,
+            )
+        ]
+    return FragmentedBAT(fragments, policy=policy)
+
+
+def _rows_in_order(
+    fb: FragmentedBAT, gather: np.ndarray, *, hsorted: bool = False
+) -> FragmentedBAT:
+    """Range-partitioned copy of *fb*'s rows in the order given by
+    *gather*, an index array into the fragment-concatenation space."""
+    frags = fb.fragments
+    head = _concat_columns([f.head for f in frags], frags[0].head.atom_type, gather)
+    tail = _concat_columns([f.tail for f in frags], frags[0].tail.atom_type, gather)
+    return _output_fragments(head, tail, fb.policy, hsorted=hsorted)
+
+
+def sort(fb: FragmentedBAT, *, workers: Optional[int] = None) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.sort`: every
+    fragment sorts its head in its own thread (numpy's sorts release
+    the GIL), then a k-way ``searchsorted`` merge combines the runs
+    into range-partitioned output fragments -- no coalesce, and the
+    plan around it stays fragment-parallel.  Equal heads keep global
+    BUN order, exactly like the monolithic stable sort.  Already-sorted
+    inputs (flagged or detected, fragment boundaries included) return
+    unchanged.  Round-robin inputs scatter to BUN order and run one
+    stable argsort instead -- run-order merging cannot break their
+    interleaved ties correctly; object (str) heads merge via
+    ``heapq``."""
+    if len(fb) == 0:
+        return fb
+    if _kernel._is_object_column(fb.fragments[0].head):
+        return _sort_object(fb, _resolve_workers(fb, workers))
+    if fb.positions is not None:
+        return _sort_scatter(fb)
+    if all(f.hsorted for f in fb.fragments) and _boundaries_nondecreasing(
+        fb.fragments, head=True
+    ):
+        return fb
+    workers = _resolve_workers(fb, workers)
+
+    def one(indexed: Tuple[int, BAT]) -> Tuple[np.ndarray, np.ndarray]:
+        index, frag = indexed
+        keys = frag.head_values()
+        gpos = fb.global_positions(index)
+        if frag.hsorted or _nondecreasing(keys):
+            return keys, gpos
+        order = np.argsort(keys, kind="stable")
+        return keys[order], gpos[order]
+
+    runs = map_fragments(one, list(enumerate(fb.fragments)), workers)
+    keys, gpos = _merge_runs(runs)
+    head = Column(fb.fragments[0].head.atom_type, keys)
+    tail = _concat_columns(
+        [f.tail for f in fb.fragments], fb.fragments[0].tail.atom_type, gpos
+    )
+    return _output_fragments(
+        head,
+        tail,
+        fb.policy,
+        hsorted=True,
+        hkey=fb.nfragments == 1 and fb.fragments[0].hkey,
+        tkey=fb.nfragments == 1 and fb.fragments[0].tkey,
+    )
+
+
+def tsort(fb: FragmentedBAT, *, workers: Optional[int] = None) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.tsort`
+    (``reverse . sort . reverse``; the reverses are O(1) views)."""
+    return reverse(sort(reverse(fb), workers=workers))
+
+
+def _nondecreasing(values: np.ndarray) -> bool:
+    """Cheap actual-sortedness check (a NaN anywhere fails it, which
+    just means the fragment argsorts -- correctness over shortcut)."""
+    if len(values) <= 1:
+        return True
+    return bool(np.all(values[1:] >= values[:-1]))
+
+
+def _sort_scatter(fb: FragmentedBAT) -> FragmentedBAT:
+    """Sort a round-robin split: rank the rows back into BUN order and
+    run one stable argsort (ties must break by global BUN position,
+    which run-order merging cannot guarantee for interleaved runs).
+    Positions of derived subsets are sparse, so ordering goes through
+    their ranks, not through the position values."""
+    bun_order = np.argsort(np.concatenate(fb.positions), kind="stable")
+    keys_concat = np.concatenate([f.head_values() for f in fb.fragments])
+    order = np.argsort(keys_concat[bun_order], kind="stable")
+    return _rows_in_order(fb, bun_order[order], hsorted=True)
+
+
+def _sort_object(fb: FragmentedBAT, workers: Optional[int]) -> FragmentedBAT:
+    """Object (str) heads: per-fragment Python sorts merged lazily via
+    ``heapq``.  The (is-NIL, value, global position) key reproduces the
+    monolithic object sort exactly: NILs last, ties in BUN order."""
+
+    offsets = np.concatenate(([0], np.cumsum(fb.fragment_sizes())))
+
+    def one(indexed: Tuple[int, BAT]) -> List[Tuple[bool, Any, int, int]]:
+        index, frag = indexed
+        gpos = fb.global_positions(index)
+        base = int(offsets[index])
+        return sorted(
+            (value is None, "" if value is None else value, int(position),
+             base + local)
+            for local, (value, position) in enumerate(
+                zip(frag.head_values().tolist(), gpos.tolist())
+            )
+        )
+
+    runs = map_fragments(one, list(enumerate(fb.fragments)), workers)
+    gather = np.fromiter(
+        (entry[3] for entry in heapq.merge(*runs)), dtype=np.int64, count=len(fb)
+    )
+    return _rows_in_order(fb, gather, hsorted=True)
+
+
+def unique(fb: FragmentedBAT, *, workers: Optional[int] = None) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.unique`: each
+    fragment dedupes locally in its thread, the merge resolves
+    cross-fragment duplicates on the reduced candidate set only
+    (winner = smallest global BUN position, preserving first-seen
+    order), and a parallel filter drops the losers in place -- the
+    fragmentation shape survives."""
+    workers = _resolve_workers(fb, workers)
+    keep = _first_global_occurrences(fb, workers, heads=True, tails=True)
+    return _keep_positions(fb, keep, workers)
+
+
+def kunique(fb: FragmentedBAT, *, workers: Optional[int] = None) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.kunique` (duplicate
+    *head* elimination, first BUN per head wins)."""
+    if fb.nfragments == 1 and fb.fragments[0].hkey:
+        return fb
+    workers = _resolve_workers(fb, workers)
+    keep = _first_global_occurrences(fb, workers, heads=True, tails=False)
+    result = _keep_positions(fb, keep, workers)
+    fragments = [
+        BAT(f.head, f.tail, hsorted=f.hsorted, tsorted=f.tsorted, hkey=True,
+            tkey=f.tkey)
+        for f in result.fragments
+    ]
+    return FragmentedBAT(fragments, result.positions, policy=fb.policy)
+
+
+def tunique(fb: FragmentedBAT, *, workers: Optional[int] = None) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.tunique`
+    (``reverse . kunique . reverse``)."""
+    return reverse(kunique(reverse(fb), workers=workers))
+
+
+def _first_global_occurrences(
+    fb: FragmentedBAT, workers: Optional[int], *, heads: bool, tails: bool
+) -> np.ndarray:
+    """Sorted global BUN positions of the first occurrence of every
+    distinct key (head, tail, or both).  NILs dedupe under the identity
+    rule -- one NaN/None survives -- matching the monolithic kernel
+    (see the NIL semantics note in :mod:`repro.monet.kernel`)."""
+    first = fb.fragments[0]
+    object_dtype = (heads and _kernel._is_object_column(first.head)) or (
+        tails and _kernel._is_object_column(first.tail)
+    )
+    if object_dtype:
+
+        def candidates(indexed: Tuple[int, BAT]) -> dict:
+            index, frag = indexed
+            gpos = fb.global_positions(index)
+            head_values = frag.head_list() if heads else None
+            tail_values = frag.tail_list() if tails else None
+            firsts: dict = {}
+            for position in range(len(frag)):
+                key = ()
+                if heads:
+                    key += (_kernel.nil_dedup_key(head_values[position]),)
+                if tails:
+                    key += (_kernel.nil_dedup_key(tail_values[position]),)
+                if key not in firsts:
+                    firsts[key] = int(gpos[position])
+            return firsts
+
+        per_fragment = map_fragments(
+            candidates, list(enumerate(fb.fragments)), workers
+        )
+        winners: dict = {}
+        for firsts in per_fragment:
+            for key, position in firsts.items():
+                previous = winners.get(key)
+                if previous is None or position < previous:
+                    winners[key] = position
+        return np.sort(np.asarray(list(winners.values()), dtype=np.int64))
+
+    def candidates(indexed: Tuple[int, BAT]) -> List[np.ndarray]:
+        index, frag = indexed
+        keys = []
+        if heads:
+            keys.append(_kernel.dedup_keys(frag.head))
+        if tails:
+            keys.append(_kernel.dedup_keys(frag.tail))
+        firsts = _kernel.first_occurrences(*keys)
+        gpos = fb.global_positions(index)
+        return [key[firsts] for key in keys] + [gpos[firsts]]
+
+    per_fragment = map_fragments(candidates, list(enumerate(fb.fragments)), workers)
+    merged = [
+        np.concatenate([p[i] for p in per_fragment])
+        for i in range(len(per_fragment[0]))
+    ]
+    *key_arrays, gpos_concat = merged
+    if len(gpos_concat) == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort(tuple([gpos_concat] + list(reversed(key_arrays))))
+    new_block = np.zeros(len(order), dtype=bool)
+    new_block[0] = True
+    for key in key_arrays:
+        sorted_key = key[order]
+        new_block[1:] |= sorted_key[1:] != sorted_key[:-1]
+    return np.sort(gpos_concat[order[new_block]])
+
+
+def _keep_positions(
+    fb: FragmentedBAT, keep: np.ndarray, workers: Optional[int]
+) -> FragmentedBAT:
+    """Filter *fb* to the rows whose global BUN positions are in the
+    sorted *keep* array, fragment-parallel and shape-preserving."""
+    if fb.positions is None:
+        offsets = np.concatenate(([0], np.cumsum(fb.fragment_sizes())))
+
+        def one(indexed: Tuple[int, BAT]) -> BAT:
+            index, frag = indexed
+            lo = np.searchsorted(keep, offsets[index], side="left")
+            hi = np.searchsorted(keep, offsets[index + 1], side="left")
+            return frag.take_positions(keep[lo:hi] - offsets[index])
+
+        fragments = map_fragments(one, list(enumerate(fb.fragments)), workers)
+        return FragmentedBAT(fragments, policy=fb.policy)
+
+    def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, np.ndarray]:
+        index, frag = indexed
+        mine = fb.positions[index]
+        found = np.searchsorted(keep, mine, side="left")
+        hits = np.nonzero(found < len(keep))[0]
+        member = np.zeros(len(mine), dtype=bool)
+        if len(hits):
+            member[hits] = keep[found[hits]] == mine[hits]
+        local = np.nonzero(member)[0]
+        return frag.take_positions(local), mine[local]
+
+    results = map_fragments(one, list(enumerate(fb.fragments)), workers)
+    return FragmentedBAT(
+        [r[0] for r in results], [r[1] for r in results], policy=fb.policy
+    )
+
+
+def refine(
+    grouping: FragmentedBAT,
+    bat: Union[BAT, FragmentedBAT],
+    *,
+    workers: Optional[int] = None,
+) -> Union[BAT, FragmentedBAT]:
+    """Fragment-parallel :func:`repro.monet.groups.refine`: the same
+    two parallel passes around a tiny serial merge as :func:`group`,
+    over (old group id, value) pairs.  A monolithic *bat* operand is
+    window-sliced to the grouping's fragments (range splits); anything
+    misaligned falls back to the monolithic refine over coalesced
+    views."""
+    from repro.monet import groups as _groups
+
+    if isinstance(bat, BAT):
+        if grouping.positions is None and len(bat) == len(grouping):
+            offsets = [0]
+            for size in grouping.fragment_sizes():
+                offsets.append(offsets[-1] + size)
+            bat = FragmentedBAT(
+                [
+                    _slice_view(bat, offsets[k], offsets[k + 1])
+                    for k in range(grouping.nfragments)
+                ],
+                policy=grouping.policy,
+            )
+        else:
+            return _groups.refine(coalesce(grouping), bat)
+    if not same_fragmentation(grouping, bat):
+        return _groups.refine(coalesce(grouping), coalesce(bat))
+    workers = _resolve_workers(grouping, workers)
+    object_dtype = _kernel._is_object_column(bat.fragments[0].tail)
+
+    def local(indexed: Tuple[int, Tuple[BAT, BAT]]):
+        index, (group_frag, value_frag) = indexed
+        old = group_frag.tail_values().astype(np.int64, copy=False)
+        gpos = grouping.global_positions(index)
+        if len(old) == 0:
+            return [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        if object_dtype:
+            codes = np.empty(len(old), dtype=np.int64)
+            rep_keys: List[Tuple[int, Any]] = []
+            rep_gpos: List[int] = []
+            seen: dict = {}
+            for position, (old_id, value) in enumerate(
+                zip(old.tolist(), value_frag.tail_list())
+            ):
+                key = (old_id, _kernel.nil_dedup_key(value))
+                code = seen.get(key)
+                if code is None:
+                    code = len(rep_keys)
+                    seen[key] = code
+                    rep_keys.append(key)
+                    rep_gpos.append(int(gpos[position]))
+                codes[position] = code
+            return rep_keys, np.asarray(rep_gpos, dtype=np.int64), codes
+        value_keys = _kernel.dedup_keys(value_frag.tail)
+        order = np.lexsort((value_keys, old))
+        sorted_old = old[order]
+        sorted_values = value_keys[order]
+        new_block = np.zeros(len(order), dtype=bool)
+        new_block[0] = True
+        new_block[1:] = (sorted_old[1:] != sorted_old[:-1]) | (
+            sorted_values[1:] != sorted_values[:-1]
+        )
+        starts = np.nonzero(new_block)[0]
+        codes = np.empty(len(order), dtype=np.int64)
+        codes[order] = np.cumsum(new_block) - 1
+        rep_keys = list(
+            zip(sorted_old[starts].tolist(), sorted_values[starts].tolist())
+        )
+        # Stable lexsort keeps each block in local (therefore global)
+        # position order, so the block start is the minimal position.
+        return rep_keys, gpos[order[starts]], codes
+
+    per_fragment = map_fragments(
+        local, list(enumerate(zip(grouping.fragments, bat.fragments))), workers
+    )
+    firsts: dict = {}
+    for rep_keys, rep_gpos, _ in per_fragment:
+        for key, position in zip(rep_keys, rep_gpos.tolist()):
+            previous = firsts.get(key)
+            if previous is None or position < previous:
+                firsts[key] = position
+    gid_by_key = {
+        key: gid
+        for gid, (key, _) in enumerate(sorted(firsts.items(), key=lambda kv: kv[1]))
+    }
+
+    def assign(pair: Tuple[BAT, Tuple[list, np.ndarray, np.ndarray]]) -> BAT:
+        group_frag, (rep_keys, _, codes) = pair
+        if rep_keys:
+            lookup = np.asarray([gid_by_key[key] for key in rep_keys], dtype=np.int64)
+            ids = lookup[codes]
+        else:
+            ids = np.empty(0, dtype=np.int64)
+        return BAT(
+            group_frag.head,
+            Column("oid", ids),
+            hsorted=group_frag.hsorted,
+            hkey=group_frag.hkey,
+        )
+
+    fragments = map_fragments(
+        assign, list(zip(grouping.fragments, per_fragment)), workers
+    )
+    return FragmentedBAT(fragments, grouping.positions, policy=grouping.policy)
 
 
 # ----------------------------------------------------------------------

@@ -27,6 +27,18 @@ Operator vocabulary (Monet names kept):
 ``kunique``        duplicate head elimination (first BUN wins)
 ``slice_bat``      positional BUN range
 =================  ====================================================
+
+NIL semantics (two rules, both Monet-faithful):
+
+* *Comparisons* -- select predicates and the join family -- follow
+  "NIL equals nothing": a NIL probe or build value (NaN for dbl,
+  ``None`` for str) never matches, not even another NIL.
+* *Identity* operators -- ``unique``/``kunique``/``tunique`` here and
+  ``group``/``refine`` in :mod:`repro.monet.groups` -- treat all NILs
+  of a column as **one value** (SQL DISTINCT / GROUP BY style): one
+  NIL survives duplicate elimination and every NIL lands in the same
+  group.  :func:`dedup_keys` encodes this rule for the vectorized
+  paths (NaN keys collapse to a single sentinel).
 """
 
 from __future__ import annotations
@@ -50,6 +62,71 @@ def _is_object_column(column: AnyColumn) -> bool:
 
 def _positions(count: int) -> np.ndarray:
     return np.arange(count, dtype=np.int64)
+
+
+#: Sentinel equality key shared by every NIL of a column under the
+#: identity rule (see the NIL semantics note in the module docstring).
+NIL_KEY = ("\0nil",)
+
+
+def nil_dedup_key(value: Any):
+    """Hashable dedup key for a Python-level value: NaN (dbl NIL) and
+    ``None`` normalize to one sentinel so NILs compare equal under the
+    identity rule, while remaining distinct from every real value."""
+    if value is None:
+        return NIL_KEY
+    if isinstance(value, float) and value != value:
+        return NIL_KEY
+    return value
+
+
+def _float_dedup_keys(values: np.ndarray) -> np.ndarray:
+    """Monotone IEEE-754 bit transform of float64 values to uint64:
+    order is preserved, ``-0.0`` keys equal ``+0.0``, and every NaN
+    (dbl NIL) collapses to one maximal key -- sortable *and*
+    NIL-equals-NIL, which raw floats are not (NaN != NaN would defeat
+    vectorized duplicate detection)."""
+    finite = np.where(values == 0.0, 0.0, values)
+    bits = finite.astype(np.float64, copy=False).view(np.uint64)
+    keys = np.where(
+        bits >> np.uint64(63) == 1, ~bits, bits | np.uint64(1 << 63)
+    )
+    return np.where(np.isnan(values), np.uint64(0xFFFFFFFFFFFFFFFF), keys)
+
+
+def dedup_keys(column: AnyColumn) -> Optional[np.ndarray]:
+    """Integer sort keys over a column's stored values for duplicate
+    elimination: equal keys iff the values are duplicates under the
+    identity rule, and key order is a valid sort order.  ``None`` for
+    object (str) columns, which take the hash-based Python path."""
+    if column.is_void:
+        return np.arange(
+            column.seqbase, column.seqbase + len(column), dtype=np.int64
+        )
+    if column.atom_type.dtype == np.dtype(object):
+        return None
+    values = column.materialize()
+    if values.dtype.kind == "f":
+        return _float_dedup_keys(values)
+    return values.astype(np.int64, copy=False)
+
+
+def first_occurrences(*keys: np.ndarray) -> np.ndarray:
+    """Positions of the first row of every distinct key combination,
+    ascending -- the vectorized core of ``unique``/``kunique``
+    (lexsort + block-boundary detection instead of a per-BUN Python
+    loop).  Shared with the fragmented kernel, which applies it per
+    fragment before its cross-fragment merge."""
+    n = len(keys[0])
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort(tuple(reversed(keys)))
+    new_block = np.zeros(n, dtype=bool)
+    new_block[0] = True
+    for key in keys:
+        sorted_key = key[order]
+        new_block[1:] |= sorted_key[1:] != sorted_key[:-1]
+    return np.sort(order[new_block])
 
 
 def build_match_index(build: np.ndarray, object_dtype: bool):
@@ -480,33 +557,42 @@ def tsort(bat: BAT) -> BAT:
 
 def unique(bat: BAT) -> BAT:
     """Duplicate BUN elimination; keeps the first occurrence, preserves
-    first-seen order (Monet ``unique``)."""
-    seen = set()
-    keep = []
-    for position, (head, tail) in enumerate(bat.items()):
-        key = (head, tail)
-        if key not in seen:
-            seen.add(key)
-            keep.append(position)
-    return bat.take_positions(np.asarray(keep, dtype=np.int64))
+    first-seen order (Monet ``unique``).  NILs dedupe under the
+    identity rule (one NaN/None survives; see the module docstring)."""
+    if bat.hkey or bat.tkey:
+        return bat
+    head_keys = dedup_keys(bat.head)
+    tail_keys = dedup_keys(bat.tail)
+    if head_keys is None or tail_keys is None:
+        # Object (str) columns: hash-based first-seen scan.
+        seen = set()
+        keep = []
+        for position, (head, tail) in enumerate(bat.items()):
+            key = (nil_dedup_key(head), nil_dedup_key(tail))
+            if key not in seen:
+                seen.add(key)
+                keep.append(position)
+        return bat.take_positions(np.asarray(keep, dtype=np.int64))
+    return bat.take_positions(first_occurrences(head_keys, tail_keys))
 
 
 def kunique(bat: BAT) -> BAT:
-    """Duplicate *head* elimination; first BUN per head wins."""
+    """Duplicate *head* elimination; first BUN per head wins.  NIL
+    heads dedupe under the identity rule (one survives)."""
     if bat.hkey:
         return bat
-    heads = bat.head_values()
-    if _is_object_column(bat.head):
+    head_keys = dedup_keys(bat.head)
+    if head_keys is None:
         seen = set()
         keep = []
-        for position, value in enumerate(heads):
-            if value not in seen:
-                seen.add(value)
+        for position, value in enumerate(bat.head_values()):
+            key = nil_dedup_key(value)
+            if key not in seen:
+                seen.add(key)
                 keep.append(position)
         positions = np.asarray(keep, dtype=np.int64)
     else:
-        _, first = np.unique(heads, return_index=True)
-        positions = np.sort(first)
+        positions = first_occurrences(head_keys)
     result = bat.take_positions(positions)
     return BAT(result.head, result.tail, hsorted=result.hsorted, hkey=True,
                tkey=result.tkey)

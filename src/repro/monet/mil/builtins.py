@@ -13,11 +13,14 @@ Two layers live here:
   :mod:`repro.monet.fragments` whenever the receiver is a
   :class:`~repro.monet.fragments.FragmentedBAT`, re-fragmenting the
   intermediate result under the active
-  :class:`~repro.monet.fragments.FragmentationPolicy`.  Operators with
-  no fragment-parallel counterpart (``sort``, ``unique``, ...)
+  :class:`~repro.monet.fragments.FragmentationPolicy`.  The
+  order-sensitive operators (``sort``/``tsort``,
+  ``unique``/``kunique``/``tunique``, ``refine``) run fragment-parallel
+  too (merge-based), so a pipeline containing them still coalesces only
+  at result return.  The few operators with no fragment-parallel
+  counterpart (``kunion``, ``kintersect``, ``group_sizes``, ...)
   transparently coalesce their fragmented arguments first, so every
-  MIL program is valid over fragmented BATs and the hot pipeline
-  operators (select/join/group/aggregates) never materialize.
+  MIL program stays valid over fragmented BATs.
 
 Arity is enforced uniformly: every builtin carries a signature entry,
 and a wrong argument count raises :class:`MILRuntimeError` naming the
@@ -239,6 +242,12 @@ _FRAGMENT: Dict[str, Callable[..., Any]] = {
     "mirror": fragments.mirror,
     "mark": lambda b, base=0: fragments.mark(b, int(base)),
     "number": lambda b, base=0: fragments.number(b, int(base)),
+    "sort": fragments.sort,
+    "tsort": fragments.tsort,
+    "unique": fragments.unique,
+    "kunique": fragments.kunique,
+    "tunique": fragments.tunique,
+    "refine": fragments.refine,
     "slice": lambda b, start, stop: fragments.slice_(b, int(start), int(stop)),
     "topn": lambda b, n, descending=True: fragments.topn(
         b, int(n), descending=bool(descending)

@@ -118,3 +118,80 @@ def test_fragmented_roundtrip_preserves_oid_sequence(pool, tmp_path):
     pool.register_fragmented("f", fragment_bat(bat, FragmentationPolicy(target_size=6)))
     loaded = _roundtrip(pool, tmp_path)
     assert loaded.oid_generator.current >= 120
+
+
+def test_calibrated_tuning_roundtrip(pool, tmp_path):
+    """Measured fragment tuning persists next to the catalog and is
+    reinstalled on load, so a restarted server skips the measurement
+    pass.  Cores-derived (unmeasured) defaults are never written."""
+    from repro.monet import fragments
+
+    saved_state = (
+        fragments.DEFAULT_FRAGMENT_SIZE,
+        fragments.PARALLEL_MIN_BUNS,
+        fragments._TUNING_MEASURED,
+    )
+    try:
+        pool.register("x", dense_bat("int", [1, 2, 3]))
+        pool.save(tmp_path / "db")
+        import json
+
+        catalog = json.loads((tmp_path / "db" / "catalog.json").read_text())
+        assert "tuning" not in catalog  # unmeasured defaults stay local
+
+        fragments.set_default_tuning(fragment_size=12345, parallel_min=67890)
+        pool.save(tmp_path / "db2")
+        catalog = json.loads((tmp_path / "db2" / "catalog.json").read_text())
+        assert catalog["tuning"] == {
+            "fragment_size": 12345,
+            "parallel_min": 67890,
+        }
+
+        # A "restart": reset the module defaults, then load the pool.
+        (
+            fragments.DEFAULT_FRAGMENT_SIZE,
+            fragments.PARALLEL_MIN_BUNS,
+            fragments._TUNING_MEASURED,
+        ) = saved_state
+        BATBufferPool.load(tmp_path / "db2")
+        assert fragments.DEFAULT_FRAGMENT_SIZE == 12345
+        assert fragments.PARALLEL_MIN_BUNS == 67890
+        assert fragments.default_tuning()["measured"]
+        # Policies made after the load pick the persisted value up.
+        assert FragmentationPolicy().target_size == 12345
+    finally:
+        (
+            fragments.DEFAULT_FRAGMENT_SIZE,
+            fragments.PARALLEL_MIN_BUNS,
+            fragments._TUNING_MEASURED,
+        ) = saved_state
+
+
+def test_persisted_tuning_yields_to_env_overrides(pool, tmp_path, monkeypatch):
+    from repro.monet import fragments
+
+    saved_state = (
+        fragments.DEFAULT_FRAGMENT_SIZE,
+        fragments.PARALLEL_MIN_BUNS,
+        fragments._TUNING_MEASURED,
+    )
+    try:
+        pool.register("x", dense_bat("int", [1]))
+        fragments.set_default_tuning(fragment_size=11111, parallel_min=22222)
+        pool.save(tmp_path / "db")
+        (
+            fragments.DEFAULT_FRAGMENT_SIZE,
+            fragments.PARALLEL_MIN_BUNS,
+            fragments._TUNING_MEASURED,
+        ) = saved_state
+        monkeypatch.setenv("REPRO_FRAGMENT_SIZE", "9999")
+        BATBufferPool.load(tmp_path / "db")
+        # The env-pinned knob is untouched; the other one installs.
+        assert fragments.DEFAULT_FRAGMENT_SIZE == saved_state[0]
+        assert fragments.PARALLEL_MIN_BUNS == 22222
+    finally:
+        (
+            fragments.DEFAULT_FRAGMENT_SIZE,
+            fragments.PARALLEL_MIN_BUNS,
+            fragments._TUNING_MEASURED,
+        ) = saved_state

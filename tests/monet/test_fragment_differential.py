@@ -190,16 +190,26 @@ def assert_pairs_equal(result: BAT, expected) -> None:
 
 
 def assert_flags_sound(bat: BAT) -> None:
-    """Every True property flag must actually hold."""
+    """Every True property flag must actually hold.
+
+    Sortedness is judged under the kernel's ordering of stored values:
+    NaN (dbl NIL) and ``None`` (str NIL) sort last, the int NIL
+    sentinel is just a very negative number."""
     heads = bat.head_values().tolist()
     tails = bat.tail_values().tolist()
+
+    def sort_key(value):
+        if value is None:
+            return (1, "")
+        if isinstance(value, float) and math.isnan(value):
+            return (1, 0.0)
+        return (0, value)
 
     def nondecreasing(vals):
         try:
             return all(
-                a is not None and b is not None and a <= b
-                for a, b in zip(vals, vals[1:])
-            ) and (len(vals) < 2 or None not in vals)
+                sort_key(a) <= sort_key(b) for a, b in zip(vals, vals[1:])
+            )
         except TypeError:
             return False
 
@@ -572,6 +582,278 @@ def test_nan_extremes_match_monolithic():
     tail_nan = BAT(VoidColumn(0, 4), Column("dbl", np.array([5.0, 1.0, 2.0, np.nan])))
     ft = fragment_bat(tail_nan, FragmentationPolicy(target_size=2, workers=2))
     assert math.isnan(fr.max_(ft)) and math.isnan(fr.min_(ft))
+
+
+# ----------------------------------------------------------------------
+# Order-sensitive operators: sort / unique / refine
+# ----------------------------------------------------------------------
+
+
+def _nil_key(value):
+    """NILs compare equal under the identity rule (kernel docstring):
+    NaN and None normalize to one sentinel for dedup references."""
+    if value is None:
+        return ("\0nil",)
+    if isinstance(value, float) and math.isnan(value):
+        return ("\0nil",)
+    return value
+
+
+def _order_key(value):
+    """The kernel's sort order over stored values: NaN/None last, the
+    int NIL sentinel is simply the most negative int."""
+    if value is None:
+        return (1, "")
+    if isinstance(value, float) and math.isnan(value):
+        return (1, 0.0)
+    return (0, value)
+
+
+def _ref_sort(pairs):
+    return sorted(pairs, key=lambda p: _order_key(p[0]))
+
+
+def _ref_tsort(pairs):
+    return sorted(pairs, key=lambda p: _order_key(p[1]))
+
+
+def _ref_unique(pairs):
+    seen = set()
+    out = []
+    for h, t in pairs:
+        key = (_nil_key(h), _nil_key(t))
+        if key not in seen:
+            seen.add(key)
+            out.append((h, t))
+    return out
+
+
+def _ref_kunique(pairs):
+    seen = set()
+    out = []
+    for h, t in pairs:
+        key = _nil_key(h)
+        if key not in seen:
+            seen.add(key)
+            out.append((h, t))
+    return out
+
+
+def _ref_tunique(pairs):
+    seen = set()
+    out = []
+    for h, t in pairs:
+        key = _nil_key(t)
+        if key not in seen:
+            seen.add(key)
+            out.append((h, t))
+    return out
+
+
+def _headed_bat(rng: np.random.Generator, htype: str, n: int, *, nils=True) -> BAT:
+    """A duplicate-rich BAT with a materialized head of *htype* and an
+    int tail (the shape sort/unique actually reorder)."""
+    if htype == "int":
+        heads = rng.integers(-8, 8, n).astype(np.int64)
+        if nils and n:
+            heads[rng.random(n) < 0.15] = np.iinfo(np.int64).min
+        head = Column("int", heads)
+    elif htype == "oid":
+        head = Column("oid", rng.integers(0, 10, n).astype(np.int64))
+    elif htype == "dbl":
+        heads = np.round(rng.random(n) * 4, 1)
+        if nils and n:
+            heads[rng.random(n) < 0.2] = np.nan
+        head = Column("dbl", heads)
+    elif htype == "str":
+        words = ["ape", "bat", "cat", "dog"]
+        heads = np.empty(n, dtype=object)
+        for i in range(n):
+            if nils and rng.random() < 0.2:
+                heads[i] = None
+            else:
+                heads[i] = str(rng.choice(words))
+        head = Column("str", heads)
+    else:  # pragma: no cover - test config error
+        raise ValueError(htype)
+    tails = rng.integers(-4, 4, n).astype(np.int64)
+    if nils and n:
+        tails[rng.random(n) < 0.1] = np.iinfo(np.int64).min
+    return BAT(head, Column("int", tails))
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_sort_differential(seed):
+    rng = np.random.default_rng(800 + seed)
+    htype = ("int", "dbl", "str", "oid")[seed % 4]
+    n = int(rng.choice([0, 1, 2, 17, 64, 120]))
+    bat = _headed_bat(rng, htype, n)
+    pairs = _raw_pairs(bat)
+    fbs = [_fragment(bat, s) for s in STRATEGIES]
+    _check_op(kernel.sort(bat), _ref_sort(pairs), [fr.sort(fb) for fb in fbs])
+    _check_op(kernel.tsort(bat), _ref_tsort(pairs), [fr.tsort(fb) for fb in fbs])
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_unique_family_differential(seed):
+    rng = np.random.default_rng(900 + seed)
+    htype = ("int", "dbl", "str", "oid")[seed % 4]
+    n = int(rng.choice([0, 1, 2, 17, 64, 120]))
+    bat = _headed_bat(rng, htype, n)
+    pairs = _raw_pairs(bat)
+    fbs = [_fragment(bat, s) for s in STRATEGIES]
+    _check_op(kernel.unique(bat), _ref_unique(pairs), [fr.unique(fb) for fb in fbs])
+    _check_op(
+        kernel.kunique(bat), _ref_kunique(pairs), [fr.kunique(fb) for fb in fbs]
+    )
+    _check_op(
+        kernel.tunique(bat), _ref_tunique(pairs), [fr.tunique(fb) for fb in fbs]
+    )
+
+
+@pytest.mark.parametrize(
+    "htype,shape",
+    [
+        (htype, shape)
+        for htype in ("int", "dbl", "str", "oid")
+        for shape in ("all_equal", "presorted")
+    ]
+    # int/oid NILs are plain sentinel values for ordering; NaN/None
+    # have their own last-place rule, so only dbl/str get the shape.
+    + [("dbl", "nil_heavy"), ("str", "nil_heavy")],
+)
+def test_sort_unique_edge_shapes(htype, shape):
+    """The satellite edge shapes: all-equal columns (every BUN ties),
+    already-sorted inputs (the merge degenerates to concatenation), and
+    NIL-heavy columns (NaN/None ordering and identity-rule dedup)."""
+    rng = np.random.default_rng(hash(shape) % 1000)
+    n = 90
+    if shape == "all_equal":
+        bat = _headed_bat(rng, htype, n, nils=False)
+        value = bat.head_values()[0]
+        if htype == "str":
+            head = Column("str", np.full(n, value, dtype=object))
+        else:
+            head = Column(
+                bat.head.atom_type,
+                np.full(n, value, dtype=bat.head.atom_type.dtype),
+            )
+        bat = BAT(head, bat.tail)
+    elif shape == "presorted":
+        base = _headed_bat(rng, htype, n, nils=False)
+        bat = kernel.sort(base)
+        bat = BAT(bat.head, bat.tail)  # drop the hsorted flag: detection path
+    else:
+        bat = _headed_bat(rng, htype, n)
+    pairs = _raw_pairs(bat)
+    fbs = [_fragment(bat, s) for s in STRATEGIES]
+    _check_op(kernel.sort(bat), _ref_sort(pairs), [fr.sort(fb) for fb in fbs])
+    _check_op(kernel.unique(bat), _ref_unique(pairs), [fr.unique(fb) for fb in fbs])
+
+
+def test_nil_dedup_identity_rule():
+    """The NIL-dedup decision (recorded in the kernel module
+    docstring): joins never match NIL, but unique/kunique treat all
+    NILs of a column as one value -- a single NaN/None survives, on the
+    monolithic and the fragmented path alike."""
+    nan_heads = BAT(
+        Column("dbl", np.array([np.nan, 1.0, np.nan, 1.0])),
+        Column("int", np.array([7, 8, 7, 8], dtype=np.int64)),
+    )
+    assert kernel.unique(nan_heads).to_pairs() == [(None, 7), (1.0, 8)]
+    assert kernel.kunique(nan_heads).to_pairs() == [(None, 7), (1.0, 8)]
+    none_heads = BAT(
+        Column("str", np.array([None, "a", None], dtype=object)),
+        Column("int", np.array([1, 2, 1], dtype=np.int64)),
+    )
+    assert kernel.unique(none_heads).to_pairs() == [(None, 1), ("a", 2)]
+    assert kernel.kunique(none_heads).to_pairs() == [(None, 1), ("a", 2)]
+    for bat in (nan_heads, none_heads):
+        for strategy in STRATEGIES:
+            fb = _fragment(bat, strategy)
+            assert fr.unique(fb).to_bat().to_pairs() == kernel.unique(bat).to_pairs()
+            assert (
+                fr.kunique(fb).to_bat().to_pairs() == kernel.kunique(bat).to_pairs()
+            )
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_refine_differential(seed):
+    from repro.monet.groups import refine
+
+    rng = np.random.default_rng(1000 + seed)
+    n = int(rng.choice([0, 1, 50, 160]))
+    keys = BAT(VoidColumn(0, n), Column("int", rng.integers(0, 6, n)))
+    if seed % 2:
+        values_raw = np.round(rng.random(n) * 2, 1)
+        if n:
+            values_raw[rng.random(n) < 0.2] = np.nan
+        values = BAT(VoidColumn(0, n), Column("dbl", values_raw))
+    else:
+        words = np.empty(n, dtype=object)
+        for i in range(n):
+            words[i] = None if rng.random() < 0.2 else str(
+                rng.choice(["x", "y", "z"])
+            )
+        values = BAT(VoidColumn(0, n), Column("str", words))
+    grouping = group(keys)
+    mono = refine(grouping, values)
+
+    # Naive reference: same group iff same (old group, value) pair,
+    # ids in first-appearance order, NILs equal under the identity rule.
+    ids: dict = {}
+    expected = []
+    for old, value in zip(grouping.tail_values().tolist(), values.tail_list()):
+        key = (old, _nil_key(value))
+        if key not in ids:
+            ids[key] = len(ids)
+        expected.append(ids[key])
+    assert mono.tail_values().tolist() == expected
+
+    for strategy in STRATEGIES:
+        policy = FragmentationPolicy(
+            target_size=max(1, -(-n // 4)), strategy=strategy, workers=2
+        )
+        fragmented = fr.refine(
+            fragment_bat(grouping, policy), fragment_bat(values, policy)
+        )
+        coalesced = fragmented.to_bat()
+        assert coalesced.to_pairs() == mono.to_pairs()
+        assert_flags_sound(coalesced)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_sort_after_subset_chain(strategy):
+    """Sorting a *derived* fragmented subset (whose round-robin
+    positions are sparse global BUN positions, not 0..n-1) must rank by
+    position, not index by it -- regression for the unique -> sort
+    chain."""
+    rng = np.random.default_rng(9)
+    bat = _headed_bat(rng, "oid", 120, nils=False)
+    fb = _fragment(bat, strategy)
+    chained = fr.sort(fr.unique(fb)).to_bat()
+    expected = kernel.sort(kernel.unique(bat))
+    assert chained.to_pairs() == expected.to_pairs()
+    assert_flags_sound(chained)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_sort_output_stays_fragmented(strategy):
+    """Fragmented sort/unique emit fragmented results partitioned at
+    the policy's target size -- the property that keeps the rest of the
+    plan fragment-parallel."""
+    rng = np.random.default_rng(5)
+    bat = _headed_bat(rng, "oid", 200, nils=False)
+    fb = fragment_bat(
+        bat, FragmentationPolicy(target_size=32, strategy=strategy, workers=2)
+    )
+    result = fr.sort(fb)
+    assert isinstance(result, FragmentedBAT)
+    assert result.positions is None  # range-partitioned output
+    assert max(result.fragment_sizes()) <= 32
+    deduped = fr.unique(fb)
+    assert isinstance(deduped, FragmentedBAT)
+    assert deduped.nfragments == fb.nfragments  # dedup keeps the shape
 
 
 # ----------------------------------------------------------------------

@@ -1,10 +1,12 @@
 """Kernel operators: selections, the join family, reconstruction, sets."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.monet import kernel
-from repro.monet.bat import bat_from_pairs, dense_bat, empty_bat
+from repro.monet.bat import BAT, Column, bat_from_pairs, dense_bat, empty_bat
 from repro.monet.errors import KernelError
 
 
@@ -236,3 +238,74 @@ class TestReconstruction:
         bat = bat_from_pairs("str", "int", [("k", 1)])
         assert kernel.exist(bat, "k")
         assert not kernel.exist(bat, "missing")
+
+
+class TestNilDedup:
+    """The identity rule (module docstring): unique/kunique/tunique
+    treat all NILs of a column as one value, while join comparisons
+    never match NIL.  Regression for NaN BUNs surviving dedup because
+    NaN != NaN in the old set-of-pairs key."""
+
+    def test_unique_collapses_nan_buns(self):
+        bat = BAT(
+            Column("dbl", np.array([np.nan, 1.0, np.nan, 1.0])),
+            Column("int", np.array([7, 8, 7, 8], dtype=np.int64)),
+        )
+        assert kernel.unique(bat).to_pairs() == [(None, 7), (1.0, 8)]
+
+    def test_unique_distinguishes_nan_pairs_by_tail(self):
+        bat = BAT(
+            Column("dbl", np.array([np.nan, np.nan])),
+            Column("int", np.array([1, 2], dtype=np.int64)),
+        )
+        assert kernel.unique(bat).to_pairs() == [(None, 1), (None, 2)]
+
+    def test_kunique_collapses_nan_heads(self):
+        bat = BAT(
+            Column("dbl", np.array([np.nan, 2.0, np.nan])),
+            Column("int", np.array([1, 2, 3], dtype=np.int64)),
+        )
+        assert kernel.kunique(bat).to_pairs() == [(None, 1), (2.0, 2)]
+
+    def test_tunique_collapses_nan_tails(self):
+        bat = BAT(
+            Column("int", np.array([1, 2, 3], dtype=np.int64)),
+            Column("dbl", np.array([np.nan, np.nan, 5.0])),
+        )
+        assert kernel.tunique(bat).to_pairs() == [(1, None), (3, 5.0)]
+
+    def test_unique_negative_zero_equals_zero(self):
+        bat = BAT(
+            Column("dbl", np.array([-0.0, 0.0])),
+            Column("int", np.array([1, 1], dtype=np.int64)),
+        )
+        assert kernel.unique(bat).to_pairs() == [(0.0, 1)]
+
+    def test_unique_vectorized_matches_first_seen_scan(self):
+        rng = np.random.default_rng(3)
+        heads = rng.integers(0, 6, 200).astype(np.int64)
+        tails = np.round(rng.random(200) * 2, 1)
+        tails[rng.random(200) < 0.2] = np.nan
+        bat = BAT(Column("int", heads), Column("dbl", tails))
+        seen = set()
+        expected = []
+        for h, t in bat.items():
+            key = (kernel.nil_dedup_key(h), kernel.nil_dedup_key(t))
+            if key not in seen:
+                seen.add(key)
+                expected.append((h, t))
+        got = kernel.unique(bat).to_pairs()
+        assert len(got) == len(expected)
+        for (gh, gt), (eh, et) in zip(got, expected):
+            assert gh == eh
+            assert gt == et or (gt is None and et is None) or (
+                isinstance(gt, float) and isinstance(et, float)
+                and math.isnan(gt) and math.isnan(et)
+            )
+
+    def test_dedup_keys_orders_like_numpy(self):
+        values = np.array([-np.inf, -2.5, -0.0, 0.0, 1.5, np.inf, np.nan])
+        keys = kernel.dedup_keys(Column("dbl", values))
+        assert list(np.argsort(keys, kind="stable")) == list(
+            np.argsort(values, kind="stable")
+        )

@@ -66,11 +66,24 @@ _SCRIPTS = [
     'g := group(bat("keys")); {sum}(bat("scores"), g);',
     'g := group(bat("keys")); {count}(bat("scores"), g);',
     'g := group(bat("keys")); {max}(bat("scores"), g);',
-    # Unfragmentable operators must transparently coalesce.
+    # Order-sensitive operators run fragment-parallel (merge-based).
     'sort(bat("headed"));',
+    'bat("headed").tsort;',
+    'tsort(bat("scores"));',
     'unique(bat("nums"));',
-    # A full pipeline, method-style.
+    'unique(bat("headed"));',
+    'kunique(bat("headed"));',
+    'tunique(bat("headed"));',
+    'bat("words").reverse.sort;',
+    'g := group(bat("keys")); refine(g, bat("scores"));',
+    'g := group(bat("keys")); refine(g, bat("words"));',
+    # Operators with no fragment-parallel counterpart coalesce.
+    'kunion(bat("headed"), bat("headed"));',
+    'g := group(bat("keys")); group_sizes(g);',
+    # Full pipelines, method-style.
     's := bat("keys").select(oid(2), oid(8)); s.join(bat("dim")).sum;',
+    'u := bat("headed").unique; u.sort.count;',
+    's := bat("headed").sort; s.kunique.tsort;',
 ]
 
 
@@ -188,6 +201,55 @@ def test_pipeline_never_coalesces_via_pool_lookup(strategy, monkeypatch):
         's := bat("keys").select(oid(2), oid(8)); sum(s.join(bat("dim")));'
     )
     assert _close(result.env["total"], mono.value)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_sort_unique_pipeline_never_coalesces(strategy, monkeypatch):
+    """The PR-3 acceptance property: a pipeline containing ``sort`` and
+    ``unique`` (plus ``tsort``/``kunique``/``refine``) coalesces only at
+    result return -- neither the transparent ``fragments.coalesce``
+    dispatch path nor the pool's coalescing ``lookup`` ever runs, and
+    every BAT intermediate stays fragmented."""
+    from repro.monet import fragments as fragments_module
+
+    _, frag_pool = _pools(strategy)
+
+    def forbidden_lookup(name):
+        raise AssertionError(
+            f"pool.lookup({name!r}) called during a fragmented sort/unique plan"
+        )
+
+    def forbidden_coalesce(value):
+        raise AssertionError(
+            "fragments.coalesce called before result return"
+        )
+
+    monkeypatch.setattr(frag_pool, "lookup", forbidden_lookup)
+    monkeypatch.setattr(fragments_module, "coalesce", forbidden_coalesce)
+    interpreter = MILInterpreter(frag_pool, fragment_policy=_policy(strategy))
+    result = interpreter.run(
+        """
+        s := bat("headed").sort;
+        u := s.unique;
+        k := u.kunique;
+        t := bat("scores").tsort;
+        g := group(bat("keys"));
+        r := refine(g, bat("scores"));
+        c := count(u);
+        u;
+        """
+    )
+    monkeypatch.undo()
+    for name in ("s", "u", "k", "t", "g", "r"):
+        assert isinstance(result.env[name], FragmentedBAT), name
+    assert isinstance(result.value, BAT)  # coalesced exactly at return
+
+    mono_pool, _ = _pools(strategy)
+    mono = MILInterpreter(mono_pool).run(
+        'u := bat("headed").sort.unique; count(u); u;'
+    )
+    assert result.value.to_pairs() == mono.value.to_pairs()
+    assert result.env["c"] == len(mono.value)
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
