@@ -16,6 +16,7 @@ Standalone report:  python benchmarks/bench_fragments.py
 Fast smoke mode:    BENCH_FAST=1 python benchmarks/bench_fragments.py
 MIL pipeline only:  BENCH_FAST=1 python benchmarks/bench_fragments.py --mil
 Sort/unique only:   BENCH_FAST=1 python benchmarks/bench_fragments.py --sort
+Set operators only: BENCH_FAST=1 python benchmarks/bench_fragments.py --setops
 Calibration only:   python benchmarks/bench_fragments.py --calibrate
 """
 
@@ -201,6 +202,100 @@ def _report_sort(sizes, verbose_header=True):
 
 
 # ----------------------------------------------------------------------
+# Set-operator pipeline: fragment-parallel kunion/kintersect
+# ----------------------------------------------------------------------
+
+#: union + distinct + order-by over two half-overlapping fact BATs: the
+#: left-head membership build filters the right side fragment-parallel,
+#: then kunique + sample-sort run on the union without ever coalescing.
+MIL_SETOPS_PIPELINE = (
+    'u := kunion(bat("facta"), bat("factb"));'
+    ' s := u.kunique.sort;'
+    ' count(s);'
+)
+
+
+def _setops_bats(n, *, seed=11):
+    """Two [oid, int] fact BATs of *n* BUNs whose head domains overlap
+    by about half -- the union genuinely grows and the intersection is
+    genuinely selective."""
+    rng = np.random.default_rng(seed)
+    a = BAT(
+        Column("oid", rng.integers(0, n, n).astype(np.int64)),
+        Column("int", rng.integers(0, 50, n)),
+    )
+    b = BAT(
+        Column("oid", rng.integers(n // 2, n + n // 2, n).astype(np.int64)),
+        Column("int", rng.integers(0, 50, n)),
+    )
+    return a, b
+
+
+def _setops_pools(n, *, seed=11):
+    """(monolithic, fragmented) interpreters over the two fact BATs."""
+    a, b = _setops_bats(n, seed=seed)
+    policy = _policy(n)
+    mono_pool = BATBufferPool()
+    mono_pool.register("facta", a)
+    mono_pool.register("factb", b)
+    frag_pool = BATBufferPool()
+    frag_pool.register_fragmented("facta", fragment_bat(a, policy))
+    frag_pool.register_fragmented("factb", fragment_bat(b, policy))
+    return (
+        MILInterpreter(mono_pool),
+        MILInterpreter(frag_pool, fragment_policy=policy),
+    )
+
+
+def _report_setops(sizes, verbose_header=True):
+    if verbose_header:
+        print(f"E13: fragment-parallel set operators (workers={WORKERS})")
+        print(f"{'n':>12}  {'operator':<18}{'mono ms':>10}{'frag ms':>10}{'ratio':>8}")
+    for n in sizes:
+        repeats = 2 if n >= 10**7 else 5
+        policy = _policy(n)
+        a, b = _setops_bats(n)
+        fa = fragment_bat(a, policy)
+        fb = fragment_bat(b, policy)
+        cases = [
+            (
+                "kunion",
+                lambda: kernel.kunion(a, b),
+                lambda: fr.kunion(fa, fb, workers=WORKERS),
+            ),
+            (
+                "kintersect",
+                lambda: kernel.kintersect(a, b),
+                lambda: fr.kintersect(fa, fb, workers=WORKERS),
+            ),
+            (
+                "kdiff",
+                lambda: kernel.kdiff(a, b),
+                lambda: fr.kdiff(fa, fb, workers=WORKERS),
+            ),
+        ]
+        for name, mono_case, frag_case in cases:
+            assert mono_case().to_pairs() == frag_case().to_bat().to_pairs()
+            mono_ms = _timed(mono_case, repeats)
+            frag_ms = _timed(frag_case, repeats)
+            ratio = frag_ms / mono_ms if mono_ms else float("inf")
+            print(
+                f"{n:>12,}  {name:<18}{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
+            )
+        mono, frag = _setops_pools(n)
+        mono_value = mono.run(MIL_SETOPS_PIPELINE).value
+        frag_value = frag.run(MIL_SETOPS_PIPELINE).value
+        assert mono_value == frag_value, (mono_value, frag_value)
+        mono_ms = _timed(lambda: mono.run(MIL_SETOPS_PIPELINE), repeats)
+        frag_ms = _timed(lambda: frag.run(MIL_SETOPS_PIPELINE), repeats)
+        ratio = frag_ms / mono_ms if mono_ms else float("inf")
+        print(
+            f"{n:>12,}  {'kunion+sort (MIL)':<18}"
+            f"{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
+        )
+
+
+# ----------------------------------------------------------------------
 # Calibration: measured tuning instead of static constants
 # ----------------------------------------------------------------------
 
@@ -210,7 +305,7 @@ def calibrate(verbose=True):
     serial/parallel crossover, then install the winners as the module
     defaults (:func:`repro.monet.fragments.set_default_tuning`).
 
-    Returns ``(fragment_size, parallel_min)``."""
+    Returns ``(fragment_size, parallel_min, merge_fanout)``."""
     n = 200_000 if FAST else 2_000_000
     candidates = [16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
     if FAST:
@@ -240,12 +335,32 @@ def calibrate(verbose=True):
             parallel_min = 2 * floor
             break
     fr.set_default_tuning(fragment_size=best_size, parallel_min=parallel_min)
+    # Merge fan-out: time the fragmented (sample-sort) sort under a few
+    # partition caps and keep the fastest.  MERGE_FANOUT is read live by
+    # the merge phase, so installing a candidate is enough to measure it.
+    sort_n = min(n, 1_000_000)
+    headed = _headed_bat(sort_n, distinct_heads=max(1000, sort_n // 4))
+    fheaded = fragment_bat(headed, FragmentationPolicy(target_size=best_size))
+    fanouts = list(dict.fromkeys([4, 8, 16, 32, max(16, 4 * WORKERS)]))
+    if verbose:
+        print(f"calibration: sort over {sort_n:,} BUNs")
+        print(f"{'merge fanout':>16}{'sort ms':>12}")
+    best_fanout, best_sort_ms = fanouts[0], float("inf")
+    for fanout in fanouts:
+        fr.set_default_tuning(merge_fanout=fanout)
+        ms = _timed(lambda: fr.sort(fheaded, workers=WORKERS), repeats)
+        if verbose:
+            print(f"{fanout:>16,}{ms:>12.2f}")
+        if ms < best_sort_ms:
+            best_fanout, best_sort_ms = fanout, ms
+    fr.set_default_tuning(merge_fanout=best_fanout)
     if verbose:
         print(
             f"calibrated: fragment_size={best_size:,} "
-            f"parallel_min={parallel_min:,} (installed as defaults)"
+            f"parallel_min={parallel_min:,} merge_fanout={best_fanout} "
+            "(installed as defaults)"
         )
-    return best_size, parallel_min
+    return best_size, parallel_min, best_fanout
 
 
 # ----------------------------------------------------------------------
@@ -424,6 +539,7 @@ def report():
     mil_sizes = [10**5] if FAST else [10**6, 10**7]
     _report_mil(mil_sizes)
     _report_sort([10**5] if FAST else [10**6])
+    _report_setops([10**5] if FAST else [10**6])
 
 
 if __name__ == "__main__":
@@ -435,5 +551,8 @@ if __name__ == "__main__":
     elif "--sort" in sys.argv:
         calibrate(verbose=False)
         _report_sort([10**5] if FAST else [10**6])
+    elif "--setops" in sys.argv:
+        calibrate(verbose=False)
+        _report_setops([10**5] if FAST else [10**6])
     else:
         report()

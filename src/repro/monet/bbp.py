@@ -199,6 +199,7 @@ class BATBufferPool:
             catalog["tuning"] = {
                 "fragment_size": tuning["fragment_size"],
                 "parallel_min": tuning["parallel_min"],
+                "merge_fanout": tuning["merge_fanout"],
             }
         entries = sorted(self._all_names())
         for index, name in enumerate(entries):
@@ -288,9 +289,14 @@ def _install_persisted_tuning(tuning: dict) -> None:
         if os.environ.get("REPRO_PARALLEL_MIN_BUNS")
         else tuning.get("parallel_min")
     )
-    if fragment_size is not None or parallel_min is not None:
+    merge_fanout = (
+        None if os.environ.get("REPRO_MERGE_FANOUT") else tuning.get("merge_fanout")
+    )
+    if fragment_size is not None or parallel_min is not None or merge_fanout is not None:
         _fragments.set_default_tuning(
-            fragment_size=fragment_size, parallel_min=parallel_min
+            fragment_size=fragment_size,
+            parallel_min=parallel_min,
+            merge_fanout=merge_fanout,
         )
 
 

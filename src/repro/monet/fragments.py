@@ -24,18 +24,25 @@ Every operator here is the exact fragment-parallel counterpart of a
 :mod:`repro.monet.aggregates` operator;
 ``tests/monet/test_fragment_differential.py`` asserts BUN-for-BUN
 identity against the monolithic kernel and against naive pure-Python
-references, and ``tests/monet/test_mil_fragments.py`` does the same
-for whole MIL programs.  The operator set covers everything the MIL
-dispatch layer (:mod:`repro.monet.mil.builtins`) routes here --
-including the order-sensitive operators (``sort``/``tsort``,
-``unique``/``kunique``/``tunique``, ``refine``), which run as
-per-fragment parallel passes around a k-way merge -- so a pipeline
-like ``select -> join -> sort -> unique -> aggregate`` runs
+references, ``tests/monet/test_mil_fragments.py`` does the same for
+whole MIL programs, and ``tests/monet/test_mil_fuzz.py`` fuzzes the
+composition space with randomized pipelines.  The operator set covers
+everything the MIL dispatch layer (:mod:`repro.monet.mil.builtins`)
+routes here -- including the order-sensitive operators
+(``sort``/``tsort``, ``unique``/``kunique``/``tunique``, ``refine``),
+whose per-fragment parallel passes meet in a **sample-sort merge**
+(pivots cut the key space so every output partition builds
+independently, in parallel; :func:`_sample_sort_merge`) or a
+candidate-set resolution, and the set operators
+(``kunion``/``kintersect``, plus the ``semijoin``/``kdiff`` fast
+path), which probe a shared head-membership build
+(:func:`_member_build`) per fragment -- so a pipeline like
+``select -> kunion -> sort -> unique -> aggregate`` runs
 fragment-parallel end-to-end with at most one coalesce at result
-return.  The tuning defaults (fragment size, serial-execution floor)
-derive from the live core count and can be replaced by measured values
-(:func:`set_default_tuning`; see the calibration pass in
-``benchmarks/bench_fragments.py``), which persist next to the BBP
+return.  The tuning defaults (fragment size, serial-execution floor,
+merge fan-out) derive from the live core count and can be replaced by
+measured values (:func:`set_default_tuning`; see the calibration pass
+in ``benchmarks/bench_fragments.py``), which persist next to the BBP
 catalog (:meth:`repro.monet.bbp.BATBufferPool.save`) so a restarted
 server skips the measurement pass.
 
@@ -87,6 +94,22 @@ def _derive_parallel_min(fragment_size: int, cores: Optional[int] = None) -> int
     return fragment_size * max(2, 8 // max(1, cores))
 
 
+def _derive_merge_fanout(cores: Optional[int] = None) -> int:
+    """Upper bound on the number of range partitions the sample-sort
+    merge phase builds in parallel.  The cap is cache-driven at least
+    as much as core-driven: even on one core, partition merges whose
+    key+position working set stays L2-resident beat the old streaming
+    tournament (measured ~1.37x -> ~1.17x single-core overhead on
+    duplicate-heavy 1M-BUN sorts), so the floor is generous; extra
+    cores raise it further for genuine parallelism.  The actual
+    partition count also respects a ~64k-BUN-per-partition floor
+    (:func:`_merge_partition_count`), so small BATs never shatter.
+    ``REPRO_MERGE_FANOUT`` overrides the derivation, and
+    :func:`set_default_tuning` installs measured values."""
+    cores = cores or os.cpu_count() or 1
+    return max(16, 4 * cores)
+
+
 #: Default BUN count per fragment (cores-derived; see
 #: :func:`_derive_fragment_size`).
 DEFAULT_FRAGMENT_SIZE = (
@@ -105,6 +128,12 @@ PARALLEL_MIN_BUNS = (
     or _derive_parallel_min(DEFAULT_FRAGMENT_SIZE)
 )
 
+#: Cap on sample-sort merge partitions (cores-derived; see
+#: :func:`_derive_merge_fanout`).
+MERGE_FANOUT = (
+    int(os.environ.get("REPRO_MERGE_FANOUT", 0)) or _derive_merge_fanout()
+)
+
 #: True once :func:`set_default_tuning` installed measured values (as
 #: opposed to the cores-derived defaults above).  Measured tuning is
 #: worth persisting: :meth:`repro.monet.bbp.BATBufferPool.save` writes
@@ -114,15 +143,21 @@ _TUNING_MEASURED = False
 
 
 def set_default_tuning(
-    *, fragment_size: Optional[int] = None, parallel_min: Optional[int] = None
+    *,
+    fragment_size: Optional[int] = None,
+    parallel_min: Optional[int] = None,
+    merge_fanout: Optional[int] = None,
 ) -> None:
     """Install measured tuning values for the module defaults.
 
     The calibration pass of ``benchmarks/bench_fragments.py`` calls this
     after timing real operators; policies built afterwards (including
     the per-call defaults of every operator here) pick the new values
-    up.  Explicitly constructed policies are unaffected."""
-    global DEFAULT_FRAGMENT_SIZE, PARALLEL_MIN_BUNS, _TUNING_MEASURED
+    up.  Explicitly constructed policies are unaffected.
+    ``merge_fanout`` is read live (not captured by policies), so it
+    takes effect on in-flight handles too."""
+    global DEFAULT_FRAGMENT_SIZE, PARALLEL_MIN_BUNS, MERGE_FANOUT
+    global _TUNING_MEASURED
     if fragment_size is not None:
         if fragment_size < 1:
             raise KernelError("fragment_size must be at least 1")
@@ -133,6 +168,11 @@ def set_default_tuning(
             raise KernelError("parallel_min must be non-negative")
         PARALLEL_MIN_BUNS = int(parallel_min)
         _TUNING_MEASURED = True
+    if merge_fanout is not None:
+        if merge_fanout < 1:
+            raise KernelError("merge_fanout must be at least 1")
+        MERGE_FANOUT = int(merge_fanout)
+        _TUNING_MEASURED = True
 
 
 def default_tuning() -> dict:
@@ -141,6 +181,7 @@ def default_tuning() -> dict:
     return {
         "fragment_size": DEFAULT_FRAGMENT_SIZE,
         "parallel_min": PARALLEL_MIN_BUNS,
+        "merge_fanout": MERGE_FANOUT,
         "measured": _TUNING_MEASURED,
     }
 
@@ -640,17 +681,86 @@ def join(
     return FragmentedBAT([r[0] for r in results], positions, policy=fb.policy)
 
 
+# ----------------------------------------------------------------------
+# Fragment-parallel set operators and head-membership predicates
+#
+# semijoin / kdiff (comparison NIL rule: NIL is never a member) and
+# kunion / kintersect (identity NIL rule: all NILs are one set element)
+# share one shape: the membership side's head keys are built ONCE --
+# per-fragment key extraction fans out, and a fragmented operand never
+# coalesces -- then every probe fragment tests against the shared build
+# in parallel (mirroring build_match_index/probe_match_index for value
+# joins).
+# ----------------------------------------------------------------------
+
+
+def _head_columns(value: Union[BAT, FragmentedBAT]) -> List[AnyColumn]:
+    if isinstance(value, FragmentedBAT):
+        return [fragment.head for fragment in value.fragments]
+    return [value.head]
+
+
+def _member_build(
+    source: Union[BAT, FragmentedBAT], keyspace: str, workers: Optional[int]
+):
+    """Identity-key membership set over *source*'s heads
+    (:func:`kernel.build_member_set`), built once and shared by every
+    probe fragment; the per-fragment key extraction fans out."""
+    per_fragment = map_fragments(
+        lambda column: _kernel.member_keys(column, keyspace),
+        _head_columns(source),
+        workers,
+    )
+    if keyspace == "object":
+        members: set = set()
+        for keys in per_fragment:
+            members.update(keys)
+        return members
+    return _kernel.build_member_set(np.concatenate(per_fragment), keyspace)
+
+
+def _member_subset(
+    fb: FragmentedBAT,
+    members,
+    keyspace: str,
+    *,
+    nil_member: bool,
+    invert: bool,
+    workers: Optional[int],
+) -> FragmentedBAT:
+    """Row subset of *fb* by head membership in the shared build."""
+
+    def mask_fn(frag: BAT) -> np.ndarray:
+        mask = _kernel.probe_member_set(
+            _kernel.member_keys(frag.head, keyspace),
+            members,
+            keyspace,
+            nil_member=nil_member,
+        )
+        return ~mask if invert else mask
+
+    return _subset_op(fb, mask_fn, workers)
+
+
 def semijoin(
     fb: FragmentedBAT,
     right: Union[BAT, FragmentedBAT],
     *,
     workers: Optional[int] = None,
 ) -> FragmentedBAT:
-    """Fragment-parallel :func:`repro.monet.kernel.semijoin`."""
-    if isinstance(right, FragmentedBAT):
-        right = right.to_bat()
+    """Fragment-parallel :func:`repro.monet.kernel.semijoin`
+    (comparison NIL rule; a fragmented right operand contributes its
+    head keys without coalescing)."""
     workers = _resolve_workers(fb, workers)
-    return _subset_op(fb, lambda frag: _kernel.semijoin_mask(frag, right), workers)
+    if isinstance(right, BAT) and right.hdense:
+        return _subset_op(
+            fb, lambda frag: _kernel.semijoin_mask(frag, right), workers
+        )
+    keyspace = _kernel.set_keyspace(fb.fragments[0].head, _head_columns(right)[0])
+    members = _member_build(right, keyspace, workers)
+    return _member_subset(
+        fb, members, keyspace, nil_member=False, invert=False, workers=workers
+    )
 
 
 def antijoin(
@@ -659,14 +769,108 @@ def antijoin(
     *,
     workers: Optional[int] = None,
 ) -> FragmentedBAT:
-    """Fragment-parallel :func:`repro.monet.kernel.kdiff` (anti-semijoin)."""
-    if isinstance(right, FragmentedBAT):
-        right = right.to_bat()
+    """Fragment-parallel :func:`repro.monet.kernel.kdiff`
+    (anti-semijoin, comparison NIL rule: NIL heads always survive, so
+    the shared build is probed with NIL probes masked out)."""
     workers = _resolve_workers(fb, workers)
-    return _subset_op(fb, lambda frag: ~_kernel.semijoin_mask(frag, right), workers)
+    if isinstance(right, BAT) and right.hdense:
+        return _subset_op(
+            fb, lambda frag: ~_kernel.semijoin_mask(frag, right), workers
+        )
+    keyspace = _kernel.set_keyspace(fb.fragments[0].head, _head_columns(right)[0])
+    members = _member_build(right, keyspace, workers)
+    return _member_subset(
+        fb, members, keyspace, nil_member=False, invert=True, workers=workers
+    )
 
 
 kdiff = antijoin
+
+
+def kintersect(
+    fb: FragmentedBAT,
+    right: Union[BAT, FragmentedBAT],
+    *,
+    workers: Optional[int] = None,
+) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.kintersect`: keep
+    the left BUNs whose head is in the shared right-head build, under
+    the **identity** NIL rule (a NIL head is a member of a head set
+    containing any NIL)."""
+    workers = _resolve_workers(fb, workers)
+    keyspace = _kernel.set_keyspace(fb.fragments[0].head, _head_columns(right)[0])
+    members = _member_build(right, keyspace, workers)
+    return _member_subset(
+        fb, members, keyspace, nil_member=True, invert=False, workers=workers
+    )
+
+
+def kunion(
+    fb: FragmentedBAT,
+    right: Union[BAT, FragmentedBAT],
+    *,
+    workers: Optional[int] = None,
+) -> FragmentedBAT:
+    """Fragment-parallel :func:`repro.monet.kernel.kunion`: the left
+    fragments pass through untouched, the right side filters
+    fragment-parallel against a shared membership build of the *left*
+    heads (identity NIL rule, so the NIL head never duplicates), and
+    the surviving right BUNs append as additional fragments in right
+    BUN order -- the result never coalesces mid-plan.  Mismatched atom
+    types raise, like the monolithic kernel (a union under the left
+    types would silently reinterpret right-side values)."""
+    if isinstance(right, BAT):
+        right = fragment_bat(right, fb.policy)
+    _kernel.check_kunion_types(fb.fragments[0], right.fragments[0])
+    workers = _resolve_workers(fb, workers)
+    keyspace = _kernel.set_keyspace(fb.fragments[0].head, right.fragments[0].head)
+    members = _member_build(fb, keyspace, workers)
+
+    def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, np.ndarray]:
+        index, frag = indexed
+        mask = _kernel.probe_member_set(
+            _kernel.member_keys(frag.head, keyspace),
+            members,
+            keyspace,
+            nil_member=True,
+        )
+        keep = np.nonzero(~mask)[0]
+        return frag.take_positions(keep), right.global_positions(index)[keep]
+
+    results = map_fragments(one, list(enumerate(right.fragments)), workers)
+    if sum(len(r[0]) for r in results) == 0:
+        return fb
+    if fb.positions is None and right.positions is None:
+        fragments = fb.fragments + [r[0] for r in results if len(r[0])]
+        return FragmentedBAT(fragments, policy=fb.policy)
+    # A round-robin side is involved: result positions are the left rows
+    # at their global BUN *ranks* (0..len(left)-1), survivors at
+    # len(left) + rank among survivors (ordered by right BUN position).
+    # Ranks, not raw positions, on both sides: a *derived* subset has
+    # sparse position values that would collide with the appended block.
+    base = len(fb)
+    survivor_rpos = np.concatenate([r[1] for r in results])
+    ranks = np.empty(len(survivor_rpos), dtype=np.int64)
+    ranks[np.argsort(survivor_rpos, kind="stable")] = np.arange(
+        len(survivor_rpos), dtype=np.int64
+    )
+    fragments = list(fb.fragments)
+    if fb.positions is None:
+        positions = [fb.global_positions(i) for i in range(fb.nfragments)]
+    else:
+        left_ranks = _global_ranks(fb)
+        positions = []
+        left_at = 0
+        for fragment in fb.fragments:
+            positions.append(left_ranks[left_at: left_at + len(fragment)])
+            left_at += len(fragment)
+    at = 0
+    for frag, rpos in results:
+        if len(frag):
+            fragments.append(frag)
+            positions.append(base + ranks[at: at + len(rpos)])
+        at += len(rpos)
+    return FragmentedBAT(fragments, positions, policy=fb.policy)
 
 
 # ----------------------------------------------------------------------
@@ -810,6 +1014,12 @@ def topn(
     if n < 0:
         raise KernelError("topn needs a non-negative n")
     n = int(n)
+    if _kernel._is_object_column(fb.fragments[0].tail):
+        # The monolithic object order reverses the whole stable sort for
+        # descending (NILs first, ties latest-first), which per-fragment
+        # candidate selection cannot compose with; topn returns a small
+        # monolithic BAT anyway, so take the coalesced path.
+        return _kernel.topn(fb.to_bat(), n, descending=descending)
     workers = _resolve_workers(fb, workers)
 
     def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, np.ndarray]:
@@ -1004,6 +1214,113 @@ def _merge_runs(
     return runs[0]
 
 
+def _merge_partition_count(n: int, policy: FragmentationPolicy) -> int:
+    """Output partitions for the sample-sort merge phase: at least
+    enough to keep output fragments near the target size, and more when
+    the data outgrows a cache-resident working set (~64k BUNs per
+    partition keeps each merge's key+position arrays in L2, which is
+    where the single-core win over the old streaming tournament comes
+    from) -- capped at the merge fan-out (:data:`MERGE_FANOUT` is read
+    live, so calibrated values apply to in-flight handles
+    immediately)."""
+    by_target = -(-n // policy.target_size)
+    by_cache = n // (64 * 1024)
+    return max(1, min(MERGE_FANOUT, max(by_target, by_cache)))
+
+
+def _concat_values(columns: Sequence[AnyColumn], atom_type) -> np.ndarray:
+    """Materialized concatenation of fragment columns -- the shared
+    gather source the per-partition merge workers index by global BUN
+    position."""
+    arrays = [column.materialize() for column in columns]
+    if atom_type.dtype == np.dtype(object):
+        total = sum(len(a) for a in arrays)
+        out = np.empty(total, dtype=object)
+        at = 0
+        for array in arrays:
+            out[at: at + len(array)] = array
+            at += len(array)
+        return out
+    if not arrays:
+        return atom_type.make_array([])
+    return np.concatenate(arrays)
+
+
+def _sample_sort_merge(
+    fb: FragmentedBAT,
+    runs: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    workers: Optional[int],
+) -> FragmentedBAT:
+    """Parallel merge of key-sorted per-fragment runs by sample-sort
+    partitioning.
+
+    Pivots sampled from the runs (:func:`kernel.sample_pivots` over the
+    monotone partition keys) cut every run at the same key boundaries
+    (:func:`kernel.run_cut_points`), so each inter-pivot range touches
+    a disjoint slice of every run and builds its output fragment
+    **independently**: the per-partition galloping merges, the tail
+    gathers and the output fragment construction all fan out on the
+    thread pool.  Within a partition the run slices still hold strictly
+    increasing global-position blocks, so the pairwise merge's
+    left-run-wins tie-break reproduces the monolithic stable sort
+    exactly.  Degenerate pivot samples (all-equal keys) dedupe to fewer
+    partitions and in the limit fall back to the serial tournament
+    merge -- correct, just less parallel."""
+    head_atom = fb.fragments[0].head.atom_type
+    tail_atom = fb.fragments[0].tail.atom_type
+    target = fb.policy.target_size
+    partitions = _merge_partition_count(len(fb), fb.policy)
+    pivots = _kernel.sample_pivots(
+        [pkeys for _, pkeys, _ in runs], partitions
+    )
+    if len(pivots) == 0:
+        keys, gpos = _merge_runs([(keys, gpos) for keys, _, gpos in runs])
+        head = Column(head_atom, keys)
+        tail = _concat_columns([f.tail for f in fb.fragments], tail_atom, gpos)
+        return _output_fragments(
+            head,
+            tail,
+            fb.policy,
+            hsorted=True,
+            hkey=fb.nfragments == 1 and fb.fragments[0].hkey,
+            tkey=fb.nfragments == 1 and fb.fragments[0].tkey,
+        )
+    bounds = [
+        np.concatenate(
+            ([0], _kernel.run_cut_points(pkeys, pivots), [len(keys)])
+        )
+        for keys, pkeys, _ in runs
+    ]
+    tails_concat = _concat_values([f.tail for f in fb.fragments], tail_atom)
+
+    def build(partition: int) -> List[BAT]:
+        slices = [
+            (
+                keys[bounds[r][partition]: bounds[r][partition + 1]],
+                gpos[bounds[r][partition]: bounds[r][partition + 1]],
+            )
+            for r, (keys, _, gpos) in enumerate(runs)
+        ]
+        slices = [s for s in slices if len(s[0])]
+        if not slices:
+            return []
+        keys_p, gpos_p = _merge_runs(slices)
+        head = Column(head_atom, keys_p)
+        tail = Column(tail_atom, tails_concat[gpos_p])
+        return [
+            BAT(
+                _slice_column(head, start, min(len(keys_p), start + target)),
+                _slice_column(tail, start, min(len(keys_p), start + target)),
+                hsorted=True,
+            )
+            for start in range(0, len(keys_p), target)
+        ]
+
+    parts = map_fragments(build, list(range(len(pivots) + 1)), workers)
+    fragments = [fragment for part in parts for fragment in part]
+    return FragmentedBAT(fragments, policy=fb.policy)
+
+
 def _output_fragments(
     head: AnyColumn,
     tail: AnyColumn,
@@ -1058,50 +1375,41 @@ def _rows_in_order(
 def sort(fb: FragmentedBAT, *, workers: Optional[int] = None) -> FragmentedBAT:
     """Fragment-parallel :func:`repro.monet.kernel.sort`: every
     fragment sorts its head in its own thread (numpy's sorts release
-    the GIL), then a k-way ``searchsorted`` merge combines the runs
-    into range-partitioned output fragments -- no coalesce, and the
-    plan around it stays fragment-parallel.  Equal heads keep global
-    BUN order, exactly like the monolithic stable sort.  Already-sorted
-    inputs (flagged or detected, fragment boundaries included) return
-    unchanged.  Round-robin inputs scatter to BUN order and run one
-    stable argsort instead -- run-order merging cannot break their
-    interleaved ties correctly; object (str) heads merge via
-    ``heapq``."""
+    the GIL), then a **sample-sort merge** combines the runs: pivots
+    sampled from the sorted runs range-partition the key space and each
+    output partition merges its run slices independently, also in
+    parallel (:func:`_sample_sort_merge`) -- no coalesce, no serial
+    merge phase, and the plan around it stays fragment-parallel.  Equal
+    heads keep global BUN order, exactly like the monolithic stable
+    sort.  Already-sorted inputs (flagged or detected, fragment
+    boundaries included) return unchanged.  Round-robin inputs scatter
+    stably to BUN order first and sort the range-partitioned copy --
+    run-order merging cannot break their interleaved ties correctly;
+    object (str) heads merge via per-partition ``heapq``, parallel
+    across partitions."""
     if len(fb) == 0:
         return fb
     if _kernel._is_object_column(fb.fragments[0].head):
         return _sort_object(fb, _resolve_workers(fb, workers))
     if fb.positions is not None:
-        return _sort_scatter(fb)
+        return _sort_scatter(fb, workers)
     if all(f.hsorted for f in fb.fragments) and _boundaries_nondecreasing(
         fb.fragments, head=True
     ):
         return fb
     workers = _resolve_workers(fb, workers)
 
-    def one(indexed: Tuple[int, BAT]) -> Tuple[np.ndarray, np.ndarray]:
+    def one(indexed: Tuple[int, BAT]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         index, frag = indexed
         keys = frag.head_values()
         gpos = fb.global_positions(index)
-        if frag.hsorted or _nondecreasing(keys):
-            return keys, gpos
-        order = np.argsort(keys, kind="stable")
-        return keys[order], gpos[order]
+        if not (frag.hsorted or _nondecreasing(keys)):
+            order = np.argsort(keys, kind="stable")
+            keys, gpos = keys[order], gpos[order]
+        return keys, _kernel.partition_keys(keys), gpos
 
     runs = map_fragments(one, list(enumerate(fb.fragments)), workers)
-    keys, gpos = _merge_runs(runs)
-    head = Column(fb.fragments[0].head.atom_type, keys)
-    tail = _concat_columns(
-        [f.tail for f in fb.fragments], fb.fragments[0].tail.atom_type, gpos
-    )
-    return _output_fragments(
-        head,
-        tail,
-        fb.policy,
-        hsorted=True,
-        hkey=fb.nfragments == 1 and fb.fragments[0].hkey,
-        tkey=fb.nfragments == 1 and fb.fragments[0].tkey,
-    )
+    return _sample_sort_merge(fb, runs, workers)
 
 
 def tsort(fb: FragmentedBAT, *, workers: Optional[int] = None) -> FragmentedBAT:
@@ -1118,22 +1426,60 @@ def _nondecreasing(values: np.ndarray) -> bool:
     return bool(np.all(values[1:] >= values[:-1]))
 
 
-def _sort_scatter(fb: FragmentedBAT) -> FragmentedBAT:
-    """Sort a round-robin split: rank the rows back into BUN order and
-    run one stable argsort (ties must break by global BUN position,
-    which run-order merging cannot guarantee for interleaved runs).
-    Positions of derived subsets are sparse, so ordering goes through
-    their ranks, not through the position values."""
+def _sort_scatter(fb: FragmentedBAT, workers: Optional[int]) -> FragmentedBAT:
+    """Sort a round-robin split: stably scatter the rows back into BUN
+    order (a range-partitioned copy) and sort that.  The range
+    sample-sort then breaks equal-key ties by position in the scattered
+    copy, which *is* global BUN order -- exactly the monolithic stable
+    sort -- while run-order merging over the original interleaved runs
+    could not.  Positions of derived subsets are sparse, so the scatter
+    goes through their ranks, not through the position values."""
     bun_order = np.argsort(np.concatenate(fb.positions), kind="stable")
-    keys_concat = np.concatenate([f.head_values() for f in fb.fragments])
-    order = np.argsort(keys_concat[bun_order], kind="stable")
-    return _rows_in_order(fb, bun_order[order], hsorted=True)
+    return sort(_rows_in_order(fb, bun_order), workers=workers)
+
+
+def _object_pivots(
+    runs: List[List[Tuple[bool, Any, int, int]]], partitions: int,
+    *, oversample: int = 4,
+) -> List[Tuple[bool, Any]]:
+    """Sampled (is-NIL, value) pivot prefixes for the object merge:
+    :func:`kernel.sample_pivots` over Python tuples.  A 2-tuple prefix
+    compares below every full run entry sharing it, so ``bisect_left``
+    cuts runs exactly like ``searchsorted(..., side='left')`` -- equal
+    keys never straddle a partition boundary."""
+    if partitions <= 1:
+        return []
+    samples: List[Tuple[bool, Any]] = []
+    for run in runs:
+        if not run:
+            continue
+        picks = _kernel.pivot_sample_positions(
+            len(run), partitions, oversample=oversample
+        )
+        if picks is None:
+            samples.extend(entry[:2] for entry in run)
+        else:
+            samples.extend(run[int(i)][:2] for i in picks)
+    if not samples:
+        return []
+    samples.sort()
+    return sorted(
+        {
+            samples[int(q)]
+            for q in _kernel.pivot_quantile_positions(len(samples), partitions)
+        }
+    )
 
 
 def _sort_object(fb: FragmentedBAT, workers: Optional[int]) -> FragmentedBAT:
-    """Object (str) heads: per-fragment Python sorts merged lazily via
-    ``heapq``.  The (is-NIL, value, global position) key reproduces the
-    monolithic object sort exactly: NILs last, ties in BUN order."""
+    """Object (str) heads: per-fragment Python sorts partitioned at
+    sampled pivots, every partition ``heapq``-merged in its own worker.
+    The (is-NIL, value, global position) entry key reproduces the
+    monolithic object sort exactly -- NILs last, ties in BUN order --
+    and because the global position is *inside* the comparison key, the
+    per-partition merges are order-correct for interleaved (round-robin)
+    runs too."""
+    import bisect
 
     offsets = np.concatenate(([0], np.cumsum(fb.fragment_sizes())))
 
@@ -1150,10 +1496,29 @@ def _sort_object(fb: FragmentedBAT, workers: Optional[int]) -> FragmentedBAT:
         )
 
     runs = map_fragments(one, list(enumerate(fb.fragments)), workers)
-    gather = np.fromiter(
-        (entry[3] for entry in heapq.merge(*runs)), dtype=np.int64, count=len(fb)
-    )
-    return _rows_in_order(fb, gather, hsorted=True)
+    pivots = _object_pivots(runs, _merge_partition_count(len(fb), fb.policy))
+    if not pivots:
+        gather = np.fromiter(
+            (entry[3] for entry in heapq.merge(*runs)), dtype=np.int64,
+            count=len(fb),
+        )
+        return _rows_in_order(fb, gather, hsorted=True)
+    bounds = [
+        [0] + [bisect.bisect_left(run, pivot) for pivot in pivots] + [len(run)]
+        for run in runs
+    ]
+
+    def build(partition: int) -> np.ndarray:
+        slices = [
+            run[bounds[r][partition]: bounds[r][partition + 1]]
+            for r, run in enumerate(runs)
+        ]
+        return np.fromiter(
+            (entry[3] for entry in heapq.merge(*slices)), dtype=np.int64
+        )
+
+    gathers = map_fragments(build, list(range(len(pivots) + 1)), workers)
+    return _rows_in_order(fb, np.concatenate(gathers), hsorted=True)
 
 
 def unique(fb: FragmentedBAT, *, workers: Optional[int] = None) -> FragmentedBAT:

@@ -30,15 +30,24 @@ Operator vocabulary (Monet names kept):
 
 NIL semantics (two rules, both Monet-faithful):
 
-* *Comparisons* -- select predicates and the join family -- follow
-  "NIL equals nothing": a NIL probe or build value (NaN for dbl,
-  ``None`` for str) never matches, not even another NIL.
-* *Identity* operators -- ``unique``/``kunique``/``tunique`` here and
-  ``group``/``refine`` in :mod:`repro.monet.groups` -- treat all NILs
-  of a column as **one value** (SQL DISTINCT / GROUP BY style): one
-  NIL survives duplicate elimination and every NIL lands in the same
-  group.  :func:`dedup_keys` encodes this rule for the vectorized
-  paths (NaN keys collapse to a single sentinel).
+* *Comparisons* -- select predicates and the join family, including
+  ``semijoin``/``kdiff`` -- follow "NIL equals nothing": a NIL probe
+  or build value (NaN for dbl, ``None`` for str) never matches, not
+  even another NIL.
+* *Identity* operators -- ``unique``/``kunique``/``tunique`` here,
+  ``group``/``refine`` in :mod:`repro.monet.groups`, **and the set
+  operators ``kunion``/``kintersect``** -- treat all NILs of a column
+  as **one value** (SQL DISTINCT / GROUP BY / UNION style): one NIL
+  survives duplicate elimination, every NIL lands in the same group,
+  and a NIL head *is* a member of a head set that contains a NIL.
+  :func:`dedup_keys` encodes this rule for the vectorized paths (NaN
+  keys collapse to a single sentinel); :func:`member_mask` applies it
+  to set membership, so e.g. ``kunion`` does not duplicate NIL heads
+  and ``kintersect`` keeps a NIL head when both sides have one.  The
+  set operators previously inherited the comparison rule from the
+  semijoin machinery, which silently duplicated NaN heads in unions --
+  the identity rule makes them consistent with ``kunique`` (whose
+  output is the natural "key set" the k-prefixed operators work on).
 """
 
 from __future__ import annotations
@@ -129,6 +138,173 @@ def first_occurrences(*keys: np.ndarray) -> np.ndarray:
     return np.sort(order[new_block])
 
 
+#: Identity-rule key of a dbl NIL under :func:`_float_dedup_keys`: all
+#: NaNs collapse to this maximal uint64, which no finite or infinite
+#: float maps to (it would need the 0x7FF..F bit pattern, itself a NaN).
+DBL_NIL_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def set_keyspace(*columns: AnyColumn) -> str:
+    """The common key domain for set membership across *columns*:
+    ``'object'`` when any column is object (str) dtype, ``'dbl'`` when
+    any is float (numeric widening, like the join family), ``'int'``
+    otherwise.  Probe and build sides must share one keyspace or their
+    keys would not be comparable (int64 vs float-bit keys)."""
+    if any(_is_object_column(column) for column in columns):
+        return "object"
+    if any(
+        not column.is_void and column.atom_type.dtype.kind == "f"
+        for column in columns
+    ):
+        return "dbl"
+    return "int"
+
+
+def member_keys(column: AnyColumn, keyspace: str):
+    """Identity-rule membership keys of a column's stored values in
+    *keyspace*: equal keys iff the values are one set element under the
+    identity rule (all NILs collapse to one key, ``-0.0 == +0.0``).
+    ``'object'`` yields a list of hashables (:func:`nil_dedup_key`),
+    the numeric keyspaces an integer array."""
+    if keyspace == "object":
+        values = column.materialize()
+        return [nil_dedup_key(value) for value in values.tolist()]
+    values = column.materialize()
+    if keyspace == "dbl":
+        return _float_dedup_keys(values.astype(np.float64, copy=False))
+    return values.astype(np.int64, copy=False)
+
+
+def build_member_set(keys, keyspace: str):
+    """One-time membership structure over build-side *keys*, probe-able
+    via :func:`probe_member_set`.  Separated from the probe so
+    fragmented execution builds it once (combining per-fragment key
+    arrays) and shares it across probe fragments and across the set
+    operators probing the same side."""
+    if keyspace == "object":
+        return set(keys)
+    if len(keys) == 0:
+        return np.empty(0, dtype=np.int64 if keyspace == "int" else np.uint64)
+    return np.unique(keys)
+
+
+def probe_member_set(
+    keys, members, keyspace: str, *, nil_member: bool
+) -> np.ndarray:
+    """Boolean mask: which probe *keys* occur in *members*.
+
+    ``nil_member=True`` is the identity rule (the set operators): a NIL
+    probe is a member of a NIL-containing set, because all NILs are one
+    value.  ``nil_member=False`` is the comparison rule (semijoin /
+    kdiff): NIL is never a member, not even of a NIL-containing set,
+    so NIL probes are masked out.  Int/oid NIL sentinels are ordinary
+    integers under both rules (they always equaled themselves)."""
+    if keyspace == "object":
+        mask = np.fromiter(
+            (key in members for key in keys), dtype=bool, count=len(keys)
+        )
+        if not nil_member and len(keys):
+            mask &= np.fromiter(
+                (key != NIL_KEY for key in keys), dtype=bool, count=len(keys)
+            )
+        return mask
+    if len(keys) == 0:
+        return np.zeros(0, dtype=bool)
+    mask = np.isin(keys, members)
+    if not nil_member and keyspace == "dbl":
+        mask &= keys != DBL_NIL_KEY
+    return mask
+
+
+def member_mask(
+    values: AnyColumn, lookup: AnyColumn, *, nil_member: bool
+) -> np.ndarray:
+    """Membership mask of *values*' stored values in *lookup*'s, under
+    the identity rule (``nil_member=True``; ``kunion``/``kintersect``)
+    or the comparison rule (``nil_member=False``; semijoin/kdiff).
+    The monolithic composition of :func:`set_keyspace` /
+    :func:`member_keys` / :func:`build_member_set` /
+    :func:`probe_member_set`; fragmented execution uses the pieces."""
+    keyspace = set_keyspace(values, lookup)
+    members = build_member_set(member_keys(lookup, keyspace), keyspace)
+    return probe_member_set(
+        member_keys(values, keyspace), members, keyspace, nil_member=nil_member
+    )
+
+
+# ----------------------------------------------------------------------
+# Sample-sort partitioning helpers
+#
+# Shared by the fragment-parallel merge phase of sort: pick pivots from
+# key-sorted runs, cut every run at the pivots, and each inter-pivot
+# range becomes one independently mergeable output partition.
+# ----------------------------------------------------------------------
+
+
+def partition_keys(values: np.ndarray) -> np.ndarray:
+    """Total-order integer keys for range-partitioning sorted runs: a
+    monotone image of the kernel sort order (NaN last, ``-0.0`` equals
+    ``+0.0``) with no NaN in the key domain, so pivot selection and
+    ``searchsorted`` cuts are well-defined for every dtype.  For
+    integer dtypes this is the identity (a view, not a copy)."""
+    if values.dtype.kind == "f":
+        return _float_dedup_keys(values)
+    return values.astype(np.int64, copy=False)
+
+
+def pivot_sample_positions(
+    run_length: int, partitions: int, *, oversample: int = 4
+) -> Optional[np.ndarray]:
+    """Regularly spaced sample positions for one sorted run of
+    *run_length* entries, or ``None`` when the run is small enough to
+    contribute every entry.  One scheme shared by the numeric and the
+    object (tuple-keyed) sample-sort paths, so tuning the oversampling
+    cannot make them drift apart."""
+    per_run = oversample * partitions
+    if run_length <= per_run:
+        return None
+    return np.linspace(0, run_length - 1, per_run).astype(np.int64)
+
+
+def pivot_quantile_positions(pool_size: int, partitions: int) -> np.ndarray:
+    """Positions of the *partitions* - 1 pivot quantiles in a sorted
+    sample pool of *pool_size* entries (endpoints excluded)."""
+    return np.linspace(0, pool_size, partitions + 1).astype(np.int64)[1:-1]
+
+
+def sample_pivots(
+    runs: "list[np.ndarray]", partitions: int, *, oversample: int = 4
+) -> np.ndarray:
+    """Pivot keys splitting key-sorted *runs* into at most *partitions*
+    ranges of near-equal total size: every run contributes regularly
+    spaced samples, the combined sample sorts, and the quantiles become
+    pivots (classic sample-sort).  Returns <= partitions - 1 ascending
+    distinct keys; degenerate inputs (all-equal keys) dedupe to fewer
+    pivots -- possibly none -- which simply yields fewer, larger
+    partitions (correct, just less parallel)."""
+    if partitions <= 1:
+        return np.empty(0, dtype=np.int64)
+    samples = []
+    for keys in runs:
+        if len(keys) == 0:
+            continue
+        picks = pivot_sample_positions(len(keys), partitions, oversample=oversample)
+        samples.append(keys if picks is None else keys[picks])
+    if not samples:
+        return np.empty(0, dtype=np.int64)
+    pool = np.sort(np.concatenate(samples))
+    return np.unique(pool[pivot_quantile_positions(len(pool), partitions)])
+
+
+def run_cut_points(keys: np.ndarray, pivots: np.ndarray) -> np.ndarray:
+    """Partition boundaries of one key-sorted run at *pivots*
+    (``side='left'``): cut ``i`` starts partition ``i + 1``.  Equal
+    keys land at or after their pivot's cut in *every* run, so a key
+    value never straddles a partition boundary -- the per-partition
+    merges can then restore the global tie-break by BUN position."""
+    return np.searchsorted(keys, pivots, side="left")
+
+
 def build_match_index(build: np.ndarray, object_dtype: bool):
     """One-time index over a join build side, probe-able via
     :func:`probe_match_index`.  Separated from the probe so fragmented
@@ -206,27 +382,6 @@ def _match_positions(
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
     return probe_match_index(probe, build_match_index(build, object_dtype), object_dtype)
-
-
-def _membership_mask(values: np.ndarray, lookup: np.ndarray, object_dtype: bool) -> np.ndarray:
-    """Boolean mask: which of *values* occur anywhere in *lookup*.
-
-    NIL is never a member, not even of a NIL-containing *lookup*
-    (Monet: NIL equals nothing): ``None`` is excluded explicitly here,
-    NaN falls out of ``np.isin`` because NaN != NaN."""
-    if len(values) == 0:
-        return np.zeros(0, dtype=bool)
-    if len(lookup) == 0:
-        return np.zeros(len(values), dtype=bool)
-    if object_dtype:
-        members = set(lookup.tolist())
-        members.discard(None)
-        return np.fromiter(
-            (v is not None and v in members for v in values),
-            dtype=bool,
-            count=len(values),
-        )
-    return np.isin(values, lookup)
 
 
 # ----------------------------------------------------------------------
@@ -328,11 +483,7 @@ def semijoin_mask(left: BAT, right: BAT) -> np.ndarray:
         return (heads >= right.head.seqbase) & (
             heads < right.head.seqbase + len(right)
         )
-    return _membership_mask(
-        left.head_values(),
-        right.head_values(),
-        _is_object_column(left.head) or _is_object_column(right.head),
-    )
+    return member_mask(left.head, right.head, nil_member=False)
 
 
 def _select_equal(bat: BAT, value: Any) -> BAT:
@@ -479,13 +630,38 @@ def kdiff(left: BAT, right: BAT) -> BAT:
 
 
 def kintersect(left: BAT, right: BAT) -> BAT:
-    """Alias of :func:`semijoin` under its set-operation name."""
-    return semijoin(left, right)
+    """BUNs of *left* whose head occurs among *right*'s heads, under
+    the **identity** NIL rule: a NIL head is kept when *right* also has
+    a NIL head (all NILs are one set element; see the module
+    docstring).  This is what distinguishes it from :func:`semijoin`,
+    which follows the comparison rule (NIL matches nothing)."""
+    mask = member_mask(left.head, right.head, nil_member=True)
+    return left.take_positions(np.nonzero(mask)[0])
+
+
+def check_kunion_types(left: BAT, right: BAT) -> None:
+    """Reject un-unionable operands: ``kunion`` concatenates both
+    sides' columns under the *left* atom types, so mismatched types
+    would silently reinterpret right-side values (e.g. dbl heads
+    truncated into an int column).  Shared by the monolithic and
+    fragmented paths."""
+    if left.htype != right.htype or left.ttype != right.ttype:
+        raise KernelError(
+            f"kunion type mismatch: [{left.htype},{left.ttype}] vs "
+            f"[{right.htype},{right.ttype}]"
+        )
 
 
 def kunion(left: BAT, right: BAT) -> BAT:
-    """*left* plus those BUNs of *right* whose head is not in *left*."""
-    extra = kdiff(right, left)
+    """*left* plus those BUNs of *right* whose head is not in *left*.
+
+    Head membership follows the **identity** NIL rule: a NIL-headed
+    right BUN is already "seen" when *left* has any NIL head, so unions
+    never duplicate the NIL head (matching ``kunique``, whose output is
+    the canonical head set these operators work on)."""
+    check_kunion_types(left, right)
+    mask = member_mask(right.head, left.head, nil_member=True)
+    extra = right.take_positions(np.nonzero(~mask)[0])
     if len(extra) == 0:
         return left
     head = Column(
@@ -621,10 +797,36 @@ def exist(bat: BAT, head_value: Any) -> bool:
     return bat.exists(head_value)
 
 
+def _topn_sort_keys(tails: np.ndarray, descending: bool) -> np.ndarray:
+    """Total-order uint64 sort keys for top-n selection: ascending key
+    order is the requested tail order with NILs kept where the raw
+    comparisons put them (NaN last in both directions, the int/oid
+    sentinels at their numeric extremes).  A total order -- no NaN in
+    the key domain -- is what makes the boundary-tie handling below
+    exact."""
+    keys = partition_keys(tails)
+    if keys.dtype != np.uint64:
+        # int64 order -> uint64 order by flipping the sign bit.
+        keys = keys.view(np.uint64) ^ np.uint64(1 << 63)
+    if descending:
+        keys = ~keys
+        if tails.dtype.kind == "f":
+            # NaN (dbl NIL) sorts last under either direction.
+            keys[np.isnan(tails)] = np.uint64(0xFFFFFFFFFFFFFFFF)
+    return keys
+
+
 def topn_positions(bat: BAT, n: int, *, descending: bool = True) -> np.ndarray:
     """BUN positions of the top-*n* BUNs by tail, in result order.
     Exposed separately so fragmented execution can run the per-fragment
-    candidate selection and keep position bookkeeping."""
+    candidate selection and keep position bookkeeping.
+
+    Ties on the tail break by BUN position (earlier first) -- including
+    **membership** at the selection boundary: among BUNs tied at the
+    n-th value, the earliest positions win the remaining slots.  (A
+    bare ``argpartition`` would keep an arbitrary subset of the tied
+    BUNs, which monolithic and fragmented execution could disagree on;
+    the randomized MIL fuzzer caught exactly that.)"""
     if n < 0:
         raise KernelError("topn needs a non-negative n")
     tails = bat.tail_values()
@@ -636,16 +838,21 @@ def topn_positions(bat: BAT, n: int, *, descending: bool = True) -> np.ndarray:
         if descending:
             order = order[::-1]
         return order[:n]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
     count = len(tails)
-    keys = -tails if descending else tails
+    keys = _topn_sort_keys(tails, descending)
     if n >= count:
         order = np.lexsort((np.arange(count, dtype=np.int64), keys))
         return order[:n]
     candidates = np.argpartition(keys, n)[:n]
-    # Order the selected candidates; ties on the key break by BUN
-    # position (earlier first), in both branches.
-    inner = np.lexsort((candidates, keys[candidates]))
-    return candidates[inner]
+    boundary = keys[candidates].max()
+    strict = np.nonzero(keys < boundary)[0]
+    tied = np.nonzero(keys == boundary)[0][: n - len(strict)]
+    chosen = np.concatenate((strict, tied))
+    # Order the selected BUNs; equal keys break by BUN position.
+    inner = np.lexsort((chosen, keys[chosen]))
+    return chosen[inner]
 
 
 def topn(bat: BAT, n: int, *, descending: bool = True) -> BAT:

@@ -16,11 +16,13 @@ Two layers live here:
   :class:`~repro.monet.fragments.FragmentationPolicy`.  The
   order-sensitive operators (``sort``/``tsort``,
   ``unique``/``kunique``/``tunique``, ``refine``) run fragment-parallel
-  too (merge-based), so a pipeline containing them still coalesces only
-  at result return.  The few operators with no fragment-parallel
-  counterpart (``kunion``, ``kintersect``, ``group_sizes``, ...)
-  transparently coalesce their fragmented arguments first, so every
-  MIL program stays valid over fragmented BATs.
+  too (sample-sort / candidate-merge based), as do the set operators
+  (``kunion``/``kintersect``, via a shared head-membership build), so a
+  pipeline containing them still coalesces only at result return.  The
+  few operators with no fragment-parallel counterpart
+  (``group_sizes``, ``group_representatives``, ...) transparently
+  coalesce their fragmented arguments first, so every MIL program stays
+  valid over fragmented BATs.
 
 Arity is enforced uniformly: every builtin carries a signature entry,
 and a wrong argument count raises :class:`MILRuntimeError` naming the
@@ -238,6 +240,8 @@ _FRAGMENT: Dict[str, Callable[..., Any]] = {
     "outerjoin": fragments.outerjoin,
     "semijoin": fragments.semijoin,
     "kdiff": fragments.antijoin,
+    "kunion": fragments.kunion,
+    "kintersect": fragments.kintersect,
     "reverse": fragments.reverse,
     "mirror": fragments.mirror,
     "mark": lambda b, base=0: fragments.mark(b, int(base)),

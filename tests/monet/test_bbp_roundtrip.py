@@ -129,6 +129,7 @@ def test_calibrated_tuning_roundtrip(pool, tmp_path):
     saved_state = (
         fragments.DEFAULT_FRAGMENT_SIZE,
         fragments.PARALLEL_MIN_BUNS,
+        fragments.MERGE_FANOUT,
         fragments._TUNING_MEASURED,
     )
     try:
@@ -139,23 +140,28 @@ def test_calibrated_tuning_roundtrip(pool, tmp_path):
         catalog = json.loads((tmp_path / "db" / "catalog.json").read_text())
         assert "tuning" not in catalog  # unmeasured defaults stay local
 
-        fragments.set_default_tuning(fragment_size=12345, parallel_min=67890)
+        fragments.set_default_tuning(
+            fragment_size=12345, parallel_min=67890, merge_fanout=24
+        )
         pool.save(tmp_path / "db2")
         catalog = json.loads((tmp_path / "db2" / "catalog.json").read_text())
         assert catalog["tuning"] == {
             "fragment_size": 12345,
             "parallel_min": 67890,
+            "merge_fanout": 24,
         }
 
         # A "restart": reset the module defaults, then load the pool.
         (
             fragments.DEFAULT_FRAGMENT_SIZE,
             fragments.PARALLEL_MIN_BUNS,
+            fragments.MERGE_FANOUT,
             fragments._TUNING_MEASURED,
         ) = saved_state
         BATBufferPool.load(tmp_path / "db2")
         assert fragments.DEFAULT_FRAGMENT_SIZE == 12345
         assert fragments.PARALLEL_MIN_BUNS == 67890
+        assert fragments.MERGE_FANOUT == 24
         assert fragments.default_tuning()["measured"]
         # Policies made after the load pick the persisted value up.
         assert FragmentationPolicy().target_size == 12345
@@ -163,6 +169,7 @@ def test_calibrated_tuning_roundtrip(pool, tmp_path):
         (
             fragments.DEFAULT_FRAGMENT_SIZE,
             fragments.PARALLEL_MIN_BUNS,
+            fragments.MERGE_FANOUT,
             fragments._TUNING_MEASURED,
         ) = saved_state
 
@@ -173,6 +180,7 @@ def test_persisted_tuning_yields_to_env_overrides(pool, tmp_path, monkeypatch):
     saved_state = (
         fragments.DEFAULT_FRAGMENT_SIZE,
         fragments.PARALLEL_MIN_BUNS,
+        fragments.MERGE_FANOUT,
         fragments._TUNING_MEASURED,
     )
     try:
@@ -182,6 +190,7 @@ def test_persisted_tuning_yields_to_env_overrides(pool, tmp_path, monkeypatch):
         (
             fragments.DEFAULT_FRAGMENT_SIZE,
             fragments.PARALLEL_MIN_BUNS,
+            fragments.MERGE_FANOUT,
             fragments._TUNING_MEASURED,
         ) = saved_state
         monkeypatch.setenv("REPRO_FRAGMENT_SIZE", "9999")
@@ -193,5 +202,6 @@ def test_persisted_tuning_yields_to_env_overrides(pool, tmp_path, monkeypatch):
         (
             fragments.DEFAULT_FRAGMENT_SIZE,
             fragments.PARALLEL_MIN_BUNS,
+            fragments.MERGE_FANOUT,
             fragments._TUNING_MEASURED,
         ) = saved_state

@@ -876,3 +876,221 @@ def test_fragment_roundtrip_identity(seed, strategy):
     # Coalescing a range split of a void-headed BAT restores voidness.
     if strategy == "range":
         assert fb.to_bat().hdense == bat.hdense
+
+
+# ----------------------------------------------------------------------
+# Set operators: kunion / kintersect (identity NIL rule) and the
+# shared-build semijoin / kdiff fast path (comparison NIL rule)
+# ----------------------------------------------------------------------
+
+
+def _comparison_nil(value) -> bool:
+    """NILs that match nothing under the comparison rule (NaN/None; the
+    int/oid sentinels are ordinary integers that equal themselves)."""
+    return value is None or (isinstance(value, float) and math.isnan(value))
+
+
+def _ref_kunion(pairs, right_pairs):
+    members = {_nil_key(h) for h, _ in pairs}
+    return list(pairs) + [
+        (h, t) for h, t in right_pairs if _nil_key(h) not in members
+    ]
+
+
+def _ref_kintersect(pairs, right_pairs):
+    members = {_nil_key(h) for h, _ in right_pairs}
+    return [(h, t) for h, t in pairs if _nil_key(h) in members]
+
+
+def _ref_semijoin_comparison(pairs, right_pairs):
+    members = {h for h, _ in right_pairs if not _comparison_nil(h)}
+    return [
+        (h, t) for h, t in pairs if not _comparison_nil(h) and h in members
+    ]
+
+
+def _ref_kdiff_comparison(pairs, right_pairs):
+    members = {h for h, _ in right_pairs if not _comparison_nil(h)}
+    return [(h, t) for h, t in pairs if _comparison_nil(h) or h not in members]
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_set_operators_differential(seed):
+    """kunion/kintersect (identity rule) and semijoin/kdiff (comparison
+    rule) over NIL-heavy heads: monolithic vs identity/comparison
+    references vs fragmented execution -- fragmented left against
+    monolithic, same-strategy fragmented, and cross-strategy fragmented
+    right operands."""
+    rng = np.random.default_rng(1500 + seed)
+    htype = ("int", "dbl", "str", "oid")[seed % 4]
+    n_left = int(rng.choice([0, 1, 2, 17, 64, 120]))
+    n_right = int(rng.choice([0, 1, 3, 20, 65, 119]))
+    left = _headed_bat(rng, htype, n_left)
+    right = _headed_bat(rng, htype, n_right)
+    left_pairs, right_pairs = _raw_pairs(left), _raw_pairs(right)
+    left_fbs = [_fragment(left, s) for s in STRATEGIES]
+    right_fbs = [_fragment(right, s) for s in STRATEGIES]
+
+    def variants(op):
+        out = [op(fb, right) for fb in left_fbs]
+        out += [op(lf, rf) for lf, rf in zip(left_fbs, right_fbs)]
+        out.append(op(left_fbs[0], right_fbs[1]))  # range left, rr right
+        out.append(op(left_fbs[1], right_fbs[0]))  # rr left, range right
+        return out
+
+    _check_op(
+        kernel.kunion(left, right),
+        _ref_kunion(left_pairs, right_pairs),
+        variants(fr.kunion),
+    )
+    _check_op(
+        kernel.kintersect(left, right),
+        _ref_kintersect(left_pairs, right_pairs),
+        variants(fr.kintersect),
+    )
+    _check_op(
+        kernel.semijoin(left, right),
+        _ref_semijoin_comparison(left_pairs, right_pairs),
+        variants(fr.semijoin),
+    )
+    _check_op(
+        kernel.kdiff(left, right),
+        _ref_kdiff_comparison(left_pairs, right_pairs),
+        variants(fr.kdiff),
+    )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_setops_nil_identity_rule_fragmented(strategy):
+    """The PR-4 set-op NIL decision, fragment-parallel: one NaN head on
+    each side unions to a single NaN BUN and intersects to the left
+    NaN BUN, BUN-identical to the monolithic kernel."""
+    left = BAT(
+        Column("dbl", np.array([np.nan, 1.0, 2.0])),
+        Column("int", np.array([1, 2, 3], dtype=np.int64)),
+    )
+    right = BAT(
+        Column("dbl", np.array([np.nan, 2.0, 9.0])),
+        Column("int", np.array([4, 5, 6], dtype=np.int64)),
+    )
+    lf, rf = _fragment(left, strategy), _fragment(right, strategy)
+    union = fr.kunion(lf, rf).to_bat()
+    assert_pairs_equal(union, _raw_pairs(kernel.kunion(left, right)))
+    nan_heads = [h for h, _ in _raw_pairs(union) if isinstance(h, float) and math.isnan(h)]
+    assert len(nan_heads) == 1  # the identity rule: all NILs are one value
+    intersection = fr.kintersect(lf, rf).to_bat()
+    assert_pairs_equal(intersection, _raw_pairs(kernel.kintersect(left, right)))
+    assert _raw_pairs(intersection)[1] == (2.0, 3)
+
+
+def test_kunion_derived_roundrobin_subset_positions():
+    """kunion over *derived* round-robin subsets (sparse positions):
+    survivor positions must rank, not reuse raw right positions."""
+    rng = np.random.default_rng(7)
+    left = _headed_bat(rng, "oid", 90)
+    right = _headed_bat(rng, "oid", 84)
+    lf = fr.select(_fragment(left, "roundrobin"), -3, 3)
+    rf = fr.select(_fragment(right, "roundrobin"), -3, 3)
+    mono = kernel.kunion(
+        kernel.select(left, -3, 3), kernel.select(right, -3, 3)
+    )
+    out = fr.kunion(lf, rf)
+    assert_pairs_equal(out.to_bat(), _raw_pairs(mono))
+    # ... and the result keeps working fragment-parallel downstream.
+    assert_pairs_equal(fr.sort(out).to_bat(), _raw_pairs(kernel.sort(mono)))
+
+
+# ----------------------------------------------------------------------
+# Sample-sort merge edge cases
+# ----------------------------------------------------------------------
+
+
+def _explicit_range_fragments(bat: BAT, sizes) -> FragmentedBAT:
+    """A range FragmentedBAT with the exact fragment *sizes* (empty
+    fragments allowed), pinned to the parallel code path."""
+    assert sum(sizes) == len(bat)
+    fragments = []
+    at = 0
+    for size in sizes:
+        fragments.append(bat.slice(at, at + size))
+        at += size
+    policy = FragmentationPolicy(
+        target_size=max(1, max(sizes, default=1)), workers=2
+    )
+    return FragmentedBAT(fragments, policy=policy)
+
+
+_ALL_EQUAL_HEAD = {
+    "int": lambda n: Column("int", np.full(n, 5, dtype=np.int64)),
+    "oid": lambda n: Column("oid", np.full(n, 3, dtype=np.int64)),
+    "dbl": lambda n: Column("dbl", np.full(n, 0.5)),
+    "str": lambda n: Column("str", np.array(["cat"] * n, dtype=object)),
+}
+
+
+@pytest.mark.parametrize("htype", ["int", "oid", "dbl", "str"])
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_sample_sort_all_equal_keys(htype, strategy):
+    """Degenerate pivots: every sampled key is identical, so the pivot
+    set dedupes to (at most) one value and a single partition does all
+    the work -- the result must still be the stable identity ordering
+    by global BUN position."""
+    n = 97
+    rng = np.random.default_rng(31)
+    bat = BAT(
+        _ALL_EQUAL_HEAD[htype](n),
+        Column("int", rng.permutation(n).astype(np.int64)),
+    )
+    fb = _fragment(bat, strategy)
+    _check_op(kernel.sort(bat), _ref_sort(_raw_pairs(bat)), [fr.sort(fb)])
+
+
+@pytest.mark.parametrize("htype", ["int", "dbl", "str"])
+def test_sample_sort_empty_and_single_fragments(htype):
+    """Empty fragments mixed between full ones contribute empty runs
+    and empty partition slices; a single fragment degenerates to the
+    no-merge path.  Both must stay BUN-identical to the monolithic
+    sort."""
+    rng = np.random.default_rng(57)
+    bat = _headed_bat(rng, htype, 60)
+    pairs = _raw_pairs(bat)
+    holey = _explicit_range_fragments(bat, [0, 20, 0, 0, 25, 15, 0])
+    single = FragmentedBAT(
+        [bat], policy=FragmentationPolicy(target_size=len(bat), workers=2)
+    )
+    _check_op(kernel.sort(bat), _ref_sort(pairs), [fr.sort(holey), fr.sort(single)])
+    _check_op(
+        kernel.unique(bat),
+        _ref_unique(pairs),
+        [fr.unique(holey), fr.unique(single)],
+    )
+
+
+@pytest.mark.parametrize("fanout", [1, 3, 64])
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_sample_sort_fanout_extremes(fanout, strategy, monkeypatch):
+    """MERGE_FANOUT=1 falls back to the serial tournament merge; a
+    fan-out far beyond the data yields many tiny (some empty)
+    partitions.  Both ends must be BUN-identical to the monolithic
+    sort, for numeric and object heads."""
+    monkeypatch.setattr(fr, "MERGE_FANOUT", fanout)
+    rng = np.random.default_rng(101 + fanout)
+    for htype in ("dbl", "str"):
+        bat = _headed_bat(rng, htype, 120)
+        fb = _fragment(bat, strategy)
+        _check_op(kernel.sort(bat), _ref_sort(_raw_pairs(bat)), [fr.sort(fb)])
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_sample_sort_output_feeds_fragment_parallel_ops(strategy):
+    """The sample-sort result is range-partitioned: a following
+    fragment-parallel operator (select) over it must agree with the
+    monolithic pipeline."""
+    rng = np.random.default_rng(77)
+    bat = _headed_bat(rng, "int", 150)
+    fb = _fragment(bat, strategy)
+    sorted_fb = fr.sort(fb)
+    assert sorted_fb.positions is None  # range-partitioned output
+    got = fr.select(sorted_fb, -2, 4).to_bat()
+    expected = kernel.select(kernel.sort(bat), -2, 4)
+    assert_pairs_equal(got, _raw_pairs(expected))

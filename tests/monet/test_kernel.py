@@ -309,3 +309,164 @@ class TestNilDedup:
         assert list(np.argsort(keys, kind="stable")) == list(
             np.argsort(values, kind="stable")
         )
+
+
+class TestSetOpNilSemantics:
+    """The set operators follow the identity rule (module docstring):
+    all NILs of a head column are one set element, so kunion never
+    duplicates a NIL head and kintersect keeps a NIL head iff both
+    sides have one.  semijoin/kdiff keep the comparison rule (NIL
+    matches nothing).  Regression: kunion/kintersect previously
+    inherited the comparison rule from the semijoin machinery, so a
+    NaN-headed BUN was always "unseen" and unions accumulated
+    duplicate NaN heads."""
+
+    def test_kunion_does_not_duplicate_nan_heads(self):
+        left = BAT(
+            Column("dbl", np.array([np.nan, 1.0])),
+            Column("int", np.array([10, 11], dtype=np.int64)),
+        )
+        right = BAT(
+            Column("dbl", np.array([np.nan, 2.0])),
+            Column("int", np.array([20, 21], dtype=np.int64)),
+        )
+        assert kernel.kunion(left, right).to_pairs() == [
+            (None, 10), (1.0, 11), (2.0, 21),
+        ]
+
+    def test_kunion_appends_nan_head_when_left_has_none(self):
+        left = bat_from_pairs("dbl", "int", [(1.0, 1)])
+        right = BAT(
+            Column("dbl", np.array([np.nan])),
+            Column("int", np.array([9], dtype=np.int64)),
+        )
+        assert kernel.kunion(left, right).to_pairs() == [(1.0, 1), (None, 9)]
+
+    def test_kunion_does_not_duplicate_none_heads(self):
+        left = bat_from_pairs("str", "int", [(None, 1), ("a", 2)])
+        right = bat_from_pairs("str", "int", [(None, 3), ("b", 4)])
+        assert kernel.kunion(left, right).to_pairs() == [
+            (None, 1), ("a", 2), ("b", 4),
+        ]
+
+    def test_kintersect_nan_head_matches_nan_head(self):
+        left = BAT(
+            Column("dbl", np.array([np.nan, 1.0, 2.0])),
+            Column("int", np.array([1, 2, 3], dtype=np.int64)),
+        )
+        right = BAT(
+            Column("dbl", np.array([np.nan, 2.0])),
+            Column("int", np.array([0, 0], dtype=np.int64)),
+        )
+        assert kernel.kintersect(left, right).to_pairs() == [(None, 1), (2.0, 3)]
+
+    def test_kintersect_nan_head_dropped_without_nil_on_right(self):
+        left = BAT(
+            Column("dbl", np.array([np.nan, 1.0])),
+            Column("int", np.array([1, 2], dtype=np.int64)),
+        )
+        right = bat_from_pairs("dbl", "int", [(1.0, 0)])
+        assert kernel.kintersect(left, right).to_pairs() == [(1.0, 2)]
+
+    def test_kintersect_none_head_matches_none_head(self):
+        left = bat_from_pairs("str", "int", [(None, 1), ("a", 2)])
+        right = bat_from_pairs("str", "int", [(None, 0), ("b", 0)])
+        assert kernel.kintersect(left, right).to_pairs() == [(None, 1)]
+
+    def test_kintersect_negative_zero_head_matches_zero(self):
+        left = BAT(
+            Column("dbl", np.array([-0.0, 3.0])),
+            Column("int", np.array([1, 2], dtype=np.int64)),
+        )
+        right = bat_from_pairs("dbl", "int", [(0.0, 0)])
+        assert kernel.kintersect(left, right).to_pairs() == [(-0.0, 1)]
+
+    def test_semijoin_and_kdiff_keep_comparison_rule(self):
+        left = BAT(
+            Column("dbl", np.array([np.nan, 1.0])),
+            Column("int", np.array([1, 2], dtype=np.int64)),
+        )
+        right = BAT(
+            Column("dbl", np.array([np.nan, 1.0])),
+            Column("int", np.array([0, 0], dtype=np.int64)),
+        )
+        # NIL matches nothing: the NaN head is not semijoin-kept ...
+        assert kernel.semijoin(left, right).to_pairs() == [(1.0, 2)]
+        # ... and therefore always survives kdiff.
+        assert kernel.kdiff(left, right).to_pairs() == [(None, 1)]
+
+    def test_str_none_semijoin_vs_kintersect(self):
+        left = bat_from_pairs("str", "int", [(None, 1), ("a", 2)])
+        right = bat_from_pairs("str", "int", [(None, 0), ("a", 0)])
+        assert kernel.semijoin(left, right).to_pairs() == [("a", 2)]
+        assert kernel.kdiff(left, right).to_pairs() == [(None, 1)]
+        assert kernel.kintersect(left, right).to_pairs() == [(None, 1), ("a", 2)]
+
+
+class TestTopnBoundaryTies:
+    """topn membership at the selection boundary is deterministic:
+    among BUNs tied at the n-th tail value, the earliest BUN positions
+    win the remaining slots.  Regression (found by the MIL fuzzer):
+    argpartition kept an arbitrary subset of the tied BUNs, so
+    monolithic and fragmented execution could disagree."""
+
+    def test_all_equal_tails_keep_earliest_positions(self):
+        bat = dense_bat("int", [7] * 10)
+        assert kernel.topn(bat, 4).head_list() == [0, 1, 2, 3]
+        assert kernel.topn(bat, 4, descending=False).head_list() == [0, 1, 2, 3]
+
+    def test_partial_tie_at_boundary(self):
+        # Tails 9 > 7 == 7 == 7 > 1: the two slots left after the 9 go
+        # to the earliest of the tied 7s.
+        bat = dense_bat("int", [7, 9, 7, 1, 7])
+        assert kernel.topn(bat, 3).to_pairs() == [(1, 9), (0, 7), (2, 7)]
+
+    def test_nan_tails_sort_last_in_both_directions(self):
+        bat = dense_bat("dbl", [1.0, float("nan"), 3.0, float("nan"), 2.0])
+        assert kernel.topn(bat, 3).head_list() == [2, 4, 0]
+        assert kernel.topn(bat, 3, descending=False).head_list() == [0, 4, 2]
+
+    def test_fragmented_matches_monolithic_on_ties(self):
+        from repro.monet import fragments as fr
+        from repro.monet.fragments import FragmentationPolicy, fragment_bat
+
+        rng = np.random.default_rng(5)
+        bat = dense_bat("int", rng.integers(0, 4, 100).tolist())
+        for strategy in ("range", "roundrobin"):
+            fb = fragment_bat(
+                bat,
+                FragmentationPolicy(target_size=13, strategy=strategy, workers=2),
+            )
+            for descending in (True, False):
+                assert (
+                    fr.topn(fb, 10, descending=descending).to_pairs()
+                    == kernel.topn(bat, 10, descending=descending).to_pairs()
+                )
+
+
+class TestKunionTypeGuard:
+    """kunion concatenates under the left atom types; mismatched
+    operands must raise instead of silently reinterpreting right-side
+    values (dbl heads used to truncate into an int column)."""
+
+    def test_mismatched_head_types_raise(self):
+        left = bat_from_pairs("int", "int", [(1, 1), (2, 2)])
+        right = bat_from_pairs("dbl", "int", [(2.5, 1)])
+        with pytest.raises(KernelError, match="kunion type mismatch"):
+            kernel.kunion(left, right)
+
+    def test_mismatched_tail_types_raise(self):
+        left = bat_from_pairs("oid", "int", [(0, 1)])
+        right = bat_from_pairs("oid", "str", [(1, "a")])
+        with pytest.raises(KernelError, match="kunion type mismatch"):
+            kernel.kunion(left, right)
+
+    def test_fragmented_kunion_raises_too(self):
+        from repro.monet import fragments as fr
+        from repro.monet.fragments import FragmentationPolicy, fragment_bat
+
+        left = bat_from_pairs("oid", "int", [(0, 1), (1, 2), (2, 3)])
+        right = bat_from_pairs("oid", "str", [(5, "a")])
+        fb = fragment_bat(left, FragmentationPolicy(target_size=1, workers=2))
+        with pytest.raises(KernelError, match="kunion type mismatch"):
+            fr.kunion(fb, right)

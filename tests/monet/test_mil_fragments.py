@@ -77,13 +77,21 @@ _SCRIPTS = [
     'bat("words").reverse.sort;',
     'g := group(bat("keys")); refine(g, bat("scores"));',
     'g := group(bat("keys")); refine(g, bat("words"));',
-    # Operators with no fragment-parallel counterpart coalesce.
+    # Set operators run fragment-parallel (shared membership build).
     'kunion(bat("headed"), bat("headed"));',
+    'kunion(bat("headed"), bat("headed2"));',
+    'bat("headed").kunion(bat("headed2"));',
+    'kintersect(bat("headed"), bat("headed2"));',
+    'bat("headed2").kintersect(bat("headed"));',
+    'kdiff(bat("headed"), bat("headed2"));',
+    # Operators with no fragment-parallel counterpart coalesce.
     'g := group(bat("keys")); group_sizes(g);',
     # Full pipelines, method-style.
     's := bat("keys").select(oid(2), oid(8)); s.join(bat("dim")).sum;',
     'u := bat("headed").unique; u.sort.count;',
     's := bat("headed").sort; s.kunique.tsort;',
+    'u := kunion(bat("headed"), bat("headed2")); u.kunique.sort;',
+    'i := kintersect(bat("headed"), bat("headed2")); i.unique.count;',
 ]
 
 
@@ -113,6 +121,10 @@ def _data():
         "headed": bat_from_pairs(
             "oid", "int", [(int(h), int(t)) for h, t in
                            zip(rng.integers(0, 20, 40), rng.integers(-5, 5, 40))]
+        ),
+        "headed2": bat_from_pairs(
+            "oid", "int", [(int(h), int(t)) for h, t in
+                           zip(rng.integers(10, 30, 40), rng.integers(-5, 5, 40))]
         ),
     }
 
@@ -247,6 +259,53 @@ def test_sort_unique_pipeline_never_coalesces(strategy, monkeypatch):
     mono_pool, _ = _pools(strategy)
     mono = MILInterpreter(mono_pool).run(
         'u := bat("headed").sort.unique; count(u); u;'
+    )
+    assert result.value.to_pairs() == mono.value.to_pairs()
+    assert result.env["c"] == len(mono.value)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_setops_pipeline_never_coalesces(strategy, monkeypatch):
+    """The PR-4 acceptance property: set-operator pipelines
+    (``kunion``/``kintersect``/``kdiff`` feeding ``kunique``/``sort``)
+    coalesce only at result return -- neither the transparent
+    ``fragments.coalesce`` dispatch path nor the pool's coalescing
+    ``lookup`` ever runs, and every BAT intermediate stays
+    fragmented."""
+    from repro.monet import fragments as fragments_module
+
+    _, frag_pool = _pools(strategy)
+
+    def forbidden_lookup(name):
+        raise AssertionError(
+            f"pool.lookup({name!r}) called during a fragmented set-op plan"
+        )
+
+    def forbidden_coalesce(value):
+        raise AssertionError("fragments.coalesce called before result return")
+
+    monkeypatch.setattr(frag_pool, "lookup", forbidden_lookup)
+    monkeypatch.setattr(fragments_module, "coalesce", forbidden_coalesce)
+    interpreter = MILInterpreter(frag_pool, fragment_policy=_policy(strategy))
+    result = interpreter.run(
+        """
+        u := kunion(bat("headed"), bat("headed2"));
+        i := kintersect(bat("headed"), bat("headed2"));
+        d := kdiff(bat("headed"), bat("headed2"));
+        k := u.kunique;
+        s := k.sort;
+        c := count(s);
+        s;
+        """
+    )
+    monkeypatch.undo()
+    for name in ("u", "i", "d", "k", "s"):
+        assert isinstance(result.env[name], FragmentedBAT), name
+    assert isinstance(result.value, BAT)  # coalesced exactly at return
+
+    mono_pool, _ = _pools(strategy)
+    mono = MILInterpreter(mono_pool).run(
+        's := kunion(bat("headed"), bat("headed2")).kunique.sort; count(s); s;'
     )
     assert result.value.to_pairs() == mono.value.to_pairs()
     assert result.env["c"] == len(mono.value)
