@@ -85,7 +85,7 @@ def test_autoclass_purity_at_least_kmeans(rgb_space):
 
 
 def report():
-    print(f"E8: clustering feature spaces "
+    print("E8: clustering feature spaces "
           f"({len(class_names())} true classes, "
           f"{IMAGES_PER_CLASS} images each)")
     print(f"{'space':<10}{'algo':<11}{'k found':>8}{'purity':>8}{'fit ms':>9}")

@@ -12,7 +12,6 @@ ORB call volume scales linearly with library size.
 Standalone report:  python benchmarks/bench_fig1_architecture.py
 """
 
-import pytest
 
 from repro.core.library import DigitalLibrary
 from repro.multimedia.webrobot import WebRobot

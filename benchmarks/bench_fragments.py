@@ -12,15 +12,33 @@ sizes and serial/parallel floors and installs the winners via
 :func:`repro.monet.fragments.set_default_tuning`, replacing the static
 constants of the seed with cores-plus-measurement-derived values.
 
+The calibration also decides the *executor backend* per dtype: numeric
+operators keep the thread pool (numpy releases the GIL), while the
+GIL-bound object-dtype (str) predicates -- likeselect, str selects,
+string membership -- are timed under both the thread and the process
+backend (:mod:`repro.monet.fragments` ``ProcessBackend``) and the
+winner, plus the measured BUN crossover, is installed via
+``set_default_tuning(backend=..., process_min=...)``.
+
+Every section records machine-readable rows (op, size, backend, dtype,
+median wall ms); ``--json PATH`` writes them as a JSON document that
+CI uploads as an artifact on every run and feeds to
+``benchmarks/check_regression.py`` to gate performance regressions.
+
 Standalone report:  python benchmarks/bench_fragments.py
 Fast smoke mode:    BENCH_FAST=1 python benchmarks/bench_fragments.py
 MIL pipeline only:  BENCH_FAST=1 python benchmarks/bench_fragments.py --mil
 Sort/unique only:   BENCH_FAST=1 python benchmarks/bench_fragments.py --sort
 Set operators only: BENCH_FAST=1 python benchmarks/bench_fragments.py --setops
+String (backend) only: BENCH_FAST=1 python benchmarks/bench_fragments.py --strings
 Calibration only:   python benchmarks/bench_fragments.py --calibrate
+JSON artifact:      BENCH_FAST=1 python benchmarks/bench_fragments.py \\
+                        --json BENCH_fragments.json
 """
 
+import json
 import os
+import platform
 import sys
 import time
 
@@ -30,7 +48,7 @@ import pytest
 from repro.ir.index import InvertedIndex
 from repro.monet import fragments as fr
 from repro.monet import kernel
-from repro.monet.bat import BAT, Column, VoidColumn, bat_from_pairs, dense_bat
+from repro.monet.bat import BAT, Column, VoidColumn, bat_from_pairs
 from repro.monet.bbp import BATBufferPool
 from repro.monet.fragments import FragmentationPolicy, fragment_bat
 from repro.monet.mil import MILInterpreter
@@ -75,14 +93,64 @@ def _index(n_docs, postings_per_doc, *, seed=3):
     return documents
 
 
-def _timed(fn, repeats):
-    fn()  # warm-up (also pays one-time fragmentation/coalesce costs)
-    best = float("inf")
+#: Machine-readable result rows accumulated by every report section;
+#: ``--json PATH`` writes them out (op, size, backend, dtype, median
+#: wall ms) so CI can archive a perf trajectory and gate regressions.
+_JSON_ROWS = []
+
+
+def _record(op, n, backend, dtype, stats):
+    _JSON_ROWS.append(
+        {
+            "op": op,
+            "n": int(n),
+            "backend": backend,
+            "dtype": dtype,
+            "median_ms": round(stats["median_ms"], 4),
+            "best_ms": round(stats["best_ms"], 4),
+            "mode": "smoke" if FAST else "full",
+        }
+    )
+
+
+def write_json(path):
+    document = {
+        "schema": 1,
+        "mode": "smoke" if FAST else "full",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workers": WORKERS,
+        "rows": _JSON_ROWS,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+    print(f"wrote {len(_JSON_ROWS)} benchmark rows to {path}")
+
+
+def _measure(fn, repeats):
+    """Best and median wall milliseconds over *repeats* timed runs
+    (after one warm-up run that also pays one-time fragmentation or
+    coalesce costs).  The printed reports keep the historical best-of
+    numbers; the JSON rows carry the median, which is what the CI
+    regression gate compares (medians are stable under scheduler
+    noise, bests are not)."""
+    fn()  # warm-up
+    times = []
     for _ in range(repeats):
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best * 1000
+        times.append(time.perf_counter() - start)
+    times.sort()
+    half = len(times) // 2
+    if len(times) % 2:
+        median = times[half]
+    else:
+        median = (times[half - 1] + times[half]) / 2
+    return {"best_ms": times[0] * 1000, "median_ms": median * 1000}
+
+
+def _timed(fn, repeats):
+    return _measure(fn, repeats)["best_ms"]
 
 
 # ----------------------------------------------------------------------
@@ -159,6 +227,18 @@ def _sort_pools(n, *, seed=7):
     )
 
 
+def _timed_pair(name, n, dtype, mono_case, frag_case, repeats, frag_backend="thread"):
+    """Time a monolithic/fragmented case pair, record both as JSON rows
+    and print the historical best-of comparison line."""
+    mono_stats = _measure(mono_case, repeats)
+    frag_stats = _measure(frag_case, repeats)
+    _record(name, n, "monolithic", dtype, mono_stats)
+    _record(name, n, frag_backend, dtype, frag_stats)
+    mono_ms, frag_ms = mono_stats["best_ms"], frag_stats["best_ms"]
+    ratio = frag_ms / mono_ms if mono_ms else float("inf")
+    print(f"{n:>12,}  {name:<18}{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}")
+
+
 def _report_sort(sizes, verbose_header=True):
     if verbose_header:
         print(f"E12: fragment-parallel sort/unique (workers={WORKERS})")
@@ -182,22 +262,18 @@ def _report_sort(sizes, verbose_header=True):
         ]
         for name, mono_case, frag_case in cases:
             assert mono_case().to_pairs() == frag_case().to_bat().to_pairs()
-            mono_ms = _timed(mono_case, repeats)
-            frag_ms = _timed(frag_case, repeats)
-            ratio = frag_ms / mono_ms if mono_ms else float("inf")
-            print(
-                f"{n:>12,}  {name:<18}{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
-            )
+            _timed_pair(name, n, "int", mono_case, frag_case, repeats)
         mono, frag = _sort_pools(n)
         mono_value = mono.run(MIL_SORT_PIPELINE).value
         frag_value = frag.run(MIL_SORT_PIPELINE).value
         assert mono_value == frag_value, (mono_value, frag_value)
-        mono_ms = _timed(lambda: mono.run(MIL_SORT_PIPELINE), repeats)
-        frag_ms = _timed(lambda: frag.run(MIL_SORT_PIPELINE), repeats)
-        ratio = frag_ms / mono_ms if mono_ms else float("inf")
-        print(
-            f"{n:>12,}  {'unique+sort (MIL)':<18}"
-            f"{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
+        _timed_pair(
+            "unique+sort (MIL)",
+            n,
+            "int",
+            lambda: mono.run(MIL_SORT_PIPELINE),
+            lambda: frag.run(MIL_SORT_PIPELINE),
+            repeats,
         )
 
 
@@ -276,23 +352,150 @@ def _report_setops(sizes, verbose_header=True):
         ]
         for name, mono_case, frag_case in cases:
             assert mono_case().to_pairs() == frag_case().to_bat().to_pairs()
-            mono_ms = _timed(mono_case, repeats)
-            frag_ms = _timed(frag_case, repeats)
-            ratio = frag_ms / mono_ms if mono_ms else float("inf")
-            print(
-                f"{n:>12,}  {name:<18}{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
-            )
+            _timed_pair(name, n, "oid", mono_case, frag_case, repeats)
         mono, frag = _setops_pools(n)
         mono_value = mono.run(MIL_SETOPS_PIPELINE).value
         frag_value = frag.run(MIL_SETOPS_PIPELINE).value
         assert mono_value == frag_value, (mono_value, frag_value)
-        mono_ms = _timed(lambda: mono.run(MIL_SETOPS_PIPELINE), repeats)
-        frag_ms = _timed(lambda: frag.run(MIL_SETOPS_PIPELINE), repeats)
-        ratio = frag_ms / mono_ms if mono_ms else float("inf")
-        print(
-            f"{n:>12,}  {'kunion+sort (MIL)':<18}"
-            f"{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
+        _timed_pair(
+            "kunion+sort (MIL)",
+            n,
+            "oid",
+            lambda: mono.run(MIL_SETOPS_PIPELINE),
+            lambda: frag.run(MIL_SETOPS_PIPELINE),
+            repeats,
         )
+
+
+# ----------------------------------------------------------------------
+# String (object-dtype) operators: the executor-backend benchmark
+#
+# These are the operators fragmentation could not speed up before the
+# process backend existed: likeselect, str equality select and the
+# string membership probes run a Python-level scan that holds the GIL,
+# so the thread fan-out serializes.  The section times each one
+# monolithic vs fragmented-on-threads vs fragmented-on-processes and
+# is the measured basis for the per-dtype backend calibration.
+# ----------------------------------------------------------------------
+
+
+def _str_corpus(n, *, seed=17):
+    """A realistic annotation-word column: ~120 distinct words with a
+    uniform draw and a few percent NILs -- the text-attribute shape of
+    the paper's Section 3 retrieval scenario."""
+    rng = np.random.default_rng(seed)
+    stems = [
+        "alpha", "bridge", "castle", "dolphin", "engine", "forest",
+        "garden", "harbor", "island", "jungle", "kernel", "lantern",
+        "meadow", "nectar", "orchard", "pyramid", "quartz", "river",
+        "summit", "tunnel",
+    ]
+    suffixes = ["", "s", "ing", "ed", "ly", "ation"]
+    vocabulary = [stem + suffix for stem in stems for suffix in suffixes]
+    picks = rng.integers(0, len(vocabulary), n)
+    values = np.empty(n, dtype=object)
+    for position, pick in enumerate(picks.tolist()):
+        values[position] = vocabulary[pick]
+    if n:
+        values[rng.random(n) < 0.02] = None
+    return values
+
+
+def _str_bat(n, *, seed=17):
+    return BAT(VoidColumn(0, n), Column("str", _str_corpus(n, seed=seed)))
+
+
+def _str_headed(n, *, seed=19):
+    """[str, int] shape for the membership (string-join) operators."""
+    return BAT(
+        Column("str", _str_corpus(n, seed=seed)),
+        Column("int", np.arange(n, dtype=np.int64)),
+    )
+
+
+def _report_strings(sizes, verbose_header=True):
+    """likeselect / str select / string membership under the thread and
+    process backends.  ``t/p > 1`` means the process backend won; on a
+    single-core host expect <= 1 (the offload overhead cannot be bought
+    back without real parallel hardware), which is exactly what the
+    per-dtype calibration measures and persists."""
+    process_ok = fr.get_backend("process").available()
+    if verbose_header:
+        print(
+            "E14: object-dtype operators, thread vs process backend "
+            f"(workers={WORKERS}, process backend "
+            f"{'available' if process_ok else 'UNAVAILABLE -- thread fallback'})"
+        )
+        print(
+            f"{'n':>12}  {'operator':<18}{'mono ms':>10}{'thread ms':>11}"
+            f"{'process ms':>12}{'t/p':>7}"
+        )
+    saved_min = fr.PROCESS_MIN_BUNS
+    fr.PROCESS_MIN_BUNS = 0
+    try:
+        for n in sizes:
+            repeats = 3
+            target = _policy(n).target_size
+            thread_policy = FragmentationPolicy(
+                target_size=target, backend="thread"
+            )
+            process_policy = FragmentationPolicy(
+                target_size=target, backend="process"
+            )
+            bat = _str_bat(n)
+            fb_thread = fragment_bat(bat, thread_policy)
+            fb_process = fragment_bat(bat, process_policy)
+            left = _str_headed(n)
+            fl_thread = fragment_bat(left, thread_policy)
+            fl_process = fragment_bat(left, process_policy)
+            right = _str_headed(max(1000, n // 4), seed=23)
+            cases = [
+                (
+                    "likeselect",
+                    lambda: kernel.likeselect(bat, "ing"),
+                    lambda: fr.likeselect(fb_thread, "ing", workers=WORKERS),
+                    lambda: fr.likeselect(fb_process, "ing", workers=WORKERS),
+                ),
+                (
+                    "select(str=)",
+                    lambda: kernel.select(bat, "rivers"),
+                    lambda: fr.select(fb_thread, "rivers", workers=WORKERS),
+                    lambda: fr.select(fb_process, "rivers", workers=WORKERS),
+                ),
+                (
+                    "kintersect(str)",
+                    lambda: kernel.kintersect(left, right),
+                    lambda: fr.kintersect(fl_thread, right, workers=WORKERS),
+                    lambda: fr.kintersect(fl_process, right, workers=WORKERS),
+                ),
+            ]
+            for name, mono_case, thread_case, process_case in cases:
+                expected = mono_case().to_pairs()
+                assert thread_case().to_bat().to_pairs() == expected
+                if process_ok:
+                    assert process_case().to_bat().to_pairs() == expected
+                mono_stats = _measure(mono_case, repeats)
+                _record(name, n, "monolithic", "str", mono_stats)
+                thread_stats = _measure(thread_case, repeats)
+                _record(name, n, "thread", "str", thread_stats)
+                if process_ok:
+                    process_stats = _measure(process_case, repeats)
+                    _record(name, n, "process", "str", process_stats)
+                    process_ms = process_stats["best_ms"]
+                    speedup = (
+                        thread_stats["best_ms"] / process_ms
+                        if process_ms
+                        else float("inf")
+                    )
+                    tail = f"{process_ms:>12.2f}{speedup:>7.2f}"
+                else:
+                    tail = f"{'n/a':>12}{'':>7}"
+                print(
+                    f"{n:>12,}  {name:<18}{mono_stats['best_ms']:>10.2f}"
+                    f"{thread_stats['best_ms']:>11.2f}{tail}"
+                )
+    finally:
+        fr.PROCESS_MIN_BUNS = saved_min
 
 
 # ----------------------------------------------------------------------
@@ -303,9 +506,14 @@ def _report_setops(sizes, verbose_header=True):
 def calibrate(verbose=True):
     """Measure operator cost across fragment sizes and the
     serial/parallel crossover, then install the winners as the module
-    defaults (:func:`repro.monet.fragments.set_default_tuning`).
+    defaults (:func:`repro.monet.fragments.set_default_tuning`),
+    including the per-dtype executor backend (threads for numeric,
+    processes for object-dtype predicates above a measured BUN
+    threshold -- see :func:`_calibrate_backend`).
 
-    Returns ``(fragment_size, parallel_min, merge_fanout)``."""
+    Returns
+    ``(fragment_size, parallel_min, merge_fanout, backend, process_min)``.
+    """
     n = 200_000 if FAST else 2_000_000
     candidates = [16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
     if FAST:
@@ -354,13 +562,75 @@ def calibrate(verbose=True):
         if ms < best_sort_ms:
             best_fanout, best_sort_ms = fanout, ms
     fr.set_default_tuning(merge_fanout=best_fanout)
+    backend, process_min = _calibrate_backend(repeats, best_size, verbose=verbose)
+    fr.set_default_tuning(backend=backend, process_min=process_min)
     if verbose:
         print(
             f"calibrated: fragment_size={best_size:,} "
             f"parallel_min={parallel_min:,} merge_fanout={best_fanout} "
+            f"backend={backend} process_min={process_min:,} "
             "(installed as defaults)"
         )
-    return best_size, parallel_min, best_fanout
+    return best_size, parallel_min, best_fanout, backend, process_min
+
+
+def _calibrate_backend(repeats, fragment_size, *, verbose=True):
+    """Per-dtype executor backend: time the canonical GIL-bound str
+    predicate (likeselect) fragmented on threads vs on processes.
+
+    Numeric operators never leave the thread pool (numpy's kernels
+    release the GIL there, and the shared-memory export would be pure
+    overhead), so the decision is made on object-dtype work only: if
+    processes win at the headline size, the backend switches to
+    ``process`` and the smallest measured size where they already win
+    becomes the offload threshold ``process_min``; otherwise the
+    backend stays ``thread``."""
+    if not fr.get_backend("process").available():
+        if verbose:
+            print("calibration: process backend unavailable; keeping threads")
+        return "thread", fr.PROCESS_MIN_BUNS
+    n = 100_000 if FAST else 1_000_000
+    saved_min = fr.PROCESS_MIN_BUNS
+    fr.PROCESS_MIN_BUNS = 0
+    try:
+        if verbose:
+            print(f"calibration: str likeselect over {n:,} BUNs")
+            print(f"{'n':>16}{'thread ms':>12}{'process ms':>12}")
+
+        def time_both(size):
+            bat = _str_bat(size)
+            thread_fb = fragment_bat(
+                bat, FragmentationPolicy(target_size=fragment_size, backend="thread")
+            )
+            process_fb = fragment_bat(
+                bat, FragmentationPolicy(target_size=fragment_size, backend="process")
+            )
+            thread_ms = _timed(
+                lambda: fr.likeselect(thread_fb, "ing", workers=WORKERS), repeats
+            )
+            process_ms = _timed(
+                lambda: fr.likeselect(process_fb, "ing", workers=WORKERS), repeats
+            )
+            if verbose:
+                print(f"{size:>16,}{thread_ms:>12.2f}{process_ms:>12.2f}")
+            return thread_ms, process_ms
+
+        thread_ms, process_ms = time_both(n)
+        if process_ms >= thread_ms:
+            return "thread", saved_min
+        # Processes win at the headline size: the threshold is the
+        # smallest probed size where they already break even.
+        process_min = n
+        for size in (16 * 1024, 64 * 1024, 256 * 1024):
+            if size >= n:
+                break
+            small_thread_ms, small_process_ms = time_both(size)
+            if small_process_ms <= small_thread_ms:
+                process_min = size
+                break
+        return "process", process_min
+    finally:
+        fr.PROCESS_MIN_BUNS = saved_min
 
 
 # ----------------------------------------------------------------------
@@ -470,14 +740,16 @@ def _report_mil(sizes, verbose_header=True):
     for n in sizes:
         repeats = 2 if n >= 10**7 else 5
         mono, frag = _mil_pools(n)
-        mono_ms = _timed(lambda: mono.run(MIL_PIPELINE), repeats)
-        frag_ms = _timed(lambda: frag.run(MIL_PIPELINE), repeats)
         mono_value = mono.run(MIL_PIPELINE).value
         frag_value = frag.run(MIL_PIPELINE).value
         assert abs(mono_value - frag_value) <= 1e-6 * max(1.0, abs(mono_value))
-        ratio = frag_ms / mono_ms if mono_ms else float("inf")
-        print(
-            f"{n:>12,}  {'mil-pipeline':<18}{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
+        _timed_pair(
+            "mil-pipeline",
+            n,
+            "oid",
+            lambda: mono.run(MIL_PIPELINE),
+            lambda: frag.run(MIL_PIPELINE),
+            repeats,
         )
 
 
@@ -512,26 +784,21 @@ def report():
             ),
         ]
         for name, mono, frag in cases:
-            mono_ms = _timed(mono, repeats)
-            frag_ms = _timed(frag, repeats)
-            ratio = frag_ms / mono_ms if mono_ms else float("inf")
-            print(f"{n:>12,}  {name:<18}{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}")
+            _timed_pair(name, n, "int", mono, frag, repeats)
 
         # IR scoring: postings scale with documents.
         n_docs = max(100, n // 100)
         index = InvertedIndex(_index(n_docs, 20))
         query = ["term1", "term42", "term123", "term400"]
-        mono_ms = _timed(lambda: index.score_sum(query), repeats)
-        frag_ms = _timed(
+        _timed_pair(
+            "ir-score",
+            index.posting_count,
+            "int",
+            lambda: index.score_sum(query),
             lambda: index.score_sum_parallel(
                 query, fragment_size=_policy(index.posting_count).target_size
             ),
             repeats,
-        )
-        ratio = frag_ms / mono_ms if mono_ms else float("inf")
-        print(
-            f"{index.posting_count:>12,}  {'ir-score':<18}"
-            f"{mono_ms:>10.2f}{frag_ms:>10.2f}{ratio:>8.2f}"
         )
 
     # The fragment-aware MIL interpreter, end to end (>= 1M BUNs in the
@@ -540,9 +807,16 @@ def report():
     _report_mil(mil_sizes)
     _report_sort([10**5] if FAST else [10**6])
     _report_setops([10**5] if FAST else [10**6])
+    _report_strings([5 * 10**4] if FAST else [10**6])
 
 
 if __name__ == "__main__":
+    json_path = None
+    if "--json" in sys.argv:
+        index = sys.argv.index("--json")
+        if index + 1 >= len(sys.argv) or sys.argv[index + 1].startswith("--"):
+            sys.exit("--json needs an output path")
+        json_path = sys.argv[index + 1]
     if "--calibrate" in sys.argv:
         calibrate()
     elif "--mil" in sys.argv:
@@ -554,5 +828,10 @@ if __name__ == "__main__":
     elif "--setops" in sys.argv:
         calibrate(verbose=False)
         _report_setops([10**5] if FAST else [10**6])
+    elif "--strings" in sys.argv:
+        calibrate(verbose=False)
+        _report_strings([5 * 10**4] if FAST else [10**6])
     else:
         report()
+    if json_path:
+        write_json(json_path)

@@ -14,7 +14,7 @@ spaces, ready to be indexed by a ``CONTREP<Image>`` attribute.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Sequence
 
 import numpy as np
 

@@ -18,8 +18,8 @@ clusters ... used as if they are words in text retrieval" (section 5.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 

@@ -8,7 +8,6 @@ baseline of the clustering benchmark E8 -- the design-choice ablation
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 

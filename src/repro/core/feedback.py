@@ -22,8 +22,8 @@ Two mechanisms are implemented:
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.core.library import DigitalLibrary
 from repro.ir.tokenize import analyze

@@ -23,7 +23,7 @@ Concrete daemons (matching section 5.1's inventory):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

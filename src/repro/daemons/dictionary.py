@@ -9,7 +9,7 @@ management of meta data and the parties that create these meta data").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.moa.ddl import parse_define, render_define

@@ -8,7 +8,7 @@ through the metadata database, which only holds content
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.multimedia.image import Image
 

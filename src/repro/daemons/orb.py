@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import copy
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 

@@ -16,13 +16,13 @@ Document ids are dense 0..N-1, the per-collection oid discipline of
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ir.beliefs import BeliefParameters, DEFAULT_PARAMETERS, beliefs_array
 from repro.ir.stats import CollectionStats
-from repro.monet.bat import BAT, Column, VoidColumn, dense_bat
+from repro.monet.bat import BAT, Column, VoidColumn
 from repro.monet.bbp import BATBufferPool
 from repro.monet import fragments
 from repro.monet.fragments import map_fragments

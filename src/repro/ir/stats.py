@@ -18,7 +18,7 @@ BATs living in a buffer pool (:meth:`CollectionStats.from_pool`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping
 
 import numpy as np
 
@@ -58,7 +58,7 @@ class CollectionStats:
     def from_pool(cls, pool: BATBufferPool, prefix: str) -> "CollectionStats":
         """Gather statistics from the CONTREP BATs under *prefix*
         (``<collection>.<attr>``); see the CONTREP mapper for layout."""
-        owner = pool.lookup(f"{prefix}.owner")
+        pool.lookup(f"{prefix}.owner")  # existence check: the mapper always writes it
         term = pool.lookup(f"{prefix}.term")
         tf = pool.lookup(f"{prefix}.tf")
         doclen = pool.lookup(f"{prefix}.doclen")

@@ -16,7 +16,7 @@ Every node gets a ``ty`` slot filled in by the type checker.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.moa.types import MoaType
 

@@ -34,22 +34,14 @@ probabilistic operators at the physical level" of section 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.moa import ast
 from repro.moa.errors import MoaCompileError
 from repro.moa.functions import function_spec
-from repro.moa.mapping import EXTENT_SUFFIX, INDEX_SUFFIX, NEST_SUFFIX, VALUE_SUFFIX
-from repro.moa.types import (
-    AtomicType,
-    ListType,
-    MoaType,
-    SetType,
-    StatsType,
-    TupleType,
-    is_collection,
-)
+from repro.moa.mapping import EXTENT_SUFFIX, NEST_SUFFIX, VALUE_SUFFIX
+from repro.moa.types import AtomicType, ListType, MoaType, SetType, TupleType, is_collection
 from repro.monet.multiplex import scalar_op
 
 # ----------------------------------------------------------------------
@@ -746,7 +738,7 @@ class Compiler:
             atom = node.ty.atom if isinstance(node.ty, AtomicType) else "dbl"
             return CompiledScalar(var, atom)
         raise MoaCompileError(
-            f"top-level expression of type "
+            "top-level expression of type "
             f"{node.ty.render() if node.ty else '?'} is not compilable; "
             "expected a collection or an aggregate over one"
         )

@@ -16,7 +16,7 @@ the paper exactly.  Structures are resolved through the registry in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.moa.errors import MoaParseError, MoaTypeError
 from repro.moa.lexer import Token, tokenize

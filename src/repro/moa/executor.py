@@ -92,7 +92,13 @@ class MoaExecutor:
     fragment-aware: plans over fragmented attributes run their hot
     operators fragment-parallel end-to-end (``fragment_policy`` is
     threaded through to govern intermediate re-fragmentation), and only
-    the final result reconstruction materializes.
+    the final result reconstruction materializes.  The policy also
+    carries the *executor backend* choice: ``FragmentationPolicy
+    (backend="process")`` pins this executor's plans to the
+    process-pool backend for GIL-bound object-dtype (str) predicates,
+    while ``backend=None`` (the default) follows the live module
+    default (``REPRO_EXECUTOR_BACKEND`` / calibrated tuning persisted
+    in the BBP catalog).
     """
 
     def __init__(

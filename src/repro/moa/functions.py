@@ -22,15 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.moa.errors import MoaTypeError
-from repro.moa.types import (
-    AtomicType,
-    ListType,
-    MoaType,
-    SetType,
-    is_collection,
-    element_type,
-    is_numeric_atomic,
-)
+from repro.moa.types import AtomicType, MoaType, is_collection, element_type, is_numeric_atomic
 
 TypecheckHook = Callable[[Sequence[MoaType]], MoaType]
 InterpretHook = Callable[[List[Any], Any], Any]

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -40,7 +40,7 @@ from repro.moa.types import (
     SetType,
     TupleType,
 )
-from repro.monet.bat import BAT, Column, VoidColumn, column_from_values, dense_bat
+from repro.monet.bat import BAT, Column, VoidColumn, dense_bat
 from repro.monet.bbp import BATBufferPool
 from repro.monet.fragments import FragmentationPolicy, fragment_bat
 

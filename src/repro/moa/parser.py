@@ -26,7 +26,7 @@ the paper writes them.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.moa import ast
 from repro.moa.errors import MoaParseError

@@ -22,7 +22,7 @@ through the registries, exactly the open-system claim of section 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.ir.beliefs import DEFAULT_PARAMETERS, belief_list
 from repro.ir.stats import CollectionStats
@@ -192,7 +192,7 @@ def _tc_getbl(arg_types):
     contrep, query, stats = arg_types
     if not isinstance(contrep, ContrepType):
         raise MoaTypeError(
-            f"getBL's first argument must be a CONTREP attribute, "
+            "getBL's first argument must be a CONTREP attribute, "
             f"got {contrep.render()}"
         )
     query_ok = (

@@ -9,18 +9,16 @@ rewrites nodes as it types them.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.moa import ast
 from repro.moa.errors import MoaTypeError
-from repro.moa.functions import function_spec, has_function
+from repro.moa.functions import function_spec
 from repro.moa.types import (
     AtomicType,
     ListType,
     MoaType,
     SetType,
-    StatsType,
     TupleType,
     common_numeric,
     element_type,

@@ -20,8 +20,8 @@ Logical base types are names like ``URL``, ``Text``, ``Image``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 from repro.moa.errors import MoaTypeError
 

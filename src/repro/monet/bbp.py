@@ -200,6 +200,8 @@ class BATBufferPool:
                 "fragment_size": tuning["fragment_size"],
                 "parallel_min": tuning["parallel_min"],
                 "merge_fanout": tuning["merge_fanout"],
+                "backend": tuning["backend"],
+                "process_min": tuning["process_min"],
             }
         entries = sorted(self._all_names())
         for index, name in enumerate(entries):
@@ -278,7 +280,9 @@ def _install_persisted_tuning(tuning: dict) -> None:
     """Reinstall calibrated fragment tuning found next to a catalog, so
     a restarted server skips the measurement pass.  Explicit
     environment overrides (``REPRO_FRAGMENT_SIZE`` /
-    ``REPRO_PARALLEL_MIN_BUNS``) win over persisted values."""
+    ``REPRO_PARALLEL_MIN_BUNS`` / ``REPRO_MERGE_FANOUT`` /
+    ``REPRO_EXECUTOR_BACKEND`` / ``REPRO_PROCESS_MIN_BUNS``) win over
+    persisted values, knob by knob."""
     import os
 
     fragment_size = (
@@ -292,11 +296,22 @@ def _install_persisted_tuning(tuning: dict) -> None:
     merge_fanout = (
         None if os.environ.get("REPRO_MERGE_FANOUT") else tuning.get("merge_fanout")
     )
-    if fragment_size is not None or parallel_min is not None or merge_fanout is not None:
+    backend = (
+        None if os.environ.get("REPRO_EXECUTOR_BACKEND") else tuning.get("backend")
+    )
+    process_min = (
+        None
+        if os.environ.get("REPRO_PROCESS_MIN_BUNS")
+        else tuning.get("process_min")
+    )
+    values = (fragment_size, parallel_min, merge_fanout, backend, process_min)
+    if any(value is not None for value in values):
         _fragments.set_default_tuning(
             fragment_size=fragment_size,
             parallel_min=parallel_min,
             merge_fanout=merge_fanout,
+            backend=backend,
+            process_min=process_min,
         )
 
 

@@ -12,7 +12,6 @@ paper's ranking queries).
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

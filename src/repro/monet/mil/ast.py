@@ -7,7 +7,7 @@ node carries the source line for error reporting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Union
+from typing import Any, List, Union
 
 
 @dataclass

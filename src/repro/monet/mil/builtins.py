@@ -24,6 +24,16 @@ Two layers live here:
   coalesce their fragmented arguments first, so every MIL program stays
   valid over fragmented BATs.
 
+The dispatch layer is also where the *executor backend* selection of
+:mod:`repro.monet.fragments` takes effect: the
+:class:`~repro.monet.fragments.FragmentationPolicy` threaded in from
+``MirrorDBMS``/``MoaExecutor`` (and applied to drifted intermediates
+here) carries an optional pinned backend, and every fragment-parallel
+implementation resolves it -- or the live module default
+(``REPRO_EXECUTOR_BACKEND`` / calibrated tuning) -- per call, so one
+MIL program can run its GIL-bound object-dtype predicates on the
+process pool while everything numeric stays on threads.
+
 Arity is enforced uniformly: every builtin carries a signature entry,
 and a wrong argument count raises :class:`MILRuntimeError` naming the
 expected signature and the received count (method-style misuse like
@@ -177,14 +187,26 @@ _PLAIN: Dict[str, Callable[..., Any]] = {
     "select": _select,
     "uselect": _uselect,
     "likeselect": lambda b, p: kernel.likeselect(_require_bat(b, "likeselect"), str(p)),
-    "join": lambda l, r: kernel.join(_require_bat(l, "join"), _require_bat(r, "join")),
-    "leftjoin": lambda l, r: kernel.join(_require_bat(l, "leftjoin"), _require_bat(r, "leftjoin")),
-    "fetchjoin": lambda l, r: kernel.fetchjoin(_require_bat(l, "fetchjoin"), _require_bat(r, "fetchjoin")),
-    "outerjoin": lambda l, r: kernel.outerjoin(_require_bat(l, "outerjoin"), _require_bat(r, "outerjoin")),
-    "semijoin": lambda l, r: kernel.semijoin(_require_bat(l, "semijoin"), _require_bat(r, "semijoin")),
-    "kdiff": lambda l, r: kernel.kdiff(_require_bat(l, "kdiff"), _require_bat(r, "kdiff")),
-    "kunion": lambda l, r: kernel.kunion(_require_bat(l, "kunion"), _require_bat(r, "kunion")),
-    "kintersect": lambda l, r: kernel.kintersect(_require_bat(l, "kintersect"), _require_bat(r, "kintersect")),
+    "join": lambda a, b: kernel.join(_require_bat(a, "join"), _require_bat(b, "join")),
+    "leftjoin": lambda a, b: kernel.join(
+        _require_bat(a, "leftjoin"), _require_bat(b, "leftjoin")
+    ),
+    "fetchjoin": lambda a, b: kernel.fetchjoin(
+        _require_bat(a, "fetchjoin"), _require_bat(b, "fetchjoin")
+    ),
+    "outerjoin": lambda a, b: kernel.outerjoin(
+        _require_bat(a, "outerjoin"), _require_bat(b, "outerjoin")
+    ),
+    "semijoin": lambda a, b: kernel.semijoin(
+        _require_bat(a, "semijoin"), _require_bat(b, "semijoin")
+    ),
+    "kdiff": lambda a, b: kernel.kdiff(_require_bat(a, "kdiff"), _require_bat(b, "kdiff")),
+    "kunion": lambda a, b: kernel.kunion(
+        _require_bat(a, "kunion"), _require_bat(b, "kunion")
+    ),
+    "kintersect": lambda a, b: kernel.kintersect(
+        _require_bat(a, "kintersect"), _require_bat(b, "kintersect")
+    ),
     "reverse": lambda b: _require_bat(b, "reverse").reverse(),
     "mirror": lambda b: _require_bat(b, "mirror").mirror(),
     "mark": _mark,
@@ -197,7 +219,9 @@ _PLAIN: Dict[str, Callable[..., Any]] = {
     "slice": _slice,
     "topn": _topn,
     "group": lambda b: groups.group(_require_bat(b, "group")),
-    "refine": lambda g, b: groups.refine(_require_bat(g, "refine"), _require_bat(b, "refine")),
+    "refine": lambda g, b: groups.refine(
+        _require_bat(g, "refine"), _require_bat(b, "refine")
+    ),
     "group_sizes": lambda g: groups.group_sizes(_require_bat(g, "group_sizes")),
     "group_representatives": lambda g, b: groups.group_representatives(
         _require_bat(g, "group_representatives"), _require_bat(b, "group_representatives")

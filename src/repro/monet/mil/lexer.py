@@ -18,7 +18,7 @@ Comments: ``#`` to end of line.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from repro.monet.errors import MILSyntaxError
 

@@ -18,7 +18,7 @@ emits aligned multiplexes; the check is a guard against compiler bugs.)
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Sequence, Union
+from typing import Any, Dict, Union
 
 import numpy as np
 

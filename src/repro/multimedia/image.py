@@ -8,7 +8,6 @@ self-contained and binary-exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np

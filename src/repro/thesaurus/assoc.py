@@ -20,8 +20,8 @@ learning techniques to adapt the thesaurus").
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.thesaurus.cooccurrence import CooccurrenceCounts
 

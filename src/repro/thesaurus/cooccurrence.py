@@ -10,7 +10,7 @@ in the same document.  These counts feed the EMIM association scores in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 
 @dataclass

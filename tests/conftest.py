@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.mirror import MirrorDBMS
-from repro.ir.stats import CollectionStats
 from repro.moa.structures.contrep import ContentRepresentation
 from repro.monet.bbp import BATBufferPool
 

@@ -1,6 +1,5 @@
 """The section 5.2 intermediate schema, materialized by the pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.core.library import DigitalLibrary, intermediate_ddl

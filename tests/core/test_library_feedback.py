@@ -97,7 +97,6 @@ class TestFeedback:
         ][:2]
         update = feedback.update_query([], relevant, [])
         assert update.added
-        forest_tokens = set(library.tokens_for(relevant[0]))
         assert set(update.added) <= set(
             t for url in relevant for t in library.tokens_for(url)
         )
@@ -128,7 +127,7 @@ class TestFeedback:
         nonrelevant = [
             r.url for r in initial if r.true_class != "sunset_beach"
         ]
-        improved = session.give_feedback(relevant, nonrelevant)
+        session.give_feedback(relevant, nonrelevant)
         assert len(session.rounds) == 2
         # Precision must not collapse after positive feedback.
         before = session.precision_at(4, "sunset_beach", 0)

@@ -5,7 +5,7 @@ import pytest
 from repro.core.mirror import MirrorDBMS
 from repro.moa.errors import MoaTypeError
 
-from tests.conftest import ANNOTATED_DOCS, SECTION3_QUERY, TRADITIONAL_DDL
+from tests.conftest import ANNOTATED_DOCS, SECTION3_QUERY
 
 
 class TestDDL:

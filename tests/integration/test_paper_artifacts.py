@@ -5,14 +5,8 @@ Every schema and query string below is copied from the paper (sections
 ground truth.
 """
 
-import pytest
 
-from repro.core.library import (
-    CONTENT_QUERY,
-    IMAGE_LIBRARY_DDL,
-    IMAGE_LIBRARY_INTERNAL_DDL,
-    DigitalLibrary,
-)
+from repro.core.library import IMAGE_LIBRARY_DDL, IMAGE_LIBRARY_INTERNAL_DDL, DigitalLibrary
 from repro.core.mirror import MirrorDBMS
 from repro.multimedia.webrobot import WebRobot
 

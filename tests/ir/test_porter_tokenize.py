@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ir.porter import stem
-from repro.ir.tokenize import STOPWORDS, analyze, analyze_terms, tokenize
+from repro.ir.tokenize import analyze, analyze_terms, tokenize
 
 
 class TestPorterClassics:

@@ -5,7 +5,6 @@ import pytest
 from repro.core.mirror import MirrorDBMS
 from repro.moa.errors import MoaCompileError
 
-from tests.conftest import SECTION3_QUERY
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ Includes hypothesis-driven random data: same schema, random rows,
 a fixed battery of queries, results compared exactly.
 """
 
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -86,7 +85,9 @@ def test_compiled_equals_interpreted(rows, codes, query):
     compiled = db.query(query).value
     interpreted = db.executor.execute_interpreted(query, data)
     if query.startswith(("join", "semijoin")):
-        key = lambda r: sorted(r.items())
+        def key(row):
+            return sorted(row.items())
+
         assert sorted(_normalize(compiled), key=key) == sorted(
             _normalize(interpreted), key=key
         )

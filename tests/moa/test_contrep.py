@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.ir.stats import CollectionStats
 from repro.moa.errors import MoaCompileError, MoaTypeError
 from repro.moa.structures.contrep import ContentRepresentation, ContrepType
 

@@ -30,7 +30,7 @@ def _scalar(depth):
     return st.one_of(
         leaves,
         st.builds(
-            lambda op, l, r: ast.BinOp(op=op, left=l, right=r),
+            lambda op, lhs, rhs: ast.BinOp(op=op, left=lhs, right=rhs),
             st.sampled_from(["+", "-", "*"]),
             _scalar(depth - 1),
             _scalar(depth - 1),
@@ -43,7 +43,7 @@ def _scalar(depth):
 
 def _predicate(depth):
     comparison = st.builds(
-        lambda op, l, r: ast.BinOp(op=op, left=l, right=r),
+        lambda op, lhs, rhs: ast.BinOp(op=op, left=lhs, right=rhs),
         st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
         _scalar(depth),
         _scalar(depth),
@@ -53,7 +53,7 @@ def _predicate(depth):
     return st.one_of(
         comparison,
         st.builds(
-            lambda op, l, r: ast.BinOp(op=op, left=l, right=r),
+            lambda op, lhs, rhs: ast.BinOp(op=op, left=lhs, right=rhs),
             st.sampled_from(["and", "or"]),
             _predicate(depth - 1),
             _predicate(depth - 1),

@@ -3,15 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.monet.bat import (
-    BAT,
-    Column,
-    VoidColumn,
-    bat_from_pairs,
-    column_from_values,
-    dense_bat,
-    empty_bat,
-)
+from repro.monet.bat import BAT, VoidColumn, bat_from_pairs, column_from_values, dense_bat, empty_bat
 from repro.monet.errors import BATError
 
 

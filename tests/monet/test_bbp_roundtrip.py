@@ -120,18 +120,35 @@ def test_fragmented_roundtrip_preserves_oid_sequence(pool, tmp_path):
     assert loaded.oid_generator.current >= 120
 
 
+def _tuning_state(fragments):
+    return (
+        fragments.DEFAULT_FRAGMENT_SIZE,
+        fragments.PARALLEL_MIN_BUNS,
+        fragments.MERGE_FANOUT,
+        fragments.DEFAULT_BACKEND,
+        fragments.PROCESS_MIN_BUNS,
+        fragments._TUNING_MEASURED,
+    )
+
+
+def _restore_tuning(fragments, state):
+    (
+        fragments.DEFAULT_FRAGMENT_SIZE,
+        fragments.PARALLEL_MIN_BUNS,
+        fragments.MERGE_FANOUT,
+        fragments.DEFAULT_BACKEND,
+        fragments.PROCESS_MIN_BUNS,
+        fragments._TUNING_MEASURED,
+    ) = state
+
+
 def test_calibrated_tuning_roundtrip(pool, tmp_path):
     """Measured fragment tuning persists next to the catalog and is
     reinstalled on load, so a restarted server skips the measurement
     pass.  Cores-derived (unmeasured) defaults are never written."""
     from repro.monet import fragments
 
-    saved_state = (
-        fragments.DEFAULT_FRAGMENT_SIZE,
-        fragments.PARALLEL_MIN_BUNS,
-        fragments.MERGE_FANOUT,
-        fragments._TUNING_MEASURED,
-    )
+    saved_state = _tuning_state(fragments)
     try:
         pool.register("x", dense_bat("int", [1, 2, 3]))
         pool.save(tmp_path / "db")
@@ -141,7 +158,11 @@ def test_calibrated_tuning_roundtrip(pool, tmp_path):
         assert "tuning" not in catalog  # unmeasured defaults stay local
 
         fragments.set_default_tuning(
-            fragment_size=12345, parallel_min=67890, merge_fanout=24
+            fragment_size=12345,
+            parallel_min=67890,
+            merge_fanout=24,
+            backend="process",
+            process_min=4096,
         )
         pool.save(tmp_path / "db2")
         catalog = json.loads((tmp_path / "db2" / "catalog.json").read_text())
@@ -149,59 +170,59 @@ def test_calibrated_tuning_roundtrip(pool, tmp_path):
             "fragment_size": 12345,
             "parallel_min": 67890,
             "merge_fanout": 24,
+            "backend": "process",
+            "process_min": 4096,
         }
 
         # A "restart": reset the module defaults, then load the pool.
-        (
-            fragments.DEFAULT_FRAGMENT_SIZE,
-            fragments.PARALLEL_MIN_BUNS,
-            fragments.MERGE_FANOUT,
-            fragments._TUNING_MEASURED,
-        ) = saved_state
+        _restore_tuning(fragments, saved_state)
         BATBufferPool.load(tmp_path / "db2")
         assert fragments.DEFAULT_FRAGMENT_SIZE == 12345
         assert fragments.PARALLEL_MIN_BUNS == 67890
         assert fragments.MERGE_FANOUT == 24
+        assert fragments.DEFAULT_BACKEND == "process"
+        assert fragments.PROCESS_MIN_BUNS == 4096
         assert fragments.default_tuning()["measured"]
         # Policies made after the load pick the persisted value up.
         assert FragmentationPolicy().target_size == 12345
     finally:
-        (
-            fragments.DEFAULT_FRAGMENT_SIZE,
-            fragments.PARALLEL_MIN_BUNS,
-            fragments.MERGE_FANOUT,
-            fragments._TUNING_MEASURED,
-        ) = saved_state
+        _restore_tuning(fragments, saved_state)
 
 
 def test_persisted_tuning_yields_to_env_overrides(pool, tmp_path, monkeypatch):
     from repro.monet import fragments
 
-    saved_state = (
-        fragments.DEFAULT_FRAGMENT_SIZE,
-        fragments.PARALLEL_MIN_BUNS,
-        fragments.MERGE_FANOUT,
-        fragments._TUNING_MEASURED,
-    )
+    saved_state = _tuning_state(fragments)
     try:
         pool.register("x", dense_bat("int", [1]))
         fragments.set_default_tuning(fragment_size=11111, parallel_min=22222)
         pool.save(tmp_path / "db")
-        (
-            fragments.DEFAULT_FRAGMENT_SIZE,
-            fragments.PARALLEL_MIN_BUNS,
-            fragments.MERGE_FANOUT,
-            fragments._TUNING_MEASURED,
-        ) = saved_state
+        _restore_tuning(fragments, saved_state)
         monkeypatch.setenv("REPRO_FRAGMENT_SIZE", "9999")
         BATBufferPool.load(tmp_path / "db")
         # The env-pinned knob is untouched; the other one installs.
         assert fragments.DEFAULT_FRAGMENT_SIZE == saved_state[0]
         assert fragments.PARALLEL_MIN_BUNS == 22222
     finally:
-        (
-            fragments.DEFAULT_FRAGMENT_SIZE,
-            fragments.PARALLEL_MIN_BUNS,
-            fragments.MERGE_FANOUT,
-            fragments._TUNING_MEASURED,
-        ) = saved_state
+        _restore_tuning(fragments, saved_state)
+
+
+def test_persisted_backend_yields_to_env_override(pool, tmp_path, monkeypatch):
+    """REPRO_EXECUTOR_BACKEND beats a persisted (calibrated) backend:
+    the operator can always pin the executor of a restarted server."""
+    from repro.monet import fragments
+
+    saved_state = _tuning_state(fragments)
+    try:
+        pool.register("x", dense_bat("int", [1]))
+        fragments.set_default_tuning(backend="process", process_min=1234)
+        pool.save(tmp_path / "db")
+        _restore_tuning(fragments, saved_state)
+        fragments.DEFAULT_BACKEND = "thread"
+        monkeypatch.setenv("REPRO_EXECUTOR_BACKEND", "thread")
+        BATBufferPool.load(tmp_path / "db")
+        # The env-pinned backend is untouched; process_min installs.
+        assert fragments.DEFAULT_BACKEND == "thread"
+        assert fragments.PROCESS_MIN_BUNS == 1234
+    finally:
+        _restore_tuning(fragments, saved_state)

@@ -34,6 +34,21 @@ from repro.monet.groups import group
 
 N_CASES = 60
 STRATEGIES = ("range", "roundrobin")
+BACKENDS = ("thread", "process")
+
+
+@pytest.fixture(params=BACKENDS)
+def exec_backend(request, monkeypatch):
+    """Run the decorated differential test under both executor
+    backends.  The offload threshold drops to zero so even the tiny
+    differential BATs take the process path (object-dtype predicates
+    ship through shared memory; numeric work stays on threads by the
+    per-dtype rule) -- both backends must be BUN-identical."""
+    if request.param == "process" and not fr.get_backend("process").available():
+        pytest.skip("process backend unavailable on this platform")
+    monkeypatch.setattr(fr, "DEFAULT_BACKEND", request.param)
+    monkeypatch.setattr(fr, "PROCESS_MIN_BUNS", 0)
+    return request.param
 
 
 # ----------------------------------------------------------------------
@@ -243,7 +258,7 @@ def _check_op(monolithic: BAT, reference, fragmented_results) -> None:
 
 
 @pytest.mark.parametrize("seed", range(N_CASES))
-def test_select_family_differential(seed):
+def test_select_family_differential(seed, exec_backend):
     rng = np.random.default_rng(seed)
     ttype = ("int", "dbl", "oid", "str")[seed % 4]
     bat = _random_bat(rng, ttype)
@@ -915,12 +930,14 @@ def _ref_kdiff_comparison(pairs, right_pairs):
 
 
 @pytest.mark.parametrize("seed", range(N_CASES))
-def test_set_operators_differential(seed):
+def test_set_operators_differential(seed, exec_backend):
     """kunion/kintersect (identity rule) and semijoin/kdiff (comparison
     rule) over NIL-heavy heads: monolithic vs identity/comparison
     references vs fragmented execution -- fragmented left against
     monolithic, same-strategy fragmented, and cross-strategy fragmented
-    right operands."""
+    right operands.  Parametrized over the executor backends: the str
+    head seeds drive the membership builds and probes through the
+    process pool."""
     rng = np.random.default_rng(1500 + seed)
     htype = ("int", "dbl", "str", "oid")[seed % 4]
     n_left = int(rng.choice([0, 1, 2, 17, 64, 120]))

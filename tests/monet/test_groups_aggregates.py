@@ -1,6 +1,5 @@
 """Grouping and (pump) aggregation."""
 
-import math
 
 import pytest
 

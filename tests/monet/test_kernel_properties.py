@@ -5,7 +5,7 @@ implementation of its algebraic definition on random BUN lists --
 the contract the Moa compiler relies on.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.monet import kernel
