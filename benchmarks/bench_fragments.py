@@ -31,6 +31,7 @@ MIL pipeline only:  BENCH_FAST=1 python benchmarks/bench_fragments.py --mil
 Sort/unique only:   BENCH_FAST=1 python benchmarks/bench_fragments.py --sort
 Set operators only: BENCH_FAST=1 python benchmarks/bench_fragments.py --setops
 String (backend) only: BENCH_FAST=1 python benchmarks/bench_fragments.py --strings
+Grace join only:    BENCH_FAST=1 python benchmarks/bench_fragments.py --join
 Calibration only:   python benchmarks/bench_fragments.py --calibrate
 JSON artifact:      BENCH_FAST=1 python benchmarks/bench_fragments.py \\
                         --json BENCH_fragments.json
@@ -499,6 +500,128 @@ def _report_strings(sizes, verbose_header=True):
 
 
 # ----------------------------------------------------------------------
+# Grace join: fragmented-right radix-partitioned builds
+# ----------------------------------------------------------------------
+
+
+def _join_str_sides(n, *, seed=29):
+    """[void,str] probe side against a keyed [str,dbl] build side: the
+    object keyspace routes the radix split through the executor
+    backend, which is what the process-backend offload exists for."""
+    rng = np.random.default_rng(seed)
+    left = BAT(VoidColumn(0, n), Column("str", _str_corpus(n, seed=seed)))
+    vocabulary = [
+        word
+        for word in dict.fromkeys(_str_corpus(4000, seed=seed + 1).tolist())
+        if word is not None
+    ]
+    right = BAT(
+        Column("str", np.array(vocabulary, dtype=object)),
+        Column("dbl", np.round(rng.random(len(vocabulary)), 3)),
+        hkey=True,
+    )
+    return left, right
+
+
+def _report_join(sizes, verbose_header=True):
+    """Grace join with a *fragmented* right operand: monolithic vs the
+    thread and process backends, plus a spill-forced run (every
+    partition staged through BBP spill units) to price the
+    larger-than-memory path."""
+    process_ok = fr.get_backend("process").available()
+    if verbose_header:
+        print(
+            "E15: grace join, fragmented build side "
+            f"(workers={WORKERS}, fanout={fr.JOIN_FANOUT}, process backend "
+            f"{'available' if process_ok else 'UNAVAILABLE -- thread fallback'})"
+        )
+        print(
+            f"{'n':>12}  {'operator':<18}{'mono ms':>10}{'thread ms':>11}"
+            f"{'process ms':>12}{'t/p':>7}"
+        )
+    saved_min = fr.PROCESS_MIN_BUNS
+    fr.PROCESS_MIN_BUNS = 0
+    try:
+        for n in sizes:
+            repeats = 2 if n >= 10**6 else 3
+            target = _policy(n).target_size
+            thread_policy = FragmentationPolicy(
+                target_size=target, backend="thread"
+            )
+            process_policy = FragmentationPolicy(
+                target_size=target, backend="process"
+            )
+            left, right = _join_sides(n)
+            sleft, sright = _join_str_sides(n)
+            cases = [
+                ("join(oid)", "oid", left, right),
+                ("join(str)", "str", sleft, sright),
+            ]
+            oid_mono_stats = None
+            for name, dtype, probe, build in cases:
+                fl_thread = fragment_bat(probe, thread_policy)
+                fb_thread = fragment_bat(build, thread_policy)
+                fl_process = fragment_bat(probe, process_policy)
+                fb_process = fragment_bat(build, process_policy)
+                expected = kernel.join(probe, build).to_pairs()
+                assert fr.join(fl_thread, fb_thread).to_bat().to_pairs() == expected
+                mono_stats = _measure(lambda: kernel.join(probe, build), repeats)
+                _record(name, n, "monolithic", dtype, mono_stats)
+                thread_stats = _measure(
+                    lambda: fr.join(fl_thread, fb_thread, workers=WORKERS), repeats
+                )
+                _record(name, n, "thread", dtype, thread_stats)
+                if name == "join(oid)":
+                    oid_mono_stats = mono_stats
+                if process_ok:
+                    assert (
+                        fr.join(fl_process, fb_process).to_bat().to_pairs()
+                        == expected
+                    )
+                    process_stats = _measure(
+                        lambda: fr.join(fl_process, fb_process, workers=WORKERS),
+                        repeats,
+                    )
+                    _record(name, n, "process", dtype, process_stats)
+                    process_ms = process_stats["best_ms"]
+                    speedup = (
+                        thread_stats["best_ms"] / process_ms
+                        if process_ms
+                        else float("inf")
+                    )
+                    tail = f"{process_ms:>12.2f}{speedup:>7.2f}"
+                else:
+                    tail = f"{'n/a':>12}{'':>7}"
+                print(
+                    f"{n:>12,}  {name:<18}{mono_stats['best_ms']:>10.2f}"
+                    f"{thread_stats['best_ms']:>11.2f}{tail}"
+                )
+            # Spill-forced: every build partition round-trips through a
+            # BBP spill unit, bounding resident build memory to one
+            # partition.  Output must stay BUN-identical.
+            saved_spill = fr.JOIN_SPILL_BUNS
+            fr.JOIN_SPILL_BUNS = 0
+            try:
+                fl_thread = fragment_bat(left, thread_policy)
+                fb_thread = fragment_bat(right, thread_policy)
+                expected = kernel.join(left, right).to_pairs()
+                assert fr.join(fl_thread, fb_thread).to_bat().to_pairs() == expected
+                spill_stats = _measure(
+                    lambda: fr.join(fl_thread, fb_thread, workers=WORKERS), repeats
+                )
+            finally:
+                fr.JOIN_SPILL_BUNS = saved_spill
+            _record("join-spill", n, "thread", "oid", spill_stats)
+            print(
+                f"{n:>12,}  {'join-spill(oid)':<18}"
+                f"{oid_mono_stats['best_ms']:>10.2f}"
+                f"{spill_stats['best_ms']:>11.2f}{'n/a':>12}{'':>7}"
+            )
+    finally:
+        fr.PROCESS_MIN_BUNS = saved_min
+
+
+# ----------------------------------------------------------------------
 # Calibration: measured tuning instead of static constants
 # ----------------------------------------------------------------------
 
@@ -511,8 +634,8 @@ def calibrate(verbose=True):
     processes for object-dtype predicates above a measured BUN
     threshold -- see :func:`_calibrate_backend`).
 
-    Returns
-    ``(fragment_size, parallel_min, merge_fanout, backend, process_min)``.
+    Returns ``(fragment_size, parallel_min, merge_fanout, backend,
+    process_min, join_fanout, join_spill)``.
     """
     n = 200_000 if FAST else 2_000_000
     candidates = [16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
@@ -562,6 +685,32 @@ def calibrate(verbose=True):
         if ms < best_sort_ms:
             best_fanout, best_sort_ms = fanout, ms
     fr.set_default_tuning(merge_fanout=best_fanout)
+    # Join radix fan-out: time the grace join (fragmented build side)
+    # under a few widths and keep the fastest.  JOIN_FANOUT is read
+    # live by the partitioner, so installing a candidate is enough to
+    # measure it.  The spill threshold has no in-memory crossover to
+    # measure, so the current (env- or persistence-derived) value is
+    # what persists.
+    join_n = min(n, 1_000_000)
+    jleft, jright = _join_sides(join_n)
+    join_policy = FragmentationPolicy(target_size=best_size)
+    fjleft = fragment_bat(jleft, join_policy)
+    fjright = fragment_bat(jright, join_policy)
+    join_fanouts = list(dict.fromkeys([1, 4, fr.JOIN_FANOUT]))
+    if verbose:
+        print(f"calibration: join over {join_n:,} BUNs")
+        print(f"{'join fanout':>16}{'join ms':>12}")
+    best_join_fanout, best_join_ms = join_fanouts[0], float("inf")
+    for fanout in join_fanouts:
+        fr.set_default_tuning(join_fanout=fanout)
+        ms = _timed(
+            lambda: fr.join(fjleft, fjright, workers=WORKERS), repeats
+        )
+        if verbose:
+            print(f"{fanout:>16,}{ms:>12.2f}")
+        if ms < best_join_ms:
+            best_join_fanout, best_join_ms = fanout, ms
+    fr.set_default_tuning(join_fanout=best_join_fanout)
     backend, process_min = _calibrate_backend(repeats, best_size, verbose=verbose)
     fr.set_default_tuning(backend=backend, process_min=process_min)
     if verbose:
@@ -569,9 +718,19 @@ def calibrate(verbose=True):
             f"calibrated: fragment_size={best_size:,} "
             f"parallel_min={parallel_min:,} merge_fanout={best_fanout} "
             f"backend={backend} process_min={process_min:,} "
+            f"join_fanout={best_join_fanout} "
+            f"join_spill={fr.JOIN_SPILL_BUNS:,} "
             "(installed as defaults)"
         )
-    return best_size, parallel_min, best_fanout, backend, process_min
+    return (
+        best_size,
+        parallel_min,
+        best_fanout,
+        backend,
+        process_min,
+        best_join_fanout,
+        fr.JOIN_SPILL_BUNS,
+    )
 
 
 def _calibrate_backend(repeats, fragment_size, *, verbose=True):
@@ -808,6 +967,7 @@ def report():
     _report_sort([10**5] if FAST else [10**6])
     _report_setops([10**5] if FAST else [10**6])
     _report_strings([5 * 10**4] if FAST else [10**6])
+    _report_join([5 * 10**4] if FAST else [10**6])
 
 
 if __name__ == "__main__":
@@ -831,6 +991,9 @@ if __name__ == "__main__":
     elif "--strings" in sys.argv:
         calibrate(verbose=False)
         _report_strings([5 * 10**4] if FAST else [10**6])
+    elif "--join" in sys.argv:
+        calibrate(verbose=False)
+        _report_join([5 * 10**4] if FAST else [10**6])
     else:
         report()
     if json_path:

@@ -22,7 +22,12 @@ in the catalog, so a reloaded database skips the measurement pass.
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import json
+import os
+import shutil
+import tempfile
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
@@ -202,6 +207,8 @@ class BATBufferPool:
                 "merge_fanout": tuning["merge_fanout"],
                 "backend": tuning["backend"],
                 "process_min": tuning["process_min"],
+                "join_fanout": tuning["join_fanout"],
+                "join_spill": tuning["join_spill"],
             }
         entries = sorted(self._all_names())
         for index, name in enumerate(entries):
@@ -281,7 +288,8 @@ def _install_persisted_tuning(tuning: dict) -> None:
     a restarted server skips the measurement pass.  Explicit
     environment overrides (``REPRO_FRAGMENT_SIZE`` /
     ``REPRO_PARALLEL_MIN_BUNS`` / ``REPRO_MERGE_FANOUT`` /
-    ``REPRO_EXECUTOR_BACKEND`` / ``REPRO_PROCESS_MIN_BUNS``) win over
+    ``REPRO_EXECUTOR_BACKEND`` / ``REPRO_PROCESS_MIN_BUNS`` /
+    ``REPRO_JOIN_FANOUT`` / ``REPRO_JOIN_SPILL_BUNS``) win over
     persisted values, knob by knob."""
     import os
 
@@ -304,7 +312,23 @@ def _install_persisted_tuning(tuning: dict) -> None:
         if os.environ.get("REPRO_PROCESS_MIN_BUNS")
         else tuning.get("process_min")
     )
-    values = (fragment_size, parallel_min, merge_fanout, backend, process_min)
+    join_fanout = (
+        None if os.environ.get("REPRO_JOIN_FANOUT") else tuning.get("join_fanout")
+    )
+    join_spill = (
+        None
+        if os.environ.get("REPRO_JOIN_SPILL_BUNS")
+        else tuning.get("join_spill")
+    )
+    values = (
+        fragment_size,
+        parallel_min,
+        merge_fanout,
+        backend,
+        process_min,
+        join_fanout,
+        join_spill,
+    )
     if any(value is not None for value in values):
         _fragments.set_default_tuning(
             fragment_size=fragment_size,
@@ -312,7 +336,65 @@ def _install_persisted_tuning(tuning: dict) -> None:
             merge_fanout=merge_fanout,
             backend=backend,
             process_min=process_min,
+            join_fanout=join_fanout,
+            join_spill=join_spill,
         )
+
+
+# ----------------------------------------------------------------------
+# Operator spill units
+#
+# Out-of-core operators (the grace hash join's partitioned build in
+# :mod:`repro.monet.fragments`) park intermediate partitions on disk as
+# npz units under a process-wide scratch directory, the BBP's transient
+# sibling of the persistent per-fragment files above.  Units are
+# same-process transients, so -- unlike catalog files -- object (str)
+# arrays may ride npz's pickle path directly and no catalog entry or
+# NIL marker translation is involved.
+# ----------------------------------------------------------------------
+
+_SPILL_ROOT: Optional[Path] = None
+_SPILL_COUNTER = itertools.count()
+
+
+def spill_directory() -> Path:
+    """Scratch directory for operator spill units, created lazily and
+    removed at interpreter exit."""
+    global _SPILL_ROOT
+    if _SPILL_ROOT is None:
+        _SPILL_ROOT = Path(tempfile.mkdtemp(prefix="repro-bbp-spill-"))
+        atexit.register(_cleanup_spill_directory)
+    return _SPILL_ROOT
+
+
+def _cleanup_spill_directory() -> None:
+    global _SPILL_ROOT
+    root, _SPILL_ROOT = _SPILL_ROOT, None
+    if root is not None:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def new_spill_tag(prefix: str) -> str:
+    """A unique (per process, per call) spill-unit tag."""
+    return f"{prefix}-{os.getpid():x}-{next(_SPILL_COUNTER):06d}"
+
+
+def write_spill_unit(tag: str, **arrays: np.ndarray) -> Path:
+    """Write the named *arrays* as one npz spill unit; returns its path."""
+    path = spill_directory() / f"{tag}.npz"
+    np.savez(path, **arrays)
+    return path
+
+
+def read_spill_unit(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Load every array of a spill unit back into memory."""
+    with np.load(path, allow_pickle=True) as data:
+        return {key: data[key] for key in data.files}
+
+
+def drop_spill_unit(path: Union[str, Path]) -> None:
+    """Delete one spill unit (idempotent)."""
+    Path(path).unlink(missing_ok=True)
 
 
 #: NIL marker for persisted string columns.  No trailing NUL: numpy

@@ -97,6 +97,7 @@ import numpy as np
 from repro.monet import aggregates as _agg
 from repro.monet import kernel as _kernel
 from repro.monet import shm as _shm
+from repro.monet.atoms import atom
 from repro.monet.bat import BAT, AnyColumn, Column, VoidColumn
 from repro.monet.errors import KernelError
 
@@ -172,6 +173,41 @@ MERGE_FANOUT = (
     int(os.environ.get("REPRO_MERGE_FANOUT", 0)) or _derive_merge_fanout()
 )
 
+
+def _derive_join_fanout(cores: Optional[int] = None) -> int:
+    """Upper bound on the number of radix partitions of the grace hash
+    join.  Same two pressures as the merge fan-out: enough partitions
+    that the per-partition builds saturate the pool and their key
+    working sets stay cache-resident, but not so many that dispatch
+    and gather overhead dominate.  ``REPRO_JOIN_FANOUT`` overrides the
+    derivation, and :func:`set_default_tuning` installs measured
+    values (the ``--calibrate`` pass sweeps a few candidates)."""
+    cores = cores or os.cpu_count() or 1
+    return max(16, 4 * cores)
+
+
+#: Cap on grace-join radix partitions (cores-derived; see
+#: :func:`_derive_join_fanout`).  Read live, like ``MERGE_FANOUT``.
+JOIN_FANOUT = int(os.environ.get("REPRO_JOIN_FANOUT", 0)) or _derive_join_fanout()
+
+#: Partition floor of the grace join: roughly one radix partition per
+#: this many build-side BUNs, so small builds never shatter into
+#: per-partition dispatch overhead.  A module constant (not an env
+#: knob): tests monkeypatch it to force multi-partition execution on
+#: tiny inputs.
+JOIN_PARTITION_MIN_BUNS = 64 * 1024
+
+#: Build sides above this many BUNs spill their radix partitions to
+#: disk as npz units through the BBP scratch directory
+#: (:func:`repro.monet.bbp.write_spill_unit`) and are then processed
+#: one partition at a time, so a BAT-x-BAT join's resident build state
+#: is capped near this threshold instead of the whole build side.
+#: ``REPRO_JOIN_SPILL_BUNS`` overrides -- ``0`` forces every
+#: partitioned build to spill (what the spill-forced differential
+#: tests pin); an unset/empty variable keeps the static default.
+_JOIN_SPILL_ENV = os.environ.get("REPRO_JOIN_SPILL_BUNS")
+JOIN_SPILL_BUNS = int(_JOIN_SPILL_ENV) if _JOIN_SPILL_ENV else 4 * 1024 * 1024
+
 #: The executor backends an operator fan-out can run on.
 BACKEND_NAMES = ("thread", "process")
 
@@ -214,6 +250,8 @@ def set_default_tuning(
     merge_fanout: Optional[int] = None,
     backend: Optional[str] = None,
     process_min: Optional[int] = None,
+    join_fanout: Optional[int] = None,
+    join_spill: Optional[int] = None,
 ) -> None:
     """Install measured tuning values for the module defaults.
 
@@ -221,11 +259,12 @@ def set_default_tuning(
     after timing real operators; policies built afterwards (including
     the per-call defaults of every operator here) pick the new values
     up.  Explicitly constructed policies are unaffected.
-    ``merge_fanout``, ``backend`` and ``process_min`` are read live
-    (not captured by policies), so they take effect on in-flight
-    handles too."""
+    ``merge_fanout``, ``backend``, ``process_min``, ``join_fanout``
+    and ``join_spill`` are read live (not captured by policies), so
+    they take effect on in-flight handles too."""
     global DEFAULT_FRAGMENT_SIZE, PARALLEL_MIN_BUNS, MERGE_FANOUT
     global DEFAULT_BACKEND, PROCESS_MIN_BUNS
+    global JOIN_FANOUT, JOIN_SPILL_BUNS
     global _TUNING_MEASURED
     if fragment_size is not None:
         if fragment_size < 1:
@@ -255,6 +294,16 @@ def set_default_tuning(
             raise KernelError("process_min must be non-negative")
         PROCESS_MIN_BUNS = int(process_min)
         _TUNING_MEASURED = True
+    if join_fanout is not None:
+        if join_fanout < 1:
+            raise KernelError("join_fanout must be at least 1")
+        JOIN_FANOUT = int(join_fanout)
+        _TUNING_MEASURED = True
+    if join_spill is not None:
+        if join_spill < 0:
+            raise KernelError("join_spill must be non-negative")
+        JOIN_SPILL_BUNS = int(join_spill)
+        _TUNING_MEASURED = True
 
 
 def default_tuning() -> dict:
@@ -266,6 +315,8 @@ def default_tuning() -> dict:
         "merge_fanout": MERGE_FANOUT,
         "backend": DEFAULT_BACKEND,
         "process_min": PROCESS_MIN_BUNS,
+        "join_fanout": JOIN_FANOUT,
+        "join_spill": JOIN_SPILL_BUNS,
         "measured": _TUNING_MEASURED,
     }
 
@@ -982,12 +1033,54 @@ def likeselect(
 # ----------------------------------------------------------------------
 
 
+def _probe_dtype(fb: FragmentedBAT) -> bool:
+    """True when *fb* carries object (str) tails.
+
+    The one sanctioned ``fb.fragments[0]`` probe: the constructor
+    enforces the >=1-fragment invariant (pinned by regression tests),
+    and a void tail reads as non-object, so degenerate all-empty
+    fragmentations probe safely."""
+    return _kernel._is_object_column(fb.fragments[0].tail)
+
+
+def _dense_window_starts(right: FragmentedBAT) -> Optional[List[int]]:
+    """Per-fragment seqbase starts (plus the global end) of a
+    range-partitioned fragmented right operand whose void heads form
+    one contiguous ascending sequence -- exactly the case where its
+    coalesced head would fuse back into a single void column -- or
+    ``None`` when seqbase routing does not apply."""
+    if right.positions is not None:
+        return None
+    starts: List[int] = []
+    expected: Optional[int] = None
+    for frag in right.fragments:
+        if not frag.hdense:
+            return None
+        seqbase = frag.head.seqbase
+        if expected is not None and seqbase != expected:
+            return None
+        starts.append(seqbase)
+        expected = seqbase + len(frag)
+    starts.append(expected)
+    return starts
+
+
 def fetchjoin(
-    fb: FragmentedBAT, right: BAT, *, workers: Optional[int] = None
+    fb: FragmentedBAT,
+    right: Union[BAT, FragmentedBAT],
+    *,
+    workers: Optional[int] = None,
 ) -> FragmentedBAT:
     """Fragment-parallel positional join against a shared void-headed
-    right operand."""
+    right operand.  A range-partitioned fragmented dense right stays
+    fragmented: seqbase arithmetic routes every probe to its owning
+    right fragment, so neither side coalesces."""
     if isinstance(right, FragmentedBAT):
+        starts = _dense_window_starts(right)
+        if starts is not None:
+            return _fetchjoin_fragmented(fb, right, starts, workers)
+        # Round-robin or non-contiguous rights coalesce (and may then
+        # legitimately fail the voidness check below), as before.
         right = right.to_bat()
     if not right.hdense:
         raise KernelError("fetchjoin requires a void-headed right operand")
@@ -1011,43 +1104,401 @@ def fetchjoin(
     return FragmentedBAT([r[0] for r in results], positions, policy=fb.policy)
 
 
+def _fetchjoin_fragmented(
+    fb: FragmentedBAT,
+    right: FragmentedBAT,
+    starts: List[int],
+    workers: Optional[int],
+) -> FragmentedBAT:
+    """Positional join against a fragmented dense right operand: each
+    probe resolves to (owning right fragment, local offset) by binary
+    search over the seqbase windows, gathers fan out per owner, and a
+    stable scatter restores probe order."""
+    workers = _resolve_workers(fb, workers)
+    offsets = np.asarray(starts, dtype=np.int64)
+    tails_object = _kernel._is_object_column(right.fragments[0].tail)
+    tail_values = [frag.tail_values() for frag in right.fragments]
+    tail_atom = right.ttype
+
+    def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, Optional[np.ndarray]]:
+        index, frag = indexed
+        probes = frag.tail_values()
+        valid = (probes >= offsets[0]) & (probes < offsets[-1])
+        keep = np.nonzero(valid)[0]
+        targets = probes[keep]
+        owners = np.searchsorted(offsets, targets, side="right") - 1
+        row_chunks: List[np.ndarray] = []
+        value_chunks: List[np.ndarray] = []
+        for owner in range(right.nfragments):
+            rows = np.nonzero(owners == owner)[0]
+            if len(rows) == 0:
+                continue
+            row_chunks.append(rows)
+            value_chunks.append(tail_values[owner][targets[rows] - offsets[owner]])
+        if row_chunks:
+            rows = np.concatenate(row_chunks)
+            values = _concat_raw(value_chunks, tails_object)
+            order = np.argsort(rows, kind="stable")
+            values = values[order]
+        else:
+            values = (
+                np.empty(0, dtype=object)
+                if tails_object
+                else tail_values[0][:0]
+            )
+        out = BAT(frag.head.take(keep), Column(tail_atom, values), hkey=frag.hkey)
+        if fb.positions is None:
+            return out, None
+        return out, fb.positions[index][keep]
+
+    results = map_fragments(one, list(enumerate(fb.fragments)), workers)
+    positions = None if fb.positions is None else [r[1] for r in results]
+    return FragmentedBAT([r[0] for r in results], positions, policy=fb.policy)
+
+
+# ----------------------------------------------------------------------
+# Radix-partitioned (grace) hash join
+#
+# The value join partitions BOTH operands by a radix of the join key
+# (kernel.join_partition_ids; NIL BUNs drop first, comparison rule):
+# per-fragment key extraction fans out like the membership builds, so a
+# fragmented right operand never coalesces; per-partition match indexes
+# build in parallel (the object-dtype radix split offloads to the
+# process backend); every probe fragment probes partition-locally; and
+# a build side past JOIN_SPILL_BUNS spills its partitions through the
+# BBP scratch directory as npz units and is processed one partition at
+# a time, capping the resident build state.  A key lives in exactly one
+# partition, so a stable per-fragment sort on probe position
+# reassembles the exact monolithic kernel.join order.
+# ----------------------------------------------------------------------
+
+
+def _concat_raw(chunks: List[np.ndarray], object_dtype: bool) -> np.ndarray:
+    """Concatenate raw value arrays (object-dtype aware)."""
+    if len(chunks) == 1:
+        return chunks[0]
+    if object_dtype:
+        total = sum(len(chunk) for chunk in chunks)
+        out = np.empty(total, dtype=object)
+        at = 0
+        for chunk in chunks:
+            out[at: at + len(chunk)] = chunk
+            at += len(chunk)
+        return out
+    return np.concatenate(chunks)
+
+
+def _join_fanout(build_n: int) -> int:
+    """Radix partition count for a *build_n*-BUN build side: enough
+    partitions to parallelize and stay cache-resident, floored so small
+    builds never shatter, capped at the live :data:`JOIN_FANOUT`."""
+    by_floor = -(-build_n // max(1, JOIN_PARTITION_MIN_BUNS))
+    return max(1, min(JOIN_FANOUT, by_floor))
+
+
+def _build_side(
+    right: Union[BAT, FragmentedBAT],
+) -> Tuple[List[BAT], List[np.ndarray]]:
+    """The build side as (fragments, per-fragment global BUN
+    positions), monolithic rights being one fragment of themselves."""
+    if isinstance(right, FragmentedBAT):
+        return list(right.fragments), [
+            right.global_positions(index) for index in range(right.nfragments)
+        ]
+    return [right], [np.arange(len(right), dtype=np.int64)]
+
+
+def _join_partition_lists(
+    source: Union[BAT, FragmentedBAT],
+    columns: List[AnyColumn],
+    keyspace: str,
+    fanout: int,
+    workers: Optional[int],
+) -> List[List[np.ndarray]]:
+    """Per-fragment radix splits (NIL-free local positions grouped by
+    partition), offloaded to the process backend for the GIL-bound
+    object-dtype hashing loops."""
+    if keyspace == "object" and sum(len(c) for c in columns) >= PROCESS_MIN_BUNS:
+        backend = (
+            _resolve_backend(source)
+            if isinstance(source, FragmentedBAT)
+            else get_backend()
+        )
+        parts = backend.run_column_tasks(
+            "join_partition_positions", columns, (keyspace, fanout)
+        )
+        if parts is not None:
+            return parts
+    return map_fragments(
+        lambda column: _kernel.task_join_partition_positions(column, keyspace, fanout),
+        columns,
+        workers,
+    )
+
+
+def _assemble_join_partition(
+    key_chunks: List[np.ndarray],
+    gpos_chunks: List[np.ndarray],
+    tail_chunks: List[np.ndarray],
+    keys_object: bool,
+    tails_object: bool,
+):
+    """One resident build partition: rows restored to global BUN order
+    (round-robin fragments arrive permuted; the probe output must match
+    the monolithic kernel, which builds in BUN order), then indexed via
+    the shared match-index machinery.  ``None`` for an empty partition."""
+    if not key_chunks:
+        return None
+    keys = _concat_raw(key_chunks, keys_object)
+    gpos = np.concatenate(gpos_chunks)
+    tails = _concat_raw(tail_chunks, tails_object)
+    if len(gpos) > 1 and not bool(np.all(np.diff(gpos) >= 0)):
+        order = np.argsort(gpos, kind="stable")
+        keys = keys[order]
+        tails = tails[order]
+    return _kernel.build_match_index(keys, keys_object), tails
+
+
+def _grace_matches(
+    fb: FragmentedBAT,
+    right: Union[BAT, FragmentedBAT],
+    workers: Optional[int],
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """The grace-join core shared by :func:`join` and
+    :func:`outerjoin`: per probe fragment, the matching
+    (probe_positions, build tail values) ordered exactly like the
+    monolithic ``kernel.join`` (ascending probe position; per probe
+    BUN, matches in ascending build BUN order)."""
+    keyspace = _kernel.set_keyspace(fb.fragments[0].tail, _head_columns(right)[0])
+    object_dtype = keyspace == "object"
+    build_frags, build_gpos = _build_side(right)
+    tails_object = _kernel._is_object_column(build_frags[0].tail)
+    build_n = sum(len(frag) for frag in build_frags)
+    fanout = _join_fanout(build_n)
+    spill = build_n > JOIN_SPILL_BUNS
+    if spill:
+        # Partitions sized to the spill threshold, so the resident
+        # build state stays near the cap (bounded fanout keeps the
+        # unit count sane when the threshold is tiny).
+        per_partition = max(1, JOIN_SPILL_BUNS)
+        fanout = max(fanout, min(256, -(-build_n // per_partition)))
+    empty_positions = np.empty(0, dtype=np.int64)
+    empty_tails = (
+        np.empty(0, dtype=object)
+        if tails_object
+        else build_frags[0].tail_values()[:0]
+    )
+
+    def probe_parts(frag: BAT) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        keys, valid = _kernel.join_keys(frag.tail, keyspace)
+        positions = np.nonzero(valid)[0]
+        ids = _kernel.join_partition_ids(keys, fanout, object_dtype)[positions]
+        return keys, positions, ids
+
+    if spill:
+        matches = _grace_matches_spilled(
+            fb,
+            build_frags,
+            build_gpos,
+            keyspace,
+            fanout,
+            probe_parts,
+            tails_object,
+            workers,
+        )
+    else:
+        build_keys = [
+            _kernel.join_keys(frag.head, keyspace)[0] for frag in build_frags
+        ]
+        build_tails = [frag.tail_values() for frag in build_frags]
+        build_parts = _join_partition_lists(
+            right, [frag.head for frag in build_frags], keyspace, fanout, workers
+        )
+
+        def one_partition(partition: int):
+            key_chunks, gpos_chunks, tail_chunks = [], [], []
+            for keys, gpos, tails, parts in zip(
+                build_keys, build_gpos, build_tails, build_parts
+            ):
+                sel = parts[partition]
+                if len(sel):
+                    key_chunks.append(keys[sel])
+                    gpos_chunks.append(gpos[sel])
+                    tail_chunks.append(tails[sel])
+            return _assemble_join_partition(
+                key_chunks, gpos_chunks, tail_chunks, object_dtype, tails_object
+            )
+
+        partitions = map_fragments(one_partition, list(range(fanout)), workers)
+
+        def probe_one(frag: BAT) -> Tuple[np.ndarray, np.ndarray]:
+            if len(frag) == 0 or build_n == 0:
+                return empty_positions, empty_tails
+            keys, positions, ids = probe_parts(frag)
+            position_chunks, value_chunks = [], []
+            for partition in range(fanout):
+                part = partitions[partition]
+                if part is None:
+                    continue
+                sel = positions[ids == partition]
+                if len(sel) == 0:
+                    continue
+                index, part_tails = part
+                pp, bp = _kernel.probe_match_index(keys[sel], index, object_dtype)
+                if len(pp):
+                    position_chunks.append(sel[pp])
+                    value_chunks.append(part_tails[bp])
+            if not position_chunks:
+                return empty_positions, empty_tails
+            probe_positions = np.concatenate(position_chunks)
+            values = _concat_raw(value_chunks, tails_object)
+            # One key -> one partition, so the stable sort on probe
+            # position cannot reorder same-probe matches: they all came
+            # from a single partition, already in build order.
+            order = np.argsort(probe_positions, kind="stable")
+            return probe_positions[order], values[order]
+
+        matches = map_fragments(probe_one, list(fb.fragments), workers)
+    return matches
+
+
+def _grace_matches_spilled(
+    fb: FragmentedBAT,
+    build_frags: List[BAT],
+    build_gpos: List[np.ndarray],
+    keyspace: str,
+    fanout: int,
+    probe_parts,
+    tails_object: bool,
+    workers: Optional[int],
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Out-of-core grace join: build partitions stream to npz spill
+    units fragment by fragment, then load back one partition at a time
+    -- the resident build state is one partition, not the build side."""
+    from repro.monet import bbp as _bbp
+
+    object_dtype = keyspace == "object"
+    empty_positions = np.empty(0, dtype=np.int64)
+    empty_tails = (
+        np.empty(0, dtype=object)
+        if tails_object
+        else build_frags[0].tail_values()[:0]
+    )
+    units: List[List] = [[] for _ in range(fanout)]
+    try:
+        for frag, gpos in zip(build_frags, build_gpos):
+            keys, valid = _kernel.join_keys(frag.head, keyspace)
+            positions = np.nonzero(valid)[0]
+            ids = _kernel.join_partition_ids(keys, fanout, object_dtype)[positions]
+            tails = frag.tail_values()
+            for partition in range(fanout):
+                sel = positions[ids == partition]
+                if len(sel) == 0:
+                    continue
+                path = _bbp.write_spill_unit(
+                    _bbp.new_spill_tag(f"join-p{partition:03d}"),
+                    keys=keys[sel],
+                    gpos=gpos[sel],
+                    tails=tails[sel],
+                )
+                units[partition].append(path)
+            del keys, valid, positions, ids, tails
+        probe_data = map_fragments(probe_parts, list(fb.fragments), workers)
+        accum: List[Tuple[List[np.ndarray], List[np.ndarray]]] = [
+            ([], []) for _ in fb.fragments
+        ]
+        for partition in range(fanout):
+            if not units[partition]:
+                continue
+            key_chunks, gpos_chunks, tail_chunks = [], [], []
+            for path in units[partition]:
+                data = _bbp.read_spill_unit(path)
+                key_chunks.append(data["keys"])
+                gpos_chunks.append(data["gpos"])
+                tail_chunks.append(data["tails"])
+            part = _assemble_join_partition(
+                key_chunks, gpos_chunks, tail_chunks, object_dtype, tails_object
+            )
+            del key_chunks, gpos_chunks, tail_chunks
+            index, part_tails = part
+
+            def probe_into(fragment_index: int):
+                keys, positions, ids = probe_data[fragment_index]
+                sel = positions[ids == partition]
+                if len(sel) == 0:
+                    return None
+                pp, bp = _kernel.probe_match_index(keys[sel], index, object_dtype)
+                if len(pp) == 0:
+                    return None
+                return sel[pp], part_tails[bp]
+
+            probed = map_fragments(
+                probe_into, list(range(len(fb.fragments))), workers
+            )
+            for fragment_index, result in enumerate(probed):
+                if result is not None:
+                    accum[fragment_index][0].append(result[0])
+                    accum[fragment_index][1].append(result[1])
+            del part, index, part_tails
+    finally:
+        for partition_units in units:
+            for path in partition_units:
+                _bbp.drop_spill_unit(path)
+    matches = []
+    for position_chunks, value_chunks in accum:
+        if not position_chunks:
+            matches.append((empty_positions, empty_tails))
+            continue
+        probe_positions = np.concatenate(position_chunks)
+        values = _concat_raw(value_chunks, tails_object)
+        order = np.argsort(probe_positions, kind="stable")
+        matches.append((probe_positions[order], values[order]))
+    return matches
+
+
+def _right_hkey(right: Union[BAT, FragmentedBAT]) -> bool:
+    """Conservative head-keyness of a join build side (a fragmented
+    right only guarantees it with a single fragment)."""
+    if isinstance(right, BAT):
+        return right.hkey
+    return right.nfragments == 1 and right.fragments[0].hkey
+
+
 def join(
     fb: FragmentedBAT,
     right: Union[BAT, FragmentedBAT],
     *,
     workers: Optional[int] = None,
 ) -> FragmentedBAT:
-    """Fragment-parallel :func:`repro.monet.kernel.join`: every probe
-    fragment joins against the shared build side."""
-    if isinstance(right, FragmentedBAT):
-        right = right.to_bat()
+    """Fragment-parallel :func:`repro.monet.kernel.join`, executed as a
+    radix-partitioned (grace) hash join: both sides partition by a
+    radix of the join key, per-partition match indexes build in
+    parallel, probes stay partition-local, and oversized build sides
+    spill through the BBP scratch directory.  Neither operand ever
+    coalesces -- a fragmented right contributes per-fragment keys
+    exactly like the membership builds."""
     _kernel.check_join_types(fb.ttype, right.htype)
-    if right.hdense:
+    if isinstance(right, BAT) and right.hdense:
+        return fetchjoin(fb, right, workers=workers)
+    if isinstance(right, FragmentedBAT) and _dense_window_starts(right) is not None:
         return fetchjoin(fb, right, workers=workers)
     workers = _resolve_workers(fb, workers)
-    build = right.head_values()
-    object_dtype = _kernel._is_object_column(right.head) or (
-        fb.fragments[0].tail.atom_type.dtype == np.dtype(object)
-    )
-    # Index the shared build side once; every probe fragment reuses it.
-    match_index = _kernel.build_match_index(build, object_dtype)
+    matches = _grace_matches(fb, right, workers)
+    right_hkey = _right_hkey(right)
+    tail_atom = right.ttype
 
-    def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, Optional[np.ndarray]]:
-        index, frag = indexed
-        if len(frag) == 0 or len(build) == 0:
-            probe_positions = build_positions = np.empty(0, dtype=np.int64)
-        else:
-            probe_positions, build_positions = _kernel.probe_match_index(
-                frag.tail_values(), match_index, object_dtype
-            )
-        head = frag.head.take(probe_positions)
-        tail = right.tail.take(build_positions)
-        out = BAT(head, tail, hkey=frag.hkey and right.hkey)
-        if fb.positions is None:
-            return out, None
-        return out, fb.positions[index][probe_positions]
-
-    results = map_fragments(one, list(enumerate(fb.fragments)), workers)
+    results = []
+    for index, frag in enumerate(fb.fragments):
+        probe_positions, tail_values = matches[index]
+        out = BAT(
+            frag.head.take(probe_positions),
+            Column(tail_atom, tail_values),
+            hkey=frag.hkey and right_hkey,
+        )
+        positions = (
+            None if fb.positions is None else fb.positions[index][probe_positions]
+        )
+        results.append((out, positions))
     positions = None if fb.positions is None else [r[1] for r in results]
     return FragmentedBAT([r[0] for r in results], positions, policy=fb.policy)
 
@@ -1150,17 +1601,77 @@ def semijoin(
 ) -> FragmentedBAT:
     """Fragment-parallel :func:`repro.monet.kernel.semijoin`
     (comparison NIL rule; a fragmented right operand contributes its
-    head keys without coalescing)."""
+    head keys without coalescing).
+
+    Numeric keyspaces route through the grace-join radix split: the
+    right side's head keys partition per fragment, each partition
+    dedupes in parallel, and probe fragments test partition-locally.
+    Object keyspaces keep the broadcast-membership path, whose probe
+    loops offload to the process backend."""
     workers = _resolve_workers(fb, workers)
     if isinstance(right, BAT) and right.hdense:
         return _subset_op(
             fb, lambda frag: _kernel.semijoin_mask(frag, right), workers
         )
     keyspace = _kernel.set_keyspace(fb.fragments[0].head, _head_columns(right)[0])
+    if keyspace != "object":
+        return _partitioned_semijoin(fb, right, keyspace, workers)
     members = _member_build(right, keyspace, workers)
     return _member_subset(
         fb, members, keyspace, nil_member=False, invert=False, workers=workers
     )
+
+
+def _partitioned_semijoin(
+    fb: FragmentedBAT,
+    right: Union[BAT, FragmentedBAT],
+    keyspace: str,
+    workers: Optional[int],
+) -> FragmentedBAT:
+    """Numeric semijoin through the grace-join partitioned build.  NIL
+    build and probe keys drop with the :func:`kernel.join_keys` mask
+    (comparison rule: NIL is never a member), so the per-partition
+    member arrays carry comparison keys only."""
+    columns = _head_columns(right)
+    build_n = sum(len(column) for column in columns)
+    fanout = _join_fanout(build_n)
+
+    def keyed_parts(column: AnyColumn) -> Tuple[np.ndarray, List[np.ndarray]]:
+        keys, valid = _kernel.join_keys(column, keyspace)
+        positions = np.nonzero(valid)[0]
+        ids = _kernel.join_partition_ids(keys, fanout, False)[positions]
+        return keys, [positions[ids == partition] for partition in range(fanout)]
+
+    per_fragment = map_fragments(keyed_parts, columns, workers)
+    empty_keys = per_fragment[0][0][:0] if per_fragment else np.empty(0, np.int64)
+
+    def one_partition(partition: int) -> np.ndarray:
+        chunks = [
+            keys[parts[partition]]
+            for keys, parts in per_fragment
+            if len(parts[partition])
+        ]
+        if not chunks:
+            return empty_keys
+        return np.unique(np.concatenate(chunks))
+
+    members = map_fragments(one_partition, list(range(fanout)), workers)
+
+    def mask_fn(frag: BAT) -> np.ndarray:
+        mask = np.zeros(len(frag), dtype=bool)
+        if len(frag) == 0 or build_n == 0:
+            return mask
+        keys, valid = _kernel.join_keys(frag.head, keyspace)
+        positions = np.nonzero(valid)[0]
+        ids = _kernel.join_partition_ids(keys, fanout, False)[positions]
+        for partition in range(fanout):
+            sel = positions[ids == partition]
+            if len(sel) and len(members[partition]):
+                hits = np.isin(keys[sel], members[partition])
+                mask[sel[hits]] = True
+        return mask
+
+    return _subset_op(fb, mask_fn, workers)
 
 
 def antijoin(
@@ -1414,7 +1925,7 @@ def topn(
     if n < 0:
         raise KernelError("topn needs a non-negative n")
     n = int(n)
-    if _kernel._is_object_column(fb.fragments[0].tail):
+    if _probe_dtype(fb):
         # The monolithic object order reverses the whole stable sort for
         # descending (NILs first, ties latest-first), which per-fragment
         # candidate selection cannot compose with; topn returns a small
@@ -1453,22 +1964,61 @@ def outerjoin(
     *,
     workers: Optional[int] = None,
 ) -> FragmentedBAT:
-    """Fragment-parallel :func:`repro.monet.kernel.outerjoin`: every
-    probe fragment outer-joins the shared build side, so unmatched left
-    BUNs keep their NIL tails per fragment."""
-    if isinstance(right, FragmentedBAT):
-        right = right.to_bat()
+    """Fragment-parallel :func:`repro.monet.kernel.outerjoin`:
+    unmatched left BUNs keep NIL tails per fragment, with the matches
+    coming from the shared grace-join build.  The build is partitioned
+    and indexed once for the whole probe side (the previous
+    per-fragment ``outerjoin_parts`` calls re-indexed the right operand
+    once per probe fragment), and a fragmented right never coalesces.
+    A monolithic dense right keeps the direct seqbase path: it has no
+    build to share."""
     workers = _resolve_workers(fb, workers)
+    if isinstance(right, BAT) and right.hdense:
 
-    def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, Optional[np.ndarray]]:
-        index, frag = indexed
-        left_positions, tail = _kernel.outerjoin_parts(frag, right)
-        out = BAT(frag.head.take(left_positions), tail, hkey=frag.hkey and right.hkey)
-        if fb.positions is None:
-            return out, None
-        return out, fb.positions[index][left_positions]
+        def one(indexed: Tuple[int, BAT]) -> Tuple[BAT, Optional[np.ndarray]]:
+            index, frag = indexed
+            left_positions, tail = _kernel.outerjoin_parts(frag, right)
+            out = BAT(
+                frag.head.take(left_positions), tail, hkey=frag.hkey and right.hkey
+            )
+            if fb.positions is None:
+                return out, None
+            return out, fb.positions[index][left_positions]
 
-    results = map_fragments(one, list(enumerate(fb.fragments)), workers)
+        results = map_fragments(one, list(enumerate(fb.fragments)), workers)
+        positions = None if fb.positions is None else [r[1] for r in results]
+        return FragmentedBAT([r[0] for r in results], positions, policy=fb.policy)
+
+    matches = _grace_matches(fb, right, workers)
+    right_hkey = _right_hkey(right)
+    tail_atom = atom(right.ttype)
+    results = []
+    for index, frag in enumerate(fb.fragments):
+        probe_positions, tail_values = matches[index]
+        matched = np.zeros(len(frag), dtype=bool)
+        matched[probe_positions] = True
+        unmatched = np.nonzero(~matched)[0]
+        nil_tail = tail_atom.make_array([None] * len(unmatched))
+        all_positions = np.concatenate((probe_positions, unmatched))
+        order = np.argsort(all_positions, kind="stable")
+        if len(tail_values) == 0 and len(nil_tail) == 0:
+            combined = tail_atom.make_array([])
+        else:
+            combined = np.concatenate((tail_values, nil_tail))
+        left_positions = all_positions[order]
+        out = BAT(
+            frag.head.take(left_positions),
+            Column(tail_atom, combined[order]),
+            hkey=frag.hkey and right_hkey,
+        )
+        results.append(
+            (
+                out,
+                None
+                if fb.positions is None
+                else fb.positions[index][left_positions],
+            )
+        )
     positions = None if fb.positions is None else [r[1] for r in results]
     return FragmentedBAT([r[0] for r in results], positions, policy=fb.policy)
 
@@ -1498,7 +2048,7 @@ def group(fb: FragmentedBAT, *, workers: Optional[int] = None) -> FragmentedBAT:
     the global ids.  The result is fragmented identically to the input,
     so a following pump aggregate stays fragment-parallel."""
     workers = _resolve_workers(fb, workers)
-    object_dtype = fb.fragments[0].tail.atom_type.dtype == np.dtype(object)
+    object_dtype = _probe_dtype(fb)
 
     def local_uniques(indexed: Tuple[int, BAT]) -> List[Tuple[Any, int]]:
         index, frag = indexed

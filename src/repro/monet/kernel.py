@@ -33,7 +33,11 @@ NIL semantics (two rules, both Monet-faithful):
 * *Comparisons* -- select predicates and the join family, including
   ``semijoin``/``kdiff`` -- follow "NIL equals nothing": a NIL probe
   or build value (NaN for dbl, ``None`` for str) never matches, not
-  even another NIL.
+  even another NIL.  The radix-partitioned (grace) hash join applies
+  the rule *before* partitioning: :func:`join_keys` masks NIL BUNs
+  out ahead of the radix split, so no partition -- resident or
+  spilled -- ever carries a NIL key and the partition-local probes
+  need no NIL handling of their own.
 * *Identity* operators -- ``unique``/``kunique``/``tunique`` here,
   ``group``/``refine`` in :mod:`repro.monet.groups`, **and the set
   operators ``kunion``/``kintersect``** -- treat all NILs of a column
@@ -52,7 +56,8 @@ NIL semantics (two rules, both Monet-faithful):
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -384,6 +389,70 @@ def _match_positions(
     return probe_match_index(probe, build_match_index(build, object_dtype), object_dtype)
 
 
+def join_keys(column: AnyColumn, keyspace: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Comparison-rule join keys of *column*'s values in *keyspace*,
+    plus the mask of non-NIL entries.
+
+    NIL keys never join (see the NIL-semantics note in the module
+    docstring), so the grace hash join drops masked-out BUNs *before*
+    radix partitioning.  The ``"object"`` keyspace returns the raw
+    value array (the dict match index consumes values directly); the
+    numeric keyspaces return :func:`partition_keys`-style monotone
+    transforms widened to the common keyspace, so an int column joined
+    against a dbl column partitions and compares in one key domain.
+    """
+    values = column.materialize()
+    if keyspace == "object":
+        valid = np.fromiter(
+            (value is not None for value in values), dtype=bool, count=len(values)
+        )
+        return values, valid
+    if keyspace == "dbl":
+        floats = values.astype(np.float64, copy=False)
+        return _float_dedup_keys(floats), ~np.isnan(floats)
+    return values.astype(np.int64, copy=False), np.ones(len(values), dtype=bool)
+
+
+#: Fibonacci-golden-ratio multiplier scattering radix partition ids:
+#: consecutive or stride-patterned key ranges (dense oids, foreign-key
+#: blocks) spread evenly over any fanout instead of filling partitions
+#: one at a time.
+_RADIX_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+
+def join_partition_ids(keys: np.ndarray, fanout: int, object_dtype: bool) -> np.ndarray:
+    """Radix partition id (``0 .. fanout-1``) of every join key.
+
+    Numeric keys mix through a Fibonacci multiplier before the modulo;
+    object (str) keys hash with ``zlib.crc32`` over their UTF-8 bytes,
+    which -- unlike Python's per-process randomized ``hash()`` -- is
+    deterministic across interpreter processes, so the parent and the
+    process-backend workers always agree on a key's partition.  NIL
+    entries get partition 0; callers drop them beforehand via the
+    :func:`join_keys` mask.
+    """
+    n = len(keys)
+    if fanout <= 1:
+        return np.zeros(n, dtype=np.int64)
+    if object_dtype:
+        # str(value) is the identity for str keys; mixed-type probes
+        # (e.g. outerjoin's unchecked operands) hash deterministically
+        # instead of crashing, and never match the str build anyway.
+        return np.fromiter(
+            (
+                0
+                if value is None
+                else zlib.crc32(str(value).encode("utf-8", "surrogatepass")) % fanout
+                for value in keys
+            ),
+            dtype=np.int64,
+            count=n,
+        )
+    unsigned = keys.view(np.uint64) if keys.dtype == np.dtype(np.int64) else keys
+    mixed = unsigned.astype(np.uint64, copy=False) * _RADIX_MULTIPLIER
+    return (mixed % np.uint64(fanout)).astype(np.int64)
+
+
 # ----------------------------------------------------------------------
 # Selections
 # ----------------------------------------------------------------------
@@ -548,6 +617,21 @@ def task_member_key_set(column: AnyColumn, keyspace: str):
     return np.unique(keys)
 
 
+def task_join_partition_positions(
+    column: AnyColumn, keyspace: str, fanout: int
+) -> List[np.ndarray]:
+    """Grace-join radix split of one fragment: the fragment's local BUN
+    positions grouped by join-key partition, NIL keys dropped up front
+    (comparison rule).  Shared by build and probe sides; the object
+    (str) variant is a GIL-bound hashing loop, which is exactly the
+    shape the process backend offloads."""
+    fanout = int(fanout)
+    keys, valid = join_keys(column, keyspace)
+    positions = np.nonzero(valid)[0].astype(np.int64)
+    ids = join_partition_ids(keys, fanout, keyspace == "object")[positions]
+    return [positions[ids == partition] for partition in range(fanout)]
+
+
 #: Name -> task function, the registry worker processes resolve task
 #: names against (names pickle; module-level functions need not).
 FRAGMENT_TASKS: Dict[str, Callable[..., Any]] = {
@@ -556,6 +640,7 @@ FRAGMENT_TASKS: Dict[str, Callable[..., Any]] = {
     "like_positions": task_like_positions,
     "member_positions": task_member_positions,
     "member_key_set": task_member_key_set,
+    "join_partition_positions": task_join_partition_positions,
 }
 
 

@@ -320,6 +320,15 @@ def has_builtin(name: str) -> bool:
     return name in _PLAIN
 
 
+#: Builtins whose fragment-parallel implementations consume a
+#: fragmented *right* operand without coalescing (the grace-join
+#: family).  A monolithic receiver is fragmented on the fly for these,
+#: so ``join(mono, frag)`` no longer coalesces the fragmented side.
+_FRAGMENT_ANY_OPERAND = frozenset(
+    {"join", "leftjoin", "fetchjoin", "outerjoin", "semijoin", "kdiff"}
+)
+
+
 def invoke_builtin(
     name: str, args: list, policy: Optional[FragmentationPolicy] = None
 ) -> Any:
@@ -327,13 +336,24 @@ def invoke_builtin(
 
     When the receiver is fragmented and a fragment-parallel
     implementation exists, it runs fragment-parallel and the result is
-    re-fragmented under *policy* if it drifted; otherwise fragmented
-    arguments coalesce (cached, at most once per BAT) and the
-    monolithic implementation runs."""
+    re-fragmented under *policy* if it drifted; the join family also
+    accepts a monolithic receiver against a fragmented right operand
+    (the receiver fragments on the fly, the right side stays
+    fragmented).  Otherwise fragmented arguments coalesce (cached, at
+    most once per BAT) and the monolithic implementation runs."""
     impl = plain_builtin(name)
     check_arity(name, len(args))
     if any(isinstance(a, FragmentedBAT) for a in args):
         fragmented = _FRAGMENT.get(name)
+        if (
+            fragmented is not None
+            and name in _FRAGMENT_ANY_OPERAND
+            and isinstance(args[0], BAT)
+        ):
+            args = [
+                fragments.fragment_bat(args[0], policy or FragmentationPolicy()),
+                *args[1:],
+            ]
         if fragmented is not None and isinstance(args[0], FragmentedBAT):
             result = fragmented(*args)
             if isinstance(result, FragmentedBAT):

@@ -222,6 +222,19 @@ def load_blob(handle: tuple) -> Any:
 # ----------------------------------------------------------------------
 
 
+def _copy_off_segment(result: Any) -> Any:
+    """Deep-copy every ndarray in *result* (descending through list and
+    tuple shells) so nothing aliases a shared-memory segment about to
+    be detached."""
+    if isinstance(result, np.ndarray):
+        return result.copy()
+    if isinstance(result, list):
+        return [_copy_off_segment(item) for item in result]
+    if isinstance(result, tuple):
+        return tuple(_copy_off_segment(item) for item in result)
+    return result
+
+
 def run_column_task(
     task_name: str, handle: tuple, args: tuple, blob_handle: Optional[tuple] = None
 ) -> Any:
@@ -242,12 +255,15 @@ def run_column_task(
             result = fn(column, load_blob(blob_handle), *args)
         else:
             result = fn(column, *args)
-        if segment is not None and isinstance(result, np.ndarray):
+        if segment is not None:
             # Never let a result view pin the shared buffer past the
             # task: copy unconditionally before the mapping closes
             # (ascontiguousarray would no-op on a contiguous view and
-            # leave the result aliasing the unlinked segment).
-            result = result.copy()
+            # leave the result aliasing the unlinked segment).  Results
+            # may also be containers of arrays (the grace-join radix
+            # split returns one positions array per partition), so the
+            # copy recurses through list/tuple shells.
+            result = _copy_off_segment(result)
         return result
     finally:
         del column

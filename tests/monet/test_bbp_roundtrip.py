@@ -127,6 +127,8 @@ def _tuning_state(fragments):
         fragments.MERGE_FANOUT,
         fragments.DEFAULT_BACKEND,
         fragments.PROCESS_MIN_BUNS,
+        fragments.JOIN_FANOUT,
+        fragments.JOIN_SPILL_BUNS,
         fragments._TUNING_MEASURED,
     )
 
@@ -138,6 +140,8 @@ def _restore_tuning(fragments, state):
         fragments.MERGE_FANOUT,
         fragments.DEFAULT_BACKEND,
         fragments.PROCESS_MIN_BUNS,
+        fragments.JOIN_FANOUT,
+        fragments.JOIN_SPILL_BUNS,
         fragments._TUNING_MEASURED,
     ) = state
 
@@ -163,6 +167,8 @@ def test_calibrated_tuning_roundtrip(pool, tmp_path):
             merge_fanout=24,
             backend="process",
             process_min=4096,
+            join_fanout=12,
+            join_spill=2_000_000,
         )
         pool.save(tmp_path / "db2")
         catalog = json.loads((tmp_path / "db2" / "catalog.json").read_text())
@@ -172,6 +178,8 @@ def test_calibrated_tuning_roundtrip(pool, tmp_path):
             "merge_fanout": 24,
             "backend": "process",
             "process_min": 4096,
+            "join_fanout": 12,
+            "join_spill": 2_000_000,
         }
 
         # A "restart": reset the module defaults, then load the pool.
@@ -182,6 +190,8 @@ def test_calibrated_tuning_roundtrip(pool, tmp_path):
         assert fragments.MERGE_FANOUT == 24
         assert fragments.DEFAULT_BACKEND == "process"
         assert fragments.PROCESS_MIN_BUNS == 4096
+        assert fragments.JOIN_FANOUT == 12
+        assert fragments.JOIN_SPILL_BUNS == 2_000_000
         assert fragments.default_tuning()["measured"]
         # Policies made after the load pick the persisted value up.
         assert FragmentationPolicy().target_size == 12345
@@ -203,6 +213,26 @@ def test_persisted_tuning_yields_to_env_overrides(pool, tmp_path, monkeypatch):
         # The env-pinned knob is untouched; the other one installs.
         assert fragments.DEFAULT_FRAGMENT_SIZE == saved_state[0]
         assert fragments.PARALLEL_MIN_BUNS == 22222
+    finally:
+        _restore_tuning(fragments, saved_state)
+
+
+def test_persisted_join_tuning_yields_to_env_overrides(pool, tmp_path, monkeypatch):
+    """REPRO_JOIN_FANOUT / REPRO_JOIN_SPILL_BUNS beat persisted values
+    knob by knob, like every other tuning field."""
+    from repro.monet import fragments
+
+    saved_state = _tuning_state(fragments)
+    try:
+        pool.register("x", dense_bat("int", [1]))
+        fragments.set_default_tuning(join_fanout=48, join_spill=7777)
+        pool.save(tmp_path / "db")
+        _restore_tuning(fragments, saved_state)
+        monkeypatch.setenv("REPRO_JOIN_FANOUT", "8")
+        BATBufferPool.load(tmp_path / "db")
+        # The env-pinned fanout is untouched; the spill knob installs.
+        assert fragments.JOIN_FANOUT == saved_state[5]
+        assert fragments.JOIN_SPILL_BUNS == 7777
     finally:
         _restore_tuning(fragments, saved_state)
 

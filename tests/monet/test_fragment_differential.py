@@ -1111,3 +1111,185 @@ def test_sample_sort_output_feeds_fragment_parallel_ops(strategy):
     got = fr.select(sorted_fb, -2, 4).to_bat()
     expected = kernel.select(kernel.sort(bat), -2, 4)
     assert_pairs_equal(got, _raw_pairs(expected))
+
+
+# ----------------------------------------------------------------------
+# Grace-join differential: fragmented rights, spill, fan-out extremes
+# ----------------------------------------------------------------------
+
+
+def _join_case(rng, flavor: str, n: int, m: int):
+    """Random (left, right) join operands of one dtype flavor with
+    NIL-heavy bases on both sides."""
+    if flavor == "str":
+        words = ["ape", "bat", "cat", "dog", "eel"]
+        probe_vals = np.empty(n, dtype=object)
+        for i in range(n):
+            probe_vals[i] = None if rng.random() < 0.2 else str(rng.choice(words))
+        left = BAT(VoidColumn(0, n), Column("str", probe_vals))
+        build_vals = np.empty(m, dtype=object)
+        for i in range(m):
+            build_vals[i] = None if rng.random() < 0.2 else str(rng.choice(words))
+        right = BAT(Column("str", build_vals), Column("int", rng.integers(0, 9, m)))
+    elif flavor == "dbl":
+        probe_vals = np.round(rng.random(n) * 8, 0)
+        if n:
+            probe_vals[rng.random(n) < 0.25] = np.nan
+        left = BAT(VoidColumn(0, n), Column("dbl", probe_vals))
+        build_vals = np.round(rng.random(m) * 8, 0)
+        if m:
+            build_vals[rng.random(m) < 0.25] = np.nan
+        right = BAT(Column("dbl", build_vals), Column("int", rng.integers(-4, 4, m)))
+    else:
+        left = BAT(VoidColumn(0, n), Column("oid", rng.integers(0, 15, n)))
+        right = BAT(
+            Column("oid", rng.integers(0, 15, m).astype(np.int64)),
+            Column("int", rng.integers(-4, 4, m)),
+        )
+    return left, right
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_join_fragmented_right_differential(seed, exec_backend):
+    """The grace hash join with fragmented *right* operands: range x
+    round-robin splits of both sides, under both executor backends
+    (the fixture), over NIL-heavy bases -- BUN-identical to the
+    monolithic kernel for join and outerjoin alike, with no coalesce
+    of either operand."""
+    rng = np.random.default_rng(1300 + seed)
+    n = int(rng.choice([0, 1, 30, 90]))
+    m = int(rng.integers(0, 25))
+    left, right = _join_case(rng, ("oid", "dbl", "str")[seed % 3], n, m)
+    join_variants = [
+        fr.join(_fragment(left, ls), _fragment(right, rs))
+        for ls in STRATEGIES
+        for rs in STRATEGIES
+    ]
+    _check_op(
+        kernel.join(left, right),
+        _ref_join(_raw_pairs(left), _raw_pairs(right)),
+        join_variants,
+    )
+    # outerjoin rides the same shared partitioned build (the reference
+    # is the monolithic kernel, itself pinned by test_nil_join_*).
+    mono_outer = kernel.outerjoin(left, right)
+    outer_variants = [
+        fr.outerjoin(_fragment(left, ls), _fragment(right, rs))
+        for ls in STRATEGIES
+        for rs in STRATEGIES
+    ]
+    _check_op(mono_outer, _raw_pairs(mono_outer), outer_variants)
+
+
+@pytest.mark.parametrize("seed", range(0, N_CASES, 5))
+def test_join_spill_forced_differential(seed, monkeypatch):
+    """JOIN_SPILL_BUNS=0 forces every partitioned build through the
+    BBP npz spill units; results stay BUN-identical and no spill unit
+    outlives its join."""
+    from repro.monet import bbp
+
+    monkeypatch.setattr(fr, "JOIN_SPILL_BUNS", 0)
+    monkeypatch.setattr(fr, "JOIN_PARTITION_MIN_BUNS", 1)
+    rng = np.random.default_rng(1400 + seed)
+    n = int(rng.choice([1, 30, 90]))
+    m = int(rng.integers(1, 25))
+    left, right = _join_case(rng, ("oid", "dbl", "str")[seed % 3], n, m)
+    variants = [
+        fr.join(_fragment(left, ls), _fragment(right, rs))
+        for ls in STRATEGIES
+        for rs in STRATEGIES
+    ] + [
+        fr.outerjoin(_fragment(left, ls), _fragment(right, "range"))
+        for ls in STRATEGIES
+    ]
+    _check_op(
+        kernel.join(left, right),
+        _ref_join(_raw_pairs(left), _raw_pairs(right)),
+        variants[:4],
+    )
+    mono_outer = kernel.outerjoin(left, right)
+    _check_op(mono_outer, _raw_pairs(mono_outer), variants[4:])
+    if bbp._SPILL_ROOT is not None:
+        assert list(bbp._SPILL_ROOT.iterdir()) == []
+
+
+@pytest.mark.parametrize("fanout", [1, 64])
+@pytest.mark.parametrize("flavor", ["oid", "str"])
+def test_join_fanout_extremes(fanout, flavor, monkeypatch):
+    """JOIN_FANOUT extremes, with the partition floor disabled so the
+    cap actually binds: one partition (a plain shared-index join) and
+    more partitions than distinct keys must both reproduce the
+    monolithic join."""
+    monkeypatch.setattr(fr, "JOIN_FANOUT", fanout)
+    monkeypatch.setattr(fr, "JOIN_PARTITION_MIN_BUNS", 1)
+    rng = np.random.default_rng(99 + fanout)
+    left, right = _join_case(rng, flavor, 120, 30)
+    expected = _ref_join(_raw_pairs(left), _raw_pairs(right))
+    variants = [
+        fr.join(_fragment(left, ls), _fragment(right, rs))
+        for ls in STRATEGIES
+        for rs in STRATEGIES
+    ]
+    _check_op(kernel.join(left, right), expected, variants)
+
+
+def test_fragmented_bat_requires_fragments_and_tolerates_empty_ones():
+    """The >=1-fragment constructor invariant that _probe_dtype leans
+    on, plus the degenerate case it guards: a fragmentation whose only
+    fragment has zero BUNs must still probe (join/topn/group) safely."""
+    from repro.monet.errors import KernelError as KE
+
+    with pytest.raises(KE):
+        FragmentedBAT([])
+    empty = BAT(VoidColumn(0, 0), Column("int", np.empty(0, dtype=np.int64)))
+    fb = fragment_bat(empty, FragmentationPolicy(target_size=4, workers=2))
+    assert fb.nfragments == 1 and len(fb.fragments[0]) == 0
+    right = BAT(
+        Column("int", np.array([1, 2], dtype=np.int64)),
+        Column("int", np.array([10, 20], dtype=np.int64)),
+    )
+    assert fr.join(fb, right).to_bat().to_pairs() == []
+    assert fr.topn(fb, 3).to_pairs() == []
+    assert fr.group(fb).to_bat().to_pairs() == []
+    sempty = BAT(VoidColumn(0, 0), Column("str", np.empty(0, dtype=object)))
+    sfb = fragment_bat(sempty, FragmentationPolicy(target_size=4, workers=2))
+    sright = BAT(
+        Column("str", np.array(["a"], dtype=object)),
+        Column("int", np.array([1], dtype=np.int64)),
+    )
+    assert fr.join(sfb, sright).to_bat().to_pairs() == []
+    assert fr.topn(sfb, 2).to_pairs() == []
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fetchjoin_fragmented_dense_right(strategy, monkeypatch):
+    """A range-partitioned fragmented dense right operand routes by
+    seqbase windows (no coalesce); a round-robin one still coalesces
+    and keeps the monolithic error behaviour."""
+    rng = np.random.default_rng(55)
+    n = 160
+    left = BAT(VoidColumn(0, n), Column("oid", rng.integers(0, 90, n)))
+    dense = BAT(VoidColumn(10, 60), Column("dbl", np.round(rng.random(60), 3)))
+    expected = kernel.fetchjoin(left, dense)
+    fleft = _fragment(left, strategy)
+    fdense = fragment_bat(
+        dense, FragmentationPolicy(target_size=16, workers=2)
+    )
+    # FragmentedBAT uses __slots__, so the no-coalesce tripwire patches
+    # the class; undo before coalescing the *results* for comparison.
+    monkeypatch.setattr(
+        fr.FragmentedBAT,
+        "to_bat",
+        lambda self: (_ for _ in ()).throw(AssertionError("coalesced")),
+    )
+    results = (fr.fetchjoin(fleft, fdense), fr.join(fleft, fdense))
+    monkeypatch.undo()
+    for result in results:
+        assert_pairs_equal(result.to_bat(), _raw_pairs(expected))
+    # Round-robin dense rights have no contiguous windows: they fall
+    # back to the coalescing path and must still agree.
+    rr = fragment_bat(
+        dense,
+        FragmentationPolicy(target_size=16, workers=2, strategy="roundrobin"),
+    )
+    assert_pairs_equal(fr.fetchjoin(fleft, rr).to_bat(), _raw_pairs(expected))

@@ -312,6 +312,65 @@ def test_setops_pipeline_never_coalesces(strategy, monkeypatch):
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
+def test_join_pipeline_never_coalesces(strategy, monkeypatch):
+    """The PR-6 acceptance property: a pipeline joining two *fragmented*
+    BATs runs the radix-partitioned build without materializing either
+    side -- ``pool.lookup``, ``fragments.coalesce`` AND
+    ``FragmentedBAT.to_bat`` are all tripwired, so not even the join's
+    build side may coalesce before result return."""
+    from repro.monet import fragments as fragments_module
+
+    _, frag_pool = _pools(strategy)
+
+    def forbidden_lookup(name):
+        raise AssertionError(
+            f"pool.lookup({name!r}) called during a fragmented join plan"
+        )
+
+    def forbidden_coalesce(value):
+        raise AssertionError("fragments.coalesce called before result return")
+
+    def forbidden_to_bat(self):
+        raise AssertionError("FragmentedBAT.to_bat called inside a join plan")
+
+    monkeypatch.setattr(frag_pool, "lookup", forbidden_lookup)
+    monkeypatch.setattr(fragments_module, "coalesce", forbidden_coalesce)
+    monkeypatch.setattr(FragmentedBAT, "to_bat", forbidden_to_bat)
+    interpreter = MILInterpreter(frag_pool, fragment_policy=_policy(strategy))
+    result = interpreter.run(
+        """
+        s := bat("keys").select(oid(1), oid(8));
+        j := s.join(bat("dim"));
+        o := bat("keys").outerjoin(bat("dim"));
+        m := bat("headed").semijoin(bat("dim"));
+        c := count(j);
+        c;
+        """
+    )
+    monkeypatch.undo()
+    for name in ("s", "j", "o", "m"):
+        assert isinstance(result.env[name], FragmentedBAT), name
+    assert isinstance(result.value, int)
+
+    mono_pool, _ = _pools(strategy)
+    mono = MILInterpreter(mono_pool).run(
+        """
+        s := bat("keys").select(oid(1), oid(8));
+        j := s.join(bat("dim"));
+        o := bat("keys").outerjoin(bat("dim"));
+        m := bat("headed").semijoin(bat("dim"));
+        c := count(j);
+        c;
+        """
+    )
+    assert result.value == mono.value
+    for name in ("j", "o", "m"):
+        _assert_same_value(
+            result.env[name].to_bat(), mono.env[name], f"join pipeline {name}"
+        )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
 def test_final_result_is_coalesced_once(strategy):
     """A fragmented plan's final BAT value coalesces exactly at result
     return (and the coalesce is cached on the handle)."""
