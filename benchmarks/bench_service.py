@@ -1,0 +1,281 @@
+"""E12 -- concurrent query-service latency and throughput.
+
+Drives a live :class:`repro.service.server.MirrorService` (asyncio
+front door, bounded executor, admission control) over real TCP sockets
+and measures:
+
+* **Point-lookup scaling**: p50/p99 latency and aggregate throughput
+  of a small MIL select under N in {1, 8, 32} concurrent clients.
+* **Mixed workload / anti-starvation**: the same point lookups while
+  one client runs a heavy multi-statement sort pipeline.  The bounded
+  executor (admission ``max_inflight`` slots, one occupied by the
+  sort) must keep point-lookup p99 in the same regime instead of
+  queueing everything behind the sort -- the row pair
+  ``service_point`` vs ``service_mixed_point`` in the JSON artifact is
+  the proof, and CI gates both through ``check_regression.py``.
+
+Rows follow the BENCH_fragments.json schema (op, n, backend, dtype,
+median_ms, mode) so the one regression gate covers both artifacts;
+the service rows additionally carry ``p99_ms`` and ``qps``.
+
+Standalone report:  python benchmarks/bench_service.py
+Fast smoke mode:    BENCH_FAST=1 python benchmarks/bench_service.py
+JSON artifact:      BENCH_FAST=1 python benchmarks/bench_service.py \\
+                        --json BENCH_service.json
+CI service smoke:   python benchmarks/bench_service.py --smoke-clients 16
+"""
+
+import json
+import os
+import platform
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.core.mirror import MirrorDBMS
+from repro.monet.bat import BAT, Column, VoidColumn
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+FAST = bool(os.environ.get("BENCH_FAST"))
+POINT_N = 100_000 if not FAST else 20_000
+HEAVY_N = 2_000_000 if not FAST else 300_000
+REQUESTS_PER_CLIENT = 40 if not FAST else 12
+CLIENT_COUNTS = (1, 8, 32)
+MAX_INFLIGHT = max(2, min(4, (os.cpu_count() or 2)))
+
+POINT_MIL = 'bat("pts").select(100, 220);'
+#: Many statements: wall-clock heavy, checkpointed between statements.
+HEAVY_MIL = "\n".join(
+    [f'h{i} := tsort(bat("heavy"));' for i in range(8)] + ["count(h7);"]
+)
+
+_JSON_ROWS = []
+
+
+def _record(op, n, stats):
+    _JSON_ROWS.append(
+        {
+            "op": op,
+            "n": int(n),
+            "backend": "service",
+            "dtype": "int",
+            "median_ms": round(stats["p50_ms"], 4),
+            "p99_ms": round(stats["p99_ms"], 4),
+            "qps": round(stats["qps"], 1),
+            "mode": "smoke" if FAST else "full",
+        }
+    )
+
+
+def write_json(path):
+    document = {
+        "schema": 1,
+        "mode": "smoke" if FAST else "full",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "max_inflight": MAX_INFLIGHT,
+        "rows": _JSON_ROWS,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+    print(f"wrote {len(_JSON_ROWS)} benchmark rows to {path}")
+
+
+def make_db() -> MirrorDBMS:
+    db = MirrorDBMS()
+    rng = np.random.default_rng(11)
+    db.pool.register(
+        "pts",
+        BAT(
+            VoidColumn(0, POINT_N),
+            Column("int", rng.integers(0, 10_000, POINT_N).astype(np.int64)),
+        ),
+    )
+    db.pool.register(
+        "heavy",
+        BAT(
+            VoidColumn(0, HEAVY_N),
+            Column("int", rng.integers(0, 1_000_000, HEAVY_N).astype(np.int64)),
+        ),
+    )
+    return db
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return float("nan")
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _run_clients(address, n_clients, requests_each):
+    """Fire point lookups from *n_clients* threads; returns latency
+    stats in milliseconds plus aggregate throughput."""
+    latencies = []
+    errors = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client_run():
+        try:
+            with ServiceClient(*address) as client:
+                barrier.wait(timeout=60)
+                mine = []
+                for _ in range(requests_each):
+                    start = time.perf_counter()
+                    client.mil(POINT_MIL)
+                    mine.append((time.perf_counter() - start) * 1000)
+                with lock:
+                    latencies.extend(mine)
+        except Exception as exc:  # pragma: no cover - reported below
+            with lock:
+                errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    threads = [threading.Thread(target=client_run) for _ in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    if errors:
+        raise RuntimeError(f"{len(errors)} client(s) failed: {errors[:3]}")
+    latencies.sort()
+    return {
+        "p50_ms": _percentile(latencies, 0.50),
+        "p99_ms": _percentile(latencies, 0.99),
+        "qps": len(latencies) / wall if wall > 0 else float("inf"),
+        "count": len(latencies),
+    }
+
+
+def bench_point_scaling(service):
+    print(f"\npoint lookups over TCP ({POINT_N} BUNs base, "
+          f"{REQUESTS_PER_CLIENT} req/client, max_inflight={MAX_INFLIGHT})")
+    print(f"{'clients':>8} {'p50 ms':>9} {'p99 ms':>9} {'qps':>9}")
+    for n_clients in CLIENT_COUNTS:
+        stats = _run_clients(service.address, n_clients, REQUESTS_PER_CLIENT)
+        _record("service_point", n_clients, stats)
+        print(
+            f"{n_clients:>8} {stats['p50_ms']:>9.2f} "
+            f"{stats['p99_ms']:>9.2f} {stats['qps']:>9.1f}"
+        )
+
+
+def bench_mixed_workload(service):
+    """Point lookups while one heavy sort pipeline hogs a slot: the
+    admission controller must keep the lookups flowing."""
+    n_clients = 8
+    print(f"\nmixed workload: {n_clients} point-lookup clients + 1 heavy "
+          f"sort client ({HEAVY_N} BUNs x8 statements)")
+    heavy_done = threading.Event()
+    heavy_wall = {}
+
+    def heavy_run():
+        try:
+            with ServiceClient(*service.address, timeout=600) as client:
+                start = time.perf_counter()
+                client.mil(HEAVY_MIL, deadline_ms=600_000)
+                heavy_wall["seconds"] = time.perf_counter() - start
+        finally:
+            heavy_done.set()
+
+    heavy = threading.Thread(target=heavy_run)
+    heavy.start()
+    time.sleep(0.05)  # let the sort occupy its slot
+    stats = _run_clients(service.address, n_clients, REQUESTS_PER_CLIENT)
+    heavy.join()
+    _record("service_mixed_point", n_clients, stats)
+    print(f"{'clients':>8} {'p50 ms':>9} {'p99 ms':>9} {'qps':>9}")
+    print(
+        f"{n_clients:>8} {stats['p50_ms']:>9.2f} "
+        f"{stats['p99_ms']:>9.2f} {stats['qps']:>9.1f}"
+    )
+    if "seconds" in heavy_wall:
+        print(f"  heavy sort pipeline: {heavy_wall['seconds']:.2f}s wall")
+    print(
+        "  point-lookup p99 stayed bounded while the sort ran "
+        f"(p99 {stats['p99_ms']:.2f} ms)"
+    )
+    return stats
+
+
+def run_smoke(n_clients):
+    """CI service smoke: N concurrent clients, every response correct,
+    clean shutdown, zero leaked threads or sessions."""
+    db = make_db()
+    before = {t.name for t in threading.enumerate()}
+    config = ServiceConfig(
+        max_inflight=MAX_INFLIGHT, max_queue=4 * n_clients, queue_timeout=60
+    )
+    with ServiceThread(db, config) as service:
+        stats = _run_clients(service.address, n_clients, 5)
+        assert stats["count"] == n_clients * 5, stats
+        report = service.service.status()
+        assert report["queries_served"] >= n_clients * 5, report
+        # Session reaping runs on the event loop after the close
+        # handshake; give it a beat before requiring an empty registry.
+        reap_deadline = time.monotonic() + 10
+        while service.service.sessions and time.monotonic() < reap_deadline:
+            time.sleep(0.05)
+        assert not service.service.sessions, service.service.status()
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        leaked = [
+            t.name
+            for t in threading.enumerate()
+            if t.name.startswith(("mirror-query", "mirror-service"))
+        ]
+        if not leaked:
+            break
+        time.sleep(0.05)
+    assert not leaked, f"leaked service threads: {leaked}"
+    after = {t.name for t in threading.enumerate()}
+    assert after <= before, f"leaked threads: {sorted(after - before)}"
+    session_temps = [n for n in db.pool._all_names() if n.startswith("@")]
+    assert not session_temps, f"leaked session temps: {session_temps}"
+    print(
+        f"service smoke PASS: {n_clients} concurrent clients, "
+        f"{stats['count']} queries (p99 {stats['p99_ms']:.2f} ms), "
+        "clean shutdown, zero leaked threads/sessions"
+    )
+
+
+def main(argv):
+    json_path = None
+    smoke_clients = None
+    position = 0
+    while position < len(argv):
+        if argv[position] == "--json" and position + 1 < len(argv):
+            json_path = argv[position + 1]
+            position += 2
+        elif argv[position] == "--smoke-clients" and position + 1 < len(argv):
+            smoke_clients = int(argv[position + 1])
+            position += 2
+        else:
+            print(f"unknown argument {argv[position]!r}")
+            return 2
+    if smoke_clients is not None:
+        run_smoke(smoke_clients)
+        return 0
+    db = make_db()
+    config = ServiceConfig(
+        max_inflight=MAX_INFLIGHT, max_queue=256, queue_timeout=120
+    )
+    with ServiceThread(db, config) as service:
+        bench_point_scaling(service)
+        bench_mixed_workload(service)
+    if json_path:
+        write_json(json_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

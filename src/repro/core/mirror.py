@@ -19,6 +19,7 @@ executor::
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -51,6 +52,14 @@ class MirrorDBMS:
     predicates to the process pool; the default follows
     ``REPRO_EXECUTOR_BACKEND`` and the calibrated tuning persisted in
     the BBP catalog).
+
+    One MirrorDBMS is safe to share across threads (the query service
+    runs every session against a single instance): the read path --
+    :meth:`query` and friends -- takes no lock (compilation snapshots
+    the schema, the pool's own lock guards catalog access), while the
+    write path (:meth:`define`, :meth:`insert`, :meth:`replace`,
+    :meth:`delete`, :meth:`save`) serializes on :attr:`write_lock` so
+    concurrent read-modify-write loads cannot interleave.
     """
 
     def __init__(
@@ -62,6 +71,8 @@ class MirrorDBMS:
     ):
         self.pool = pool if pool is not None else BATBufferPool()
         self.schema: Dict[str, MoaType] = {}
+        #: Serializes DDL and bulk loads; reads never take it.
+        self.write_lock = threading.RLock()
         self._executor = MoaExecutor(
             self.pool,
             self.schema,
@@ -83,8 +94,9 @@ class MirrorDBMS:
     def define(self, ddl: str) -> List[str]:
         """Execute one or more ``define`` statements; returns the names."""
         parsed = parse_schema(ddl)
-        for name, ty in parsed.items():
-            self.schema[name] = ty
+        with self.write_lock:
+            for name, ty in parsed.items():
+                self.schema[name] = ty
         return list(parsed)
 
     def collection_type(self, name: str) -> MoaType:
@@ -109,17 +121,19 @@ class MirrorDBMS:
         """Bulk-load *values* into collection *name* (replacing or
         appending to existing contents); returns the new cardinality."""
         ty = self.collection_type(name)
-        existing: List[Any] = []
-        if self.pool.exists(f"{name}.__extent__"):
-            existing = reconstruct_collection(self.pool, name, ty)
-        combined = existing + list(values)
-        self._executor.load(name, ty, combined)
+        with self.write_lock:
+            existing: List[Any] = []
+            if self.pool.exists(f"{name}.__extent__"):
+                existing = reconstruct_collection(self.pool, name, ty)
+            combined = existing + list(values)
+            self._executor.load(name, ty, combined)
         return len(combined)
 
     def replace(self, name: str, values: Sequence[Any]) -> int:
         """Replace the contents of collection *name* entirely."""
         ty = self.collection_type(name)
-        self._executor.load(name, ty, list(values))
+        with self.write_lock:
+            self._executor.load(name, ty, list(values))
         return len(values)
 
     def delete(self, name: str, predicate: str) -> int:
@@ -130,9 +144,10 @@ class MirrorDBMS:
         compiled ``select[not(...)]`` and the collection reloaded --
         bulk-oriented like every update path in this system.
         """
-        before = self.count(name)
-        survivors = self.query(f"select[not ({predicate})]({name});").value
-        self.replace(name, survivors)
+        with self.write_lock:
+            before = self.count(name)
+            survivors = self.query(f"select[not ({predicate})]({name});").value
+            self.replace(name, survivors)
         return before - len(survivors)
 
     def count(self, name: str) -> int:
@@ -188,8 +203,9 @@ class MirrorDBMS:
     def save(self, directory: Union[str, Path]) -> None:
         """Persist pool + schema to *directory*."""
         directory = Path(directory)
-        self.pool.save(directory)
-        (directory / "schema.ddl").write_text(self.ddl() + "\n")
+        with self.write_lock:
+            self.pool.save(directory)
+            (directory / "schema.ddl").write_text(self.ddl() + "\n")
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "MirrorDBMS":

@@ -12,14 +12,22 @@ measures):
 * **accounting** -- calls and marshalled byte volume are counted per
   object, giving the E1 benchmark its traffic numbers.
 
-What it does not do: real sockets, IDL, or concurrency -- none of which
-the paper evaluates.
+The broker is thread-safe: one lock guards the name registry and the
+call log, so daemons may register/unregister and clients may invoke
+concurrently (the query service registers itself as a daemon and its
+sessions run on many threads).  Method dispatch itself happens outside
+the lock -- a slow daemon method never blocks the naming service -- so
+the *target objects* must handle their own concurrency.
+
+What it does not do: real sockets or IDL -- which the paper does not
+evaluate.
 """
 
 from __future__ import annotations
 
 import copy
 import pickle
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -44,6 +52,16 @@ class Orb:
     def __init__(self):
         self._objects: Dict[str, Any] = {}
         self.calls: List[CallRecord] = []
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Naming service
@@ -52,36 +70,45 @@ class Orb:
         """Bind *obj* under *name*; returns the proxy clients should use."""
         if not name:
             raise OrbError("object name must be non-empty")
-        if name in self._objects:
-            raise OrbError(f"name {name!r} already bound")
-        self._objects[name] = obj
+        with self._lock:
+            if name in self._objects:
+                raise OrbError(f"name {name!r} already bound")
+            self._objects[name] = obj
         return RemoteProxy(self, name)
 
     def unregister(self, name: str) -> None:
-        if name not in self._objects:
-            raise OrbError(f"name {name!r} not bound")
-        del self._objects[name]
+        with self._lock:
+            if name not in self._objects:
+                raise OrbError(f"name {name!r} not bound")
+            del self._objects[name]
 
     def resolve(self, name: str) -> "RemoteProxy":
         """Name -> proxy (CORBA ``resolve_initial_references`` analogue)."""
-        if name not in self._objects:
-            raise OrbError(
-                f"cannot resolve {name!r}; bound names: {sorted(self._objects)}"
-            )
+        with self._lock:
+            if name not in self._objects:
+                raise OrbError(
+                    f"cannot resolve {name!r}; bound names: "
+                    f"{sorted(self._objects)}"
+                )
         return RemoteProxy(self, name)
 
     def names(self) -> List[str]:
-        return sorted(self._objects)
+        with self._lock:
+            return sorted(self._objects)
 
     # ------------------------------------------------------------------
     # Invocation
     # ------------------------------------------------------------------
     def invoke(self, name: str, method: str, args: tuple, kwargs: dict) -> Any:
-        """Marshal, dispatch, marshal back."""
-        try:
-            target = self._objects[name]
-        except KeyError:
-            raise OrbError(f"object {name!r} vanished") from None
+        """Marshal, dispatch, marshal back.  The registry is consulted
+        under the lock but the target method runs outside it, so
+        concurrent invocations of independent daemons proceed in
+        parallel."""
+        with self._lock:
+            try:
+                target = self._objects[name]
+            except KeyError:
+                raise OrbError(f"object {name!r} vanished") from None
         bound = getattr(target, method, None)
         if bound is None or not callable(bound):
             raise OrbError(f"{name!r} has no method {method!r}")
@@ -89,22 +116,28 @@ class Orb:
         m_args, m_kwargs = marshalled_args
         result = bound(*m_args, **m_kwargs)
         marshalled_result, reply_bytes = _marshal(result)
-        self.calls.append(CallRecord(name, method, request_bytes, reply_bytes))
+        with self._lock:
+            self.calls.append(
+                CallRecord(name, method, request_bytes, reply_bytes)
+            )
         return marshalled_result
 
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     def call_count(self, name: Optional[str] = None) -> int:
-        if name is None:
-            return len(self.calls)
-        return sum(1 for c in self.calls if c.object_name == name)
+        with self._lock:
+            if name is None:
+                return len(self.calls)
+            return sum(1 for c in self.calls if c.object_name == name)
 
     def traffic_bytes(self) -> int:
-        return sum(c.request_bytes + c.reply_bytes for c in self.calls)
+        with self._lock:
+            return sum(c.request_bytes + c.reply_bytes for c in self.calls)
 
     def reset_accounting(self) -> None:
-        self.calls.clear()
+        with self._lock:
+            self.calls.clear()
 
 
 class RemoteProxy:

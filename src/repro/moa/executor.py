@@ -21,7 +21,7 @@ modes select the benchmark configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.ir.stats import CollectionStats
 from repro.moa import ast
@@ -99,6 +99,13 @@ class MoaExecutor:
     while ``backend=None`` (the default) follows the live module
     default (``REPRO_EXECUTOR_BACKEND`` / calibrated tuning persisted
     in the BBP catalog).
+
+    One executor is safe to share across threads: compilation
+    snapshots the schema dict, each run builds its own environment, and
+    the MIL interpreter instance carries no per-run state.  The only
+    caveat is the write path -- :meth:`load` (and the MirrorDBMS DDL /
+    bulk-load facade above it) must be externally serialized, which
+    :class:`repro.core.mirror.MirrorDBMS` does with its own lock.
     """
 
     def __init__(
@@ -140,12 +147,16 @@ class MoaExecutor:
         params = params or {}
         param_types = {name: infer_param_type(v) for name, v in params.items()}
         node = parse_query(query) if isinstance(query, str) else query
-        typed = typecheck(node, self.schema, param_types)
+        # Snapshot the schema: the service layer shares one executor
+        # across sessions, and a concurrent `define` mutating the dict
+        # mid-typecheck must not corrupt this compilation.
+        schema = dict(self.schema)
+        typed = typecheck(node, schema, param_types)
         if optimize:
             typed = optimize_ast(typed)
-            typed = typecheck(typed, self.schema, param_types)
+            typed = typecheck(typed, schema, param_types)
         compiler = Compiler(
-            self.schema, param_types, eager_columns=eager_columns, cse=cse
+            schema, param_types, eager_columns=eager_columns, cse=cse
         )
         compiled = compiler.compile_query(typed)
         _finalize(compiler, compiled)
@@ -160,8 +171,13 @@ class MoaExecutor:
         optimize: bool = True,
         eager_columns: bool = False,
         cse: bool = True,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> QueryResult:
-        """Full pipeline: compile, run the MIL plan, reconstruct."""
+        """Full pipeline: compile, run the MIL plan, reconstruct.
+
+        *checkpoint* is the per-query cancellation/deadline hook passed
+        through to the MIL interpreter loop (see
+        :meth:`repro.monet.mil.MILInterpreter.run_program`)."""
         params = params or {}
         compiled = self.prepare(
             query,
@@ -170,14 +186,18 @@ class MoaExecutor:
             eager_columns=eager_columns,
             cse=cse,
         )
-        return self.run_compiled(compiled, params)
+        return self.run_compiled(compiled, params, checkpoint=checkpoint)
 
     def run_compiled(
-        self, compiled: CompiledQuery, params: Optional[Dict[str, Any]] = None
+        self,
+        compiled: CompiledQuery,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> QueryResult:
         """Run an already-compiled plan (prepared-query path)."""
         env = self._bind(params or {})
-        result = self.mil.run(compiled.program, env)
+        result = self.mil.run(compiled.program, env, checkpoint=checkpoint)
         value = _reconstruct_result(compiled.result, result.env)
         return QueryResult(
             value=value,
@@ -199,10 +219,11 @@ class MoaExecutor:
         params = params or {}
         param_types = {name: infer_param_type(v) for name, v in params.items()}
         node = parse_query(query) if isinstance(query, str) else query
-        typed = typecheck(node, self.schema, param_types)
+        schema = dict(self.schema)
+        typed = typecheck(node, schema, param_types)
         if optimize:
             typed = optimize_ast(typed)
-            typed = typecheck(typed, self.schema, param_types)
+            typed = typecheck(typed, schema, param_types)
         return Interpreter(data, params).run(typed)
 
     # ------------------------------------------------------------------

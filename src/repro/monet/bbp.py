@@ -28,6 +28,7 @@ import json
 import os
 import shutil
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
@@ -49,6 +50,16 @@ class BATBufferPool:
 
     Names map to either a monolithic BAT or a fragmented one; the two
     sub-catalogs share one namespace.
+
+    The pool is thread-safe: one re-entrant lock guards the two
+    sub-catalogs, both view caches and the oid sequence, so concurrent
+    sessions of the query service can register, drop and look up names
+    against one shared pool.  Lookups hold the lock while a coalesced
+    or split view materializes -- a concurrent re-register of the same
+    name therefore either happens-before (the new view is built from
+    the new registration) or happens-after (its invalidation evicts the
+    view just cached); a stale view can never survive the
+    invalidation.
     """
 
     def __init__(self):
@@ -61,7 +72,19 @@ class BATBufferPool:
         # reference to the same name would re-materialize the view.
         self._coalesced_views: Dict[str, BAT] = {}
         self._fragment_views: Dict[str, FragmentedBAT] = {}
+        self._lock = threading.RLock()
         self.oid_generator = OidGenerator()
+
+    def __getstate__(self):
+        # Locks do not pickle; a pool crossing a marshalling boundary
+        # (the ORB deep-copies arguments) re-arms a fresh one.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def _invalidate_views(self, name: str) -> None:
         self._coalesced_views.pop(name, None)
@@ -74,13 +97,14 @@ class BATBufferPool:
         """Register *bat* under *name* (Monet ``persists``)."""
         if not name:
             raise BBPError("BAT name must be non-empty")
-        if name in self and not replace:
-            raise BBPError(f"BAT {name!r} already registered")
-        self._fragmented.pop(name, None)
-        self._invalidate_views(name)
-        bat.name = name
-        self._bats[name] = bat
-        self._bump_oids(bat)
+        with self._lock:
+            if name in self and not replace:
+                raise BBPError(f"BAT {name!r} already registered")
+            self._fragmented.pop(name, None)
+            self._invalidate_views(name)
+            bat.name = name
+            self._bats[name] = bat
+            self._bump_oids(bat)
         return bat
 
     def register_fragmented(
@@ -91,16 +115,17 @@ class BATBufferPool:
         as-is."""
         if not name:
             raise BBPError("BAT name must be non-empty")
-        if name in self and not replace:
-            raise BBPError(f"BAT {name!r} already registered")
-        self._bats.pop(name, None)
-        self._invalidate_views(name)
-        fragmented.name = name
-        if fragmented._coalesced is not None:
-            fragmented._coalesced.name = name
-        self._fragmented[name] = fragmented
-        for fragment in fragmented.fragments:
-            self._bump_oids(fragment)
+        with self._lock:
+            if name in self and not replace:
+                raise BBPError(f"BAT {name!r} already registered")
+            self._bats.pop(name, None)
+            self._invalidate_views(name)
+            fragmented.name = name
+            if fragmented._coalesced is not None:
+                fragmented._coalesced.name = name
+            self._fragmented[name] = fragmented
+            for fragment in fragmented.fragments:
+                self._bump_oids(fragment)
         return fragmented
 
     def lookup(self, name: str) -> BAT:
@@ -108,19 +133,20 @@ class BATBufferPool:
         fragmented registrations are coalesced once and the view cached
         until the name is re-registered or dropped, so repeated MIL
         references never re-materialize."""
-        try:
-            return self._bats[name]
-        except KeyError:
-            pass
-        cached = self._coalesced_views.get(name)
-        if cached is not None:
-            return cached
-        try:
-            view = self._fragmented[name].to_bat()
-        except KeyError:
-            raise BBPError(f"no BAT named {name!r} in the pool") from None
-        self._coalesced_views[name] = view
-        return view
+        with self._lock:
+            try:
+                return self._bats[name]
+            except KeyError:
+                pass
+            cached = self._coalesced_views.get(name)
+            if cached is not None:
+                return cached
+            try:
+                view = self._fragmented[name].to_bat()
+            except KeyError:
+                raise BBPError(f"no BAT named {name!r} in the pool") from None
+            self._coalesced_views[name] = view
+            return view
 
     def lookup_fragments(
         self, name: str, policy: Optional[FragmentationPolicy] = None
@@ -128,14 +154,15 @@ class BATBufferPool:
         """A fragmented view of *name*: the registered fragmentation if
         there is one, otherwise the monolithic BAT split on the fly
         (cached per name; a different explicit *policy* re-splits)."""
-        if name in self._fragmented:
-            return self._fragmented[name]
-        cached = self._fragment_views.get(name)
-        if cached is not None and (policy is None or policy == cached.policy):
-            return cached
-        view = fragment_bat(self.lookup(name), policy or FragmentationPolicy())
-        self._fragment_views[name] = view
-        return view
+        with self._lock:
+            if name in self._fragmented:
+                return self._fragmented[name]
+            cached = self._fragment_views.get(name)
+            if cached is not None and (policy is None or policy == cached.policy):
+                return cached
+            view = fragment_bat(self.lookup(name), policy or FragmentationPolicy())
+            self._fragment_views[name] = view
+            return view
 
     def is_fragmented(self, name: str) -> bool:
         """True when *name* is registered as a fragmented BAT."""
@@ -146,20 +173,22 @@ class BATBufferPool:
 
     def drop(self, name: str) -> None:
         """Remove *name* from the catalog."""
-        if name in self._bats:
-            del self._bats[name]
-        elif name in self._fragmented:
-            del self._fragmented[name]
-        else:
-            raise BBPError(f"cannot drop unknown BAT {name!r}")
-        self._invalidate_views(name)
+        with self._lock:
+            if name in self._bats:
+                del self._bats[name]
+            elif name in self._fragmented:
+                del self._fragmented[name]
+            else:
+                raise BBPError(f"cannot drop unknown BAT {name!r}")
+            self._invalidate_views(name)
 
     def names(self, prefix: str = "") -> List[str]:
         """Registered names, optionally filtered by prefix, sorted."""
         return sorted(n for n in self._all_names() if n.startswith(prefix))
 
     def _all_names(self) -> List[str]:
-        return list(self._bats) + list(self._fragmented)
+        with self._lock:
+            return list(self._bats) + list(self._fragmented)
 
     def __contains__(self, name: str) -> bool:
         return name in self._bats or name in self._fragmented
@@ -172,7 +201,8 @@ class BATBufferPool:
 
     def new_oids(self, count: int) -> int:
         """Allocate *count* fresh oids; returns the first."""
-        return self.oid_generator.allocate(count)
+        with self._lock:
+            return self.oid_generator.allocate(count)
 
     def _bump_oids(self, bat: BAT) -> None:
         """Keep the oid sequence ahead of any oid stored in *bat*."""
@@ -195,6 +225,10 @@ class BATBufferPool:
         BAT or fragment)."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            self._save_locked(directory)
+
+    def _save_locked(self, directory: Path) -> None:
         catalog = {"oid_next": self.oid_generator.current, "bats": {}}
         tuning = _fragments.default_tuning()
         if tuning["measured"]:

@@ -42,3 +42,14 @@ class MILSyntaxError(MILError):
 
 class MILRuntimeError(MILError):
     """Raised by the MIL interpreter while evaluating a program."""
+
+
+class MILCancelled(MILRuntimeError):
+    """Raised by a cancellation/deadline checkpoint to stop a running
+    plan between statements (see :meth:`MILInterpreter.run_program`).
+    The service layer maps this onto its ``timeout``/``cancelled`` wire
+    errors; ``reason`` distinguishes the two."""
+
+    def __init__(self, message: str, reason: str = "cancelled"):
+        super().__init__(message)
+        self.reason = reason

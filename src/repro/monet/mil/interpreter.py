@@ -26,13 +26,22 @@ Execution results are collected in :class:`MILResult`:
 * ``printed`` -- output captured from ``print(...)`` statements;
 * ``stats`` -- per-operator invocation counts (used by the E5/E10
   benchmarks to report plan shapes).
+
+Interpreter instances hold no per-run mutable state, so one instance
+may evaluate programs from many threads at once (the query service runs
+every session's plans through executors shared this way).  Per-query
+control -- deadline and cancellation -- is passed per call: ``run`` and
+``run_program`` accept a ``checkpoint`` callable invoked between
+statements; raising :class:`~repro.monet.errors.MILCancelled` from it
+aborts the plan at statement granularity (a single long-running
+operator finishes its statement first).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.monet import fragments
 from repro.monet.bat import BAT
@@ -74,17 +83,33 @@ class MILInterpreter:
         self.fragment_policy = fragment_policy
 
     # ------------------------------------------------------------------
-    def run(self, source: str, env: Optional[Dict[str, Any]] = None) -> MILResult:
+    def run(
+        self,
+        source: str,
+        env: Optional[Dict[str, Any]] = None,
+        *,
+        checkpoint: Optional[Callable[[], None]] = None,
+    ) -> MILResult:
         """Parse and execute *source*; *env* provides initial variable
         bindings (the Moa executor passes query parameters this way)."""
         program = parse_program(source)
-        return self.run_program(program, env)
+        return self.run_program(program, env, checkpoint=checkpoint)
 
     def run_program(
-        self, program: ast.Program, env: Optional[Dict[str, Any]] = None
+        self,
+        program: ast.Program,
+        env: Optional[Dict[str, Any]] = None,
+        *,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> MILResult:
+        """Execute a parsed program.  *checkpoint*, when given, is
+        called before every statement; it may raise
+        :class:`~repro.monet.errors.MILCancelled` to abort a plan whose
+        deadline passed or whose session disconnected."""
         result = MILResult(env=dict(env or {}))
         for statement in program.statements:
+            if checkpoint is not None:
+                checkpoint()
             if isinstance(statement, ast.Assign):
                 value = self._eval(statement.expr, result)
                 result.env[statement.name] = value
@@ -194,6 +219,9 @@ def run_program(
     env: Optional[Dict[str, Any]] = None,
     *,
     fragment_policy: Optional[FragmentationPolicy] = None,
+    checkpoint: Optional[Callable[[], None]] = None,
 ) -> MILResult:
     """One-shot convenience: run MIL *source* against *pool*."""
-    return MILInterpreter(pool, fragment_policy=fragment_policy).run(source, env)
+    return MILInterpreter(pool, fragment_policy=fragment_policy).run(
+        source, env, checkpoint=checkpoint
+    )

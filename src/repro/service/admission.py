@@ -1,0 +1,165 @@
+"""Admission control for the query service.
+
+Two mechanisms, composed per request:
+
+* :class:`TokenBucket` -- the per-session rate limiter.  Purely
+  synchronous and clock-injectable; a request that finds the bucket
+  empty is rejected immediately with the ``rate`` error (no queueing:
+  a client beyond its rate should back off, not pile up).
+* :class:`AdmissionController` -- the global concurrency gate: at most
+  ``max_inflight`` queries execute at once, at most ``max_queue`` more
+  may wait, and no request waits beyond ``queue_timeout`` seconds.
+  Beyond-capacity requests fail fast with ``busy``; queued requests
+  whose wait expires fail with ``deadline``.  This is what keeps one
+  100M-BUN sort from starving point lookups: the sort occupies one
+  executor slot while lookups keep flowing through the rest.
+
+The controller is asyncio-native (futures granted in FIFO order by the
+event loop); the bucket is plain Python so the sync tests and any
+non-async embedding can reuse it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable, Deque, Optional
+
+
+class AdmissionReject(Exception):
+    """A request the service refuses to run right now.
+
+    ``code`` is the wire error code (``rate`` / ``busy`` /
+    ``deadline``)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` deep.
+
+    ``rate=None`` disables limiting (every acquire succeeds).  The
+    clock is injectable for deterministic tests."""
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        self.rate = rate
+        self.burst = float(burst if burst is not None else (rate or 0) * 2 or 1)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * (self.rate or 0))
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available; False means rate-limited."""
+        if self.rate is None:
+            return True
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def available(self) -> float:
+        if self.rate is None:
+            return float("inf")
+        self._refill()
+        return self._tokens
+
+
+class AdmissionController:
+    """Bounded in-flight queries plus a bounded, deadline-limited queue.
+
+    Usage (from the event loop only)::
+
+        await controller.acquire()     # may raise AdmissionReject
+        try: ...run the query...
+        finally: controller.release()
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int = 0,
+        queue_timeout: Optional[float] = None,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self._inflight = 0
+        self._waiters: Deque[asyncio.Future] = deque()
+        # High-water marks for the service status report.
+        self.peak_inflight = 0
+        self.rejected_busy = 0
+        self.rejected_deadline = 0
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    async def acquire(self) -> None:
+        if self._inflight < self.max_inflight:
+            self._inflight += 1
+            self.peak_inflight = max(self.peak_inflight, self._inflight)
+            return
+        if len(self._waiters) >= self.max_queue:
+            self.rejected_busy += 1
+            raise AdmissionReject(
+                "busy",
+                f"{self._inflight} queries in flight and "
+                f"{len(self._waiters)} queued; try again later",
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(future)
+        try:
+            await asyncio.wait_for(
+                asyncio.shield(future), timeout=self.queue_timeout
+            )
+        except asyncio.TimeoutError:
+            if future.done() and not future.cancelled():
+                # Granted in the same tick the timeout fired: the slot
+                # is ours after all -- hand it back instead of leaking.
+                self.release()
+            else:
+                future.cancel()
+                try:
+                    self._waiters.remove(future)
+                except ValueError:
+                    pass
+            self.rejected_deadline += 1
+            raise AdmissionReject(
+                "deadline",
+                f"queued longer than {self.queue_timeout}s; dropped",
+            ) from None
+        # Granted: the releasing side already accounted the slot to us.
+
+    def release(self) -> None:
+        """Free one slot, handing it to the oldest live waiter."""
+        while self._waiters:
+            future = self._waiters.popleft()
+            if not future.done():
+                # Slot transfers to the waiter; _inflight stays put.
+                future.set_result(None)
+                return
+        self._inflight -= 1

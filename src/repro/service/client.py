@@ -1,0 +1,291 @@
+"""Client library for the Mirror query service (sync + asyncio).
+
+Both clients speak the protocol of :mod:`repro.service.protocol` and
+expose the same surface::
+
+    with ServiceClient("127.0.0.1", port) as c:
+        c.define("define Nums as SET<Atomic<Integer>>;")
+        c.insert("Nums", [3, 1, 2])
+        result = c.mil('bat("Nums.__atom__").tail_sort();')
+        values = result.tail            # NILs come back as None
+
+    async with AsyncServiceClient("127.0.0.1", port) as c:
+        result = await c.moa("count(Nums);")
+
+Query results arrive as :class:`~repro.service.protocol.BATResult`
+(columnar, NIL-as-``None``), scalars, or nested Python values.  Service
+rejections raise :class:`ServiceError` carrying the wire error code
+(``rate``, ``busy``, ``guard``, ``timeout``, ...) so callers can
+distinguish back-off conditions from real failures.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.service.protocol import (
+    decode_result,
+    pack_message,
+    read_message,
+    read_message_async,
+)
+
+
+class ServiceError(Exception):
+    """An ``{"ok": false}`` response; ``code`` is the wire error code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+def _unwrap(header: Dict[str, Any], frames: List[bytes]) -> Any:
+    if not header.get("ok"):
+        error = header.get("error") or {}
+        raise ServiceError(
+            error.get("code", "protocol"), error.get("message", "unknown error")
+        )
+    return decode_result(header["result"], frames)
+
+
+class _RequestBuilder:
+    """Request construction shared by the sync and async clients."""
+
+    @staticmethod
+    def mil(source: str, binary: bool, deadline_ms: Optional[int]) -> Dict[str, Any]:
+        header: Dict[str, Any] = {"op": "mil", "q": source, "binary": binary}
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        return header
+
+    @staticmethod
+    def moa(
+        source: str,
+        params: Optional[Dict[str, Any]],
+        binary: bool,
+        deadline_ms: Optional[int],
+    ) -> Dict[str, Any]:
+        header: Dict[str, Any] = {"op": "moa", "q": source, "binary": binary}
+        if params:
+            header["params"] = params
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        return header
+
+
+def session_ref(name: str) -> Dict[str, str]:
+    """A Moa parameter referring to a server-side session binding
+    created with :meth:`ServiceClient.bind_stats`."""
+    return {"$session": name}
+
+
+class ServiceClient:
+    """Blocking client over a plain TCP socket."""
+
+    def __init__(self, host: str, port: int, *, timeout: Optional[float] = None):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        # The server greets with a hello carrying our session id.
+        hello = self._roundtrip_raw(None)
+        self.session_id = hello.get("session") if isinstance(hello, dict) else None
+
+    # -- plumbing ------------------------------------------------------
+    def _read_exactly(self, n: int) -> bytes:
+        data = self._file.read(n)
+        return data if data is not None else b""
+
+    def _roundtrip_raw(self, header: Optional[Dict[str, Any]]) -> Any:
+        if header is not None:
+            self._sock.sendall(pack_message(header))
+        response, frames = read_message(self._read_exactly)
+        return _unwrap(response, frames)
+
+    def request(self, header: Dict[str, Any]) -> Any:
+        """Send one request and decode its response."""
+        return self._roundtrip_raw(header)
+
+    # -- the service surface -------------------------------------------
+    def ping(self) -> Any:
+        return self.request({"op": "ping"})
+
+    def mil(
+        self,
+        source: str,
+        *,
+        binary: bool = True,
+        deadline_ms: Optional[int] = None,
+    ) -> Any:
+        return self.request(_RequestBuilder.mil(source, binary, deadline_ms))
+
+    def moa(
+        self,
+        source: str,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        binary: bool = True,
+        deadline_ms: Optional[int] = None,
+    ) -> Any:
+        return self.request(
+            _RequestBuilder.moa(source, params, binary, deadline_ms)
+        )
+
+    def define(self, ddl: str) -> List[str]:
+        return self.request({"op": "define", "ddl": ddl})["names"]
+
+    def insert(self, collection: str, values: List[Any]) -> int:
+        return self.request(
+            {"op": "insert", "collection": collection, "values": values}
+        )["count"]
+
+    def count(self, collection: str) -> int:
+        return self.request({"op": "count", "collection": collection})["count"]
+
+    def collections(self) -> List[str]:
+        return self.request({"op": "collections"})["names"]
+
+    def bind_stats(self, collection: str, attribute: str, name: str) -> str:
+        """Bind collection statistics server-side under *name*; pass
+        ``session_ref(name)`` as a Moa parameter to use them."""
+        return self.request(
+            {
+                "op": "stats",
+                "collection": collection,
+                "attribute": attribute,
+                "bind": name,
+            }
+        )["name"]
+
+    def status(self) -> Dict[str, Any]:
+        return self.request({"op": "status"})["status"]
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            self._sock.sendall(pack_message({"op": "close"}))
+            read_message(self._read_exactly)  # the "bye"
+        except (OSError, EOFError):
+            pass
+        finally:
+            self._file.close()
+            self._sock.close()
+            self._sock = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncServiceClient:
+    """Asyncio client over stream reader/writer pairs."""
+
+    def __init__(self, host: str, port: int):
+        self._host = host
+        self._port = port
+        self._reader = None
+        self._writer = None
+        self.session_id: Optional[str] = None
+
+    async def connect(self) -> "AsyncServiceClient":
+        import asyncio
+
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        header, frames = await read_message_async(self._reader)
+        hello = _unwrap(header, frames)
+        self.session_id = hello.get("session") if isinstance(hello, dict) else None
+        return self
+
+    async def request(self, header: Dict[str, Any]) -> Any:
+        if self._writer is None:
+            raise RuntimeError("client not connected; call connect()")
+        self._writer.write(pack_message(header))
+        await self._writer.drain()
+        response, frames = await read_message_async(self._reader)
+        return _unwrap(response, frames)
+
+    async def ping(self) -> Any:
+        return await self.request({"op": "ping"})
+
+    async def mil(
+        self,
+        source: str,
+        *,
+        binary: bool = True,
+        deadline_ms: Optional[int] = None,
+    ) -> Any:
+        return await self.request(_RequestBuilder.mil(source, binary, deadline_ms))
+
+    async def moa(
+        self,
+        source: str,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        binary: bool = True,
+        deadline_ms: Optional[int] = None,
+    ) -> Any:
+        return await self.request(
+            _RequestBuilder.moa(source, params, binary, deadline_ms)
+        )
+
+    async def define(self, ddl: str) -> List[str]:
+        return (await self.request({"op": "define", "ddl": ddl}))["names"]
+
+    async def insert(self, collection: str, values: List[Any]) -> int:
+        return (
+            await self.request(
+                {"op": "insert", "collection": collection, "values": values}
+            )
+        )["count"]
+
+    async def count(self, collection: str) -> int:
+        return (await self.request({"op": "count", "collection": collection}))[
+            "count"
+        ]
+
+    async def collections(self) -> List[str]:
+        return (await self.request({"op": "collections"}))["names"]
+
+    async def bind_stats(self, collection: str, attribute: str, name: str) -> str:
+        return (
+            await self.request(
+                {
+                    "op": "stats",
+                    "collection": collection,
+                    "attribute": attribute,
+                    "bind": name,
+                }
+            )
+        )["name"]
+
+    async def status(self) -> Dict[str, Any]:
+        return (await self.request({"op": "status"}))["status"]
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        try:
+            self._writer.write(pack_message({"op": "close"}))
+            await self._writer.drain()
+            await read_message_async(self._reader)  # the "bye"
+        except (OSError, EOFError):
+            pass
+        finally:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,155 @@
+"""Per-connection sessions over one shared MirrorDBMS.
+
+A :class:`Session` is what a connected client owns: a private *temp
+namespace* layered over the shared :class:`~repro.monet.bbp
+.BATBufferPool`, its own MIL interpreter bound to that namespace, a
+registry of server-side parameter bindings (collection statistics are
+bound once and referenced by name instead of crossing the wire per
+query), a per-session token bucket, and the disconnect flag the
+query checkpoints poll.
+
+The namespace discipline follows the mobile-database survey's session
+model: everything a session persists is *tentative* -- visible to that
+session only, mapped into the shared pool under a mangled name, and
+dropped wholesale when the session ends (commit-to-shared is a future
+write-path concern; today's service is read-mostly with private
+scratch space).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Set
+
+from repro.monet.bbp import BATBufferPool
+from repro.monet.errors import BBPError
+from repro.monet.fragments import FragmentationPolicy
+from repro.monet.mil import MILInterpreter
+
+
+class SessionNamespace:
+    """A session-private view of the shared pool.
+
+    Duck-types the :class:`BATBufferPool` surface the MIL interpreter
+    touches.  Reads (``lookup`` / ``lookup_fragments``) try the
+    session's private names first and fall back to the shared catalog;
+    writes (``persists`` -> :meth:`register`) always land in the
+    private namespace, so no session can clobber shared data or
+    another session's temps.  Private names are mangled into the
+    shared pool as ``@<session-id>:<name>`` -- one shared catalog (and
+    its one lock) stays the single accounting point for memory.
+    """
+
+    def __init__(self, pool: BATBufferPool, session_id: str):
+        self.pool = pool
+        self.session_id = session_id
+        self._names: Set[str] = set()
+        self._lock = threading.Lock()
+
+    def _mangle(self, name: str) -> str:
+        return f"@{self.session_id}:{name}"
+
+    def _is_private(self, name: str) -> bool:
+        with self._lock:
+            return name in self._names
+
+    # -- the BATBufferPool surface the MIL interpreter uses ------------
+    def is_fragmented(self, name: str) -> bool:
+        if self._is_private(name):
+            return self.pool.is_fragmented(self._mangle(name))
+        return self.pool.is_fragmented(name)
+
+    def lookup(self, name: str):
+        if self._is_private(name):
+            return self.pool.lookup(self._mangle(name))
+        return self.pool.lookup(name)
+
+    def lookup_fragments(self, name: str, policy: Optional[FragmentationPolicy] = None):
+        if self._is_private(name):
+            return self.pool.lookup_fragments(self._mangle(name), policy)
+        return self.pool.lookup_fragments(name, policy)
+
+    def exists(self, name: str) -> bool:
+        return self._is_private(name) or self.pool.exists(name)
+
+    def register(self, name: str, bat, *, replace: bool = True):
+        result = self.pool.register(self._mangle(name), bat, replace=True)
+        with self._lock:
+            self._names.add(name)
+        return result
+
+    def register_fragmented(self, name: str, fragmented, *, replace: bool = True):
+        result = self.pool.register_fragmented(
+            self._mangle(name), fragmented, replace=True
+        )
+        with self._lock:
+            self._names.add(name)
+        return result
+
+    def drop(self, name: str) -> None:
+        if self._is_private(name):
+            self.pool.drop(self._mangle(name))
+            with self._lock:
+                self._names.discard(name)
+            return
+        if self.pool.exists(name):
+            raise BBPError(
+                f"cannot drop shared BAT {name!r} from a session "
+                "(sessions own only their temp namespace)"
+            )
+        raise BBPError(f"cannot drop unknown BAT {name!r}")
+
+    def new_oids(self, count: int) -> int:
+        return self.pool.new_oids(count)
+
+    # -- lifecycle -----------------------------------------------------
+    def temp_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._names)
+
+    def cleanup(self) -> int:
+        """Drop every private registration; returns how many."""
+        with self._lock:
+            names, self._names = self._names, set()
+        dropped = 0
+        for name in names:
+            try:
+                self.pool.drop(self._mangle(name))
+                dropped += 1
+            except BBPError:  # already gone (concurrent cleanup)
+                pass
+        return dropped
+
+
+class Session:
+    """One connected client: namespace + interpreter + control state."""
+
+    def __init__(
+        self,
+        session_id: str,
+        db,
+        *,
+        rate_limiter=None,
+    ):
+        from repro.service.admission import TokenBucket  # circular-safe
+
+        self.session_id = session_id
+        self.db = db
+        self.namespace = SessionNamespace(db.pool, session_id)
+        self.mil = MILInterpreter(
+            self.namespace, fragment_policy=db.executor.fragment_policy
+        )
+        self.rate_limiter: Optional[TokenBucket] = rate_limiter
+        #: Server-side parameter bindings (e.g. CollectionStats) that
+        #: Moa queries reference as ``{"$session": name}``.
+        self.bindings: Dict[str, Any] = {}
+        #: Set when the connection goes away; polled by the per-query
+        #: checkpoint so an in-flight plan aborts between statements.
+        self.disconnected = threading.Event()
+        self.queries = 0
+
+    def close(self) -> int:
+        """Mark disconnected and reclaim the temp namespace."""
+        self.disconnected.set()
+        self.bindings.clear()
+        return self.namespace.cleanup()

@@ -265,3 +265,75 @@ class TestDaemons:
         daemon.extract(image)
         daemon.extract(image)
         assert daemon.processed == 2
+
+
+class TestOrbConcurrency:
+    """The ORB's registry and call accounting under concurrent use
+    (the query service registers/unregisters daemons while sessions
+    invoke them)."""
+
+    def test_concurrent_invocations_account_every_call(self):
+        import threading
+
+        orb = Orb()
+        orb.register("echo", Echo())
+        n_threads, n_calls = 8, 50
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(n_calls):
+                    assert orb.invoke("echo", "ping", (), {}) == "pong"
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[:3]
+        assert orb.call_count("echo") == n_threads * n_calls
+
+    def test_concurrent_register_unregister_resolve(self):
+        import threading
+
+        orb = Orb()
+        orb.register("stable", Echo())
+        stop = threading.Event()
+        errors = []
+
+        def churn(k: int):
+            name = f"flicker{k}"
+            while not stop.is_set():
+                try:
+                    orb.register(name, Echo())
+                    orb.unregister(name)
+                except OrbError:
+                    pass
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    stop.set()
+
+        def caller():
+            while not stop.is_set():
+                try:
+                    orb.invoke("stable", "ping", (), {})
+                    orb.names()
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    stop.set()
+
+        threads = [
+            threading.Thread(target=churn, args=(k,)) for k in range(2)
+        ] + [threading.Thread(target=caller) for _ in range(2)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.4)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors, errors[:3]
+        assert "stable" in orb.names()

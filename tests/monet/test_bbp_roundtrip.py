@@ -256,3 +256,111 @@ def test_persisted_backend_yields_to_env_override(pool, tmp_path, monkeypatch):
         assert fragments.PROCESS_MIN_BUNS == 1234
     finally:
         _restore_tuning(fragments, saved_state)
+
+
+# ----------------------------------------------------------------------
+# Concurrency: the locked catalog and view-cache invalidation
+# ----------------------------------------------------------------------
+
+
+def test_concurrent_reregister_and_lookup_never_serves_stale_views(pool):
+    """Two threads hammer re-registration of the same fragmented name
+    while two more look it up: every lookup must observe one of the
+    registered generations in full -- never a torn or stale coalesced
+    view (the cache is invalidated under the catalog lock)."""
+    import threading
+
+    policy = FragmentationPolicy(target_size=8)
+    generations = {
+        g: dense_bat("int", [g] * (16 + g)) for g in range(4)
+    }
+    for g, bat in generations.items():
+        pool.register_fragmented(f"gen{g}", fragment_bat(bat, policy))
+    pool.register_fragmented("hot", fragment_bat(generations[0], policy))
+
+    stop = threading.Event()
+    errors = []
+
+    def writer(seed: int):
+        g = seed
+        while not stop.is_set():
+            g = (g + 1) % 4
+            pool.register_fragmented(
+                "hot", fragment_bat(generations[g], policy), replace=True
+            )
+
+    def reader():
+        while not stop.is_set():
+            try:
+                coalesced = pool.lookup("hot")
+                values = set(coalesced.tail_values().tolist())
+                assert len(values) == 1, f"torn view: {values}"
+                g = values.pop()
+                assert len(coalesced) == 16 + g, (
+                    f"stale mix: generation {g} with {len(coalesced)} BUNs"
+                )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+                stop.set()
+
+    threads = [
+        threading.Thread(target=writer, args=(0,)),
+        threading.Thread(target=writer, args=(2,)),
+        threading.Thread(target=reader),
+        threading.Thread(target=reader),
+    ]
+    for t in threads:
+        t.start()
+    import time
+
+    time.sleep(0.5)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors, errors[:3]
+
+
+def test_concurrent_drop_and_lookup_raise_cleanly(pool):
+    """Racing drop/lookup must either succeed or raise BBPError -- no
+    KeyError/AttributeError from half-updated catalog state."""
+    import threading
+
+    from repro.monet.errors import BBPError
+
+    stop = threading.Event()
+    errors = []
+
+    def churn():
+        while not stop.is_set():
+            try:
+                pool.register("flicker", dense_bat("int", [1, 2, 3]))
+                pool.drop("flicker")
+            except BBPError:
+                pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+                stop.set()
+
+    def probe():
+        while not stop.is_set():
+            try:
+                if pool.exists("flicker"):
+                    pool.lookup("flicker")
+            except BBPError:
+                pass  # dropped between exists and lookup: acceptable
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+                stop.set()
+
+    threads = [threading.Thread(target=churn) for _ in range(2)] + [
+        threading.Thread(target=probe) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    import time
+
+    time.sleep(0.4)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors, errors[:3]

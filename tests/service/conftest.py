@@ -1,0 +1,41 @@
+"""Fixtures for the query-service suite: a small shared database and a
+running service on an ephemeral port."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mirror import MirrorDBMS
+from repro.monet.bat import BAT, Column
+from repro.service import ServiceConfig, ServiceThread
+
+
+def make_db() -> MirrorDBMS:
+    db = MirrorDBMS()
+    db.define("define Nums as SET<Atomic<int>>;")
+    db.insert("Nums", [3, 1, 2, None, 7, 5])
+    # A bigger flat BAT for heavier MIL work (sorts with real cost).
+    values = np.random.default_rng(7).integers(0, 1_000_000, 400_000)
+    db.pool.register(
+        "big",
+        BAT(
+            Column("oid", np.arange(len(values), dtype=np.int64)),
+            Column("int", values.astype(np.int64)),
+        ),
+    )
+    return db
+
+
+@pytest.fixture
+def db() -> MirrorDBMS:
+    return make_db()
+
+
+@pytest.fixture
+def service(db):
+    """A running service with permissive defaults; yields the
+    ServiceThread (``service.address`` is the TCP endpoint)."""
+    config = ServiceConfig(max_inflight=4, max_queue=8, queue_timeout=5.0)
+    with ServiceThread(db, config) as svc:
+        yield svc

@@ -1,0 +1,297 @@
+"""End-to-end service tests over real sockets: queries, rejection
+paths, cancellation, session cleanup, and the 16-client smoke."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    AsyncServiceClient,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceThread,
+)
+from repro.service.protocol import BATResult, pack_message
+
+#: A MIL program of many cheap statements: long enough wall-clock to
+#: overlap other requests, with checkpoints between every statement.
+SLOW_MIL = "\n".join(
+    [f'x{i} := tsort(bat("big"));' for i in range(12)] + ["count(x11);"]
+)
+
+POINT_MIL = 'bat("Nums.__value__").select(2, 7);'
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestQueries:
+    def test_mil_roundtrip(self, service):
+        with ServiceClient(*service.address) as c:
+            result = c.mil('bat("Nums.__value__").tsort;')
+            assert isinstance(result, BATResult)
+            assert result.tail == [None, 1, 2, 3, 5, 7]
+
+    def test_moa_roundtrip(self, service):
+        with ServiceClient(*service.address) as c:
+            assert c.moa("count(Nums);") == 6
+
+    def test_moa_with_list_param(self, service):
+        with ServiceClient(*service.address) as c:
+            assert c.moa("sum(vals);", {"vals": [1, 2, 3]}) == 6
+
+    def test_define_insert_count(self, service):
+        with ServiceClient(*service.address) as c:
+            assert c.define("define Words as SET<Atomic<str>>;") == ["Words"]
+            assert c.insert("Words", ["ape", "bat"]) == 2
+            assert c.count("Words") == 2
+            assert "Words" in c.collections()
+
+    def test_runtime_error_keeps_connection(self, service):
+        with ServiceClient(*service.address) as c:
+            with pytest.raises(ServiceError) as info:
+                c.mil('bat("no-such-bat");')
+            assert info.value.code == "runtime"
+            # Connection survives the failure.
+            assert c.count("Nums") == 6
+
+    def test_guard_rejection_codes(self, service):
+        with ServiceClient(*service.address) as c:
+            with pytest.raises(ServiceError) as info:
+                c.mil("not mil at all ((;")
+            assert info.value.code == "malformed"
+
+    def test_async_client(self, service):
+        async def scenario():
+            async with AsyncServiceClient(*service.address) as c:
+                assert await c.count("Nums") == 6
+                result = await c.mil(POINT_MIL)
+                return result.tail
+
+        tails = asyncio.run(scenario())
+        assert sorted(tails) == [2, 3, 5, 7]
+
+    def test_stats_binding_and_session_param(self, service):
+        with ServiceClient(*service.address) as c:
+            c.define(
+                "define Lib as SET<TUPLE<Atomic<URL>: source, "
+                "CONTREP<Text>: annotation>>;"
+            )
+            c.insert(
+                "Lib",
+                [
+                    {"source": "u1", "annotation": "red sunset sea"},
+                    {"source": "u2", "annotation": "green forest"},
+                ],
+            )
+            c.bind_stats("Lib", "annotation", "st")
+            out = c.moa(
+                "map[sum(THIS)](map[getBL(THIS.annotation, q, st)](Lib));",
+                {"q": ["sunset"], "st": {"$session": "st"}},
+            )
+            assert len(out) == 2
+            assert out[0] > out[1]
+
+    def test_unbound_session_param_rejected(self, service):
+        with ServiceClient(*service.address) as c:
+            with pytest.raises(ServiceError) as info:
+                c.moa("count(Nums);", {"st": {"$session": "never-bound"}})
+            assert info.value.code == "protocol"
+
+
+class TestRejectionPaths:
+    def test_rate_limit(self, db):
+        config = ServiceConfig(rate=1.0, burst=1.0)
+        with ServiceThread(db, config) as svc:
+            with ServiceClient(*svc.address) as c:
+                assert c.count("Nums") == 6  # burst token
+                with pytest.raises(ServiceError) as info:
+                    c.count("Nums")
+                assert info.value.code == "rate"
+                # Control ops are not rate limited.
+                c.ping()
+
+    def test_rate_is_per_session(self, db):
+        config = ServiceConfig(rate=1.0, burst=1.0)
+        with ServiceThread(db, config) as svc:
+            with ServiceClient(*svc.address) as a, ServiceClient(
+                *svc.address
+            ) as b:
+                assert a.count("Nums") == 6
+                assert b.count("Nums") == 6  # b has its own bucket
+
+    def test_busy_rejection_when_queue_full(self, db):
+        config = ServiceConfig(max_inflight=1, max_queue=0)
+        with ServiceThread(db, config) as svc:
+            with ServiceClient(*svc.address) as slow, ServiceClient(
+                *svc.address
+            ) as fast:
+                errors = []
+
+                def run_slow():
+                    try:
+                        slow.mil(SLOW_MIL)
+                    except ServiceError as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                t = threading.Thread(target=run_slow)
+                t.start()
+                # Wait until the slow query owns the only slot.
+                assert wait_until(
+                    lambda: svc.service.admission.inflight >= 1
+                )
+                with pytest.raises(ServiceError) as info:
+                    fast.mil(POINT_MIL)
+                assert info.value.code == "busy"
+                t.join()
+                assert not errors
+                # The slot frees up afterwards.
+                assert isinstance(fast.mil(POINT_MIL), BATResult)
+
+    def test_queue_deadline_rejection(self, db):
+        config = ServiceConfig(
+            max_inflight=1, max_queue=4, queue_timeout=0.05
+        )
+        with ServiceThread(db, config) as svc:
+            with ServiceClient(*svc.address) as slow, ServiceClient(
+                *svc.address
+            ) as queued:
+                t = threading.Thread(target=lambda: slow.mil(SLOW_MIL))
+                t.start()
+                assert wait_until(
+                    lambda: svc.service.admission.inflight >= 1
+                )
+                with pytest.raises(ServiceError) as info:
+                    queued.mil(POINT_MIL)
+                assert info.value.code == "deadline"
+                t.join()
+
+    def test_query_deadline_aborts_mid_plan(self, service):
+        with ServiceClient(*service.address) as c:
+            with pytest.raises(ServiceError) as info:
+                c.mil(SLOW_MIL, deadline_ms=0)
+            assert info.value.code == "timeout"
+            # The worker slot came back: the next query runs fine.
+            assert isinstance(c.mil(POINT_MIL), BATResult)
+
+
+class TestSessionLifecycle:
+    def test_cleanup_on_clean_close(self, service, db):
+        with ServiceClient(*service.address) as c:
+            sid = c.session_id
+            c.mil('persists("scratch", bat("Nums.__value__").sort);')
+            assert db.pool.exists(f"@{sid}:scratch")
+        assert wait_until(lambda: not db.pool.exists(f"@{sid}:scratch"))
+        assert wait_until(lambda: sid not in service.service.sessions)
+
+    def test_cleanup_on_abrupt_disconnect(self, service, db):
+        c = ServiceClient(*service.address)
+        sid = c.session_id
+        c.mil('persists("scratch", bat("Nums.__value__").sort);')
+        # Vanish without a close op (shutdown drops the connection even
+        # though the makefile() wrapper still holds a dup'd fd).
+        c._sock.shutdown(socket.SHUT_RDWR)
+        c._sock.close()
+        assert wait_until(lambda: not db.pool.exists(f"@{sid}:scratch"))
+        assert wait_until(lambda: sid not in service.service.sessions)
+
+    def test_disconnect_mid_query_cancels_plan(self, service, db):
+        """Closing the socket while a long plan runs must abort it at
+        the next checkpoint and reclaim the session."""
+        sock = socket.create_connection(service.address)
+        reader = sock.makefile("rb")
+        # Consume the hello.
+        from repro.service.protocol import read_message
+
+        read_message(reader.read)
+        sid = sorted(service.service.sessions)[-1]
+        sock.sendall(pack_message({"op": "mil", "q": SLOW_MIL}))
+        assert wait_until(lambda: service.service.admission.inflight >= 1)
+        started = time.monotonic()
+        sock.shutdown(socket.SHUT_RDWR)
+        sock.close()
+        # The session must be reclaimed well before the full plan
+        # could have finished sorting 12 times.
+        assert wait_until(lambda: sid not in service.service.sessions)
+        assert service.service.sessions.get(sid) is None
+        assert wait_until(lambda: service.service.admission.inflight == 0)
+        assert time.monotonic() - started < 30
+
+    def test_sessions_get_distinct_ids(self, service):
+        with ServiceClient(*service.address) as a, ServiceClient(
+            *service.address
+        ) as b:
+            assert a.session_id != b.session_id
+
+
+class TestSmoke:
+    def test_sixteen_concurrent_clients_clean_shutdown(self, db):
+        """The CI smoke: 16 clients hammer point lookups concurrently;
+        the service answers all of them, shuts down cleanly, and leaks
+        neither threads nor sessions nor temp BATs."""
+        before = {t.name for t in threading.enumerate()}
+        config = ServiceConfig(max_inflight=4, max_queue=64, queue_timeout=10)
+        results: list = []
+        errors: list = []
+        with ServiceThread(db, config) as svc:
+            def client_run(k: int):
+                try:
+                    with ServiceClient(*svc.address) as c:
+                        c.mil(
+                            f'persists("mine", bat("Nums.__value__")'
+                            f".select({k % 3}, 7));"
+                        )
+                        for _ in range(5):
+                            out = c.mil(POINT_MIL)
+                            results.append(sorted(out.tail))
+                        c.moa("count(Nums);")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client_run, args=(k,))
+                for k in range(16)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(results) == 16 * 5
+            assert all(r == [2, 3, 5, 7] for r in results)
+            status = svc.service.status()
+            assert status["queries_served"] >= 16 * 7
+        # Clean shutdown: no service/worker threads survive, no
+        # sessions or session temps linger in the shared pool.
+        assert wait_until(
+            lambda: not any(
+                t.name.startswith(("mirror-query", "mirror-service"))
+                for t in threading.enumerate()
+            )
+        )
+        after = {t.name for t in threading.enumerate()}
+        assert after <= before | {"MainThread"}
+        assert not [n for n in db.pool._all_names() if n.startswith("@")]
+
+    def test_orb_registration(self, db):
+        from repro.daemons.orb import Orb
+
+        orb = Orb()
+        with ServiceThread(db, ServiceConfig(), orb=orb) as svc:
+            assert "query-service" in orb.names()
+            report = orb.invoke("query-service", "status", (), {})
+            assert report["kind"] == "query-service"
+            assert svc.service is not None
+        assert "query-service" not in orb.names()
