@@ -32,6 +32,7 @@ Sort/unique only:   BENCH_FAST=1 python benchmarks/bench_fragments.py --sort
 Set operators only: BENCH_FAST=1 python benchmarks/bench_fragments.py --setops
 String (backend) only: BENCH_FAST=1 python benchmarks/bench_fragments.py --strings
 Grace join only:    BENCH_FAST=1 python benchmarks/bench_fragments.py --join
+Append path only:   BENCH_FAST=1 python benchmarks/bench_fragments.py --append
 Calibration only:   python benchmarks/bench_fragments.py --calibrate
 JSON artifact:      BENCH_FAST=1 python benchmarks/bench_fragments.py \\
                         --json BENCH_fragments.json
@@ -622,6 +623,92 @@ def _report_join(sizes, verbose_header=True):
 
 
 # ----------------------------------------------------------------------
+# Append path: delta-tail write throughput and read-during-append
+# ----------------------------------------------------------------------
+
+#: Rows per append batch in the E16 write-path section.
+APPEND_BATCH = 1_000
+
+
+def _report_append(sizes, verbose_header=True):
+    """E16: the write path.  Batched ``BATBufferPool.append`` throughput
+    into monolithic and fragmented registrations (copy-on-write delta
+    tails), then read latency over a pinned snapshot while a writer
+    thread floods the live catalog with batches -- the paper's
+    query-while-loading scenario.  The snapshot read should cost the
+    same busy as quiet; both rows land in the JSON artifact so the
+    regression gate holds the line on each."""
+    import threading
+
+    if verbose_header:
+        print(f"E16: append-tail write path (workers={WORKERS})")
+        print(f"{'n':>12}  {'operator':<18}{'mono ms':>10}{'frag ms':>10}{'ratio':>8}")
+    for n in sizes:
+        repeats = 3
+        batches = max(2, n // APPEND_BATCH // 10)  # append ~10% of n
+        rng = np.random.default_rng(31)
+        payloads = [
+            rng.integers(0, 1000, APPEND_BATCH).tolist() for _ in range(batches)
+        ]
+        policy = _policy(n)
+        base = _int_bat(n)
+        fragmented = fragment_bat(base, policy)
+
+        def mono_case():
+            pool = BATBufferPool()
+            pool.register("fact", base)
+            for payload in payloads:
+                pool.append("fact", tails=payload)
+
+        def frag_case():
+            pool = BATBufferPool()
+            pool.register_fragmented("fact", fragmented)
+            for payload in payloads:
+                pool.append("fact", tails=payload)
+
+        _timed_pair(
+            f"append({batches}x{APPEND_BATCH})", n, "int", mono_case, frag_case, repeats
+        )
+
+        # Read-during-append: a plan pinned before the writer starts
+        # selects against its snapshot while appends race it.
+        pool = BATBufferPool()
+        pool.register_fragmented("fact", fragmented)
+        snapshot = pool.read_snapshot()
+
+        def snapshot_select():
+            return fr.select(
+                snapshot.lookup_fragments("fact"), 100, 200, workers=WORKERS
+            )
+
+        quiet_stats = _measure(snapshot_select, repeats)
+        stop = threading.Event()
+
+        def writer():
+            position = 0
+            while not stop.is_set():
+                pool.append("fact", tails=payloads[position % len(payloads)])
+                position += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            busy_stats = _measure(snapshot_select, repeats)
+        finally:
+            stop.set()
+            thread.join()
+        assert len(snapshot.lookup_fragments("fact")) == n  # still pinned
+        _record("select-quiet", n, "thread", "int", quiet_stats)
+        _record("select-during-append", n, "thread", "int", busy_stats)
+        quiet_ms, busy_ms = quiet_stats["best_ms"], busy_stats["best_ms"]
+        ratio = busy_ms / quiet_ms if quiet_ms else float("inf")
+        print(
+            f"{n:>12,}  {'read-during-append':<18}{quiet_ms:>10.2f}"
+            f"{busy_ms:>10.2f}{ratio:>8.2f}"
+        )
+
+
+# ----------------------------------------------------------------------
 # Calibration: measured tuning instead of static constants
 # ----------------------------------------------------------------------
 
@@ -968,6 +1055,7 @@ def report():
     _report_setops([10**5] if FAST else [10**6])
     _report_strings([5 * 10**4] if FAST else [10**6])
     _report_join([5 * 10**4] if FAST else [10**6])
+    _report_append([5 * 10**4] if FAST else [10**6])
 
 
 if __name__ == "__main__":
@@ -994,6 +1082,9 @@ if __name__ == "__main__":
     elif "--join" in sys.argv:
         calibrate(verbose=False)
         _report_join([5 * 10**4] if FAST else [10**6])
+    elif "--append" in sys.argv:
+        calibrate(verbose=False)
+        _report_append([5 * 10**4] if FAST else [10**6])
     else:
         report()
     if json_path:

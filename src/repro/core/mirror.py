@@ -25,7 +25,13 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.ir.stats import CollectionStats
 from repro.moa import ast as moa_ast
-from repro.moa.ddl import parse_schema, render_define
+from repro.moa.ddl import (
+    DefineStatement,
+    InsertStatement,
+    parse_schema,
+    parse_script,
+    render_define,
+)
 from repro.moa.errors import MoaTypeError
 from repro.moa.executor import MoaExecutor, QueryResult
 from repro.moa.mapping import (
@@ -33,8 +39,8 @@ from repro.moa.mapping import (
     collection_count,
     reconstruct_collection,
 )
-from repro.moa.types import MoaType
-from repro.monet.bbp import BATBufferPool
+from repro.moa.types import AtomicType, MoaType, TupleType
+from repro.monet.bbp import BATBufferPool, replace_text
 from repro.monet.fragments import FragmentationPolicy
 
 
@@ -118,16 +124,49 @@ class MirrorDBMS:
     # Data
     # ------------------------------------------------------------------
     def insert(self, name: str, values: Sequence[Any]) -> int:
-        """Bulk-load *values* into collection *name* (replacing or
-        appending to existing contents); returns the new cardinality."""
+        """Insert *values* into collection *name*; returns the new
+        cardinality.
+
+        When the collection is already loaded and every mapper in its
+        type tree supports incremental append, this takes the O(batch)
+        delta path: new tuples get the next dense oids and every
+        attribute BAT grows an append tail through the pool's
+        copy-on-write/WAL machinery, so in-flight snapshot readers keep
+        seeing the pre-insert state.  Otherwise (first load, or an
+        extension structure without an append hook, e.g. CONTREP) it
+        falls back to the bulk reconstruct+reload path."""
         ty = self.collection_type(name)
+        values = list(values)
         with self.write_lock:
-            existing: List[Any] = []
             if self.pool.exists(f"{name}.__extent__"):
+                appended = self._executor.append(name, ty, values)
+                if appended is not None:
+                    return appended
                 existing = reconstruct_collection(self.pool, name, ty)
-            combined = existing + list(values)
-            self._executor.load(name, ty, combined)
-        return len(combined)
+                values = existing + values
+            self._executor.load(name, ty, values)
+        return len(values)
+
+    def execute(self, script: str) -> List[str]:
+        """Run a mixed DDL/DML script (``define`` and ``insert``
+        statements, in order); returns one summary line per statement.
+        Insert rows bind positionally to the element type's TUPLE
+        fields (or a single literal for ``SET<Atomic<...>>``)."""
+        outcomes: List[str] = []
+        with self.write_lock:
+            for statement in parse_script(script):
+                if isinstance(statement, DefineStatement):
+                    self.schema[statement.name] = statement.ty
+                    outcomes.append(f"defined {statement.name}")
+                elif isinstance(statement, InsertStatement):
+                    ty = self.collection_type(statement.name)
+                    rows = _bind_rows(statement.name, ty, statement.rows)
+                    count = self.insert(statement.name, rows)
+                    outcomes.append(
+                        f"inserted {len(rows)} into {statement.name} "
+                        f"(count {count})"
+                    )
+        return outcomes
 
     def replace(self, name: str, values: Sequence[Any]) -> int:
         """Replace the contents of collection *name* entirely."""
@@ -205,7 +244,7 @@ class MirrorDBMS:
         directory = Path(directory)
         with self.write_lock:
             self.pool.save(directory)
-            (directory / "schema.ddl").write_text(self.ddl() + "\n")
+            replace_text(directory / "schema.ddl", self.ddl() + "\n")
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "MirrorDBMS":
@@ -216,3 +255,33 @@ class MirrorDBMS:
         if ddl_path.exists():
             db.define(ddl_path.read_text())
         return db
+
+
+def _bind_rows(name: str, ty: MoaType, rows: List[List[Any]]) -> List[Any]:
+    """Bind positional insert-statement literal rows to the element
+    type of collection *name*: dicts by field order for TUPLE elements,
+    bare values for Atomic elements."""
+    element_ty = getattr(ty, "element", None)
+    if isinstance(element_ty, TupleType):
+        fields = [field_name for field_name, _ in element_ty.fields]
+        values: List[Any] = []
+        for row in rows:
+            if len(row) != len(fields):
+                raise MoaTypeError(
+                    f"insert into {name}: expected {len(fields)} literals "
+                    f"per row, got {len(row)}"
+                )
+            values.append(dict(zip(fields, row)))
+        return values
+    if isinstance(element_ty, AtomicType):
+        for row in rows:
+            if len(row) != 1:
+                raise MoaTypeError(
+                    f"insert into {name}: expected one literal per row "
+                    f"for {element_ty.render()} elements, got {len(row)}"
+                )
+        return [row[0] for row in rows]
+    rendered = element_ty.render() if element_ty is not None else ty.render()
+    raise MoaTypeError(
+        f"insert into {name}: no literal row form for {rendered} elements"
+    )

@@ -1,22 +1,32 @@
-"""Parser for Moa DDL: ``define <Name> as <Type>;``.
+"""Parser for Moa DDL/DML: ``define`` and ``insert`` statements.
 
 Grammar (paper syntax, section 3/5 examples)::
 
+    statement  := define | insert
     define     := "define" IDENT "as" type ";"
     type       := IDENT "<" typearg ("," typearg)* ">"   -- structure
                 | IDENT                                   -- base type name
     typearg    := type ":" IDENT                          -- named field (TUPLE)
                 | type                                    -- positional arg
+    insert     := "insert" "into" IDENT "values" row ("," row)* ";"
+    row        := "(" literal ("," literal)* ")"
+    literal    := STR | ["-"] INT | ["-"] FLT | "nil" | "true" | "false"
 
 The field-name-after-type convention (``Atomic<URL>: source``) follows
 the paper exactly.  Structures are resolved through the registry in
 :mod:`repro.moa.types`, so DDL text can mention extension structures
 (``LIST``, ``CONTREP``) as soon as their module registered them.
+
+``insert`` covers the flat subset -- one row per new tuple, literals
+bound positionally to the TUPLE fields (or a single literal per row for
+``SET<Atomic<...>>`` collections).  Nested SET/LIST attribute values
+have no literal syntax; load those through the Python API.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.moa.errors import MoaParseError, MoaTypeError
 from repro.moa.lexer import Token, tokenize
@@ -25,6 +35,30 @@ from repro.moa.types import (
     make_tuple_type,
     structure_factory,
 )
+
+
+@dataclass
+class DefineStatement:
+    """A parsed ``define Name as Type;``."""
+
+    name: str
+    ty: MoaType
+
+
+@dataclass
+class InsertStatement:
+    """A parsed ``insert into Name values (...), ...;``.
+
+    ``rows`` holds one positional literal list per inserted tuple; the
+    executor binds them to the collection's element type (by field
+    order for TUPLEs).
+    """
+
+    name: str
+    rows: List[List[Any]]
+
+
+Statement = Union[DefineStatement, InsertStatement]
 
 
 class _DDLParser:
@@ -78,6 +112,77 @@ class _DDLParser:
                 raise MoaTypeError(f"collection {name!r} defined twice")
             schema[name] = ty
         return schema
+
+    def parse_insert(self) -> Tuple[str, List[List[Any]]]:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        name = self.expect("IDENT").value
+        self.expect_keyword("values")
+        rows = [self._parse_row()]
+        while self.peek().kind == "COMMA":
+            self.advance()
+            rows.append(self._parse_row())
+        self.expect("SEMI")
+        return name, rows
+
+    def parse_statements(self) -> List[Statement]:
+        statements: List[Statement] = []
+        while self.peek().kind != "EOF":
+            token = self.peek()
+            if token.kind == "IDENT" and token.value == "define":
+                statements.append(DefineStatement(*self.parse_define()))
+            elif token.kind == "IDENT" and token.value == "insert":
+                statements.append(InsertStatement(*self.parse_insert()))
+            else:
+                raise MoaParseError(
+                    f"expected 'define' or 'insert', found {token.value!r}",
+                    token.line,
+                    token.column,
+                )
+        return statements
+
+    def _parse_row(self) -> List[Any]:
+        self.expect("LPAREN")
+        row = [self._parse_literal()]
+        while self.peek().kind == "COMMA":
+            self.advance()
+            row.append(self._parse_literal())
+        self.expect("RPAREN")
+        return row
+
+    def _parse_literal(self) -> Any:
+        token = self.peek()
+        if token.kind == "STR":
+            self.advance()
+            return token.value
+        if token.kind == "INT":
+            self.advance()
+            return int(token.value)
+        if token.kind == "FLT":
+            self.advance()
+            return float(token.value)
+        if token.kind == "MINUS":
+            self.advance()
+            number = self.peek()
+            if number.kind == "INT":
+                self.advance()
+                return -int(number.value)
+            if number.kind == "FLT":
+                self.advance()
+                return -float(number.value)
+            raise MoaParseError(
+                f"expected number after '-', found {number.value!r}",
+                number.line,
+                number.column,
+            )
+        if token.kind == "IDENT" and token.value in ("nil", "true", "false"):
+            self.advance()
+            if token.value == "nil":
+                return None
+            return token.value == "true"
+        raise MoaParseError(
+            f"expected literal, found {token.value!r}", token.line, token.column
+        )
 
     # ------------------------------------------------------------------
     def parse_type(self) -> MoaType:
@@ -159,6 +264,16 @@ def parse_define(text: str) -> Tuple[str, MoaType]:
 def parse_schema(text: str) -> Dict[str, MoaType]:
     """Parse any number of define statements into a name->type schema."""
     return _DDLParser(tokenize(text)).parse_defines()
+
+
+def parse_insert(text: str) -> InsertStatement:
+    """Parse a single ``insert into Name values (...), ...;`` statement."""
+    return InsertStatement(*_DDLParser(tokenize(text)).parse_insert())
+
+
+def parse_script(text: str) -> List[Statement]:
+    """Parse a mixed script of define and insert statements, in order."""
+    return _DDLParser(tokenize(text)).parse_statements()
 
 
 def render_define(name: str, ty: MoaType) -> str:

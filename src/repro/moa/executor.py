@@ -133,6 +133,20 @@ class MoaExecutor:
             with fragmentation(self.fragment_threshold, self.fragment_policy):
                 load_collection(self.pool, name, ty, values)
 
+    def append(self, name: str, ty: MoaType, values: List[Any]) -> Optional[int]:
+        """Append tuples to a loaded collection in O(batch) through the
+        pool's copy-on-write delta path (delegates to
+        :func:`repro.moa.mapping.append_collection`).  Returns the new
+        cardinality, or ``None`` when the type tree has a mapper without
+        an append hook -- the caller must fall back to a full reload.
+        Like :meth:`load`, calls must be externally serialized."""
+        from repro.moa.mapping import append_collection, fragmentation
+
+        if self.fragment_threshold is None:
+            return append_collection(self.pool, name, ty, values)
+        with fragmentation(self.fragment_threshold, self.fragment_policy):
+            return append_collection(self.pool, name, ty, values)
+
     # ------------------------------------------------------------------
     def prepare(
         self,

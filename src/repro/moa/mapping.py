@@ -105,12 +105,39 @@ def register_attribute(pool: BATBufferPool, name: str, bat: BAT) -> None:
         pool.register(name, bat, replace=True)
 
 
+def append_attribute(pool: BATBufferPool, name: str, tails: Sequence[Any]) -> None:
+    """Append tail values to an attribute BAT through the pool's
+    copy-on-write/WAL path, promoting a monolithic registration to
+    fragments when the append pushes it across the active threshold.
+    All mapper ``append`` hooks go through here, mirroring
+    :func:`register_attribute`."""
+    appended = pool.append(name, tails=list(tails))
+    threshold, policy = _FRAGMENTATION.get()
+    if (
+        threshold is not None
+        and not pool.is_fragmented(name)
+        and len(appended) >= threshold
+    ):
+        pool.register_fragmented(
+            name, fragment_bat(appended, policy), replace=True
+        )
+
+
 class StructureMapper:
-    """Load/reconstruct hooks for one structure kind.
+    """Load/reconstruct/append hooks for one structure kind.
 
     ``load`` receives the attribute values aligned with parent oids
     ``0..len(values)-1`` and must register BATs under *prefix*;
     ``reconstruct`` reads them back into Python values, one per parent.
+
+    ``append`` is the incremental load path: it receives values aligned
+    with *new* parent oids ``offset..offset+len(values)-1`` and must
+    extend the registered BATs in place via :func:`append_attribute`
+    (O(batch), never a reload).  A mapper advertises support with
+    ``can_append``; callers must check it for the *whole* type tree
+    before appending anything, so an unsupported branch (``False``,
+    e.g. CONTREP's inverted file) falls back to reconstruct+reload
+    without leaving a half-appended collection behind.
     """
 
     def load(
@@ -125,6 +152,19 @@ class StructureMapper:
     def reconstruct(
         self, pool: BATBufferPool, prefix: str, ty: MoaType, count: int
     ) -> List[Any]:
+        raise NotImplementedError
+
+    def can_append(self, ty: MoaType) -> bool:
+        return False
+
+    def append(
+        self,
+        pool: BATBufferPool,
+        prefix: str,
+        ty: MoaType,
+        values: Sequence[Any],
+        offset: int,
+    ) -> None:
         raise NotImplementedError
 
 
@@ -164,6 +204,12 @@ class AtomicMapper(StructureMapper):
             )
         return bat.tail_list()
 
+    def can_append(self, ty: AtomicType) -> bool:
+        return True
+
+    def append(self, pool, prefix, ty: AtomicType, values, offset):
+        append_attribute(pool, prefix, values)
+
 
 class TupleMapper(StructureMapper):
     """TUPLE attribute: recurse per field under ``prefix.field``."""
@@ -185,6 +231,19 @@ class TupleMapper(StructureMapper):
         return [
             {name: columns[name][i] for name in columns} for i in range(count)
         ]
+
+    def can_append(self, ty: TupleType) -> bool:
+        return all(
+            mapper_for(field_ty).can_append(field_ty)
+            for _, field_ty in ty.fields
+        )
+
+    def append(self, pool, prefix, ty: TupleType, values, offset):
+        for field_name, field_ty in ty.fields:
+            field_values = [_field(v, field_name) for v in values]
+            mapper_for(field_ty).append(
+                pool, f"{prefix}.{field_name}", field_ty, field_values, offset
+            )
 
 
 class SetMapper(StructureMapper):
@@ -244,6 +303,36 @@ class SetMapper(StructureMapper):
                 out[int(parent)].append(elements[child])
         return out
 
+    def can_append(self, ty: SetType) -> bool:
+        element_ty = ty.element
+        if isinstance(element_ty, AtomicType):
+            return True
+        return mapper_for(element_ty).can_append(element_ty)
+
+    def append(self, pool, prefix, ty: SetType, values, offset):
+        # New children pick up oids after the existing ones, so the
+        # recursion offset is the current __nest__ cardinality.
+        child_base = _attribute_len(pool, f"{prefix}.{NEST_SUFFIX}")
+        parents: List[int] = []
+        elements: List[Any] = []
+        indexes: List[int] = []
+        for i, collection in enumerate(values):
+            items = list(collection) if collection is not None else []
+            for index, item in enumerate(items):
+                parents.append(offset + i)
+                elements.append(item)
+                indexes.append(index)
+        append_attribute(pool, f"{prefix}.{NEST_SUFFIX}", parents)
+        if self.ordered:
+            append_attribute(pool, f"{prefix}.{INDEX_SUFFIX}", indexes)
+        element_ty = ty.element
+        if isinstance(element_ty, AtomicType):
+            append_attribute(pool, f"{prefix}.{VALUE_SUFFIX}", elements)
+        else:
+            mapper_for(element_ty).append(
+                pool, prefix, element_ty, elements, child_base
+            )
+
 
 class ListMapper(SetMapper):
     """LIST attribute: a SET plus an explicit order column."""
@@ -255,6 +344,13 @@ register_mapper(AtomicType, AtomicMapper())
 register_mapper(TupleType, TupleMapper())
 register_mapper(SetType, SetMapper())
 register_mapper(ListType, ListMapper())
+
+
+def _attribute_len(pool: BATBufferPool, name: str) -> int:
+    """Cardinality of an attribute BAT without coalescing fragments."""
+    if pool.is_fragmented(name):
+        return len(pool.lookup_fragments(name))
+    return len(pool.lookup(name))
 
 
 def _field(value: Any, name: str) -> Any:
@@ -304,6 +400,50 @@ def load_collection(
         )
     else:
         mapper_for(element_ty).load(pool, name, element_ty, values)
+
+
+def can_append_collection(ty: MoaType) -> bool:
+    """Whether a collection of type *ty* supports the incremental
+    append path end to end (every mapper in the type tree implements
+    ``append``)."""
+    if not isinstance(ty, (SetType, ListType)):
+        return False
+    element_ty = ty.element
+    if isinstance(element_ty, AtomicType):
+        return True
+    return mapper_for(element_ty).can_append(element_ty)
+
+
+def append_collection(
+    pool: BATBufferPool, name: str, ty: MoaType, values: Sequence[Any]
+) -> Optional[int]:
+    """Append *values* to an already-loaded collection in O(batch).
+
+    New tuples get the next dense oids; the extent and every attribute
+    BAT grow through the pool's copy-on-write append (delta tails, WAL
+    logged), so concurrent snapshot readers keep seeing the pre-append
+    state.  Returns the new cardinality, or ``None`` when any mapper in
+    the type tree lacks an append hook (e.g. CONTREP's inverted file)
+    -- the caller must then fall back to reconstruct+reload.  Support
+    is checked for the whole tree *before* the first append so the
+    fallback never observes a half-appended collection.
+    """
+    if not can_append_collection(ty):
+        return None
+    values = list(values)
+    base = collection_count(pool, name)
+    count = base + len(values)
+    if not values:
+        return count
+    # The extent stays monolithic (see load_collection): appending the
+    # next dense oid run keeps its tkey/tsorted flags intact.
+    pool.append(f"{name}.{EXTENT_SUFFIX}", tails=list(range(base, count)))
+    element_ty = ty.element  # type: ignore[union-attr]
+    if isinstance(element_ty, AtomicType):
+        append_attribute(pool, f"{name}.{VALUE_SUFFIX}", values)
+    else:
+        mapper_for(element_ty).append(pool, name, element_ty, values, base)
+    return count
 
 
 def collection_count(pool: BATBufferPool, name: str) -> int:

@@ -125,9 +125,11 @@ AnyColumn = Union[Column, VoidColumn]
 class BAT:
     """A Binary Association Table: aligned head and tail columns.
 
-    BATs are *immutable by convention*: kernel operators always build new
-    BATs (or views).  The only mutating entry points are
-    :meth:`append_pairs` (bulk load) used by the update layer.
+    BATs are *immutable* (by convention and by the write path's
+    contract): kernel operators always build new BATs (or views), and
+    the update layer's entry point :meth:`append` is copy-on-write --
+    it returns a *new* BAT sharing nothing mutable with the receiver,
+    so any snapshot holding the old object keeps reading the old BUNs.
     """
 
     __slots__ = ("head", "tail", "hsorted", "tsorted", "hkey", "tkey", "name")
@@ -305,6 +307,107 @@ class BAT:
         except BATError:
             return False
 
+    # ------------------------------------------------------------------
+    # Copy-on-write append (the update layer's entry point)
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        pairs: Optional[Sequence[Tuple[Any, Any]]] = None,
+        *,
+        tails: Optional[Sequence[Any]] = None,
+    ) -> "BAT":
+        """A new BAT with the given BUNs appended after this one's.
+
+        Copy-on-write: the receiver is untouched, so snapshot readers
+        holding it never see the new BUNs.  Two calling conventions:
+
+        * ``append(pairs)`` -- explicit (head, tail) Python pairs;
+        * ``append(tails=values)`` -- tail values only, the head must be
+          void and is extended densely (the shape of every Moa
+          attribute BAT).
+
+        Property flags are maintained conservatively from the appended
+        run and the boundary BUN alone (O(appended), never O(total)):
+        sortedness survives when the appended values are sorted and the
+        boundary is non-decreasing; keyness survives only when global
+        uniqueness is implied by sortedness (both runs sorted, strictly
+        increasing appended run, strictly increasing boundary).
+        """
+        if (pairs is None) == (tails is None):
+            raise BATError("append takes pairs or tails=, not both/neither")
+        if tails is not None:
+            if not self.head.is_void:
+                raise BATError(
+                    "append(tails=...) needs a void head; pass explicit pairs"
+                )
+            new_tail = column_from_values(self.ttype, list(tails))
+            if len(new_tail) == 0:
+                return self
+            head: AnyColumn = VoidColumn(
+                self.head.seqbase, len(self) + len(new_tail)
+            )
+            tail, tsorted, tkey = self._extend_column(
+                self.tail, new_tail, self.tsorted, self.tkey
+            )
+            return BAT(
+                head,
+                tail,
+                hsorted=True,
+                hkey=True,
+                tsorted=tsorted,
+                tkey=tkey,
+                name=self.name,
+            )
+        pair_list = list(pairs)
+        if not pair_list:
+            return self
+        new_head = column_from_values(self.htype, [h for h, _ in pair_list])
+        new_tail = column_from_values(self.ttype, [t for _, t in pair_list])
+        if self.head.is_void and _continues_dense(
+            self.head.seqbase + len(self), new_head.values
+        ):
+            head = VoidColumn(self.head.seqbase, len(self) + len(new_head))
+            hsorted, hkey = True, True
+        else:
+            head, hsorted, hkey = self._extend_column(
+                self.head, new_head, self.hsorted, self.hkey
+            )
+        tail, tsorted, tkey = self._extend_column(
+            self.tail, new_tail, self.tsorted, self.tkey
+        )
+        return BAT(
+            head,
+            tail,
+            hsorted=hsorted,
+            hkey=hkey,
+            tsorted=tsorted,
+            tkey=tkey,
+            name=self.name,
+        )
+
+    def _extend_column(
+        self, old: AnyColumn, new: Column, was_sorted: bool, was_key: bool
+    ) -> Tuple[Column, bool, bool]:
+        """Concatenate *new* after *old*; returns (column, sorted, key)
+        flags derived from the appended run and the boundary only."""
+        atom_name = new.atom_type.name
+        old_values = old.materialize()
+        values = np.concatenate([old_values, new.values])
+        run_sorted = _is_sorted(new.values, atom_name)
+        run_strict = run_sorted and _is_strictly_increasing(new.values, atom_name)
+        if len(old_values):
+            boundary = _boundary_order(
+                old_values[-1], new.values[0], atom_name
+            )
+        else:
+            boundary = 2  # empty prefix: boundary is vacuously strict
+        now_sorted = was_sorted and run_sorted and boundary >= 1
+        # Uniqueness from sortedness: both runs sorted, the appended run
+        # strictly increasing and the boundary strict imply every new
+        # value exceeds every old one.
+        now_key = was_key and now_sorted and run_strict and boundary == 2
+        return Column(new.atom_type, values), now_sorted, now_key
+
 
 def column_from_values(atom_name: str, values: Sequence[Any]) -> Column:
     """Build a materialized column of atom *atom_name* from Python values."""
@@ -381,6 +484,39 @@ def _column_to_list(column: AnyColumn) -> List[Any]:
     if name == "bit":
         return [None if v == -1 else bool(v) for v in values.tolist()]
     return [atom_type.to_python(v) for v in values]
+
+
+def _continues_dense(expected_next: int, heads: np.ndarray) -> bool:
+    """True when *heads* is exactly the dense run starting at
+    *expected_next* (so a void head can stay void after an append)."""
+    if len(heads) == 0:
+        return True
+    if heads.dtype == np.dtype(object):
+        return False
+    expected = np.arange(
+        expected_next, expected_next + len(heads), dtype=np.int64
+    )
+    try:
+        return bool(np.array_equal(heads.astype(np.int64), expected))
+    except (TypeError, ValueError):
+        return False
+
+
+def _boundary_order(last_old: Any, first_new: Any, atom_name: str) -> int:
+    """Order of the boundary BUN pair: 2 strict increase, 1 equal,
+    0 anything else (decrease, NIL, incomparable)."""
+    if atom_name == "str":
+        if last_old is None or first_new is None:
+            return 0
+        if last_old < first_new:
+            return 2
+        return 1 if last_old == first_new else 0
+    try:
+        if bool(last_old < first_new):
+            return 2
+        return 1 if bool(last_old == first_new) else 0
+    except TypeError:
+        return 0
 
 
 def _is_dense(values: Sequence[Any]) -> bool:

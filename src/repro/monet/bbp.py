@@ -74,17 +74,43 @@ class BATBufferPool:
         self._fragment_views: Dict[str, FragmentedBAT] = {}
         self._lock = threading.RLock()
         self.oid_generator = OidGenerator()
+        #: Monotone catalog version, bumped under the lock by every
+        #: register/append/drop (and by merge-daemon swaps).  A
+        #: :class:`PoolSnapshot` is stamped with the epoch it froze, so
+        #: two snapshots at the same epoch hold the same logical
+        #: catalog.
+        self._epoch = 0
+        # Write-ahead state: set once the pool is attached to a
+        # directory (save/load); appends then log their intent to
+        # wal.jsonl before applying, and load() replays it.
+        self._directory: Optional[Path] = None
+        self._wal_file = None
+        self._generation = 0
+        # Background delta-merge daemon (started on demand).
+        self._merge_stop: Optional[threading.Event] = None
+        self._merge_thread: Optional[threading.Thread] = None
+        _sweep_spill_once()
 
     def __getstate__(self):
-        # Locks do not pickle; a pool crossing a marshalling boundary
-        # (the ORB deep-copies arguments) re-arms a fresh one.
+        # Locks, file handles and threads do not pickle; a pool
+        # crossing a marshalling boundary (the ORB deep-copies
+        # arguments) re-arms fresh ones and loses the WAL attachment.
         state = self.__dict__.copy()
         del state["_lock"]
+        state["_wal_file"] = None
+        state["_merge_stop"] = None
+        state["_merge_thread"] = None
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._lock = threading.RLock()
+
+    @property
+    def epoch(self) -> int:
+        """Current catalog version (see :class:`PoolSnapshot`)."""
+        with self._lock:
+            return self._epoch
 
     def _invalidate_views(self, name: str) -> None:
         self._coalesced_views.pop(name, None)
@@ -105,6 +131,7 @@ class BATBufferPool:
             bat.name = name
             self._bats[name] = bat
             self._bump_oids(bat)
+            self._epoch += 1
         return bat
 
     def register_fragmented(
@@ -126,6 +153,7 @@ class BATBufferPool:
             self._fragmented[name] = fragmented
             for fragment in fragmented.fragments:
                 self._bump_oids(fragment)
+            self._epoch += 1
         return fragmented
 
     def lookup(self, name: str) -> BAT:
@@ -181,6 +209,158 @@ class BATBufferPool:
             else:
                 raise BBPError(f"cannot drop unknown BAT {name!r}")
             self._invalidate_views(name)
+            self._epoch += 1
+
+    # ------------------------------------------------------------------
+    # The write path: appends, snapshots, delta merging
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        name: str,
+        pairs=None,
+        *,
+        tails=None,
+        _log: bool = True,
+    ):
+        """Append BUNs to the registration under *name* and return the
+        newly registered value (BAT or FragmentedBAT).
+
+        Copy-on-write underneath (:meth:`BAT.append` /
+        :meth:`FragmentedBAT.append`): the old object is swapped for a
+        new one under the lock, so any :class:`PoolSnapshot` taken
+        before the append keeps reading the old BUNs.  When the pool is
+        attached to a directory, the append intent is logged to
+        ``wal.jsonl`` (flushed + fsynced) *before* the in-memory swap,
+        so a crash after this method returns never loses the append:
+        :meth:`load` replays the log over the last saved catalog.
+
+        ``pairs`` is a sequence of (head, tail) Python pairs; ``tails``
+        appends tail values under a densely extended void head (the
+        shape of every Moa attribute BAT).
+        """
+        with self._lock:
+            if name in self._bats:
+                current: Union[BAT, FragmentedBAT] = self._bats[name]
+            elif name in self._fragmented:
+                current = self._fragmented[name]
+            else:
+                raise BBPError(f"cannot append to unknown BAT {name!r}")
+            if _log:
+                self._wal_append(name, pairs, tails)
+            if pairs is not None:
+                new = current.append(list(pairs))
+            else:
+                new = current.append(tails=list(tails or []))
+            if new is current:  # empty batch
+                return current
+            new.name = name
+            if isinstance(new, FragmentedBAT):
+                self._fragmented[name] = new
+            else:
+                self._bats[name] = new
+            self._bump_oids_batch(current, pairs, tails)
+            self._invalidate_views(name)
+            self._epoch += 1
+            return new
+
+    def _bump_oids_batch(self, value, pairs, tails) -> None:
+        """Keep the oid sequence ahead of appended oid values --
+        O(batch), unlike :meth:`_bump_oids` which scans whole columns."""
+        top = -1
+        if value.htype == "oid":
+            if pairs is not None:
+                heads = (int(h) for h, _ in pairs if h is not None)
+                top = max(max(heads, default=-1), top)
+            else:
+                # Dense void-head extension: the head ends at the new
+                # count, so the top head oid is seqbase + count - 1.
+                head = (
+                    value.fragments[0].head
+                    if isinstance(value, FragmentedBAT)
+                    else value.head
+                )
+                if head.is_void:
+                    top = max(head.seqbase + len(value) + len(tails or []) - 1, top)
+        if value.ttype == "oid":
+            batch = [t for _, t in pairs] if pairs is not None else list(tails or [])
+            top = max(max((int(t) for t in batch if t is not None), default=-1), top)
+        if top >= 0:
+            self.oid_generator.bump_past(top)
+
+    def read_snapshot(self) -> "PoolSnapshot":
+        """An immutable point-in-time view of the catalog (MVCC-style
+        snapshot read).  O(#names): the name->value maps are copied,
+        the (immutable) values are shared."""
+        with self._lock:
+            return PoolSnapshot(
+                self, dict(self._bats), dict(self._fragmented), self._epoch
+            )
+
+    def merge_deltas(
+        self, policy: Optional[FragmentationPolicy] = None
+    ) -> int:
+        """One synchronous merge pass over the fragmented registrations:
+        fold oversized append-tail deltas back to policy-sized fragments
+        (:func:`repro.monet.fragments.refragment`, which prefers the
+        non-coalescing :func:`~repro.monet.fragments.fold_tail`).
+
+        Reorganization happens *outside* the lock on the immutable
+        fragment lists; the swap-in is a per-name compare-and-swap --
+        if a concurrent append replaced the registration meanwhile, the
+        stale reorganization is discarded (the next pass sees the new
+        tail).  Readers are never blocked: their snapshots keep the old
+        fragment objects.  Returns how many names were reorganized."""
+        with self._lock:
+            work = list(self._fragmented.items())
+        merged = 0
+        for name, fragmented in work:
+            reorganized = _fragments.refragment(
+                fragmented, policy or fragmented.policy
+            )
+            if reorganized is fragmented:
+                continue
+            with self._lock:
+                if self._fragmented.get(name) is not fragmented:
+                    continue  # lost the race to an append/drop; next pass
+                reorganized.name = name
+                self._fragmented[name] = reorganized
+                self._invalidate_views(name)
+                self._epoch += 1
+            merged += 1
+        return merged
+
+    def start_merge_daemon(self, interval: float = 0.1) -> None:
+        """Start the background delta-merge thread (idempotent): every
+        *interval* seconds it runs :meth:`merge_deltas`."""
+        with self._lock:
+            if self._merge_thread is not None and self._merge_thread.is_alive():
+                return
+            stop = threading.Event()
+
+            def loop() -> None:
+                while not stop.wait(interval):
+                    try:
+                        self.merge_deltas()
+                    except Exception:  # pragma: no cover - daemon survives
+                        pass
+
+            thread = threading.Thread(
+                target=loop, name="bbp-merge-daemon", daemon=True
+            )
+            self._merge_stop = stop
+            self._merge_thread = thread
+            thread.start()
+
+    def stop_merge_daemon(self) -> None:
+        """Stop the background merge thread and wait for it to exit."""
+        with self._lock:
+            stop, thread = self._merge_stop, self._merge_thread
+            self._merge_stop = None
+            self._merge_thread = None
+        if stop is not None:
+            stop.set()
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     def names(self, prefix: str = "") -> List[str]:
         """Registered names, optionally filtered by prefix, sorted."""
@@ -222,14 +402,41 @@ class BATBufferPool:
     # ------------------------------------------------------------------
     def save(self, directory: Union[str, Path]) -> None:
         """Write the whole pool to *directory* (catalog + one npz per
-        BAT or fragment)."""
+        BAT or fragment).
+
+        Crash-safe: data files land under generation-stamped names via
+        temp-file + ``os.replace``, and the catalog replacement is the
+        single atomic commit point -- a crash anywhere mid-save leaves
+        the previous complete catalog (and the files it references)
+        intact.  Files the new catalog no longer references (the old
+        generation, aborted-save leftovers) are deleted after the
+        commit.  A successful save supersedes the append WAL, which is
+        truncated; the pool stays *attached* to the directory so
+        subsequent appends log their intent there."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         with self._lock:
             self._save_locked(directory)
+            self._attach_locked(directory)
+            self._wal_truncate_locked()
 
     def _save_locked(self, directory: Path) -> None:
-        catalog = {"oid_next": self.oid_generator.current, "bats": {}}
+        generation = self._generation
+        existing = directory / "catalog.json"
+        if existing.exists():
+            try:
+                generation = max(
+                    generation,
+                    int(json.loads(existing.read_text()).get("generation", 0)),
+                )
+            except (OSError, ValueError, json.JSONDecodeError):
+                pass
+        generation += 1
+        catalog = {
+            "oid_next": self.oid_generator.current,
+            "generation": generation,
+            "bats": {},
+        }
         tuning = _fragments.default_tuning()
         if tuning["measured"]:
             # Calibrated fragment tuning persists next to the catalog so
@@ -244,13 +451,15 @@ class BATBufferPool:
                 "join_fanout": tuning["join_fanout"],
                 "join_spill": tuning["join_spill"],
             }
-        entries = sorted(self._all_names())
+        # Session-private temps (the @<sid>: namespace) are tentative by
+        # definition -- they must not be resurrected on reload.
+        entries = sorted(n for n in self._all_names() if not n.startswith("@"))
         for index, name in enumerate(entries):
             if name in self._bats:
                 bat = self._bats[name]
-                filename = f"bat_{index:05d}.npz"
+                filename = f"bat_g{generation:04d}_{index:05d}.npz"
                 entry, arrays = _bat_entry(bat, filename)
-                np.savez(directory / filename, **arrays)
+                _write_npz_atomic(directory, filename, arrays)
             else:
                 fragmented = self._fragmented[name]
                 entry = {
@@ -261,19 +470,71 @@ class BATBufferPool:
                     "fragments": [],
                 }
                 for findex, fragment in enumerate(fragmented.fragments):
-                    filename = f"bat_{index:05d}_f{findex:03d}.npz"
+                    filename = f"bat_g{generation:04d}_{index:05d}_f{findex:03d}.npz"
                     sub_entry, arrays = _bat_entry(fragment, filename)
                     if fragmented.positions is not None:
                         arrays["positions"] = fragmented.positions[findex]
                         sub_entry["has_positions"] = True
-                    np.savez(directory / filename, **arrays)
+                    _write_npz_atomic(directory, filename, arrays)
                     entry["fragments"].append(sub_entry)
             catalog["bats"][name] = entry
-        (directory / "catalog.json").write_text(json.dumps(catalog, indent=1))
+        # The commit point: everything before this is invisible to load.
+        replace_text(directory / "catalog.json", json.dumps(catalog, indent=1))
+        self._generation = generation
+        _sweep_unreferenced(directory, catalog)
+
+    # -- WAL attachment ------------------------------------------------
+    def _attach_locked(self, directory: Path) -> None:
+        directory = Path(directory)
+        if self._directory != directory and self._wal_file is not None:
+            try:
+                self._wal_file.close()
+            except OSError:  # pragma: no cover - close best-effort
+                pass
+            self._wal_file = None
+        self._directory = directory
+
+    def _wal_append(self, name: str, pairs, tails) -> None:
+        """Log one append intent (flush + fsync) before it applies.
+        A record is *committed* once its full line (with trailing
+        newline) is on disk; :meth:`load` discards a torn final line."""
+        if self._directory is None:
+            return
+        if pairs is not None:
+            record = {
+                "name": name,
+                "pairs": [[_wal_value(h), _wal_value(t)] for h, t in pairs],
+            }
+        else:
+            record = {"name": name, "tails": [_wal_value(t) for t in (tails or [])]}
+        if self._wal_file is None:
+            self._wal_file = open(
+                self._directory / "wal.jsonl", "a", encoding="utf-8"
+            )
+        self._wal_file.write(json.dumps(record) + "\n")
+        self._wal_file.flush()
+        os.fsync(self._wal_file.fileno())
+
+    def _wal_truncate_locked(self) -> None:
+        if self._wal_file is not None:
+            try:
+                self._wal_file.close()
+            except OSError:  # pragma: no cover - close best-effort
+                pass
+            self._wal_file = None
+        if self._directory is not None:
+            (self._directory / "wal.jsonl").unlink(missing_ok=True)
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "BATBufferPool":
-        """Read a pool previously written by :meth:`save`."""
+        """Read a pool previously written by :meth:`save`.
+
+        Recovery-safe: the catalog names exactly the data files of the
+        last complete save (anything else in the directory is an
+        aborted-save leftover and is swept), and committed append
+        intents in ``wal.jsonl`` are replayed on top -- a torn trailing
+        record (crash mid-append) is discarded, so the pool never
+        surfaces a partial append."""
         directory = Path(directory)
         catalog_path = directory / "catalog.json"
         if not catalog_path.exists():
@@ -284,6 +545,10 @@ class BATBufferPool:
             _install_persisted_tuning(tuning)
         pool = cls()
         for name, entry in catalog["bats"].items():
+            if name.startswith("@"):
+                # Session temps leaked into a catalog written before the
+                # @-namespace exclusion; dead sessions stay dead.
+                continue
             if entry.get("fragmented"):
                 fragments: List[BAT] = []
                 positions: List[np.ndarray] = []
@@ -314,7 +579,233 @@ class BATBufferPool:
                 with np.load(directory / entry["file"], allow_pickle=True) as data:
                     pool._bats[name] = _restore_bat(entry, data, name=name)
         pool.oid_generator.bump_past(catalog.get("oid_next", 0) - 1)
+        pool._generation = int(catalog.get("generation", 0))
+        _sweep_unreferenced(directory, catalog)
+        _replay_wal(pool, directory)
+        with pool._lock:
+            pool._attach_locked(directory)
         return pool
+
+
+class PoolSnapshot:
+    """An immutable point-in-time view of a pool's catalog (MVCC-style
+    snapshot read), stamped with the :attr:`epoch` it froze at.
+
+    The MIL interpreter pins one snapshot per plan: ``bat("name")``
+    resolves against the frozen name->value maps, so a pipeline never
+    observes a concurrent append/drop mid-plan (no torn appends --
+    every read of a name sees the same BUNs for the whole plan).  The
+    values themselves are shared with the live pool; that is safe
+    because BATs and FragmentedBATs are copy-on-write (appends swap in
+    new objects, they never mutate registered ones).
+
+    Writes issued *by the plan itself* (``persists`` / ``unpersists``)
+    write through to the live pool **and** update the snapshot's own
+    maps, so a plan sees its own effects while staying isolated from
+    everyone else's.
+
+    A snapshot belongs to one plan on one thread; its lazy view caches
+    (coalesce/split) are unsynchronized by design.
+    """
+
+    def __init__(
+        self,
+        pool: BATBufferPool,
+        bats: Dict[str, BAT],
+        fragmented: Dict[str, FragmentedBAT],
+        epoch: int,
+    ):
+        self._pool = pool
+        self._bats = bats
+        self._fragmented = fragmented
+        self._coalesced_views: Dict[str, BAT] = {}
+        self._fragment_views: Dict[str, FragmentedBAT] = {}
+        self.epoch = epoch
+
+    def read_snapshot(self) -> "PoolSnapshot":
+        """Snapshots are idempotent: pinning a pinned view is a no-op."""
+        return self
+
+    # -- reads (frozen) ------------------------------------------------
+    def is_fragmented(self, name: str) -> bool:
+        return name in self._fragmented
+
+    def exists(self, name: str) -> bool:
+        return name in self
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bats or name in self._fragmented
+
+    def lookup(self, name: str) -> BAT:
+        try:
+            return self._bats[name]
+        except KeyError:
+            pass
+        cached = self._coalesced_views.get(name)
+        if cached is not None:
+            return cached
+        try:
+            view = self._fragmented[name].to_bat()
+        except KeyError:
+            raise BBPError(f"no BAT named {name!r} in the pool") from None
+        self._coalesced_views[name] = view
+        return view
+
+    def lookup_fragments(
+        self, name: str, policy: Optional[FragmentationPolicy] = None
+    ) -> FragmentedBAT:
+        if name in self._fragmented:
+            return self._fragmented[name]
+        cached = self._fragment_views.get(name)
+        if cached is not None and (policy is None or policy == cached.policy):
+            return cached
+        view = fragment_bat(self.lookup(name), policy or FragmentationPolicy())
+        self._fragment_views[name] = view
+        return view
+
+    # -- writes (write-through + local adoption) -----------------------
+    def register(self, name: str, bat: BAT, *, replace: bool = False) -> BAT:
+        result = self._pool.register(name, bat, replace=replace)
+        self._adopt(name, result)
+        return result
+
+    def register_fragmented(
+        self, name: str, fragmented: FragmentedBAT, *, replace: bool = False
+    ) -> FragmentedBAT:
+        result = self._pool.register_fragmented(name, fragmented, replace=replace)
+        self._adopt(name, result)
+        return result
+
+    def drop(self, name: str) -> None:
+        if name not in self:
+            raise BBPError(f"cannot drop unknown BAT {name!r}")
+        try:
+            self._pool.drop(name)
+        except BBPError:
+            pass  # a concurrent writer already dropped it live
+        self._discard(name)
+
+    def new_oids(self, count: int) -> int:
+        return self._pool.new_oids(count)
+
+    def _adopt(self, name: str, value: Union[BAT, FragmentedBAT]) -> None:
+        self._discard(name)
+        if isinstance(value, FragmentedBAT):
+            self._fragmented[name] = value
+        else:
+            self._bats[name] = value
+
+    def _discard(self, name: str) -> None:
+        self._bats.pop(name, None)
+        self._fragmented.pop(name, None)
+        self._coalesced_views.pop(name, None)
+        self._fragment_views.pop(name, None)
+
+
+def _write_npz_atomic(directory: Path, filename: str, arrays: dict) -> None:
+    """Write one npz data file via temp + fsync + ``os.replace`` so a
+    crash can never leave a half-written file under its final name."""
+    tmp = directory / f"{filename}.tmp-{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **arrays)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, directory / filename)
+
+
+def replace_text(path: Path, text: str) -> None:
+    """Atomically replace *path* with *text* (temp + fsync + replace +
+    best-effort directory fsync) -- the WAL/catalog commit primitive,
+    shared by every text file persisted next to the catalog (the
+    MirrorDBMS uses it for ``schema.ddl``)."""
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _sweep_unreferenced(directory: Path, catalog: dict) -> int:
+    """Delete data files the catalog does not reference: the previous
+    generation after a successful save, or the half-written files of a
+    crashed one.  Returns how many were removed."""
+    referenced = set()
+    for entry in catalog.get("bats", {}).values():
+        if entry.get("fragmented"):
+            referenced.update(sub["file"] for sub in entry["fragments"])
+        else:
+            referenced.add(entry["file"])
+    removed = 0
+    for path in list(directory.glob("bat_*.npz")) + list(
+        directory.glob("*.tmp-*")
+    ):
+        if path.name in referenced:
+            continue
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - concurrent sweep
+            pass
+    return removed
+
+
+def _wal_value(value):
+    """JSON-safe form of one appended Python value (numpy scalars
+    unwrap; dbl NIL rides as NaN, which json round-trips)."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _replay_wal(pool: "BATBufferPool", directory: Path) -> int:
+    """Replay committed append intents over a freshly loaded pool.
+
+    Only complete lines count (a record commits when its trailing
+    newline is durable); the first torn/corrupt line discards itself
+    and everything after it.  Appends naming BATs absent from the
+    catalog are skipped -- a registration that was never saved is not
+    resurrected by its appends.  Returns how many records applied."""
+    path = directory / "wal.jsonl"
+    if not path.exists():
+        return 0
+    text = path.read_text(encoding="utf-8", errors="replace")
+    applied = 0
+    lines = text.split("\n")
+    # Everything before the final "\n" is a complete line; the chunk
+    # after it (empty on a clean file) is a torn record.
+    for line in lines[:-1]:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, ValueError):
+            break
+        name = record.get("name")
+        if not isinstance(name, str) or name not in pool:
+            continue
+        if "pairs" in record:
+            pool.append(
+                name, pairs=[tuple(p) for p in record["pairs"]], _log=False
+            )
+        else:
+            pool.append(name, tails=record.get("tails", []), _log=False)
+        applied += 1
+    return applied
 
 
 def _install_persisted_tuning(tuning: dict) -> None:
@@ -389,16 +880,68 @@ def _install_persisted_tuning(tuning: dict) -> None:
 
 _SPILL_ROOT: Optional[Path] = None
 _SPILL_COUNTER = itertools.count()
+_SPILL_PREFIX = "repro-bbp-spill-"
+_SPILL_SWEPT = False
 
 
 def spill_directory() -> Path:
     """Scratch directory for operator spill units, created lazily and
-    removed at interpreter exit."""
+    removed at interpreter exit.  The directory name embeds this
+    process's pid so a crashed process's orphans can be liveness-checked
+    and swept by the next one (:func:`sweep_stale_spill_dirs`)."""
     global _SPILL_ROOT
     if _SPILL_ROOT is None:
-        _SPILL_ROOT = Path(tempfile.mkdtemp(prefix="repro-bbp-spill-"))
+        _SPILL_ROOT = Path(
+            tempfile.mkdtemp(prefix=f"{_SPILL_PREFIX}{os.getpid()}-")
+        )
         atexit.register(_cleanup_spill_directory)
     return _SPILL_ROOT
+
+
+def sweep_stale_spill_dirs() -> int:
+    """Remove spill directories left by *dead* processes.
+
+    ``atexit`` cleanup never runs for a crashed/killed process, so its
+    spill tempdirs leaked forever.  Spill directory names embed the
+    owning pid; any such directory whose pid no longer maps to a live
+    process is stale and removed.  Directories with unparseable names
+    (pre-pid-stamp layouts) and live owners are left alone.  Returns
+    how many directories were removed."""
+    removed = 0
+    try:
+        entries = list(Path(tempfile.gettempdir()).glob(f"{_SPILL_PREFIX}*"))
+    except OSError:  # pragma: no cover - tempdir unreadable
+        return 0
+    for entry in entries:
+        pid_text = entry.name[len(_SPILL_PREFIX):].split("-", 1)[0]
+        if not pid_text.isdigit():
+            continue
+        pid = int(pid_text)
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # alive: not ours to reclaim
+        except ProcessLookupError:
+            pass  # dead: stale directory
+        except OSError:
+            continue  # alive under another uid (EPERM) or unknowable
+        shutil.rmtree(entry, ignore_errors=True)
+        removed += 1
+    return removed
+
+
+def _sweep_spill_once() -> None:
+    """Run the stale-spill sweep the first time a pool starts in this
+    process (pool startup is the natural recovery point)."""
+    global _SPILL_SWEPT
+    if _SPILL_SWEPT:
+        return
+    _SPILL_SWEPT = True
+    try:
+        sweep_stale_spill_dirs()
+    except Exception:  # pragma: no cover - sweep must never break init
+        pass
 
 
 def _cleanup_spill_directory() -> None:

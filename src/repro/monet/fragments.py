@@ -98,7 +98,14 @@ from repro.monet import aggregates as _agg
 from repro.monet import kernel as _kernel
 from repro.monet import shm as _shm
 from repro.monet.atoms import atom
-from repro.monet.bat import BAT, AnyColumn, Column, VoidColumn
+from repro.monet.bat import (
+    BAT,
+    AnyColumn,
+    Column,
+    VoidColumn,
+    bat_from_pairs,
+    dense_bat,
+)
 from repro.monet.errors import KernelError
 
 try:
@@ -735,6 +742,95 @@ class FragmentedBAT:
 
     def to_pairs(self) -> List[Tuple[Any, Any]]:
         return self.to_bat().to_pairs()
+
+    # ------------------------------------------------------------------
+    # Copy-on-write append: the delta tail
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        pairs: Optional[Sequence[Tuple[Any, Any]]] = None,
+        *,
+        tails: Optional[Sequence[Any]] = None,
+    ) -> "FragmentedBAT":
+        """A new FragmentedBAT with the given BUNs appended.
+
+        The committed prefix fragments are *shared by reference* with
+        the receiver (copy-on-write at fragment granularity): only the
+        tail delta fragment is rebuilt, so appending a batch costs
+        O(tail + batch), never O(total).  While the current tail is
+        below the policy target size the batch is folded into it;
+        a full tail starts a fresh delta fragment instead (the merge
+        daemon later splits any oversized delta back to policy size,
+        see :func:`fold_tail`).  Works for both layouts: range splits
+        extend BUN order, round-robin splits extend the tail fragment's
+        global position list with the new trailing positions.
+        """
+        if (pairs is None) == (tails is None):
+            raise KernelError("append takes pairs or tails=, not both/neither")
+        last = self.fragments[-1]
+        if tails is not None and not last.head.is_void:
+            # Round-robin fragments carry materialized oid heads
+            # (seqbase + global position); recover the seqbase and
+            # append explicit pairs continuing the dense sequence.
+            seqbase = self._dense_seqbase()
+            total = len(self)
+            pairs = [(seqbase + total + i, v) for i, v in enumerate(tails)]
+            tails = None
+        batch = len(pairs) if pairs is not None else len(tails)  # type: ignore[arg-type]
+        if batch == 0:
+            return self
+        grow_tail = len(last) < self.policy.target_size
+        if grow_tail:
+            if tails is not None:
+                delta = last.append(tails=tails)
+            else:
+                delta = last.append(list(pairs))
+            new_fragments = [*self.fragments[:-1], delta]
+        else:
+            if tails is not None:
+                delta = dense_bat(
+                    self.ttype,
+                    list(tails),
+                    seqbase=last.head.seqbase + len(last),
+                )
+            else:
+                delta = bat_from_pairs(self.htype, self.ttype, list(pairs))
+            new_fragments = [*self.fragments, delta]
+        new_positions = None
+        if self.positions is not None:
+            total = len(self)
+            appended = np.arange(total, total + batch, dtype=np.int64)
+            if grow_tail:
+                new_positions = [
+                    *self.positions[:-1],
+                    np.concatenate([self.positions[-1], appended]),
+                ]
+            else:
+                new_positions = [*self.positions, appended]
+        return FragmentedBAT(
+            new_fragments, new_positions, policy=self.policy, name=self.name
+        )
+
+    def _dense_seqbase(self) -> int:
+        """Seqbase of a logically dense oid head carried as materialized
+        fragment heads (round-robin layout); raises when the head is not
+        recoverably dense."""
+        if self.htype != "oid":
+            raise KernelError(
+                "append(tails=...) needs a dense oid head; pass explicit pairs"
+            )
+        for index, fragment in enumerate(self.fragments):
+            if len(fragment) == 0:
+                continue
+            heads = fragment.head.materialize()
+            positions = self.global_positions(index)
+            seqbase = int(heads[0]) - int(positions[0])
+            if not np.array_equal(heads, seqbase + positions):
+                break
+            return seqbase
+        raise KernelError(
+            "append(tails=...) needs a dense oid head; pass explicit pairs"
+        )
 
     def items(self):
         return self.to_bat().items()
@@ -2790,24 +2886,69 @@ def multiplex(op: str, *operands: Any, workers: Optional[int] = None):
 # ----------------------------------------------------------------------
 
 
+def fold_tail(
+    fb: FragmentedBAT, policy: Optional[FragmentationPolicy] = None
+) -> FragmentedBAT:
+    """Fold oversized append-tail delta fragments back to policy size
+    without coalescing.
+
+    Every fragment larger than twice the policy target is sliced into
+    target-sized view fragments (numpy views -- no data copy); healthy
+    fragments are shared by reference with the input.  This is the
+    cheap half of reorganization: the merge daemon runs it continuously
+    so bulk appends (which can create arbitrarily large deltas) fold
+    back to the policy size while readers keep their snapshots."""
+    policy = policy or fb.policy
+    target = policy.target_size
+    if max(fb.fragment_sizes()) <= 2 * target:
+        return fb
+    out_fragments: List[BAT] = []
+    out_positions: List[np.ndarray] = []
+    for index, fragment in enumerate(fb.fragments):
+        if len(fragment) <= 2 * target:
+            out_fragments.append(fragment)
+            if fb.positions is not None:
+                out_positions.append(fb.positions[index])
+            continue
+        for start in range(0, len(fragment), target):
+            stop = min(start + target, len(fragment))
+            out_fragments.append(_slice_view(fragment, start, stop))
+            if fb.positions is not None:
+                out_positions.append(fb.positions[index][start:stop])
+    return FragmentedBAT(
+        out_fragments,
+        out_positions if fb.positions is not None else None,
+        policy=policy,
+        name=fb.name,
+    )
+
+
 def refragment(
     fb: FragmentedBAT, policy: Optional[FragmentationPolicy] = None
 ) -> FragmentedBAT:
     """Re-split *fb* when its fragmentation has drifted far from
     *policy* (defaults to the BAT's own policy).
 
-    Selections shrink fragments and joins grow them; most drift is
-    harmless, so this only rebuilds when a fragment exceeds twice the
+    Selections shrink fragments and joins/appends grow them; most drift
+    is harmless, so this only rebuilds when a fragment exceeds twice the
     target size (losing cache residency) or the fragment count exceeds
     four times what the current cardinality warrants (dispatch overhead
-    dominating).  Rebuilding coalesces once and re-splits -- the MIL
-    dispatch layer calls this on intermediates so whole pipelines keep
-    a healthy fragmentation without per-operator tuning."""
+    dominating).  Oversized fragments are first folded by
+    :func:`fold_tail` (slice views, no coalesce) -- the append path's
+    delta tails resolve there; only when the fragment *count* has
+    drifted does this coalesce once and re-split.  The MIL dispatch
+    layer calls this on intermediates so whole pipelines keep a healthy
+    fragmentation without per-operator tuning."""
     policy = policy or fb.policy
     n = len(fb)
-    sizes = fb.fragment_sizes()
     ideal = max(1, -(-n // policy.target_size))
-    if max(sizes) <= 2 * policy.target_size and fb.nfragments <= max(4, 4 * ideal):
+    count_bound = max(4, 4 * ideal)
+    if max(fb.fragment_sizes()) > 2 * policy.target_size:
+        folded = fold_tail(fb, policy)
+        if folded.nfragments <= count_bound:
+            return folded
+        fb = folded
+    if fb.nfragments <= count_bound:
         return fb
     return fragment_bat(fb.to_bat(), policy)
 

@@ -52,6 +52,18 @@ NIL semantics (two rules, both Monet-faithful):
   semijoin machinery, which silently duplicated NaN heads in unions --
   the identity rule makes them consistent with ``kunique`` (whose
   output is the natural "key set" the k-prefixed operators work on).
+* *Appends/deltas introduce no third rule.*  A NIL appended into a
+  delta tail (:meth:`BAT.append` / ``FragmentedBAT.append`` /
+  ``BATBufferPool.append``, WAL replay included) is stored as the
+  ordinary NIL representation of its atom (NaN for dbl, ``None`` for
+  str, the int sentinel for int/oid) and thereafter follows exactly
+  the split above: comparison operators never match it, identity
+  operators fold it with every other NIL of the column -- whether the
+  NIL arrived by bulk load or by append is indistinguishable to every
+  operator.  The only append-specific caveat is *property flags*: an
+  appended NIL conservatively clears ``tsorted``/``tkey`` (NaN is
+  incomparable, so sortedness cannot be extended across it), which
+  can only disable optimizations, never change results.
 """
 
 from __future__ import annotations

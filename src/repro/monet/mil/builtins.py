@@ -282,6 +282,11 @@ _FRAGMENT: Dict[str, Callable[..., Any]] = {
     ),
     "const": fragments.const,
     "group": fragments.group,
+    # Functional insert on a fragmented receiver goes through the
+    # copy-on-write delta tail: the committed prefix fragments are
+    # shared, only the tail is rebuilt -- no coalesce, O(tail) not
+    # O(total).  (The monolithic _insert rebuilds from to_pairs().)
+    "insert": lambda fb, head, tail: fb.append([(head, tail)]),
     "count": fragments.count,
     "sum": fragments.sum_,
     "max": fragments.max_,

@@ -62,6 +62,13 @@ class MILResult:
     env: Dict[str, Any] = field(default_factory=dict)
     printed: List[str] = field(default_factory=list)
     stats: Counter = field(default_factory=Counter)
+    #: Catalog epoch the plan's snapshot was pinned at (None when the
+    #: pool offers no snapshots).  The write-path differential harness
+    #: keys serial replays on this.
+    epoch: Optional[int] = None
+    #: The pinned :class:`~repro.monet.bbp.PoolSnapshot` every catalog
+    #: access of this run resolved against (private to the run).
+    snapshot: Any = field(default=None, repr=False, compare=False)
 
 
 class MILInterpreter:
@@ -105,8 +112,20 @@ class MILInterpreter:
         """Execute a parsed program.  *checkpoint*, when given, is
         called before every statement; it may raise
         :class:`~repro.monet.errors.MILCancelled` to abort a plan whose
-        deadline passed or whose session disconnected."""
+        deadline passed or whose session disconnected.
+
+        Catalog access is pinned to one epoch-stamped snapshot for the
+        whole plan (``pool.read_snapshot()``): every ``bat("name")`` of
+        the run resolves against the same frozen catalog, so a pipeline
+        never observes a concurrent append or drop mid-plan.  Writes the
+        plan itself issues (``persists``/``unpersists``) write through
+        to the live pool and stay visible to the rest of the plan."""
         result = MILResult(env=dict(env or {}))
+        reader = self.pool
+        if hasattr(reader, "read_snapshot"):
+            reader = reader.read_snapshot()
+            result.epoch = getattr(reader, "epoch", None)
+        result.snapshot = reader
         for statement in program.statements:
             if checkpoint is not None:
                 checkpoint()
@@ -170,26 +189,27 @@ class MILInterpreter:
 
     def _call(self, name: str, args: list, result: MILResult, line: int):
         result.stats[name] += 1
+        pool = result.snapshot if result.snapshot is not None else self.pool
         if name == "bat":
             if len(args) != 1 or not isinstance(args[0], str):
                 raise MILRuntimeError('bat() takes one string name')
-            if self.pool.is_fragmented(args[0]):
-                return self.pool.lookup_fragments(args[0], self.fragment_policy)
-            return self.pool.lookup(args[0])
+            if pool.is_fragmented(args[0]):
+                return pool.lookup_fragments(args[0], self.fragment_policy)
+            return pool.lookup(args[0])
         if name == "persists":
             if len(args) != 2 or not isinstance(args[0], str):
                 raise MILRuntimeError("persists(name, bat)")
             if isinstance(args[1], FragmentedBAT):
-                return self.pool.register_fragmented(args[0], args[1], replace=True)
-            return self.pool.register(args[0], args[1], replace=True)
+                return pool.register_fragmented(args[0], args[1], replace=True)
+            return pool.register(args[0], args[1], replace=True)
         if name == "unpersists":
             if len(args) != 1 or not isinstance(args[0], str):
                 raise MILRuntimeError("unpersists(name)")
-            self.pool.drop(args[0])
+            pool.drop(args[0])
             return None
         if name == "newoid":
             count = int(args[0]) if args else 1
-            return self.pool.new_oids(count)
+            return pool.new_oids(count)
         if name == "print":
             rendered = _render(args[0]) if args else ""
             result.printed.append(rendered)

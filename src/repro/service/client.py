@@ -142,6 +142,16 @@ class ServiceClient:
     def count(self, collection: str) -> int:
         return self.request({"op": "count", "collection": collection})["count"]
 
+    def commit(
+        self, name: str, shared_name: Optional[str] = None, *, replace: bool = False
+    ) -> str:
+        """Promote the session temp *name* (created with MIL
+        ``persists``) to shared data; returns the shared name."""
+        header: Dict[str, Any] = {"op": "commit", "name": name, "replace": replace}
+        if shared_name is not None:
+            header["as"] = shared_name
+        return self.request(header)["name"]
+
     def collections(self) -> List[str]:
         return self.request({"op": "collections"})["names"]
 
@@ -247,6 +257,14 @@ class AsyncServiceClient:
         return (await self.request({"op": "count", "collection": collection}))[
             "count"
         ]
+
+    async def commit(
+        self, name: str, shared_name: Optional[str] = None, *, replace: bool = False
+    ) -> str:
+        header: Dict[str, Any] = {"op": "commit", "name": name, "replace": replace}
+        if shared_name is not None:
+            header["as"] = shared_name
+        return (await self.request(header))["name"]
 
     async def collections(self) -> List[str]:
         return (await self.request({"op": "collections"}))["names"]

@@ -168,6 +168,9 @@ class BATResult:
     htype: str
     ttype: str
     flags: Dict[str, bool] = field(default_factory=dict)
+    #: Catalog epoch the producing plan's snapshot was pinned at (MIL
+    #: results only; None when the server did not report one).
+    epoch: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.head)
@@ -268,6 +271,7 @@ def decode_result(result: Dict[str, Any], frames: List[bytes]) -> Any:
             htype=result.get("htype", "?"),
             ttype=result.get("ttype", "?"),
             flags=dict(result.get("flags", {})),
+            epoch=result.get("epoch"),
         )
     if kind in ("scalar", "value"):
         return result.get("value")

@@ -261,7 +261,7 @@ class MirrorService:
                 {"kind": "status", "status": self.status()}, [], request_id
             )
         if op not in ("mil", "moa", "define", "insert", "count", "stats",
-                      "collections"):
+                      "collections", "commit"):
             return error_response("protocol", f"unknown op {op!r}", request_id)
 
         # Rate limit, then guard, then admission: the cheap checks run
@@ -331,9 +331,18 @@ class MirrorService:
         if op == "mil":
             source = _require_str(header, "q")
             self.guard.check_mil(source, session.namespace)
-            return lambda: encode_result(
-                session.mil.run(source, checkpoint=checkpoint).value, binary
-            )
+
+            def run_mil():
+                outcome = session.mil.run(source, checkpoint=checkpoint)
+                result, frames = encode_result(outcome.value, binary)
+                if outcome.epoch is not None:
+                    # The catalog epoch the plan's snapshot was pinned
+                    # at; the write-path differential harness keys
+                    # serial replays on it.
+                    result["epoch"] = outcome.epoch
+                return result, frames
+
+            return run_mil
         if op == "moa":
             source = _require_str(header, "q")
             self.guard.check_moa(source, self.db.pool, self.db.schema)
@@ -361,6 +370,19 @@ class MirrorService:
             name = _require_str(header, "collection")
             return lambda: (
                 {"kind": "count", "count": self.db.count(name)},
+                [],
+            )
+        if op == "commit":
+            name = _require_str(header, "name")
+            shared = header.get("as")
+            if shared is not None and not isinstance(shared, str):
+                raise TypeError("commit 'as' must be a string")
+            replace = bool(header.get("replace", False))
+            return lambda: (
+                {
+                    "kind": "committed",
+                    "name": session.commit(name, shared, replace=replace),
+                },
                 [],
             )
         if op == "collections":

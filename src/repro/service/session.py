@@ -11,9 +11,11 @@ query checkpoints poll.
 The namespace discipline follows the mobile-database survey's session
 model: everything a session persists is *tentative* -- visible to that
 session only, mapped into the shared pool under a mangled name, and
-dropped wholesale when the session ends (commit-to-shared is a future
-write-path concern; today's service is read-mostly with private
-scratch space).
+dropped wholesale when the session ends.  A session promotes a temp to
+shared data explicitly with :meth:`Session.commit`, which serializes
+on the database's ``write_lock`` like every other write; in-flight
+plans of other sessions keep reading their pinned snapshots and see
+the commit only on their next plan.
 """
 
 from __future__ import annotations
@@ -99,8 +101,27 @@ class SessionNamespace:
             )
         raise BBPError(f"cannot drop unknown BAT {name!r}")
 
-    def new_oids(self, count: int) -> int:
-        return self.pool.new_oids(count)
+    def append(self, name: str, pairs=None, *, tails=None):
+        """Append to a session-private BAT (copy-on-write, via the
+        shared pool's delta path).  Shared BATs cannot be appended from
+        a session -- commit a temp or go through the DBMS write API."""
+        if self._is_private(name):
+            return self.pool.append(self._mangle(name), pairs, tails=tails)
+        if self.pool.exists(name):
+            raise BBPError(
+                f"cannot append to shared BAT {name!r} from a session "
+                "(sessions own only their temp namespace)"
+            )
+        raise BBPError(f"cannot append to unknown BAT {name!r}")
+
+    def read_snapshot(self) -> "_NamespaceSnapshot":
+        """An epoch-pinned view of this namespace: shared names resolve
+        against one :class:`~repro.monet.bbp.PoolSnapshot` for a whole
+        plan, private names keep their mangling.  The MIL interpreter
+        calls this once per plan."""
+        with self._lock:
+            private = set(self._names)
+        return _NamespaceSnapshot(self, self.pool.read_snapshot(), private)
 
     # -- lifecycle -----------------------------------------------------
     def temp_names(self) -> List[str]:
@@ -119,6 +140,84 @@ class SessionNamespace:
             except BBPError:  # already gone (concurrent cleanup)
                 pass
         return dropped
+
+
+class _NamespaceSnapshot:
+    """A plan-pinned view of a :class:`SessionNamespace`.
+
+    Shared-name reads resolve against one epoch-stamped
+    :class:`~repro.monet.bbp.PoolSnapshot` for the plan's whole
+    lifetime, so a session's pipeline never observes a concurrent
+    append/drop/commit mid-plan.  Private names stay mangled; writes
+    the plan issues (``persists``/``unpersists``) go through the
+    snapshot's write-through path, landing in the live pool *and* the
+    live namespace so they survive the plan.
+    """
+
+    def __init__(
+        self, namespace: SessionNamespace, snapshot, private: Set[str]
+    ):
+        self._namespace = namespace
+        self._snapshot = snapshot
+        self._private = private
+        self.epoch = getattr(snapshot, "epoch", None)
+
+    def read_snapshot(self) -> "_NamespaceSnapshot":
+        return self
+
+    def _resolve(self, name: str) -> str:
+        if name in self._private:
+            return self._namespace._mangle(name)
+        return name
+
+    def is_fragmented(self, name: str) -> bool:
+        return self._snapshot.is_fragmented(self._resolve(name))
+
+    def lookup(self, name: str):
+        return self._snapshot.lookup(self._resolve(name))
+
+    def lookup_fragments(
+        self, name: str, policy: Optional[FragmentationPolicy] = None
+    ):
+        return self._snapshot.lookup_fragments(self._resolve(name), policy)
+
+    def exists(self, name: str) -> bool:
+        return name in self._private or self._snapshot.exists(name)
+
+    def register(self, name: str, bat, *, replace: bool = True):
+        result = self._snapshot.register(
+            self._namespace._mangle(name), bat, replace=True
+        )
+        self._private.add(name)
+        with self._namespace._lock:
+            self._namespace._names.add(name)
+        return result
+
+    def register_fragmented(self, name: str, fragmented, *, replace: bool = True):
+        result = self._snapshot.register_fragmented(
+            self._namespace._mangle(name), fragmented, replace=True
+        )
+        self._private.add(name)
+        with self._namespace._lock:
+            self._namespace._names.add(name)
+        return result
+
+    def drop(self, name: str) -> None:
+        if name in self._private:
+            self._snapshot.drop(self._namespace._mangle(name))
+            self._private.discard(name)
+            with self._namespace._lock:
+                self._namespace._names.discard(name)
+            return
+        if self._snapshot.exists(name) or self._namespace.pool.exists(name):
+            raise BBPError(
+                f"cannot drop shared BAT {name!r} from a session "
+                "(sessions own only their temp namespace)"
+            )
+        raise BBPError(f"cannot drop unknown BAT {name!r}")
+
+    def new_oids(self, count: int) -> int:
+        return self._snapshot.new_oids(count)
 
 
 class Session:
@@ -147,6 +246,36 @@ class Session:
         #: checkpoint so an in-flight plan aborts between statements.
         self.disconnected = threading.Event()
         self.queries = 0
+
+    def commit(
+        self, name: str, shared_name: Optional[str] = None, *, replace: bool = False
+    ) -> str:
+        """Promote the session temp *name* to shared data.
+
+        The temp's value (fragmented or not) is re-registered in the
+        shared catalog under *shared_name* (default: the same name) and
+        the private alias dropped.  Serialized on the database's
+        ``write_lock`` like every write; with ``replace=False`` an
+        existing shared name is an error.  Returns the shared name.
+        """
+        target = shared_name if shared_name is not None else name
+        if target.startswith("@"):
+            raise BBPError(f"cannot commit to reserved name {target!r}")
+        mangled = self.namespace._mangle(name)
+        with self.db.write_lock:
+            if not self.namespace._is_private(name):
+                raise BBPError(f"no session temp named {name!r}")
+            pool = self.db.pool
+            if pool.is_fragmented(mangled):
+                pool.register_fragmented(
+                    target, pool.lookup_fragments(mangled), replace=replace
+                )
+            else:
+                pool.register(target, pool.lookup(mangled), replace=replace)
+            pool.drop(mangled)
+            with self.namespace._lock:
+                self.namespace._names.discard(name)
+        return target
 
     def close(self) -> int:
         """Mark disconnected and reclaim the temp namespace."""

@@ -1,0 +1,175 @@
+"""The Moa write path: O(batch) insert-appends vs the reload path.
+
+``MirrorDBMS.insert`` now appends through the mapper ``append`` hooks
+when the whole type tree supports it; these tests pin the equivalence:
+whatever the fast path produces must be exactly what the old
+reconstruct+reload path produces -- same contents, same physical names,
+working queries -- across flat tuples, nested SETs/LISTs, fragmentation
+promotion, and the CONTREP fallback.  Plus the ``insert into ... values
+(...)`` DDL statement that rides on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mirror import MirrorDBMS
+from repro.moa.ddl import parse_insert, parse_script, InsertStatement
+from repro.moa.errors import MoaParseError, MoaTypeError
+from repro.moa.mapping import can_append_collection
+
+NESTED_DDL = (
+    "define Lib as SET<TUPLE<Atomic<str>: source, Atomic<int>: size, "
+    "SET<Atomic<str>>: tags, LIST<Atomic<int>>: seq>>;"
+)
+
+
+def _rows(start, stop):
+    return [
+        {
+            "source": f"s{i}",
+            "size": i,
+            "tags": [f"t{i}", "common"],
+            "seq": [i, i + 1, i + 2],
+        }
+        for i in range(start, stop)
+    ]
+
+
+def _reload_reference(threshold, rows_a, rows_b):
+    """The pre-append behaviour: load everything in one shot."""
+    db = MirrorDBMS(fragment_threshold=threshold)
+    db.define(NESTED_DDL)
+    db.replace("Lib", rows_a + rows_b)
+    return db
+
+
+@pytest.mark.parametrize("threshold", [None, 4])
+def test_insert_append_matches_reload(threshold):
+    db = MirrorDBMS(fragment_threshold=threshold)
+    db.define(NESTED_DDL)
+    db.insert("Lib", _rows(0, 3))
+    assert db.insert("Lib", _rows(3, 9)) == 9
+    reference = _reload_reference(threshold, _rows(0, 3), _rows(3, 9))
+    assert db.contents("Lib") == reference.contents("Lib")
+    assert db.count("Lib") == reference.count("Lib")
+    assert sorted(db.bat_names("Lib")) == sorted(reference.bat_names("Lib"))
+    # Queries over the appended state agree too.
+    query = "map[THIS.size](select[THIS.size > 4](Lib));"
+    assert sorted(db.query(query).value) == sorted(reference.query(query).value)
+
+
+def test_append_preserves_extent_flags():
+    db = MirrorDBMS()
+    db.define(NESTED_DDL)
+    db.insert("Lib", _rows(0, 3))
+    db.insert("Lib", _rows(3, 6))
+    extent = db.pool.lookup("Lib.__extent__")
+    assert extent.tkey and extent.tsorted
+    assert extent.tail_list() == list(range(6))
+
+
+def test_append_promotes_to_fragments_across_threshold():
+    db = MirrorDBMS(fragment_threshold=5)
+    db.define(NESTED_DDL)
+    db.insert("Lib", _rows(0, 3))
+    assert not db.pool.is_fragmented("Lib.source")
+    db.insert("Lib", _rows(3, 9))
+    assert db.pool.is_fragmented("Lib.source")
+    # The extent stays monolithic by design.
+    assert not db.pool.is_fragmented("Lib.__extent__")
+    assert db.contents("Lib") == _rows(0, 9)
+
+
+def test_append_is_snapshot_isolated():
+    db = MirrorDBMS()
+    db.define(NESTED_DDL)
+    db.insert("Lib", _rows(0, 3))
+    snapshot = db.pool.read_snapshot()
+    db.insert("Lib", _rows(3, 6))
+    assert len(snapshot.lookup("Lib.__extent__")) == 3
+    assert db.count("Lib") == 6
+
+
+def test_contrep_falls_back_to_reload():
+    pytest.importorskip("repro.moa.structures.contrep")
+    db = MirrorDBMS()
+    db.define(
+        "define Docs as SET<TUPLE<Atomic<str>: id, CONTREP<Text>: body>>;"
+    )
+    assert not can_append_collection(db.collection_type("Docs"))
+    db.insert("Docs", [{"id": "d1", "body": "a b a"}])
+    db.insert("Docs", [{"id": "d2", "body": "c a c"}])
+    assert db.count("Docs") == 2
+    contents = db.contents("Docs")
+    assert [c["id"] for c in contents] == ["d1", "d2"]
+
+
+def test_atomic_element_append():
+    db = MirrorDBMS()
+    db.define("define Words as SET<Atomic<str>>;")
+    db.insert("Words", ["alpha"])
+    db.insert("Words", ["beta", None])
+    assert db.contents("Words") == ["alpha", "beta", None]
+
+
+# ----------------------------------------------------------------------
+# insert-into DDL statements
+# ----------------------------------------------------------------------
+
+
+def test_parse_insert_literals():
+    statement = parse_insert(
+        'insert into Nums values (1, "a", 2.5, nil, true, -3, -4.5);'
+    )
+    assert statement.name == "Nums"
+    assert statement.rows == [[1, "a", 2.5, None, True, -3, -4.5]]
+
+
+def test_parse_insert_multiple_rows():
+    statement = parse_insert("insert into T values (1), (2), (3);")
+    assert statement.rows == [[1], [2], [3]]
+
+
+def test_parse_script_mixed_statements():
+    statements = parse_script(
+        "define A as SET<Atomic<int>>;\ninsert into A values (1), (2);"
+    )
+    assert len(statements) == 2
+    assert isinstance(statements[1], InsertStatement)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "insert into T values;",
+        "insert T values (1);",
+        "insert into T values (1,);",
+        "insert into T values (-);",
+        "insert into T values (foo);",
+    ],
+)
+def test_parse_insert_rejects_malformed(bad):
+    with pytest.raises(MoaParseError):
+        parse_insert(bad)
+
+
+def test_execute_script_end_to_end():
+    db = MirrorDBMS()
+    outcomes = db.execute(
+        "define Nums as SET<TUPLE<Atomic<int>: v, Atomic<str>: s>>;\n"
+        'insert into Nums values (1, "a"), (2, "b");\n'
+        "insert into Nums values (3, nil);"
+    )
+    assert len(outcomes) == 3
+    assert db.count("Nums") == 3
+    contents = db.contents("Nums")
+    assert contents[0] == {"v": 1, "s": "a"}
+    assert contents[2] == {"v": 3, "s": None}
+
+
+def test_execute_arity_mismatch_rejected():
+    db = MirrorDBMS()
+    db.define("define Nums as SET<TUPLE<Atomic<int>: v, Atomic<str>: s>>;")
+    with pytest.raises(MoaTypeError, match="expected 2 literals"):
+        db.execute("insert into Nums values (1);")

@@ -1,0 +1,280 @@
+"""Crash-recovery: fault-injected saves, WAL replay, and sweeps.
+
+The contract under test (see ``BATBufferPool.save``/``load``): a crash
+at *any* point during save or append never loses a committed append and
+never surfaces a partial one.  Saves commit atomically through the
+catalog replacement; appends commit through fsynced ``wal.jsonl``
+records replayed on load (a torn trailing record is discarded).  Also
+covered: the ``@``-namespace exclusion from persistence, the
+unreferenced-file sweep, and the stale spill-directory sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.monet import bbp as bbp_module
+from repro.monet.bat import bat_from_pairs, dense_bat
+from repro.monet.bbp import BATBufferPool
+from repro.monet.fragments import FragmentationPolicy, fragment_bat
+
+
+def _seed_pool() -> BATBufferPool:
+    pool = BATBufferPool()
+    pool.register("a", dense_bat("int", [1, 2, 3]))
+    pool.register("b", dense_bat("str", ["x", None, "y"]))
+    policy = FragmentationPolicy(target_size=2, strategy="range")
+    pool.register_fragmented(
+        "f", fragment_bat(dense_bat("int", [10, 20, 30, 40, 50]), policy)
+    )
+    return pool
+
+
+# ----------------------------------------------------------------------
+# Fault-injected saves
+# ----------------------------------------------------------------------
+
+
+def test_crash_writing_data_file_preserves_previous_save(tmp_path, monkeypatch):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    pool.append("a", tails=[9])  # committed: WAL record is on disk
+    pool.register("c", dense_bat("int", [7]))
+
+    calls = {"n": 0}
+    real_savez = np.savez
+
+    def failing_savez(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] >= 2:
+            raise OSError("injected: disk full")
+        return real_savez(*args, **kwargs)
+
+    monkeypatch.setattr(np, "savez", failing_savez)
+    with pytest.raises(OSError, match="injected"):
+        pool.save(tmp_path)
+    monkeypatch.undo()
+
+    restored = BATBufferPool.load(tmp_path)
+    # The committed append survives (base catalog + WAL replay) ...
+    assert restored.lookup("a").tail_list() == [1, 2, 3, 9]
+    assert restored.lookup("b").tail_list() == ["x", None, "y"]
+    assert restored.lookup("f").tail_list() == [10, 20, 30, 40, 50]
+    # ... and nothing from the aborted save is visible.
+    assert not restored.exists("c")
+
+
+def test_crash_replacing_catalog_preserves_previous_save(tmp_path, monkeypatch):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    before = json.loads((tmp_path / "catalog.json").read_text())
+    pool.append("a", tails=[42])
+    pool.register("later", dense_bat("int", [5]))
+
+    def failing_replace(path, text):
+        raise OSError("injected: power loss at commit")
+
+    monkeypatch.setattr(bbp_module, "replace_text", failing_replace)
+    with pytest.raises(OSError, match="injected"):
+        pool.save(tmp_path)
+    monkeypatch.undo()
+
+    after = json.loads((tmp_path / "catalog.json").read_text())
+    assert after == before  # the commit point never moved
+    restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("a").tail_list() == [1, 2, 3, 42]
+    assert not restored.exists("later")
+
+
+def test_successful_save_supersedes_wal_and_sweeps_old_generation(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    pool.append("a", tails=[9])
+    assert (tmp_path / "wal.jsonl").exists()
+    pool.save(tmp_path)
+    # The WAL is folded into the new generation and truncated.
+    assert not (tmp_path / "wal.jsonl").exists()
+    catalog = json.loads((tmp_path / "catalog.json").read_text())
+    referenced = set()
+    for entry in catalog["bats"].values():
+        if entry.get("fragmented"):
+            referenced.update(sub["file"] for sub in entry["fragments"])
+        else:
+            referenced.add(entry["file"])
+    on_disk = {p.name for p in tmp_path.glob("bat_*.npz")}
+    assert on_disk == referenced  # no stale previous-generation files
+    restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("a").tail_list() == [1, 2, 3, 9]
+
+
+# ----------------------------------------------------------------------
+# WAL replay
+# ----------------------------------------------------------------------
+
+
+def test_wal_replays_committed_appends_on_load(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    pool.append("a", tails=[4, 5])
+    pool.append("b", tails=[None, "z"])
+    pool.append("f", [(5, 60)])
+    # No save: simulate a crash here.  Load must replay all three.
+    restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("a").tail_list() == [1, 2, 3, 4, 5]
+    assert restored.lookup("b").tail_list() == ["x", None, "y", None, "z"]
+    assert restored.lookup("f").tail_list() == [10, 20, 30, 40, 50, 60]
+    assert restored.is_fragmented("f")
+
+
+def test_torn_trailing_wal_record_is_discarded(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    pool.append("a", tails=[4])
+    pool.append("a", tails=[5])
+    wal = tmp_path / "wal.jsonl"
+    text = wal.read_text()
+    assert text.count("\n") == 2
+    wal.write_text(text[:-4])  # crash mid-write of the second record
+    restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("a").tail_list() == [1, 2, 3, 4]
+
+
+def test_garbage_wal_line_stops_replay_at_that_point(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    pool.append("a", tails=[4])
+    wal = tmp_path / "wal.jsonl"
+    with open(wal, "a", encoding="utf-8") as fh:
+        fh.write("{not json at all}\n")
+        fh.write(json.dumps({"name": "a", "tails": [99]}) + "\n")
+    restored = BATBufferPool.load(tmp_path)
+    # Everything before the corruption applies; nothing after does.
+    assert restored.lookup("a").tail_list() == [1, 2, 3, 4]
+
+
+def test_wal_record_for_unknown_name_is_skipped(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    (tmp_path / "wal.jsonl").write_text(
+        json.dumps({"name": "ghost", "tails": [1]})
+        + "\n"
+        + json.dumps({"name": "a", "tails": [4]})
+        + "\n"
+    )
+    restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("a").tail_list() == [1, 2, 3, 4]
+    assert not restored.exists("ghost")
+
+
+def test_appends_after_load_continue_the_wal(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    pool.append("a", tails=[4])
+    restored = BATBufferPool.load(tmp_path)
+    restored.append("a", tails=[5])
+    # Crash again before any save: both generations of appends replay.
+    again = BATBufferPool.load(tmp_path)
+    assert again.lookup("a").tail_list() == [1, 2, 3, 4, 5]
+
+
+def test_pairs_append_round_trips_through_wal(tmp_path):
+    pool = BATBufferPool()
+    pool.register("kv", bat_from_pairs("str", "int", [("a", 1)]))
+    pool.save(tmp_path)
+    pool.append("kv", [("b", 2), (None, 3)])
+    restored = BATBufferPool.load(tmp_path)
+    assert list(restored.lookup("kv").items()) == [
+        ("a", 1),
+        ("b", 2),
+        (None, 3),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Session-temp (@) namespace exclusion
+# ----------------------------------------------------------------------
+
+
+def test_session_temps_are_not_persisted(tmp_path):
+    pool = _seed_pool()
+    pool.register("@s1:scratch", dense_bat("int", [8, 9]))
+    pool.save(tmp_path)
+    catalog = json.loads((tmp_path / "catalog.json").read_text())
+    assert not any(name.startswith("@") for name in catalog["bats"])
+    restored = BATBufferPool.load(tmp_path)
+    assert not restored.exists("@s1:scratch")
+    assert restored.lookup("a").tail_list() == [1, 2, 3]
+
+
+def test_legacy_catalog_with_session_temp_entry_is_skipped(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    catalog_path = tmp_path / "catalog.json"
+    catalog = json.loads(catalog_path.read_text())
+    # A catalog written before the exclusion: the entry may reference a
+    # file that no longer exists; load must not touch it.
+    catalog["bats"]["@s9:leaked"] = {"file": "bat_gone.npz"}
+    catalog_path.write_text(json.dumps(catalog))
+    restored = BATBufferPool.load(tmp_path)
+    assert not restored.exists("@s9:leaked")
+    assert restored.lookup("a").tail_list() == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# Unreferenced-file and spill sweeps
+# ----------------------------------------------------------------------
+
+
+def test_load_sweeps_orphan_files(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    orphan = tmp_path / "bat_g0099_99999.npz"
+    orphan.write_bytes(b"leftover from an aborted save")
+    tmp_file = tmp_path / "catalog.json.tmp-12345"
+    tmp_file.write_text("half a catalog")
+    BATBufferPool.load(tmp_path)
+    assert not orphan.exists()
+    assert not tmp_file.exists()
+
+
+def test_stale_spill_dirs_swept_liveness_checked():
+    proc = subprocess.Popen(["sleep", "0"])
+    proc.wait()  # reaped: its pid now fails the liveness probe
+    base = Path(tempfile.gettempdir())
+    stale = base / f"{bbp_module._SPILL_PREFIX}{proc.pid}-test"
+    live = base / f"{bbp_module._SPILL_PREFIX}{os.getpid()}-test"
+    nonpid = base / f"{bbp_module._SPILL_PREFIX}notapid-test"
+    try:
+        for directory in (stale, live, nonpid):
+            directory.mkdir(exist_ok=True)
+            (directory / "unit.bin").write_bytes(b"x")
+        removed = bbp_module.sweep_stale_spill_dirs()
+        assert removed >= 1
+        assert not stale.exists()  # dead owner: reclaimed
+        assert live.exists()  # our own: kept
+        assert nonpid.exists()  # unparseable: left alone
+    finally:
+        for directory in (stale, live, nonpid):
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+def test_pool_startup_triggers_spill_sweep(monkeypatch):
+    proc = subprocess.Popen(["sleep", "0"])
+    proc.wait()
+    base = Path(tempfile.gettempdir())
+    stale = base / f"{bbp_module._SPILL_PREFIX}{proc.pid}-startup"
+    stale.mkdir(exist_ok=True)
+    monkeypatch.setattr(bbp_module, "_SPILL_SWEPT", False)
+    try:
+        BATBufferPool()
+        assert not stale.exists()
+    finally:
+        shutil.rmtree(stale, ignore_errors=True)

@@ -1,0 +1,187 @@
+"""Write-path differential: concurrent appends vs serial epoch replay.
+
+The acceptance harness for the append/snapshot write path: N service
+sessions run seeded random MIL pipelines while a writer thread appends
+batches to the shared base BATs (serialized under the database's
+``write_lock``), recording the catalog epoch after each batch.  Every
+session result carries the epoch its plan's snapshot was pinned at
+(``MILResult.epoch``); the harness then *replays serially* -- a private
+monolithic pool holding the base data plus exactly the append batches
+committed at or before that epoch -- and the concurrent result must be
+BUN-identical to the replay, variable by variable.
+
+That is the whole isolation contract in one test: a plan sees a
+prefix-closed set of committed appends (no torn batch, no future
+write), no matter how the scheduler interleaves it with the writer.
+
+Runs on both executor backends, over fragmented shared registrations.
+The pipeline corpus and comparison helpers are reused from
+``tests/monet/test_mil_fuzz.py`` (loaded by path, like the concurrent
+differential suite).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.mirror import MirrorDBMS
+from repro.monet.bat import BAT
+from repro.monet.bbp import BATBufferPool
+from repro.monet.fragments import FragmentationPolicy, FragmentedBAT, fragment_bat
+from repro.monet.mil import run_program
+from repro.service.session import Session
+
+_FUZZ_PATH = Path(__file__).parent.parent / "monet" / "test_mil_fuzz.py"
+_spec = importlib.util.spec_from_file_location("mil_fuzz_write_corpus", _FUZZ_PATH)
+fuzz = importlib.util.module_from_spec(_spec)
+sys.modules["mil_fuzz_write_corpus"] = fuzz
+_spec.loader.exec_module(fuzz)
+
+N_SESSIONS = 8
+N_MUTATIONS = 40
+
+
+def _backends():
+    from repro.monet import fragments as fr
+
+    backends = ["thread"]
+    if fr.get_backend("process").available():
+        backends.append("process")
+    return backends
+
+
+def _make_mutations(rng, names):
+    """Deterministic append batches against the fact BATs."""
+    mutations = []
+    for _ in range(N_MUTATIONS):
+        name = str(rng.choice(names))
+        htype, ttype = fuzz._BASE_TYPES[name]
+        pairs = fuzz._mutation_pairs(rng, htype, ttype, int(rng.integers(1, 6)))
+        mutations.append((name, pairs))
+    return mutations
+
+
+def _replay_pool(data, committed):
+    """Ground truth for one pinned epoch: base data plus exactly the
+    committed prefix of append batches, in a private monolithic pool."""
+    pool = BATBufferPool()
+    for name, bat in data.items():
+        pool.register(name, bat)
+    for name, pairs in committed:
+        pool.append(name, pairs)
+    return pool
+
+
+def _assert_env_equal(got_env, expected_env, context: str):
+    for name, expected in expected_env.items():
+        got = got_env[name]
+        if isinstance(expected, BAT):
+            if isinstance(got, FragmentedBAT):
+                got = got.to_bat()
+            fuzz._assert_bats_equal(got, expected, f"{context} var {name}")
+        else:
+            assert fuzz._same_value(got, expected), (
+                f"{context} var {name}: {got!r} vs {expected!r}"
+            )
+
+
+@pytest.mark.parametrize("backend", _backends())
+def test_concurrent_appends_match_epoch_replay(backend, monkeypatch):
+    from repro.monet import fragments as fr
+
+    if backend == "process":
+        monkeypatch.setattr(fr, "PROCESS_MIN_BUNS", 0)
+    policy = FragmentationPolicy(
+        target_size=16, strategy="range", workers=2, backend=backend
+    )
+    rng = np.random.default_rng(91_000)
+    data = fuzz._make_data(rng)
+    names = [n for n in fuzz._BASE_TYPES if n != "dim"]
+    mutations = _make_mutations(np.random.default_rng(91_001), names)
+    scripts = [
+        fuzz._gen_pipeline(np.random.default_rng(91_100 + i))
+        for i in range(N_SESSIONS)
+    ]
+
+    db = MirrorDBMS(fragment_policy=policy)
+    for name, bat in data.items():
+        db.pool.register_fragmented(name, fragment_bat(bat, policy))
+
+    sessions = [Session(f"w{i}", db) for i in range(N_SESSIONS)]
+    outputs: list = [None] * N_SESSIONS
+    errors: list = []
+    #: (epoch_after, index into mutations) per committed batch.
+    commit_log: list = []
+    barrier = threading.Barrier(N_SESSIONS + 1)
+
+    def writer():
+        try:
+            barrier.wait(timeout=30)
+            for index, (name, pairs) in enumerate(mutations):
+                # Appends serialize under the DBMS write lock, exactly
+                # like the Moa insert path.
+                with db.write_lock:
+                    db.pool.append(name, pairs)
+                    commit_log.append((db.pool.epoch, index))
+                time.sleep(0.001)
+        except Exception as exc:  # pragma: no cover
+            errors.append(("writer", exc))
+
+    def reader(i: int):
+        try:
+            barrier.wait(timeout=30)
+            time.sleep(0.002 * (i % 4))  # spread pins across the race
+            outputs[i] = sessions[i].mil.run(scripts[i])
+        except Exception as exc:  # pragma: no cover
+            errors.append((i, exc))
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader, args=(i,)) for i in range(N_SESSIONS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[:3]
+    assert len(commit_log) == N_MUTATIONS
+
+    for i, got in enumerate(outputs):
+        pinned = got.epoch
+        assert pinned is not None
+        committed = [
+            mutations[index]
+            for epoch_after, index in commit_log
+            if epoch_after <= pinned
+        ]
+        replay = _replay_pool(data, committed)
+        expected = run_program(scripts[i], replay)
+        context = (
+            f"[{backend}] session {i} pinned epoch {pinned} "
+            f"({len(committed)}/{N_MUTATIONS} batches)\n{scripts[i]}"
+        )
+        _assert_env_equal(got.env, expected.env, context)
+        assert got.printed == expected.printed, context
+        if isinstance(expected.value, BAT):
+            value = got.value
+            if isinstance(value, FragmentedBAT):
+                value = value.to_bat()
+            fuzz._assert_bats_equal(value, expected.value, f"{context} final")
+        else:
+            assert fuzz._same_value(got.value, expected.value), context
+
+    for session in sessions:
+        session.close()
+
+    # Final state sanity: the live pool holds every committed batch.
+    final = _replay_pool(data, mutations)
+    for name in names:
+        assert (
+            db.pool.lookup(name).tail_list() == final.lookup(name).tail_list()
+        ), name
