@@ -26,9 +26,11 @@ import atexit
 import itertools
 import json
 import os
+import re
 import shutil
 import tempfile
 import threading
+import warnings
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
@@ -36,7 +38,7 @@ import numpy as np
 
 from repro.monet.atoms import OidGenerator, atom
 from repro.monet.bat import BAT, Column, VoidColumn
-from repro.monet.errors import BBPError
+from repro.monet.errors import BBPError, KernelError, MonetError
 from repro.monet import fragments as _fragments
 from repro.monet.fragments import (
     FragmentationPolicy,
@@ -230,14 +232,25 @@ class BATBufferPool:
         new one under the lock, so any :class:`PoolSnapshot` taken
         before the append keeps reading the old BUNs.  When the pool is
         attached to a directory, the append intent is logged to
-        ``wal.jsonl`` (flushed + fsynced) *before* the in-memory swap,
-        so a crash after this method returns never loses the append:
-        :meth:`load` replays the log over the last saved catalog.
+        ``wal.jsonl`` (flushed + fsynced) after the new value has been
+        built -- i.e. after the batch is known to be appendable -- but
+        *before* the in-memory swap publishes it.  A crash after this
+        method returns therefore never loses the append (:meth:`load`
+        replays the log over the last saved catalog), while an append
+        that *fails* leaves no WAL record behind to poison recovery.
 
         ``pairs`` is a sequence of (head, tail) Python pairs; ``tails``
         appends tail values under a densely extended void head (the
         shape of every Moa attribute BAT).
         """
+        # Materialize once up front: the batch is iterated by the
+        # append itself, the WAL encoder and the oid bump, and a
+        # generator argument must not leave them seeing different
+        # sequences (the live pool would diverge from recovery).
+        if pairs is not None:
+            pairs = list(pairs)
+        if tails is not None:
+            tails = list(tails)
         with self._lock:
             if name in self._bats:
                 current: Union[BAT, FragmentedBAT] = self._bats[name]
@@ -245,14 +258,14 @@ class BATBufferPool:
                 current = self._fragmented[name]
             else:
                 raise BBPError(f"cannot append to unknown BAT {name!r}")
-            if _log:
-                self._wal_append(name, pairs, tails)
             if pairs is not None:
-                new = current.append(list(pairs))
+                new = current.append(pairs)
             else:
-                new = current.append(tails=list(tails or []))
+                new = current.append(tails=tails or [])
             if new is current:  # empty batch
                 return current
+            if _log:
+                self._wal_append(name, pairs, tails)
             new.name = name
             if isinstance(new, FragmentedBAT):
                 self._fragmented[name] = new
@@ -267,20 +280,31 @@ class BATBufferPool:
         """Keep the oid sequence ahead of appended oid values --
         O(batch), unlike :meth:`_bump_oids` which scans whole columns."""
         top = -1
+        batch_size = len(tails or [])
         if value.htype == "oid":
             if pairs is not None:
                 heads = (int(h) for h, _ in pairs if h is not None)
                 top = max(max(heads, default=-1), top)
-            else:
+            elif isinstance(value, FragmentedBAT):
+                last = value.fragments[-1]
+                if last.head.is_void:
+                    # Dense void-head extension of the tail fragment.
+                    top = max(last.head.seqbase + len(last) + batch_size - 1, top)
+                else:
+                    # Round-robin layouts carry materialized dense
+                    # heads; append(tails=...) synthesized head oids
+                    # seqbase + total + i from the same recovered
+                    # seqbase.
+                    try:
+                        seqbase = value._dense_seqbase()
+                    except KernelError:  # pragma: no cover - append raised first
+                        pass
+                    else:
+                        top = max(seqbase + len(value) + batch_size - 1, top)
+            elif value.head.is_void:
                 # Dense void-head extension: the head ends at the new
                 # count, so the top head oid is seqbase + count - 1.
-                head = (
-                    value.fragments[0].head
-                    if isinstance(value, FragmentedBAT)
-                    else value.head
-                )
-                if head.is_void:
-                    top = max(head.seqbase + len(value) + len(tails or []) - 1, top)
+                top = max(value.head.seqbase + len(value) + batch_size - 1, top)
         if value.ttype == "oid":
             batch = [t for _, t in pairs] if pairs is not None else list(tails or [])
             top = max(max((int(t) for t in batch if t is not None), default=-1), top)
@@ -481,7 +505,7 @@ class BATBufferPool:
         # The commit point: everything before this is invisible to load.
         replace_text(directory / "catalog.json", json.dumps(catalog, indent=1))
         self._generation = generation
-        _sweep_unreferenced(directory, catalog)
+        _sweep_unreferenced(directory, catalog, reclaim_own_tmp=True)
 
     # -- WAL attachment ------------------------------------------------
     def _attach_locked(self, directory: Path) -> None:
@@ -495,18 +519,23 @@ class BATBufferPool:
         self._directory = directory
 
     def _wal_append(self, name: str, pairs, tails) -> None:
-        """Log one append intent (flush + fsync) before it applies.
+        """Log one append intent (flush + fsync) before it publishes.
         A record is *committed* once its full line (with trailing
-        newline) is on disk; :meth:`load` discards a torn final line."""
+        newline) is on disk; :meth:`load` discards a torn final line.
+
+        Each record is fenced with the catalog generation it applies on
+        top of: a save folds every applied append into the next
+        generation's catalog, so if a crash lands between the catalog
+        commit and the WAL truncation, :func:`_replay_wal` sees the
+        stale records stamped with the *previous* generation and skips
+        them instead of silently duplicating the appends."""
         if self._directory is None:
             return
+        record = {"name": name, "generation": self._generation}
         if pairs is not None:
-            record = {
-                "name": name,
-                "pairs": [[_wal_value(h), _wal_value(t)] for h, t in pairs],
-            }
+            record["pairs"] = [[_wal_value(h), _wal_value(t)] for h, t in pairs]
         else:
-            record = {"name": name, "tails": [_wal_value(t) for t in (tails or [])]}
+            record["tails"] = [_wal_value(t) for t in (tails or [])]
         if self._wal_file is None:
             self._wal_file = open(
                 self._directory / "wal.jsonl", "a", encoding="utf-8"
@@ -530,11 +559,14 @@ class BATBufferPool:
         """Read a pool previously written by :meth:`save`.
 
         Recovery-safe: the catalog names exactly the data files of the
-        last complete save (anything else in the directory is an
-        aborted-save leftover and is swept), and committed append
-        intents in ``wal.jsonl`` are replayed on top -- a torn trailing
-        record (crash mid-append) is discarded, so the pool never
-        surfaces a partial append."""
+        last complete save; dead leftovers of crashed saves are swept
+        (a concurrent saver's newer-generation files and live writers'
+        temp files are kept, see :func:`_sweep_unreferenced`), and
+        committed append intents in ``wal.jsonl`` are replayed on top
+        -- a torn trailing record (crash mid-append) is discarded and
+        records a newer catalog already folded in are fenced off by
+        generation, so the pool never surfaces a partial append nor
+        replays one twice."""
         directory = Path(directory)
         catalog_path = directory / "catalog.json"
         if not catalog_path.exists():
@@ -740,22 +772,79 @@ def _fsync_directory(directory: Path) -> None:
         os.close(fd)
 
 
-def _sweep_unreferenced(directory: Path, catalog: dict) -> int:
-    """Delete data files the catalog does not reference: the previous
-    generation after a successful save, or the half-written files of a
-    crashed one.  Returns how many were removed."""
+_FILE_GENERATION_RE = re.compile(r"^bat_g(\d+)_")
+
+
+def _file_generation(filename: str) -> Optional[int]:
+    """Generation stamped into a data-file name, or None (legacy/alien
+    layouts)."""
+    match = _FILE_GENERATION_RE.match(filename)
+    return int(match.group(1)) if match else None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Liveness probe for sweep decisions: only a pid that provably
+    maps to no process is considered dead (EPERM etc. count as alive --
+    when unknowable, never reclaim)."""
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        pass  # alive under another uid (EPERM) or unknowable
+    return True
+
+
+def _sweep_unreferenced(
+    directory: Path, catalog: dict, *, reclaim_own_tmp: bool = False
+) -> int:
+    """Delete data files the committed *catalog* does not reference:
+    the previous generation after a successful save, or the
+    half-written files of a crashed one.  Returns how many were removed.
+
+    Two guards keep the sweep safe next to concurrent writers on the
+    same directory:
+
+    * npz files of a generation *newer* than the catalog belong to a
+      saver whose commit has not landed yet (another process mid-save);
+      deleting them would leave its freshly committed catalog pointing
+      at nothing.  They are kept -- if that save in fact crashed, the
+      sweep after the next successful save reclaims them.
+    * ``*.tmp-<pid>`` scratch files are only reclaimed once the owning
+      process is dead (same liveness probe as
+      :func:`sweep_stale_spill_dirs`), or -- from :meth:`save`, which
+      holds the writer's lock so no sibling write is in flight -- when
+      they are this process's own leftovers (*reclaim_own_tmp*).
+    """
+    generation = int(catalog.get("generation", 0))
     referenced = set()
     for entry in catalog.get("bats", {}).values():
         if entry.get("fragmented"):
             referenced.update(sub["file"] for sub in entry["fragments"])
         else:
             referenced.add(entry["file"])
-    removed = 0
-    for path in list(directory.glob("bat_*.npz")) + list(
-        directory.glob("*.tmp-*")
-    ):
+    victims = []
+    for path in directory.glob("bat_*.npz"):
         if path.name in referenced:
             continue
+        file_generation = _file_generation(path.name)
+        if file_generation is not None and file_generation > generation:
+            continue  # a concurrent saver's uncommitted next generation
+        victims.append(path)
+    for path in directory.glob("*.tmp-*"):
+        pid_text = path.name.rsplit(".tmp-", 1)[1]
+        if pid_text.isdigit():
+            pid = int(pid_text)
+            if pid == os.getpid():
+                if not reclaim_own_tmp:
+                    continue
+            elif _pid_alive(pid):
+                continue  # a live writer's in-flight temp file
+        victims.append(path)
+    removed = 0
+    for path in victims:
         try:
             path.unlink()
             removed += 1
@@ -777,12 +866,22 @@ def _replay_wal(pool: "BATBufferPool", directory: Path) -> int:
 
     Only complete lines count (a record commits when its trailing
     newline is durable); the first torn/corrupt line discards itself
-    and everything after it.  Appends naming BATs absent from the
-    catalog are skipped -- a registration that was never saved is not
-    resurrected by its appends.  Returns how many records applied."""
+    and everything after it.  Records are fenced by generation: each
+    carries the catalog generation it was logged on top of, and only
+    records matching the loaded catalog's generation replay -- a WAL
+    that survived a crash between the catalog commit and its own
+    truncation is already folded into that catalog, and replaying it
+    would silently duplicate every append since the previous save.
+    Appends naming BATs absent from the catalog are skipped -- a
+    registration that was never saved is not resurrected by its
+    appends -- and a record that no longer applies (e.g. logged by a
+    buggy or older writer) is skipped with a warning rather than
+    rendering the store unloadable.  Returns how many records applied.
+    """
     path = directory / "wal.jsonl"
     if not path.exists():
         return 0
+    generation = pool._generation
     text = path.read_text(encoding="utf-8", errors="replace")
     applied = 0
     lines = text.split("\n")
@@ -795,15 +894,26 @@ def _replay_wal(pool: "BATBufferPool", directory: Path) -> int:
             record = json.loads(line)
         except (json.JSONDecodeError, ValueError):
             break
+        record_generation = record.get("generation")
+        if record_generation is not None and record_generation != generation:
+            continue  # already folded into the loaded catalog
         name = record.get("name")
         if not isinstance(name, str) or name not in pool:
             continue
-        if "pairs" in record:
-            pool.append(
-                name, pairs=[tuple(p) for p in record["pairs"]], _log=False
+        try:
+            if "pairs" in record:
+                pool.append(
+                    name, pairs=[tuple(p) for p in record["pairs"]], _log=False
+                )
+            else:
+                pool.append(name, tails=record.get("tails", []), _log=False)
+        except MonetError as exc:
+            warnings.warn(
+                f"skipping unreplayable WAL record for {name!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
             )
-        else:
-            pool.append(name, tails=record.get("tails", []), _log=False)
+            continue
         applied += 1
     return applied
 
@@ -916,16 +1026,8 @@ def sweep_stale_spill_dirs() -> int:
         pid_text = entry.name[len(_SPILL_PREFIX):].split("-", 1)[0]
         if not pid_text.isdigit():
             continue
-        pid = int(pid_text)
-        if pid == os.getpid():
-            continue
-        try:
-            os.kill(pid, 0)
-            continue  # alive: not ours to reclaim
-        except ProcessLookupError:
-            pass  # dead: stale directory
-        except OSError:
-            continue  # alive under another uid (EPERM) or unknowable
+        if _pid_alive(int(pid_text)):
+            continue  # alive (or our own, or unknowable): not ours to reclaim
         shutil.rmtree(entry, ignore_errors=True)
         removed += 1
     return removed

@@ -254,6 +254,23 @@ def test_pool_append_advances_oid_generator():
     assert pool.new_oids(1) > 500
 
 
+def test_roundrobin_tails_append_bumps_past_synthesized_heads():
+    # Round-robin fragments carry materialized dense oid heads;
+    # append(tails=...) synthesizes head oids seqbase + total + i, and
+    # the pool's oid sequence must advance past them or new_oids() can
+    # later hand out colliding head oids.
+    pool = BATBufferPool()
+    policy = FragmentationPolicy(target_size=2, strategy="roundrobin")
+    pool.register_fragmented(
+        "x", fragment_bat(dense_bat("int", [10, 20, 30, 40]), policy)
+    )
+    pool.append("x", tails=[50, 60, 70])
+    appended = pool.lookup("x")
+    top_head = max(int(h) for h in appended.head_list())
+    assert top_head == 6  # seqbase 0, seven rows
+    assert pool.new_oids(1) > top_head
+
+
 # ----------------------------------------------------------------------
 # merge_deltas and the daemon
 # ----------------------------------------------------------------------

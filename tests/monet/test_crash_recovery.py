@@ -24,6 +24,7 @@ import pytest
 from repro.monet import bbp as bbp_module
 from repro.monet.bat import bat_from_pairs, dense_bat
 from repro.monet.bbp import BATBufferPool
+from repro.monet.errors import MonetError
 from repro.monet.fragments import FragmentationPolicy, fragment_bat
 
 
@@ -198,6 +199,78 @@ def test_pairs_append_round_trips_through_wal(tmp_path):
     ]
 
 
+def test_crash_between_catalog_commit_and_wal_truncate(tmp_path, monkeypatch):
+    """The double-replay window: a save whose catalog commit lands but
+    whose WAL truncation does not must not replay the (already folded
+    in) appends on the next load."""
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    pool.append("a", tails=[4, 5])
+
+    def failing_truncate(self):
+        raise OSError("injected: crash after commit, before truncation")
+
+    monkeypatch.setattr(
+        BATBufferPool, "_wal_truncate_locked", failing_truncate
+    )
+    with pytest.raises(OSError, match="injected"):
+        pool.save(tmp_path)
+    monkeypatch.undo()
+
+    assert (tmp_path / "wal.jsonl").exists()  # the stale WAL survived
+    restored = BATBufferPool.load(tmp_path)
+    # Exactly once: the catalog already folded the appends in, and the
+    # stale WAL records are fenced off by their older generation stamp.
+    assert restored.lookup("a").tail_list() == [1, 2, 3, 4, 5]
+
+
+def test_failed_append_leaves_no_wal_record(tmp_path):
+    """An append that raises must not commit a WAL record -- otherwise
+    replay re-raises on every subsequent load and the store becomes
+    permanently unloadable."""
+    pool = BATBufferPool()
+    pool.register("kv", bat_from_pairs("str", "int", [("a", 1)]))
+    pool.save(tmp_path)
+    with pytest.raises(MonetError):
+        pool.append("kv", tails=[2])  # tails= needs a void head
+    with pytest.raises(MonetError):
+        pool.append("kv", [("b", "not an int")])
+    pool.append("kv", [("b", 2)])  # the pool stays writable
+    restored = BATBufferPool.load(tmp_path)
+    assert list(restored.lookup("kv").items()) == [("a", 1), ("b", 2)]
+
+
+def test_unreplayable_wal_record_is_skipped_with_warning(tmp_path):
+    """Defense in depth for WALs written by older/buggy writers: a
+    record that no longer applies is skipped, not fatal."""
+    pool = BATBufferPool()
+    pool.register("kv", bat_from_pairs("str", "int", [("a", 1)]))
+    pool.save(tmp_path)
+    (tmp_path / "wal.jsonl").write_text(
+        json.dumps({"name": "kv", "tails": [9]})  # tails= on non-void head
+        + "\n"
+        + json.dumps({"name": "kv", "pairs": [["b", 2]]})
+        + "\n"
+    )
+    with pytest.warns(RuntimeWarning, match="unreplayable WAL record"):
+        restored = BATBufferPool.load(tmp_path)
+    assert list(restored.lookup("kv").items()) == [("a", 1), ("b", 2)]
+
+
+def test_generator_batches_append_consistently(tmp_path):
+    """A generator batch must be materialized once: the WAL, the
+    in-memory append and the oid bump all see the same sequence."""
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    pool.append("a", tails=(v for v in [4, 5]))
+    pool.append("f", ((h, t) for h, t in [(5, 60), (6, 70)]))
+    assert pool.lookup("a").tail_list() == [1, 2, 3, 4, 5]
+    assert pool.lookup("f").tail_list() == [10, 20, 30, 40, 50, 60, 70]
+    restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("a").tail_list() == [1, 2, 3, 4, 5]
+    assert restored.lookup("f").tail_list() == [10, 20, 30, 40, 50, 60, 70]
+
+
 # ----------------------------------------------------------------------
 # Session-temp (@) namespace exclusion
 # ----------------------------------------------------------------------
@@ -236,13 +309,47 @@ def test_legacy_catalog_with_session_temp_entry_is_skipped(tmp_path):
 def test_load_sweeps_orphan_files(tmp_path):
     pool = _seed_pool()
     pool.save(tmp_path)
-    orphan = tmp_path / "bat_g0099_99999.npz"
+    generation = json.loads((tmp_path / "catalog.json").read_text())["generation"]
+    orphan = tmp_path / f"bat_g{generation:04d}_99999.npz"
     orphan.write_bytes(b"leftover from an aborted save")
-    tmp_file = tmp_path / "catalog.json.tmp-12345"
-    tmp_file.write_text("half a catalog")
+    proc = subprocess.Popen(["sleep", "0"])
+    proc.wait()  # reaped: its pid now fails the liveness probe
+    dead_tmp = tmp_path / f"catalog.json.tmp-{proc.pid}"
+    dead_tmp.write_text("half a catalog from a crashed process")
     BATBufferPool.load(tmp_path)
     assert not orphan.exists()
-    assert not tmp_file.exists()
+    assert not dead_tmp.exists()
+
+
+def test_load_keeps_concurrent_savers_files(tmp_path):
+    """A load must not reclaim what a concurrent writer is mid-way
+    through producing: npz files of a newer generation (its catalog
+    commit has not landed yet) and temp files of live pids."""
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    generation = json.loads((tmp_path / "catalog.json").read_text())["generation"]
+    fresh = tmp_path / f"bat_g{generation + 1:04d}_00000.npz"
+    fresh.write_bytes(b"next generation, commit in flight")
+    live_tmp = tmp_path / f"bat_g{generation + 1:04d}_00001.npz.tmp-{os.getpid()}"
+    live_tmp.write_text("a live writer's in-flight temp file")
+    try:
+        BATBufferPool.load(tmp_path)
+        assert fresh.exists()
+        assert live_tmp.exists()
+    finally:
+        fresh.unlink(missing_ok=True)
+        live_tmp.unlink(missing_ok=True)
+
+
+def test_save_reclaims_own_tmp_leftovers(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    # An aborted earlier save by this process left a temp file behind;
+    # save holds the writer's lock, so it may reclaim its own pid's.
+    leftover = tmp_path / f"bat_g0001_00000.npz.tmp-{os.getpid()}"
+    leftover.write_text("aborted write of this process")
+    pool.save(tmp_path)
+    assert not leftover.exists()
 
 
 def test_stale_spill_dirs_swept_liveness_checked():
