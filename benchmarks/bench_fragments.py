@@ -707,6 +707,126 @@ def _report_append(sizes, verbose_header=True):
             f"{busy_ms:>10.2f}{ratio:>8.2f}"
         )
 
+        # Tombstone deletes and tail patches: the same batched shape as
+        # the append rows.  Deletes repeatedly tombstone the front rows
+        # (cardinality shrinks by ~10% of n overall); updates patch a
+        # disjoint window per batch, so both stay valid against the
+        # state the previous batches left behind.
+        delete_positions = list(range(APPEND_BATCH))
+        patch_windows = [
+            list(range(b * APPEND_BATCH, (b + 1) * APPEND_BATCH))
+            for b in range(batches)
+        ]
+        patch_values = rng.integers(0, 1000, APPEND_BATCH).tolist()
+
+        def mono_delete():
+            pool = BATBufferPool()
+            pool.register("fact", base)
+            for _ in range(batches):
+                pool.delete("fact", delete_positions)
+
+        def frag_delete():
+            pool = BATBufferPool()
+            pool.register_fragmented("fact", fragmented)
+            for _ in range(batches):
+                pool.delete("fact", delete_positions)
+
+        _timed_pair(
+            f"delete({batches}x{APPEND_BATCH})", n, "int",
+            mono_delete, frag_delete, repeats,
+        )
+
+        def mono_update():
+            pool = BATBufferPool()
+            pool.register("fact", base)
+            for window in patch_windows:
+                pool.update("fact", window, patch_values)
+
+        def frag_update():
+            pool = BATBufferPool()
+            pool.register_fragmented("fact", fragmented)
+            for window in patch_windows:
+                pool.update("fact", window, patch_values)
+
+        _timed_pair(
+            f"update({batches}x{APPEND_BATCH})", n, "int",
+            mono_update, frag_update, repeats,
+        )
+
+        _report_group_commit(n)
+
+
+#: Total append records pushed through the armed WAL per group-commit
+#: bench case (divisible by every writer count probed).
+WAL_RECORDS = 64
+
+
+def _report_group_commit(n):
+    """Group-commit WAL: the same number of append records pushed by 1
+    vs 8 concurrent writers through a WAL-armed pool under a fixed
+    group window.  Two rows per writer count land in the JSON artifact:
+    wall milliseconds per record, and the ``wal_fsyncs / wal_records``
+    counter ratio -- fewer fsyncs than records at 8 writers is the
+    group commit observably working, and the regression gate holds the
+    line on both."""
+    import tempfile
+    import threading
+
+    from repro.monet import bbp as bbp_module
+
+    payload = list(range(APPEND_BATCH))
+    saved_window = bbp_module.WAL_GROUP_MS
+    bbp_module.WAL_GROUP_MS = 4.0
+    try:
+        for writers in (1, 8):
+            with tempfile.TemporaryDirectory() as wal_dir:
+                pool = BATBufferPool()
+                for i in range(writers):
+                    pool.register(f"w{i}", _int_bat(APPEND_BATCH, seed=i))
+                pool.save(wal_dir)  # arms the write-ahead log
+                per_writer = WAL_RECORDS // writers
+                barrier = threading.Barrier(writers)
+                errors = []
+
+                def work(i):
+                    try:
+                        barrier.wait(timeout=30)
+                        for _ in range(per_writer):
+                            pool.append(f"w{i}", tails=payload)
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=work, args=(i,))
+                    for i in range(writers)
+                ]
+                start = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                elapsed_ms = (time.perf_counter() - start) * 1000
+                assert not errors, errors[:3]
+                assert pool.wal_records == WAL_RECORDS
+            per_record_ms = elapsed_ms / pool.wal_records
+            fsync_ratio = pool.wal_fsyncs / pool.wal_records
+            _record(
+                "wal-append-per-record", n, f"{writers}w", "int",
+                {"median_ms": per_record_ms, "best_ms": per_record_ms},
+            )
+            _record(
+                "wal-fsync-per-record", n, f"{writers}w", "int",
+                {"median_ms": fsync_ratio, "best_ms": fsync_ratio},
+            )
+            print(
+                f"{n:>12,}  {f'wal-append {writers}w':<18}"
+                f"{per_record_ms:>10.2f}"
+                f"{pool.wal_fsyncs:>7}/{pool.wal_records:<3}"
+                f"{fsync_ratio:>7.2f}"
+            )
+    finally:
+        bbp_module.WAL_GROUP_MS = saved_window
+
 
 # ----------------------------------------------------------------------
 # Calibration: measured tuning instead of static constants

@@ -1,14 +1,21 @@
 """Parser for Moa DDL/DML: ``define`` and ``insert`` statements.
 
-Grammar (paper syntax, section 3/5 examples)::
+Grammar (paper syntax, section 3/5 examples; delete/update added by
+the unified-mutation PR)::
 
-    statement  := define | insert
+    statement  := define | insert | delete | update
     define     := "define" IDENT "as" type ";"
     type       := IDENT "<" typearg ("," typearg)* ">"   -- structure
                 | IDENT                                   -- base type name
     typearg    := type ":" IDENT                          -- named field (TUPLE)
                 | type                                    -- positional arg
     insert     := "insert" "into" IDENT "values" row ("," row)* ";"
+    delete     := "delete" "from" IDENT ["where" predicate] ";"
+    update     := "update" IDENT "set" assignment
+                  ("," assignment)* ["where" predicate] ";"
+    assignment := IDENT "=" literal
+    predicate  := IDENT "=" literal                       -- field equality
+                | "value" "=" literal                     -- SET<Atomic> element
     row        := "(" literal ("," literal)* ")"
     literal    := STR | ["-"] INT | ["-"] FLT | "nil" | "true" | "false"
 
@@ -21,6 +28,13 @@ the paper exactly.  Structures are resolved through the registry in
 bound positionally to the TUPLE fields (or a single literal per row for
 ``SET<Atomic<...>>`` collections).  Nested SET/LIST attribute values
 have no literal syntax; load those through the Python API.
+
+``delete``/``update`` cover the matching flat subset: the ``where``
+predicate is a single field-equality test (omitting it addresses every
+tuple), ``set`` assigns literals to named TUPLE fields -- or, for
+``SET<Atomic<...>>`` collections, the pseudo-field ``value``.  The
+executor evaluates the predicate against the commit-time state inside
+a :class:`~repro.core.mirror.Transaction`.
 """
 
 from __future__ import annotations
@@ -58,7 +72,34 @@ class InsertStatement:
     rows: List[List[Any]]
 
 
-Statement = Union[DefineStatement, InsertStatement]
+@dataclass
+class DeleteStatement:
+    """A parsed ``delete from Name [where field = literal];``.
+
+    ``where`` is ``None`` for an unqualified delete (every tuple), else
+    a ``(field, literal)`` equality pair.  For ``SET<Atomic>``
+    collections the field is the pseudo-name ``value`` (the element
+    itself).
+    """
+
+    name: str
+    where: Optional[Tuple[str, Any]] = None
+
+
+@dataclass
+class UpdateStatement:
+    """A parsed ``update Name set f = lit, ... [where field = literal];``.
+
+    ``assignments`` maps field names to their new literals (``value``
+    for ``SET<Atomic>``); ``where`` as in :class:`DeleteStatement`.
+    """
+
+    name: str
+    assignments: Dict[str, Any] = None  # type: ignore[assignment]
+    where: Optional[Tuple[str, Any]] = None
+
+
+Statement = Union[DefineStatement, InsertStatement, DeleteStatement, UpdateStatement]
 
 
 class _DDLParser:
@@ -125,6 +166,46 @@ class _DDLParser:
         self.expect("SEMI")
         return name, rows
 
+    def parse_delete(self) -> DeleteStatement:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        name = self.expect("IDENT").value
+        where = self._parse_optional_where()
+        self.expect("SEMI")
+        return DeleteStatement(name, where)
+
+    def parse_update(self) -> UpdateStatement:
+        self.expect_keyword("update")
+        name = self.expect("IDENT").value
+        self.expect_keyword("set")
+        assignments: Dict[str, Any] = {}
+        while True:
+            field_token = self.expect("IDENT")
+            if field_token.value in assignments:
+                raise MoaParseError(
+                    f"field {field_token.value!r} assigned twice",
+                    field_token.line,
+                    field_token.column,
+                )
+            self.expect("EQ")
+            assignments[field_token.value] = self._parse_literal()
+            if self.peek().kind == "COMMA":
+                self.advance()
+                continue
+            break
+        where = self._parse_optional_where()
+        self.expect("SEMI")
+        return UpdateStatement(name, assignments, where)
+
+    def _parse_optional_where(self) -> Optional[Tuple[str, Any]]:
+        token = self.peek()
+        if token.kind != "IDENT" or token.value != "where":
+            return None
+        self.advance()
+        field = self.expect("IDENT").value
+        self.expect("EQ")
+        return (field, self._parse_literal())
+
     def parse_statements(self) -> List[Statement]:
         statements: List[Statement] = []
         while self.peek().kind != "EOF":
@@ -133,9 +214,14 @@ class _DDLParser:
                 statements.append(DefineStatement(*self.parse_define()))
             elif token.kind == "IDENT" and token.value == "insert":
                 statements.append(InsertStatement(*self.parse_insert()))
+            elif token.kind == "IDENT" and token.value == "delete":
+                statements.append(self.parse_delete())
+            elif token.kind == "IDENT" and token.value == "update":
+                statements.append(self.parse_update())
             else:
                 raise MoaParseError(
-                    f"expected 'define' or 'insert', found {token.value!r}",
+                    "expected 'define', 'insert', 'delete' or 'update', "
+                    f"found {token.value!r}",
                     token.line,
                     token.column,
                 )
@@ -269,6 +355,16 @@ def parse_schema(text: str) -> Dict[str, MoaType]:
 def parse_insert(text: str) -> InsertStatement:
     """Parse a single ``insert into Name values (...), ...;`` statement."""
     return InsertStatement(*_DDLParser(tokenize(text)).parse_insert())
+
+
+def parse_delete(text: str) -> DeleteStatement:
+    """Parse a single ``delete from Name [where f = lit];`` statement."""
+    return _DDLParser(tokenize(text)).parse_delete()
+
+
+def parse_update(text: str) -> UpdateStatement:
+    """Parse a single ``update Name set ... [where f = lit];`` statement."""
+    return _DDLParser(tokenize(text)).parse_update()
 
 
 def parse_script(text: str) -> List[Statement]:

@@ -60,6 +60,9 @@ class QueryResult:
     plan: str
     operator_counts: Dict[str, int] = field(default_factory=dict)
     compiled: Optional[CompiledQuery] = None
+    #: Catalog epoch the plan's snapshot was pinned at (the
+    #: transaction's epoch when run through one).
+    epoch: Optional[int] = None
 
 
 def infer_param_type(value: Any) -> MoaType:
@@ -147,6 +150,28 @@ class MoaExecutor:
         with fragmentation(self.fragment_threshold, self.fragment_policy):
             return append_collection(self.pool, name, ty, values)
 
+    def delete(self, name: str, ty: MoaType, positions: List[int]) -> Optional[int]:
+        """Delete the tuples at extent *positions* through the pool's
+        tombstone-delta path (delegates to
+        :func:`repro.moa.mapping.delete_collection`).  Returns the new
+        cardinality, or ``None`` when the type tree has a mapper without
+        a delete hook -- the caller must fall back to a full reload.
+        Like :meth:`load`, calls must be externally serialized."""
+        from repro.moa.mapping import delete_collection
+
+        return delete_collection(self.pool, name, ty, positions)
+
+    def update(
+        self, name: str, ty: MoaType, positions: List[int], values: List[Any]
+    ) -> Optional[int]:
+        """Patch the tuples at extent *positions* through the pool's
+        patch-delta path (delegates to
+        :func:`repro.moa.mapping.update_collection`).  Returns the
+        cardinality, or ``None`` on a type tree without update hooks."""
+        from repro.moa.mapping import update_collection
+
+        return update_collection(self.pool, name, ty, positions, values)
+
     # ------------------------------------------------------------------
     def prepare(
         self,
@@ -186,12 +211,15 @@ class MoaExecutor:
         eager_columns: bool = False,
         cse: bool = True,
         checkpoint: Optional[Callable[[], None]] = None,
+        reader: Any = None,
     ) -> QueryResult:
         """Full pipeline: compile, run the MIL plan, reconstruct.
 
         *checkpoint* is the per-query cancellation/deadline hook passed
         through to the MIL interpreter loop (see
-        :meth:`repro.monet.mil.MILInterpreter.run_program`)."""
+        :meth:`repro.monet.mil.MILInterpreter.run_program`); *reader*
+        is an already-pinned catalog snapshot for transaction-scoped
+        reads (one epoch across several statements)."""
         params = params or {}
         compiled = self.prepare(
             query,
@@ -200,7 +228,9 @@ class MoaExecutor:
             eager_columns=eager_columns,
             cse=cse,
         )
-        return self.run_compiled(compiled, params, checkpoint=checkpoint)
+        return self.run_compiled(
+            compiled, params, checkpoint=checkpoint, reader=reader
+        )
 
     def run_compiled(
         self,
@@ -208,16 +238,20 @@ class MoaExecutor:
         params: Optional[Dict[str, Any]] = None,
         *,
         checkpoint: Optional[Callable[[], None]] = None,
+        reader: Any = None,
     ) -> QueryResult:
         """Run an already-compiled plan (prepared-query path)."""
         env = self._bind(params or {})
-        result = self.mil.run(compiled.program, env, checkpoint=checkpoint)
+        result = self.mil.run(
+            compiled.program, env, checkpoint=checkpoint, reader=reader
+        )
         value = _reconstruct_result(compiled.result, result.env)
         return QueryResult(
             value=value,
             plan=compiled.program,
             operator_counts=dict(result.stats),
             compiled=compiled,
+            epoch=result.epoch,
         )
 
     def execute_interpreted(

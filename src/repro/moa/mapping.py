@@ -138,6 +138,16 @@ class StructureMapper:
     before appending anything, so an unsupported branch (``False``,
     e.g. CONTREP's inverted file) falls back to reconstruct+reload
     without leaving a half-appended collection behind.
+
+    ``delete``/``update`` are the in-place mutation paths (tombstone /
+    patch deltas through ``pool.delete``/``pool.update``): *positions*
+    are parent oids, and deletion renumbers the dense oid discipline so
+    survivors stay ``0..n-1``.  As with append, ``can_delete`` /
+    ``can_update`` gate the whole type tree before the first mutation;
+    nested SET/LIST attributes answer ``False`` (child-side compaction
+    would need a value join, not a positional gather), so tuples with
+    nested members fall back to reconstruct+reload at the collection
+    level.
     """
 
     def load(
@@ -164,6 +174,31 @@ class StructureMapper:
         ty: MoaType,
         values: Sequence[Any],
         offset: int,
+    ) -> None:
+        raise NotImplementedError
+
+    def can_delete(self, ty: MoaType) -> bool:
+        return False
+
+    def delete(
+        self,
+        pool: BATBufferPool,
+        prefix: str,
+        ty: MoaType,
+        positions: Sequence[int],
+    ) -> None:
+        raise NotImplementedError
+
+    def can_update(self, ty: MoaType) -> bool:
+        return False
+
+    def update(
+        self,
+        pool: BATBufferPool,
+        prefix: str,
+        ty: MoaType,
+        positions: Sequence[int],
+        values: Sequence[Any],
     ) -> None:
         raise NotImplementedError
 
@@ -210,6 +245,18 @@ class AtomicMapper(StructureMapper):
     def append(self, pool, prefix, ty: AtomicType, values, offset):
         append_attribute(pool, prefix, values)
 
+    def can_delete(self, ty: AtomicType) -> bool:
+        return True
+
+    def delete(self, pool, prefix, ty: AtomicType, positions):
+        pool.delete(prefix, positions)
+
+    def can_update(self, ty: AtomicType) -> bool:
+        return True
+
+    def update(self, pool, prefix, ty: AtomicType, positions, values):
+        pool.update(prefix, positions, values)
+
 
 class TupleMapper(StructureMapper):
     """TUPLE attribute: recurse per field under ``prefix.field``."""
@@ -243,6 +290,38 @@ class TupleMapper(StructureMapper):
             field_values = [_field(v, field_name) for v in values]
             mapper_for(field_ty).append(
                 pool, f"{prefix}.{field_name}", field_ty, field_values, offset
+            )
+
+    def can_delete(self, ty: TupleType) -> bool:
+        return all(
+            mapper_for(field_ty).can_delete(field_ty)
+            for _, field_ty in ty.fields
+        )
+
+    def delete(self, pool, prefix, ty: TupleType, positions):
+        for field_name, field_ty in ty.fields:
+            mapper_for(field_ty).delete(
+                pool, f"{prefix}.{field_name}", field_ty, positions
+            )
+
+    def can_update(self, ty: TupleType) -> bool:
+        return all(
+            mapper_for(field_ty).can_update(field_ty)
+            for _, field_ty in ty.fields
+        )
+
+    def update(self, pool, prefix, ty: TupleType, positions, values):
+        # Partial updates: only fields present in the value dicts are
+        # patched (every dict must carry the same field set -- the DDL
+        # SET clause guarantees this).
+        touched = set(values[0].keys()) if values else set()
+        for field_name, field_ty in ty.fields:
+            if field_name not in touched:
+                continue
+            field_values = [_field(v, field_name) for v in values]
+            mapper_for(field_ty).update(
+                pool, f"{prefix}.{field_name}", field_ty, positions,
+                field_values,
             )
 
 
@@ -443,6 +522,102 @@ def append_collection(
         append_attribute(pool, f"{name}.{VALUE_SUFFIX}", values)
     else:
         mapper_for(element_ty).append(pool, name, element_ty, values, base)
+    return count
+
+
+def can_delete_collection(ty: MoaType) -> bool:
+    """Whether a collection of type *ty* supports positional delete end
+    to end (every mapper in the type tree implements ``delete``)."""
+    if not isinstance(ty, (SetType, ListType)):
+        return False
+    element_ty = ty.element
+    if isinstance(element_ty, AtomicType):
+        return True
+    return mapper_for(element_ty).can_delete(element_ty)
+
+
+def delete_collection(
+    pool: BATBufferPool, name: str, ty: MoaType, positions: Sequence[int]
+) -> Optional[int]:
+    """Delete the tuples at extent *positions* (== dense oids) in
+    O(changed fragments).
+
+    Every attribute BAT drops the same positions through the pool's
+    tombstone-delta path (``pool.delete``: copy-on-write, WAL logged),
+    and the extent is renumbered so surviving oids stay the dense run
+    ``0..n-1`` -- the void-head discipline every positional fetchjoin
+    relies on.  Returns the new cardinality, or ``None`` when any
+    mapper in the type tree lacks a delete hook (nested SET/LIST,
+    CONTREP) -- the caller must fall back to reconstruct+reload.
+    """
+    if not can_delete_collection(ty):
+        return None
+    positions = sorted({int(p) for p in positions})
+    count = collection_count(pool, name)
+    if not positions:
+        return count
+    element_ty = ty.element  # type: ignore[union-attr]
+    if isinstance(element_ty, AtomicType):
+        pool.delete(f"{name}.{VALUE_SUFFIX}", positions)
+    else:
+        mapper_for(element_ty).delete(pool, name, element_ty, positions)
+    # The extent last: its tail is renumbered back to the dense run so
+    # a crash replaying the WAL reproduces the same final state.
+    pool.delete(
+        f"{name}.{EXTENT_SUFFIX}", positions, renumber_dense_tails=True
+    )
+    return count - len(positions)
+
+
+def can_update_collection(ty: MoaType, fields: Optional[Sequence[str]] = None) -> bool:
+    """Whether a collection of type *ty* supports positional update.
+    With *fields* given (a tuple element's touched field names), only
+    those branches of the type tree are checked, so a partial update
+    that leaves a nested attribute alone still takes the fast path."""
+    if not isinstance(ty, (SetType, ListType)):
+        return False
+    element_ty = ty.element
+    if isinstance(element_ty, AtomicType):
+        return True
+    if fields is not None and isinstance(element_ty, TupleType):
+        by_name = dict(element_ty.fields)
+        return all(
+            f in by_name and mapper_for(by_name[f]).can_update(by_name[f])
+            for f in fields
+        )
+    return mapper_for(element_ty).can_update(element_ty)
+
+
+def update_collection(
+    pool: BATBufferPool,
+    name: str,
+    ty: MoaType,
+    positions: Sequence[int],
+    values: Sequence[Any],
+) -> Optional[int]:
+    """Patch the tuples at extent *positions* with *values* (aligned;
+    for TUPLE elements each value is a dict of the fields to set, all
+    dicts carrying the same field set).  Attribute tails are patched
+    through the pool's patch-delta path (``pool.update``); untouched
+    attributes and fragments are shared by reference.  Returns the
+    cardinality, or ``None`` when a touched branch lacks an update
+    hook -- the caller must fall back to reconstruct+reload.
+    """
+    element_ty = ty.element if isinstance(ty, (SetType, ListType)) else None
+    fields = None
+    if isinstance(element_ty, TupleType) and values:
+        first = values[0]
+        if isinstance(first, dict):
+            fields = list(first.keys())
+    if not can_update_collection(ty, fields):
+        return None
+    count = collection_count(pool, name)
+    if not len(positions):
+        return count
+    if isinstance(element_ty, AtomicType):
+        pool.update(f"{name}.{VALUE_SUFFIX}", positions, values)
+    else:
+        mapper_for(element_ty).update(pool, name, element_ty, positions, values)
     return count
 
 

@@ -37,7 +37,7 @@ from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Uni
 import numpy as np
 
 from repro.monet.atoms import AtomType, atom, coerce_value
-from repro.monet.errors import BATError
+from repro.monet.errors import BATError, InvalidMutationBatch, InvalidPositions
 
 
 class Column:
@@ -407,6 +407,195 @@ class BAT:
         # value exceeds every old one.
         now_key = was_key and now_sorted and run_strict and boundary == 2
         return Column(new.atom_type, values), now_sorted, now_key
+
+    # ------------------------------------------------------------------
+    # Copy-on-write delete / update (the tombstone + patch primitives)
+    # ------------------------------------------------------------------
+    def delete_positions(
+        self,
+        positions: Union[np.ndarray, Sequence[int]],
+        *,
+        renumber_dense_tail: bool = False,
+    ) -> "BAT":
+        """A new BAT with the BUNs at *positions* removed.
+
+        Copy-on-write like :meth:`append`: the receiver is untouched, so
+        snapshot readers keep seeing the deleted BUNs.  Positions are
+        0-based BUN positions, normalized to a sorted unique array;
+        out-of-range positions raise :class:`InvalidPositions`.
+
+        Survivors keep their order, so the gather is monotone and all
+        four property flags carry over unchanged (O(deleted) flag
+        maintenance, never a rescan).  A void head is *re-densified* --
+        survivors renumber to ``seqbase .. seqbase+m-1`` -- which is what
+        keeps Moa's positional-fetchjoin discipline alive across deletes.
+
+        ``renumber_dense_tail=True`` additionally rewrites a tail that is
+        provably a dense integer run (sorted + key + span == count-1:
+        the shape of a Moa extent's oid tail) to the dense run of the new
+        length; any other tail raises :class:`InvalidMutationBatch`.
+        """
+        positions = _normalize_positions(positions, len(self))
+        if len(positions) == 0:
+            return self
+        mask = np.ones(len(self), dtype=bool)
+        mask[positions] = False
+        keep = np.nonzero(mask)[0]
+        if self.head.is_void:
+            head: AnyColumn = VoidColumn(self.head.seqbase, len(keep))
+        else:
+            head = self.head.take(keep)
+        if renumber_dense_tail:
+            tail: AnyColumn = self._dense_tail_renumbered(len(keep))
+            tsorted, tkey = True, True
+        else:
+            tail = self.tail.take(keep)
+            tsorted, tkey = self.tsorted, self.tkey
+        return BAT(
+            head,
+            tail,
+            hsorted=self.hsorted,
+            hkey=self.hkey,
+            tsorted=tsorted,
+            tkey=tkey,
+            name=self.name,
+        )
+
+    def update_positions(
+        self,
+        positions: Union[np.ndarray, Sequence[int]],
+        values: Sequence[Any],
+    ) -> "BAT":
+        """A new BAT with the tail values at *positions* replaced by
+        *values* (position-aligned; duplicate positions: last wins).
+
+        Copy-on-write: the receiver is untouched.  The head column is
+        shared by reference, so ``hsorted``/``hkey`` survive untouched.
+        Tail flags are maintained in O(changed): ``tsorted`` survives only
+        when every adjacent pair touching a patched position is still
+        non-decreasing (a patch to NIL fails the pair check, clearing the
+        flag -- NIL is incomparable); ``tkey`` is conservatively cleared,
+        since local inspection cannot re-prove global uniqueness.
+        """
+        positions = _normalize_positions(positions, len(self), unique=False)
+        value_list = list(values)
+        if len(value_list) != len(positions):
+            raise InvalidMutationBatch(
+                f"update needs one value per position: "
+                f"{len(value_list)} values for {len(positions)} positions"
+            )
+        if len(positions) == 0:
+            return self
+        patch = column_from_values(self.ttype, value_list)
+        if self.tail.is_void:
+            base_values = self.tail.materialize()
+            tail_type = patch.atom_type
+        else:
+            base_values = self.tail.values
+            tail_type = self.tail.atom_type
+        new_values = base_values.copy()
+        new_values[positions] = patch.values
+        tsorted = self.tsorted and _pairs_sorted(
+            new_values, positions, tail_type.name
+        )
+        return BAT(
+            self.head,
+            Column(tail_type, new_values),
+            hsorted=self.hsorted,
+            hkey=self.hkey,
+            tsorted=tsorted,
+            tkey=False,
+            name=self.name,
+        )
+
+    def _dense_tail_renumbered(self, new_count: int) -> Column:
+        """The dense integer run of length *new_count* continuing this
+        BAT's provably-dense tail (extent-oid shape); raises
+        :class:`InvalidMutationBatch` when density cannot be proven O(1)
+        from the flags."""
+        tail = self.tail
+        if tail.is_void:
+            return Column(
+                atom("oid"),
+                np.arange(
+                    tail.seqbase, tail.seqbase + new_count, dtype=np.int64
+                ),
+            )
+        values = tail.values
+        dense = (
+            self.tsorted
+            and self.tkey
+            and tail.atom_type.name in ("int", "oid")
+            and (
+                len(values) == 0
+                or int(values[-1]) - int(values[0]) == len(values) - 1
+            )
+        )
+        if not dense:
+            raise InvalidMutationBatch(
+                "renumber_dense_tail requires a provably dense integer "
+                "tail (sorted, key, span == count-1)"
+            )
+        seqbase = int(values[0]) if len(values) else 0
+        dtype = values.dtype if len(values) else np.int64
+        return Column(
+            tail.atom_type,
+            np.arange(seqbase, seqbase + new_count, dtype=dtype),
+        )
+
+
+def _normalize_positions(
+    positions: Union[np.ndarray, Sequence[int]],
+    count: int,
+    *,
+    unique: bool = True,
+) -> np.ndarray:
+    """Validate and normalize BUN positions: int64, one-dimensional, in
+    range; sorted-unique unless *unique* is False (updates keep caller
+    order so duplicate positions resolve last-wins)."""
+    try:
+        if isinstance(positions, np.ndarray):
+            arr = positions.astype(np.int64, copy=False)
+        else:
+            arr = np.asarray(list(positions), dtype=np.int64)
+    except (TypeError, ValueError):
+        raise InvalidPositions("positions must be integers") from None
+    if arr.ndim != 1:
+        raise InvalidPositions("positions must be one-dimensional")
+    if len(arr) == 0:
+        return arr
+    lo, hi = int(arr.min()), int(arr.max())
+    if lo < 0 or hi >= count:
+        raise InvalidPositions(
+            f"position out of range for {count} BUNs: saw [{lo}, {hi}]"
+        )
+    return np.unique(arr) if unique else arr
+
+
+def _pairs_sorted(
+    values: np.ndarray, touched: np.ndarray, atom_name: str
+) -> bool:
+    """Adjacent-pair sortedness restricted to pairs touching *touched*
+    positions -- the O(changed) core of update flag maintenance.  NIL in
+    a checked pair fails the check (NIL is incomparable)."""
+    n = len(values)
+    if n <= 1:
+        return True
+    starts = np.unique(np.concatenate([touched - 1, touched]))
+    starts = starts[(starts >= 0) & (starts < n - 1)]
+    if len(starts) == 0:
+        return True
+    left = values[starts]
+    right = values[starts + 1]
+    if atom_name == "str":
+        for a, b in zip(list(left), list(right)):
+            if a is None or b is None or a > b:
+                return False
+        return True
+    try:
+        return bool(np.all(left <= right))
+    except TypeError:
+        return False
 
 
 def column_from_values(atom_name: str, values: Sequence[Any]) -> Column:

@@ -30,21 +30,44 @@ import re
 import shutil
 import tempfile
 import threading
+import time
 import warnings
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro.monet.atoms import OidGenerator, atom
 from repro.monet.bat import BAT, Column, VoidColumn
-from repro.monet.errors import BBPError, KernelError, MonetError
+from repro.monet.errors import (
+    BBPError,
+    InvalidMutationBatch,
+    KernelError,
+    MonetError,
+    UnknownMutationTarget,
+)
 from repro.monet import fragments as _fragments
 from repro.monet.fragments import (
     FragmentationPolicy,
     FragmentedBAT,
     fragment_bat,
 )
+
+
+def _wal_group_window_ms() -> float:
+    try:
+        return max(0.0, float(os.environ.get("REPRO_WAL_GROUP_MS", "0") or 0))
+    except ValueError:
+        return 0.0
+
+
+#: Group-commit window in milliseconds (``REPRO_WAL_GROUP_MS``).  The
+#: WAL leader sleeps this long before draining the intent queue so
+#: concurrent mutators can pile onto one fsync.  Zero (the default)
+#: still batches: any mutator that arrives while a flush is in flight
+#: joins the next batch instead of issuing its own fsync.  Module-level
+#: and mutable so benchmarks and tests can steer it per run.
+WAL_GROUP_MS: float = _wal_group_window_ms()
 
 
 class BATBufferPool:
@@ -83,15 +106,49 @@ class BATBufferPool:
         #: catalog.
         self._epoch = 0
         # Write-ahead state: set once the pool is attached to a
-        # directory (save/load); appends then log their intent to
-        # wal.jsonl before applying, and load() replays it.
+        # directory (save/load); mutations then log their intent to
+        # wal.jsonl before publishing, and load() replays it.
         self._directory: Optional[Path] = None
         self._wal_file = None
         self._generation = 0
+        self._arm_mutation_state()
         # Background delta-merge daemon (started on demand).
         self._merge_stop: Optional[threading.Event] = None
         self._merge_thread: Optional[threading.Thread] = None
         _sweep_spill_once()
+
+    def _arm_mutation_state(self) -> None:
+        """(Re-)create the unpicklable mutation machinery: per-name
+        mutator locks, the group-commit queue state, and the WAL file
+        mutex.  Counters survive pickling; locks and queues do not."""
+        # One mutex per name serializes mutators of that name while the
+        # pool lock stays free for readers and other names' mutators --
+        # which is what lets concurrent WAL intents overlap into one
+        # group-commit fsync.  Ordering discipline: name lock -> pool
+        # lock -> WAL file mutex; the condition variable is taken on its
+        # own (never while holding the pool lock's critical section
+        # except for the rare re-log path, which is pool -> io only).
+        self._name_locks: Dict[str, threading.Lock] = {}
+        # Group-commit state, all guarded by the condition's mutex:
+        # encoded intent lines queue up, the first waiter becomes the
+        # leader, drains the queue after the WAL_GROUP_MS window, and
+        # one fsync covers the whole batch.
+        self._wal_cv = threading.Condition()
+        self._wal_queue: List[str] = []
+        self._wal_next_seq = 0
+        self._wal_flushed_seq = -1
+        self._wal_failed_seq = -1
+        self._wal_failure: Optional[BaseException] = None
+        self._wal_leader_active = False
+        # The file handle itself (open/write/fsync/close) is guarded by
+        # this mutex so the leader's batch write cannot race save()'s
+        # truncation or a publish-time re-log.
+        self._wal_io = threading.Lock()
+        #: Observability counters for the group-commit bench row:
+        #: fsyncs issued vs records logged (fsyncs/record < 1 under
+        #: concurrent writers is the group commit working).
+        self.wal_fsyncs = 0
+        self.wal_records = 0
 
     def __getstate__(self):
         # Locks, file handles and threads do not pickle; a pool
@@ -102,11 +159,24 @@ class BATBufferPool:
         state["_wal_file"] = None
         state["_merge_stop"] = None
         state["_merge_thread"] = None
+        for key in (
+            "_name_locks",
+            "_wal_cv",
+            "_wal_queue",
+            "_wal_next_seq",
+            "_wal_flushed_seq",
+            "_wal_failed_seq",
+            "_wal_failure",
+            "_wal_leader_active",
+            "_wal_io",
+        ):
+            state.pop(key, None)
         return state
 
     def __setstate__(self, state):
-        self.__dict__.update(state)
         self._lock = threading.RLock()
+        self._arm_mutation_state()
+        self.__dict__.update(state)
 
     @property
     def epoch(self) -> int:
@@ -118,6 +188,18 @@ class BATBufferPool:
         self._coalesced_views.pop(name, None)
         self._fragment_views.pop(name, None)
 
+    def _mutation_lock(self, name: str) -> threading.Lock:
+        """The per-name mutator mutex (created on first use).  Catalog
+        writers for one name serialize here *before* touching the pool
+        lock, so the heavy parts of a mutation -- building the new
+        value, waiting out the group-commit fsync -- overlap freely
+        across names without ever blocking readers."""
+        with self._lock:
+            lock = self._name_locks.get(name)
+            if lock is None:
+                lock = self._name_locks[name] = threading.Lock()
+            return lock
+
     # ------------------------------------------------------------------
     # Catalog operations
     # ------------------------------------------------------------------
@@ -125,15 +207,16 @@ class BATBufferPool:
         """Register *bat* under *name* (Monet ``persists``)."""
         if not name:
             raise BBPError("BAT name must be non-empty")
-        with self._lock:
-            if name in self and not replace:
-                raise BBPError(f"BAT {name!r} already registered")
-            self._fragmented.pop(name, None)
-            self._invalidate_views(name)
-            bat.name = name
-            self._bats[name] = bat
-            self._bump_oids(bat)
-            self._epoch += 1
+        with self._mutation_lock(name):
+            with self._lock:
+                if name in self and not replace:
+                    raise BBPError(f"BAT {name!r} already registered")
+                self._fragmented.pop(name, None)
+                self._invalidate_views(name)
+                bat.name = name
+                self._bats[name] = bat
+                self._bump_oids(bat)
+                self._epoch += 1
         return bat
 
     def register_fragmented(
@@ -144,18 +227,19 @@ class BATBufferPool:
         as-is."""
         if not name:
             raise BBPError("BAT name must be non-empty")
-        with self._lock:
-            if name in self and not replace:
-                raise BBPError(f"BAT {name!r} already registered")
-            self._bats.pop(name, None)
-            self._invalidate_views(name)
-            fragmented.name = name
-            if fragmented._coalesced is not None:
-                fragmented._coalesced.name = name
-            self._fragmented[name] = fragmented
-            for fragment in fragmented.fragments:
-                self._bump_oids(fragment)
-            self._epoch += 1
+        with self._mutation_lock(name):
+            with self._lock:
+                if name in self and not replace:
+                    raise BBPError(f"BAT {name!r} already registered")
+                self._bats.pop(name, None)
+                self._invalidate_views(name)
+                fragmented.name = name
+                if fragmented._coalesced is not None:
+                    fragmented._coalesced.name = name
+                self._fragmented[name] = fragmented
+                for fragment in fragmented.fragments:
+                    self._bump_oids(fragment)
+                self._epoch += 1
         return fragmented
 
     def lookup(self, name: str) -> BAT:
@@ -203,19 +287,97 @@ class BATBufferPool:
 
     def drop(self, name: str) -> None:
         """Remove *name* from the catalog."""
+        with self._mutation_lock(name):
+            with self._lock:
+                if name in self._bats:
+                    del self._bats[name]
+                elif name in self._fragmented:
+                    del self._fragmented[name]
+                else:
+                    raise BBPError(f"cannot drop unknown BAT {name!r}")
+                self._invalidate_views(name)
+                self._epoch += 1
+
+    # ------------------------------------------------------------------
+    # The write path: mutations, snapshots, delta merging
+    # ------------------------------------------------------------------
+    def _mutate(
+        self,
+        name: str,
+        kind: str,
+        compute: Callable,
+        record_fields: Callable[[], dict],
+        bump: Optional[Callable] = None,
+        *,
+        log: bool = True,
+    ):
+        """The unified mutation core behind :meth:`append`,
+        :meth:`delete` and :meth:`update`.
+
+        Flow, under the per-name mutator mutex (one in-flight mutation
+        per name; other names overlap freely):
+
+        1. read the current registration and catalog generation under
+           the pool lock (brief);
+        2. build the new copy-on-write value *outside* the pool lock --
+           a failing batch raises here, before any WAL record exists;
+        3. group-commit the WAL intent record (:meth:`_wal_log`): the
+           record is durable, stamped with the generation it applies on
+           top of, before anything publishes;
+        4. publish under the pool lock (:meth:`_publish_mutation`): swap
+           the value in, bump oids, invalidate views, bump the epoch.
+           If a concurrent save slid between steps 3 and 4 it truncated
+           our record while its catalog missed our rows, so the record
+           is re-logged under the new generation first.
+
+        A crash between 3 and 4 is recovered by :func:`_replay_wal`; a
+        crash before 3 loses nothing and leaves no record behind.
+        """
+        with self._mutation_lock(name):
+            with self._lock:
+                if name in self._bats:
+                    current: Union[BAT, FragmentedBAT] = self._bats[name]
+                elif name in self._fragmented:
+                    current = self._fragmented[name]
+                else:
+                    raise UnknownMutationTarget(
+                        f"cannot {kind} unknown BAT {name!r}"
+                    )
+                generation = self._generation
+            new = compute(current)
+            if new is current:  # empty batch
+                return current
+            record = None
+            if log and self._directory is not None:
+                record = {"name": name, "generation": generation}
+                record.update(record_fields())
+                self._wal_log(record)
+            self._publish_mutation(name, current, new, record, bump)
+            return new
+
+    def _publish_mutation(self, name, current, new, record, bump) -> None:
+        """Swap the new value in under the pool lock (step 4 of
+        :meth:`_mutate`; a separate method so fault-injection tests can
+        crash a mutation between its fsync and its publish)."""
         with self._lock:
-            if name in self._bats:
-                del self._bats[name]
-            elif name in self._fragmented:
-                del self._fragmented[name]
+            if record is not None and self._generation != record["generation"]:
+                # A save committed between our fsync and this publish:
+                # it truncated the WAL (dropping our record) without
+                # folding our rows into its catalog.  Re-log under the
+                # current generation so a crash from here still
+                # replays us; the stale-generation record, wherever it
+                # survived, is fenced off at replay.
+                self._wal_direct({**record, "generation": self._generation})
+            new.name = name
+            if isinstance(new, FragmentedBAT):
+                self._fragmented[name] = new
             else:
-                raise BBPError(f"cannot drop unknown BAT {name!r}")
+                self._bats[name] = new
+            if bump is not None:
+                bump(current)
             self._invalidate_views(name)
             self._epoch += 1
 
-    # ------------------------------------------------------------------
-    # The write path: appends, snapshots, delta merging
-    # ------------------------------------------------------------------
     def append(
         self,
         name: str,
@@ -231,17 +393,20 @@ class BATBufferPool:
         :meth:`FragmentedBAT.append`): the old object is swapped for a
         new one under the lock, so any :class:`PoolSnapshot` taken
         before the append keeps reading the old BUNs.  When the pool is
-        attached to a directory, the append intent is logged to
-        ``wal.jsonl`` (flushed + fsynced) after the new value has been
-        built -- i.e. after the batch is known to be appendable -- but
-        *before* the in-memory swap publishes it.  A crash after this
-        method returns therefore never loses the append (:meth:`load`
-        replays the log over the last saved catalog), while an append
-        that *fails* leaves no WAL record behind to poison recovery.
+        attached to a directory, the append intent is group-committed
+        to ``wal.jsonl`` (one fsync per batch of concurrent mutators,
+        see :meth:`_wal_log`) after the new value has been built -- i.e.
+        after the batch is known to be appendable -- but *before* the
+        in-memory swap publishes it.  A crash after this method returns
+        therefore never loses the append (:meth:`load` replays the log
+        over the last saved catalog), while an append that *fails*
+        leaves no WAL record behind to poison recovery.
 
         ``pairs`` is a sequence of (head, tail) Python pairs; ``tails``
         appends tail values under a densely extended void head (the
-        shape of every Moa attribute BAT).
+        shape of every Moa attribute BAT).  Raises
+        :class:`~repro.monet.errors.MutationError` subclasses (which
+        keep deriving from the historical ``BBPError``/``KernelError``).
         """
         # Materialize once up front: the batch is iterated by the
         # append itself, the WAL encoder and the oid bump, and a
@@ -251,30 +416,114 @@ class BATBufferPool:
             pairs = list(pairs)
         if tails is not None:
             tails = list(tails)
-        with self._lock:
-            if name in self._bats:
-                current: Union[BAT, FragmentedBAT] = self._bats[name]
-            elif name in self._fragmented:
-                current = self._fragmented[name]
-            else:
-                raise BBPError(f"cannot append to unknown BAT {name!r}")
+
+        def compute(current):
             if pairs is not None:
-                new = current.append(pairs)
-            else:
-                new = current.append(tails=tails or [])
-            if new is current:  # empty batch
-                return current
-            if _log:
-                self._wal_append(name, pairs, tails)
-            new.name = name
-            if isinstance(new, FragmentedBAT):
-                self._fragmented[name] = new
-            else:
-                self._bats[name] = new
+                return current.append(pairs)
+            return current.append(tails=tails or [])
+
+        def record_fields() -> dict:
+            if pairs is not None:
+                return {
+                    "pairs": [[_wal_value(h), _wal_value(t)] for h, t in pairs]
+                }
+            return {"tails": [_wal_value(t) for t in (tails or [])]}
+
+        def bump(current):
             self._bump_oids_batch(current, pairs, tails)
-            self._invalidate_views(name)
-            self._epoch += 1
-            return new
+
+        return self._mutate(
+            name, "append to", compute, record_fields, bump, log=_log
+        )
+
+    def delete(
+        self,
+        name: str,
+        positions,
+        *,
+        renumber_dense_tails: bool = False,
+        _log: bool = True,
+    ):
+        """Delete the BUNs at *positions* (0-based BUN positions) from
+        the registration under *name*; returns the new value.
+
+        The tombstone delta kind: fragmented registrations tombstone
+        copy-on-write at fragment granularity
+        (:meth:`FragmentedBAT.delete` -- untouched fragments shared by
+        reference, dense oid heads re-densified), monolithic ones
+        gather their survivors (:meth:`BAT.delete_positions`).  Durable
+        and exactly-once like :meth:`append`: the intent record
+        (``{"delete": [...]}``) group-commits before the publish and is
+        generation-fenced at replay.
+
+        ``renumber_dense_tails=True`` additionally rewrites a provably
+        dense integer tail to the dense run of the new length -- the
+        shape of a Moa extent, whose oid tail must stay ``0..n-1``
+        (monolithic registrations only).
+        """
+        positions = [int(p) for p in positions]
+
+        def compute(current):
+            if isinstance(current, FragmentedBAT):
+                if renumber_dense_tails:
+                    raise InvalidMutationBatch(
+                        "renumber_dense_tails applies to monolithic "
+                        "registrations (Moa extents stay monolithic)"
+                    )
+                return current.delete(positions)
+            return current.delete_positions(
+                positions, renumber_dense_tail=renumber_dense_tails
+            )
+
+        def record_fields() -> dict:
+            record = {"delete": positions}
+            if renumber_dense_tails:
+                record["renumber"] = True
+            return record
+
+        return self._mutate(
+            name, "delete from", compute, record_fields, log=_log
+        )
+
+    def update(self, name: str, positions, values, *, _log: bool = True):
+        """Replace the tail values at *positions* (0-based BUN
+        positions, aligned with *values*; duplicates last-wins) in the
+        registration under *name*; returns the new value.
+
+        The patch delta kind: fragmented registrations patch only the
+        touched fragments' tails (:meth:`FragmentedBAT.update` --
+        heads, positions and untouched fragments shared by reference),
+        monolithic ones patch one tail copy
+        (:meth:`BAT.update_positions`).  Durable and exactly-once like
+        :meth:`append`: the intent record (``{"update": [...],
+        "values": [...]}``) group-commits before the publish and is
+        generation-fenced at replay.
+        """
+        positions = [int(p) for p in positions]
+        values = list(values)
+
+        def compute(current):
+            if isinstance(current, FragmentedBAT):
+                return current.update(positions, values)
+            return current.update_positions(positions, values)
+
+        def record_fields() -> dict:
+            return {
+                "update": positions,
+                "values": [_wal_value(v) for v in values],
+            }
+
+        def bump(current):
+            if current.ttype == "oid":
+                top = max(
+                    (int(v) for v in values if v is not None), default=-1
+                )
+                if top >= 0:
+                    self.oid_generator.bump_past(top)
+
+        return self._mutate(
+            name, "update", compute, record_fields, bump, log=_log
+        )
 
     def _bump_oids_batch(self, value, pairs, tails) -> None:
         """Keep the oid sequence ahead of appended oid values --
@@ -324,21 +573,24 @@ class BATBufferPool:
         self, policy: Optional[FragmentationPolicy] = None
     ) -> int:
         """One synchronous merge pass over the fragmented registrations:
-        fold oversized append-tail deltas back to policy-sized fragments
-        (:func:`repro.monet.fragments.refragment`, which prefers the
+        fold oversized append-tail deltas back to policy-sized
+        fragments, compact starved tombstone residue, and re-partition
+        skewed round-robin splits
+        (:func:`repro.monet.fragments.rebalance`, which prefers the
         non-coalescing :func:`~repro.monet.fragments.fold_tail`).
 
         Reorganization happens *outside* the lock on the immutable
         fragment lists; the swap-in is a per-name compare-and-swap --
-        if a concurrent append replaced the registration meanwhile, the
-        stale reorganization is discarded (the next pass sees the new
-        tail).  Readers are never blocked: their snapshots keep the old
-        fragment objects.  Returns how many names were reorganized."""
+        if a concurrent mutation replaced the registration meanwhile,
+        the stale reorganization is discarded (the next pass sees the
+        new tail).  Readers are never blocked: their snapshots keep the
+        old fragment objects.  Returns how many names were
+        reorganized."""
         with self._lock:
             work = list(self._fragmented.items())
         merged = 0
         for name, fragmented in work:
-            reorganized = _fragments.refragment(
+            reorganized = _fragments.rebalance(
                 fragmented, policy or fragmented.policy
             )
             if reorganized is fragmented:
@@ -510,49 +762,136 @@ class BATBufferPool:
     # -- WAL attachment ------------------------------------------------
     def _attach_locked(self, directory: Path) -> None:
         directory = Path(directory)
-        if self._directory != directory and self._wal_file is not None:
-            try:
-                self._wal_file.close()
-            except OSError:  # pragma: no cover - close best-effort
-                pass
-            self._wal_file = None
-        self._directory = directory
+        with self._wal_io:
+            if self._directory != directory and self._wal_file is not None:
+                try:
+                    self._wal_file.close()
+                except OSError:  # pragma: no cover - close best-effort
+                    pass
+                self._wal_file = None
+            self._directory = directory
 
-    def _wal_append(self, name: str, pairs, tails) -> None:
-        """Log one append intent (flush + fsync) before it publishes.
-        A record is *committed* once its full line (with trailing
-        newline) is on disk; :meth:`load` discards a torn final line.
+    def _wal_log(self, record: dict) -> None:
+        """Group-commit one mutation intent record.
+
+        Mutators enqueue their encoded line and the first waiter
+        elects itself *leader*: it sleeps out the :data:`WAL_GROUP_MS`
+        window (so concurrent arrivals pile on), drains the whole
+        queue, writes it in one system call and issues **one fsync**
+        for the batch, then wakes the followers.  Mutators that arrive
+        while a flush is in flight simply form the next batch -- so
+        even at a zero window, N concurrent writers share far fewer
+        than N fsyncs.  A record is *committed* once its full line
+        (with trailing newline) is durable; :meth:`load` discards a
+        torn final line.
 
         Each record is fenced with the catalog generation it applies on
-        top of: a save folds every applied append into the next
+        top of: a save folds every applied mutation into the next
         generation's catalog, so if a crash lands between the catalog
         commit and the WAL truncation, :func:`_replay_wal` sees the
         stale records stamped with the *previous* generation and skips
-        them instead of silently duplicating the appends."""
+        them instead of silently duplicating the mutations.  A failed
+        flush raises in every mutator whose record it covered -- none
+        of them publish."""
         if self._directory is None:
             return
-        record = {"name": name, "generation": self._generation}
-        if pairs is not None:
-            record["pairs"] = [[_wal_value(h), _wal_value(t)] for h, t in pairs]
-        else:
-            record["tails"] = [_wal_value(t) for t in (tails or [])]
-        if self._wal_file is None:
-            self._wal_file = open(
-                self._directory / "wal.jsonl", "a", encoding="utf-8"
-            )
-        self._wal_file.write(json.dumps(record) + "\n")
-        self._wal_file.flush()
-        os.fsync(self._wal_file.fileno())
+        line = json.dumps(record) + "\n"
+        with self._wal_cv:
+            seq = self._wal_next_seq
+            self._wal_next_seq += 1
+            self._wal_queue.append(line)
+            self.wal_records += 1
+            while True:
+                if self._wal_flushed_seq >= seq:
+                    return
+                if self._wal_failed_seq >= seq:
+                    raise BBPError(
+                        f"WAL group commit failed: {self._wal_failure}"
+                    )
+                if not self._wal_leader_active:
+                    self._wal_leader_active = True
+                    break
+                self._wal_cv.wait()
+        # This mutator is the leader for the next batch.
+        try:
+            window = WAL_GROUP_MS
+            if window > 0:
+                time.sleep(window / 1000.0)
+            with self._wal_cv:
+                batch = self._wal_queue
+                self._wal_queue = []
+                top = self._wal_next_seq - 1
+            failure: Optional[BaseException] = None
+            if batch:
+                try:
+                    self._wal_write_batch(batch)
+                except Exception as exc:
+                    failure = exc
+        except BaseException:
+            # Interrupted before an outcome existed: hand leadership
+            # back so waiting followers can elect a new leader.
+            with self._wal_cv:
+                self._wal_leader_active = False
+                self._wal_cv.notify_all()
+            raise
+        # Publish the outcome and step down in one critical section, so
+        # no follower can observe a leaderless, outcome-less state.
+        with self._wal_cv:
+            if failure is None:
+                self._wal_flushed_seq = max(self._wal_flushed_seq, top)
+            else:
+                self._wal_failed_seq = max(self._wal_failed_seq, top)
+                self._wal_failure = failure
+            self._wal_leader_active = False
+            self._wal_cv.notify_all()
+            if self._wal_failed_seq >= seq:
+                raise BBPError(f"WAL group commit failed: {self._wal_failure}")
+
+    def _wal_write_batch(self, lines: List[str]) -> None:
+        """Write *lines* to the WAL and fsync once (the leader's half
+        of the group commit).  The file handle is guarded by
+        ``_wal_io`` so the batch write cannot race save()'s truncation
+        or a publish-time re-log."""
+        with self._wal_io:
+            if self._directory is None:
+                return
+            if self._wal_file is None:
+                self._wal_file = open(
+                    self._directory / "wal.jsonl", "a", encoding="utf-8"
+                )
+            self._wal_file.write("".join(lines))
+            self._wal_file.flush()
+            os.fsync(self._wal_file.fileno())
+            self.wal_fsyncs += 1
+
+    def _wal_direct(self, record: dict) -> None:
+        """Write one record immediately (flush + fsync), bypassing the
+        group queue -- the rare publish-time re-log after a save raced
+        a mutation (see :meth:`_publish_mutation`); called under the
+        pool lock."""
+        if self._directory is None:
+            return
+        with self._wal_io:
+            if self._wal_file is None:
+                self._wal_file = open(
+                    self._directory / "wal.jsonl", "a", encoding="utf-8"
+                )
+            self._wal_file.write(json.dumps(record) + "\n")
+            self._wal_file.flush()
+            os.fsync(self._wal_file.fileno())
+            self.wal_fsyncs += 1
+            self.wal_records += 1
 
     def _wal_truncate_locked(self) -> None:
-        if self._wal_file is not None:
-            try:
-                self._wal_file.close()
-            except OSError:  # pragma: no cover - close best-effort
-                pass
-            self._wal_file = None
-        if self._directory is not None:
-            (self._directory / "wal.jsonl").unlink(missing_ok=True)
+        with self._wal_io:
+            if self._wal_file is not None:
+                try:
+                    self._wal_file.close()
+                except OSError:  # pragma: no cover - close best-effort
+                    pass
+                self._wal_file = None
+            if self._directory is not None:
+                (self._directory / "wal.jsonl").unlink(missing_ok=True)
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "BATBufferPool":
@@ -716,6 +1055,23 @@ class PoolSnapshot:
         except BBPError:
             pass  # a concurrent writer already dropped it live
         self._discard(name)
+
+    def append(self, name: str, pairs=None, *, tails=None):
+        result = self._pool.append(name, pairs, tails=tails)
+        self._adopt(name, result)
+        return result
+
+    def delete(self, name: str, positions, *, renumber_dense_tails: bool = False):
+        result = self._pool.delete(
+            name, positions, renumber_dense_tails=renumber_dense_tails
+        )
+        self._adopt(name, result)
+        return result
+
+    def update(self, name: str, positions, values):
+        result = self._pool.update(name, positions, values)
+        self._adopt(name, result)
+        return result
 
     def new_oids(self, count: int) -> int:
         return self._pool.new_oids(count)
@@ -904,6 +1260,17 @@ def _replay_wal(pool: "BATBufferPool", directory: Path) -> int:
             if "pairs" in record:
                 pool.append(
                     name, pairs=[tuple(p) for p in record["pairs"]], _log=False
+                )
+            elif "delete" in record:
+                pool.delete(
+                    name,
+                    record["delete"],
+                    renumber_dense_tails=bool(record.get("renumber")),
+                    _log=False,
+                )
+            elif "update" in record:
+                pool.update(
+                    name, record["update"], record.get("values", []), _log=False
                 )
             else:
                 pool.append(name, tails=record.get("tails", []), _log=False)

@@ -27,6 +27,39 @@ class BBPError(MonetError):
     persistence I/O problems."""
 
 
+class MutationError(MonetError):
+    """Base of the unified mutation-API error vocabulary.
+
+    Every failure on the write path -- ``insert``/``update``/``delete``
+    through :class:`~repro.core.mirror.Transaction`, the pool-level
+    ``append``/``delete``/``update``, and the wire mutation ops -- raises
+    a :class:`MutationError` subclass, replacing the historical mix of
+    ``ValueError``/``BBPError``/``KernelError``/``MILRuntimeError``.
+    Subclasses multiple-inherit from the legacy classes they replace so
+    existing ``except`` clauses keep working.
+    """
+
+
+class UnknownMutationTarget(MutationError, BBPError):
+    """Mutation names a BAT or collection the catalog does not know."""
+
+
+class InvalidMutationBatch(MutationError, KernelError):
+    """Malformed payload: bad pairs/tails shape, wrong arity, values
+    that do not coerce to the target atom type."""
+
+
+class InvalidPositions(MutationError, KernelError):
+    """Delete/update positions are out of range, unsorted after
+    normalization, or misaligned with the supplied values."""
+
+
+class TransactionError(MutationError):
+    """Transaction protocol violation: commit/abort on a closed
+    transaction, nested ``begin`` on a session, mutating through an
+    aborted handle."""
+
+
 class MILError(MonetError):
     """MIL front-end failure: lexing, parsing, or runtime evaluation."""
 

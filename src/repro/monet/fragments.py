@@ -103,10 +103,11 @@ from repro.monet.bat import (
     AnyColumn,
     Column,
     VoidColumn,
+    _normalize_positions,
     bat_from_pairs,
     dense_bat,
 )
-from repro.monet.errors import KernelError
+from repro.monet.errors import InvalidMutationBatch, KernelError
 
 try:
     from concurrent.futures.process import BrokenProcessPool
@@ -832,6 +833,161 @@ class FragmentedBAT:
             "append(tails=...) needs a dense oid head; pass explicit pairs"
         )
 
+    # ------------------------------------------------------------------
+    # Copy-on-write delete / update: tombstone and patch delta kinds
+    # ------------------------------------------------------------------
+    def delete(self, positions) -> "FragmentedBAT":
+        """A new FragmentedBAT with the BUNs at the given *global*
+        positions removed -- the tombstone delta kind.
+
+        Copy-on-write at fragment granularity, the mirror image of
+        :meth:`append`: a fragment with no tombstoned row shares its
+        tail array by reference with the receiver; only touched
+        fragments gather their survivors.  The result is never a
+        coalesce -- every fragment-parallel operator sees the smaller
+        fragments and masks the tombstones structurally, with no
+        tombstone bitmap to consult on the read path.
+
+        Logically dense oid heads are *re-densified* across the whole
+        BAT so Moa's positional-fetchjoin discipline survives: range
+        layouts shift each untouched fragment's void seqbase (O(1) per
+        fragment), round-robin layouts renumber the surviving global
+        positions through one searchsorted shift.  Heads that carry
+        data (non-dense) are left untouched.  Fragments emptied by the
+        delete are dropped, so operators never dispatch on
+        tombstone-only fragments; :func:`fold_tail` later compacts runs
+        of starved survivors back to policy size.
+        """
+        deleted = _normalize_positions(positions, len(self))
+        if len(deleted) == 0:
+            return self
+        if self.positions is None:
+            return self._delete_range(deleted)
+        return self._delete_roundrobin(deleted)
+
+    def _delete_range(self, deleted: np.ndarray) -> "FragmentedBAT":
+        offsets = [0]
+        for frag in self.fragments:
+            offsets.append(offsets[-1] + len(frag))
+        dense_heads = all(f.head.is_void for f in self.fragments)
+        out: List[BAT] = []
+        for index, frag in enumerate(self.fragments):
+            lo = int(np.searchsorted(deleted, offsets[index]))
+            hi = int(np.searchsorted(deleted, offsets[index + 1]))
+            local = deleted[lo:hi] - offsets[index]
+            shift = lo  # tombstones before this fragment's window
+            if len(local) == 0:
+                survivor = frag
+            else:
+                survivor = frag.delete_positions(local)
+                if len(survivor) == 0:
+                    continue
+            if dense_heads and shift:
+                survivor = BAT(
+                    VoidColumn(survivor.head.seqbase - shift, len(survivor)),
+                    survivor.tail,
+                    hsorted=survivor.hsorted,
+                    tsorted=survivor.tsorted,
+                    hkey=survivor.hkey,
+                    tkey=survivor.tkey,
+                )
+            out.append(survivor)
+        if not out:
+            out = [
+                self.fragments[0].take_positions(
+                    np.empty(0, dtype=np.int64)
+                )
+            ]
+        return FragmentedBAT(out, None, policy=self.policy, name=self.name)
+
+    def _delete_roundrobin(self, deleted: np.ndarray) -> "FragmentedBAT":
+        try:
+            seqbase: Optional[int] = self._dense_seqbase()
+        except KernelError:
+            seqbase = None
+        out_frags: List[BAT] = []
+        out_pos: List[np.ndarray] = []
+        for index, frag in enumerate(self.fragments):
+            pos = self.positions[index]
+            idx = np.searchsorted(deleted, pos)
+            hit = np.zeros(len(pos), dtype=bool)
+            in_range = idx < len(deleted)
+            hit[in_range] = deleted[idx[in_range]] == pos[in_range]
+            keep = np.nonzero(~hit)[0]
+            if len(keep) == 0:
+                continue
+            new_pos = pos[keep] - np.searchsorted(deleted, pos[keep])
+            survivor = frag if len(keep) == len(pos) else frag.take_positions(keep)
+            if seqbase is not None:
+                # Re-densify: heads are seqbase + global position by
+                # contract, and the surviving positions just shifted.
+                survivor = BAT(
+                    Column(atom("oid"), seqbase + new_pos),
+                    survivor.tail,
+                    hsorted=True,  # positions arrays are sorted unique
+                    hkey=True,
+                    tsorted=survivor.tsorted,
+                    tkey=survivor.tkey,
+                )
+            out_frags.append(survivor)
+            out_pos.append(new_pos)
+        if not out_frags:
+            out_frags = [
+                self.fragments[0].take_positions(np.empty(0, dtype=np.int64))
+            ]
+            out_pos = [np.empty(0, dtype=np.int64)]
+        return FragmentedBAT(
+            out_frags, out_pos, policy=self.policy, name=self.name
+        )
+
+    def update(self, positions, values) -> "FragmentedBAT":
+        """A new FragmentedBAT with the tail values at the given
+        *global* positions replaced -- the patch delta kind.
+
+        Copy-on-write at fragment granularity: untouched fragments
+        (heads, tails, positions) are shared by reference; each touched
+        fragment patches its tail through
+        :meth:`repro.monet.bat.BAT.update_positions` (O(changed) flag
+        maintenance; ``tkey`` conservatively cleared, ``tsorted``
+        rechecked only on the patched pairs).  Heads and global
+        positions never change, so the fragmentation -- and any
+        same-fragmentation alignment with sibling BATs -- survives.
+        Duplicate positions resolve last-wins.
+        """
+        final_pos, final_vals = _aligned_updates(positions, values, len(self))
+        if len(final_pos) == 0:
+            return self
+        if self.positions is None:
+            offsets = [0]
+            for frag in self.fragments:
+                offsets.append(offsets[-1] + len(frag))
+            out: List[BAT] = []
+            for index, frag in enumerate(self.fragments):
+                lo = int(np.searchsorted(final_pos, offsets[index]))
+                hi = int(np.searchsorted(final_pos, offsets[index + 1]))
+                if lo == hi:
+                    out.append(frag)
+                    continue
+                local = final_pos[lo:hi] - offsets[index]
+                out.append(frag.update_positions(local, final_vals[lo:hi]))
+            return FragmentedBAT(out, None, policy=self.policy, name=self.name)
+        out_frags: List[BAT] = []
+        for index, frag in enumerate(self.fragments):
+            pos = self.positions[index]
+            idx = np.searchsorted(final_pos, pos)
+            hit = np.zeros(len(pos), dtype=bool)
+            in_range = idx < len(final_pos)
+            hit[in_range] = final_pos[idx[in_range]] == pos[in_range]
+            rows = np.nonzero(hit)[0]
+            if len(rows) == 0:
+                out_frags.append(frag)
+                continue
+            vals = [final_vals[i] for i in idx[rows]]
+            out_frags.append(frag.update_positions(rows, vals))
+        return FragmentedBAT(
+            out_frags, self.positions, policy=self.policy, name=self.name
+        )
+
     def items(self):
         return self.to_bat().items()
 
@@ -840,6 +996,30 @@ class FragmentedBAT:
 
     def exists(self, head_value) -> bool:
         return self.to_bat().exists(head_value)
+
+
+def _aligned_updates(
+    positions, values, count: int
+) -> Tuple[np.ndarray, List[Any]]:
+    """Normalize an update batch: positions validated against *count*,
+    values aligned, duplicates resolved last-wins, result sorted by
+    position (the shape both layouts' searchsorted mapping needs)."""
+    arr = _normalize_positions(positions, count, unique=False)
+    value_list = list(values)
+    if len(value_list) != len(arr):
+        raise InvalidMutationBatch(
+            f"update needs one value per position: "
+            f"{len(value_list)} values for {len(arr)} positions"
+        )
+    if len(arr) == 0:
+        return arr, []
+    order = np.argsort(arr, kind="stable")
+    sorted_pos = arr[order]
+    keep = np.empty(len(sorted_pos), dtype=bool)
+    keep[:-1] = sorted_pos[1:] != sorted_pos[:-1]
+    keep[-1] = True
+    kept = order[keep]
+    return arr[kept], [value_list[i] for i in kept]
 
 
 def _concat_columns(
@@ -2887,20 +3067,38 @@ def multiplex(op: str, *operands: Any, workers: Optional[int] = None):
 
 
 def fold_tail(
-    fb: FragmentedBAT, policy: Optional[FragmentationPolicy] = None
+    fb: FragmentedBAT,
+    policy: Optional[FragmentationPolicy] = None,
+    *,
+    compact: bool = False,
 ) -> FragmentedBAT:
-    """Fold oversized append-tail delta fragments back to policy size
-    without coalescing.
+    """Fold drifted delta fragments back to policy size without
+    coalescing.
 
-    Every fragment larger than twice the policy target is sliced into
-    target-sized view fragments (numpy views -- no data copy); healthy
-    fragments are shared by reference with the input.  This is the
-    cheap half of reorganization: the merge daemon runs it continuously
-    so bulk appends (which can create arbitrarily large deltas) fold
-    back to the policy size while readers keep their snapshots."""
+    Two purely local passes; healthy fragments are shared by reference
+    with the input in both:
+
+    * every fragment larger than twice the policy target (the residue
+      of bulk appends) is sliced into target-sized view fragments
+      (numpy views -- no data copy);
+    * with ``compact=True``, runs of adjacent *starved* fragments (the
+      residue of tombstone deletes shrinking fragments below half the
+      target) are concatenated back up to at most target size -- a
+      bounded local concat per run, never a coalesce of the whole BAT.
+      Compaction is opt-in because plan intermediates routinely carry
+      small fragments (every selection shrinks them) and must not pay
+      a copy per operator; only the merge daemon's registered-BAT pass
+      (:func:`rebalance`) asks for it.
+
+    This is the cheap half of reorganization: the merge daemon runs it
+    continuously so deltas of both kinds fold back to the policy size
+    while readers keep their snapshots."""
     policy = policy or fb.policy
     target = policy.target_size
-    if max(fb.fragment_sizes()) <= 2 * target:
+    sizes = fb.fragment_sizes()
+    oversized = max(sizes) > 2 * target
+    starved = compact and len(sizes) > 1 and min(sizes) * 2 < target
+    if not oversized and not starved:
         return fb
     out_fragments: List[BAT] = []
     out_positions: List[np.ndarray] = []
@@ -2915,12 +3113,125 @@ def fold_tail(
             out_fragments.append(_slice_view(fragment, start, stop))
             if fb.positions is not None:
                 out_positions.append(fb.positions[index][start:stop])
+    if starved:
+        out_fragments, out_positions = _compact_starved(
+            out_fragments,
+            out_positions if fb.positions is not None else None,
+            target,
+        )
     return FragmentedBAT(
         out_fragments,
         out_positions if fb.positions is not None else None,
         policy=policy,
         name=fb.name,
     )
+
+
+def _compact_starved(
+    fragments: List[BAT],
+    positions: Optional[List[np.ndarray]],
+    target: int,
+) -> Tuple[List[BAT], List[np.ndarray]]:
+    """Greedily merge runs of adjacent fragments whose combined size
+    stays within *target*; empty fragments are dropped outright.  Each
+    merge is one bounded concatenation (round-robin runs re-sort their
+    merged positions so the sorted-positions invariant survives)."""
+    out_frags: List[BAT] = []
+    out_pos: List[np.ndarray] = []
+    group: List[BAT] = []
+    group_pos: List[np.ndarray] = []
+    group_size = 0
+
+    def flush() -> None:
+        nonlocal group, group_pos, group_size
+        if not group:
+            return
+        if len(group) == 1:
+            out_frags.append(group[0])
+            if positions is not None:
+                out_pos.append(group_pos[0])
+        else:
+            merged, merged_positions = _merge_fragment_run(
+                group, group_pos if positions is not None else None
+            )
+            out_frags.append(merged)
+            if positions is not None:
+                out_pos.append(merged_positions)
+        group, group_pos, group_size = [], [], 0
+
+    for index, fragment in enumerate(fragments):
+        if len(fragment) == 0:
+            continue
+        if group and group_size + len(fragment) > target:
+            flush()
+        group.append(fragment)
+        if positions is not None:
+            group_pos.append(positions[index])
+        group_size += len(fragment)
+    flush()
+    if not out_frags:
+        out_frags = [
+            fragments[0].take_positions(np.empty(0, dtype=np.int64))
+        ]
+        out_pos = [np.empty(0, dtype=np.int64)]
+    return out_frags, out_pos
+
+
+def _merge_fragment_run(
+    frags: List[BAT], poss: Optional[List[np.ndarray]]
+) -> Tuple[BAT, Optional[np.ndarray]]:
+    """Concatenate an adjacent run of fragments into one (the local
+    mirror of :meth:`FragmentedBAT._build_monolithic`, bounded by the
+    run size)."""
+    if poss is None:
+        order = None
+        merged_positions = None
+    else:
+        all_positions = np.concatenate(poss)
+        order = np.argsort(all_positions, kind="stable")
+        merged_positions = all_positions[order]
+    head = _concat_columns(
+        [f.head for f in frags], frags[0].head.atom_type, order
+    )
+    tail = _concat_columns(
+        [f.tail for f in frags], frags[0].tail.atom_type, order
+    )
+    flags = _concat_flags(frags, order is None)
+    return BAT(head, tail, **flags), merged_positions
+
+
+def rebalance(
+    fb: FragmentedBAT, policy: Optional[FragmentationPolicy] = None
+) -> FragmentedBAT:
+    """The merge daemon's reorganization pass for registered BATs:
+    fold and compact locally, then re-partition when the balance has
+    skewed beyond what local passes can repair.
+
+    ``fold_tail`` fixes oversized fragments and *adjacent* starved
+    runs, but a round-robin split whose delta tail keeps absorbing
+    appends drifts into a persistent skew it cannot see: every
+    fragment stays under twice the target and no starved run is
+    adjacent, yet one fragment holds many times the rows of another,
+    so fragment-parallel operators tail on the big one.  When the
+    max/min spread exceeds one target unit -- or the fragment count has
+    drifted past four times what the cardinality warrants -- this
+    re-splits once through :func:`fragment_bat`, the one reorganization
+    that *does* coalesce, which is why only the merge daemon calls it,
+    under the same per-name CAS swap-in as the fold."""
+    policy = policy or fb.policy
+    folded = fold_tail(fb, policy, compact=True)
+    sizes = folded.fragment_sizes()
+    n = len(folded)
+    ideal = max(1, -(-n // policy.target_size))
+    count_drift = folded.nfragments > max(4, 4 * ideal)
+    skew = (
+        folded.positions is not None
+        and len(sizes) > 1
+        and max(sizes) - min(sizes) > policy.target_size
+    )
+    if not count_drift and not skew:
+        return folded
+    return fragment_bat(folded.to_bat(), policy)
 
 
 def refragment(

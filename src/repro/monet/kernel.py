@@ -64,6 +64,22 @@ NIL semantics (two rules, both Monet-faithful):
   appended NIL conservatively clears ``tsorted``/``tkey`` (NaN is
   incomparable, so sortedness cannot be extended across it), which
   can only disable optimizations, never change results.
+* *Tombstones and patches follow the same two rules.*  Deleting a BUN
+  whose tail is NIL (:meth:`BAT.delete_positions` /
+  ``FragmentedBAT.delete``) is an ordinary positional delete -- NIL
+  confers no protection and needs no special casing, because deletion
+  selects by *position*, never by value.  A delete is a monotone
+  gather of the surviving BUNs, so all four property flags
+  (``hsorted``/``tsorted``/``hkey``/``tkey``) survive unchanged:
+  removing elements can break neither sortedness nor key-ness.
+  Updating a BUN *to* NIL (:meth:`BAT.update_positions` /
+  ``FragmentedBAT.update``) conservatively clears ``tkey`` (the new
+  NIL may collide with an existing one under the identity rule) and
+  clears ``tsorted`` unless the locally checked neighbour pairs still
+  compare ordered -- a NaN patch value always fails that check, so a
+  NIL patch clears ``tsorted`` too.  Head flags are untouched: patches
+  rewrite tails only.  As with appends, the cleared flags can only
+  disable optimizations, never change results.
 """
 
 from __future__ import annotations

@@ -96,11 +96,13 @@ class MILInterpreter:
         env: Optional[Dict[str, Any]] = None,
         *,
         checkpoint: Optional[Callable[[], None]] = None,
+        reader: Any = None,
     ) -> MILResult:
         """Parse and execute *source*; *env* provides initial variable
         bindings (the Moa executor passes query parameters this way)."""
         program = parse_program(source)
-        return self.run_program(program, env, checkpoint=checkpoint)
+        return self.run_program(program, env, checkpoint=checkpoint,
+                                reader=reader)
 
     def run_program(
         self,
@@ -108,6 +110,7 @@ class MILInterpreter:
         env: Optional[Dict[str, Any]] = None,
         *,
         checkpoint: Optional[Callable[[], None]] = None,
+        reader: Any = None,
     ) -> MILResult:
         """Execute a parsed program.  *checkpoint*, when given, is
         called before every statement; it may raise
@@ -119,12 +122,19 @@ class MILInterpreter:
         the run resolves against the same frozen catalog, so a pipeline
         never observes a concurrent append or drop mid-plan.  Writes the
         plan itself issues (``persists``/``unpersists``) write through
-        to the live pool and stay visible to the rest of the plan."""
+        to the live pool and stay visible to the rest of the plan.
+
+        *reader*, when given, is an already-pinned snapshot (or any
+        pool-like catalog view) to resolve ``bat("name")`` against
+        instead of pinning a fresh one -- this is how an open
+        :class:`~repro.core.mirror.Transaction` holds one epoch across
+        several MIL runs."""
         result = MILResult(env=dict(env or {}))
-        reader = self.pool
-        if hasattr(reader, "read_snapshot"):
-            reader = reader.read_snapshot()
-            result.epoch = getattr(reader, "epoch", None)
+        if reader is None:
+            reader = self.pool
+            if hasattr(reader, "read_snapshot"):
+                reader = reader.read_snapshot()
+        result.epoch = getattr(reader, "epoch", None)
         result.snapshot = reader
         for statement in program.statements:
             if checkpoint is not None:
@@ -240,8 +250,9 @@ def run_program(
     *,
     fragment_policy: Optional[FragmentationPolicy] = None,
     checkpoint: Optional[Callable[[], None]] = None,
+    reader: Any = None,
 ) -> MILResult:
     """One-shot convenience: run MIL *source* against *pool*."""
     return MILInterpreter(pool, fragment_policy=fragment_policy).run(
-        source, env, checkpoint=checkpoint
+        source, env, checkpoint=checkpoint, reader=reader
     )

@@ -51,7 +51,8 @@ def _unwrap(header: Dict[str, Any], frames: List[bytes]) -> Any:
 
 
 class _RequestBuilder:
-    """Request construction shared by the sync and async clients."""
+    """Request construction shared by the sync and async clients, so
+    the two surfaces build byte-identical requests."""
 
     @staticmethod
     def mil(source: str, binary: bool, deadline_ms: Optional[int]) -> Dict[str, Any]:
@@ -72,6 +73,35 @@ class _RequestBuilder:
             header["params"] = params
         if deadline_ms is not None:
             header["deadline_ms"] = deadline_ms
+        return header
+
+    @staticmethod
+    def delete(collection: str, where: Any) -> Dict[str, Any]:
+        header: Dict[str, Any] = {"op": "delete", "collection": collection}
+        if where is not None:
+            header["where"] = where
+        return header
+
+    @staticmethod
+    def update(collection: str, assignments: Any, where: Any) -> Dict[str, Any]:
+        header: Dict[str, Any] = {
+            "op": "update",
+            "collection": collection,
+            "set": assignments,
+        }
+        if where is not None:
+            header["where"] = where
+        return header
+
+    @staticmethod
+    def commit(
+        name: Optional[str], shared_name: Optional[str], replace: bool
+    ) -> Dict[str, Any]:
+        if name is None:
+            return {"op": "commit"}
+        header: Dict[str, Any] = {"op": "commit", "name": name, "replace": replace}
+        if shared_name is not None:
+            header["as"] = shared_name
         return header
 
 
@@ -135,6 +165,8 @@ class ServiceClient:
         return self.request({"op": "define", "ddl": ddl})["names"]
 
     def insert(self, collection: str, values: List[Any]) -> int:
+        """Insert *values*; returns the new cardinality -- or, inside
+        an open transaction (:meth:`begin`), the staged row count."""
         return self.request(
             {"op": "insert", "collection": collection, "values": values}
         )["count"]
@@ -142,15 +174,49 @@ class ServiceClient:
     def count(self, collection: str) -> int:
         return self.request({"op": "count", "collection": collection})["count"]
 
+    def delete(self, collection: str, where: Any = None) -> Dict[str, Any]:
+        """Delete the tuples matching *where* (an object of field
+        equalities, or a bare literal for ``SET<Atomic>`` elements;
+        ``None`` deletes all).  Returns the mutation result; inside an
+        open transaction (:meth:`begin`) the op is staged."""
+        return self.request(_RequestBuilder.delete(collection, where))
+
+    def update(
+        self, collection: str, assignments: Any, where: Any = None
+    ) -> Dict[str, Any]:
+        """Patch the tuples matching *where* with *assignments* (an
+        object of field values, or a bare literal for ``SET<Atomic>``).
+        Returns the mutation result; staged inside a transaction."""
+        return self.request(
+            _RequestBuilder.update(collection, assignments, where)
+        )
+
+    def begin(self) -> Optional[int]:
+        """Open a transaction: pins one catalog epoch for this
+        session's statements until :meth:`commit`/:meth:`abort`.
+        Returns the pinned epoch."""
+        return self.request({"op": "begin"})["epoch"]
+
+    def abort(self) -> Dict[str, Any]:
+        """Abort the open transaction; staged mutations are dropped."""
+        return self.request({"op": "abort"})
+
     def commit(
-        self, name: str, shared_name: Optional[str] = None, *, replace: bool = False
-    ) -> str:
-        """Promote the session temp *name* (created with MIL
-        ``persists``) to shared data; returns the shared name."""
-        header: Dict[str, Any] = {"op": "commit", "name": name, "replace": replace}
-        if shared_name is not None:
-            header["as"] = shared_name
-        return self.request(header)["name"]
+        self,
+        name: Optional[str] = None,
+        shared_name: Optional[str] = None,
+        *,
+        replace: bool = False,
+    ) -> Any:
+        """With no arguments: commit the open transaction (publishes
+        every staged mutation; returns the commit result with its
+        ``applied`` list).  With *name*: the legacy temp-promotion
+        dialect -- promote the session temp *name* (created with MIL
+        ``persists``) to shared data and return the shared name."""
+        response = self.request(
+            _RequestBuilder.commit(name, shared_name, replace)
+        )
+        return response["name"] if name is not None else response
 
     def collections(self) -> List[str]:
         return self.request({"op": "collections"})["names"]
@@ -247,6 +313,7 @@ class AsyncServiceClient:
         return (await self.request({"op": "define", "ddl": ddl}))["names"]
 
     async def insert(self, collection: str, values: List[Any]) -> int:
+        """Same surface as :meth:`ServiceClient.insert`."""
         return (
             await self.request(
                 {"op": "insert", "collection": collection, "values": values}
@@ -258,13 +325,38 @@ class AsyncServiceClient:
             "count"
         ]
 
+    async def delete(self, collection: str, where: Any = None) -> Dict[str, Any]:
+        """Same surface as :meth:`ServiceClient.delete`."""
+        return await self.request(_RequestBuilder.delete(collection, where))
+
+    async def update(
+        self, collection: str, assignments: Any, where: Any = None
+    ) -> Dict[str, Any]:
+        """Same surface as :meth:`ServiceClient.update`."""
+        return await self.request(
+            _RequestBuilder.update(collection, assignments, where)
+        )
+
+    async def begin(self) -> Optional[int]:
+        """Same surface as :meth:`ServiceClient.begin`."""
+        return (await self.request({"op": "begin"}))["epoch"]
+
+    async def abort(self) -> Dict[str, Any]:
+        """Same surface as :meth:`ServiceClient.abort`."""
+        return await self.request({"op": "abort"})
+
     async def commit(
-        self, name: str, shared_name: Optional[str] = None, *, replace: bool = False
-    ) -> str:
-        header: Dict[str, Any] = {"op": "commit", "name": name, "replace": replace}
-        if shared_name is not None:
-            header["as"] = shared_name
-        return (await self.request(header))["name"]
+        self,
+        name: Optional[str] = None,
+        shared_name: Optional[str] = None,
+        *,
+        replace: bool = False,
+    ) -> Any:
+        """Same surface as :meth:`ServiceClient.commit`."""
+        response = await self.request(
+            _RequestBuilder.commit(name, shared_name, replace)
+        )
+        return response["name"] if name is not None else response
 
     async def collections(self) -> List[str]:
         return (await self.request({"op": "collections"}))["names"]

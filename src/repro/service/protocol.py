@@ -17,6 +17,48 @@ arrays in the trailing frames -- zero JSON overhead for the bulk of a
 result -- while ``str``/``bit`` columns stay JSON.  Void columns ship
 as their ``seqbase`` alone.
 
+Operation table (protocol version 2; versioned by extension -- a v1
+peer simply never sends the v2 ops):
+
+===============  ====  =================================================
+op               ver   request fields -> result
+===============  ====  =================================================
+``ping``         1     -- -> ``{kind: pong, session}``
+``status``       1     -- -> ``{kind: status, status}``
+``mil``          1     ``q`` [``binary`` ``deadline_ms``] -> value
+                       (+ ``epoch`` the plan's snapshot pinned)
+``moa``          1     ``q`` [``params`` ``binary`` ``deadline_ms``]
+                       -> value (+ ``epoch``)
+``define``       1     ``ddl`` -> ``{kind: defined, names}``
+``insert``       1     ``collection`` ``values`` -> ``{kind: count,
+                       count, epoch}``; inside a transaction: staged
+                       mutation result
+``count``        1     ``collection`` -> ``{kind: count, count}``
+``stats``        1     ``collection`` ``attribute`` ``bind`` ->
+                       ``{kind: bound, name}``
+``collections``  1     -- -> ``{kind: collections, names}``
+``commit``       1     ``name`` [``as`` ``replace``] -> ``{kind:
+                       committed, name}`` (legacy temp promotion)
+``begin``        2     -- -> ``{kind: begun, epoch}`` (pins one
+                       catalog epoch for the session's statements)
+``commit``       2     *no* ``name`` -> ``{kind: committed, count,
+                       epoch, applied: [{collection, op, count,
+                       epoch}]}`` (publishes the staged mutations)
+``abort``        2     -- -> ``{kind: aborted, count, epoch}``
+``update``       2     ``collection`` ``set`` [``where``] ->
+                       mutation result
+``delete``       2     ``collection`` [``where``] -> mutation result
+``close``        1     -- -> ``{kind: bye}``
+===============  ====  =================================================
+
+A *mutation result* is ``{kind: mutation, op, collection, count,
+epoch, staged}`` -- the wire form of the one epoch-reporting
+``MutationResult`` type every mutation path shares; ``staged: true``
+means the op is queued in the session's open transaction and applies
+at ``commit``.  ``where`` is an object of field equalities (pseudo-
+field ``value`` for ``SET<Atomic>`` elements) or a bare literal; a
+``nil`` literal matches nothing (the kernel's comparison rule).
+
 Error codes (the service's whole failure vocabulary):
 
 =============  ========================================================
@@ -28,12 +70,16 @@ Error codes (the service's whole failure vocabulary):
 ``deadline``   queued past the admission timeout
 ``timeout``    per-query deadline expired mid-plan (checkpoint fired)
 ``cancelled``  session disconnected mid-plan
+``mutation``   write rejected (unknown target, bad positions/batch,
+               transaction protocol violation)
 ``runtime``    execution failed (type error, unknown name, ...)
 =============  ========================================================
 
 Both the asyncio server and the sync/async clients use the same
 encode/decode helpers below, so the framing has exactly one
-implementation.
+implementation.  Sync and async clients expose the same method names
+with the same signatures (``begin``/``commit``/``abort``/``insert``/
+``update``/``delete`` included), so the two surfaces cannot drift.
 """
 
 from __future__ import annotations

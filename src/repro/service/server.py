@@ -43,7 +43,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.core.mirror import MirrorDBMS
 from repro.moa.errors import MoaError
-from repro.monet.errors import MILCancelled, MonetError
+from repro.monet.errors import MILCancelled, MonetError, MutationError
 from repro.service.admission import AdmissionController, AdmissionReject, TokenBucket
 from repro.service.guard import GuardLimits, GuardRejection, QueryGuard
 from repro.service.protocol import (
@@ -260,8 +260,9 @@ class MirrorService:
             return ok_response(
                 {"kind": "status", "status": self.status()}, [], request_id
             )
-        if op not in ("mil", "moa", "define", "insert", "count", "stats",
-                      "collections", "commit"):
+        if op not in ("mil", "moa", "define", "insert", "update", "delete",
+                      "count", "stats", "collections", "begin", "commit",
+                      "abort"):
             return error_response("protocol", f"unknown op {op!r}", request_id)
 
         # Rate limit, then guard, then admission: the cheap checks run
@@ -313,6 +314,8 @@ class MirrorService:
             return ok_response(result, frames, request_id)
         except MILCancelled as exc:
             return error_response(exc.reason, str(exc), request_id)
+        except MutationError as exc:
+            return error_response("mutation", str(exc), request_id)
         except (MonetError, MoaError) as exc:
             return error_response("runtime", str(exc), request_id)
         except Exception as exc:  # defensive: never drop the connection
@@ -333,7 +336,9 @@ class MirrorService:
             self.guard.check_mil(source, session.namespace)
 
             def run_mil():
-                outcome = session.mil.run(source, checkpoint=checkpoint)
+                outcome = session.mil.run(
+                    source, checkpoint=checkpoint, reader=session.mil_reader()
+                )
                 result, frames = encode_result(outcome.value, binary)
                 if outcome.epoch is not None:
                     # The catalog epoch the plan's snapshot was pinned
@@ -347,10 +352,21 @@ class MirrorService:
             source = _require_str(header, "q")
             self.guard.check_moa(source, self.db.pool, self.db.schema)
             params = self._resolve_params(session, header.get("params") or {})
-            return lambda: encode_result(
-                self.db.query(source, params, checkpoint=checkpoint).value,
-                binary,
-            )
+
+            def run_moa():
+                txn = session.open_transaction()
+                outcome = self.db.query(
+                    source,
+                    params,
+                    checkpoint=checkpoint,
+                    reader=txn.snapshot if txn is not None else None,
+                )
+                result, frames = encode_result(outcome.value, binary)
+                if outcome.epoch is not None:
+                    result["epoch"] = outcome.epoch
+                return result, frames
+
+            return run_moa
         if op == "define":
             ddl = _require_str(header, "ddl")
             return lambda: (
@@ -362,17 +378,116 @@ class MirrorService:
             values = header.get("values")
             if not isinstance(values, list):
                 raise TypeError("insert needs a values list")
-            return lambda: (
-                {"kind": "count", "count": self.db.insert(name, values)},
-                [],
-            )
+
+            def run_insert():
+                txn = session.open_transaction()
+                if txn is not None:
+                    staged = txn.insert(name, values)
+                    return _mutation_result(staged, staged=True), []
+                count = self.db.insert(name, values)
+                return {
+                    "kind": "count",
+                    "count": count,
+                    "epoch": self.db.pool.epoch,
+                }, []
+
+            return run_insert
+        if op == "delete":
+            name = _require_str(header, "collection")
+            where = _check_where(header.get("where"))
+
+            def run_delete():
+                txn = session.open_transaction()
+                if txn is not None:
+                    staged = txn.delete(name, where=where)
+                    return _mutation_result(staged, staged=True), []
+                count = self.db.delete(name, where=where)
+                return {
+                    "kind": "mutation",
+                    "op": "delete",
+                    "collection": name,
+                    "count": count,
+                    "epoch": self.db.pool.epoch,
+                    "staged": False,
+                }, []
+
+            return run_delete
+        if op == "update":
+            name = _require_str(header, "collection")
+            assignments = header.get("set")
+            if isinstance(assignments, dict):
+                if not assignments or not all(
+                    isinstance(k, str) for k in assignments
+                ):
+                    raise TypeError(
+                        "update 'set' object needs string field names"
+                    )
+            elif not _is_wire_literal(assignments):
+                raise TypeError("update needs a 'set' object or literal")
+            where = _check_where(header.get("where"))
+
+            def run_update():
+                txn = session.open_transaction()
+                if txn is not None:
+                    staged = txn.update(name, assignments, where=where)
+                    return _mutation_result(staged, staged=True), []
+                count = self.db.update(name, assignments, where=where)
+                return {
+                    "kind": "mutation",
+                    "op": "update",
+                    "collection": name,
+                    "count": count,
+                    "epoch": self.db.pool.epoch,
+                    "staged": False,
+                }, []
+
+            return run_update
         if op == "count":
             name = _require_str(header, "collection")
             return lambda: (
                 {"kind": "count", "count": self.db.count(name)},
                 [],
             )
+        if op == "begin":
+            def run_begin():
+                txn = session.begin()
+                return {"kind": "begun", "epoch": txn.epoch}, []
+
+            return run_begin
+        if op == "abort":
+            def run_abort():
+                result = session.abort_transaction()
+                return {
+                    "kind": "aborted",
+                    "count": result.count,
+                    "epoch": result.epoch,
+                }, []
+
+            return run_abort
         if op == "commit":
+            name = header.get("name")
+            if name is None:
+                # Transaction commit: publish every staged mutation.
+                def run_commit():
+                    result = session.commit_transaction()
+                    return {
+                        "kind": "committed",
+                        "count": result.count,
+                        "epoch": result.epoch,
+                        "applied": [
+                            {
+                                "collection": r.collection,
+                                "op": r.kind,
+                                "count": r.count,
+                                "epoch": r.epoch,
+                            }
+                            for r in result.applied
+                        ],
+                    }, []
+
+                return run_commit
+            # Legacy temp-promotion commit (deprecated dialect; see
+            # Session.commit).
             name = _require_str(header, "name")
             shared = header.get("as")
             if shared is not None and not isinstance(shared, str):
@@ -455,6 +570,37 @@ def _require_str(header: Dict[str, Any], key: str) -> str:
     if not isinstance(value, str) or not value:
         raise TypeError(f"request needs a non-empty string {key!r}")
     return value
+
+
+def _is_wire_literal(value: Any) -> bool:
+    return value is None or isinstance(value, (str, int, float, bool))
+
+
+def _check_where(where: Any) -> Any:
+    """Validate a wire ``where`` clause: absent, a field-equality
+    object, or a bare literal (matching ``SET<Atomic>`` elements)."""
+    if where is None or _is_wire_literal(where):
+        return where
+    if isinstance(where, dict):
+        for key, value in where.items():
+            if not isinstance(key, str) or not _is_wire_literal(value):
+                raise TypeError(
+                    "where object must map string fields to literals"
+                )
+        return where
+    raise TypeError("where must be an object of field equalities or a literal")
+
+
+def _mutation_result(result, *, staged: bool) -> Dict[str, Any]:
+    """Wire shape of a :class:`~repro.core.mirror.MutationResult`."""
+    return {
+        "kind": "mutation",
+        "op": result.kind,
+        "collection": result.collection,
+        "count": result.count,
+        "epoch": result.epoch,
+        "staged": staged,
+    }
 
 
 # ----------------------------------------------------------------------

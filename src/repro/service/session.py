@@ -119,9 +119,15 @@ class SessionNamespace:
         against one :class:`~repro.monet.bbp.PoolSnapshot` for a whole
         plan, private names keep their mangling.  The MIL interpreter
         calls this once per plan."""
+        return self.pinned_snapshot(self.pool.read_snapshot())
+
+    def pinned_snapshot(self, pool_snapshot) -> "_NamespaceSnapshot":
+        """Build the namespace view over an *already pinned* pool
+        snapshot -- the transaction path uses this so every plan of an
+        open transaction reads the begin-time epoch."""
         with self._lock:
             private = set(self._names)
-        return _NamespaceSnapshot(self, self.pool.read_snapshot(), private)
+        return _NamespaceSnapshot(self, pool_snapshot, private)
 
     # -- lifecycle -----------------------------------------------------
     def temp_names(self) -> List[str]:
@@ -246,11 +252,76 @@ class Session:
         #: checkpoint so an in-flight plan aborts between statements.
         self.disconnected = threading.Event()
         self.queries = 0
+        #: The session's open :class:`~repro.core.mirror.Transaction`,
+        #: if any (one at a time; wire ops begin/commit/abort manage it).
+        self.transaction = None
+
+    # -- transactions --------------------------------------------------
+    def begin(self):
+        """Open a transaction on the shared database: one pinned epoch
+        for every statement until commit/abort.  One open transaction
+        per session."""
+        from repro.monet.errors import TransactionError  # circular-safe
+
+        if self.transaction is not None and self.transaction.state == "open":
+            raise TransactionError(
+                f"session {self.session_id} already has an open transaction"
+            )
+        self.transaction = self.db.begin()
+        return self.transaction
+
+    def open_transaction(self):
+        """The session's open transaction, or ``None``."""
+        txn = self.transaction
+        if txn is not None and txn.state == "open":
+            return txn
+        return None
+
+    def _require_transaction(self):
+        from repro.monet.errors import TransactionError
+
+        txn = self.open_transaction()
+        if txn is None:
+            raise TransactionError(
+                f"session {self.session_id} has no open transaction"
+            )
+        return txn
+
+    def commit_transaction(self):
+        """Commit the open transaction; returns its
+        :class:`~repro.core.mirror.MutationResult` summary."""
+        txn = self._require_transaction()
+        result = txn.commit()
+        self.transaction = None
+        return result
+
+    def abort_transaction(self):
+        """Abort the open transaction, dropping every staged mutation."""
+        txn = self._require_transaction()
+        result = txn.abort()
+        self.transaction = None
+        return result
+
+    def mil_reader(self):
+        """The catalog reader the next MIL plan should pin: the open
+        transaction's begin-time snapshot (namespace-wrapped) when one
+        exists, else ``None`` (a fresh per-plan snapshot)."""
+        txn = self.open_transaction()
+        if txn is None:
+            return None
+        return self.namespace.pinned_snapshot(txn.snapshot)
 
     def commit(
         self, name: str, shared_name: Optional[str] = None, *, replace: bool = False
     ) -> str:
         """Promote the session temp *name* to shared data.
+
+        .. deprecated:: legacy surface.  This is the temp-promotion
+           dialect that predates the unified mutation API; new code
+           should mutate shared collections through the transaction
+           path (:meth:`begin` / wire ops ``begin``/``commit``) instead.
+           Kept as a thin wrapper because promoting a temp BAT has no
+           collection-level equivalent yet.
 
         The temp's value (fragmented or not) is re-registered in the
         shared catalog under *shared_name* (default: the same name) and
@@ -278,7 +349,12 @@ class Session:
         return target
 
     def close(self) -> int:
-        """Mark disconnected and reclaim the temp namespace."""
+        """Mark disconnected, abort any open transaction, and reclaim
+        the temp namespace."""
         self.disconnected.set()
+        txn = self.open_transaction()
+        if txn is not None:
+            txn.abort()
+        self.transaction = None
         self.bindings.clear()
         return self.namespace.cleanup()

@@ -58,7 +58,12 @@ class TestData:
         assert "TraditionalImgLib.annotation.owner" in names
 
     def test_insert_unknown_collection(self):
-        with pytest.raises(MoaTypeError):
+        # Mutations speak the unified vocabulary: an unknown target is
+        # an UnknownMutationTarget (a MutationError), while plain reads
+        # like collection_type keep raising MoaTypeError.
+        from repro.monet.errors import UnknownMutationTarget
+
+        with pytest.raises(UnknownMutationTarget):
             MirrorDBMS().insert("ghost", [])
 
 

@@ -22,7 +22,7 @@ import numpy as np
 import pytest
 
 from repro.monet import bbp as bbp_module
-from repro.monet.bat import bat_from_pairs, dense_bat
+from repro.monet.bat import BAT, Column, bat_from_pairs, dense_bat
 from repro.monet.bbp import BATBufferPool
 from repro.monet.errors import MonetError
 from repro.monet.fragments import FragmentationPolicy, fragment_bat
@@ -269,6 +269,137 @@ def test_generator_batches_append_consistently(tmp_path):
     restored = BATBufferPool.load(tmp_path)
     assert restored.lookup("a").tail_list() == [1, 2, 3, 4, 5]
     assert restored.lookup("f").tail_list() == [10, 20, 30, 40, 50, 60, 70]
+
+
+# ----------------------------------------------------------------------
+# Tombstone and patch records: delete/update through the WAL
+# ----------------------------------------------------------------------
+
+
+def test_wal_replays_committed_deletes_and_updates_on_load(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    pool.delete("a", [1])
+    pool.update("a", [0], [100])
+    pool.delete("f", [0, 4])  # fragmented: tombstone delta kind
+    pool.update("f", [1], [990])
+    # No save: simulate a crash.  Load must replay all four records.
+    restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("a").tail_list() == [100, 3]
+    assert restored.lookup("f").tail_list() == [20, 990, 40]
+    assert restored.is_fragmented("f")
+
+
+def test_wal_replays_renumbering_delete(tmp_path):
+    # The Moa extent shape: a dense oid tail must stay 0..n-1 through
+    # crash recovery, so the renumber flag rides in the WAL record.
+    pool = BATBufferPool()
+    pool.register(
+        "T.__extent__",
+        BAT(
+            Column("oid", np.array([10, 11, 12], dtype=np.int64)),
+            Column("oid", np.arange(3, dtype=np.int64)),
+            hsorted=True,
+            hkey=True,
+            tsorted=True,
+            tkey=True,
+        ),
+    )
+    pool.save(tmp_path)
+    pool.delete("T.__extent__", [1], renumber_dense_tails=True)
+    restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("T.__extent__").tail_list() == [0, 1]
+    assert list(restored.lookup("T.__extent__").head_list()) == [10, 12]
+
+
+def test_torn_trailing_tombstone_record_is_discarded(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    pool.delete("a", [0])
+    pool.update("a", [0], [77])
+    wal = tmp_path / "wal.jsonl"
+    text = wal.read_text()
+    assert text.count("\n") == 2
+    wal.write_text(text[:-4])  # crash mid-write of the update record
+    restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("a").tail_list() == [2, 3]
+
+
+def test_crash_between_group_commit_fsync_and_publish(tmp_path, monkeypatch):
+    """The window the WAL exists for: the intent record is fsynced but
+    the process dies before the in-memory publish.  The mutation must
+    surface exactly once on the next load -- and never in the crashed
+    pool's live catalog."""
+    pool = _seed_pool()
+    pool.save(tmp_path)
+
+    def crashing_publish(self, name, current, new, record, bump):
+        raise OSError("injected: crash after fsync, before publish")
+
+    monkeypatch.setattr(BATBufferPool, "_publish_mutation", crashing_publish)
+    with pytest.raises(OSError, match="injected"):
+        pool.delete("a", [0])
+    monkeypatch.undo()
+
+    # The crashed pool never published...
+    assert pool.lookup("a").tail_list() == [1, 2, 3]
+    # ...but the record is durable, so recovery applies it.
+    restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("a").tail_list() == [2, 3]
+
+
+def test_generation_fence_mixed_append_delete_batch(tmp_path, monkeypatch):
+    """Exactly-once replay for the new record kinds: a save that folds
+    a mixed append/delete/update batch into its catalog but crashes
+    before truncating the WAL must not re-apply any of them (a
+    re-applied delete would remove a *different* row)."""
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    pool.append("a", tails=[4, 5])
+    pool.delete("a", [0])
+    pool.update("a", [0], [20])
+    pool.delete("f", [4])
+    assert pool.lookup("a").tail_list() == [20, 3, 4, 5]
+
+    def failing_truncate(self):
+        raise OSError("injected: crash after commit, before truncation")
+
+    monkeypatch.setattr(BATBufferPool, "_wal_truncate_locked", failing_truncate)
+    with pytest.raises(OSError, match="injected"):
+        pool.save(tmp_path)
+    monkeypatch.undo()
+
+    assert (tmp_path / "wal.jsonl").exists()  # the stale WAL survived
+    restored = BATBufferPool.load(tmp_path)
+    # The stale records are fenced off by their older generation stamp.
+    assert restored.lookup("a").tail_list() == [20, 3, 4, 5]
+    assert restored.lookup("f").tail_list() == [10, 20, 30, 40]
+
+
+def test_failed_delete_and_update_leave_no_wal_record(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    with pytest.raises(MonetError):
+        pool.delete("a", [99])  # out of range
+    with pytest.raises(MonetError):
+        pool.update("a", [0, 1], [7])  # misaligned values
+    pool.append("a", tails=[4])  # the pool stays writable
+    restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("a").tail_list() == [1, 2, 3, 4]
+
+
+def test_unreplayable_delete_record_is_skipped_with_warning(tmp_path):
+    pool = _seed_pool()
+    pool.save(tmp_path)
+    (tmp_path / "wal.jsonl").write_text(
+        json.dumps({"name": "a", "delete": [99]})  # out of range
+        + "\n"
+        + json.dumps({"name": "a", "update": [0], "values": [50]})
+        + "\n"
+    )
+    with pytest.warns(RuntimeWarning, match="unreplayable WAL record"):
+        restored = BATBufferPool.load(tmp_path)
+    assert restored.lookup("a").tail_list() == [50, 2, 3]
 
 
 # ----------------------------------------------------------------------

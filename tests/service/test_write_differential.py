@@ -64,18 +64,65 @@ def _make_mutations(rng, names):
         name = str(rng.choice(names))
         htype, ttype = fuzz._BASE_TYPES[name]
         pairs = fuzz._mutation_pairs(rng, htype, ttype, int(rng.integers(1, 6)))
-        mutations.append((name, pairs))
+        mutations.append(("append", name, pairs))
     return mutations
+
+
+def _make_mixed_mutations(rng, data, names):
+    """Deterministic mixed append/delete/update batches.  The writer
+    applies them in order under the write lock, so each batch's
+    positions are valid against the cardinality the *previous* batches
+    left behind -- tracked here at generation time so the serial replay
+    sees the identical sequence."""
+    counts = {name: len(data[name]) for name in names}
+    mutations = []
+    for _ in range(N_MUTATIONS):
+        name = str(rng.choice(names))
+        htype, ttype = fuzz._BASE_TYPES[name]
+        op = str(rng.choice(["append", "delete", "update"]))
+        if op != "append" and counts[name] < 4:
+            op = "append"  # keep shrinking BATs from running dry
+        if op == "append":
+            pairs = fuzz._mutation_pairs(
+                rng, htype, ttype, int(rng.integers(1, 6))
+            )
+            counts[name] += len(pairs)
+            mutations.append(("append", name, pairs))
+            continue
+        k = int(rng.integers(1, 4))
+        positions = sorted(
+            int(p) for p in rng.choice(counts[name], size=k, replace=False)
+        )
+        if op == "delete":
+            counts[name] -= k
+            mutations.append(("delete", name, positions))
+        else:
+            pairs = fuzz._mutation_pairs(rng, htype, ttype, k)
+            values = [t for _, t in pairs]
+            mutations.append(("update", name, (positions, values)))
+    return mutations
+
+
+def _apply(pool, mutation):
+    op, name, payload = mutation
+    if op == "append":
+        pool.append(name, payload)
+    elif op == "delete":
+        pool.delete(name, payload)
+    else:
+        positions, values = payload
+        pool.update(name, positions, values)
 
 
 def _replay_pool(data, committed):
     """Ground truth for one pinned epoch: base data plus exactly the
-    committed prefix of append batches, in a private monolithic pool."""
+    committed prefix of mutation batches, in a private monolithic
+    pool."""
     pool = BATBufferPool()
     for name, bat in data.items():
         pool.register(name, bat)
-    for name, pairs in committed:
-        pool.append(name, pairs)
+    for mutation in committed:
+        _apply(pool, mutation)
     return pool
 
 
@@ -92,8 +139,11 @@ def _assert_env_equal(got_env, expected_env, context: str):
             )
 
 
-@pytest.mark.parametrize("backend", _backends())
-def test_concurrent_appends_match_epoch_replay(backend, monkeypatch):
+def _run_differential(backend, monkeypatch, mutations, seed):
+    """The shared harness: N sessions race one writer applying
+    *mutations* in order; every session's result must equal the serial
+    replay of exactly the batches committed at or before its pinned
+    epoch."""
     from repro.monet import fragments as fr
 
     if backend == "process":
@@ -101,12 +151,11 @@ def test_concurrent_appends_match_epoch_replay(backend, monkeypatch):
     policy = FragmentationPolicy(
         target_size=16, strategy="range", workers=2, backend=backend
     )
-    rng = np.random.default_rng(91_000)
+    rng = np.random.default_rng(seed)
     data = fuzz._make_data(rng)
     names = [n for n in fuzz._BASE_TYPES if n != "dim"]
-    mutations = _make_mutations(np.random.default_rng(91_001), names)
     scripts = [
-        fuzz._gen_pipeline(np.random.default_rng(91_100 + i))
+        fuzz._gen_pipeline(np.random.default_rng(seed + 100 + i))
         for i in range(N_SESSIONS)
     ]
 
@@ -124,11 +173,11 @@ def test_concurrent_appends_match_epoch_replay(backend, monkeypatch):
     def writer():
         try:
             barrier.wait(timeout=30)
-            for index, (name, pairs) in enumerate(mutations):
-                # Appends serialize under the DBMS write lock, exactly
-                # like the Moa insert path.
+            for index, mutation in enumerate(mutations):
+                # Mutations serialize under the DBMS write lock,
+                # exactly like the Moa insert/delete/update paths.
                 with db.write_lock:
-                    db.pool.append(name, pairs)
+                    _apply(db.pool, mutation)
                     commit_log.append((db.pool.epoch, index))
                 time.sleep(0.001)
         except Exception as exc:  # pragma: no cover
@@ -179,9 +228,33 @@ def test_concurrent_appends_match_epoch_replay(backend, monkeypatch):
     for session in sessions:
         session.close()
 
-    # Final state sanity: the live pool holds every committed batch.
+    # Final state sanity: the live pool holds every committed batch,
+    # BUN for BUN (heads matter: deletes gather, updates patch tails).
     final = _replay_pool(data, mutations)
     for name in names:
-        assert (
-            db.pool.lookup(name).tail_list() == final.lookup(name).tail_list()
-        ), name
+        fuzz._assert_bats_equal(
+            db.pool.lookup(name), final.lookup(name), f"final {name}"
+        )
+
+
+@pytest.mark.parametrize("backend", _backends())
+def test_concurrent_appends_match_epoch_replay(backend, monkeypatch):
+    names = [n for n in fuzz._BASE_TYPES if n != "dim"]
+    mutations = _make_mutations(np.random.default_rng(91_001), names)
+    _run_differential(backend, monkeypatch, mutations, 91_000)
+
+
+@pytest.mark.parametrize("backend", _backends())
+def test_concurrent_mixed_mutations_match_epoch_replay(backend, monkeypatch):
+    """The delete/update arm of the 8-session race: tombstone and patch
+    batches interleave with appends under the write lock, and every
+    pinned plan still reads a prefix-closed committed state."""
+    rng = np.random.default_rng(92_000)
+    data = fuzz._make_data(rng)
+    names = [n for n in fuzz._BASE_TYPES if n != "dim"]
+    mutations = _make_mixed_mutations(
+        np.random.default_rng(92_001), data, names
+    )
+    kinds = {op for op, _, _ in mutations}
+    assert kinds == {"append", "delete", "update"}
+    _run_differential(backend, monkeypatch, mutations, 92_000)
